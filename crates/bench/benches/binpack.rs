@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks of the bin-packing substrate: the classical
+//! heuristics of Fig. 6, Algorithm 2 run through the abstract interface, and
+//! the exact solver's cost on tiny instances (illustrating why the paper
+//! needs a heuristic at all).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prompt_core::binpack::{
+    exact_min_fragments, first_fit_decreasing, fragmentation_minimization, prompt_heuristic,
+    Instance,
+};
+
+fn zipf_items(n: usize) -> Vec<usize> {
+    (1..=n).map(|i| 1 + 20_000 / i).collect()
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binpack_heuristics");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let inst = Instance::balanced(zipf_items(n), 32);
+        group.bench_with_input(BenchmarkId::new("ffd", n), &inst, |b, i| {
+            b.iter(|| first_fit_decreasing(i).fragments())
+        });
+        group.bench_with_input(BenchmarkId::new("frag_min", n), &inst, |b, i| {
+            b.iter(|| fragmentation_minimization(i).fragments())
+        });
+        group.bench_with_input(BenchmarkId::new("prompt_alg2", n), &inst, |b, i| {
+            b.iter(|| prompt_heuristic(i).fragments())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_tiny(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binpack_exact");
+    group.sample_size(10);
+    for &n in &[6usize, 9, 12] {
+        let items: Vec<usize> = (1..=n).map(|i| 3 + (i * 7) % 11).collect();
+        let inst = Instance::balanced(items, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| exact_min_fragments(i).map(|a| a.fragments()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_exact_tiny);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Ablation experiments for the design choices DESIGN.md calls out
+//! (see `prompt_bench::experiments::ablation`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!("running ablations ({} mode)", if quick { "quick" } else { "full" });
+    let tables = prompt_bench::experiments::ablation::run(quick);
+    prompt_bench::emit_all(&tables);
+}

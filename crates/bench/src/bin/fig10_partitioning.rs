@@ -1,0 +1,8 @@
+//! Figure 10 — partitioning metrics (see `prompt_bench::experiments::fig10`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!("running fig10 ({} mode)", if quick { "quick" } else { "full" });
+    let tables = prompt_bench::experiments::fig10::run(quick);
+    prompt_bench::emit_all(&tables);
+}

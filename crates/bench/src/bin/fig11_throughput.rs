@@ -1,0 +1,8 @@
+//! Figure 11 — max sustainable throughput (see `prompt_bench::experiments::fig11`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!("running fig11 ({} mode)", if quick { "quick" } else { "full" });
+    let tables = prompt_bench::experiments::fig11::run(quick);
+    prompt_bench::emit_all(&tables);
+}

@@ -1,0 +1,8 @@
+//! Figure 12 — resource elasticity (see `prompt_bench::experiments::fig12`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!("running fig12 ({} mode)", if quick { "quick" } else { "full" });
+    let tables = prompt_bench::experiments::fig12::run(quick);
+    prompt_bench::emit_all(&tables);
+}

@@ -1,0 +1,8 @@
+//! Figure 14 — partitioning overhead (see `prompt_bench::experiments::fig14`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!("running fig14 ({} mode)", if quick { "quick" } else { "full" });
+    let tables = prompt_bench::experiments::fig14::run(quick);
+    prompt_bench::emit_all(&tables);
+}

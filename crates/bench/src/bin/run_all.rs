@@ -1,0 +1,22 @@
+//! Run every experiment of the evaluation section in sequence.
+
+type Experiment = fn(bool) -> Vec<prompt_bench::report::Table>;
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    let all: Vec<(&str, Experiment)> = vec![
+        ("table1", prompt_bench::experiments::table1::run),
+        ("fig6", prompt_bench::experiments::fig6::run),
+        ("fig10", prompt_bench::experiments::fig10::run),
+        ("fig11", prompt_bench::experiments::fig11::run),
+        ("fig12", prompt_bench::experiments::fig12::run),
+        ("fig13", prompt_bench::experiments::fig13::run),
+        ("fig14", prompt_bench::experiments::fig14::run),
+        ("ablations", prompt_bench::experiments::ablation::run),
+    ];
+    for (name, run) in all {
+        eprintln!("=== {name} ({}) ===", if quick { "quick" } else { "full" });
+        let tables = run(quick);
+        prompt_bench::emit_all(&tables);
+    }
+}

@@ -1,0 +1,8 @@
+//! Table 1 — dataset properties (see `prompt_bench::experiments::table1`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!("running table1 ({} mode)", if quick { "quick" } else { "full" });
+    let tables = prompt_bench::experiments::table1::run(quick);
+    prompt_bench::emit_all(&tables);
+}

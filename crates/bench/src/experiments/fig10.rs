@@ -1,0 +1,244 @@
+//! Figure 10 — data-partitioning metrics: BSI relative to hashing (10a/10b)
+//! and BCI relative to shuffle (10c/10d), on the Tweets and TPC-H workloads.
+//!
+//! Methodology follows §7.2: fixed data rate, `p = 32` blocks, metrics
+//! averaged over several batches; hashing is the BSI baseline because it
+//! gives no size guarantee, shuffle the BCI baseline because it gives no
+//! key-assignment guarantee. The paper omits GCM/DEBS plots for space but
+//! reports "similar results", so the harness includes them too.
+
+use prompt_core::batch::MicroBatch;
+use prompt_core::metrics::{self, PlanMetrics};
+use prompt_core::partitioner::Technique;
+use prompt_core::source::TupleSource;
+use prompt_core::types::{Interval, Time};
+use prompt_workloads::datasets::{self, DebsField, TpchQuery};
+use prompt_workloads::rate::RateProfile;
+
+use crate::report::{f3, Table};
+
+/// Number of data blocks per batch.
+pub const BLOCKS: usize = 32;
+
+/// Mean metrics of one technique on one dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricRow {
+    /// The technique measured.
+    pub technique: Technique,
+    /// Mean Block Size-Imbalance over the measured batches.
+    pub bsi: f64,
+    /// Mean Block Cardinality-Imbalance.
+    pub bci: f64,
+    /// Mean Key Split Ratio.
+    pub ksr: f64,
+    /// Mean combined MPI.
+    pub mpi: f64,
+}
+
+/// Average partitioning metrics for every technique over `batches` batches
+/// drawn from `source` at one batch per second.
+pub fn measure(source: &mut dyn TupleSource, batches: usize) -> Vec<MetricRow> {
+    measure_techniques(source, batches, &Technique::EVALUATION_SET)
+}
+
+/// [`measure`] over an explicit technique set.
+pub fn measure_techniques(
+    source: &mut dyn TupleSource,
+    batches: usize,
+    techniques: &[Technique],
+) -> Vec<MetricRow> {
+    // Collect the batches once so every technique sees identical data.
+    let mut collected: Vec<MicroBatch> = Vec::with_capacity(batches);
+    for i in 0..batches as u64 {
+        let iv = Interval::new(Time::from_secs(i), Time::from_secs(i + 1));
+        let mut tuples = Vec::new();
+        source.fill(iv, &mut tuples);
+        collected.push(MicroBatch::new(tuples, iv));
+    }
+    techniques
+        .iter()
+        .map(|&technique| {
+            let mut part = technique.build(42);
+            let mut sum = PlanMetrics::default();
+            for mb in &collected {
+                let plan = part.partition(mb, BLOCKS);
+                debug_assert_eq!(plan.total_tuples(), mb.len());
+                let m = PlanMetrics::of(&plan);
+                sum.bsi += m.bsi;
+                sum.bci += m.bci;
+                sum.ksr += m.ksr;
+                sum.mpi += m.mpi;
+            }
+            let n = collected.len().max(1) as f64;
+            MetricRow {
+                technique,
+                bsi: sum.bsi / n,
+                bci: sum.bci / n,
+                ksr: sum.ksr / n,
+                mpi: sum.mpi / n,
+            }
+        })
+        .collect()
+}
+
+fn dataset_sources(rate: f64, cardinality: u64) -> Vec<(&'static str, Box<dyn TupleSource>)> {
+    let r = RateProfile::Constant { rate };
+    vec![
+        ("Tweets", Box::new(datasets::tweets(r, cardinality, 7)) as Box<dyn TupleSource>),
+        (
+            "TPC-H",
+            Box::new(datasets::tpch_lineitem(r, cardinality, TpchQuery::Q1Quantity, 7)),
+        ),
+        ("GCM", Box::new(datasets::gcm(r, cardinality, 7))),
+        (
+            "DEBS",
+            Box::new(datasets::debs_taxi(r, cardinality, DebsField::Fare, 7)),
+        ),
+    ]
+}
+
+/// Run the Figure 10 experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let (rate, cardinality, batches) = if quick {
+        (20_000.0, 2_000, 2)
+    } else {
+        (200_000.0, 50_000, 8)
+    };
+    // The paper's comparison set plus the heavy-hitter-aware D-Choices
+    // extension (shown in the supplementary full table).
+    let mut techniques: Vec<Technique> = Technique::EVALUATION_SET.to_vec();
+    techniques.push(Technique::DChoices(5));
+    let mut per_dataset: Vec<(&'static str, Vec<MetricRow>)> = Vec::new();
+    for (name, mut src) in dataset_sources(rate, cardinality) {
+        per_dataset.push((name, measure_techniques(src.as_mut(), batches, &techniques)));
+    }
+
+    let mut tables = Vec::new();
+    // 10a/10b: BSI relative to hashing, per dataset.
+    for (fig, dataset) in [("fig10a", "Tweets"), ("fig10b", "TPC-H")] {
+        tables.push(relative_table(
+            fig,
+            &format!("BSI relative to Hashing ({dataset})"),
+            &per_dataset,
+            dataset,
+            |r| r.bsi,
+            Technique::Hash,
+        ));
+    }
+    // 10c/10d: BCI relative to shuffle.
+    for (fig, dataset) in [("fig10c", "Tweets"), ("fig10d", "TPC-H")] {
+        tables.push(relative_table(
+            fig,
+            &format!("BCI relative to Shuffle ({dataset})"),
+            &per_dataset,
+            dataset,
+            |r| r.bci,
+            Technique::Shuffle,
+        ));
+    }
+    // Supplementary: full absolute metrics for every dataset.
+    let mut full = Table::new(
+        "fig10_full",
+        "Absolute partitioning metrics (all datasets)",
+        &["dataset", "technique", "BSI", "BCI", "KSR", "MPI"],
+    );
+    for (name, rows) in &per_dataset {
+        for r in rows {
+            full.row(vec![
+                name.to_string(),
+                r.technique.label(),
+                f3(r.bsi),
+                f3(r.bci),
+                f3(r.ksr),
+                f3(r.mpi),
+            ]);
+        }
+    }
+    tables.push(full);
+    tables
+}
+
+fn relative_table(
+    id: &str,
+    title: &str,
+    per_dataset: &[(&'static str, Vec<MetricRow>)],
+    dataset: &str,
+    metric: impl Fn(&MetricRow) -> f64,
+    baseline: Technique,
+) -> Table {
+    let rows = &per_dataset
+        .iter()
+        .find(|(n, _)| *n == dataset)
+        .expect("dataset measured")
+        .1;
+    let base = metric(
+        rows.iter()
+            .find(|r| r.technique == baseline)
+            .expect("baseline in set"),
+    );
+    let mut t = Table::new(id, title, &["technique", "relative", "absolute"]);
+    for r in rows {
+        t.row(vec![
+            r.technique.label(),
+            f3(metrics::relative(metric(r), base)),
+            f3(metric(r)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_for<'a>(tables: &'a [Table], id: &str) -> &'a Table {
+        tables.iter().find(|t| t.id == id).expect("table present")
+    }
+
+    fn rel_of(table: &Table, label: &str) -> f64 {
+        table
+            .rows
+            .iter()
+            .find(|r| r[0] == label)
+            .unwrap_or_else(|| panic!("{label} missing"))[1]
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig10_shapes_match_paper() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 5);
+
+        // BSI (relative to hash = 1.0): shuffle, time-based and Prompt
+        // should sit far below 1; on Tweets (skewed) Prompt ≪ hash.
+        let bsi_tweets = rows_for(&tables, "fig10a");
+        assert!(rel_of(bsi_tweets, "Shuffle") < 0.1);
+        assert!(rel_of(bsi_tweets, "Prompt") < 0.2);
+        assert!((rel_of(bsi_tweets, "Hash") - 1.0).abs() < 1e-9);
+        assert!(rel_of(bsi_tweets, "PK5") <= rel_of(bsi_tweets, "PK2") + 0.2);
+
+        // BCI (relative to shuffle = 1.0): hashing and Prompt do well.
+        let bci_tweets = rows_for(&tables, "fig10c");
+        assert!((rel_of(bci_tweets, "Shuffle") - 1.0).abs() < 1e-9);
+        assert!(rel_of(bci_tweets, "Prompt") < 1.0);
+
+        // Prompt strikes the balance: good at BOTH, unlike the baselines.
+        let bsi_prompt = rel_of(bsi_tweets, "Prompt");
+        let bci_prompt = rel_of(bci_tweets, "Prompt");
+        let bsi_hash = rel_of(bsi_tweets, "Hash"); // 1.0 by construction
+        let bci_shuffle = rel_of(bci_tweets, "Shuffle"); // 1.0
+        assert!(bsi_prompt < bsi_hash && bci_prompt < bci_shuffle);
+    }
+
+    #[test]
+    fn ksr_ordering_shuffle_worst_hash_best() {
+        let mut src = datasets::tweets(RateProfile::Constant { rate: 20_000.0 }, 2_000, 1);
+        let rows = measure(&mut src, 2);
+        let get = |t: Technique| rows.iter().find(|r| r.technique == t).unwrap().ksr;
+        assert!((get(Technique::Hash) - 1.0).abs() < 1e-9, "hash never splits");
+        assert!(get(Technique::Shuffle) > get(Technique::Pkg(5)));
+        assert!(get(Technique::Pkg(5)) >= get(Technique::Pkg(2)) * 0.99);
+        assert!(get(Technique::Prompt) < get(Technique::Shuffle) / 2.0);
+    }
+}

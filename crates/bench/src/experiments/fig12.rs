@@ -1,0 +1,188 @@
+//! Figure 12 — resource elasticity (§6, Algorithm 4):
+//!
+//! * **12a/b**: the workload (data rate *and* key cardinality) grows over
+//!   time; Prompt's auto-scaler adds tasks and throughput follows the input.
+//! * **12c/d**: the data rate falls (keys steady) — the scaler removes Map
+//!   tasks while holding Reduce tasks, showing the map/reduce mix adapting
+//!   to *which* statistic moved.
+//!
+//! Back-pressure is disabled (as in the paper) so the scaler, not the rate
+//! controller, reacts to overload.
+
+use prompt_core::partitioner::Technique;
+use prompt_core::types::Duration;
+use prompt_engine::driver::StreamingEngine;
+use prompt_engine::elasticity::ScalerConfig;
+use prompt_engine::job::{Job, ReduceOp};
+use prompt_workloads::generator::{KeyModel, StreamGenerator, ValueModel};
+use prompt_workloads::rate::RateProfile;
+
+use crate::experiments::standard_config;
+use crate::report::{f3, sparkline, Table};
+
+/// A scripted elasticity scenario.
+pub struct Scenario {
+    /// Identifier (figure panel).
+    pub id: &'static str,
+    /// Description.
+    pub title: &'static str,
+    /// Arrival-rate profile.
+    pub rate: RateProfile,
+    /// Key-cardinality model.
+    pub keys: KeyModel,
+    /// Number of 1 s batches to run.
+    pub batches: usize,
+}
+
+/// The four panels of Fig. 12.
+pub fn scenarios(quick: bool) -> Vec<Scenario> {
+    let (batches, base_rate) = if quick { (40, 20_000.0) } else { (120, 40_000.0) };
+    vec![
+        Scenario {
+            id: "fig12ab",
+            title: "Scale-out: rate and key cardinality grow",
+            rate: RateProfile::Ramp {
+                start: base_rate,
+                slope: base_rate / 30.0,
+            },
+            keys: KeyModel::Drifting {
+                base: 2_000.0,
+                per_sec: 150.0,
+                min: 1,
+                max: 1_000_000,
+            },
+            batches,
+        },
+        Scenario {
+            id: "fig12c",
+            title: "Scale-in: rate falls, keys steady",
+            rate: RateProfile::Ramp {
+                start: base_rate * 2.0,
+                slope: -base_rate / 40.0,
+            },
+            keys: KeyModel::Drifting {
+                base: 4_000.0,
+                per_sec: 0.0,
+                min: 1,
+                max: 1_000_000,
+            },
+            batches,
+        },
+        Scenario {
+            id: "fig12d",
+            title: "Mix shift: rate steady, keys grow",
+            rate: RateProfile::Constant { rate: base_rate * 1.5 },
+            keys: KeyModel::Drifting {
+                base: 1_000.0,
+                per_sec: 400.0,
+                min: 1,
+                max: 1_000_000,
+            },
+            batches,
+        },
+    ]
+}
+
+/// Execute one scenario and produce its time-series table.
+pub fn run_scenario(sc: Scenario) -> Table {
+    let mut cfg = standard_config(Duration::from_secs(1));
+    cfg.map_tasks = 4;
+    cfg.reduce_tasks = 4;
+    cfg.cluster = prompt_engine::cluster::Cluster::new(16, 4); // executor pool
+    cfg.backpressure_queue = f64::INFINITY; // paper: back-pressure disabled
+    cfg.elasticity = Some(ScalerConfig {
+        d: 3,
+        min_tasks: 1,
+        max_tasks: 64,
+        ..ScalerConfig::default()
+    });
+    let mut engine = StreamingEngine::new(
+        cfg,
+        Technique::Prompt,
+        19,
+        Job::identity("WordCount", ReduceOp::Count),
+    );
+    let mut source = StreamGenerator::new(sc.rate, sc.keys, ValueModel::Unit, 19);
+    let res = engine.run(&mut source, sc.batches);
+
+    let mut t = Table::new(
+        sc.id,
+        sc.title,
+        &["batch", "input rate", "keys", "map tasks", "reduce tasks", "W"],
+    );
+    for b in &res.batches {
+        t.row(vec![
+            b.seq.to_string(),
+            b.n_tuples.to_string(),
+            b.n_keys.to_string(),
+            b.map_tasks.to_string(),
+            b.reduce_tasks.to_string(),
+            f3(b.w),
+        ]);
+    }
+    // One-line shape summary, much easier to eyeball than the table.
+    let series = |f: &dyn Fn(&prompt_engine::driver::BatchRecord) -> f64| {
+        sparkline(&res.batches.iter().map(f).collect::<Vec<_>>())
+    };
+    println!("{}:", sc.id);
+    println!("  rate   {}", series(&|b| b.n_tuples as f64));
+    println!("  keys   {}", series(&|b| b.n_keys as f64));
+    println!("  maps   {}", series(&|b| b.map_tasks as f64));
+    println!("  reds   {}", series(&|b| b.reduce_tasks as f64));
+    println!("  W      {}", series(&|b| b.w));
+    t
+}
+
+/// Run all Fig. 12 scenarios.
+pub fn run(quick: bool) -> Vec<Table> {
+    scenarios(quick).into_iter().map(run_scenario).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(t: &Table, name: &str) -> Vec<f64> {
+        let idx = t.columns.iter().position(|c| c == name).unwrap();
+        t.rows.iter().map(|r| r[idx].parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn growing_load_adds_tasks() {
+        let t = run_scenario(scenarios(true).remove(0));
+        let maps = col(&t, "map tasks");
+        let reduces = col(&t, "reduce tasks");
+        assert!(
+            *maps.last().unwrap() > maps[0] || *reduces.last().unwrap() > reduces[0],
+            "no scale-out happened: maps {maps:?}"
+        );
+        // W should be pulled back toward the stability band by the end:
+        // never allowed to run away unbounded.
+        let w = col(&t, "W");
+        let late_w = w[w.len() - 5..].iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(late_w < 2.5, "W ran away: {late_w}");
+    }
+
+    #[test]
+    fn falling_rate_removes_map_tasks() {
+        let t = run_scenario(scenarios(true).remove(1));
+        let maps = col(&t, "map tasks");
+        assert!(
+            *maps.last().unwrap() <= maps[0],
+            "maps should not grow when rate falls: {maps:?}"
+        );
+    }
+
+    #[test]
+    fn key_growth_adds_reducers_preferentially() {
+        let t = run_scenario(scenarios(true).remove(2));
+        let maps = col(&t, "map tasks");
+        let reduces = col(&t, "reduce tasks");
+        let dm = *maps.last().unwrap() - maps[0];
+        let dr = *reduces.last().unwrap() - reduces[0];
+        assert!(
+            dr >= dm,
+            "key growth should favour reducers: Δmap {dm}, Δreduce {dr}"
+        );
+    }
+}

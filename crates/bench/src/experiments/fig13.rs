@@ -1,0 +1,185 @@
+//! Figure 13 — latency distribution: the per-batch average completion time
+//! of the Reduce tasks, over thousands of batches, under Time-based
+//! partitioning (13a) versus Prompt (13b).
+//!
+//! The paper's claim: Time-based partitioning leaves the Reduce-task
+//! completion times highly variable batch-to-batch, while Prompt compresses
+//! the spread between the latency's upper and lower bounds.
+
+use prompt_core::partitioner::Technique;
+use prompt_core::types::Duration;
+use prompt_engine::driver::StreamingEngine;
+use prompt_engine::job::{Job, ReduceOp};
+use prompt_workloads::datasets;
+use prompt_workloads::rate::RateProfile;
+
+use crate::experiments::standard_config;
+use crate::report::{f1, f3, sparkline_scaled, Table};
+
+/// Distribution summary of per-batch mean Reduce-task times.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyStats {
+    /// Mean of per-batch averages (ms).
+    pub mean_ms: f64,
+    /// Standard deviation across batches (ms).
+    pub std_ms: f64,
+    /// 5th percentile (ms).
+    pub p5_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// Maximum (ms).
+    pub max_ms: f64,
+    /// Mean within-batch spread: max − min Reduce task time (ms).
+    pub spread_ms: f64,
+}
+
+/// Run one technique and summarise its Reduce-task latency distribution.
+pub fn measure(technique: Technique, batches: usize, rate: f64, cardinality: u64) -> LatencyStats {
+    measure_with_series(technique, batches, rate, cardinality).0
+}
+
+/// [`measure`], also returning the raw per-batch average series (for the
+/// sparkline rendering of the distribution's shape over time).
+pub fn measure_with_series(
+    technique: Technique,
+    batches: usize,
+    rate: f64,
+    cardinality: u64,
+) -> (LatencyStats, Vec<f64>) {
+    let cfg = standard_config(Duration::from_secs(1));
+    let mut engine = StreamingEngine::new(
+        cfg,
+        technique,
+        23,
+        Job::identity("WordCount", ReduceOp::Count),
+    );
+    // Sinusoidal rate: intra-batch burstiness is what differentiates the
+    // time-based partitioner's per-batch behaviour.
+    let mut source = datasets::tweets(
+        RateProfile::Sinusoidal {
+            base: rate,
+            amplitude: 0.4 * rate,
+            period: Duration::from_millis(5_500),
+        },
+        cardinality,
+        23,
+    );
+    let res = engine.run(&mut source, batches);
+
+    let mut per_batch_avg: Vec<f64> = Vec::with_capacity(batches);
+    let mut spreads: Vec<f64> = Vec::with_capacity(batches);
+    for b in &res.batches {
+        if b.reduce_task_times.is_empty() {
+            continue;
+        }
+        let ms: Vec<f64> = b
+            .reduce_task_times
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .collect();
+        per_batch_avg.push(ms.iter().sum::<f64>() / ms.len() as f64);
+        let max = ms.iter().cloned().fold(f64::MIN, f64::max);
+        let min = ms.iter().cloned().fold(f64::MAX, f64::min);
+        spreads.push(max - min);
+    }
+    let summary = prompt_engine::stats::summarize(&per_batch_avg);
+    (
+        LatencyStats {
+            mean_ms: summary.mean,
+            std_ms: summary.std,
+            p5_ms: summary.p5,
+            p95_ms: summary.p95,
+            max_ms: summary.max,
+            spread_ms: spreads.iter().sum::<f64>() / spreads.len().max(1) as f64,
+        },
+        per_batch_avg,
+    )
+}
+
+/// Run the Figure 13 experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let (batches, rate, cardinality) = if quick {
+        (60, 40_000.0, 3_000)
+    } else {
+        (2_000, 60_000.0, 50_000)
+    };
+    let mut t = Table::new(
+        "fig13",
+        "Reduce-task completion-time distribution (per-batch averages)",
+        &[
+            "technique",
+            "mean ms",
+            "std ms",
+            "p5 ms",
+            "p95 ms",
+            "max ms",
+            "within-batch spread ms",
+        ],
+    );
+    let measured: Vec<(Technique, LatencyStats, Vec<f64>)> =
+        [Technique::TimeBased, Technique::Prompt]
+            .into_iter()
+            .map(|tech| {
+                let (s, series) = measure_with_series(tech, batches, rate, cardinality);
+                (tech, s, series)
+            })
+            .collect();
+    // The paper plots the per-batch averages over time (Fig. 13a/b); render
+    // the first 100 batches of each on ONE shared scale, so Prompt's tighter
+    // absolute band is visible.
+    let hi = measured
+        .iter()
+        .flat_map(|(_, _, series)| series.iter().copied())
+        .fold(0.0f64, f64::max);
+    for (tech, _, series) in &measured {
+        let window = &series[..series.len().min(100)];
+        println!("{:<11} {}", tech.label(), sparkline_scaled(window, 0.0, hi));
+    }
+    for (tech, s, _) in &measured {
+        t.row(vec![
+            tech.label(),
+            f1(s.mean_ms),
+            f3(s.std_ms),
+            f1(s.p5_ms),
+            f1(s.p95_ms),
+            f1(s.max_ms),
+            f3(s.spread_ms),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_compresses_the_latency_distribution() {
+        let time_based = measure(Technique::TimeBased, 40, 40_000.0, 3_000);
+        let prompt = measure(Technique::Prompt, 40, 40_000.0, 3_000);
+        // Batch-to-batch variability: Prompt lower.
+        assert!(
+            prompt.std_ms < time_based.std_ms,
+            "prompt std {} vs time-based {}",
+            prompt.std_ms,
+            time_based.std_ms
+        );
+        // Within-batch spread between fastest and slowest reducer: lower.
+        assert!(
+            prompt.spread_ms < time_based.spread_ms,
+            "prompt spread {} vs time-based {}",
+            prompt.spread_ms,
+            time_based.spread_ms
+        );
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let s = measure(Technique::Prompt, 30, 30_000.0, 2_000);
+        assert!(s.p5_ms <= s.mean_ms + 1e-9);
+        assert!(s.mean_ms <= s.max_ms + 1e-9);
+        assert!(s.p5_ms <= s.p95_ms);
+        assert!(s.p95_ms <= s.max_ms + 1e-9);
+    }
+
+}

@@ -1,0 +1,120 @@
+//! Table 1 — dataset properties: the paper's sizes/cardinalities side by
+//! side with what the synthetic generators actually produce (measured over
+//! a sample window).
+
+use prompt_core::hash::KeySet;
+use prompt_core::source::TupleSource;
+use prompt_core::types::{Interval, Time};
+use prompt_workloads::datasets::{self, table1_profiles, DebsField, TpchQuery};
+use prompt_workloads::rate::RateProfile;
+
+use crate::report::{f1, Table};
+
+/// Measured properties of one generator sample.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasuredDataset {
+    /// Tuples generated in the sample window.
+    pub tuples: usize,
+    /// Distinct keys observed.
+    pub distinct_keys: usize,
+    /// Estimated serialized size of the sample (MB).
+    pub approx_mb: f64,
+}
+
+/// Sample `secs` seconds of a source at `rate` and measure it.
+pub fn sample(source: &mut dyn TupleSource, secs: u64, bytes_per_record: usize) -> MeasuredDataset {
+    let mut keys = KeySet::default();
+    let mut tuples = 0usize;
+    let mut buf = Vec::new();
+    for s in 0..secs {
+        buf.clear();
+        let iv = Interval::new(Time::from_secs(s), Time::from_secs(s + 1));
+        source.fill(iv, &mut buf);
+        tuples += buf.len();
+        keys.extend(buf.iter().map(|t| t.key));
+    }
+    MeasuredDataset {
+        tuples,
+        distinct_keys: keys.len(),
+        approx_mb: (tuples * bytes_per_record) as f64 / 1e6,
+    }
+}
+
+/// Run the Table 1 reproduction.
+pub fn run(quick: bool) -> Vec<Table> {
+    let (rate, secs) = if quick { (20_000.0, 3) } else { (100_000.0, 20) };
+    let r = RateProfile::Constant { rate };
+    let mut t = Table::new(
+        "table1",
+        "Dataset properties: paper vs generated sample",
+        &[
+            "dataset",
+            "paper size (GB)",
+            "paper cardinality",
+            "sample tuples",
+            "sample keys",
+            "sample MB",
+        ],
+    );
+    for p in table1_profiles() {
+        let card = if quick {
+            p.default_cardinality.min(20_000)
+        } else {
+            p.default_cardinality
+        };
+        let mut src: Box<dyn TupleSource> = match p.name {
+            "Tweets" => Box::new(datasets::tweets(r, card, 1)),
+            "SynD" => Box::new(datasets::synd(r, card, 1.0, 1)),
+            "DEBS" => Box::new(datasets::debs_taxi(r, card, DebsField::Fare, 1)),
+            "GCM" => Box::new(datasets::gcm(r, card, 1)),
+            "TPC-H" => Box::new(datasets::tpch_lineitem(r, card, TpchQuery::Q1Quantity, 1)),
+            other => unreachable!("unknown dataset {other}"),
+        };
+        let m = sample(src.as_mut(), secs, p.bytes_per_record);
+        t.row(vec![
+            p.name.to_string(),
+            f1(p.paper_size_gb),
+            p.paper_cardinality.to_string(),
+            m.tuples.to_string(),
+            m.distinct_keys.to_string(),
+            f1(m.approx_mb),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_datasets_sampled() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 5);
+        for row in &tables[0].rows {
+            let tuples: usize = row[3].parse().unwrap();
+            let keys: usize = row[4].parse().unwrap();
+            assert!(tuples > 10_000, "{}: {tuples}", row[0]);
+            assert!(keys > 100, "{}: {keys}", row[0]);
+            assert!(keys <= tuples);
+        }
+    }
+
+    #[test]
+    fn uniform_tpch_covers_more_keys_than_zipf_tweets() {
+        let tables = run(true);
+        let keys_of = |name: &str| -> usize {
+            tables[0]
+                .rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap()[4]
+                .parse()
+                .unwrap()
+        };
+        // Same cardinality cap, same rate: the uniform TPC-H generator
+        // touches more distinct keys than the Zipfian tweet stream.
+        assert!(keys_of("TPC-H") > keys_of("Tweets"));
+    }
+}

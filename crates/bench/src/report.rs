@@ -1,0 +1,213 @@
+//! Experiment reporting: aligned console tables plus JSON rows under
+//! `results/`, which EXPERIMENTS.md references.
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A printable/serialisable experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. `fig10a`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row data (stringified values, aligned with `columns`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Start a table with owned column names (for dynamic headers).
+    pub fn new_owned(id: &str, title: &str, columns: Vec<String>) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and persist as JSON under `results/<id>.json`
+    /// (directory created on demand; IO errors are reported, not fatal).
+    pub fn emit(&self, results_dir: &Path) {
+        println!("{}", self.render());
+        if let Err(e) = fs::create_dir_all(results_dir).and_then(|_| {
+            let path = results_dir.join(format!("{}.json", self.id));
+            fs::write(path, serde_json::to_string_pretty(self).expect("serialisable"))
+        }) {
+            eprintln!("warning: could not persist results: {e}");
+        }
+    }
+}
+
+/// Render a numeric series as a one-line unicode sparkline (8 levels).
+/// Empty input renders as an empty string; a constant series renders at the
+/// mid level.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            let idx = if span <= 0.0 {
+                3
+            } else {
+                (((v - min) / span) * 7.0).round() as usize
+            };
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// [`sparkline`] over an explicit `[lo, hi]` scale, so several series can be
+/// rendered comparably. Values are clamped into the range.
+pub fn sparkline_scaled(values: &[f64], lo: f64, hi: f64) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            let idx = if span <= 0.0 {
+                3
+            } else {
+                (((v - lo) / span).clamp(0.0, 1.0) * 7.0).round() as usize
+            };
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a rate in ktuples/s.
+pub fn krate(v: f64) -> String {
+    format!("{:.1}k", v / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("t1", "demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2.5".into()]);
+        let r = t.render();
+        assert!(r.contains("t1 — demo"));
+        assert!(r.contains("long-name"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn emit_writes_json() {
+        let dir = std::env::temp_dir().join("prompt_bench_test_results");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("unit_emit", "demo", &["x"]);
+        t.row(vec!["1".into()]);
+        t.emit(&dir);
+        let written = std::fs::read_to_string(dir.join("unit_emit.json")).unwrap();
+        assert!(written.contains("\"unit_emit\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▄▄▄");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 7.0]);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        // Monotone input → non-decreasing levels.
+        let levels: Vec<char> = s.chars().collect();
+        assert!(levels.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn scaled_sparkline_shares_a_scale() {
+        let a = sparkline_scaled(&[0.0, 5.0], 0.0, 10.0);
+        let b = sparkline_scaled(&[0.0, 10.0], 0.0, 10.0);
+        assert_eq!(a, "▁▄");
+        assert_eq!(b, "▁█");
+        // Clamping out-of-range values.
+        assert_eq!(sparkline_scaled(&[-5.0, 20.0], 0.0, 10.0), "▁█");
+        assert_eq!(sparkline_scaled(&[1.0], 5.0, 5.0), "▄");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(krate(123_456.0), "123.5k");
+    }
+}

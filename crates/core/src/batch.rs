@@ -1,0 +1,333 @@
+//! Micro-batch containers: the raw arrival buffer, the sealed (key-grouped,
+//! quasi-sorted) batch that Algorithm 2 consumes, and the partitioned output
+//! (data blocks with split-key reference tables) that the Map stage consumes.
+
+use crate::hash::{KeyMap, KeySet};
+use crate::types::{Interval, Key, Tuple};
+
+/// A micro-batch as accumulated by the receiver: the tuples of one batch
+/// interval in arrival order.
+///
+/// Per-tuple partitioners (time-based, shuffle, hash, PK-d, cAM) replay this
+/// arrival sequence to make their online decisions; Prompt consumes the
+/// [`SealedBatch`] its frequency-aware accumulator builds alongside it.
+#[derive(Clone, Debug)]
+pub struct MicroBatch {
+    /// Tuples in arrival order (timestamp-sorted, paper assumption 1).
+    pub tuples: Vec<Tuple>,
+    /// The batch interval the tuples were collected over.
+    pub interval: Interval,
+}
+
+impl MicroBatch {
+    /// Wrap an arrival-ordered tuple vector.
+    pub fn new(tuples: Vec<Tuple>, interval: Interval) -> MicroBatch {
+        MicroBatch { tuples, interval }
+    }
+
+    /// Number of tuples in the batch (`N_C` in Algorithm 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the batch holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of distinct keys (`|K|` in Algorithm 1). O(n).
+    pub fn distinct_keys(&self) -> usize {
+        let mut seen = KeySet::default();
+        seen.reserve(self.tuples.len() / 4 + 16);
+        for t in &self.tuples {
+            seen.insert(t.key);
+        }
+        seen.len()
+    }
+}
+
+/// All tuples of one key within a sealed batch (`<k_i, count_i, tupleList_i>`
+/// in Algorithm 1's output).
+#[derive(Clone, Debug)]
+pub struct KeyGroup {
+    /// The shared key.
+    pub key: Key,
+    /// Exact tuple count (equals `tuples.len()`).
+    pub count: usize,
+    /// The tuples, in arrival order.
+    pub tuples: Vec<Tuple>,
+}
+
+/// The output of the batching phase for Prompt: key-grouped tuples in
+/// quasi-descending frequency order, plus batch statistics.
+///
+/// "Quasi" because the online `CountTree` trades exact ordering for bounded
+/// update cost (§4.1); [`SealedBatch::sort_exact`] restores exact order, which
+/// the post-sort ablation (Fig. 14a) uses.
+#[derive(Clone, Debug)]
+pub struct SealedBatch {
+    /// Key groups, largest (approximately) first.
+    pub groups: Vec<KeyGroup>,
+    /// Total number of tuples across all groups.
+    pub n_tuples: usize,
+    /// The batch interval.
+    pub interval: Interval,
+}
+
+impl SealedBatch {
+    /// Build a sealed batch from key groups, computing totals.
+    pub fn new(groups: Vec<KeyGroup>, interval: Interval) -> SealedBatch {
+        let n_tuples = groups.iter().map(|g| g.count).sum();
+        SealedBatch {
+            groups,
+            n_tuples,
+            interval,
+        }
+    }
+
+    /// Number of distinct keys in the batch.
+    #[inline]
+    pub fn n_keys(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Re-sort groups into exact descending count order (stable on key for
+    /// determinism).
+    pub fn sort_exact(&mut self) {
+        self.groups
+            .sort_by(|a, b| b.count.cmp(&a.count).then(a.key.0.cmp(&b.key.0)));
+    }
+
+    /// How far the quasi-sorted order deviates from exact descending order:
+    /// the number of adjacent inversions. Zero means exactly sorted.
+    pub fn adjacent_inversions(&self) -> usize {
+        self.groups
+            .windows(2)
+            .filter(|w| w[0].count < w[1].count)
+            .count()
+    }
+}
+
+/// One fragment of a key placed in a data block: `count` of the key's tuples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyFragment {
+    /// The key this fragment belongs to.
+    pub key: Key,
+    /// Number of tuples of the key in this block.
+    pub count: usize,
+}
+
+/// A data block: one partition of a micro-batch, the input of one Map task.
+#[derive(Clone, Debug, Default)]
+pub struct DataBlock {
+    /// Tuples assigned to this block.
+    pub tuples: Vec<Tuple>,
+    /// Per-key fragment summary (each key appears at most once).
+    pub fragments: Vec<KeyFragment>,
+}
+
+impl DataBlock {
+    /// `|block|`: number of tuples.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `‖block‖`: number of distinct keys.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.fragments.len()
+    }
+}
+
+/// Builder used by all partitioners to assemble a block while keeping the
+/// per-key fragment summary consistent with the tuple payload.
+#[derive(Debug)]
+pub(crate) struct BlockBuilder {
+    tuples: Vec<Tuple>,
+    counts: KeyMap<usize>,
+}
+
+impl BlockBuilder {
+    pub fn with_capacity(n: usize) -> BlockBuilder {
+        BlockBuilder {
+            tuples: Vec::with_capacity(n),
+            counts: KeyMap::default(),
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, t: Tuple) {
+        *self.counts.entry(t.key).or_insert(0) += 1;
+        self.tuples.push(t);
+    }
+
+    pub fn extend_from_slice(&mut self, key: Key, tuples: &[Tuple]) {
+        if tuples.is_empty() {
+            return;
+        }
+        *self.counts.entry(key).or_insert(0) += tuples.len();
+        self.tuples.extend_from_slice(tuples);
+    }
+
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.tuples.len()
+    }
+
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn finish(self) -> DataBlock {
+        let mut fragments: Vec<KeyFragment> = self
+            .counts
+            .into_iter()
+            .map(|(key, count)| KeyFragment { key, count })
+            .collect();
+        // Deterministic output regardless of hash-map iteration order.
+        fragments.sort_by_key(|f| f.key.0);
+        DataBlock {
+            tuples: self.tuples,
+            fragments,
+        }
+    }
+}
+
+/// The result of partitioning one micro-batch: `p` data blocks plus the
+/// reference table of split keys (§5: "each data block is equipped with a
+/// reference table \[marking\] if keys are split over other data blocks").
+#[derive(Clone, Debug)]
+pub struct PartitionPlan {
+    /// The data blocks, one per prospective Map task.
+    pub blocks: Vec<DataBlock>,
+    /// Keys whose tuples span more than one block.
+    pub split_keys: KeySet,
+}
+
+impl PartitionPlan {
+    /// Assemble a plan from blocks, deriving the split-key reference table.
+    pub fn from_blocks(blocks: Vec<DataBlock>) -> PartitionPlan {
+        let mut seen = KeyMap::default();
+        for (i, b) in blocks.iter().enumerate() {
+            for f in &b.fragments {
+                seen.entry(f.key).or_insert_with(Vec::new).push(i);
+            }
+        }
+        let split_keys: KeySet = seen
+            .into_iter()
+            .filter(|(_, blocks)| blocks.len() > 1)
+            .map(|(k, _)| k)
+            .collect();
+        PartitionPlan { blocks, split_keys }
+    }
+
+    /// Number of blocks (`p`).
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total tuples across blocks — must equal the input batch size.
+    pub fn total_tuples(&self) -> usize {
+        self.blocks.iter().map(|b| b.size()).sum()
+    }
+
+    /// Total key fragments across blocks (denominator-side of KSR, Eqn. 5).
+    pub fn total_fragments(&self) -> usize {
+        self.blocks.iter().map(|b| b.fragments.len()).sum()
+    }
+
+    /// Number of distinct keys across the whole plan.
+    pub fn total_keys(&self) -> usize {
+        let mut keys = KeySet::default();
+        for b in &self.blocks {
+            keys.extend(b.fragments.iter().map(|f| f.key));
+        }
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Time;
+
+    fn t(k: u64) -> Tuple {
+        Tuple::keyed(Time::ZERO, Key(k))
+    }
+
+    #[test]
+    fn microbatch_counts() {
+        let iv = Interval::new(Time::ZERO, Time::from_secs(1));
+        let mb = MicroBatch::new(vec![t(1), t(2), t(1)], iv);
+        assert_eq!(mb.len(), 3);
+        assert!(!mb.is_empty());
+        assert_eq!(mb.distinct_keys(), 2);
+        assert!(MicroBatch::new(vec![], iv).is_empty());
+    }
+
+    #[test]
+    fn block_builder_tracks_fragments() {
+        let mut b = BlockBuilder::with_capacity(4);
+        b.push(t(1));
+        b.push(t(2));
+        b.push(t(1));
+        b.extend_from_slice(Key(3), &[t(3), t(3)]);
+        assert_eq!(b.size(), 5);
+        let block = b.finish();
+        assert_eq!(block.size(), 5);
+        assert_eq!(block.cardinality(), 3);
+        let f1 = block.fragments.iter().find(|f| f.key == Key(1)).unwrap();
+        assert_eq!(f1.count, 2);
+        let f3 = block.fragments.iter().find(|f| f.key == Key(3)).unwrap();
+        assert_eq!(f3.count, 2);
+    }
+
+    #[test]
+    fn block_builder_ignores_empty_extend() {
+        let mut b = BlockBuilder::with_capacity(0);
+        b.extend_from_slice(Key(9), &[]);
+        let block = b.finish();
+        assert_eq!(block.cardinality(), 0);
+        assert_eq!(block.size(), 0);
+    }
+
+    #[test]
+    fn plan_derives_split_keys() {
+        let mut b1 = BlockBuilder::with_capacity(2);
+        b1.push(t(1));
+        b1.push(t(2));
+        let mut b2 = BlockBuilder::with_capacity(2);
+        b2.push(t(1));
+        b2.push(t(3));
+        let plan = PartitionPlan::from_blocks(vec![b1.finish(), b2.finish()]);
+        assert_eq!(plan.n_blocks(), 2);
+        assert_eq!(plan.total_tuples(), 4);
+        assert_eq!(plan.total_keys(), 3);
+        assert_eq!(plan.total_fragments(), 4);
+        assert!(plan.split_keys.contains(&Key(1)));
+        assert!(!plan.split_keys.contains(&Key(2)));
+        assert_eq!(plan.split_keys.len(), 1);
+    }
+
+    #[test]
+    fn sealed_batch_sorting_and_inversions() {
+        let iv = Interval::new(Time::ZERO, Time::from_secs(1));
+        let g = |k: u64, n: usize| KeyGroup {
+            key: Key(k),
+            count: n,
+            tuples: vec![t(k); n],
+        };
+        let mut sb = SealedBatch::new(vec![g(1, 3), g(2, 5), g(3, 4)], iv);
+        assert_eq!(sb.n_tuples, 12);
+        assert_eq!(sb.n_keys(), 3);
+        assert_eq!(sb.adjacent_inversions(), 1);
+        sb.sort_exact();
+        assert_eq!(sb.adjacent_inversions(), 0);
+        assert_eq!(sb.groups[0].key, Key(2));
+    }
+}

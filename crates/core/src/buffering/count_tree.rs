@@ -1,0 +1,429 @@
+//! `CountTree`: the balanced binary search tree of approximate key
+//! frequencies maintained during the batching phase (§4.1, Fig. 5).
+//!
+//! The tree is an AVL tree ordered by `(count, key)`, so an in-order
+//! traversal yields the keys sorted by (approximate) frequency. The
+//! accumulator updates a key's count by removing its `(old_count, key)` node
+//! and inserting `(new_count, key)` — two O(log K) descents, matching the
+//! paper's bound of `K·log K` total update work per batch under the budgeted
+//! update policy.
+//!
+//! Nodes live in a slab (`Vec`) with an intrusive free list, so a batch's
+//! worth of insertions performs O(distinct keys) allocations amortised across
+//! batches: `clear()` retains the slab capacity.
+
+use crate::types::Key;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    count: u64,
+    key: Key,
+    left: u32,
+    right: u32,
+    height: i32,
+}
+
+/// AVL tree over `(count, key)` pairs. Each pair appears at most once.
+///
+/// # Examples
+///
+/// ```
+/// use prompt_core::buffering::CountTree;
+/// use prompt_core::types::Key;
+///
+/// let mut tree = CountTree::new();
+/// tree.insert(3, Key(1));
+/// tree.insert(10, Key(2));
+/// // Updating a key's count = remove old pair + insert new pair.
+/// assert!(tree.remove(3, Key(1)));
+/// tree.insert(4, Key(1));
+/// // In-order traversal yields keys by descending frequency.
+/// assert_eq!(tree.traverse_desc(), vec![(Key(2), 10), (Key(1), 4)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CountTree {
+    nodes: Vec<Node>,
+    root: u32,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl CountTree {
+    /// An empty tree.
+    pub fn new() -> CountTree {
+        CountTree {
+            nodes: Vec::new(),
+            root: NIL,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of `(count, key)` entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all entries, retaining slab capacity for the next batch.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn height(&self, n: u32) -> i32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].height
+        }
+    }
+
+    #[inline]
+    fn update_height(&mut self, n: u32) {
+        let h = 1 + self
+            .height(self.nodes[n as usize].left)
+            .max(self.height(self.nodes[n as usize].right));
+        self.nodes[n as usize].height = h;
+    }
+
+    #[inline]
+    fn balance_factor(&self, n: u32) -> i32 {
+        self.height(self.nodes[n as usize].left) - self.height(self.nodes[n as usize].right)
+    }
+
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.nodes[y as usize].left;
+        let t2 = self.nodes[x as usize].right;
+        self.nodes[x as usize].right = y;
+        self.nodes[y as usize].left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.nodes[x as usize].right;
+        let t2 = self.nodes[y as usize].left;
+        self.nodes[y as usize].left = x;
+        self.nodes[x as usize].right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, n: u32) -> u32 {
+        self.update_height(n);
+        let bf = self.balance_factor(n);
+        if bf > 1 {
+            if self.balance_factor(self.nodes[n as usize].left) < 0 {
+                let l = self.nodes[n as usize].left;
+                self.nodes[n as usize].left = self.rotate_left(l);
+            }
+            self.rotate_right(n)
+        } else if bf < -1 {
+            if self.balance_factor(self.nodes[n as usize].right) > 0 {
+                let r = self.nodes[n as usize].right;
+                self.nodes[n as usize].right = self.rotate_right(r);
+            }
+            self.rotate_left(n)
+        } else {
+            n
+        }
+    }
+
+    fn alloc(&mut self, count: u64, key: Key) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Node {
+                count,
+                key,
+                left: NIL,
+                right: NIL,
+                height: 1,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                count,
+                key,
+                left: NIL,
+                right: NIL,
+                height: 1,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn cmp_node(&self, n: u32, count: u64, key: Key) -> std::cmp::Ordering {
+        let node = &self.nodes[n as usize];
+        (count, key.0).cmp(&(node.count, node.key.0))
+    }
+
+    /// Insert `(count, key)`. Returns `false` (and leaves the tree unchanged)
+    /// if the pair was already present.
+    pub fn insert(&mut self, count: u64, key: Key) -> bool {
+        let before = self.len;
+        self.root = self.insert_at(self.root, count, key);
+        self.len != before
+    }
+
+    fn insert_at(&mut self, n: u32, count: u64, key: Key) -> u32 {
+        if n == NIL {
+            self.len += 1;
+            return self.alloc(count, key);
+        }
+        use std::cmp::Ordering::*;
+        match self.cmp_node(n, count, key) {
+            Less => {
+                let l = self.insert_at(self.nodes[n as usize].left, count, key);
+                self.nodes[n as usize].left = l;
+            }
+            Greater => {
+                let r = self.insert_at(self.nodes[n as usize].right, count, key);
+                self.nodes[n as usize].right = r;
+            }
+            Equal => return n, // duplicate: no-op
+        }
+        self.rebalance(n)
+    }
+
+    /// Remove `(count, key)`. Returns `true` if the pair was present.
+    pub fn remove(&mut self, count: u64, key: Key) -> bool {
+        let before = self.len;
+        self.root = self.remove_at(self.root, count, key);
+        self.len != before
+    }
+
+    fn remove_at(&mut self, n: u32, count: u64, key: Key) -> u32 {
+        if n == NIL {
+            return NIL;
+        }
+        use std::cmp::Ordering::*;
+        match self.cmp_node(n, count, key) {
+            Less => {
+                let l = self.remove_at(self.nodes[n as usize].left, count, key);
+                self.nodes[n as usize].left = l;
+            }
+            Greater => {
+                let r = self.remove_at(self.nodes[n as usize].right, count, key);
+                self.nodes[n as usize].right = r;
+            }
+            Equal => {
+                self.len -= 1;
+                let (left, right) = {
+                    let node = &self.nodes[n as usize];
+                    (node.left, node.right)
+                };
+                if left == NIL || right == NIL {
+                    let child = if left != NIL { left } else { right };
+                    self.free.push(n);
+                    return child;
+                }
+                // Two children: replace payload with in-order successor's,
+                // then remove the successor node from the right subtree.
+                let mut succ = right;
+                while self.nodes[succ as usize].left != NIL {
+                    succ = self.nodes[succ as usize].left;
+                }
+                let (sc, sk) = {
+                    let s = &self.nodes[succ as usize];
+                    (s.count, s.key)
+                };
+                self.nodes[n as usize].count = sc;
+                self.nodes[n as usize].key = sk;
+                self.len += 1; // the recursive removal below decrements again
+                let r = self.remove_at(right, sc, sk);
+                self.nodes[n as usize].right = r;
+            }
+        }
+        self.rebalance(n)
+    }
+
+    /// In-order traversal in **descending** `(count, key)` order — the
+    /// quasi-sorted key list handed to the partitioning algorithm at the
+    /// heartbeat.
+    pub fn traverse_desc(&self) -> Vec<(Key, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        // Iterative traversal (right, node, left) to avoid recursion depth
+        // limits for large key counts.
+        let mut stack: Vec<u32> = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur as usize].right;
+            }
+            let n = stack.pop().expect("stack non-empty");
+            let node = &self.nodes[n as usize];
+            out.push((node.key, node.count));
+            cur = node.left;
+        }
+        out
+    }
+
+    /// The largest count in the tree, if any.
+    pub fn max_count(&self) -> Option<u64> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut cur = self.root;
+        while self.nodes[cur as usize].right != NIL {
+            cur = self.nodes[cur as usize].right;
+        }
+        Some(self.nodes[cur as usize].count)
+    }
+
+    /// Validate AVL invariants (test/debug helper): returns the number of
+    /// reachable nodes, panicking on order or balance violations.
+    pub fn validate(&self) -> usize {
+        fn walk(
+            tree: &CountTree,
+            n: u32,
+            lo: Option<(u64, u64)>,
+            hi: Option<(u64, u64)>,
+        ) -> (usize, i32) {
+            if n == NIL {
+                return (0, 0);
+            }
+            let node = &tree.nodes[n as usize];
+            let me = (node.count, node.key.0);
+            if let Some(lo) = lo {
+                assert!(me > lo, "BST order violated: {me:?} <= {lo:?}");
+            }
+            if let Some(hi) = hi {
+                assert!(me < hi, "BST order violated: {me:?} >= {hi:?}");
+            }
+            let (nl, hl) = walk(tree, node.left, lo, Some(me));
+            let (nr, hr) = walk(tree, node.right, Some(me), hi);
+            assert!(
+                (hl - hr).abs() <= 1,
+                "AVL balance violated at {me:?}: {hl} vs {hr}"
+            );
+            let h = 1 + hl.max(hr);
+            assert_eq!(node.height, h, "stale height at {me:?}");
+            (nl + nr + 1, h)
+        }
+        let (n, _) = walk(self, self.root, None, None);
+        assert_eq!(n, self.len, "len out of sync");
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut t = CountTree::new();
+        assert!(t.is_empty());
+        assert!(t.insert(5, Key(1)));
+        assert!(t.insert(3, Key(2)));
+        assert!(t.insert(7, Key(3)));
+        assert!(!t.insert(5, Key(1)), "duplicate insert must be a no-op");
+        assert_eq!(t.len(), 3);
+        t.validate();
+        assert!(t.remove(3, Key(2)));
+        assert!(!t.remove(3, Key(2)));
+        assert_eq!(t.len(), 2);
+        t.validate();
+    }
+
+    #[test]
+    fn traversal_is_descending() {
+        let mut t = CountTree::new();
+        for (c, k) in [(10u64, 1u64), (3, 2), (7, 3), (7, 4), (1, 5), (100, 6)] {
+            t.insert(c, Key(k));
+        }
+        let order = t.traverse_desc();
+        let counts: Vec<u64> = order.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![100, 10, 7, 7, 3, 1]);
+        // Ties broken by key, descending.
+        assert_eq!(order[2].0, Key(4));
+        assert_eq!(order[3].0, Key(3));
+        assert_eq!(t.max_count(), Some(100));
+    }
+
+    #[test]
+    fn update_pattern_remove_then_insert() {
+        let mut t = CountTree::new();
+        t.insert(1, Key(42));
+        assert!(t.remove(1, Key(42)));
+        assert!(t.insert(2, Key(42)));
+        assert_eq!(t.traverse_desc(), vec![(Key(42), 2)]);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets() {
+        let mut t = CountTree::new();
+        for k in 0..100 {
+            t.insert(k, Key(k));
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.max_count(), None);
+        assert!(t.traverse_desc().is_empty());
+        t.insert(1, Key(1));
+        assert_eq!(t.len(), 1);
+        t.validate();
+    }
+
+    #[test]
+    fn randomized_against_btreeset() {
+        use std::collections::BTreeSet;
+        // Simple deterministic LCG so the test needs no rand dependency here.
+        let mut state = 0x853c49e6748fea9bu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut tree = CountTree::new();
+        let mut model: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for _ in 0..5000 {
+            let count = next() % 50;
+            let key = next() % 40;
+            if next() % 3 == 0 {
+                assert_eq!(tree.remove(count, Key(key)), model.remove(&(count, key)));
+            } else {
+                assert_eq!(tree.insert(count, Key(key)), model.insert((count, key)));
+            }
+        }
+        tree.validate();
+        let got = tree.traverse_desc();
+        let want: Vec<(Key, u64)> = model.iter().rev().map(|&(c, k)| (Key(k), c)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn slab_reuse_after_removals() {
+        let mut t = CountTree::new();
+        for k in 0..1000u64 {
+            t.insert(k, Key(k));
+        }
+        let slab_high_water = t.nodes.len();
+        for k in 0..1000u64 {
+            t.remove(k, Key(k));
+        }
+        for k in 0..1000u64 {
+            t.insert(k + 1, Key(k));
+        }
+        assert_eq!(
+            t.nodes.len(),
+            slab_high_water,
+            "slab should be reused, not regrown"
+        );
+        t.validate();
+    }
+}

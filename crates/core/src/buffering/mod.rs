@@ -1,0 +1,506 @@
+//! Frequency-aware micro-batch buffering (§4.1, Algorithm 1).
+//!
+//! While tuples of a batch interval arrive, the accumulator maintains:
+//!
+//! * an `HTable` mapping each key to its tuple list plus per-key update
+//!   statistics (current frequency, frequency last reflected in the tree,
+//!   remaining update budget, frequency step, time step), and
+//! * a [`CountTree`] — a balanced BST of approximate key frequencies.
+//!
+//! Updating the tree for *every* tuple would thrash it with rebalancing, so
+//! each key is granted a per-batch `budget` of tree updates, triggered either
+//! by a frequency step (`f.step` new tuples of the key) or a time step
+//! (`t.step` elapsed since the key's last update, so rare keys still get
+//! refreshed). At the heartbeat, an in-order traversal yields the keys in
+//! quasi-descending frequency order with no explicit sorting step.
+
+mod count_tree;
+
+pub use count_tree::CountTree;
+
+use crate::batch::{KeyGroup, SealedBatch};
+use crate::hash::KeyMap;
+use crate::types::{Duration, Interval, Key, Time, Tuple};
+
+/// Tuning parameters for Algorithm 1.
+#[derive(Clone, Copy, Debug)]
+pub struct AccumulatorConfig {
+    /// Maximum `CountTree` updates allowed per key per batch ("budget").
+    pub budget: u32,
+    /// `N_Est`: estimated tuples per batch (from recent data rate × interval).
+    pub est_tuples: f64,
+    /// `K_Avg`: average distinct keys over recent batches.
+    pub avg_keys: f64,
+}
+
+impl Default for AccumulatorConfig {
+    fn default() -> Self {
+        AccumulatorConfig {
+            budget: 8,
+            est_tuples: 100_000.0,
+            avg_keys: 1_000.0,
+        }
+    }
+}
+
+impl AccumulatorConfig {
+    /// The initial frequency step `f = N_Est / (K_Avg · budget)`: the best
+    /// step assuming a uniform key distribution (§4.1).
+    pub fn initial_f_step(&self) -> u64 {
+        let f = self.est_tuples / (self.avg_keys.max(1.0) * self.budget.max(1) as f64);
+        (f.round() as u64).max(1)
+    }
+}
+
+/// Per-key bookkeeping stored in the `HTable`.
+#[derive(Clone, Debug)]
+struct KeyEntry {
+    tuples: Vec<Tuple>,
+    /// `k.Freq_Current`: exact frequency so far.
+    freq_current: u64,
+    /// `k.Freq_Updated`: frequency currently recorded in the `CountTree`.
+    freq_in_tree: u64,
+    /// Remaining tree-update budget for this batch.
+    budget_left: u32,
+    /// `k.f_step`: tuples of this key between tree updates.
+    f_step: u64,
+    /// `k.t_step`: elapsed time between tree updates.
+    t_step: Duration,
+    /// Time of the key's last tree update (or first arrival).
+    last_update: Time,
+}
+
+/// Summary statistics of one accumulated batch, consumed by the elasticity
+/// controller (Algorithm 4 reads data rate and key-cardinality trends).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BatchStats {
+    /// `N_C`: tuples received in the batch.
+    pub n_tuples: u64,
+    /// `|K|`: distinct keys received in the batch.
+    pub n_keys: u64,
+    /// How many `CountTree` update operations were performed (diagnostics;
+    /// bounded by `n_keys × budget`).
+    pub tree_updates: u64,
+}
+
+/// The common interface of batching-phase accumulators, so the engine can
+/// swap the frequency-aware implementation for the post-sort ablation.
+pub trait BatchAccumulator {
+    /// Ingest one tuple; `t.ts` is used as the receiver-local clock.
+    fn ingest(&mut self, t: Tuple);
+
+    /// Seal the batch: emit the (quasi-)sorted key groups and reset internal
+    /// state for the next interval.
+    fn seal(&mut self, next_interval: Interval) -> SealedBatch;
+
+    /// Statistics of the batch accumulated so far.
+    fn stats(&self) -> BatchStats;
+}
+
+/// Algorithm 1: the frequency-aware micro-batch accumulator.
+#[derive(Debug)]
+pub struct FrequencyAwareAccumulator {
+    cfg: AccumulatorConfig,
+    interval: Interval,
+    htable: KeyMap<KeyEntry>,
+    tree: CountTree,
+    n_tuples: u64,
+    tree_updates: u64,
+}
+
+impl FrequencyAwareAccumulator {
+    /// Create an accumulator for the given batch interval.
+    pub fn new(cfg: AccumulatorConfig, interval: Interval) -> FrequencyAwareAccumulator {
+        FrequencyAwareAccumulator {
+            cfg,
+            interval,
+            htable: KeyMap::default(),
+            tree: CountTree::new(),
+            n_tuples: 0,
+            tree_updates: 0,
+        }
+    }
+
+    /// Update the estimates used for the initial frequency step (the engine
+    /// feeds these from the previous batches' observed rate/cardinality).
+    pub fn set_estimates(&mut self, est_tuples: f64, avg_keys: f64) {
+        self.cfg.est_tuples = est_tuples;
+        self.cfg.avg_keys = avg_keys;
+    }
+
+    /// The batch interval currently being accumulated.
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    /// Direct read-only access to the count tree (tests, diagnostics).
+    pub fn tree(&self) -> &CountTree {
+        &self.tree
+    }
+
+    fn update_tree(&mut self, key: Key, old: u64, new: u64) {
+        if old != new {
+            if old > 0 {
+                let removed = self.tree.remove(old, key);
+                debug_assert!(removed, "stale tree count for {key:?}");
+            }
+            self.tree.insert(new, key);
+            self.tree_updates += 1;
+        }
+    }
+}
+
+impl BatchAccumulator for FrequencyAwareAccumulator {
+    fn ingest(&mut self, t: Tuple) {
+        let now = t.ts;
+        self.n_tuples += 1;
+        let n_c = self.n_tuples;
+        let cfg = self.cfg;
+        let t_end = self.interval.end;
+
+        if let Some(entry) = self.htable.get_mut(&t.key) {
+            entry.tuples.push(t);
+            entry.freq_current += 1;
+            let delta_freq = entry.freq_current - entry.freq_in_tree;
+            let delta_time = now.since(entry.last_update);
+
+            if entry.budget_left > 0 && delta_freq >= entry.f_step {
+                // Frequency-triggered update.
+                let (old, new) = (entry.freq_in_tree, entry.freq_current);
+                entry.budget_left -= 1;
+                entry.freq_in_tree = new;
+                entry.last_update = now;
+                // f.step = (N_EST / budget) · Freq_Current / N_C  (Alg. 1 l.13)
+                let step = (cfg.est_tuples / cfg.budget.max(1) as f64) * (new as f64 / n_c as f64);
+                entry.f_step = (step.round() as u64).max(1);
+                let key = t.key;
+                self.update_tree(key, old, new);
+            } else if entry.budget_left > 0 && delta_time >= entry.t_step {
+                // Time-triggered update keeps low-frequency keys fresh.
+                let (old, new) = (entry.freq_in_tree, entry.freq_current);
+                entry.budget_left -= 1;
+                entry.freq_in_tree = new;
+                entry.last_update = now;
+                // t.step = (t_end − now) / k.budget  (Alg. 1 l.19)
+                let remaining = t_end.since(now);
+                entry.t_step = Duration(remaining.0 / entry.budget_left.max(1) as u64);
+                let key = t.key;
+                self.update_tree(key, old, new);
+            }
+            // Otherwise the key is not yet eligible for an update (Alg. 1 l.21).
+        } else {
+            // First sighting: insert into HTable and CountTree (Alg. 1 l.25-30).
+            let remaining = t_end.since(now);
+            let entry = KeyEntry {
+                tuples: vec![t],
+                freq_current: 1,
+                freq_in_tree: 1,
+                budget_left: cfg.budget,
+                f_step: cfg.initial_f_step(),
+                t_step: Duration(remaining.0 / cfg.budget.max(1) as u64),
+                last_update: now,
+            };
+            self.htable.insert(t.key, entry);
+            self.tree.insert(1, t.key);
+        }
+    }
+
+    fn seal(&mut self, next_interval: Interval) -> SealedBatch {
+        // The traversal yields keys in quasi-descending frequency order; the
+        // emitted groups carry the *exact* counts from the HTable.
+        let order = self.tree.traverse_desc();
+        let mut groups = Vec::with_capacity(order.len());
+        for (key, _approx_count) in order {
+            let entry = self
+                .htable
+                .remove(&key)
+                .expect("tree key missing from HTable");
+            groups.push(KeyGroup {
+                key,
+                count: entry.tuples.len(),
+                tuples: entry.tuples,
+            });
+        }
+        debug_assert!(self.htable.is_empty(), "HTable keys missing from tree");
+        let sealed = SealedBatch::new(groups, self.interval);
+        debug_assert_eq!(sealed.n_tuples as u64, self.n_tuples);
+
+        // Reset for the next interval (HTable and CountTree are cleared at
+        // every heartbeat, §4.1).
+        self.htable.clear();
+        self.tree.clear();
+        self.n_tuples = 0;
+        self.tree_updates = 0;
+        self.interval = next_interval;
+        sealed
+    }
+
+    fn stats(&self) -> BatchStats {
+        BatchStats {
+            n_tuples: self.n_tuples,
+            n_keys: self.htable.len() as u64,
+            tree_updates: self.tree_updates,
+        }
+    }
+}
+
+/// The post-sort ablation (Fig. 14a): buffer tuples in a plain hash table and
+/// sort the key groups *after* the heartbeat. Produces exactly sorted output
+/// but pays the full sorting cost inside the processing window.
+#[derive(Debug, Default)]
+pub struct PostSortAccumulator {
+    interval: Interval,
+    htable: KeyMap<Vec<Tuple>>,
+    n_tuples: u64,
+}
+
+impl PostSortAccumulator {
+    /// Create an accumulator for the given batch interval.
+    pub fn new(interval: Interval) -> PostSortAccumulator {
+        PostSortAccumulator {
+            interval,
+            htable: KeyMap::default(),
+            n_tuples: 0,
+        }
+    }
+}
+
+impl BatchAccumulator for PostSortAccumulator {
+    fn ingest(&mut self, t: Tuple) {
+        self.n_tuples += 1;
+        self.htable.entry(t.key).or_default().push(t);
+    }
+
+    fn seal(&mut self, next_interval: Interval) -> SealedBatch {
+        let mut groups: Vec<KeyGroup> = self
+            .htable
+            .drain()
+            .map(|(key, tuples)| KeyGroup {
+                key,
+                count: tuples.len(),
+                tuples,
+            })
+            .collect();
+        groups.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.0.cmp(&b.key.0)));
+        let sealed = SealedBatch::new(groups, self.interval);
+        self.n_tuples = 0;
+        self.interval = next_interval;
+        sealed
+    }
+
+    fn stats(&self) -> BatchStats {
+        BatchStats {
+            n_tuples: self.n_tuples,
+            n_keys: self.htable.len() as u64,
+            tree_updates: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval_secs(a: u64, b: u64) -> Interval {
+        Interval::new(Time::from_secs(a), Time::from_secs(b))
+    }
+
+    /// Feed `spec` = [(key, count)] with tuples interleaved round-robin and
+    /// timestamps spread over the interval.
+    fn feed<A: BatchAccumulator>(acc: &mut A, spec: &[(u64, usize)], iv: Interval) {
+        let total: usize = spec.iter().map(|&(_, c)| c).sum();
+        let mut remaining: Vec<(u64, usize)> = spec.to_vec();
+        let step = iv.len().0 / (total as u64 + 1);
+        let mut ts = iv.start;
+        let mut emitted = 0;
+        while emitted < total {
+            for r in remaining.iter_mut() {
+                if r.1 > 0 {
+                    r.1 -= 1;
+                    ts = ts + Duration(step);
+                    acc.ingest(Tuple::keyed(ts, Key(r.0)));
+                    emitted += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_counts_survive_approximation() {
+        let iv = interval_secs(0, 1);
+        let mut acc = FrequencyAwareAccumulator::new(
+            AccumulatorConfig {
+                budget: 3,
+                est_tuples: 100.0,
+                avg_keys: 4.0,
+            },
+            iv,
+        );
+        let spec = [(1u64, 50usize), (2, 30), (3, 15), (4, 5)];
+        feed(&mut acc, &spec, iv);
+        assert_eq!(acc.stats().n_tuples, 100);
+        assert_eq!(acc.stats().n_keys, 4);
+        let sealed = acc.seal(interval_secs(1, 2));
+        assert_eq!(sealed.n_tuples, 100);
+        assert_eq!(sealed.n_keys(), 4);
+        // Exact counts regardless of tree staleness.
+        for &(k, c) in &spec {
+            let g = sealed.groups.iter().find(|g| g.key == Key(k)).unwrap();
+            assert_eq!(g.count, c, "exact count for key {k}");
+            assert_eq!(g.tuples.len(), c);
+        }
+    }
+
+    #[test]
+    fn quasi_sorted_output_is_nearly_descending() {
+        let iv = interval_secs(0, 2);
+        let mut acc = FrequencyAwareAccumulator::new(
+            AccumulatorConfig {
+                budget: 6,
+                est_tuples: 385.0,
+                avg_keys: 8.0,
+            },
+            iv,
+        );
+        // The paper's Fig. 5 example: 385 tuples over 8 keys.
+        let spec = [
+            (1u64, 120usize),
+            (2, 90),
+            (3, 60),
+            (4, 45),
+            (5, 30),
+            (6, 20),
+            (7, 12),
+            (8, 8),
+        ];
+        feed(&mut acc, &spec, iv);
+        let sealed = acc.seal(interval_secs(2, 4));
+        // With a reasonable budget the order should be close to exact: allow
+        // at most 2 adjacent inversions on this strongly skewed input.
+        assert!(
+            sealed.adjacent_inversions() <= 2,
+            "too many inversions: {} (order: {:?})",
+            sealed.adjacent_inversions(),
+            sealed
+                .groups
+                .iter()
+                .map(|g| (g.key, g.count))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn budget_bounds_tree_updates() {
+        let iv = interval_secs(0, 1);
+        let budget = 4u32;
+        let mut acc = FrequencyAwareAccumulator::new(
+            AccumulatorConfig {
+                budget,
+                est_tuples: 10_000.0,
+                avg_keys: 10.0,
+            },
+            iv,
+        );
+        feed(&mut acc, &[(1, 5000), (2, 3000), (3, 2000)], iv);
+        let updates = acc.stats().tree_updates;
+        assert!(
+            updates <= 3 * budget as u64,
+            "updates {updates} exceed budget bound"
+        );
+        let sealed = acc.seal(interval_secs(1, 2));
+        assert_eq!(sealed.n_tuples, 10_000);
+    }
+
+    #[test]
+    fn seal_resets_for_next_batch() {
+        let iv = interval_secs(0, 1);
+        let mut acc = FrequencyAwareAccumulator::new(AccumulatorConfig::default(), iv);
+        feed(&mut acc, &[(1, 10), (2, 5)], iv);
+        let first = acc.seal(interval_secs(1, 2));
+        assert_eq!(first.n_tuples, 15);
+        assert_eq!(acc.stats(), BatchStats::default());
+        assert_eq!(acc.interval(), interval_secs(1, 2));
+        // Second batch starts clean.
+        feed(&mut acc, &[(7, 3)], interval_secs(1, 2));
+        let second = acc.seal(interval_secs(2, 3));
+        assert_eq!(second.n_tuples, 3);
+        assert_eq!(second.groups[0].key, Key(7));
+    }
+
+    #[test]
+    fn time_step_refreshes_slow_keys() {
+        // A key that arrives steadily but slowly should still get tree
+        // updates via t.step even though f.step is never reached.
+        let iv = interval_secs(0, 10);
+        let mut acc = FrequencyAwareAccumulator::new(
+            AccumulatorConfig {
+                budget: 5,
+                est_tuples: 1_000_000.0, // huge f.step
+                avg_keys: 1.0,
+            },
+            iv,
+        );
+        for i in 0..50u64 {
+            let ts = Time::from_millis(i * 200); // spread over 10 s
+            acc.ingest(Tuple::keyed(ts, Key(1)));
+        }
+        assert!(
+            acc.stats().tree_updates >= 2,
+            "time-triggered updates expected, got {}",
+            acc.stats().tree_updates
+        );
+        let sealed = acc.seal(interval_secs(10, 20));
+        assert_eq!(sealed.groups[0].count, 50);
+    }
+
+    #[test]
+    fn post_sort_is_exactly_sorted() {
+        let iv = interval_secs(0, 1);
+        let mut acc = PostSortAccumulator::new(iv);
+        feed(&mut acc, &[(1, 3), (2, 9), (3, 6)], iv);
+        assert_eq!(acc.stats().n_tuples, 18);
+        assert_eq!(acc.stats().n_keys, 3);
+        let sealed = acc.seal(interval_secs(1, 2));
+        assert_eq!(sealed.adjacent_inversions(), 0);
+        let keys: Vec<Key> = sealed.groups.iter().map(|g| g.key).collect();
+        assert_eq!(keys, vec![Key(2), Key(3), Key(1)]);
+        assert_eq!(acc.stats().n_tuples, 0, "seal resets");
+    }
+
+    #[test]
+    fn matching_totals_between_accumulators() {
+        let iv = interval_secs(0, 1);
+        let spec = [(1u64, 40usize), (2, 25), (3, 20), (4, 10), (5, 5)];
+        let mut fa = FrequencyAwareAccumulator::new(AccumulatorConfig::default(), iv);
+        let mut ps = PostSortAccumulator::new(iv);
+        feed(&mut fa, &spec, iv);
+        feed(&mut ps, &spec, iv);
+        let a = fa.seal(interval_secs(1, 2));
+        let b = ps.seal(interval_secs(1, 2));
+        assert_eq!(a.n_tuples, b.n_tuples);
+        assert_eq!(a.n_keys(), b.n_keys());
+        // Same multiset of (key, count).
+        let mut ka: Vec<(u64, usize)> = a.groups.iter().map(|g| (g.key.0, g.count)).collect();
+        let mut kb: Vec<(u64, usize)> = b.groups.iter().map(|g| (g.key.0, g.count)).collect();
+        ka.sort_unstable();
+        kb.sort_unstable();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn initial_f_step_formula() {
+        let cfg = AccumulatorConfig {
+            budget: 10,
+            est_tuples: 1000.0,
+            avg_keys: 10.0,
+        };
+        // f = 1000 / (10 · 10) = 10
+        assert_eq!(cfg.initial_f_step(), 10);
+        let tiny = AccumulatorConfig {
+            budget: 100,
+            est_tuples: 10.0,
+            avg_keys: 50.0,
+        };
+        assert_eq!(tiny.initial_f_step(), 1, "step is floored at 1");
+    }
+}

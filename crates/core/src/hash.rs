@@ -1,0 +1,210 @@
+//! Deterministic, seedable hashing used by all key-based partitioners.
+//!
+//! The hash-based techniques in the paper (Hash/Key-Grouping §2.2.3,
+//! PK-d §2.2.4, cAM, and the split-key routing of Algorithm 3) rely on a
+//! family of independent hash functions over keys. We implement a small,
+//! fast multiply-xor mixer (SplitMix64 finalizer) rather than pulling in an
+//! external hashing crate: determinism across platforms and runs matters more
+//! here than HashDoS resistance, and the mixer's avalanche behaviour is well
+//! understood.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::types::Key;
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a key under a given seed. Different seeds yield (empirically)
+/// independent hash functions, which is all PK-d and cAM require.
+#[inline]
+pub fn hash_key(seed: u64, key: Key) -> u64 {
+    mix64(key.0 ^ mix64(seed))
+}
+
+/// Map a key to one of `n` buckets under `seed`.
+///
+/// Uses the Lemire multiply-shift reduction, which is unbiased enough for
+/// partitioning purposes and avoids the modulo's bias toward low buckets for
+/// non-power-of-two `n`.
+#[inline]
+pub fn bucket_of(seed: u64, key: Key, n: usize) -> usize {
+    debug_assert!(n > 0, "bucket_of needs at least one bucket");
+    ((hash_key(seed, key) as u128 * n as u128) >> 64) as usize
+}
+
+/// A family of `d` independent hash functions, as used by partial key
+/// grouping (PK-d): each key has `d` candidate buckets.
+#[derive(Clone, Debug)]
+pub struct HashFamily {
+    seeds: Vec<u64>,
+}
+
+impl HashFamily {
+    /// Build a family of `d` functions derived from `base_seed`.
+    pub fn new(base_seed: u64, d: usize) -> HashFamily {
+        assert!(d > 0, "hash family must contain at least one function");
+        HashFamily {
+            seeds: (0..d as u64).map(|i| mix64(base_seed ^ mix64(i))).collect(),
+        }
+    }
+
+    /// Number of functions in the family.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether the family is empty (it never is; kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// The `i`-th candidate bucket for `key` among `n` buckets.
+    #[inline]
+    pub fn candidate(&self, i: usize, key: Key, n: usize) -> usize {
+        bucket_of(self.seeds[i], key, n)
+    }
+
+    /// Iterate over all candidate buckets of `key` among `n` buckets.
+    /// Candidates may collide for small `n`; callers that need distinct
+    /// candidates must dedup.
+    pub fn candidates<'a>(
+        &'a self,
+        key: Key,
+        n: usize,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.seeds.iter().map(move |&s| bucket_of(s, key, n))
+    }
+}
+
+/// A fast `Hasher` for `u64`-like keys, in the spirit of `rustc-hash`.
+///
+/// Used as the default hasher for the key-indexed hash maps throughout the
+/// workspace (`KeyMap`, `KeySet`), per the perf guidance for short integer
+/// keys.
+#[derive(Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Rarely used for our integer keys; fold bytes in 8 at a time.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.state = mix64(self.state ^ u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = mix64(self.state ^ v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed by [`Key`] with the fast deterministic hasher.
+pub type KeyMap<V> = std::collections::HashMap<Key, V, FastBuildHasher>;
+
+/// A `HashSet` of [`Key`]s with the fast deterministic hasher.
+pub type KeySet = std::collections::HashSet<Key, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_avalanches() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = mix64(0x1234_5678);
+        let b = mix64(0x1234_5679);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "weak avalanche: {flipped}");
+    }
+
+    #[test]
+    fn bucket_of_is_in_range_and_deterministic() {
+        for n in [1usize, 2, 3, 7, 32, 1000] {
+            for k in 0..200u64 {
+                let b = bucket_of(42, Key(k), n);
+                assert!(b < n);
+                assert_eq!(b, bucket_of(42, Key(k), n));
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_of_spreads_keys_roughly_evenly() {
+        let n = 16;
+        let mut counts = vec![0usize; n];
+        for k in 0..16_000u64 {
+            counts[bucket_of(7, Key(k), n)] += 1;
+        }
+        let expected = 1000.0;
+        for &c in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "bucket count {c} deviates too far");
+        }
+    }
+
+    #[test]
+    fn family_functions_are_distinct() {
+        let fam = HashFamily::new(99, 5);
+        assert_eq!(fam.len(), 5);
+        assert!(!fam.is_empty());
+        // Two functions should disagree on most keys.
+        let disagreements = (0..1000u64)
+            .filter(|&k| fam.candidate(0, Key(k), 64) != fam.candidate(1, Key(k), 64))
+            .count();
+        assert!(disagreements > 900, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn family_candidates_iterates_all() {
+        let fam = HashFamily::new(1, 3);
+        let c: Vec<usize> = fam.candidates(Key(5), 10).collect();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], fam.candidate(0, Key(5), 10));
+        assert_eq!(c[2], fam.candidate(2, Key(5), 10));
+    }
+
+    #[test]
+    fn keymap_works_with_fast_hasher() {
+        let mut m: KeyMap<u32> = KeyMap::default();
+        for k in 0..100 {
+            m.insert(Key(k), k as u32 * 2);
+        }
+        assert_eq!(m[&Key(50)], 100);
+        let mut s: KeySet = KeySet::default();
+        s.insert(Key(1));
+        assert!(s.contains(&Key(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn empty_family_rejected() {
+        let _ = HashFamily::new(0, 0);
+    }
+}

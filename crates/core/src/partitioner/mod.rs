@@ -1,0 +1,221 @@
+//! Batching-phase data partitioners: Prompt (Algorithm 2) and every baseline
+//! the paper compares against (§2.2, §7).
+//!
+//! All partitioners implement [`Partitioner`]: given the micro-batch of one
+//! interval (tuples in arrival order), produce `p` data blocks. Per-tuple
+//! techniques (time-based, shuffle, hash, PK-d, cAM) replay the arrival
+//! sequence and decide block placement online, exactly as they would in a
+//! tuple-at-a-time engine; Prompt runs its frequency-aware accumulator over
+//! the arrivals and partitions the sealed batch at the heartbeat.
+
+mod cam;
+mod dchoices;
+mod hash_part;
+mod pkg;
+mod prompt;
+mod shuffle;
+mod time_based;
+
+pub use cam::CamPartitioner;
+pub use dchoices::DChoicesPartitioner;
+pub use hash_part::HashPartitioner;
+pub use pkg::PkgPartitioner;
+pub use prompt::{BufferingMode, PromptPartitioner};
+pub use shuffle::ShufflePartitioner;
+pub use time_based::TimeBasedPartitioner;
+
+use crate::batch::{MicroBatch, PartitionPlan};
+
+/// A batching-phase partitioner: splits one micro-batch into `p` data blocks.
+pub trait Partitioner: Send {
+    /// Human-readable technique name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Partition the batch into exactly `p` blocks. Implementations must
+    /// conserve tuples: the plan's total size equals `batch.len()`.
+    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan;
+}
+
+/// The partitioning techniques evaluated in the paper, as a value type the
+/// experiment harness can enumerate and construct from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Technique {
+    /// Spark Streaming's default: block = arrival-time slot (§2.2.1).
+    TimeBased,
+    /// Round-robin over arrival order (§2.2.2).
+    Shuffle,
+    /// Key grouping by hashing (§2.2.3).
+    Hash,
+    /// Partial key grouping with `d` candidate blocks per key (PK-2/PK-5).
+    Pkg(usize),
+    /// Cardinality-aware mixing (cAM, Katsipoulakis et al.) with `d`
+    /// candidates.
+    Cam(usize),
+    /// Heavy-hitter-aware d-choices (Nasir et al. ICDE'16): only detected
+    /// heavy hitters get `d` candidate blocks; the tail is hashed.
+    DChoices(usize),
+    /// Prompt with the frequency-aware online accumulator (Algorithms 1+2).
+    Prompt,
+    /// Prompt ablation: exact post-heartbeat sort instead of Algorithm 1.
+    PromptPostSort,
+}
+
+impl Technique {
+    /// The full comparison set used throughout the evaluation section.
+    pub const EVALUATION_SET: [Technique; 7] = [
+        Technique::TimeBased,
+        Technique::Shuffle,
+        Technique::Hash,
+        Technique::Pkg(2),
+        Technique::Pkg(5),
+        Technique::Cam(4),
+        Technique::Prompt,
+    ];
+
+    /// Technique label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            Technique::TimeBased => "Time-based".into(),
+            Technique::Shuffle => "Shuffle".into(),
+            Technique::Hash => "Hash".into(),
+            Technique::Pkg(d) => format!("PK{d}"),
+            Technique::Cam(d) => format!("cAM({d})"),
+            Technique::DChoices(d) => format!("D-Choices({d})"),
+            Technique::Prompt => "Prompt".into(),
+            Technique::PromptPostSort => "Prompt(post-sort)".into(),
+        }
+    }
+
+    /// Instantiate the partitioner with a deterministic seed.
+    pub fn build(&self, seed: u64) -> Box<dyn Partitioner> {
+        match *self {
+            Technique::TimeBased => Box::new(TimeBasedPartitioner::new()),
+            Technique::Shuffle => Box::new(ShufflePartitioner::new()),
+            Technique::Hash => Box::new(HashPartitioner::new(seed)),
+            Technique::Pkg(d) => Box::new(PkgPartitioner::new(seed, d)),
+            Technique::Cam(d) => Box::new(CamPartitioner::new(seed, d)),
+            Technique::DChoices(d) => Box::new(DChoicesPartitioner::new(seed, d)),
+            Technique::Prompt => {
+                Box::new(PromptPartitioner::new(BufferingMode::FrequencyAware))
+            }
+            Technique::PromptPostSort => {
+                Box::new(PromptPartitioner::new(BufferingMode::PostSort))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for the partitioner test modules.
+
+    use crate::batch::{MicroBatch, PartitionPlan};
+    use crate::types::{Interval, Key, Time, Tuple};
+
+    /// Build a batch with the given per-key counts, tuples interleaved
+    /// round-robin across keys and timestamps spread uniformly over `[0, 1s)`.
+    pub fn skewed_batch(spec: &[(u64, usize)]) -> MicroBatch {
+        let total: usize = spec.iter().map(|&(_, c)| c).sum();
+        let iv = Interval::new(Time::ZERO, Time::from_secs(1));
+        let step = iv.len().0 / (total.max(1) as u64 + 1);
+        let mut remaining: Vec<(u64, usize)> = spec.to_vec();
+        let mut tuples = Vec::with_capacity(total);
+        let mut ts = 0u64;
+        while tuples.len() < total {
+            for r in remaining.iter_mut() {
+                if r.1 > 0 {
+                    r.1 -= 1;
+                    ts += step;
+                    tuples.push(Tuple::keyed(Time::from_micros(ts), Key(r.0)));
+                }
+            }
+        }
+        MicroBatch::new(tuples, iv)
+    }
+
+    /// A Zipf-ish batch: key `i` (1-based) gets `ceil(heaviest / i)` tuples.
+    pub fn zipfish_batch(keys: usize, heaviest: usize) -> MicroBatch {
+        let spec: Vec<(u64, usize)> = (1..=keys as u64)
+            .map(|i| (i, (heaviest as f64 / i as f64).ceil() as usize))
+            .collect();
+        skewed_batch(&spec)
+    }
+
+    /// Assert the universal partitioner invariants: tuple conservation and
+    /// per-block fragment consistency.
+    pub fn assert_plan_valid(batch: &MicroBatch, plan: &PartitionPlan, p: usize) {
+        assert_eq!(plan.n_blocks(), p, "wrong block count");
+        assert_eq!(plan.total_tuples(), batch.len(), "tuples not conserved");
+        for b in &plan.blocks {
+            let from_fragments: usize = b.fragments.iter().map(|f| f.count).sum();
+            assert_eq!(from_fragments, b.size(), "fragment summary inconsistent");
+        }
+        // Per-key totals must match the input.
+        use crate::hash::KeyMap;
+        let mut want: KeyMap<usize> = KeyMap::default();
+        for t in &batch.tuples {
+            *want.entry(t.key).or_insert(0) += 1;
+        }
+        let mut got: KeyMap<usize> = KeyMap::default();
+        for b in &plan.blocks {
+            for f in &b.fragments {
+                *got.entry(f.key).or_insert(0) += f.count;
+            }
+        }
+        assert_eq!(got.len(), want.len(), "key set mismatch");
+        for (k, w) in &want {
+            assert_eq!(got.get(k), Some(w), "count mismatch for {k:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn every_technique_produces_valid_plans() {
+        let batch = zipfish_batch(40, 200);
+        for tech in Technique::EVALUATION_SET {
+            let mut part = tech.build(7);
+            for p in [1usize, 2, 4, 8] {
+                let plan = part.partition(&batch, p);
+                assert_plan_valid(&batch, &plan, p);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<String> = Technique::EVALUATION_SET
+            .iter()
+            .map(|t| t.label())
+            .collect();
+        labels.push(Technique::PromptPostSort.label());
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_blocks() {
+        let batch = skewed_batch(&[]);
+        for tech in Technique::EVALUATION_SET {
+            let mut part = tech.build(1);
+            let plan = part.partition(&batch, 4);
+            assert_eq!(plan.n_blocks(), 4, "{}", part.name());
+            assert_eq!(plan.total_tuples(), 0);
+        }
+    }
+
+    #[test]
+    fn names_match_labels_for_fixed_variants() {
+        assert_eq!(Technique::Prompt.build(0).name(), "Prompt");
+        assert_eq!(Technique::Shuffle.build(0).name(), "Shuffle");
+        assert_eq!(Technique::Pkg(2).label(), "PK2");
+        assert_eq!(Technique::Pkg(5).label(), "PK5");
+        assert_eq!(Technique::Cam(4).label(), "cAM(4)");
+    }
+}

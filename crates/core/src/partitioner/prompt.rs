@@ -1,0 +1,453 @@
+//! The Prompt micro-batch partitioner (§4.2, Algorithm 2).
+//!
+//! The batch-partitioning problem is a *Balanced Bin Packing with
+//! Fragmentable Items* instance (Definition 1): keys are items sized by their
+//! tuple counts, blocks are equal-capacity bins, and the plan must balance
+//! sizes, balance cardinalities, and minimise key fragmentation. B-BPFI is
+//! NP-complete (Theorem 1); Algorithm 2 is the paper's millisecond-scale
+//! heuristic over the quasi-sorted key list produced by Algorithm 1:
+//!
+//! 1. **Heavy-key splitting** — any key with more tuples than
+//!    `S_cut = P_size / P_card` contributes one `S_cut`-sized fragment to the
+//!    next block (cycling), and parks its residual in `RList`; the block that
+//!    received the first fragment is remembered (`lookupLargePos`).
+//! 2. **Zigzag assignment** — remaining keys are dealt one per block, with
+//!    the block order reversed after each pass. On a (quasi-)sorted key list
+//!    this emulates Best-Fit-Decreasing without maintaining block sizes.
+//! 3. **Residual placement** — each parked residual first tries the block
+//!    that holds its sibling fragment (key locality); overflow goes to the
+//!    block with the *least* remaining capacity that can hold it (Best-Fit),
+//!    fragmenting further only when unavoidable.
+
+use crate::batch::{BlockBuilder, MicroBatch, PartitionPlan, SealedBatch};
+use crate::buffering::{AccumulatorConfig, BatchAccumulator, FrequencyAwareAccumulator, PostSortAccumulator};
+use crate::hash::KeyMap;
+use crate::partitioner::Partitioner;
+use crate::types::{Key, Tuple};
+
+/// How the partitioner obtains the sorted key list when driven through the
+/// arrival-ordered [`Partitioner`] interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufferingMode {
+    /// Algorithm 1: online quasi-sorting during the batching phase.
+    FrequencyAware,
+    /// Ablation (Fig. 14a): exact sort after the heartbeat.
+    PostSort,
+}
+
+/// The Prompt batch partitioner.
+#[derive(Debug, Clone)]
+pub struct PromptPartitioner {
+    mode: BufferingMode,
+    acc_cfg: AccumulatorConfig,
+}
+
+impl PromptPartitioner {
+    /// Construct with the default accumulator configuration.
+    pub fn new(mode: BufferingMode) -> PromptPartitioner {
+        PromptPartitioner {
+            mode,
+            acc_cfg: AccumulatorConfig::default(),
+        }
+    }
+
+    /// Construct with an explicit Algorithm 1 configuration.
+    pub fn with_accumulator_config(
+        mode: BufferingMode,
+        acc_cfg: AccumulatorConfig,
+    ) -> PromptPartitioner {
+        PromptPartitioner { mode, acc_cfg }
+    }
+
+    /// The buffering mode in use.
+    pub fn mode(&self) -> BufferingMode {
+        self.mode
+    }
+
+    /// Default residual-phase capacity tolerance (fraction of `P_size`),
+    /// see DESIGN.md §4b.
+    pub const DEFAULT_TOLERANCE: f64 = 1.0 / 64.0;
+
+    /// Algorithm 2 proper: partition an already-sealed (quasi-sorted) batch
+    /// into `p` blocks. This is the API the engine calls at the heartbeat.
+    pub fn partition_sealed(batch: &SealedBatch, p: usize) -> PartitionPlan {
+        Self::partition_sealed_with(batch, p, Self::DEFAULT_TOLERANCE)
+    }
+
+    /// [`Self::partition_sealed`] with an explicit residual capacity
+    /// tolerance (fraction of `P_size` the residual phase may overfill a
+    /// block by). `0.0` reproduces the paper's literal Best-Fit capacity;
+    /// larger values trade bounded size imbalance for cardinality balance.
+    /// Exposed for the ablation benches.
+    pub fn partition_sealed_with(batch: &SealedBatch, p: usize, tolerance: f64) -> PartitionPlan {
+        assert!(p > 0, "need at least one block");
+        assert!((0.0..=1.0).contains(&tolerance), "tolerance is a fraction");
+        let n = batch.n_tuples;
+        let k = batch.n_keys();
+        let mut builders: Vec<BlockBuilder> = (0..p)
+            .map(|_| BlockBuilder::with_capacity(n / p + 1))
+            .collect();
+        if n == 0 {
+            return PartitionPlan::from_blocks(
+                builders.into_iter().map(BlockBuilder::finish).collect(),
+            );
+        }
+
+        // Partition-Size, Partition-Cardinality, Key-Split-CutOff (Alg. 2
+        // lines 1–3). Ceilings keep total capacity ≥ total size (Eqn. 13).
+        let p_size = n.div_ceil(p);
+        let p_card = (k / p).max(1);
+        let s_cut = (p_size / p_card).max(1);
+
+        // Phase 1: fragment the high-frequency keys (lines 5–9).
+        let mut residuals: Vec<(Key, &[Tuple])> = Vec::new();
+        let mut lookup_large_pos: KeyMap<usize> = KeyMap::default();
+        let mut normal: Vec<&crate::batch::KeyGroup> = Vec::with_capacity(k);
+        let mut bi = 0usize;
+        for g in &batch.groups {
+            if g.count > s_cut {
+                builders[bi].extend_from_slice(g.key, &g.tuples[..s_cut]);
+                lookup_large_pos.insert(g.key, bi);
+                residuals.push((g.key, &g.tuples[s_cut..]));
+                bi = (bi + 1) % p;
+            } else {
+                normal.push(g);
+            }
+        }
+
+        // Phase 2: zigzag the remaining keys (lines 10–16). The key list is
+        // (quasi-)sorted descending, so dealing one key per block and
+        // reversing the block order each pass approximates
+        // Best-Fit-Decreasing without tracking block sizes. The rotation
+        // continues from phase 1's cursor (`b_i` is shared across the two
+        // phases in Alg. 2) so the heavy fragments and the first zigzag
+        // pass interleave instead of stacking on the low-index blocks.
+        let offset = bi;
+        for (i, g) in normal.iter().enumerate() {
+            let pass = i / p;
+            let pos = i % p;
+            let idx = if pass.is_multiple_of(2) { pos } else { p - 1 - pos };
+            builders[(offset + idx) % p].extend_from_slice(g.key, &g.tuples);
+        }
+
+        // Phase 3: place the residuals of the fragmented keys (lines 17–25).
+        // The placement capacity carries a small (~1.5%) tolerance above
+        // P_size: without it, the last open blocks absorb the whole tail of
+        // small residuals and their cardinality balloons. The tolerance
+        // bounds the extra size imbalance by itself while letting the tail
+        // spread over all blocks — BSI stays ~0 relative to hashing and BCI
+        // stays at shuffle level, the trade Fig. 10 reports.
+        let cap_limit = p_size + (p_size as f64 * tolerance) as usize + 1;
+        let capacity =
+            |builders: &[BlockBuilder], b: usize| cap_limit.saturating_sub(builders[b].size());
+        for (key, rest) in residuals {
+            let mut remaining = rest;
+            // Key-locality first: the block already holding this key's
+            // S_cut fragment.
+            let home = lookup_large_pos[&key];
+            let cap = capacity(&builders, home);
+            if remaining.len() <= cap {
+                builders[home].extend_from_slice(key, remaining);
+                continue;
+            }
+            if cap > 0 {
+                builders[home].extend_from_slice(key, &remaining[..cap]);
+                remaining = &remaining[cap..];
+            }
+            // Place the rest in a block that can hold it whole. Among those,
+            // prefer the block with the fewest distinct keys (cardinality
+            // balance — objective 2), breaking ties Best-Fit style by lowest
+            // remaining capacity. A literal Best-Fit-only rule (Alg. 2
+            // line 23) stacks the many small residuals a Zipf batch produces
+            // into whichever block happens to be fullest, wrecking BCI; the
+            // capacity bound already enforces size balance, so cardinality
+            // is the right discriminator here (§3.2, cost model Eqn. 6).
+            while !remaining.is_empty() {
+                let fit = (0..p)
+                    .filter(|&b| capacity(&builders, b) >= remaining.len())
+                    .min_by_key(|&b| (builders[b].cardinality(), capacity(&builders, b), b));
+                if let Some(b) = fit {
+                    builders[b].extend_from_slice(key, remaining);
+                    break;
+                }
+                // No single block fits the residual: pour into the block
+                // with the most remaining capacity to minimise the number
+                // of extra fragments.
+                let (b, cap) = (0..p)
+                    .map(|b| (b, capacity(&builders, b)))
+                    .max_by_key(|&(b, c)| (c, usize::MAX - b))
+                    .expect("p > 0");
+                if cap == 0 {
+                    // All blocks at capacity (rounding slack exhausted):
+                    // overflow into the globally least-loaded block.
+                    let b = (0..p)
+                        .min_by_key(|&b| (builders[b].size(), b))
+                        .expect("p > 0");
+                    builders[b].extend_from_slice(key, remaining);
+                    break;
+                }
+                let take = cap.min(remaining.len());
+                builders[b].extend_from_slice(key, &remaining[..take]);
+                remaining = &remaining[take..];
+            }
+        }
+
+        PartitionPlan::from_blocks(builders.into_iter().map(BlockBuilder::finish).collect())
+    }
+}
+
+impl Partitioner for PromptPartitioner {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            BufferingMode::FrequencyAware => "Prompt",
+            BufferingMode::PostSort => "Prompt(post-sort)",
+        }
+    }
+
+    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
+        // Replay the arrivals through the configured accumulator, then run
+        // Algorithm 2 on the sealed batch.
+        let sealed = match self.mode {
+            BufferingMode::FrequencyAware => {
+                let mut cfg = self.acc_cfg;
+                // Seed the estimates from the actual batch when the caller
+                // didn't provide history — the engine overrides these with
+                // rolling statistics.
+                cfg.est_tuples = batch.len().max(1) as f64;
+                cfg.avg_keys = cfg.avg_keys.max(1.0);
+                let mut acc = FrequencyAwareAccumulator::new(cfg, batch.interval);
+                for &t in &batch.tuples {
+                    acc.ingest(t);
+                }
+                acc.seal(batch.interval)
+            }
+            BufferingMode::PostSort => {
+                let mut acc = PostSortAccumulator::new(batch.interval);
+                for &t in &batch.tuples {
+                    acc.ingest(t);
+                }
+                acc.seal(batch.interval)
+            }
+        };
+        Self::partition_sealed(&sealed, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::KeyGroup;
+    use crate::metrics;
+    use crate::partitioner::test_support::*;
+    use crate::types::{Interval, Time};
+
+    fn sealed(spec: &[(u64, usize)]) -> SealedBatch {
+        let iv = Interval::new(Time::ZERO, Time::from_secs(1));
+        let mut groups: Vec<KeyGroup> = spec
+            .iter()
+            .map(|&(k, c)| KeyGroup {
+                key: Key(k),
+                count: c,
+                tuples: vec![Tuple::keyed(Time::ZERO, Key(k)); c],
+            })
+            .collect();
+        groups.sort_by_key(|g| std::cmp::Reverse(g.count));
+        SealedBatch::new(groups, iv)
+    }
+
+    #[test]
+    fn paper_figure5_example_balances_all_three_objectives() {
+        // Fig. 5: 385 tuples, 8 keys. Counts chosen to match the paper's
+        // shape: a few heavy keys, several light ones, 4 blocks.
+        let batch = sealed(&[
+            (1, 140),
+            (2, 90),
+            (3, 45),
+            (4, 40),
+            (5, 30),
+            (6, 20),
+            (7, 12),
+            (8, 8),
+        ]);
+        let plan = PromptPartitioner::partition_sealed(&batch, 4);
+        assert_eq!(plan.total_tuples(), 385);
+        // Near-equal block sizes: the BSI (max − avg) stays within the
+        // residual-phase capacity tolerance of a few tuples.
+        let sizes: Vec<usize> = plan.blocks.iter().map(|b| b.size()).collect();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(max - avg <= 4.0, "sizes should be near-equal: {sizes:?}");
+        // Few fragmented keys (the paper's Fig. 6c fragments 2 of 8).
+        assert!(
+            plan.split_keys.len() <= 3,
+            "too many split keys: {:?}",
+            plan.split_keys
+        );
+        // Cardinality spread stays small.
+        assert!(metrics::bci(&plan) <= 2.0, "BCI = {}", metrics::bci(&plan));
+    }
+
+    #[test]
+    fn block_sizes_within_one_of_ceiling_on_divisible_input() {
+        let batch = sealed(&[(1, 100), (2, 100), (3, 100), (4, 100)]);
+        let plan = PromptPartitioner::partition_sealed(&batch, 4);
+        let sizes: Vec<usize> = plan.blocks.iter().map(|b| b.size()).collect();
+        for &s in &sizes {
+            assert_eq!(s, 100, "uniform keys should map 1:1: {sizes:?}");
+        }
+        assert!(plan.split_keys.is_empty());
+    }
+
+    #[test]
+    fn single_giant_key_splits_across_all_blocks() {
+        let batch = sealed(&[(1, 1000)]);
+        let plan = PromptPartitioner::partition_sealed(&batch, 4);
+        let sizes: Vec<usize> = plan.blocks.iter().map(|b| b.size()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 250, "giant key should spread: {sizes:?}");
+        assert!(plan.split_keys.contains(&Key(1)));
+        assert_eq!(plan.total_tuples(), 1000);
+    }
+
+    #[test]
+    fn zigzag_balances_without_size_tracking() {
+        // S_cut = P_size / P_card = N/K = the mean count, so a pure-zigzag
+        // batch needs no above-average key. Eight equal keys over two
+        // blocks: the snake draft deals four keys to each, perfectly
+        // balanced with no splits and no size bookkeeping.
+        let batch = sealed(&[
+            (1, 45),
+            (2, 45),
+            (3, 45),
+            (4, 45),
+            (5, 45),
+            (6, 45),
+            (7, 45),
+            (8, 45),
+        ]);
+        let plan = PromptPartitioner::partition_sealed(&batch, 2);
+        let sizes: Vec<usize> = plan.blocks.iter().map(|b| b.size()).collect();
+        assert_eq!(sizes, vec![180, 180]);
+        assert!(plan.split_keys.is_empty());
+        assert_eq!(metrics::bci(&plan), 0.0);
+    }
+
+    #[test]
+    fn above_average_keys_are_fragmented_at_s_cut() {
+        // S_cut = N/K: any above-average key enters phase 1. Here the mean
+        // count is 45, so keys 1 (80) and 2 (70) must be fragmented and the
+        // below-average keys must stay whole.
+        let batch = sealed(&[
+            (1, 80),
+            (2, 70),
+            (3, 45),
+            (4, 45),
+            (5, 40),
+            (6, 40),
+            (7, 25),
+            (8, 15),
+        ]);
+        let plan = PromptPartitioner::partition_sealed(&batch, 2);
+        assert_eq!(plan.total_tuples(), 360);
+        for k in 3..=8u64 {
+            assert!(
+                !plan.split_keys.contains(&Key(k)),
+                "below-average key {k} must not split"
+            );
+        }
+        let sizes: Vec<usize> = plan.blocks.iter().map(|b| b.size()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        // Spread bounded by the residual capacity tolerance.
+        assert!(max - min <= 8, "sizes {sizes:?} should be near-equal");
+    }
+
+    #[test]
+    fn more_blocks_than_keys() {
+        let batch = sealed(&[(1, 30), (2, 20)]);
+        let plan = PromptPartitioner::partition_sealed(&batch, 8);
+        assert_eq!(plan.n_blocks(), 8);
+        assert_eq!(plan.total_tuples(), 50);
+        // Heavy keys (both exceed S_cut) get spread.
+        let nonempty = plan.blocks.iter().filter(|b| b.size() > 0).count();
+        assert!(nonempty >= 6, "should use most blocks, used {nonempty}");
+    }
+
+    #[test]
+    fn beats_hash_on_bsi_and_shuffle_on_ksr() {
+        let batch = zipfish_batch(100, 1000);
+        let mut prompt = PromptPartitioner::new(BufferingMode::PostSort);
+        let prompt_plan = prompt.partition(&batch, 8);
+        assert_plan_valid(&batch, &prompt_plan, 8);
+        let hash_plan = crate::partitioner::HashPartitioner::new(7).partition(&batch, 8);
+        let shuffle_plan = crate::partitioner::ShufflePartitioner::new().partition(&batch, 8);
+        assert!(
+            metrics::bsi(&prompt_plan) < metrics::bsi(&hash_plan) / 2.0,
+            "Prompt BSI {} vs hash {}",
+            metrics::bsi(&prompt_plan),
+            metrics::bsi(&hash_plan)
+        );
+        assert!(
+            metrics::ksr(&prompt_plan) < metrics::ksr(&shuffle_plan) / 2.0,
+            "Prompt KSR {} vs shuffle {}",
+            metrics::ksr(&prompt_plan),
+            metrics::ksr(&shuffle_plan)
+        );
+    }
+
+    #[test]
+    fn frequency_aware_mode_close_to_post_sort_quality() {
+        let batch = zipfish_batch(200, 2000);
+        let fa = PromptPartitioner::new(BufferingMode::FrequencyAware).partition(&batch, 8);
+        let ps = PromptPartitioner::new(BufferingMode::PostSort).partition(&batch, 8);
+        assert_plan_valid(&batch, &fa, 8);
+        let m_fa = metrics::PlanMetrics::of(&fa);
+        let m_ps = metrics::PlanMetrics::of(&ps);
+        assert!(
+            m_fa.mpi <= m_ps.mpi * 1.5 + 0.1,
+            "quasi-sorted quality too far off: {m_fa:?} vs {m_ps:?}"
+        );
+    }
+
+    #[test]
+    fn residuals_prefer_home_block() {
+        // One heavy key (count 120 > S_cut) and light keys. After phase 1
+        // the heavy key's home block holds S_cut of it; the residual should
+        // return there if capacity allows.
+        let batch = sealed(&[(1, 60), (2, 10), (3, 10), (4, 10), (5, 10)]);
+        let plan = PromptPartitioner::partition_sealed(&batch, 2);
+        // Key 1 should occupy few blocks.
+        let blocks_with_k1 = plan
+            .blocks
+            .iter()
+            .filter(|b| b.fragments.iter().any(|f| f.key == Key(1)))
+            .count();
+        assert!(blocks_with_k1 <= 2);
+        assert_eq!(plan.total_tuples(), 100);
+    }
+
+    #[test]
+    fn empty_sealed_batch() {
+        let batch = sealed(&[]);
+        let plan = PromptPartitioner::partition_sealed(&batch, 3);
+        assert_eq!(plan.n_blocks(), 3);
+        assert_eq!(plan.total_tuples(), 0);
+    }
+
+    #[test]
+    fn p_equals_one_puts_everything_in_one_block() {
+        let batch = sealed(&[(1, 10), (2, 20)]);
+        let plan = PromptPartitioner::partition_sealed(&batch, 1);
+        assert_eq!(plan.blocks[0].size(), 30);
+        assert!(plan.split_keys.is_empty());
+    }
+
+    #[test]
+    fn mode_accessor() {
+        assert_eq!(
+            PromptPartitioner::new(BufferingMode::PostSort).mode(),
+            BufferingMode::PostSort
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! Streaming frequency sketches.
+//!
+//! Tuple-at-a-time partitioners cannot afford exact per-batch statistics;
+//! they detect skewed keys with approximate heavy-hitter sketches
+//! (§2.2.4: the key-split partitioner keeps "statistics on the data
+//! distribution to detect the skewed keys in order to split them"; Gedik's
+//! partitioning functions use lossy counting, §9). This module provides the
+//! two standard algorithms:
+//!
+//! * [`SpaceSaving`] (Metwally et al.) — `k` counters, O(1) amortised
+//!   update, overestimates by at most `N/k`.
+//! * [`LossyCounting`] (Manku & Motwani) — ε-deficient counts with
+//!   `O(1/ε · log(εN))` space.
+//!
+//! Prompt itself does **not** need these — the micro-batch model affords
+//! exact statistics via Algorithm 1 (that is the paper's point) — but the
+//! heavy-hitter-aware baseline (`DChoicesPartitioner`) does, and the
+//! benches use them to quantify the exact-vs-approximate gap.
+
+use crate::hash::KeyMap;
+use crate::types::Key;
+
+/// SpaceSaving heavy-hitter sketch with `k` counters.
+///
+/// Guarantees: every key with true frequency `> N/k` is tracked, and each
+/// reported count overestimates the true count by at most the sketch's
+/// minimum counter (itself ≤ `N/k`).
+///
+/// # Examples
+///
+/// ```
+/// use prompt_core::sketch::SpaceSaving;
+/// use prompt_core::types::Key;
+///
+/// let mut sketch = SpaceSaving::new(8);
+/// for _ in 0..90 { sketch.observe(Key(1)); }
+/// for k in 2..=10 { sketch.observe(Key(k)); }
+/// assert!(sketch.is_heavy(Key(1), 0.5));
+/// assert_eq!(sketch.heavy_hitters(0.5)[0].0, Key(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// counter per tracked key: (count, overestimation).
+    counters: KeyMap<(u64, u64)>,
+    /// count-ordered mirror of `counters`, so the eviction victim (the
+    /// minimum counter) is found in O(log k) instead of a full scan —
+    /// eviction fires on almost every tail tuple of a skewed stream, so a
+    /// linear scan would make `observe` O(k) amortised.
+    by_count: std::collections::BTreeSet<(u64, Key)>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// A sketch with `k ≥ 1` counters.
+    pub fn new(k: usize) -> SpaceSaving {
+        assert!(k >= 1, "need at least one counter");
+        SpaceSaving {
+            capacity: k,
+            counters: KeyMap::default(),
+            by_count: std::collections::BTreeSet::new(),
+            total: 0,
+        }
+    }
+
+    /// Observe one occurrence of `key`. O(log k).
+    pub fn observe(&mut self, key: Key) {
+        self.total += 1;
+        if let Some(c) = self.counters.get_mut(&key) {
+            let old = c.0;
+            c.0 += 1;
+            let removed = self.by_count.remove(&(old, key));
+            debug_assert!(removed, "count index out of sync");
+            self.by_count.insert((old + 1, key));
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, (1, 0));
+            self.by_count.insert((1, key));
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as the
+        // overestimation bound.
+        let &(min_count, victim) = self.by_count.iter().next().expect("capacity ≥ 1");
+        self.by_count.remove(&(min_count, victim));
+        self.counters.remove(&victim);
+        self.counters.insert(key, (min_count + 1, min_count));
+        self.by_count.insert((min_count + 1, key));
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated count of `key` (upper bound), or 0 if untracked.
+    pub fn estimate(&self, key: Key) -> u64 {
+        self.counters.get(&key).map_or(0, |&(c, _)| c)
+    }
+
+    /// Guaranteed lower bound on `key`'s count (estimate − overestimation).
+    pub fn lower_bound(&self, key: Key) -> u64 {
+        self.counters.get(&key).map_or(0, |&(c, e)| c - e)
+    }
+
+    /// Keys whose estimated frequency exceeds `phi · total`, with their
+    /// estimates, sorted descending.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(Key, u64)> {
+        assert!((0.0..=1.0).contains(&phi), "phi must be a fraction");
+        let threshold = (phi * self.total as f64) as u64;
+        let mut out: Vec<(Key, u64)> = self
+            .counters
+            .iter()
+            .filter(|&(_, &(c, _))| c > threshold)
+            .map(|(&k, &(c, _))| (k, c))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        out
+    }
+
+    /// Whether `key` is currently tracked with estimate above `phi · total`.
+    pub fn is_heavy(&self, key: Key, phi: f64) -> bool {
+        let threshold = (phi * self.total as f64) as u64;
+        self.estimate(key) > threshold
+    }
+
+    /// Reset for the next batch, keeping capacity.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.by_count.clear();
+        self.total = 0;
+    }
+}
+
+/// Lossy Counting with error bound ε.
+#[derive(Clone, Debug)]
+pub struct LossyCounting {
+    epsilon: f64,
+    bucket_width: u64,
+    current_bucket: u64,
+    /// key → (count, bucket at insertion − 1)
+    entries: KeyMap<(u64, u64)>,
+    total: u64,
+}
+
+impl LossyCounting {
+    /// A sketch with error bound `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> LossyCounting {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0, 1)");
+        LossyCounting {
+            epsilon,
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            current_bucket: 1,
+            entries: KeyMap::default(),
+            total: 0,
+        }
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn observe(&mut self, key: Key) {
+        self.total += 1;
+        self.entries
+            .entry(key)
+            .and_modify(|e| e.0 += 1)
+            .or_insert((1, self.current_bucket - 1));
+        if self.total.is_multiple_of(self.bucket_width) {
+            // Prune entries that cannot be frequent.
+            let b = self.current_bucket;
+            self.entries.retain(|_, &mut (count, delta)| count + delta > b);
+            self.current_bucket += 1;
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated count of `key` (within `ε·N` below the true count).
+    pub fn estimate(&self, key: Key) -> u64 {
+        self.entries.get(&key).map_or(0, |&(c, _)| c)
+    }
+
+    /// Keys with estimated frequency at least `(phi − ε) · total`, sorted
+    /// descending — the standard lossy-counting query guaranteeing no
+    /// false negatives above `phi · total`.
+    pub fn frequent(&self, phi: f64) -> Vec<(Key, u64)> {
+        assert!(phi > self.epsilon, "phi must exceed epsilon");
+        let threshold = ((phi - self.epsilon) * self.total as f64) as u64;
+        let mut out: Vec<(Key, u64)> = self
+            .entries
+            .iter()
+            .filter(|&(_, &(c, _))| c >= threshold.max(1))
+            .map(|(&k, &(c, _))| (k, c))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        out
+    }
+
+    /// Current number of tracked entries (space usage).
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Reset for the next batch.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.total = 0;
+        self.current_bucket = 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic skewed stream: key `i` appears `counts[i]` times,
+    /// round-robin interleaved.
+    fn skewed_stream(counts: &[u64]) -> Vec<Key> {
+        let mut remaining = counts.to_vec();
+        let mut out = Vec::new();
+        loop {
+            let mut emitted = false;
+            for (i, r) in remaining.iter_mut().enumerate() {
+                if *r > 0 {
+                    *r -= 1;
+                    out.push(Key(i as u64));
+                    emitted = true;
+                }
+            }
+            if !emitted {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn space_saving_exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(16);
+        for key in skewed_stream(&[10, 5, 3]) {
+            ss.observe(key);
+        }
+        assert_eq!(ss.estimate(Key(0)), 10);
+        assert_eq!(ss.estimate(Key(1)), 5);
+        assert_eq!(ss.estimate(Key(2)), 3);
+        assert_eq!(ss.lower_bound(Key(0)), 10);
+        assert_eq!(ss.total(), 18);
+    }
+
+    #[test]
+    fn space_saving_never_underestimates_heavy_keys() {
+        // 4 counters over a stream where key 0 holds half the mass.
+        let counts: Vec<u64> = std::iter::once(500u64)
+            .chain(std::iter::repeat_n(5, 100))
+            .collect();
+        let mut ss = SpaceSaving::new(4);
+        for key in skewed_stream(&counts) {
+            ss.observe(key);
+        }
+        // Guarantee: estimate ≥ true count for tracked keys.
+        assert!(ss.estimate(Key(0)) >= 500, "estimate {}", ss.estimate(Key(0)));
+        // Overestimation bounded by N/k.
+        let slack = ss.total() / 4;
+        assert!(ss.estimate(Key(0)) <= 500 + slack);
+        // Key 0 is a heavy hitter at phi = 0.3.
+        let hh = ss.heavy_hitters(0.3);
+        assert_eq!(hh[0].0, Key(0));
+        assert!(ss.is_heavy(Key(0), 0.3));
+        assert!(!ss.is_heavy(Key(99), 0.3));
+    }
+
+    #[test]
+    fn space_saving_clear_resets() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe(Key(1));
+        ss.clear();
+        assert_eq!(ss.total(), 0);
+        assert_eq!(ss.estimate(Key(1)), 0);
+        assert!(ss.heavy_hitters(0.1).is_empty());
+    }
+
+    #[test]
+    fn lossy_counting_tracks_frequent_keys() {
+        let counts: Vec<u64> = std::iter::once(400u64)
+            .chain(std::iter::once(300))
+            .chain(std::iter::repeat_n(2, 200))
+            .collect();
+        let mut lc = LossyCounting::new(0.01);
+        for key in skewed_stream(&counts) {
+            lc.observe(key);
+        }
+        // ε-deficient guarantee: estimate within ε·N of truth.
+        let slack = (0.01 * lc.total() as f64) as u64 + 1;
+        assert!(lc.estimate(Key(0)) + slack >= 400);
+        assert!(lc.estimate(Key(1)) + slack >= 300);
+        // Frequent query at phi = 0.2 returns exactly the two heavy keys.
+        let f = lc.frequent(0.2);
+        let keys: Vec<Key> = f.iter().map(|&(k, _)| k).collect();
+        assert!(keys.contains(&Key(0)) && keys.contains(&Key(1)), "{keys:?}");
+        assert!(keys.len() <= 4, "too many false positives: {keys:?}");
+    }
+
+    #[test]
+    fn lossy_counting_prunes_rare_keys() {
+        let mut lc = LossyCounting::new(0.05);
+        // 10k distinct singletons: tracked entries must stay far below 10k.
+        for i in 0..10_000u64 {
+            lc.observe(Key(i));
+        }
+        assert!(
+            lc.tracked() < 1_000,
+            "pruning failed: {} entries",
+            lc.tracked()
+        );
+        lc.clear();
+        assert_eq!(lc.total(), 0);
+        assert_eq!(lc.tracked(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must exceed epsilon")]
+    fn lossy_query_below_epsilon_rejected() {
+        let lc = LossyCounting::new(0.1);
+        let _ = lc.frequent(0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon in (0, 1)")]
+    fn bad_epsilon_rejected() {
+        let _ = LossyCounting::new(1.5);
+    }
+
+    #[test]
+    fn sketches_agree_on_the_head_of_a_zipf_stream() {
+        // Cross-validate the two sketches on the same stream.
+        let counts: Vec<u64> = (1..=200u64).map(|i| 2000 / i).collect();
+        let stream = skewed_stream(&counts);
+        let mut ss = SpaceSaving::new(32);
+        let mut lc = LossyCounting::new(0.005);
+        for &key in &stream {
+            ss.observe(key);
+            lc.observe(key);
+        }
+        let ss_top: Vec<Key> = ss.heavy_hitters(0.02).iter().map(|&(k, _)| k).collect();
+        let lc_top: Vec<Key> = lc.frequent(0.02).iter().map(|&(k, _)| k).collect();
+        // The top-5 keys must appear in both.
+        for k in 0..5u64 {
+            assert!(ss_top.contains(&Key(k)), "space-saving missed {k}");
+            assert!(lc_top.contains(&Key(k)), "lossy counting missed {k}");
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Fundamental stream data types shared across the workspace.
+//!
+//! The paper (§2.1) models the input as an infinite stream of tuples
+//! `t = (ts, k, v)`: a source-assigned timestamp, a partitioning key, and a
+//! value. Keys are not unique and drive distributed partitioning; the value
+//! carries the payload aggregated by the Reduce stage.
+
+use std::fmt;
+
+/// A point in stream time, in microseconds since an arbitrary epoch.
+///
+/// All engine components run on *virtual* time so that experiments are
+/// deterministic; nothing in the library reads the wall clock.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The zero point of the virtual clock.
+    pub const ZERO: Time = Time(0);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Time {
+        Time(us)
+    }
+
+    /// This instant expressed in microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::ops::Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: Duration) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl std::ops::Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, d: Duration) -> Time {
+        Time(self.0.saturating_sub(d.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of stream time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// A zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest microsecond).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Duration {
+        Duration((s * 1e6).round().max(0.0) as u64)
+    }
+
+    /// The span in microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scale the span by a non-negative factor.
+    #[inline]
+    pub fn mul_f64(self, f: f64) -> Duration {
+        Duration((self.0 as f64 * f).round().max(0.0) as u64)
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A partitioning key.
+///
+/// Workload generators map their natural keys (words, medallions, machine
+/// ids, part ids) onto dense `u64` identifiers; the partitioning algorithms
+/// only ever compare and hash keys, so the indirection is lossless.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    #[inline]
+    fn from(v: u64) -> Key {
+        Key(v)
+    }
+}
+
+/// One stream tuple `(ts, k, v)` (§2.1).
+///
+/// The value is a single numeric field; queries that need several fields
+/// (e.g. DEBS fare *and* distance) are expressed as separate tuple streams
+/// keyed identically, exactly as the paper runs them as separate queries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tuple {
+    /// Source-assigned event timestamp. Tuples arrive in timestamp order
+    /// (paper assumption 1).
+    pub ts: Time,
+    /// Partitioning key.
+    pub key: Key,
+    /// Payload value aggregated by the Reduce stage.
+    pub value: f64,
+}
+
+impl Tuple {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(ts: Time, key: Key, value: f64) -> Tuple {
+        Tuple { ts, key, value }
+    }
+
+    /// A keyed tuple with unit value — the common case for counting queries.
+    #[inline]
+    pub fn keyed(ts: Time, key: Key) -> Tuple {
+        Tuple {
+            ts,
+            key,
+            value: 1.0,
+        }
+    }
+}
+
+/// A half-open interval of stream time `[start, end)` — one batch interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Interval {
+    /// Inclusive start of the interval.
+    pub start: Time,
+    /// Exclusive end of the interval (the heartbeat instant).
+    pub end: Time,
+}
+
+impl Interval {
+    /// Construct an interval; `start` must not exceed `end`.
+    pub fn new(start: Time, end: Time) -> Interval {
+        assert!(start <= end, "interval start after end");
+        Interval { start, end }
+    }
+
+    /// Length of the interval.
+    #[inline]
+    pub fn len(&self) -> Duration {
+        self.end.since(self.start)
+    }
+
+    /// Whether the interval is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `t` falls inside `[start, end)`.
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::from_secs(3) + Duration::from_millis(250);
+        assert_eq!(t.as_micros(), 3_250_000);
+        assert_eq!(t.since(Time::from_secs(3)), Duration::from_millis(250));
+        assert_eq!(t - Duration::from_secs(10), Time::ZERO); // saturates
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(Duration::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert_eq!(Duration::from_millis(2).mul_f64(2.5).as_micros(), 5_000);
+        let total: Duration = [Duration::from_secs(1), Duration::from_millis(500)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn interval_contains_is_half_open() {
+        let iv = Interval::new(Time::from_secs(1), Time::from_secs(2));
+        assert!(iv.contains(Time::from_secs(1)));
+        assert!(!iv.contains(Time::from_secs(2)));
+        assert_eq!(iv.len(), Duration::from_secs(1));
+        assert!(!iv.is_empty());
+        assert!(Interval::new(Time::ZERO, Time::ZERO).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval start after end")]
+    fn interval_rejects_reversed_bounds() {
+        let _ = Interval::new(Time::from_secs(2), Time::from_secs(1));
+    }
+
+    #[test]
+    fn tuple_constructors() {
+        let t = Tuple::keyed(Time::ZERO, Key(7));
+        assert_eq!(t.value, 1.0);
+        let t = Tuple::new(Time::from_secs(1), Key(9), 2.5);
+        assert_eq!((t.key, t.value), (Key(9), 2.5));
+    }
+}

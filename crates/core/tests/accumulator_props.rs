@@ -1,0 +1,96 @@
+//! Property-based tests of the frequency-aware accumulator (Algorithm 1)
+//! against the exact post-sort reference.
+
+use prompt_core::buffering::{
+    AccumulatorConfig, BatchAccumulator, FrequencyAwareAccumulator, PostSortAccumulator,
+};
+use prompt_core::hash::KeyMap;
+use prompt_core::types::{Interval, Key, Time, Tuple};
+use proptest::prelude::*;
+
+/// An arbitrary arrival stream: (key, inter-arrival µs) pairs.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..50, 1u64..5_000), 1..800)
+}
+
+fn ingest_all<A: BatchAccumulator>(acc: &mut A, stream: &[(u64, u64)]) -> Interval {
+    let mut ts = 0u64;
+    for &(key, gap) in stream {
+        ts += gap;
+        acc.ingest(Tuple::keyed(Time::from_micros(ts), Key(key)));
+    }
+    Interval::new(Time::ZERO, Time::from_micros(ts + 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frequency_aware_matches_exact_reference(
+        stream in stream_strategy(),
+        budget in 1u32..16,
+    ) {
+        // Both accumulators run over identical arrivals. The batch interval
+        // is fixed up-front (generous upper bound) so t.step stays sane.
+        let interval = Interval::new(Time::ZERO, Time::from_secs(10));
+        let cfg = AccumulatorConfig {
+            budget,
+            est_tuples: stream.len() as f64,
+            avg_keys: 25.0,
+        };
+        let mut fa = FrequencyAwareAccumulator::new(cfg, interval);
+        let mut ps = PostSortAccumulator::new(interval);
+        ingest_all(&mut fa, &stream);
+        ingest_all(&mut ps, &stream);
+
+        // Stats agree before sealing.
+        prop_assert_eq!(fa.stats().n_tuples, ps.stats().n_tuples);
+        prop_assert_eq!(fa.stats().n_keys, ps.stats().n_keys);
+        // Budget bounds the tree work.
+        prop_assert!(fa.stats().tree_updates <= fa.stats().n_keys * budget as u64);
+
+        let next = Interval::new(Time::from_secs(10), Time::from_secs(20));
+        let a = fa.seal(next);
+        let b = ps.seal(next);
+        prop_assert_eq!(a.n_tuples, b.n_tuples);
+        prop_assert_eq!(a.n_keys(), b.n_keys());
+
+        // Same multiset of (key, exact count); each key appears once.
+        let mut ma: KeyMap<usize> = KeyMap::default();
+        for g in &a.groups {
+            prop_assert_eq!(g.count, g.tuples.len());
+            prop_assert!(ma.insert(g.key, g.count).is_none(), "duplicate key group");
+        }
+        let mut mb: KeyMap<usize> = KeyMap::default();
+        for g in &b.groups {
+            prop_assert_eq!(g.count, g.tuples.len());
+            prop_assert!(mb.insert(g.key, g.count).is_none(), "duplicate key group");
+        }
+        prop_assert_eq!(ma, mb);
+
+        // The exact reference is perfectly sorted.
+        prop_assert_eq!(b.adjacent_inversions(), 0);
+    }
+
+    #[test]
+    fn seal_resets_cleanly(stream in stream_strategy()) {
+        let interval = Interval::new(Time::ZERO, Time::from_secs(10));
+        let mut fa = FrequencyAwareAccumulator::new(AccumulatorConfig::default(), interval);
+        ingest_all(&mut fa, &stream);
+        let next = Interval::new(Time::from_secs(10), Time::from_secs(20));
+        let first = fa.seal(next);
+        prop_assert_eq!(first.n_tuples, stream.len());
+        prop_assert_eq!(fa.stats().n_tuples, 0);
+        prop_assert!(fa.tree().is_empty());
+
+        // A second batch over the same accumulator behaves like a fresh one.
+        let mut ts = 10_000_001u64;
+        for &(key, gap) in &stream {
+            ts += gap;
+            fa.ingest(Tuple::keyed(Time::from_micros(ts), Key(key)));
+        }
+        let second = fa.seal(Interval::new(Time::from_secs(20), Time::from_secs(30)));
+        prop_assert_eq!(second.n_tuples, stream.len());
+        prop_assert_eq!(second.n_keys(), first.n_keys());
+    }
+}

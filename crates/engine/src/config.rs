@@ -1,0 +1,132 @@
+//! Engine configuration.
+
+use prompt_core::types::Duration;
+
+use crate::cluster::Cluster;
+use crate::cost::CostModel;
+use crate::elasticity::ScalerConfig;
+
+/// How the batching-phase partitioning overhead is charged against the
+/// processing budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OverheadMode {
+    /// Ideal: partitioning is free. The default for deterministic
+    /// experiments whose subject is partitioning *quality*.
+    None,
+    /// Measure the real wall-clock time of the `partition()` call and charge
+    /// it as virtual time. Used by the overhead experiments (Fig. 14);
+    /// introduces host-machine variance, so not used for correctness tests.
+    Measured,
+    /// Charge a fixed virtual cost per batch.
+    Fixed(Duration),
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The batch interval (heartbeat period). Fixed per run, per the
+    /// paper's design goals (§3.1).
+    pub batch_interval: Duration,
+    /// Initial number of Map tasks (= data blocks per batch).
+    pub map_tasks: usize,
+    /// Initial number of Reduce tasks (= Reduce buckets).
+    pub reduce_tasks: usize,
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// The task-time cost model.
+    pub cost: CostModel,
+    /// Partitioning-overhead accounting.
+    pub overhead: OverheadMode,
+    /// Early-batch-release slack as a fraction of the batch interval
+    /// (§4.2, Fig. 7 — the paper observes ≤ 5% suffices).
+    pub early_release_frac: f64,
+    /// Queue depth (in batches of delay) at which back-pressure triggers.
+    pub backpressure_queue: f64,
+    /// Enable the Algorithm 4 auto-scaler.
+    pub elasticity: Option<ScalerConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            batch_interval: Duration::from_secs(1),
+            map_tasks: 8,
+            reduce_tasks: 8,
+            cluster: Cluster::new(2, 8),
+            cost: CostModel::default(),
+            overhead: OverheadMode::None,
+            early_release_frac: 0.05,
+            backpressure_queue: 2.0,
+            elasticity: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The early-release slack in absolute time.
+    pub fn early_release_slack(&self) -> Duration {
+        self.batch_interval.mul_f64(self.early_release_frac)
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch_interval.0 == 0 {
+            return Err("batch interval must be positive".into());
+        }
+        if self.map_tasks == 0 || self.reduce_tasks == 0 {
+            return Err("task counts must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.early_release_frac) {
+            return Err("early-release fraction must be in [0, 1]".into());
+        }
+        if self.backpressure_queue <= 0.0 {
+            return Err("backpressure queue threshold must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn slack_is_fraction_of_interval() {
+        let cfg = EngineConfig {
+            batch_interval: Duration::from_secs(2),
+            early_release_frac: 0.05,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.early_release_slack(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let bad = [
+            EngineConfig {
+                map_tasks: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                early_release_frac: 1.5,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                batch_interval: Duration::ZERO,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                backpressure_queue: 0.0,
+                ..EngineConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err());
+        }
+    }
+}

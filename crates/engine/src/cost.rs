@@ -1,0 +1,128 @@
+//! Task-time cost model of the simulated cluster.
+//!
+//! The paper's problem formulation rests on one assumption (§3.2): *"The
+//! execution time of a task increases monotonically with its input size"*,
+//! refined by a per-key component (cardinality drives combiner/hash work)
+//! and, on the Reduce side, a per-fragment merge component (split keys make
+//! a Reduce task merge one partial result per contributing Map task). The
+//! model here is the affine form of exactly those terms:
+//!
+//! ```text
+//! map_task_time    = map_fixed    + map_per_tuple·|block|
+//!                                 + map_per_key·‖block‖
+//! reduce_task_time = reduce_fixed + reduce_per_tuple·|bucket|
+//!                                 + reduce_per_key·‖bucket‖
+//!                                 + merge_per_fragment·(fragments − ‖bucket‖)
+//! ```
+//!
+//! Absolute constants are calibration knobs — the evaluation compares
+//! *partitioning schemes inside one engine*, so relative shapes (who wins,
+//! where crossovers fall) depend on the ratios, not the absolute values.
+
+use prompt_core::types::Duration;
+
+/// Affine per-task cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Fixed Map-task overhead (scheduling, deserialisation).
+    pub map_fixed: Duration,
+    /// Per-tuple Map cost (the user function + combiner insert).
+    pub map_per_tuple: Duration,
+    /// Per-distinct-key Map cost (combiner table maintenance).
+    pub map_per_key: Duration,
+    /// Fixed Reduce-task overhead.
+    pub reduce_fixed: Duration,
+    /// Per-tuple Reduce cost (the bucket's tuple volume).
+    pub reduce_per_tuple: Duration,
+    /// Per-distinct-key Reduce cost (final aggregation entry).
+    pub reduce_per_key: Duration,
+    /// Per-extra-fragment merge cost: a key arriving from `m` Map tasks
+    /// costs `m − 1` merges. This is what punishes poor key locality (high
+    /// KSR) at the Reduce stage.
+    pub merge_per_fragment: Duration,
+}
+
+impl Default for CostModel {
+    /// Defaults loosely calibrated to commodity-JVM per-record costs
+    /// (microseconds per tuple, sub-millisecond task launch): they put the
+    /// sustainable rate of a 16-core simulated cluster in the
+    /// hundreds-of-thousands of tuples per second, matching the scale of the
+    /// paper's per-node throughputs.
+    fn default() -> CostModel {
+        CostModel {
+            map_fixed: Duration::from_micros(500),
+            map_per_tuple: Duration::from_micros(2),
+            map_per_key: Duration::from_micros(4),
+            reduce_fixed: Duration::from_micros(500),
+            reduce_per_tuple: Duration::from_micros(2),
+            reduce_per_key: Duration::from_micros(4),
+            merge_per_fragment: Duration::from_micros(6),
+        }
+    }
+}
+
+impl CostModel {
+    /// Execution time of one Map task over a block of `tuples` tuples and
+    /// `keys` distinct keys.
+    pub fn map_task(&self, tuples: usize, keys: usize) -> Duration {
+        self.map_fixed
+            + Duration(self.map_per_tuple.0 * tuples as u64)
+            + Duration(self.map_per_key.0 * keys as u64)
+    }
+
+    /// Execution time of one Reduce task over a bucket of `tuples` tuples,
+    /// `keys` distinct keys, and `fragments` (key, map-task) partials.
+    pub fn reduce_task(&self, tuples: usize, keys: usize, fragments: usize) -> Duration {
+        let extra = fragments.saturating_sub(keys) as u64;
+        self.reduce_fixed
+            + Duration(self.reduce_per_tuple.0 * tuples as u64)
+            + Duration(self.reduce_per_key.0 * keys as u64)
+            + Duration(self.merge_per_fragment.0 * extra)
+    }
+
+    /// A scaled copy: multiply all terms by `f` (used by calibration sweeps).
+    pub fn scaled(&self, f: f64) -> CostModel {
+        CostModel {
+            map_fixed: self.map_fixed.mul_f64(f),
+            map_per_tuple: self.map_per_tuple.mul_f64(f),
+            map_per_key: self.map_per_key.mul_f64(f),
+            reduce_fixed: self.reduce_fixed.mul_f64(f),
+            reduce_per_tuple: self.reduce_per_tuple.mul_f64(f),
+            reduce_per_key: self.reduce_per_key.mul_f64(f),
+            merge_per_fragment: self.merge_per_fragment.mul_f64(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_task_is_monotone_in_size_and_keys() {
+        let m = CostModel::default();
+        assert!(m.map_task(1000, 10) > m.map_task(500, 10));
+        assert!(m.map_task(1000, 100) > m.map_task(1000, 10));
+        assert_eq!(m.map_task(0, 0), m.map_fixed);
+    }
+
+    #[test]
+    fn reduce_task_charges_extra_fragments_only() {
+        let m = CostModel::default();
+        let locality = m.reduce_task(1000, 50, 50); // every key from 1 mapper
+        let split = m.reduce_task(1000, 50, 200); // keys shredded over mappers
+        assert_eq!(
+            (split - locality).as_micros(),
+            150 * m.merge_per_fragment.as_micros()
+        );
+        // fragments < keys cannot go negative.
+        assert_eq!(m.reduce_task(10, 5, 0), m.reduce_task(10, 5, 5));
+    }
+
+    #[test]
+    fn scaled_scales_linearly() {
+        let m = CostModel::default().scaled(2.0);
+        let d = CostModel::default();
+        assert_eq!(m.map_task(100, 10).as_micros(), 2 * d.map_task(100, 10).as_micros());
+    }
+}

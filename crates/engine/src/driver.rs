@@ -1,0 +1,816 @@
+//! The streaming driver: the per-heartbeat loop that batches, partitions,
+//! schedules and executes micro-batches on the simulated cluster, maintaining
+//! the pipelined overlap of batching and processing (Fig. 2).
+//!
+//! All scheduling runs on virtual time. Batch `x` is accumulated during its
+//! interval and its processing starts at its heartbeat — unless the pipeline
+//! is still busy with earlier batches, in which case it queues, exactly the
+//! instability mechanism of §1. End-to-end latency is `batch interval +
+//! queue delay + processing time` (§1).
+
+use prompt_core::batch::MicroBatch;
+use prompt_core::metrics::PlanMetrics;
+use prompt_core::partitioner::{Partitioner, Technique};
+use prompt_core::reduce::{HashReduceAssigner, PromptReduceAllocator, ReduceAssigner};
+use prompt_core::types::{Duration, Interval, Time, Tuple};
+
+use crate::config::{EngineConfig, OverheadMode};
+use crate::elasticity::{AutoScaler, Observation, ScaleAction};
+use crate::job::Job;
+use crate::recovery::{FaultPlan, ReplicatedBatchStore};
+use crate::source::TupleSource;
+use crate::stage::execute_batch;
+use crate::straggler::StragglerPlan;
+use crate::window::{WindowResult, WindowSpec, WindowState};
+
+/// Per-batch execution record — the raw material of every figure in §7.2.
+#[derive(Clone, Debug)]
+pub struct BatchRecord {
+    /// Batch sequence number.
+    pub seq: u64,
+    /// Tuples in the batch.
+    pub n_tuples: usize,
+    /// Distinct keys in the batch.
+    pub n_keys: usize,
+    /// Map tasks (blocks) used for this batch.
+    pub map_tasks: usize,
+    /// Reduce tasks (buckets) used for this batch.
+    pub reduce_tasks: usize,
+    /// Raw partitioning overhead before early-release hiding.
+    pub partition_overhead: Duration,
+    /// Overhead that spilled past the early-release slack into processing.
+    pub visible_overhead: Duration,
+    /// Map stage makespan.
+    pub map_stage: Duration,
+    /// Reduce stage makespan.
+    pub reduce_stage: Duration,
+    /// Total processing time (visible overhead + stages).
+    pub processing: Duration,
+    /// Time the batch waited in the queue before processing started.
+    pub queue_delay: Duration,
+    /// End-to-end latency: interval + queue delay + processing.
+    pub latency: Duration,
+    /// `W = processing / batch_interval` — the elasticity signal.
+    pub w: f64,
+    /// Per-Map-task times (for straggler analysis).
+    pub map_task_times: Vec<Duration>,
+    /// Per-Reduce-task times (Fig. 13's latency distribution).
+    pub reduce_task_times: Vec<Duration>,
+    /// Partition-quality metrics of the plan (BSI/BCI/KSR/MPI).
+    pub plan_metrics: PlanMetrics,
+}
+
+/// The outcome of a streaming run.
+#[derive(Debug, Default)]
+pub struct RunResult {
+    /// One record per batch.
+    pub batches: Vec<BatchRecord>,
+    /// Emitted window results (when a window was configured).
+    pub windows: Vec<WindowResult>,
+    /// Scale actions taken by the elasticity controller, by batch seq.
+    pub scale_events: Vec<(u64, ScaleAction)>,
+    /// Whether back-pressure (queue beyond the configured threshold)
+    /// triggered at any point.
+    pub backpressure: bool,
+    /// Number of state-loss recoveries performed (fault injection, §8).
+    pub recoveries: u64,
+}
+
+impl RunResult {
+    /// Mean of a per-batch scalar over the second half of the run (warm-up
+    /// excluded, matching the paper's methodology §7).
+    pub fn steady_state_mean(&self, f: impl Fn(&BatchRecord) -> f64) -> f64 {
+        let n = self.batches.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let tail = &self.batches[n / 2..];
+        tail.iter().map(&f).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Whether the run is stable: no back-pressure and the pipeline drained
+    /// (last batch saw no queue delay beyond one interval).
+    pub fn stable(&self) -> bool {
+        if self.backpressure {
+            return false;
+        }
+        match self.batches.last() {
+            Some(b) => b.queue_delay.0 <= b.processing.0.max(1),
+            None => true,
+        }
+    }
+
+    /// A compact distribution summary of the run: tuples, latency and W
+    /// statistics, recovery/back-pressure flags. The CLI and examples print
+    /// this; tests assert on its fields.
+    pub fn summary(&self, batch_interval: Duration) -> RunSummary {
+        let latencies: Vec<f64> = self
+            .batches
+            .iter()
+            .map(|b| b.latency.as_secs_f64())
+            .collect();
+        let ws: Vec<f64> = self.batches.iter().map(|b| b.w).collect();
+        RunSummary {
+            batches: self.batches.len(),
+            tuples: self.batches.iter().map(|b| b.n_tuples).sum(),
+            throughput: self.throughput(batch_interval),
+            latency: crate::stats::summarize(&latencies),
+            w: crate::stats::summarize(&ws),
+            stable: self.stable(),
+            backpressure: self.backpressure,
+            recoveries: self.recoveries,
+            scale_events: self.scale_events.len(),
+        }
+    }
+
+    /// Total tuples processed per second of stream time — the throughput
+    /// actually sustained.
+    pub fn throughput(&self, batch_interval: Duration) -> f64 {
+        let tuples: usize = self.batches.iter().map(|b| b.n_tuples).sum();
+        let span = batch_interval.as_secs_f64() * self.batches.len() as f64;
+        if span == 0.0 {
+            0.0
+        } else {
+            tuples as f64 / span
+        }
+    }
+}
+
+/// Compact summary of a [`RunResult`] (see [`RunResult::summary`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RunSummary {
+    /// Batches executed.
+    pub batches: usize,
+    /// Total tuples processed.
+    pub tuples: usize,
+    /// Sustained throughput (tuples per second of stream time).
+    pub throughput: f64,
+    /// End-to-end latency distribution (seconds).
+    pub latency: crate::stats::Summary,
+    /// `W = processing / interval` distribution.
+    pub w: crate::stats::Summary,
+    /// Whether the run ended stable.
+    pub stable: bool,
+    /// Whether back-pressure triggered.
+    pub backpressure: bool,
+    /// State-loss recoveries performed.
+    pub recoveries: u64,
+    /// Elasticity actions taken.
+    pub scale_events: usize,
+}
+
+impl std::fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} batches, {} tuples ({:.0}/s) | latency mean {:.0} ms p95 {:.0} ms | \
+             W mean {:.2} max {:.2} | stable: {}{}{}{}",
+            self.batches,
+            self.tuples,
+            self.throughput,
+            self.latency.mean * 1e3,
+            self.latency.p95 * 1e3,
+            self.w.mean,
+            self.w.max,
+            self.stable,
+            if self.backpressure { " [backpressure]" } else { "" },
+            if self.recoveries > 0 { " [recovered]" } else { "" },
+            if self.scale_events > 0 { " [scaled]" } else { "" },
+        )
+    }
+}
+
+/// Which reduce-side assigner to pair with the batch partitioner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceStrategy {
+    /// Conventional hashing (what every baseline uses).
+    Hash,
+    /// Algorithm 3's Worst-Fit allocator (what Prompt uses).
+    Prompt,
+}
+
+impl ReduceStrategy {
+    /// The strategy the paper pairs with each batching technique.
+    pub fn for_technique(t: Technique) -> ReduceStrategy {
+        match t {
+            Technique::Prompt | Technique::PromptPostSort => ReduceStrategy::Prompt,
+            _ => ReduceStrategy::Hash,
+        }
+    }
+
+    /// Instantiate the assigner with a shared routing seed.
+    pub fn build_boxed(self, seed: u64) -> Box<dyn ReduceAssigner> {
+        match self {
+            ReduceStrategy::Hash => Box::new(HashReduceAssigner::new(seed)),
+            ReduceStrategy::Prompt => Box::new(PromptReduceAllocator::new(seed)),
+        }
+    }
+}
+
+/// The micro-batch streaming engine.
+pub struct StreamingEngine {
+    cfg: EngineConfig,
+    partitioner: Box<dyn Partitioner>,
+    assigner: Box<dyn ReduceAssigner>,
+    job: Job,
+    window: Option<WindowSpec>,
+    fault_tolerance: Option<(usize, FaultPlan)>,
+    stragglers: StragglerPlan,
+}
+
+impl StreamingEngine {
+    /// Build an engine running `job` with the given partitioning technique
+    /// (paired with its natural reduce strategy) under `cfg`.
+    pub fn new(cfg: EngineConfig, technique: Technique, seed: u64, job: Job) -> StreamingEngine {
+        cfg.validate().expect("invalid engine config");
+        let reduce = ReduceStrategy::for_technique(technique);
+        StreamingEngine {
+            cfg,
+            partitioner: technique.build(seed),
+            assigner: reduce.build_boxed(seed),
+            job,
+            window: None,
+            fault_tolerance: None,
+            stragglers: StragglerPlan::none(),
+        }
+    }
+
+    /// Build with explicit partitioner / assigner instances.
+    pub fn with_parts(
+        cfg: EngineConfig,
+        partitioner: Box<dyn Partitioner>,
+        assigner: Box<dyn ReduceAssigner>,
+        job: Job,
+    ) -> StreamingEngine {
+        cfg.validate().expect("invalid engine config");
+        StreamingEngine {
+            cfg,
+            partitioner,
+            assigner,
+            job,
+            window: None,
+            fault_tolerance: None,
+            stragglers: StragglerPlan::none(),
+        }
+    }
+
+    /// Attach a window computation.
+    pub fn with_window(mut self, spec: WindowSpec) -> StreamingEngine {
+        self.window = Some(spec);
+        self
+    }
+
+    /// Enable batch-level fault tolerance (§8): retain `replicas` copies of
+    /// every in-window batch input and recover the batches `plan` marks as
+    /// lost by recomputing them from the store. Recomputation cost lands in
+    /// the affected batch's processing time.
+    pub fn with_fault_tolerance(mut self, replicas: usize, plan: FaultPlan) -> StreamingEngine {
+        self.fault_tolerance = Some((replicas, plan));
+        self
+    }
+
+    /// Inject scripted environment-induced stragglers: the affected task
+    /// times are inflated after execution and the stage makespans
+    /// recomputed, so queueing/elasticity react exactly as they would to a
+    /// real slow task.
+    pub fn with_stragglers(mut self, plan: StragglerPlan) -> StreamingEngine {
+        self.stragglers = plan;
+        self
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Run the engine for `n_batches` heartbeats over `source`.
+    pub fn run(&mut self, source: &mut dyn TupleSource, n_batches: usize) -> RunResult {
+        let bi = self.cfg.batch_interval;
+        let mut result = RunResult::default();
+        let mut window = self
+            .window
+            .map(|spec| WindowState::new(spec, bi, self.job.reduce));
+        let mut scaler = self
+            .cfg
+            .elasticity
+            .map(|sc| AutoScaler::new(sc, self.cfg.map_tasks, self.cfg.reduce_tasks));
+        let mut p = self.cfg.map_tasks;
+        let mut r = self.cfg.reduce_tasks;
+        let mut pipeline_free_at = Time::ZERO;
+        let mut arrivals: Vec<Tuple> = Vec::new();
+        let window_len_batches = self
+            .window
+            .map(|spec| spec.in_batches(bi).0 as u64)
+            .unwrap_or(1);
+        let mut store_and_plan = self
+            .fault_tolerance
+            .as_ref()
+            .map(|(replicas, plan)| (ReplicatedBatchStore::new(*replicas), plan.clone()));
+
+        for seq in 0..n_batches as u64 {
+            let interval = Interval::new(
+                Time(bi.0 * seq),
+                Time(bi.0 * (seq + 1)),
+            );
+            arrivals.clear();
+            source.fill(interval, &mut arrivals);
+            debug_assert!(
+                arrivals.windows(2).all(|w| w[0].ts <= w[1].ts),
+                "source must emit in timestamp order"
+            );
+            let batch = MicroBatch::new(std::mem::take(&mut arrivals), interval);
+            let n_tuples = batch.len();
+            let n_keys = batch.distinct_keys();
+            if let Some((store, _)) = store_and_plan.as_mut() {
+                // Replicate the batch input on ingestion (§8 point 2).
+                store.retain(seq, batch.tuples.clone());
+            }
+
+            // Partition (optionally measuring real cost).
+            let (plan, raw_overhead) = match self.cfg.overhead {
+                OverheadMode::None => (self.partitioner.partition(&batch, p), Duration::ZERO),
+                OverheadMode::Fixed(d) => (self.partitioner.partition(&batch, p), d),
+                OverheadMode::Measured => {
+                    let t0 = std::time::Instant::now();
+                    let plan = self.partitioner.partition(&batch, p);
+                    (plan, Duration::from_micros(t0.elapsed().as_micros() as u64))
+                }
+            };
+            arrivals = batch.tuples; // reuse the allocation next interval
+            let visible_overhead = raw_overhead - self.cfg.early_release_slack();
+
+            // Execute on the cluster.
+            let (mut output, mut times) = execute_batch(
+                &plan,
+                &self.job,
+                self.assigner.as_mut(),
+                r,
+                &self.cfg.cost,
+                &self.cfg.cluster,
+            );
+            if !self.stragglers.is_empty() {
+                self.stragglers
+                    .apply(seq, &mut times.map_tasks, &mut times.reduce_tasks);
+                times.map_stage = self.cfg.cluster.makespan(&times.map_tasks);
+                times.reduce_stage = self.cfg.cluster.makespan(&times.reduce_tasks);
+            }
+            let mut processing = visible_overhead + times.processing();
+
+            // Fault injection: each scheduled loss of this batch's state
+            // forces one recomputation from the replicated input.
+            if let Some((store, fault_plan)) = store_and_plan.as_mut() {
+                for _ in 0..fault_plan.losses_for(seq) {
+                    let input = store
+                        .recover(seq)
+                        .expect("injected failure beyond recovery budget")
+                        .to_vec();
+                    let rebatch = MicroBatch::new(input, interval);
+                    let replan = self.partitioner.partition(&rebatch, p);
+                    let (recovered, retimes) = execute_batch(
+                        &replan,
+                        &self.job,
+                        self.assigner.as_mut(),
+                        r,
+                        &self.cfg.cost,
+                        &self.cfg.cluster,
+                    );
+                    output = recovered;
+                    processing += retimes.processing();
+                    result.recoveries += 1;
+                }
+                // Batches that have produced output and left every window
+                // can drop their replicated input (§8).
+                if seq + 1 >= window_len_batches {
+                    store.expire_through(seq + 1 - window_len_batches);
+                }
+            }
+
+            // Pipelined scheduling: processing starts at the heartbeat or
+            // when the pipeline frees up, whichever is later.
+            let heartbeat = interval.end;
+            let start = if pipeline_free_at > heartbeat {
+                pipeline_free_at
+            } else {
+                heartbeat
+            };
+            let queue_delay = start.since(heartbeat);
+            pipeline_free_at = start + processing;
+            let latency = bi + queue_delay + processing;
+            let w = processing.as_secs_f64() / bi.as_secs_f64();
+
+            if queue_delay.as_secs_f64() > self.cfg.backpressure_queue * bi.as_secs_f64() {
+                result.backpressure = true;
+            }
+
+            // Elasticity (Algorithm 4).
+            if let Some(sc) = scaler.as_mut() {
+                if let Some(action) = sc.observe(Observation {
+                    w,
+                    n_tuples: n_tuples as u64,
+                    n_keys: n_keys as u64,
+                }) {
+                    p = action.map_tasks;
+                    r = action.reduce_tasks;
+                    result.scale_events.push((seq, action));
+                }
+            }
+
+            // Window maintenance.
+            if let Some(ws) = window.as_mut() {
+                if let Some(res) = ws.push(output) {
+                    result.windows.push(res);
+                }
+            }
+
+            result.batches.push(BatchRecord {
+                seq,
+                n_tuples,
+                n_keys,
+                map_tasks: plan.n_blocks(),
+                reduce_tasks: r,
+                partition_overhead: raw_overhead,
+                visible_overhead,
+                map_stage: times.map_stage,
+                reduce_stage: times.reduce_stage,
+                processing,
+                queue_delay,
+                latency,
+                w,
+                map_task_times: times.map_tasks,
+                reduce_task_times: times.reduce_tasks,
+                plan_metrics: PlanMetrics::of(&plan),
+            });
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::cost::CostModel;
+    use crate::job::ReduceOp;
+    use prompt_core::types::Key;
+
+    /// Constant-rate source: `rate` tuples per interval, keys round-robin
+    /// over `keys`.
+    fn const_source(rate: usize, keys: u64) -> impl TupleSource {
+        move |iv: Interval, out: &mut Vec<Tuple>| {
+            let step = iv.len().0 / (rate as u64 + 1);
+            for i in 0..rate {
+                out.push(Tuple::keyed(
+                    Time(iv.start.0 + step * (i as u64 + 1)),
+                    Key(i as u64 % keys),
+                ));
+            }
+        }
+    }
+
+    fn small_cfg() -> EngineConfig {
+        EngineConfig {
+            batch_interval: Duration::from_secs(1),
+            map_tasks: 4,
+            reduce_tasks: 4,
+            cluster: Cluster::new(1, 4),
+            cost: CostModel::default(),
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn light_load_is_stable_with_no_queueing() {
+        let mut eng = StreamingEngine::new(
+            small_cfg(),
+            Technique::Prompt,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        );
+        let res = eng.run(&mut const_source(1000, 50), 10);
+        assert_eq!(res.batches.len(), 10);
+        assert!(res.stable());
+        assert!(!res.backpressure);
+        for b in &res.batches {
+            assert_eq!(b.queue_delay, Duration::ZERO);
+            assert_eq!(b.n_tuples, 1000);
+            assert_eq!(b.n_keys, 50);
+            assert!(b.w < 1.0, "light load must fit the interval, W = {}", b.w);
+            assert_eq!(b.latency, Duration::from_secs(1) + b.processing);
+        }
+        assert!((res.throughput(Duration::from_secs(1)) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_queues_and_triggers_backpressure() {
+        // Inflate per-tuple cost so the load exceeds the interval.
+        let mut cfg = small_cfg();
+        cfg.cost = CostModel {
+            map_per_tuple: Duration::from_micros(2000),
+            ..CostModel::default()
+        };
+        let mut eng = StreamingEngine::new(
+            cfg,
+            Technique::Shuffle,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        );
+        let res = eng.run(&mut const_source(5000, 50), 12);
+        assert!(res.backpressure, "sustained overload must trip back-pressure");
+        assert!(!res.stable());
+        // Queue delay grows monotonically under constant overload.
+        let delays: Vec<u64> = res.batches.iter().map(|b| b.queue_delay.0).collect();
+        assert!(delays.windows(2).all(|w| w[1] >= w[0]), "{delays:?}");
+    }
+
+    #[test]
+    fn window_results_are_emitted() {
+        let mut eng = StreamingEngine::new(
+            small_cfg(),
+            Technique::Prompt,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        )
+        .with_window(WindowSpec::sliding(
+            Duration::from_secs(3),
+            Duration::from_secs(1),
+        ));
+        let res = eng.run(&mut const_source(300, 3), 6);
+        assert_eq!(res.windows.len(), 6);
+        // After warm-up each window covers 3 batches × 100 per key.
+        let last = res.windows.last().unwrap();
+        for k in 0..3u64 {
+            assert_eq!(last.aggregates[&Key(k)], 300.0);
+        }
+    }
+
+    #[test]
+    fn query_answers_identical_across_techniques() {
+        // Partitioning must never change query results.
+        let mut reference: Option<Vec<(u64, f64)>> = None;
+        for tech in Technique::EVALUATION_SET {
+            let mut eng = StreamingEngine::new(
+                small_cfg(),
+                tech,
+                7,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(WindowSpec::tumbling(Duration::from_secs(2)));
+            let res = eng.run(&mut const_source(500, 21), 6);
+            let mut got: Vec<(u64, f64)> = res
+                .windows
+                .last()
+                .unwrap()
+                .aggregates
+                .iter()
+                .map(|(k, v)| (k.0, *v))
+                .collect();
+            got.sort_by_key(|a| a.0);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "{tech:?} changed the answer"),
+            }
+        }
+    }
+
+    #[test]
+    fn elasticity_scales_out_under_growing_load() {
+        let mut cfg = small_cfg();
+        cfg.map_tasks = 2;
+        cfg.reduce_tasks = 2;
+        cfg.cluster = Cluster::new(4, 4);
+        cfg.cost = CostModel {
+            map_per_tuple: Duration::from_micros(150),
+            reduce_per_tuple: Duration::from_micros(150),
+            ..CostModel::default()
+        };
+        cfg.elasticity = Some(crate::elasticity::ScalerConfig {
+            d: 2,
+            ..Default::default()
+        });
+        let mut eng = StreamingEngine::new(
+            cfg,
+            Technique::Prompt,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        );
+        // Ramp the rate so W crosses the threshold.
+        let mut rate = 2000usize;
+        let mut src = move |iv: Interval, out: &mut Vec<Tuple>| {
+            rate += 400;
+            let step = iv.len().0 / (rate as u64 + 1);
+            for i in 0..rate {
+                out.push(Tuple::keyed(
+                    Time(iv.start.0 + step * (i as u64 + 1)),
+                    Key(i as u64 % 64),
+                ));
+            }
+        };
+        let res = eng.run(&mut src, 30);
+        assert!(
+            !res.scale_events.is_empty(),
+            "growing load must trigger scale-out"
+        );
+        assert!(res.scale_events.iter().any(|(_, a)| a.out));
+        let last = res.batches.last().unwrap();
+        assert!(
+            last.map_tasks > 2 || last.reduce_tasks > 2,
+            "parallelism should have grown"
+        );
+    }
+
+    #[test]
+    fn fixed_overhead_is_hidden_by_early_release() {
+        let mut cfg = small_cfg();
+        // 5% of 1 s = 50 ms slack; a 30 ms overhead hides entirely.
+        cfg.overhead = OverheadMode::Fixed(Duration::from_millis(30));
+        let mut eng = StreamingEngine::new(
+            cfg,
+            Technique::Prompt,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        );
+        let res = eng.run(&mut const_source(100, 5), 3);
+        for b in &res.batches {
+            assert_eq!(b.partition_overhead, Duration::from_millis(30));
+            assert_eq!(b.visible_overhead, Duration::ZERO);
+        }
+        // A 80 ms overhead leaves 30 ms visible.
+        let mut cfg = small_cfg();
+        cfg.overhead = OverheadMode::Fixed(Duration::from_millis(80));
+        let mut eng = StreamingEngine::new(
+            cfg,
+            Technique::Prompt,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        );
+        let res = eng.run(&mut const_source(100, 5), 3);
+        for b in &res.batches {
+            assert_eq!(b.visible_overhead, Duration::from_millis(30));
+        }
+    }
+
+    #[test]
+    fn fault_injection_recovers_exactly_once_answers() {
+        use crate::recovery::FaultPlan;
+        let run = |plan: FaultPlan| {
+            let mut eng = StreamingEngine::new(
+                small_cfg(),
+                Technique::Prompt,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(WindowSpec::sliding(
+                Duration::from_secs(3),
+                Duration::from_secs(1),
+            ))
+            .with_fault_tolerance(2, plan);
+            eng.run(&mut const_source(600, 12), 8)
+        };
+        let clean = run(FaultPlan::none());
+        let faulty = run(FaultPlan::none().lose_once(2).lose_times(5, 2));
+        assert_eq!(clean.recoveries, 0);
+        assert_eq!(faulty.recoveries, 3);
+        // Exactly-once: window answers identical despite the failures.
+        assert_eq!(clean.windows.len(), faulty.windows.len());
+        for (a, b) in clean.windows.iter().zip(&faulty.windows) {
+            assert_eq!(a.aggregates.len(), b.aggregates.len());
+            for (k, v) in &a.aggregates {
+                assert_eq!(b.aggregates[k], *v);
+            }
+        }
+        // Recovery work shows up in the affected batch's processing time.
+        assert!(
+            faulty.batches[2].processing > clean.batches[2].processing,
+            "recomputation must cost time"
+        );
+        assert_eq!(faulty.batches[3].processing, clean.batches[3].processing);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected failure beyond recovery budget")]
+    fn losing_more_than_replicas_is_fatal() {
+        let mut eng = StreamingEngine::new(
+            small_cfg(),
+            Technique::Prompt,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        )
+        .with_fault_tolerance(1, crate::recovery::FaultPlan::none().lose_times(1, 2));
+        let _ = eng.run(&mut const_source(100, 5), 4);
+    }
+
+    #[test]
+    fn injected_straggler_inflates_exactly_its_batch() {
+        use crate::straggler::{Stage, StragglerPlan};
+        let run = |plan: StragglerPlan| {
+            let mut eng = StreamingEngine::new(
+                small_cfg(),
+                Technique::Prompt,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_stragglers(plan);
+            eng.run(&mut const_source(800, 16), 6)
+        };
+        let clean = run(StragglerPlan::none());
+        let slowed = run(StragglerPlan::none().slow(2, Stage::Reduce, 0, 10.0));
+        for seq in 0..6 {
+            if seq == 2 {
+                assert!(
+                    slowed.batches[seq].processing > clean.batches[seq].processing,
+                    "straggler must slow batch 2"
+                );
+                assert!(
+                    slowed.batches[seq].reduce_task_times[0]
+                        > clean.batches[seq].reduce_task_times[0]
+                );
+            } else {
+                assert_eq!(
+                    slowed.batches[seq].processing, clean.batches[seq].processing,
+                    "batch {seq} unaffected"
+                );
+            }
+        }
+        // The stage time follows the inflated max task (Eqn. 1).
+        let b = &slowed.batches[2];
+        assert_eq!(b.reduce_stage, *b.reduce_task_times.iter().max().unwrap());
+    }
+
+    #[test]
+    fn run_summary_aggregates_the_run() {
+        let mut eng = StreamingEngine::new(
+            small_cfg(),
+            Technique::Prompt,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        );
+        let res = eng.run(&mut const_source(500, 10), 8);
+        let s = res.summary(Duration::from_secs(1));
+        assert_eq!(s.batches, 8);
+        assert_eq!(s.tuples, 4_000);
+        assert!((s.throughput - 500.0).abs() < 1e-9);
+        assert!(s.stable && !s.backpressure);
+        assert_eq!(s.recoveries, 0);
+        assert!(s.latency.mean > 1.0, "latency includes the interval");
+        let text = s.to_string();
+        assert!(text.contains("8 batches"));
+        assert!(text.contains("stable: true"));
+        assert!(!text.contains("[backpressure]"));
+    }
+
+    #[test]
+    fn more_tasks_than_slots_run_in_waves() {
+        // 8 map tasks on 2 slots: the map stage is the LPT makespan of 4
+        // waves, ~4x the single-wave stage of 2 tasks on 2 slots.
+        let run = |map_tasks: usize| {
+            let cfg = EngineConfig {
+                batch_interval: Duration::from_secs(1),
+                map_tasks,
+                reduce_tasks: 2,
+                cluster: Cluster::new(1, 2),
+                ..EngineConfig::default()
+            };
+            let mut eng = StreamingEngine::new(
+                cfg,
+                Technique::Shuffle,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            );
+            eng.run(&mut const_source(8_000, 64), 2)
+        };
+        let narrow = run(2);
+        let wide = run(8);
+        let stage = |r: &RunResult| r.batches[1].map_stage.as_secs_f64();
+        // Same total work split 8 ways on 2 slots: waves make the stage
+        // roughly equal (fixed per-task cost adds a little on top).
+        let ratio = stage(&wide) / stage(&narrow);
+        assert!(
+            (0.9..1.6).contains(&ratio),
+            "8 tasks on 2 slots should wave-schedule: ratio {ratio}"
+        );
+        // And each individual wide task is ~4x cheaper than a narrow task.
+        let max_task = |r: &RunResult| {
+            r.batches[1]
+                .map_task_times
+                .iter()
+                .max()
+                .unwrap()
+                .as_secs_f64()
+        };
+        assert!(max_task(&wide) < max_task(&narrow) * 0.5);
+    }
+
+    #[test]
+    fn steady_state_mean_uses_second_half() {
+        let mut eng = StreamingEngine::new(
+            small_cfg(),
+            Technique::Hash,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        );
+        let res = eng.run(&mut const_source(100, 5), 8);
+        let mean = res.steady_state_mean(|b| b.n_tuples as f64);
+        assert_eq!(mean, 100.0);
+        assert_eq!(RunResult::default().steady_state_mean(|b| b.w), 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Latency-aware auto-scaling (§6, Algorithm 4).
+//!
+//! The controller monitors `W = processing_time / batch_interval`. The plane
+//! of (batch interval, processing time) splits into three zones (Fig. 9b):
+//!
+//! * **Zone 3** (`W > thres`): overloaded — after `d` consecutive batches,
+//!   scale out. Data-rate growth adds Map tasks; key-cardinality growth adds
+//!   Reduce tasks; both grow → both are added.
+//! * **Zone 2** (`thres − step < W ≤ thres`): the widened stability band —
+//!   do nothing; it absorbs transient spikes.
+//! * **Zone 1** (`W ≤ thres − step`): under-utilised — after `d` consecutive
+//!   batches, scale in by the mirrored criteria.
+//!
+//! After any action a grace period of `d` batches suppresses reverse
+//! decisions.
+
+use std::collections::VecDeque;
+
+/// Controller parameters (defaults are the paper's: `thres` = 90%,
+/// `step` = 10%, with `d` = 3).
+#[derive(Clone, Copy, Debug)]
+pub struct ScalerConfig {
+    /// Upper load threshold `L_thres` on `W`.
+    pub thres: f64,
+    /// Width `L_step` of the stability band below `thres`.
+    pub step: f64,
+    /// Consecutive batches required before acting, and the grace length.
+    pub d: usize,
+    /// Lower bound on the number of Map or Reduce tasks.
+    pub min_tasks: usize,
+    /// Upper bound on the number of Map or Reduce tasks (the executor pool).
+    pub max_tasks: usize,
+}
+
+impl Default for ScalerConfig {
+    fn default() -> ScalerConfig {
+        ScalerConfig {
+            thres: 0.9,
+            step: 0.1,
+            d: 3,
+            min_tasks: 1,
+            max_tasks: 256,
+        }
+    }
+}
+
+/// One observation per completed batch.
+#[derive(Clone, Copy, Debug)]
+pub struct Observation {
+    /// `W = processing_time / batch_interval`.
+    pub w: f64,
+    /// Tuples in the batch (the data-rate signal).
+    pub n_tuples: u64,
+    /// Distinct keys in the batch (the data-distribution signal).
+    pub n_keys: u64,
+}
+
+/// A scaling decision: the new task counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScaleAction {
+    /// New number of Map tasks.
+    pub map_tasks: usize,
+    /// New number of Reduce tasks.
+    pub reduce_tasks: usize,
+    /// True for scale-out, false for scale-in.
+    pub out: bool,
+}
+
+/// Algorithm 4's threshold controller.
+///
+/// # Examples
+///
+/// ```
+/// use prompt_engine::elasticity::{AutoScaler, Observation, ScalerConfig};
+///
+/// let mut scaler = AutoScaler::new(ScalerConfig { d: 2, ..Default::default() }, 4, 4);
+/// // Two batches inside the stability band: nothing happens.
+/// let calm = Observation { w: 0.85, n_tuples: 1_000, n_keys: 100 };
+/// assert!(scaler.observe(calm).is_none());
+/// assert!(scaler.observe(calm).is_none());
+/// // Two consecutive overloaded batches with a growing data rate: a Map
+/// // task is added.
+/// assert!(scaler
+///     .observe(Observation { w: 0.95, n_tuples: 2_000, n_keys: 100 })
+///     .is_none());
+/// let action = scaler
+///     .observe(Observation { w: 0.95, n_tuples: 2_200, n_keys: 100 })
+///     .expect("scale-out fires after d = 2 batches");
+/// assert!(action.out);
+/// assert_eq!(action.map_tasks, 5);
+/// ```
+#[derive(Debug)]
+pub struct AutoScaler {
+    cfg: ScalerConfig,
+    map_tasks: usize,
+    reduce_tasks: usize,
+    history: VecDeque<Observation>,
+    above: usize,
+    below: usize,
+    grace: usize,
+}
+
+impl AutoScaler {
+    /// Create a controller starting from the given parallelism.
+    pub fn new(cfg: ScalerConfig, map_tasks: usize, reduce_tasks: usize) -> AutoScaler {
+        assert!(cfg.thres > 0.0 && cfg.step >= 0.0 && cfg.d >= 1);
+        assert!(
+            (cfg.min_tasks..=cfg.max_tasks).contains(&map_tasks)
+                && (cfg.min_tasks..=cfg.max_tasks).contains(&reduce_tasks),
+            "initial task counts outside bounds"
+        );
+        AutoScaler {
+            cfg,
+            map_tasks,
+            reduce_tasks,
+            history: VecDeque::with_capacity(2 * cfg.d + 1),
+            above: 0,
+            below: 0,
+            grace: 0,
+        }
+    }
+
+    /// Current number of Map tasks.
+    pub fn map_tasks(&self) -> usize {
+        self.map_tasks
+    }
+
+    /// Current number of Reduce tasks.
+    pub fn reduce_tasks(&self) -> usize {
+        self.reduce_tasks
+    }
+
+    /// Whether the controller is inside a post-action grace period.
+    pub fn in_grace(&self) -> bool {
+        self.grace > 0
+    }
+
+    /// Trend of a metric: mean over the most recent `d` observations versus
+    /// the mean over the `d` before them. Returns 0 when not enough history.
+    fn trend(&self, f: impl Fn(&Observation) -> f64) -> f64 {
+        let d = self.cfg.d;
+        if self.history.len() < 2 * d {
+            return 0.0;
+        }
+        let vals: Vec<f64> = self.history.iter().map(f).collect();
+        let n = vals.len();
+        let recent: f64 = vals[n - d..].iter().sum::<f64>() / d as f64;
+        let older: f64 = vals[n - 2 * d..n - d].iter().sum::<f64>() / d as f64;
+        recent - older
+    }
+
+    /// Feed the controller one batch observation; returns a scaling action
+    /// when one fires.
+    pub fn observe(&mut self, obs: Observation) -> Option<ScaleAction> {
+        self.history.push_back(obs);
+        while self.history.len() > 2 * self.cfg.d {
+            self.history.pop_front();
+        }
+        if self.grace > 0 {
+            self.grace -= 1;
+            self.above = 0;
+            self.below = 0;
+            return None;
+        }
+        if obs.w > self.cfg.thres {
+            self.above += 1;
+            self.below = 0;
+        } else if obs.w <= self.cfg.thres - self.cfg.step {
+            self.below += 1;
+            self.above = 0;
+        } else {
+            // Zone 2: the stability band.
+            self.above = 0;
+            self.below = 0;
+        }
+
+        if self.above >= self.cfg.d {
+            self.above = 0;
+            self.grace = self.cfg.d;
+            let rate_up = self.trend(|o| o.n_tuples as f64) > 0.0;
+            let keys_up = self.trend(|o| o.n_keys as f64) > 0.0;
+            let mut changed = false;
+            // Overloaded with no identified driver: grow both, the safe move.
+            if (rate_up || !keys_up) && self.map_tasks < self.cfg.max_tasks {
+                self.map_tasks += 1;
+                changed = true;
+            }
+            if (keys_up || !rate_up) && self.reduce_tasks < self.cfg.max_tasks {
+                self.reduce_tasks += 1;
+                changed = true;
+            }
+            if changed {
+                return Some(ScaleAction {
+                    map_tasks: self.map_tasks,
+                    reduce_tasks: self.reduce_tasks,
+                    out: true,
+                });
+            }
+        } else if self.below >= self.cfg.d {
+            self.below = 0;
+            self.grace = self.cfg.d;
+            let rate_down = self.trend(|o| o.n_tuples as f64) < 0.0;
+            let keys_down = self.trend(|o| o.n_keys as f64) < 0.0;
+            let mut changed = false;
+            if (rate_down || !keys_down) && self.map_tasks > self.cfg.min_tasks {
+                self.map_tasks -= 1;
+                changed = true;
+            }
+            if (keys_down || !rate_down) && self.reduce_tasks > self.cfg.min_tasks {
+                self.reduce_tasks -= 1;
+                changed = true;
+            }
+            if changed {
+                return Some(ScaleAction {
+                    map_tasks: self.map_tasks,
+                    reduce_tasks: self.reduce_tasks,
+                    out: false,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(w: f64, n: u64, k: u64) -> Observation {
+        Observation {
+            w,
+            n_tuples: n,
+            n_keys: k,
+        }
+    }
+
+    fn cfg(d: usize) -> ScalerConfig {
+        ScalerConfig {
+            d,
+            ..ScalerConfig::default()
+        }
+    }
+
+    #[test]
+    fn stable_band_never_scales() {
+        let mut s = AutoScaler::new(cfg(2), 4, 4);
+        for i in 0..50 {
+            assert!(s.observe(obs(0.85, 1000 + i, 100)).is_none());
+        }
+        assert_eq!(s.map_tasks(), 4);
+        assert_eq!(s.reduce_tasks(), 4);
+    }
+
+    #[test]
+    fn overload_with_rate_growth_adds_mappers() {
+        let mut s = AutoScaler::new(cfg(2), 4, 4);
+        // Build history: rate rising, keys flat.
+        s.observe(obs(0.85, 1000, 100));
+        s.observe(obs(0.85, 1100, 100));
+        s.observe(obs(0.95, 2000, 100));
+        let act = s.observe(obs(0.95, 2100, 100)).expect("d=2 overloads fire");
+        assert!(act.out);
+        assert_eq!(act.map_tasks, 5, "rate grew → mapper added");
+        assert_eq!(act.reduce_tasks, 4, "keys flat → reducers unchanged");
+    }
+
+    #[test]
+    fn overload_with_key_growth_adds_reducers() {
+        let mut s = AutoScaler::new(cfg(2), 4, 4);
+        s.observe(obs(0.85, 1000, 100));
+        s.observe(obs(0.85, 1000, 110));
+        s.observe(obs(0.95, 1000, 400));
+        let act = s.observe(obs(0.95, 1000, 450)).expect("fires");
+        assert_eq!(act.map_tasks, 4);
+        assert_eq!(act.reduce_tasks, 5);
+    }
+
+    #[test]
+    fn overload_with_both_growing_adds_both() {
+        let mut s = AutoScaler::new(cfg(2), 4, 4);
+        s.observe(obs(0.85, 1000, 100));
+        s.observe(obs(0.85, 1100, 120));
+        s.observe(obs(0.95, 2000, 300));
+        let act = s.observe(obs(0.95, 2200, 330)).expect("fires");
+        assert_eq!((act.map_tasks, act.reduce_tasks), (5, 5));
+    }
+
+    #[test]
+    fn grace_period_blocks_reverse_decision() {
+        let mut s = AutoScaler::new(cfg(2), 4, 4);
+        s.observe(obs(0.85, 1000, 100));
+        s.observe(obs(0.85, 1100, 100));
+        s.observe(obs(0.95, 2000, 100));
+        assert!(s.observe(obs(0.95, 2100, 100)).is_some());
+        assert!(s.in_grace());
+        // Immediately under-loaded: no scale-in during grace.
+        assert!(s.observe(obs(0.2, 500, 50)).is_none());
+        assert!(s.observe(obs(0.2, 500, 50)).is_none());
+        assert!(!s.in_grace());
+    }
+
+    #[test]
+    fn underload_with_rate_drop_removes_mappers() {
+        let mut s = AutoScaler::new(cfg(2), 4, 4);
+        s.observe(obs(0.85, 2000, 100));
+        s.observe(obs(0.85, 2000, 100));
+        s.observe(obs(0.3, 500, 100));
+        let act = s.observe(obs(0.3, 400, 100)).expect("scale-in fires");
+        assert!(!act.out);
+        assert_eq!(act.map_tasks, 3);
+        assert_eq!(act.reduce_tasks, 4);
+    }
+
+    #[test]
+    fn never_scales_below_min() {
+        let c = ScalerConfig {
+            d: 1,
+            min_tasks: 2,
+            ..ScalerConfig::default()
+        };
+        let mut s = AutoScaler::new(c, 2, 2);
+        for _ in 0..20 {
+            s.observe(obs(0.1, 100, 10));
+        }
+        assert_eq!(s.map_tasks(), 2);
+        assert_eq!(s.reduce_tasks(), 2);
+    }
+
+    #[test]
+    fn never_scales_above_max() {
+        let c = ScalerConfig {
+            d: 1,
+            max_tasks: 5,
+            ..ScalerConfig::default()
+        };
+        let mut s = AutoScaler::new(c, 5, 5);
+        for i in 0..20u64 {
+            s.observe(obs(2.0, 1000 * (i + 1), 100 * (i + 1)));
+        }
+        assert_eq!(s.map_tasks(), 5);
+        assert_eq!(s.reduce_tasks(), 5);
+    }
+
+    #[test]
+    fn zone2_resets_consecutive_counters() {
+        let mut s = AutoScaler::new(cfg(2), 4, 4);
+        s.observe(obs(0.95, 1000, 100));
+        s.observe(obs(0.85, 1000, 100)); // back in band: resets
+        assert!(s.observe(obs(0.95, 1000, 100)).is_none());
+        // Needs two *consecutive* overloaded batches again.
+        assert!(s.observe(obs(0.95, 1000, 100)).is_some());
+    }
+}

@@ -1,0 +1,173 @@
+//! Streaming Map-Reduce job definitions (§2.1).
+//!
+//! A query compiles into `Map(k, v) → (k', v')` followed by an associative
+//! `Reduce` aggregation per key. Micro-batch engines additionally exploit an
+//! *inverse* Reduce to retire expired batches from sliding windows without
+//! recomputation (§2.1, Fig. 3) — [`ReduceOp::invertible`] says whether the
+//! operation supports that.
+
+use std::sync::Arc;
+
+use prompt_core::types::Tuple;
+
+/// The associative aggregation applied by the Reduce stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of values. Invertible.
+    Sum,
+    /// Count of tuples (values ignored). Invertible.
+    Count,
+    /// Maximum value. Not invertible — window eviction recomputes.
+    Max,
+    /// Minimum value. Not invertible.
+    Min,
+}
+
+impl ReduceOp {
+    /// Fold one mapped value into a partial aggregate.
+    #[inline]
+    pub fn apply(&self, acc: Option<f64>, v: f64) -> f64 {
+        match (self, acc) {
+            (ReduceOp::Sum, None) => v,
+            (ReduceOp::Sum, Some(a)) => a + v,
+            (ReduceOp::Count, None) => 1.0,
+            (ReduceOp::Count, Some(a)) => a + 1.0,
+            (ReduceOp::Max, None) => v,
+            (ReduceOp::Max, Some(a)) => a.max(v),
+            (ReduceOp::Min, None) => v,
+            (ReduceOp::Min, Some(a)) => a.min(v),
+        }
+    }
+
+    /// Merge two partial aggregates (the Reduce-side combine).
+    #[inline]
+    pub fn merge(&self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum | ReduceOp::Count => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+
+    /// Whether an inverse exists (needed for incremental window eviction).
+    #[inline]
+    pub fn invertible(&self) -> bool {
+        matches!(self, ReduceOp::Sum | ReduceOp::Count)
+    }
+
+    /// Remove a previously merged partial (`acc ⊖ old`). Panics for
+    /// non-invertible operations.
+    #[inline]
+    pub fn invert(&self, acc: f64, old: f64) -> f64 {
+        match self {
+            ReduceOp::Sum | ReduceOp::Count => acc - old,
+            _ => panic!("{self:?} has no inverse reduce"),
+        }
+    }
+}
+
+/// The Map function: filter + value transform, at most one output per input
+/// tuple. The paper's Map is key-preserving — `Map(k, v1) → (k, List(V))` —
+/// which is what keeps each block's split-key reference table valid for the
+/// Reduce allocator, so the output key is implicitly the tuple's key.
+/// (Flat-mapping generators — e.g. splitting text into words — happen in the
+/// source, exactly as the paper keys tweets by their words at ingestion.)
+pub type MapFn = Arc<dyn Fn(&Tuple) -> Option<f64> + Send + Sync>;
+
+/// A streaming Map-Reduce job.
+#[derive(Clone)]
+pub struct Job {
+    /// Job name for reports.
+    pub name: String,
+    /// The Map function.
+    pub map: MapFn,
+    /// The Reduce aggregation.
+    pub reduce: ReduceOp,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("reduce", &self.reduce)
+            .finish()
+    }
+}
+
+impl Job {
+    /// A job with an explicit map function.
+    pub fn new(
+        name: impl Into<String>,
+        map: impl Fn(&Tuple) -> Option<f64> + Send + Sync + 'static,
+        reduce: ReduceOp,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            map: Arc::new(map),
+            reduce,
+        }
+    }
+
+    /// The identity job: keep the value as-is and aggregate with `op`.
+    /// Covers WordCount (`Count`), per-key sums, etc.
+    pub fn identity(name: impl Into<String>, op: ReduceOp) -> Job {
+        Job::new(name, |t: &Tuple| Some(t.value), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prompt_core::types::{Key, Time};
+
+    #[test]
+    fn sum_and_count_apply_merge_invert() {
+        let s = ReduceOp::Sum;
+        let acc = s.apply(Some(s.apply(None, 2.0)), 3.0);
+        assert_eq!(acc, 5.0);
+        assert_eq!(s.merge(5.0, 7.0), 12.0);
+        assert!(s.invertible());
+        assert_eq!(s.invert(12.0, 5.0), 7.0);
+
+        let c = ReduceOp::Count;
+        let acc = c.apply(Some(c.apply(None, 99.0)), -1.0);
+        assert_eq!(acc, 2.0, "count ignores values");
+        assert_eq!(c.merge(2.0, 3.0), 5.0);
+        assert_eq!(c.invert(5.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn max_min_behaviour() {
+        assert_eq!(ReduceOp::Max.apply(Some(3.0), 7.0), 7.0);
+        assert_eq!(ReduceOp::Max.merge(3.0, 7.0), 7.0);
+        assert_eq!(ReduceOp::Min.apply(Some(3.0), 7.0), 3.0);
+        assert_eq!(ReduceOp::Min.merge(3.0, 7.0), 3.0);
+        assert!(!ReduceOp::Max.invertible());
+        assert!(!ReduceOp::Min.invertible());
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse reduce")]
+    fn max_invert_panics() {
+        ReduceOp::Max.invert(1.0, 1.0);
+    }
+
+    #[test]
+    fn identity_job_maps_through() {
+        let job = Job::identity("wordcount", ReduceOp::Count);
+        let t = Tuple::new(Time::ZERO, Key(4), 9.0);
+        assert_eq!((job.map)(&t), Some(9.0));
+        assert_eq!(job.name, "wordcount");
+    }
+
+    #[test]
+    fn filtering_map() {
+        let job = Job::new(
+            "evens",
+            |t: &Tuple| t.key.0.is_multiple_of(2).then_some(t.value * 2.0),
+            ReduceOp::Sum,
+        );
+        assert_eq!((job.map)(&Tuple::keyed(Time::ZERO, Key(2))), Some(2.0));
+        assert_eq!((job.map)(&Tuple::keyed(Time::ZERO, Key(3))), None);
+    }
+}

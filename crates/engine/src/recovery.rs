@@ -1,0 +1,254 @@
+//! Consistency and fault tolerance (§8).
+//!
+//! The micro-batch model gets exactly-once semantics *at batch granularity*:
+//! the input of every batch is replicated on ingestion; if a batch's
+//! computed state is lost (executor failure), it is recomputed from the
+//! replicated input. Once a batch's output has been produced *and* the
+//! batch has expired from every query window, its replicated input can be
+//! discarded.
+//!
+//! [`ReplicatedBatchStore`] implements that retention protocol and
+//! [`FaultPlan`] injects failures into the driver loop: losing a batch's
+//! state forces a recompute (which shows up in that batch's processing
+//! time); losing more replicas than exist is the unrecoverable case and
+//! surfaces as an error.
+
+use std::collections::VecDeque;
+
+use prompt_core::types::Tuple;
+
+/// A retained batch input with its remaining replica count.
+#[derive(Clone, Debug)]
+struct RetainedBatch {
+    seq: u64,
+    replicas_left: usize,
+    input: Vec<Tuple>,
+}
+
+/// Replicated storage of recent batch inputs.
+///
+/// Retention is driven by the window geometry: the engine calls
+/// [`ReplicatedBatchStore::expire_through`] once a batch has left every
+/// window, mirroring "once the batch output is produced and the batch
+/// expires from the query window, this batch can be removed" (§8).
+#[derive(Debug)]
+pub struct ReplicatedBatchStore {
+    replicas: usize,
+    retained: VecDeque<RetainedBatch>,
+    /// Total tuples currently retained (for memory accounting).
+    retained_tuples: usize,
+}
+
+/// Why a recovery attempt failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The batch's replicated input was already discarded (it had expired
+    /// from all windows) — recomputation is impossible.
+    Expired {
+        /// The requested batch.
+        seq: u64,
+    },
+    /// Every replica of the batch has been lost.
+    ReplicasExhausted {
+        /// The requested batch.
+        seq: u64,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Expired { seq } => {
+                write!(f, "batch {seq} expired from all windows; input discarded")
+            }
+            RecoveryError::ReplicasExhausted { seq } => {
+                write!(f, "all replicas of batch {seq} lost")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl ReplicatedBatchStore {
+    /// A store keeping `replicas ≥ 1` copies of each retained batch input.
+    pub fn new(replicas: usize) -> ReplicatedBatchStore {
+        assert!(replicas >= 1, "need at least one replica");
+        ReplicatedBatchStore {
+            replicas,
+            retained: VecDeque::new(),
+            retained_tuples: 0,
+        }
+    }
+
+    /// Retain the input of batch `seq` (called on ingestion).
+    pub fn retain(&mut self, seq: u64, input: Vec<Tuple>) {
+        if let Some(last) = self.retained.back() {
+            assert!(last.seq < seq, "batches must be retained in order");
+        }
+        self.retained_tuples += input.len();
+        self.retained.push_back(RetainedBatch {
+            seq,
+            replicas_left: self.replicas,
+            input,
+        });
+    }
+
+    /// Discard every batch with `seq ≤ through` — they have produced output
+    /// and exited all windows.
+    pub fn expire_through(&mut self, through: u64) {
+        while let Some(front) = self.retained.front() {
+            if front.seq > through {
+                break;
+            }
+            self.retained_tuples -= front.input.len();
+            self.retained.pop_front();
+        }
+    }
+
+    /// Fetch the replicated input of `seq` for recomputation, consuming one
+    /// replica (the failed copy is gone; a recovery read re-replicates in a
+    /// real system, here we only track the budget).
+    pub fn recover(&mut self, seq: u64) -> Result<&[Tuple], RecoveryError> {
+        let batch = self
+            .retained
+            .iter_mut()
+            .find(|b| b.seq == seq)
+            .ok_or(RecoveryError::Expired { seq })?;
+        if batch.replicas_left == 0 {
+            return Err(RecoveryError::ReplicasExhausted { seq });
+        }
+        batch.replicas_left -= 1;
+        Ok(&batch.input)
+    }
+
+    /// Number of batches currently retained.
+    pub fn len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.retained.is_empty()
+    }
+
+    /// Total tuples retained across batches (the replication memory bill is
+    /// `replicas ×` this).
+    pub fn retained_tuples(&self) -> usize {
+        self.retained_tuples
+    }
+}
+
+/// Scripted failure injection for the driver loop.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// For each entry `(seq, times)`: the state of batch `seq` is lost
+    /// `times` times, each loss forcing one recomputation from the store.
+    pub lose_state: Vec<(u64, usize)>,
+}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Lose the state of `seq` once.
+    pub fn lose_once(mut self, seq: u64) -> FaultPlan {
+        self.lose_state.push((seq, 1));
+        self
+    }
+
+    /// Lose the state of `seq` `times` times.
+    pub fn lose_times(mut self, seq: u64, times: usize) -> FaultPlan {
+        self.lose_state.push((seq, times));
+        self
+    }
+
+    /// How many state losses are scheduled for `seq`.
+    pub fn losses_for(&self, seq: u64) -> usize {
+        self.lose_state
+            .iter()
+            .filter(|&&(s, _)| s == seq)
+            .map(|&(_, n)| n)
+            .sum()
+    }
+
+    /// Whether any failure is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.lose_state.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prompt_core::types::{Key, Time};
+
+    fn tuples(n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::keyed(Time::from_micros(i as u64), Key(i as u64 % 7)))
+            .collect()
+    }
+
+    #[test]
+    fn retain_recover_roundtrip() {
+        let mut store = ReplicatedBatchStore::new(2);
+        store.retain(0, tuples(10));
+        store.retain(1, tuples(20));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.retained_tuples(), 30);
+        let got = store.recover(1).expect("recoverable");
+        assert_eq!(got.len(), 20);
+        // Second recovery consumes the last replica…
+        assert!(store.recover(1).is_ok());
+        // …and the third fails.
+        assert_eq!(
+            store.recover(1),
+            Err(RecoveryError::ReplicasExhausted { seq: 1 })
+        );
+        // Batch 0 is untouched.
+        assert!(store.recover(0).is_ok());
+    }
+
+    #[test]
+    fn expiry_discards_and_frees_memory() {
+        let mut store = ReplicatedBatchStore::new(1);
+        for seq in 0..5 {
+            store.retain(seq, tuples(10));
+        }
+        store.expire_through(2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.retained_tuples(), 20);
+        assert_eq!(store.recover(1), Err(RecoveryError::Expired { seq: 1 }));
+        assert!(store.recover(3).is_ok());
+        store.expire_through(10);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "retained in order")]
+    fn out_of_order_retention_rejected() {
+        let mut store = ReplicatedBatchStore::new(1);
+        store.retain(3, tuples(1));
+        store.retain(2, tuples(1));
+    }
+
+    #[test]
+    fn fault_plan_accounting() {
+        let plan = FaultPlan::none().lose_once(3).lose_times(5, 2).lose_once(3);
+        assert_eq!(plan.losses_for(3), 2);
+        assert_eq!(plan.losses_for(5), 2);
+        assert_eq!(plan.losses_for(4), 0);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = RecoveryError::Expired { seq: 7 };
+        assert!(e.to_string().contains("7"));
+        let e = RecoveryError::ReplicasExhausted { seq: 9 };
+        assert!(e.to_string().contains("replicas"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Bounded-delay tuple admission (§2.1 assumption 2, §8 point 3).
+//!
+//! The paper assumes tuples arrive in timestamp order with a bounded gap
+//! between a tuple's event timestamp and its ingestion time: "a maximum
+//! delay (i.e., a small percentage of the batch interval) can be defined
+//! \[so that\] delayed tuples from the source \[are\] included in the correct
+//! batch". Tuples later than the bound are outside the engine's contract
+//! (revision-tuple processing is explicitly out of scope).
+//!
+//! [`ReorderingReceiver`] realises that contract over an out-of-order
+//! upstream: it holds each batch open for `max_delay` past its heartbeat
+//! (the arrival-side dual of early batch release), re-sorts admitted tuples
+//! into event-time order, routes each to the batch its *timestamp* belongs
+//! to, and counts (rather than delivers) tuples that exceed the bound.
+
+use prompt_core::source::TupleSource;
+use prompt_core::types::{Duration, Interval, Time, Tuple};
+
+/// A receiver adapter that restores timestamp order under bounded delay.
+///
+/// `fill(interval)` is called by the driver at the batch's *seal* point;
+/// the receiver pulls the upstream's arrivals through
+/// `interval.end + max_delay` and emits exactly the tuples whose event
+/// timestamps fall in `interval`, sorted.
+pub struct ReorderingReceiver<S> {
+    inner: S,
+    max_delay: Duration,
+    /// Tuples pulled from upstream whose event time is at/after the end of
+    /// the last sealed batch.
+    held: Vec<Tuple>,
+    /// End of the arrival window already pulled from upstream.
+    pulled_through: Time,
+    /// Tuples dropped because they exceeded the delay bound.
+    late_dropped: u64,
+}
+
+impl<S: TupleSource> ReorderingReceiver<S> {
+    /// Wrap `inner` with a delay bound.
+    pub fn new(inner: S, max_delay: Duration) -> ReorderingReceiver<S> {
+        ReorderingReceiver {
+            inner,
+            max_delay,
+            held: Vec::new(),
+            pulled_through: Time::ZERO,
+            late_dropped: 0,
+        }
+    }
+
+    /// Tuples dropped so far for exceeding the delay bound.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// The configured maximum delay.
+    pub fn max_delay(&self) -> Duration {
+        self.max_delay
+    }
+
+    /// Access the wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TupleSource> TupleSource for ReorderingReceiver<S> {
+    fn fill(&mut self, interval: Interval, out: &mut Vec<Tuple>) {
+        // Pull upstream arrivals through the seal point of this batch.
+        let seal = interval.end + self.max_delay;
+        if seal > self.pulled_through {
+            let arrival_iv = Interval::new(self.pulled_through, seal);
+            self.inner.fill(arrival_iv, &mut self.held);
+            self.pulled_through = seal;
+        }
+        // Route held tuples: this batch, a future batch, or too late.
+        let mut keep = Vec::with_capacity(self.held.len());
+        let start = out.len();
+        for t in self.held.drain(..) {
+            if t.ts >= interval.end {
+                keep.push(t);
+            } else if interval.contains(t.ts) {
+                out.push(t);
+            } else {
+                // Event time before this batch: it belonged to an earlier,
+                // already-sealed batch — beyond the delay bound.
+                self.late_dropped += 1;
+            }
+        }
+        self.held = keep;
+        out[start..].sort_by_key(|t| t.ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prompt_core::types::Key;
+
+    /// Upstream emitting tuples by *arrival* time with scripted (arrival,
+    /// event) pairs.
+    struct Scripted {
+        // (arrival, event, key) sorted by arrival.
+        events: Vec<(u64, u64, u64)>,
+    }
+
+    impl TupleSource for Scripted {
+        fn fill(&mut self, interval: Interval, out: &mut Vec<Tuple>) {
+            for &(arrival, event, key) in &self.events {
+                let a = Time::from_millis(arrival);
+                if interval.contains(a) {
+                    out.push(Tuple::keyed(Time::from_millis(event), Key(key)));
+                }
+            }
+        }
+    }
+
+    fn batch(rx: &mut ReorderingReceiver<Scripted>, a: u64, b: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        rx.fill(
+            Interval::new(Time::from_millis(a), Time::from_millis(b)),
+            &mut out,
+        );
+        out.iter().map(|t| (t.ts.as_micros() / 1000, t.key.0)).collect()
+    }
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let src = Scripted {
+            events: vec![(10, 10, 1), (20, 20, 2), (1010, 1010, 3)],
+        };
+        let mut rx = ReorderingReceiver::new(src, Duration::from_millis(100));
+        assert_eq!(batch(&mut rx, 0, 1000), vec![(10, 1), (20, 2)]);
+        assert_eq!(batch(&mut rx, 1000, 2000), vec![(1010, 3)]);
+        assert_eq!(rx.late_dropped(), 0);
+    }
+
+    #[test]
+    fn delayed_tuple_lands_in_its_event_batch() {
+        // Event at 990 ms arrives at 1050 ms — within the 100 ms bound, so
+        // it must appear in batch [0, 1000), sorted into place.
+        let src = Scripted {
+            events: vec![(10, 10, 1), (1050, 990, 2), (1060, 1020, 3)],
+        };
+        let mut rx = ReorderingReceiver::new(src, Duration::from_millis(100));
+        assert_eq!(batch(&mut rx, 0, 1000), vec![(10, 1), (990, 2)]);
+        assert_eq!(batch(&mut rx, 1000, 2000), vec![(1020, 3)]);
+        assert_eq!(rx.late_dropped(), 0);
+    }
+
+    #[test]
+    fn beyond_bound_tuple_is_dropped_and_counted() {
+        // Event at 500 ms arrives at 1200 ms — 700 ms late, bound is 100 ms:
+        // its batch sealed at 1100 ms, so it is dropped.
+        let src = Scripted {
+            events: vec![(10, 10, 1), (1200, 500, 2)],
+        };
+        let mut rx = ReorderingReceiver::new(src, Duration::from_millis(100));
+        assert_eq!(batch(&mut rx, 0, 1000), vec![(10, 1)]);
+        assert_eq!(batch(&mut rx, 1000, 2000), Vec::<(u64, u64)>::new());
+        assert_eq!(rx.late_dropped(), 1);
+    }
+
+    #[test]
+    fn output_is_sorted_even_when_arrivals_are_shuffled() {
+        let src = Scripted {
+            events: vec![(40, 300, 1), (50, 100, 2), (60, 200, 3), (70, 50, 4)],
+        };
+        let mut rx = ReorderingReceiver::new(src, Duration::from_millis(50));
+        let got = batch(&mut rx, 0, 1000);
+        assert_eq!(got, vec![(50, 4), (100, 2), (200, 3), (300, 1)]);
+    }
+
+    #[test]
+    fn accessors() {
+        let rx = ReorderingReceiver::new(Scripted { events: vec![] }, Duration::from_millis(7));
+        assert_eq!(rx.max_delay(), Duration::from_millis(7));
+        assert!(rx.inner().events.is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! Pipeline execution of one micro-batch: the Map stage over data blocks,
+//! the shuffle into Reduce buckets (Algorithm 3 or hashing), and the Reduce
+//! stage — with task times from the [`CostModel`] and stage times as cluster
+//! makespans (Eqn. 1 generalised to wave scheduling).
+
+use prompt_core::batch::PartitionPlan;
+use prompt_core::hash::KeyMap;
+use prompt_core::reduce::{KeyCluster, ReduceAssigner};
+use prompt_core::types::{Duration, Key};
+
+use crate::cluster::Cluster;
+use crate::cost::CostModel;
+use crate::job::Job;
+
+/// Per-key aggregates produced by one batch (the batch's partial query
+/// state, §2.1).
+#[derive(Clone, Debug, Default)]
+pub struct BatchOutput {
+    /// Final per-key aggregate of the batch.
+    pub aggregates: KeyMap<f64>,
+}
+
+impl BatchOutput {
+    /// Number of keys in the output.
+    pub fn len(&self) -> usize {
+        self.aggregates.len()
+    }
+
+    /// Whether the batch produced no output.
+    pub fn is_empty(&self) -> bool {
+        self.aggregates.is_empty()
+    }
+}
+
+/// Task- and stage-level timings of one executed batch.
+#[derive(Clone, Debug, Default)]
+pub struct StageTimes {
+    /// Per-Map-task execution times (length = number of blocks).
+    pub map_tasks: Vec<Duration>,
+    /// Per-Reduce-task execution times (length = `r`).
+    pub reduce_tasks: Vec<Duration>,
+    /// Map stage makespan on the cluster.
+    pub map_stage: Duration,
+    /// Reduce stage makespan on the cluster.
+    pub reduce_stage: Duration,
+}
+
+impl StageTimes {
+    /// Total processing time: Map stage then Reduce stage (Eqn. 1).
+    pub fn processing(&self) -> Duration {
+        self.map_stage + self.reduce_stage
+    }
+}
+
+/// One (key, partial) produced by a Map task for a Reduce bucket.
+#[derive(Clone, Debug)]
+struct Partial {
+    key: Key,
+    value: f64,
+    tuples: usize,
+}
+
+/// Execute a partitioned batch: run `job` over every block (Map), assign the
+/// key clusters to `r` Reduce buckets with `assigner`, aggregate (Reduce),
+/// and cost every task.
+pub fn execute_batch(
+    plan: &PartitionPlan,
+    job: &Job,
+    assigner: &mut dyn ReduceAssigner,
+    r: usize,
+    cost: &CostModel,
+    cluster: &Cluster,
+) -> (BatchOutput, StageTimes) {
+    assert!(r > 0, "need at least one reduce task");
+    let mut map_tasks = Vec::with_capacity(plan.blocks.len());
+    let mut bucket_partials: Vec<Vec<Partial>> = vec![Vec::new(); r];
+
+    for block in &plan.blocks {
+        // Map + local combine: fold every mapped tuple into its key cluster.
+        let mut clusters: KeyMap<(f64, usize)> = KeyMap::default();
+        clusters.reserve(block.cardinality());
+        for t in &block.tuples {
+            if let Some(v) = (job.map)(t) {
+                match clusters.entry(t.key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let (acc, n) = e.get_mut();
+                        *acc = job.reduce.apply(Some(*acc), v);
+                        *n += 1;
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((job.reduce.apply(None, v), 1));
+                    }
+                }
+            }
+        }
+        // Deterministic cluster order regardless of hash-map iteration.
+        let mut ordered: Vec<(Key, (f64, usize))> = clusters.into_iter().collect();
+        ordered.sort_unstable_by_key(|(k, _)| k.0);
+        let cluster_descs: Vec<KeyCluster> = ordered
+            .iter()
+            .map(|&(key, (_, n))| KeyCluster { key, size: n })
+            .collect();
+
+        // Shuffle: route each cluster to its Reduce bucket.
+        let assignment = assigner.assign(&cluster_descs, &plan.split_keys, r);
+        debug_assert_eq!(assignment.len(), cluster_descs.len());
+        for ((key, (value, tuples)), &bucket) in ordered.into_iter().zip(&assignment) {
+            bucket_partials[bucket].push(Partial { key, value, tuples });
+        }
+
+        // Map-task cost covers the whole block (filtering happens inside the
+        // user function).
+        map_tasks.push(cost.map_task(block.size(), block.cardinality()));
+    }
+
+    // Reduce: merge partials per key within each bucket.
+    let mut aggregates: KeyMap<f64> = KeyMap::default();
+    let mut reduce_tasks = Vec::with_capacity(r);
+    for partials in &bucket_partials {
+        let mut bucket_keys: KeyMap<f64> = KeyMap::default();
+        let mut tuples = 0usize;
+        let fragments = partials.len();
+        for p in partials {
+            tuples += p.tuples;
+            bucket_keys
+                .entry(p.key)
+                .and_modify(|acc| *acc = job.reduce.merge(*acc, p.value))
+                .or_insert(p.value);
+        }
+        let keys = bucket_keys.len();
+        reduce_tasks.push(cost.reduce_task(tuples, keys, fragments));
+        for (k, v) in bucket_keys {
+            let prev = aggregates.insert(k, v);
+            debug_assert!(prev.is_none(), "key {k:?} reduced in two buckets");
+        }
+    }
+
+    let map_stage = cluster.makespan(&map_tasks);
+    let reduce_stage = cluster.makespan(&reduce_tasks);
+    (
+        BatchOutput { aggregates },
+        StageTimes {
+            map_tasks,
+            reduce_tasks,
+            map_stage,
+            reduce_stage,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ReduceOp;
+    use prompt_core::partitioner::Technique;
+    use prompt_core::reduce::{HashReduceAssigner, PromptReduceAllocator};
+    use prompt_core::types::{Interval, Time, Tuple};
+    use prompt_core::batch::MicroBatch;
+
+    fn batch(spec: &[(u64, usize)]) -> MicroBatch {
+        let iv = Interval::new(Time::ZERO, Time::from_secs(1));
+        let total: usize = spec.iter().map(|&(_, c)| c).sum();
+        let step = iv.len().0 / (total.max(1) as u64 + 1);
+        let mut tuples = Vec::new();
+        let mut remaining: Vec<(u64, usize)> = spec.to_vec();
+        let mut ts = 0;
+        while tuples.len() < total {
+            for r in remaining.iter_mut() {
+                if r.1 > 0 {
+                    r.1 -= 1;
+                    ts += step;
+                    tuples.push(Tuple::new(Time::from_micros(ts), Key(r.0), 2.0));
+                }
+            }
+        }
+        MicroBatch::new(tuples, iv)
+    }
+
+    fn run(
+        tech: Technique,
+        spec: &[(u64, usize)],
+        p: usize,
+        r: usize,
+    ) -> (BatchOutput, StageTimes) {
+        let mb = batch(spec);
+        let plan = tech.build(5).partition(&mb, p);
+        let job = Job::identity("sum", ReduceOp::Sum);
+        let mut assigner = PromptReduceAllocator::new(5);
+        execute_batch(
+            &plan,
+            &job,
+            &mut assigner,
+            r,
+            &CostModel::default(),
+            &Cluster::new(1, 8),
+        )
+    }
+
+    #[test]
+    fn aggregates_are_exact_regardless_of_partitioner() {
+        let spec = [(1u64, 100usize), (2, 50), (3, 25), (4, 5)];
+        for tech in Technique::EVALUATION_SET {
+            let (out, _) = run(tech, &spec, 4, 2);
+            assert_eq!(out.len(), 4, "{tech:?}");
+            for &(k, c) in &spec {
+                let v = out.aggregates[&Key(k)];
+                assert_eq!(v, 2.0 * c as f64, "{tech:?} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_job_counts() {
+        let mb = batch(&[(1, 10), (2, 20)]);
+        let plan = Technique::Prompt.build(0).partition(&mb, 2);
+        let job = Job::identity("count", ReduceOp::Count);
+        let (out, times) = execute_batch(
+            &plan,
+            &job,
+            &mut HashReduceAssigner::new(0),
+            2,
+            &CostModel::default(),
+            &Cluster::new(1, 4),
+        );
+        assert_eq!(out.aggregates[&Key(1)], 10.0);
+        assert_eq!(out.aggregates[&Key(2)], 20.0);
+        assert_eq!(times.map_tasks.len(), 2);
+        assert_eq!(times.reduce_tasks.len(), 2);
+        assert!(times.processing() > Duration::ZERO);
+    }
+
+    #[test]
+    fn filtered_tuples_do_not_reach_reduce() {
+        let mb = batch(&[(1, 10), (2, 10)]);
+        let plan = Technique::Shuffle.build(0).partition(&mb, 2);
+        let job = Job::new(
+            "only-key-1",
+            |t: &Tuple| (t.key == Key(1)).then_some(1.0),
+            ReduceOp::Sum,
+        );
+        let (out, _) = execute_batch(
+            &plan,
+            &job,
+            &mut HashReduceAssigner::new(0),
+            2,
+            &CostModel::default(),
+            &Cluster::new(1, 4),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.aggregates[&Key(1)], 10.0);
+    }
+
+    #[test]
+    fn imbalanced_plan_has_longer_stage_time() {
+        // Hash concentrates the hot key; Prompt splits it. Same totals, but
+        // the max Map-task time (and hence the stage) differs.
+        let spec = [(1u64, 2000usize), (2, 10), (3, 10), (4, 10)];
+        let (_, hash_times) = run(Technique::Hash, &spec, 4, 4);
+        let (_, prompt_times) = run(Technique::Prompt, &spec, 4, 4);
+        assert!(
+            prompt_times.map_stage < hash_times.map_stage,
+            "prompt {:?} vs hash {:?}",
+            prompt_times.map_stage,
+            hash_times.map_stage
+        );
+    }
+
+    #[test]
+    fn shuffle_pays_fragment_merges_at_reduce() {
+        // Key-sorted arrivals (all of key 1, then key 2, …): shuffle's
+        // round-robin splits every key across all blocks, so the reduce
+        // tasks pay a per-fragment merge for each (key, map task) partial.
+        // Hash keeps locality and pays none.
+        let iv = Interval::new(Time::ZERO, Time::from_secs(1));
+        let mut tuples = Vec::new();
+        for k in 1..=32u64 {
+            for _ in 0..64 {
+                let ts = Time::from_micros(tuples.len() as u64 * 400);
+                tuples.push(Tuple::new(ts, Key(k), 1.0));
+            }
+        }
+        let mb = MicroBatch::new(tuples, iv);
+        let job = Job::identity("sum", ReduceOp::Sum);
+        let exec = |tech: Technique| {
+            let plan = tech.build(5).partition(&mb, 8);
+            let mut assigner = PromptReduceAllocator::new(5);
+            execute_batch(
+                &plan,
+                &job,
+                &mut assigner,
+                4,
+                &CostModel::default(),
+                &Cluster::new(1, 8),
+            )
+            .1
+        };
+        let shuffle_times = exec(Technique::Shuffle);
+        let hash_times = exec(Technique::Hash);
+        let sum = |v: &[Duration]| -> u64 { v.iter().map(|d| d.as_micros()).sum() };
+        assert!(
+            sum(&shuffle_times.reduce_tasks) > sum(&hash_times.reduce_tasks),
+            "shuffle reduce work should exceed hash (fragment merges)"
+        );
+    }
+
+    #[test]
+    fn empty_plan_still_pays_fixed_costs() {
+        let mb = batch(&[]);
+        let plan = Technique::Shuffle.build(0).partition(&mb, 3);
+        let job = Job::identity("sum", ReduceOp::Sum);
+        let (out, times) = execute_batch(
+            &plan,
+            &job,
+            &mut HashReduceAssigner::new(0),
+            2,
+            &CostModel::default(),
+            &Cluster::new(1, 4),
+        );
+        assert!(out.is_empty());
+        assert_eq!(times.map_tasks.len(), 3);
+        assert_eq!(times.map_stage, CostModel::default().map_fixed);
+    }
+}

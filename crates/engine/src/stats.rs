@@ -1,0 +1,110 @@
+//! Small summary-statistics helpers used by the experiment harness and the
+//! latency-distribution analyses (Fig. 13).
+
+/// A distribution summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Nearest-rank percentile of a **sorted** slice (`p` in `[0, 1]`).
+/// Returns 0 for an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "percentile in [0, 1]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Summarise a sample (copies and sorts internally).
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary::default();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    Summary {
+        n,
+        mean,
+        std: var.sqrt(),
+        min: sorted[0],
+        p5: percentile_sorted(&sorted, 0.05),
+        p50: percentile_sorted(&sorted, 0.50),
+        p95: percentile_sorted(&sorted, 0.95),
+        max: sorted[n - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = summarize(&values);
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 51.0); // nearest-rank: index round(49.5) = 50
+        assert_eq!(s.p5, 6.0);
+        assert_eq!(s.p95, 95.0);
+        assert!((s.std - 28.866).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_sample() {
+        assert_eq!(summarize(&[]), Summary::default());
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = summarize(&[7.0]);
+        assert_eq!((s.mean, s.min, s.max, s.p50), (7.0, 7.0, 7.0, 7.0));
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile in [0, 1]")]
+    fn percentile_out_of_range() {
+        percentile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled_by_summarize() {
+        let s = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 2.0);
+    }
+}

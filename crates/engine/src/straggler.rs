@@ -1,0 +1,142 @@
+//! Environment-induced straggler injection.
+//!
+//! Fig. 2's unbalanced-load cases arise from *partitioning*; real clusters
+//! additionally produce stragglers from the environment — GC pauses, noisy
+//! neighbours, slow disks. This module scripts such events so tests and
+//! experiments can measure how scheduling reacts to a task suddenly running
+//! `k×` slower, independently of partitioning quality.
+
+use prompt_core::types::Duration;
+
+/// Which stage a straggler event hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// A Map task (block processing).
+    Map,
+    /// A Reduce task (bucket aggregation).
+    Reduce,
+}
+
+/// One scripted slowdown: task `task` of `stage` in batch `batch` runs
+/// `slowdown ×` its modelled time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StragglerEvent {
+    /// Batch sequence number the event fires in.
+    pub batch: u64,
+    /// Stage hit.
+    pub stage: Stage,
+    /// Task index within the stage (ignored if out of range that batch).
+    pub task: usize,
+    /// Multiplicative slowdown (≥ 1).
+    pub slowdown: f64,
+}
+
+/// A scripted set of straggler events.
+#[derive(Clone, Debug, Default)]
+pub struct StragglerPlan {
+    events: Vec<StragglerEvent>,
+}
+
+impl StragglerPlan {
+    /// No stragglers.
+    pub fn none() -> StragglerPlan {
+        StragglerPlan::default()
+    }
+
+    /// Add one event.
+    pub fn slow(mut self, batch: u64, stage: Stage, task: usize, slowdown: f64) -> StragglerPlan {
+        assert!(slowdown >= 1.0, "slowdown must be ≥ 1");
+        self.events.push(StragglerEvent {
+            batch,
+            stage,
+            task,
+            slowdown,
+        });
+        self
+    }
+
+    /// A periodic plan: every `period` batches, the given task of `stage`
+    /// runs `slowdown ×` slower — a crude noisy-neighbour model.
+    pub fn periodic(stage: Stage, task: usize, slowdown: f64, period: u64, batches: u64) -> StragglerPlan {
+        assert!(period >= 1);
+        let mut plan = StragglerPlan::none();
+        let mut b = 0;
+        while b < batches {
+            plan = plan.slow(b, stage, task, slowdown);
+            b += period;
+        }
+        plan
+    }
+
+    /// Whether any event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Apply this plan's events for batch `seq` to the per-task times.
+    /// Out-of-range task indices are ignored (the batch may have fewer
+    /// tasks than the script assumed).
+    pub fn apply(&self, seq: u64, map_tasks: &mut [Duration], reduce_tasks: &mut [Duration]) {
+        for e in self.events.iter().filter(|e| e.batch == seq) {
+            let target = match e.stage {
+                Stage::Map => map_tasks.get_mut(e.task),
+                Stage::Reduce => reduce_tasks.get_mut(e.task),
+            };
+            if let Some(d) = target {
+                *d = d.mul_f64(e.slowdown);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn apply_inflates_only_the_target() {
+        let plan = StragglerPlan::none()
+            .slow(3, Stage::Map, 1, 4.0)
+            .slow(3, Stage::Reduce, 0, 2.0);
+        let mut maps = vec![d(10), d(10), d(10)];
+        let mut reduces = vec![d(20), d(20)];
+        plan.apply(2, &mut maps, &mut reduces);
+        assert_eq!(maps, vec![d(10), d(10), d(10)], "wrong batch: no-op");
+        plan.apply(3, &mut maps, &mut reduces);
+        assert_eq!(maps, vec![d(10), d(40), d(10)]);
+        assert_eq!(reduces, vec![d(40), d(20)]);
+    }
+
+    #[test]
+    fn out_of_range_task_is_ignored() {
+        let plan = StragglerPlan::none().slow(0, Stage::Map, 99, 10.0);
+        let mut maps = vec![d(5)];
+        let mut reduces = vec![];
+        plan.apply(0, &mut maps, &mut reduces);
+        assert_eq!(maps, vec![d(5)]);
+    }
+
+    #[test]
+    fn periodic_covers_the_expected_batches() {
+        let plan = StragglerPlan::periodic(Stage::Reduce, 0, 3.0, 4, 10);
+        assert!(!plan.is_empty());
+        let hit = |seq: u64| {
+            let mut maps = vec![];
+            let mut reduces = vec![d(10)];
+            plan.apply(seq, &mut maps, &mut reduces);
+            reduces[0] != d(10)
+        };
+        assert!(hit(0) && hit(4) && hit(8));
+        assert!(!hit(1) && !hit(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be ≥ 1")]
+    fn speedups_rejected() {
+        let _ = StragglerPlan::none().slow(0, Stage::Map, 0, 0.5);
+    }
+}

@@ -1,0 +1,295 @@
+//! Sliding/tumbling windows over batch states (§2.1, Fig. 3).
+//!
+//! A streaming query's answer aggregates the partial outputs of all batches
+//! inside the window's time predicate. Batches *entering* the window merge
+//! into the running answer; batches *exiting* are retired with the inverse
+//! Reduce when the operation is invertible (the paper implements inverse
+//! Reduce for all window queries to avoid re-evaluation, §7), and by
+//! recomputation otherwise.
+
+use std::collections::VecDeque;
+
+use prompt_core::hash::KeyMap;
+use prompt_core::types::{Duration, Key};
+
+use crate::job::ReduceOp;
+use crate::stage::BatchOutput;
+
+/// A window specification in stream time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window length (e.g. 30 s).
+    pub length: Duration,
+    /// Slide between results (equal to `length` for tumbling windows).
+    pub slide: Duration,
+}
+
+impl WindowSpec {
+    /// A sliding window.
+    pub fn sliding(length: Duration, slide: Duration) -> WindowSpec {
+        assert!(slide.0 > 0 && length.0 >= slide.0, "invalid window spec");
+        WindowSpec { length, slide }
+    }
+
+    /// A tumbling window (slide = length).
+    pub fn tumbling(length: Duration) -> WindowSpec {
+        WindowSpec::sliding(length, length)
+    }
+
+    /// Express the window in whole batches of `batch_interval`, rounding up
+    /// (a window must cover at least one batch).
+    pub fn in_batches(&self, batch_interval: Duration) -> (usize, usize) {
+        assert!(batch_interval.0 > 0, "batch interval must be positive");
+        let len = self.length.0.div_ceil(batch_interval.0).max(1) as usize;
+        let slide = self.slide.0.div_ceil(batch_interval.0).max(1) as usize;
+        (len, slide.min(len))
+    }
+}
+
+/// One emitted window result.
+#[derive(Clone, Debug)]
+pub struct WindowResult {
+    /// Sequence number of the last batch included.
+    pub last_batch_seq: u64,
+    /// Per-key aggregates over the window.
+    pub aggregates: KeyMap<f64>,
+}
+
+impl WindowResult {
+    /// The `k` largest aggregates, descending (ties by key ascending) — the
+    /// TopKCount query's final step.
+    pub fn top_k(&self, k: usize) -> Vec<(Key, f64)> {
+        let mut all: Vec<(Key, f64)> = self.aggregates.iter().map(|(&k, &v)| (k, v)).collect();
+        all.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0 .0.cmp(&b.0 .0))
+        });
+        all.truncate(k);
+        all
+    }
+}
+
+/// Incremental window state over batch outputs.
+///
+/// # Examples
+///
+/// ```
+/// use prompt_engine::window::{WindowSpec, WindowState};
+/// use prompt_engine::job::ReduceOp;
+/// use prompt_engine::stage::BatchOutput;
+/// use prompt_core::types::{Duration, Key};
+///
+/// let spec = WindowSpec::sliding(Duration::from_secs(2), Duration::from_secs(1));
+/// let mut window = WindowState::new(spec, Duration::from_secs(1), ReduceOp::Sum);
+/// let mut batch = BatchOutput::default();
+/// batch.aggregates.insert(Key(1), 5.0);
+/// let first = window.push(batch.clone()).expect("slide 1 emits every batch");
+/// assert_eq!(first.aggregates[&Key(1)], 5.0);
+/// let second = window.push(batch).expect("second result");
+/// assert_eq!(second.aggregates[&Key(1)], 10.0); // two batches in the window
+/// ```
+#[derive(Debug)]
+pub struct WindowState {
+    op: ReduceOp,
+    len_batches: usize,
+    slide_batches: usize,
+    /// In-window batch outputs, oldest first (needed for eviction and for
+    /// non-invertible recomputation).
+    buffer: VecDeque<BatchOutput>,
+    /// Running per-key aggregate with contribution counts (only maintained
+    /// for invertible operations).
+    running: KeyMap<(f64, usize)>,
+    seq: u64,
+    since_emit: usize,
+}
+
+impl WindowState {
+    /// Create a window state for `spec` over batches of `batch_interval`.
+    pub fn new(spec: WindowSpec, batch_interval: Duration, op: ReduceOp) -> WindowState {
+        let (len_batches, slide_batches) = spec.in_batches(batch_interval);
+        WindowState {
+            op,
+            len_batches,
+            slide_batches,
+            buffer: VecDeque::with_capacity(len_batches + 1),
+            running: KeyMap::default(),
+            seq: 0,
+            since_emit: 0,
+        }
+    }
+
+    /// Window length in batches.
+    pub fn len_batches(&self) -> usize {
+        self.len_batches
+    }
+
+    /// Push one batch output; returns a result when a slide boundary is
+    /// crossed.
+    pub fn push(&mut self, out: BatchOutput) -> Option<WindowResult> {
+        if self.op.invertible() {
+            for (&k, &v) in &out.aggregates {
+                let e = self.running.entry(k).or_insert((0.0, 0));
+                e.0 = if e.1 == 0 { v } else { self.op.merge(e.0, v) };
+                e.1 += 1;
+            }
+        }
+        self.buffer.push_back(out);
+        if self.buffer.len() > self.len_batches {
+            let old = self.buffer.pop_front().expect("buffer non-empty");
+            if self.op.invertible() {
+                for (k, v) in old.aggregates {
+                    let e = self.running.get_mut(&k).expect("evicted key tracked");
+                    e.1 -= 1;
+                    if e.1 == 0 {
+                        self.running.remove(&k);
+                    } else {
+                        e.0 = self.op.invert(e.0, v);
+                    }
+                }
+            }
+        }
+        self.seq += 1;
+        self.since_emit += 1;
+        if self.since_emit >= self.slide_batches {
+            self.since_emit = 0;
+            Some(WindowResult {
+                last_batch_seq: self.seq - 1,
+                aggregates: self.current(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The current window aggregate (incremental when invertible, recomputed
+    /// otherwise).
+    pub fn current(&self) -> KeyMap<f64> {
+        if self.op.invertible() {
+            self.running.iter().map(|(&k, &(v, _))| (k, v)).collect()
+        } else {
+            let mut acc: KeyMap<f64> = KeyMap::default();
+            for out in &self.buffer {
+                for (&k, &v) in &out.aggregates {
+                    acc.entry(k)
+                        .and_modify(|a| *a = self.op.merge(*a, v))
+                        .or_insert(v);
+                }
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(spec: &[(u64, f64)]) -> BatchOutput {
+        let mut aggregates = KeyMap::default();
+        for &(k, v) in spec {
+            aggregates.insert(Key(k), v);
+        }
+        BatchOutput { aggregates }
+    }
+
+    #[test]
+    fn spec_in_batches_rounds_up() {
+        let s = WindowSpec::sliding(Duration::from_secs(30), Duration::from_secs(10));
+        assert_eq!(s.in_batches(Duration::from_secs(3)), (10, 4));
+        assert_eq!(s.in_batches(Duration::from_secs(30)), (1, 1));
+        let t = WindowSpec::tumbling(Duration::from_secs(10));
+        assert_eq!(t.in_batches(Duration::from_secs(5)), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid window spec")]
+    fn slide_longer_than_length_rejected() {
+        let _ = WindowSpec::sliding(Duration::from_secs(5), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn sliding_sum_evicts_incrementally() {
+        // Window of 3 batches, slide 1, Sum.
+        let spec = WindowSpec::sliding(Duration::from_secs(3), Duration::from_secs(1));
+        let mut w = WindowState::new(spec, Duration::from_secs(1), ReduceOp::Sum);
+        assert_eq!(w.len_batches(), 3);
+        let r1 = w.push(out(&[(1, 10.0)])).expect("slide 1 emits each batch");
+        assert_eq!(r1.aggregates[&Key(1)], 10.0);
+        let r2 = w.push(out(&[(1, 5.0), (2, 1.0)])).unwrap();
+        assert_eq!(r2.aggregates[&Key(1)], 15.0);
+        let r3 = w.push(out(&[(1, 2.0)])).unwrap();
+        assert_eq!(r3.aggregates[&Key(1)], 17.0);
+        // Fourth push evicts the first batch (10.0).
+        let r4 = w.push(out(&[(3, 7.0)])).unwrap();
+        assert_eq!(r4.aggregates[&Key(1)], 7.0);
+        assert_eq!(r4.aggregates[&Key(2)], 1.0);
+        assert_eq!(r4.aggregates[&Key(3)], 7.0);
+        // Fifth push evicts batch 2; key 2 disappears entirely.
+        let r5 = w.push(out(&[])).unwrap();
+        assert!(!r5.aggregates.contains_key(&Key(2)));
+        assert_eq!(r5.aggregates[&Key(1)], 2.0);
+    }
+
+    #[test]
+    fn incremental_matches_recompute_for_sum() {
+        let spec = WindowSpec::sliding(Duration::from_secs(4), Duration::from_secs(1));
+        let mut w = WindowState::new(spec, Duration::from_secs(1), ReduceOp::Sum);
+        let batches = [
+            out(&[(1, 1.0), (2, 2.0)]),
+            out(&[(1, 3.0)]),
+            out(&[(2, 4.0), (3, 5.0)]),
+            out(&[(1, -1.0)]),
+            out(&[(3, 2.0)]),
+            out(&[]),
+        ];
+        for b in batches {
+            w.push(b.clone());
+            // Recompute from the buffer and compare with the running state.
+            let mut expect: KeyMap<f64> = KeyMap::default();
+            for o in &w.buffer {
+                for (&k, &v) in &o.aggregates {
+                    *expect.entry(k).or_insert(0.0) += v;
+                }
+            }
+            let got = w.current();
+            assert_eq!(got.len(), expect.len());
+            for (k, v) in expect {
+                assert!((got[&k] - v).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn non_invertible_max_recomputes() {
+        let spec = WindowSpec::sliding(Duration::from_secs(2), Duration::from_secs(1));
+        let mut w = WindowState::new(spec, Duration::from_secs(1), ReduceOp::Max);
+        w.push(out(&[(1, 100.0)]));
+        w.push(out(&[(1, 5.0)]));
+        assert_eq!(w.current()[&Key(1)], 100.0);
+        // Evict the 100: max must drop to 5.
+        let r = w.push(out(&[(1, 7.0)])).unwrap();
+        assert_eq!(r.aggregates[&Key(1)], 7.0);
+    }
+
+    #[test]
+    fn slide_gt_one_emits_sparsely() {
+        let spec = WindowSpec::sliding(Duration::from_secs(4), Duration::from_secs(2));
+        let mut w = WindowState::new(spec, Duration::from_secs(1), ReduceOp::Count);
+        assert!(w.push(out(&[(1, 1.0)])).is_none());
+        assert!(w.push(out(&[(1, 1.0)])).is_some());
+        assert!(w.push(out(&[(1, 1.0)])).is_none());
+        assert!(w.push(out(&[(1, 1.0)])).is_some());
+    }
+
+    #[test]
+    fn top_k_orders_descending_with_key_ties() {
+        let r = WindowResult {
+            last_batch_seq: 0,
+            aggregates: out(&[(1, 5.0), (2, 9.0), (3, 5.0), (4, 1.0)]).aggregates,
+        };
+        let top = r.top_k(3);
+        assert_eq!(top, vec![(Key(2), 9.0), (Key(1), 5.0), (Key(3), 5.0)]);
+        assert_eq!(r.top_k(0), vec![]);
+    }
+}

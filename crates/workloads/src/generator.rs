@@ -1,0 +1,230 @@
+//! The generic stream generator: a rate profile × a key model × a value
+//! model, implementing the engine's [`TupleSource`].
+
+use prompt_core::source::TupleSource;
+use prompt_core::types::{Interval, Key, Time, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::keydist::KeyDistribution;
+use crate::rate::RateProfile;
+
+/// How keys evolve over stream time.
+pub enum KeyModel {
+    /// A fixed distribution.
+    Static(Box<dyn KeyDistribution>),
+    /// Uniform over a cardinality that drifts linearly with time:
+    /// `n(t) = clamp(base + per_sec · t, min, max)`. Drives the elasticity
+    /// experiments where the *data distribution* (number of distinct keys)
+    /// grows or shrinks (Fig. 12).
+    Drifting {
+        /// Cardinality at `t = 0`.
+        base: f64,
+        /// Cardinality change per second (negative to shrink).
+        per_sec: f64,
+        /// Lower clamp (≥ 1).
+        min: u64,
+        /// Upper clamp.
+        max: u64,
+    },
+}
+
+impl KeyModel {
+    /// Sample a key at stream time `t`.
+    pub fn sample(&mut self, t: Time, rng: &mut StdRng) -> Key {
+        match self {
+            KeyModel::Static(d) => d.sample(rng),
+            KeyModel::Drifting {
+                base,
+                per_sec,
+                min,
+                max,
+            } => {
+                let n = (*base + *per_sec * t.as_secs_f64())
+                    .round()
+                    .clamp(*min as f64, *max as f64) as u64;
+                Key(rng.random_range(0..n.max(1)))
+            }
+        }
+    }
+
+    /// The (current or static) cardinality bound.
+    pub fn cardinality_at(&self, t: Time) -> u64 {
+        match self {
+            KeyModel::Static(d) => d.cardinality(),
+            KeyModel::Drifting {
+                base,
+                per_sec,
+                min,
+                max,
+            } => (*base + *per_sec * t.as_secs_f64())
+                .round()
+                .clamp(*min as f64, *max as f64) as u64,
+        }
+    }
+}
+
+/// A custom value generator: `(key, rng) -> value`.
+pub type ValueFn = Box<dyn FnMut(Key, &mut StdRng) -> f64 + Send>;
+
+/// Value model: what payload each tuple carries.
+pub enum ValueModel {
+    /// Constant 1.0 — counting queries.
+    Unit,
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Custom generator.
+    Custom(ValueFn),
+}
+
+impl ValueModel {
+    fn sample(&mut self, key: Key, rng: &mut StdRng) -> f64 {
+        match self {
+            ValueModel::Unit => 1.0,
+            ValueModel::Uniform { lo, hi } => rng.random_range(*lo..*hi),
+            ValueModel::Custom(f) => f(key, rng),
+        }
+    }
+}
+
+/// A deterministic, seeded tuple stream.
+pub struct StreamGenerator {
+    rate: RateProfile,
+    keys: KeyModel,
+    values: ValueModel,
+    rng: StdRng,
+}
+
+impl StreamGenerator {
+    /// Create a generator.
+    pub fn new(rate: RateProfile, keys: KeyModel, values: ValueModel, seed: u64) -> Self {
+        StreamGenerator {
+            rate,
+            keys,
+            values,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Replace the rate profile mid-stream (used by scripted experiments).
+    pub fn set_rate(&mut self, rate: RateProfile) {
+        self.rate = rate;
+    }
+
+    /// The current rate profile.
+    pub fn rate(&self) -> RateProfile {
+        self.rate
+    }
+
+    /// The key model (for cardinality reporting).
+    pub fn key_model(&self) -> &KeyModel {
+        &self.keys
+    }
+}
+
+impl TupleSource for StreamGenerator {
+    fn fill(&mut self, interval: Interval, out: &mut Vec<Tuple>) {
+        let stamps = self.rate.timestamps(interval);
+        out.reserve(stamps.len());
+        for ts in stamps {
+            let key = self.keys.sample(ts, &mut self.rng);
+            let value = self.values.sample(key, &mut self.rng);
+            out.push(Tuple::new(ts, key, value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keydist::ZipfKeys;
+    use prompt_core::types::Duration;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(Time::from_secs(a), Time::from_secs(b))
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let mk = || {
+            StreamGenerator::new(
+                RateProfile::Constant { rate: 5000.0 },
+                KeyModel::Static(Box::new(ZipfKeys::new(1000, 1.0))),
+                ValueModel::Unit,
+                99,
+            )
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        mk().fill(iv(0, 1), &mut a);
+        mk().fill(iv(0, 1), &mut b);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn timestamps_sorted_within_interval() {
+        let mut g = StreamGenerator::new(
+            RateProfile::Sinusoidal {
+                base: 2000.0,
+                amplitude: 1500.0,
+                period: Duration::from_secs(3),
+            },
+            KeyModel::Static(Box::new(ZipfKeys::new(100, 0.5))),
+            ValueModel::Uniform { lo: 1.0, hi: 2.0 },
+            1,
+        );
+        let mut out = Vec::new();
+        g.fill(iv(2, 3), &mut out);
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(out.iter().all(|t| iv(2, 3).contains(t.ts)));
+        assert!(out.iter().all(|t| (1.0..2.0).contains(&t.value)));
+    }
+
+    #[test]
+    fn drifting_keys_grow_cardinality() {
+        let mut model = KeyModel::Drifting {
+            base: 10.0,
+            per_sec: 100.0,
+            min: 1,
+            max: 100_000,
+        };
+        assert_eq!(model.cardinality_at(Time::ZERO), 10);
+        assert_eq!(model.cardinality_at(Time::from_secs(10)), 1010);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let k = model.sample(Time::from_secs(100), &mut rng);
+            assert!(k.0 < 10_010);
+        }
+    }
+
+    #[test]
+    fn drifting_keys_clamp_at_min() {
+        let model = KeyModel::Drifting {
+            base: 1000.0,
+            per_sec: -100.0,
+            min: 50,
+            max: 1000,
+        };
+        assert_eq!(model.cardinality_at(Time::from_secs(100)), 50);
+    }
+
+    #[test]
+    fn custom_value_model() {
+        let mut g = StreamGenerator::new(
+            RateProfile::Constant { rate: 100.0 },
+            KeyModel::Static(Box::new(crate::keydist::UniformKeys::new(4))),
+            ValueModel::Custom(Box::new(|k, _| k.0 as f64 * 10.0)),
+            5,
+        );
+        let mut out = Vec::new();
+        g.fill(iv(0, 1), &mut out);
+        assert!(out.iter().all(|t| t.value == t.key.0 as f64 * 10.0));
+    }
+}

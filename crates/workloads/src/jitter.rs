@@ -1,0 +1,186 @@
+//! Network-delay simulation: a wrapper that delivers an in-order stream
+//! out of order, with each tuple's *arrival* lagging its event timestamp by
+//! a random bounded delay.
+//!
+//! Used together with `prompt_engine::reorder::ReorderingReceiver` to
+//! exercise the paper's bounded-delay admission contract (§2.1
+//! assumption 2): if the jitter bound is within the receiver's `max_delay`,
+//! every tuple still lands in the batch of its event timestamp.
+
+use prompt_core::source::TupleSource;
+use prompt_core::types::{Duration, Interval, Time, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delivers `inner`'s tuples by arrival time = event time + U(0, max_jitter).
+///
+/// `fill(interval)` is interpreted in **arrival time**: it returns the
+/// tuples whose arrival falls in the interval, in arrival order — which is
+/// generally *not* event-time order, so this source must be consumed
+/// through a reordering receiver.
+pub struct JitterSource<S> {
+    inner: S,
+    max_jitter: Duration,
+    /// Inner pulls happen in whole multiples of this quantum, so the inner
+    /// generator sees the same canonical interval boundaries no matter what
+    /// windows the consumer asks for (interval-driven generators produce
+    /// boundary-dependent streams).
+    quantum: Duration,
+    rng: StdRng,
+    /// (arrival, tuple) not yet delivered, sorted by arrival.
+    pending: Vec<(Time, Tuple)>,
+    /// Number of quanta already pulled from `inner`.
+    quanta_pulled: u64,
+}
+
+impl<S: TupleSource> JitterSource<S> {
+    /// Wrap `inner` with a jitter bound; the inner source is pulled in
+    /// aligned 1 s quanta.
+    pub fn new(inner: S, max_jitter: Duration, seed: u64) -> JitterSource<S> {
+        JitterSource::with_quantum(inner, max_jitter, Duration::from_secs(1), seed)
+    }
+
+    /// Wrap `inner` with an explicit pull quantum (use the batch interval).
+    pub fn with_quantum(
+        inner: S,
+        max_jitter: Duration,
+        quantum: Duration,
+        seed: u64,
+    ) -> JitterSource<S> {
+        assert!(quantum.0 > 0, "quantum must be positive");
+        JitterSource {
+            inner,
+            max_jitter,
+            quantum,
+            rng: StdRng::seed_from_u64(seed),
+            pending: Vec::new(),
+            quanta_pulled: 0,
+        }
+    }
+
+    /// The jitter bound.
+    pub fn max_jitter(&self) -> Duration {
+        self.max_jitter
+    }
+}
+
+impl<S: TupleSource> TupleSource for JitterSource<S> {
+    fn fill(&mut self, interval: Interval, out: &mut Vec<Tuple>) {
+        // Anything arriving before interval.end must have an event time
+        // before interval.end (delays are non-negative), so pulling the
+        // inner source through interval.end covers all candidates. Pull in
+        // whole quanta so the inner stream is boundary-independent.
+        while Time(self.quanta_pulled * self.quantum.0) < interval.end {
+            let q = self.quanta_pulled;
+            let chunk = Interval::new(
+                Time(q * self.quantum.0),
+                Time((q + 1) * self.quantum.0),
+            );
+            let mut fresh = Vec::new();
+            self.inner.fill(chunk, &mut fresh);
+            self.quanta_pulled += 1;
+            for t in fresh {
+                let delay = Duration(self.rng.random_range(0..=self.max_jitter.0));
+                self.pending.push((t.ts + delay, t));
+            }
+        }
+        self.pending.sort_by_key(|&(arrival, _)| arrival);
+        // Deliver everything that has arrived by interval.end.
+        let split = self
+            .pending
+            .partition_point(|&(arrival, _)| arrival < interval.end);
+        for (arrival, t) in self.pending.drain(..split) {
+            if arrival >= interval.start {
+                out.push(t);
+            } else {
+                // Arrival predates the requested window (the consumer
+                // skipped time); deliver anyway to conserve tuples.
+                out.push(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{KeyModel, StreamGenerator, ValueModel};
+    use crate::keydist::UniformKeys;
+    use crate::rate::RateProfile;
+
+    fn gen(seed: u64) -> StreamGenerator {
+        StreamGenerator::new(
+            RateProfile::Constant { rate: 5_000.0 },
+            KeyModel::Static(Box::new(UniformKeys::new(50))),
+            ValueModel::Unit,
+            seed,
+        )
+    }
+
+    fn pull(src: &mut dyn TupleSource, a: u64, b: u64) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        src.fill(
+            Interval::new(Time::from_secs(a), Time::from_secs(b)),
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn conserves_tuples_across_batches() {
+        let mut plain = gen(3);
+        let mut jittered = JitterSource::new(gen(3), Duration::from_millis(150), 9);
+        let mut plain_total = 0;
+        let mut jitter_early = 0;
+        for s in 0..5 {
+            plain_total += pull(&mut plain, s, s + 1).len();
+            jitter_early += pull(&mut jittered, s, s + 1)
+                .iter()
+                .filter(|t| t.ts < Time::from_secs(5))
+                .count();
+        }
+        // One more pull flushes stragglers (and generates new events, which
+        // the event-time filter excludes).
+        jitter_early += pull(&mut jittered, 5, 6)
+            .iter()
+            .filter(|t| t.ts < Time::from_secs(5))
+            .count();
+        assert_eq!(plain_total, jitter_early);
+    }
+
+    #[test]
+    fn produces_out_of_order_arrivals() {
+        let mut jittered = JitterSource::new(gen(5), Duration::from_millis(300), 5);
+        let out = pull(&mut jittered, 0, 1);
+        assert!(!out.is_empty());
+        let inversions = out.windows(2).filter(|w| w[0].ts > w[1].ts).count();
+        assert!(inversions > 0, "jitter should break event-time order");
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let mut plain = gen(7);
+        let mut jittered = JitterSource::new(gen(7), Duration::ZERO, 1);
+        let a = pull(&mut plain, 0, 1);
+        let b = pull(&mut jittered, 0, 1);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+        assert_eq!(jittered.max_jitter(), Duration::ZERO);
+    }
+
+    #[test]
+    fn delayed_events_cross_interval_boundaries() {
+        let mut jittered = JitterSource::new(gen(11), Duration::from_millis(400), 2);
+        let first = pull(&mut jittered, 0, 1);
+        let second = pull(&mut jittered, 1, 2);
+        // Some tuples with event time in [0, 1s) must arrive during the
+        // second interval.
+        let stragglers = second
+            .iter()
+            .filter(|t| t.ts < Time::from_secs(1))
+            .count();
+        assert!(stragglers > 0, "expected late arrivals");
+        // And the first interval must not contain events at/after its end.
+        assert!(first.iter().all(|t| t.ts < Time::from_secs(1)));
+    }
+}

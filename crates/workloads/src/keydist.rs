@@ -1,0 +1,252 @@
+//! Key distributions: uniform and Zipf.
+//!
+//! SynD (§7.1) draws keys from a Zipf distribution with exponents
+//! `z ∈ {0.1 … 2.0}` over up to 10⁷ distinct keys. The sampler is Hörmann &
+//! Derflinger's rejection-inversion method for monotone discrete
+//! distributions — O(1) per sample with no table memory, so sweeping large
+//! cardinalities stays cheap.
+
+use prompt_core::types::Key;
+use rand::Rng;
+
+/// A distribution over keys `0 .. cardinality`.
+pub trait KeyDistribution: Send {
+    /// Draw one key.
+    fn sample(&mut self, rng: &mut dyn rand::RngCore) -> Key;
+
+    /// Number of distinct keys in the support.
+    fn cardinality(&self) -> u64;
+}
+
+/// Uniform keys over `0 .. n`.
+#[derive(Clone, Debug)]
+pub struct UniformKeys {
+    n: u64,
+}
+
+impl UniformKeys {
+    /// Uniform over `n ≥ 1` keys.
+    pub fn new(n: u64) -> UniformKeys {
+        assert!(n >= 1, "need at least one key");
+        UniformKeys { n }
+    }
+}
+
+impl KeyDistribution for UniformKeys {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore) -> Key {
+        Key(rng.random_range(0..self.n))
+    }
+
+    fn cardinality(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Zipf-distributed keys: `P(k) ∝ (k+1)^(−s)` over `0 .. n`.
+///
+/// Rejection-inversion sampling (Hörmann & Derflinger 1996), the same
+/// algorithm used by Apache Commons and `rand_distr`.
+#[derive(Clone, Debug)]
+pub struct ZipfKeys {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    shift: f64,
+}
+
+impl ZipfKeys {
+    /// Zipf over `n ≥ 1` keys with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> ZipfKeys {
+        assert!(n >= 1, "need at least one key");
+        assert!(s > 0.0, "exponent must be positive (use UniformKeys for s=0)");
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let shift = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        ZipfKeys {
+            n,
+            s,
+            h_x1,
+            h_n,
+            shift,
+        }
+    }
+
+    /// The distribution's exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Exact probability of rank `k` (1-based), for tests.
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n);
+        let norm: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / norm
+    }
+}
+
+/// `H(x) = ∫₁ˣ t^(−s) dt`, extended continuously through `s = 1`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^(−s)`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of `h_integral`.
+fn h_integral_inverse(u: f64, s: f64) -> f64 {
+    let mut t = u * (1.0 - s);
+    if t < -1.0 {
+        // Numerical round-off: clamp into the domain.
+        t = -1.0;
+    }
+    (helper1(t) * u).exp()
+}
+
+/// `helper1(x) = ln(1+x)/x`, stable near 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x / 2.0 + x * x / 3.0
+    }
+}
+
+/// `helper2(x) = (eˣ − 1)/x`, stable near 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x / 2.0 + x * x / 6.0
+    }
+}
+
+impl KeyDistribution for ZipfKeys {
+    fn sample(&mut self, rng: &mut dyn rand::RngCore) -> Key {
+        loop {
+            let u: f64 = self.h_n + rng.random::<f64>() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k64 = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            let k = k64 as u64;
+            if k64 - x <= self.shift || u >= h_integral(k64 + 0.5, self.s) - h(k64, self.s) {
+                return Key(k - 1); // 0-based key space
+            }
+        }
+    }
+
+    fn cardinality(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Construct the appropriate distribution for a Zipf exponent, treating
+/// `s ≈ 0` as uniform (the z-sweep of Fig. 11d starts at 0.1, but harnesses
+/// may probe 0).
+pub fn zipf_or_uniform(n: u64, s: f64) -> Box<dyn KeyDistribution> {
+    if s < 1e-6 {
+        Box::new(UniformKeys::new(n))
+    } else {
+        Box::new(ZipfKeys::new(n, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn freq_of(dist: &mut dyn KeyDistribution, samples: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; dist.cardinality() as usize];
+        for _ in 0..samples {
+            counts[dist.sample(&mut rng).0 as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let mut d = UniformKeys::new(16);
+        let counts = freq_of(&mut d, 64_000, 1);
+        for &c in &counts {
+            let dev = (c as f64 - 4000.0).abs() / 4000.0;
+            assert!(dev < 0.12, "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_matches_pmf() {
+        for s in [0.5, 1.0, 1.5] {
+            let mut d = ZipfKeys::new(100, s);
+            let n = 200_000;
+            let counts = freq_of(&mut d, n, 42);
+            for k in [1u64, 2, 5, 10, 50] {
+                let expect = d.pmf(k) * n as f64;
+                let got = counts[(k - 1) as usize] as f64;
+                let tol = 4.0 * expect.sqrt() + 6.0; // ~4σ
+                assert!(
+                    (got - expect).abs() < tol,
+                    "s={s} k={k}: got {got}, expect {expect:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let mut d = ZipfKeys::new(50, 1.2);
+        let counts = freq_of(&mut d, 100_000, 7);
+        // Compare well-separated ranks to dodge sampling noise.
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[19]);
+        assert!(counts[19] >= counts[49]);
+    }
+
+    #[test]
+    fn zipf_small_exponent_is_nearly_uniform() {
+        let mut d = ZipfKeys::new(10, 0.1);
+        let counts = freq_of(&mut d, 100_000, 3);
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "z=0.1 should be mild: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_high_exponent_concentrates() {
+        let mut d = ZipfKeys::new(1000, 2.0);
+        let counts = freq_of(&mut d, 100_000, 9);
+        let head: usize = counts[..10].iter().sum();
+        assert!(
+            head as f64 > 0.9 * 100_000.0,
+            "z=2 should concentrate in the head: {head}"
+        );
+    }
+
+    #[test]
+    fn zipf_covers_full_range_without_overflow() {
+        let mut d = ZipfKeys::new(10_000_000, 0.8);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let k = d.sample(&mut rng);
+            assert!(k.0 < 10_000_000);
+        }
+        assert_eq!(d.cardinality(), 10_000_000);
+        assert_eq!(d.exponent(), 0.8);
+    }
+
+    #[test]
+    fn zipf_or_uniform_dispatches() {
+        assert_eq!(zipf_or_uniform(10, 0.0).cardinality(), 10);
+        assert_eq!(zipf_or_uniform(10, 1.0).cardinality(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn zero_exponent_rejected() {
+        let _ = ZipfKeys::new(10, 0.0);
+    }
+}

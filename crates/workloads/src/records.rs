@@ -1,0 +1,391 @@
+//! Structured dataset records.
+//!
+//! The tuple generators in [`crate::datasets`] produce the engine's wire
+//! format directly. This module models the layer *above*: the actual record
+//! schemas of the evaluation datasets (a DEBS'15 taxi trip, a Google
+//! cluster-monitoring event, a TPC-H lineitem, a tweet), generators for
+//! them, and the keyed projections that turn a record stream into the tuple
+//! streams each query consumes — i.e. what the paper's "customized
+//! receiver" does on ingestion.
+
+use prompt_core::types::{Key, Time, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::keydist::{KeyDistribution, UniformKeys, ZipfKeys};
+
+/// A DEBS 2015 Grand Challenge taxi-trip record (drop-off ordered).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaxiTrip {
+    /// Taxi medallion (the partitioning key of both DEBS queries).
+    pub medallion: u64,
+    /// Driver licence id.
+    pub hack_license: u64,
+    /// Pickup timestamp.
+    pub pickup: Time,
+    /// Drop-off timestamp (the record's event time).
+    pub dropoff: Time,
+    /// Trip distance in miles.
+    pub trip_distance: f64,
+    /// Metered fare in dollars.
+    pub fare_amount: f64,
+    /// Tip in dollars.
+    pub tip_amount: f64,
+    /// Total paid.
+    pub total_amount: f64,
+}
+
+impl TaxiTrip {
+    /// Project onto the DEBS Q1 tuple (fare keyed by medallion).
+    pub fn fare_tuple(&self) -> Tuple {
+        Tuple::new(self.dropoff, Key(self.medallion), self.fare_amount)
+    }
+
+    /// Project onto the DEBS Q2 tuple (distance keyed by medallion).
+    pub fn distance_tuple(&self) -> Tuple {
+        Tuple::new(self.dropoff, Key(self.medallion), self.trip_distance)
+    }
+}
+
+/// A Google cluster-monitoring resource-usage event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GcmEvent {
+    /// Machine identifier (partitioning key).
+    pub machine_id: u64,
+    /// Job identifier.
+    pub job_id: u64,
+    /// Event timestamp.
+    pub timestamp: Time,
+    /// CPU utilisation sample in `[0, 1]`.
+    pub cpu: f64,
+    /// Memory utilisation sample in `[0, 1]`.
+    pub memory: f64,
+}
+
+impl GcmEvent {
+    /// Project onto the GCM Q2 tuple (CPU keyed by machine).
+    pub fn cpu_tuple(&self) -> Tuple {
+        Tuple::new(self.timestamp, Key(self.machine_id), self.cpu)
+    }
+
+    /// Project onto a per-machine event-count tuple (GCM Q1).
+    pub fn event_tuple(&self) -> Tuple {
+        Tuple::keyed(self.timestamp, Key(self.machine_id))
+    }
+}
+
+/// A TPC-H LineItem row, streamed as orders arrive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineItem {
+    /// Order key.
+    pub order_key: u64,
+    /// Part key (the partitioning key of TPC-H Q1 as the paper runs it).
+    pub part_key: u64,
+    /// Supplier key.
+    pub supp_key: u64,
+    /// Quantity ordered (1..=50).
+    pub quantity: u32,
+    /// Extended price.
+    pub extended_price: f64,
+    /// Discount fraction (0..0.1).
+    pub discount: f64,
+    /// Arrival (ship) timestamp.
+    pub ship_time: Time,
+}
+
+impl LineItem {
+    /// Project onto the TPC-H Q1 tuple (quantity keyed by part).
+    pub fn quantity_tuple(&self) -> Tuple {
+        Tuple::new(self.ship_time, Key(self.part_key), self.quantity as f64)
+    }
+
+    /// Whether the row passes TPC-H Q6's predicate.
+    pub fn qualifies_q6(&self) -> bool {
+        self.quantity < 24 && (0.05..=0.07).contains(&self.discount)
+    }
+
+    /// Project onto the TPC-H Q6 revenue tuple (0 when not qualifying, so
+    /// the query's Map filter drops it).
+    pub fn revenue_tuple(&self) -> Tuple {
+        let revenue = if self.qualifies_q6() {
+            self.extended_price * self.discount
+        } else {
+            0.0
+        };
+        Tuple::new(self.ship_time, Key(self.part_key), revenue)
+    }
+}
+
+/// A tweet: a user posting a short sequence of words.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TweetRecord {
+    /// Posting user.
+    pub user_id: u64,
+    /// Post timestamp.
+    pub timestamp: Time,
+    /// Word identifiers (vocabulary indices).
+    pub words: Vec<u32>,
+}
+
+impl TweetRecord {
+    /// Flat-map onto word tuples — "each tweet is split into words that are
+    /// used as the key" (§7.1).
+    pub fn word_tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        let ts = self.timestamp;
+        self.words
+            .iter()
+            .map(move |&w| Tuple::keyed(ts, Key(w as u64)))
+    }
+}
+
+/// Generator for taxi-trip records at `trips_per_sec`.
+pub struct TaxiTripGenerator {
+    medallions: ZipfKeys,
+    trips_per_sec: f64,
+    rng: StdRng,
+    next_seq: u64,
+}
+
+impl TaxiTripGenerator {
+    /// Construct with the fleet size and trip rate.
+    pub fn new(medallions: u64, trips_per_sec: f64, seed: u64) -> TaxiTripGenerator {
+        TaxiTripGenerator {
+            medallions: ZipfKeys::new(medallions, 0.6),
+            trips_per_sec,
+            rng: StdRng::seed_from_u64(seed),
+            next_seq: 0,
+        }
+    }
+
+    /// Generate the trips dropping off during `[start, start + 1s)`.
+    pub fn second(&mut self, start: Time) -> Vec<TaxiTrip> {
+        let n = self.trips_per_sec.round() as usize;
+        let step = 1_000_000u64 / (n.max(1) as u64 + 1);
+        (0..n)
+            .map(|i| {
+                self.next_seq += 1;
+                let dropoff = Time(start.0 + step * (i as u64 + 1));
+                let distance = if self.rng.random::<f64>() < 0.85 {
+                    self.rng.random_range(0.5..5.0)
+                } else {
+                    self.rng.random_range(5.0..25.0)
+                };
+                let duration_us = (distance * 3.0 * 60.0 * 1e6) as u64; // ~20 mph
+                let fare = 2.5 + 2.5 * distance + self.rng.random_range(0.0..2.0);
+                let tip = fare * self.rng.random_range(0.0..0.3);
+                TaxiTrip {
+                    medallion: self.medallions.sample(&mut self.rng).0,
+                    hack_license: self.next_seq % 40_000,
+                    pickup: dropoff - prompt_core::types::Duration(duration_us),
+                    dropoff,
+                    trip_distance: distance,
+                    fare_amount: fare,
+                    tip_amount: tip,
+                    total_amount: fare + tip,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Generator for cluster-monitoring events.
+pub struct GcmEventGenerator {
+    machines: ZipfKeys,
+    jobs: UniformKeys,
+    events_per_sec: f64,
+    rng: StdRng,
+}
+
+impl GcmEventGenerator {
+    /// Construct with the cluster size and event rate.
+    pub fn new(machines: u64, jobs: u64, events_per_sec: f64, seed: u64) -> GcmEventGenerator {
+        GcmEventGenerator {
+            machines: ZipfKeys::new(machines, 0.5),
+            jobs: UniformKeys::new(jobs),
+            events_per_sec,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generate the events of `[start, start + 1s)`.
+    pub fn second(&mut self, start: Time) -> Vec<GcmEvent> {
+        let n = self.events_per_sec.round() as usize;
+        let step = 1_000_000u64 / (n.max(1) as u64 + 1);
+        (0..n)
+            .map(|i| GcmEvent {
+                machine_id: self.machines.sample(&mut self.rng).0,
+                job_id: self.jobs.sample(&mut self.rng).0,
+                timestamp: Time(start.0 + step * (i as u64 + 1)),
+                cpu: self.rng.random_range(0.0..1.0),
+                memory: self.rng.random_range(0.0..1.0),
+            })
+            .collect()
+    }
+}
+
+/// Generator for lineitem rows.
+pub struct LineItemGenerator {
+    parts: UniformKeys,
+    rows_per_sec: f64,
+    rng: StdRng,
+    next_order: u64,
+}
+
+impl LineItemGenerator {
+    /// Construct with the part-universe size and row rate.
+    pub fn new(parts: u64, rows_per_sec: f64, seed: u64) -> LineItemGenerator {
+        LineItemGenerator {
+            parts: UniformKeys::new(parts),
+            rows_per_sec,
+            rng: StdRng::seed_from_u64(seed),
+            next_order: 1,
+        }
+    }
+
+    /// Generate the rows shipping during `[start, start + 1s)`.
+    pub fn second(&mut self, start: Time) -> Vec<LineItem> {
+        let n = self.rows_per_sec.round() as usize;
+        let step = 1_000_000u64 / (n.max(1) as u64 + 1);
+        (0..n)
+            .map(|i| {
+                self.next_order += 1;
+                LineItem {
+                    order_key: self.next_order,
+                    part_key: self.parts.sample(&mut self.rng).0,
+                    supp_key: self.rng.random_range(0..10_000),
+                    quantity: self.rng.random_range(1..=50),
+                    extended_price: self.rng.random_range(900.0..105_000.0),
+                    discount: self.rng.random_range(0.0..0.1),
+                    ship_time: Time(start.0 + step * (i as u64 + 1)),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Generator for tweets (words drawn from a Zipfian vocabulary).
+pub struct TweetGenerator {
+    vocabulary: ZipfKeys,
+    tweets_per_sec: f64,
+    rng: StdRng,
+}
+
+impl TweetGenerator {
+    /// Construct with the vocabulary size and tweet rate.
+    pub fn new(vocabulary: u64, tweets_per_sec: f64, seed: u64) -> TweetGenerator {
+        TweetGenerator {
+            vocabulary: ZipfKeys::new(vocabulary, 1.0),
+            tweets_per_sec,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generate the tweets posted during `[start, start + 1s)`.
+    pub fn second(&mut self, start: Time) -> Vec<TweetRecord> {
+        let n = self.tweets_per_sec.round() as usize;
+        let step = 1_000_000u64 / (n.max(1) as u64 + 1);
+        (0..n)
+            .map(|i| {
+                let len = self.rng.random_range(8..=20);
+                TweetRecord {
+                    user_id: self.rng.random_range(0..1_000_000),
+                    timestamp: Time(start.0 + step * (i as u64 + 1)),
+                    words: (0..len)
+                        .map(|_| self.vocabulary.sample(&mut self.rng).0 as u32)
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxi_trips_have_consistent_fields() {
+        let mut generator = TaxiTripGenerator::new(10_000, 1_000.0, 1);
+        let trips = generator.second(Time::from_secs(5));
+        assert_eq!(trips.len(), 1_000);
+        for t in &trips {
+            assert!(t.pickup <= t.dropoff);
+            assert!(t.dropoff >= Time::from_secs(5) && t.dropoff < Time::from_secs(6));
+            assert!(t.trip_distance > 0.0);
+            assert!(t.fare_amount >= 2.5 + 2.5 * 0.5);
+            assert!((t.total_amount - t.fare_amount - t.tip_amount).abs() < 1e-9);
+            assert!(t.medallion < 10_000);
+            let fare = t.fare_tuple();
+            assert_eq!(fare.key, Key(t.medallion));
+            assert_eq!(fare.value, t.fare_amount);
+            assert_eq!(t.distance_tuple().value, t.trip_distance);
+        }
+        // Drop-off ordered, per the DEBS feed.
+        assert!(trips.windows(2).all(|w| w[0].dropoff <= w[1].dropoff));
+    }
+
+    #[test]
+    fn gcm_events_project_correctly() {
+        let mut generator = GcmEventGenerator::new(5_000, 100, 500.0, 2);
+        let events = generator.second(Time::ZERO);
+        assert_eq!(events.len(), 500);
+        for e in &events {
+            assert!((0.0..1.0).contains(&e.cpu));
+            assert!((0.0..1.0).contains(&e.memory));
+            assert_eq!(e.cpu_tuple().value, e.cpu);
+            assert_eq!(e.event_tuple().value, 1.0);
+            assert_eq!(e.cpu_tuple().key, Key(e.machine_id));
+        }
+    }
+
+    #[test]
+    fn lineitem_q6_predicate_matches_tuple() {
+        let mut generator = LineItemGenerator::new(1_000, 2_000.0, 3);
+        let rows = generator.second(Time::ZERO);
+        assert_eq!(rows.len(), 2_000);
+        let mut qualifying = 0;
+        for r in &rows {
+            let t = r.revenue_tuple();
+            if r.qualifies_q6() {
+                qualifying += 1;
+                assert!((t.value - r.extended_price * r.discount).abs() < 1e-9);
+            } else {
+                assert_eq!(t.value, 0.0);
+            }
+            assert_eq!(r.quantity_tuple().value, r.quantity as f64);
+            assert!((1..=50).contains(&r.quantity));
+        }
+        // Selectivity ballpark: quantity<24 (~46%) × discount band (~20%).
+        let frac = qualifying as f64 / rows.len() as f64;
+        assert!((0.03..0.2).contains(&frac), "selectivity {frac}");
+        // Order keys are unique and increasing.
+        assert!(rows.windows(2).all(|w| w[0].order_key < w[1].order_key));
+    }
+
+    #[test]
+    fn tweets_flatmap_to_word_tuples() {
+        let mut generator = TweetGenerator::new(10_000, 100.0, 4);
+        let tweets = generator.second(Time::ZERO);
+        assert_eq!(tweets.len(), 100);
+        let words: Vec<Tuple> = tweets.iter().flat_map(|t| t.word_tuples()).collect();
+        let avg_len = words.len() as f64 / tweets.len() as f64;
+        assert!((8.0..=20.0).contains(&avg_len), "avg words {avg_len}");
+        for t in &tweets {
+            assert!(t.words.len() >= 8 && t.words.len() <= 20);
+            for w in t.word_tuples() {
+                assert_eq!(w.ts, t.timestamp);
+                assert_eq!(w.value, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = TaxiTripGenerator::new(100, 50.0, 9);
+        let mut b = TaxiTripGenerator::new(100, 50.0, 9);
+        assert_eq!(a.second(Time::ZERO), b.second(Time::ZERO));
+        let mut a = TweetGenerator::new(100, 10.0, 9);
+        let mut b = TweetGenerator::new(100, 10.0, 9);
+        assert_eq!(a.second(Time::ZERO), b.second(Time::ZERO));
+    }
+}

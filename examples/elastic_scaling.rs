@@ -1,0 +1,87 @@
+//! Elasticity demo (Algorithm 4): a workload that ramps up and then cools
+//! down, with the auto-scaler adding and removing Map/Reduce tasks to hold
+//! `W = processing/interval` inside the stability band.
+//!
+//! ```sh
+//! cargo run --release --example elastic_scaling
+//! ```
+
+use prompt::prelude::*;
+use prompt::workloads::generator::{KeyModel, StreamGenerator, ValueModel};
+
+fn main() {
+    let mut cfg = EngineConfig {
+        batch_interval: Duration::from_secs(1),
+        map_tasks: 4,
+        reduce_tasks: 4,
+        cluster: Cluster::new(16, 4), // a pool of 64 slots to grow into
+        cost: CostModel::default().scaled(20.0),
+        backpressure_queue: f64::INFINITY, // let the scaler handle overload
+        ..EngineConfig::default()
+    };
+    cfg.elasticity = Some(ScalerConfig {
+        thres: 0.9,
+        step: 0.1,
+        d: 3,
+        min_tasks: 2,
+        max_tasks: 64,
+    });
+
+    let mut engine = StreamingEngine::new(
+        cfg,
+        Technique::Prompt,
+        7,
+        Job::identity("WordCount", ReduceOp::Count),
+    );
+
+    // Rate triples over the first 60 s, then halves again; keys drift up.
+    let mut source = StreamGenerator::new(
+        RateProfile::Sinusoidal {
+            base: 60_000.0,
+            amplitude: 40_000.0,
+            period: Duration::from_secs(120),
+        },
+        KeyModel::Drifting {
+            base: 2_000.0,
+            per_sec: 100.0,
+            min: 500,
+            max: 100_000,
+        },
+        ValueModel::Unit,
+        7,
+    );
+
+    let result = engine.run(&mut source, 120);
+
+    println!("batch  rate      keys   map  reduce  W      (scale events marked)");
+    let mut events: std::collections::HashMap<u64, ScaleAction> =
+        result.scale_events.iter().cloned().collect();
+    for b in result.batches.iter().step_by(5) {
+        let marker = events
+            .remove(&b.seq)
+            .map(|a| if a.out { "  <-- scale-out" } else { "  <-- scale-in" })
+            .unwrap_or("");
+        println!(
+            "{:>5}  {:>8} {:>7} {:>5} {:>7}  {:>5.2}{marker}",
+            b.seq, b.n_tuples, b.n_keys, b.map_tasks, b.reduce_tasks, b.w
+        );
+    }
+    println!(
+        "\n{} scale actions total ({} out, {} in)",
+        result.scale_events.len(),
+        result.scale_events.iter().filter(|(_, a)| a.out).count(),
+        result.scale_events.iter().filter(|(_, a)| !a.out).count(),
+    );
+    let peak_tasks = result
+        .batches
+        .iter()
+        .map(|b| b.map_tasks + b.reduce_tasks)
+        .max()
+        .unwrap_or(0);
+    let final_tasks = result
+        .batches
+        .last()
+        .map(|b| b.map_tasks + b.reduce_tasks)
+        .unwrap_or(0);
+    println!("peak parallelism: {peak_tasks} tasks; final: {final_tasks} tasks");
+}

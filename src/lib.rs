@@ -1,0 +1,53 @@
+//! # prompt
+//!
+//! Umbrella crate for the **Prompt** reproduction — *Dynamic
+//! Data-Partitioning for Distributed Micro-batch Stream Processing Systems*
+//! (Abdelhamid, Mahmood, Daghistani, Aref — SIGMOD 2020).
+//!
+//! This facade re-exports the four workspace crates:
+//!
+//! * [`prompt_core`] — the partitioning algorithms (Algorithms 1–3),
+//!   baselines, cost-model metrics, and the bin-packing substrate.
+//! * [`prompt_engine`] — the micro-batch stream-processing engine
+//!   (simulated cluster + real threaded backend), windows, and the
+//!   Algorithm 4 auto-scaler.
+//! * [`prompt_workloads`] — the five evaluation datasets as
+//!   seeded synthetic generators plus rate profiles.
+//! * [`prompt_queries`] — the benchmark queries (WordCount,
+//!   TopKCount, DEBS, GCM, TPC-H).
+//!
+//! ```
+//! use prompt::prelude::*;
+//!
+//! // Run WordCount over a skewed tweet stream with Prompt partitioning.
+//! let cfg = EngineConfig::default();
+//! let mut engine = StreamingEngine::new(
+//!     cfg,
+//!     Technique::Prompt,
+//!     42,
+//!     Job::identity("wordcount", ReduceOp::Count),
+//! );
+//! let mut source = prompt::workloads::datasets::tweets(
+//!     RateProfile::Constant { rate: 10_000.0 },
+//!     5_000,
+//!     42,
+//! );
+//! let result = engine.run(&mut source, 5);
+//! assert!(result.stable());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use prompt_core as core;
+pub use prompt_engine as engine;
+pub use prompt_queries as queries;
+pub use prompt_workloads as workloads;
+
+/// Everything a typical user needs, re-exported flat.
+pub mod prelude {
+    pub use prompt_core::prelude::*;
+    pub use prompt_engine::prelude::*;
+    pub use prompt_workloads::prelude::*;
+}

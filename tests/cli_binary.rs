@@ -1,0 +1,98 @@
+//! End-to-end tests of the `prompt` binary itself: spawn the real
+//! executable and assert on stdout/stderr/exit codes — the user's actual
+//! surface.
+
+use std::process::Command;
+
+fn prompt(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_prompt"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = prompt(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("partition"));
+}
+
+#[test]
+fn unknown_command_exits_two() {
+    let out = prompt(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn bad_option_value_exits_two_with_named_option() {
+    let out = prompt(&["run", "--rate", "not-a-number"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--rate"), "error must name the option: {err}");
+}
+
+#[test]
+fn partition_prints_all_techniques() {
+    let out = prompt(&[
+        "partition",
+        "--dataset",
+        "synd",
+        "--skew",
+        "1.2",
+        "--rate",
+        "5000",
+        "--cardinality",
+        "300",
+        "--blocks",
+        "4",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for label in ["Time-based", "Shuffle", "Hash", "PK2", "PK5", "cAM(4)", "Prompt", "D-Choices(5)"] {
+        assert!(text.contains(label), "missing {label} in:\n{text}");
+    }
+    assert!(text.contains("5000 tuples"));
+}
+
+#[test]
+fn run_is_deterministic_across_invocations() {
+    let args = [
+        "run", "--technique", "prompt", "--rate", "3000", "--cardinality", "200", "--batches",
+        "3", "--blocks", "4", "--reducers", "4",
+    ];
+    let a = prompt(&args);
+    let b = prompt(&args);
+    assert!(a.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout),
+        "same seed must reproduce byte-identical output"
+    );
+}
+
+#[test]
+fn compare_reports_every_technique_stable_or_not() {
+    let out = prompt(&[
+        "compare",
+        "--dataset",
+        "gcm",
+        "--rate",
+        "2000",
+        "--cardinality",
+        "100",
+        "--batches",
+        "3",
+        "--blocks",
+        "4",
+        "--reducers",
+        "4",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let stable_lines = text.lines().filter(|l| l.contains("true")).count();
+    assert_eq!(stable_lines, 7, "all 7 techniques stable at 2k/s:\n{text}");
+}

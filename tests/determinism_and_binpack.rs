@@ -1,0 +1,138 @@
+//! Determinism guarantees (identical seeds must reproduce identical runs —
+//! the property every experiment in EXPERIMENTS.md relies on) and
+//! property-based validation of the bin-packing substrate.
+
+use prompt::prelude::*;
+use prompt_core::binpack::{
+    best_fit_decreasing, first_fit_decreasing, fragmentation_minimization, next_fit,
+    prompt_heuristic, Instance,
+};
+use proptest::prelude::*;
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let run = || {
+        let cfg = EngineConfig {
+            batch_interval: Duration::from_secs(1),
+            map_tasks: 8,
+            reduce_tasks: 8,
+            cluster: Cluster::new(2, 4),
+            ..EngineConfig::default()
+        };
+        let mut engine = StreamingEngine::new(
+            cfg,
+            Technique::Prompt,
+            123,
+            Job::identity("count", ReduceOp::Count),
+        )
+        .with_window(WindowSpec::sliding(
+            Duration::from_secs(3),
+            Duration::from_secs(1),
+        ));
+        let mut source = prompt::workloads::datasets::synd(
+            RateProfile::Sinusoidal {
+                base: 20_000.0,
+                amplitude: 8_000.0,
+                period: Duration::from_secs(5),
+            },
+            5_000,
+            1.1,
+            123,
+        );
+        engine.run(&mut source, 8)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.batches.len(), b.batches.len());
+    for (x, y) in a.batches.iter().zip(&b.batches) {
+        assert_eq!(x.n_tuples, y.n_tuples);
+        assert_eq!(x.n_keys, y.n_keys);
+        assert_eq!(x.processing, y.processing);
+        assert_eq!(x.latency, y.latency);
+        assert_eq!(x.map_task_times, y.map_task_times);
+        assert_eq!(x.reduce_task_times, y.reduce_task_times);
+        assert_eq!(x.plan_metrics, y.plan_metrics);
+    }
+    for (wa, wb) in a.windows.iter().zip(&b.windows) {
+        assert_eq!(wa.aggregates.len(), wb.aggregates.len());
+        for (k, v) in &wa.aggregates {
+            assert_eq!(wb.aggregates[k], *v);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        let mut source = prompt::workloads::datasets::tweets(
+            RateProfile::Constant { rate: 10_000.0 },
+            2_000,
+            seed,
+        );
+        let interval = Interval::new(Time::ZERO, Time::from_secs(1));
+        let mut tuples = Vec::new();
+        source.fill(interval, &mut tuples);
+        tuples
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_eq!(a.len(), b.len(), "rate is deterministic");
+    assert!(
+        a.iter().zip(&b).any(|(x, y)| x.key != y.key),
+        "different seeds must sample different keys"
+    );
+}
+
+fn items_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..200, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every heuristic produces a valid assignment (exact coverage, no empty
+    /// fragments, within bin count) on arbitrary feasible instances.
+    #[test]
+    fn binpack_heuristics_always_valid(items in items_strategy(), bins in 1usize..8) {
+        let inst = Instance::balanced(items, bins);
+        for (name, a) in [
+            ("ffd", first_fit_decreasing(&inst)),
+            ("bfd", best_fit_decreasing(&inst)),
+            ("next_fit", next_fit(&inst)),
+            ("frag_min", fragmentation_minimization(&inst)),
+            ("prompt", prompt_heuristic(&inst)),
+        ] {
+            a.validate(&inst);
+            // Fragment count is at least the item count (every item appears)
+            // and at most items + capacity-driven splits.
+            prop_assert!(a.fragments() >= inst.items.len(), "{name}");
+            prop_assert!(
+                a.fragments() <= inst.items.len() * inst.bins,
+                "{name}: absurd fragmentation"
+            );
+        }
+    }
+
+    /// The fragmentation minimiser achieves its theoretical bound and no
+    /// capacity-respecting heuristic beats it.
+    #[test]
+    fn fragmentation_minimizer_is_minimal(items in items_strategy(), bins in 1usize..8) {
+        let inst = Instance::balanced(items, bins);
+        let fmin = fragmentation_minimization(&inst);
+        prop_assert!(fmin.fragments() <= inst.items.len() + inst.bins - 1);
+        for a in [first_fit_decreasing(&inst), next_fit(&inst)] {
+            prop_assert!(a.fragments() + inst.bins > fmin.fragments());
+        }
+    }
+
+    /// FFD and BFD never exceed the per-bin capacity.
+    #[test]
+    fn capacity_respected(items in items_strategy(), bins in 1usize..8) {
+        let inst = Instance::balanced(items, bins);
+        for a in [first_fit_decreasing(&inst), best_fit_decreasing(&inst), next_fit(&inst)] {
+            for &size in &a.sizes() {
+                prop_assert!(size <= inst.capacity);
+            }
+        }
+    }
+}

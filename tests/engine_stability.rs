@@ -1,0 +1,168 @@
+//! Stability-model tests spanning engine + workloads: queueing under
+//! overload, back-pressure, the throughput search, and the elasticity
+//! controller's reaction to scripted load shapes.
+
+use prompt::prelude::*;
+use prompt::workloads::generator::{KeyModel, StreamGenerator, ValueModel};
+use proptest::prelude::*;
+
+fn engine(cost_scale: f64, tech: Technique) -> StreamingEngine {
+    let cfg = EngineConfig {
+        batch_interval: Duration::from_secs(1),
+        map_tasks: 8,
+        reduce_tasks: 8,
+        cluster: Cluster::new(2, 4),
+        cost: CostModel::default().scaled(cost_scale),
+        ..EngineConfig::default()
+    };
+    StreamingEngine::new(cfg, tech, 17, Job::identity("count", ReduceOp::Count))
+}
+
+fn const_tweets(rate: f64) -> impl TupleSource {
+    prompt::workloads::datasets::tweets(RateProfile::Constant { rate }, 3_000, 17)
+}
+
+#[test]
+fn queue_delay_grows_linearly_under_constant_overload() {
+    let mut eng = engine(400.0, Technique::Prompt); // heavy per-tuple cost
+    let res = eng.run(&mut const_tweets(20_000.0), 10);
+    assert!(res.backpressure);
+    let delays: Vec<f64> = res
+        .batches
+        .iter()
+        .map(|b| b.queue_delay.as_secs_f64())
+        .collect();
+    // Monotone growth with a roughly constant increment.
+    assert!(delays.windows(2).all(|w| w[1] >= w[0]), "{delays:?}");
+    let increments: Vec<f64> = delays.windows(2).map(|w| w[1] - w[0]).collect();
+    let tail = &increments[3..];
+    let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!(mean > 0.0, "queue must keep growing: {increments:?}");
+    for inc in tail {
+        assert!((inc - mean).abs() < 0.5 * mean + 0.05, "{increments:?}");
+    }
+}
+
+#[test]
+fn max_sustainable_rate_is_bracketed_by_stability() {
+    let probe = |rate: f64| -> bool {
+        let mut eng = engine(40.0, Technique::Prompt);
+        let res = eng.run(&mut const_tweets(rate), 6);
+        res.stable() && res.steady_state_mean(|b| b.w) <= 1.0
+    };
+    let max = prompt_engine::backpressure::max_sustainable_rate(probe, 1_000.0, 500_000.0, 9);
+    // The located rate must itself be sustainable and 1.3x must not be.
+    assert!(probe(max), "rate {max} should be sustainable");
+    assert!(!probe(max * 1.3), "rate {} should overload", max * 1.3);
+}
+
+#[test]
+fn prompt_sustains_at_least_hash_rate_under_skew() {
+    let max_rate = |tech: Technique| {
+        prompt_engine::backpressure::max_sustainable_rate(
+            |rate| {
+                let mut eng = engine(40.0, tech);
+                let mut src = prompt::workloads::datasets::synd(
+                    RateProfile::Constant { rate },
+                    3_000,
+                    1.4,
+                    9,
+                );
+                let res = eng.run(&mut src, 6);
+                res.stable() && res.steady_state_mean(|b| b.w) <= 1.0
+            },
+            1_000.0,
+            500_000.0,
+            8,
+        )
+    };
+    let prompt = max_rate(Technique::Prompt);
+    let hash = max_rate(Technique::Hash);
+    let time_based = max_rate(Technique::TimeBased);
+    assert!(
+        prompt >= hash,
+        "Prompt {prompt} should sustain ≥ hash {hash} under z=1.4"
+    );
+    assert!(
+        prompt >= time_based,
+        "Prompt {prompt} should sustain ≥ time-based {time_based}"
+    );
+}
+
+#[test]
+fn elasticity_follows_a_load_wave() {
+    let mut cfg = EngineConfig {
+        batch_interval: Duration::from_secs(1),
+        map_tasks: 4,
+        reduce_tasks: 4,
+        cluster: Cluster::new(16, 4),
+        cost: CostModel::default().scaled(20.0),
+        backpressure_queue: f64::INFINITY,
+        ..EngineConfig::default()
+    };
+    cfg.elasticity = Some(ScalerConfig {
+        d: 2,
+        min_tasks: 2,
+        max_tasks: 64,
+        ..ScalerConfig::default()
+    });
+    let mut eng = StreamingEngine::new(
+        cfg,
+        Technique::Prompt,
+        3,
+        Job::identity("count", ReduceOp::Count),
+    );
+    let mut src = StreamGenerator::new(
+        RateProfile::Step {
+            low: 20_000.0,
+            high: 90_000.0,
+            period: Duration::from_secs(60),
+            duty: 0.5,
+        },
+        KeyModel::Static(Box::new(prompt::workloads::keydist::ZipfKeys::new(3_000, 0.8))),
+        ValueModel::Unit,
+        3,
+    );
+    let res = eng.run(&mut src, 60);
+    let outs = res.scale_events.iter().filter(|(_, a)| a.out).count();
+    let ins = res.scale_events.iter().filter(|(_, a)| !a.out).count();
+    assert!(outs >= 1, "high phase must trigger scale-out");
+    assert!(ins >= 1, "low phase must trigger scale-in");
+    // Peak parallelism during the high phase exceeds the low-phase floor.
+    let peak = res.batches.iter().map(|b| b.map_tasks).max().unwrap();
+    let last = res.batches.last().unwrap().map_tasks;
+    assert!(peak > 4, "never grew: peak {peak}");
+    assert!(last < peak, "never shrank back: last {last} peak {peak}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The scaler never leaves its configured bounds and never acts during
+    /// a grace period, for arbitrary observation streams.
+    #[test]
+    fn scaler_respects_bounds_on_arbitrary_inputs(
+        ws in proptest::collection::vec(0.0f64..3.0, 10..80),
+        d in 1usize..4,
+    ) {
+        let cfg = ScalerConfig { d, min_tasks: 2, max_tasks: 10, ..ScalerConfig::default() };
+        let mut scaler = AutoScaler::new(cfg, 5, 5);
+        let mut last_action_at: Option<usize> = None;
+        for (i, w) in ws.iter().enumerate() {
+            let action = scaler.observe(Observation {
+                w: *w,
+                n_tuples: (1000.0 * (1.0 + w)) as u64,
+                n_keys: (100.0 * (1.0 + w)) as u64,
+            });
+            prop_assert!((2..=10).contains(&scaler.map_tasks()));
+            prop_assert!((2..=10).contains(&scaler.reduce_tasks()));
+            if let Some(a) = action {
+                prop_assert!(a.map_tasks == scaler.map_tasks());
+                if let Some(prev) = last_action_at {
+                    prop_assert!(i - prev > d, "action at {i} inside grace after {prev}");
+                }
+                last_action_at = Some(i);
+            }
+        }
+    }
+}
