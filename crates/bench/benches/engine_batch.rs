@@ -8,9 +8,9 @@ use prompt_core::partitioner::Technique;
 use prompt_core::source::TupleSource;
 use prompt_core::types::{Duration, Interval, Time};
 use prompt_engine::cluster::Cluster;
+use prompt_engine::config::EngineConfig;
 use prompt_engine::cost::CostModel;
 use prompt_engine::driver::StreamingEngine;
-use prompt_engine::config::EngineConfig;
 use prompt_engine::job::{Job, ReduceOp};
 use prompt_engine::threaded::ThreadedExecutor;
 use prompt_workloads::datasets;
@@ -44,8 +44,7 @@ fn bench_engine_run(c: &mut Criterion) {
                     11,
                     Job::identity("WordCount", ReduceOp::Count),
                 );
-                let mut source =
-                    datasets::tweets(RateProfile::Constant { rate }, 10_000, 11);
+                let mut source = datasets::tweets(RateProfile::Constant { rate }, 10_000, 11);
                 engine.run(&mut source, 5).batches.len()
             })
         });
@@ -66,18 +65,13 @@ fn bench_threaded_backend(c: &mut Criterion) {
     group.throughput(Throughput::Elements(batch.len() as u64));
     for threads in [1usize, 4, 8] {
         let plan = Technique::Prompt.build(5).partition(&batch, 8);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &plan,
-            |b, plan| {
-                let exec = ThreadedExecutor::new(threads);
-                b.iter(|| {
-                    let mut assigner =
-                        prompt_core::reduce::PromptReduceAllocator::new(5);
-                    exec.execute(plan, &job, &mut assigner, 8).0.len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &plan, |b, plan| {
+            let exec = ThreadedExecutor::new(threads);
+            b.iter(|| {
+                let mut assigner = prompt_core::reduce::PromptReduceAllocator::new(5);
+                exec.execute(plan, &job, &mut assigner, 8).0.len()
+            })
+        });
     }
     group.finish();
 }

@@ -25,14 +25,10 @@ fn bench_partitioners(c: &mut Criterion) {
         let batch = zipf_batch(n, n as u64 / 10, 1.0);
         group.throughput(Throughput::Elements(batch.len() as u64));
         for tech in Technique::EVALUATION_SET {
-            group.bench_with_input(
-                BenchmarkId::new(tech.label(), n),
-                &batch,
-                |b, batch| {
-                    let mut part = tech.build(9);
-                    b.iter(|| part.partition(batch, 32).total_tuples())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(tech.label(), n), &batch, |b, batch| {
+                let mut part = tech.build(9);
+                b.iter(|| part.partition(batch, 32).total_tuples())
+            });
         }
     }
     group.finish();

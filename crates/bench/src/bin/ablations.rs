@@ -3,7 +3,10 @@
 
 fn main() {
     let quick = prompt_bench::quick_flag();
-    eprintln!("running ablations ({} mode)", if quick { "quick" } else { "full" });
+    eprintln!(
+        "running ablations ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
     let tables = prompt_bench::experiments::ablation::run(quick);
     prompt_bench::emit_all(&tables);
 }

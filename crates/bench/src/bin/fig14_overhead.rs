@@ -2,7 +2,10 @@
 
 fn main() {
     let quick = prompt_bench::quick_flag();
-    eprintln!("running fig14 ({} mode)", if quick { "quick" } else { "full" });
+    eprintln!(
+        "running fig14 ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
     let tables = prompt_bench::experiments::fig14::run(quick);
     prompt_bench::emit_all(&tables);
 }

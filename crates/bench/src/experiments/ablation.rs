@@ -37,7 +37,11 @@ fn tweet_batch(rate: f64, cardinality: u64, seed: u64) -> MicroBatch {
 
 /// A1: Algorithm 1's per-key update budget.
 pub fn budget_sweep(quick: bool) -> Table {
-    let (rate, cardinality) = if quick { (20_000.0, 2_000) } else { (200_000.0, 50_000) };
+    let (rate, cardinality) = if quick {
+        (20_000.0, 2_000)
+    } else {
+        (200_000.0, 50_000)
+    };
     let batch = tweet_batch(rate, cardinality, 41);
     let mut t = Table::new(
         "ablation_budget",
@@ -73,7 +77,11 @@ pub fn budget_sweep(quick: bool) -> Table {
 
 /// A2: the residual capacity tolerance of Algorithm 2 (DESIGN.md §4b).
 pub fn tolerance_sweep(quick: bool) -> Table {
-    let (rate, cardinality) = if quick { (20_000.0, 2_000) } else { (200_000.0, 50_000) };
+    let (rate, cardinality) = if quick {
+        (20_000.0, 2_000)
+    } else {
+        (200_000.0, 50_000)
+    };
     let batch = tweet_batch(rate, cardinality, 43);
     // Seal once with an exact sort, isolating the partitioner ablation from
     // quasi-sort noise.
@@ -102,7 +110,11 @@ pub fn tolerance_sweep(quick: bool) -> Table {
 
 /// A3: candidates-per-key sweep for the d-choice families.
 pub fn candidates_sweep(quick: bool) -> Table {
-    let (rate, cardinality) = if quick { (20_000.0, 2_000) } else { (200_000.0, 50_000) };
+    let (rate, cardinality) = if quick {
+        (20_000.0, 2_000)
+    } else {
+        (200_000.0, 50_000)
+    };
     let batch = tweet_batch(rate, cardinality, 47);
     let mut t = Table::new(
         "ablation_candidates",
@@ -157,7 +169,12 @@ pub fn batch_resize_comparison(quick: bool) -> Table {
     let mut t = Table::new(
         "ablation_batch_resize",
         "Stabilising by resizing vs by partitioning (same workload)",
-        &["configuration", "stable", "final interval s", "steady latency s"],
+        &[
+            "configuration",
+            "stable",
+            "final interval s",
+            "steady latency s",
+        ],
     );
 
     // (a) Time-based partitioning, fixed 1 s interval: overloads.
@@ -173,11 +190,8 @@ pub fn batch_resize_comparison(quick: bool) -> Table {
 
     // (b) Time-based partitioning + adaptive batch resizing: stabilises by
     // growing the interval (latency follows it up).
-    let mut controller = BatchSizeController::new(
-        Duration::from_millis(250),
-        Duration::from_secs(20),
-        0.9,
-    );
+    let mut controller =
+        BatchSizeController::new(Duration::from_millis(250), Duration::from_secs(20), 0.9);
     let mut src = datasets::tweets(profile, cardinality, 3);
     let res = run_with_resizing(
         &cfg,
@@ -255,8 +269,14 @@ mod tests {
         let bsi_max = col_f(&t, t.rows.len() - 1, 1);
         let bci_zero = col_f(&t, 0, 2);
         let bci_max = col_f(&t, t.rows.len() - 1, 2);
-        assert!(bsi_max >= bsi_zero, "BSI should grow: {bsi_zero} → {bsi_max}");
-        assert!(bci_max <= bci_zero, "BCI should fall: {bci_zero} → {bci_max}");
+        assert!(
+            bsi_max >= bsi_zero,
+            "BSI should grow: {bsi_zero} → {bsi_max}"
+        );
+        assert!(
+            bci_max <= bci_zero,
+            "BCI should fall: {bci_zero} → {bci_max}"
+        );
     }
 
     #[test]

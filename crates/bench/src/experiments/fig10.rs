@@ -84,10 +84,18 @@ pub fn measure_techniques(
 fn dataset_sources(rate: f64, cardinality: u64) -> Vec<(&'static str, Box<dyn TupleSource>)> {
     let r = RateProfile::Constant { rate };
     vec![
-        ("Tweets", Box::new(datasets::tweets(r, cardinality, 7)) as Box<dyn TupleSource>),
+        (
+            "Tweets",
+            Box::new(datasets::tweets(r, cardinality, 7)) as Box<dyn TupleSource>,
+        ),
         (
             "TPC-H",
-            Box::new(datasets::tpch_lineitem(r, cardinality, TpchQuery::Q1Quantity, 7)),
+            Box::new(datasets::tpch_lineitem(
+                r,
+                cardinality,
+                TpchQuery::Q1Quantity,
+                7,
+            )),
         ),
         ("GCM", Box::new(datasets::gcm(r, cardinality, 7))),
         (
@@ -236,7 +244,10 @@ mod tests {
         let mut src = datasets::tweets(RateProfile::Constant { rate: 20_000.0 }, 2_000, 1);
         let rows = measure(&mut src, 2);
         let get = |t: Technique| rows.iter().find(|r| r.technique == t).unwrap().ksr;
-        assert!((get(Technique::Hash) - 1.0).abs() < 1e-9, "hash never splits");
+        assert!(
+            (get(Technique::Hash) - 1.0).abs() < 1e-9,
+            "hash never splits"
+        );
         assert!(get(Technique::Shuffle) > get(Technique::Pkg(5)));
         assert!(get(Technique::Pkg(5)) >= get(Technique::Pkg(2)) * 0.99);
         assert!(get(Technique::Prompt) < get(Technique::Shuffle) / 2.0);

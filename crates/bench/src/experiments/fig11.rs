@@ -150,9 +150,8 @@ mod tests {
         let tables = run_rate_sweep(true);
         assert_eq!(tables.len(), 3);
         for t in &tables {
-            let rate_of = |label: &str| {
-                parse_krate(&t.rows.iter().find(|r| r[0] == label).unwrap()[1])
-            };
+            let rate_of =
+                |label: &str| parse_krate(&t.rows.iter().find(|r| r[0] == label).unwrap()[1]);
             let prompt = rate_of("Prompt");
             assert!(
                 prompt >= rate_of("Time-based"),

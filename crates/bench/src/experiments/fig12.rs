@@ -36,7 +36,11 @@ pub struct Scenario {
 
 /// The four panels of Fig. 12.
 pub fn scenarios(quick: bool) -> Vec<Scenario> {
-    let (batches, base_rate) = if quick { (40, 20_000.0) } else { (120, 40_000.0) };
+    let (batches, base_rate) = if quick {
+        (40, 20_000.0)
+    } else {
+        (120, 40_000.0)
+    };
     vec![
         Scenario {
             id: "fig12ab",
@@ -71,7 +75,9 @@ pub fn scenarios(quick: bool) -> Vec<Scenario> {
         Scenario {
             id: "fig12d",
             title: "Mix shift: rate steady, keys grow",
-            rate: RateProfile::Constant { rate: base_rate * 1.5 },
+            rate: RateProfile::Constant {
+                rate: base_rate * 1.5,
+            },
             keys: KeyModel::Drifting {
                 base: 1_000.0,
                 per_sec: 400.0,
@@ -108,7 +114,14 @@ pub fn run_scenario(sc: Scenario) -> Table {
     let mut t = Table::new(
         sc.id,
         sc.title,
-        &["batch", "input rate", "keys", "map tasks", "reduce tasks", "W"],
+        &[
+            "batch",
+            "input rate",
+            "keys",
+            "map tasks",
+            "reduce tasks",
+            "W",
+        ],
     );
     for b in &res.batches {
         t.row(vec![

@@ -181,5 +181,4 @@ mod tests {
         assert!(s.p5_ms <= s.p95_ms);
         assert!(s.p95_ms <= s.max_ms + 1e-9);
     }
-
 }

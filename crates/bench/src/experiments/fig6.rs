@@ -18,6 +18,9 @@ use prompt_core::metrics::size_imbalance;
 
 use crate::report::{f1, Table};
 
+/// A named bin-packing heuristic, as compared by the Fig. 6 tables.
+type NamedHeuristic = (&'static str, fn(&Instance) -> Assignment);
+
 /// The Fig. 5 running example: 385 tuples over 8 keys, 4 blocks.
 pub fn running_example() -> Instance {
     Instance::balanced(vec![140, 90, 45, 40, 30, 20, 12, 8], 4)
@@ -39,7 +42,12 @@ pub fn run(_quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "fig6",
         "B-BPFI heuristics on the Fig. 5 example (8 items, 4 bins)",
-        &["algorithm", "fragments", "size imbalance", "cardinality imbalance"],
+        &[
+            "algorithm",
+            "fragments",
+            "size imbalance",
+            "cardinality imbalance",
+        ],
     );
     let inst = running_example();
     let algos: Vec<(&str, Assignment)> = vec![
@@ -68,7 +76,12 @@ pub fn run(_quick: bool) -> Vec<Table> {
     let mut t2 = Table::new(
         "fig6_zipf",
         "B-BPFI heuristics on Zipf instances (200 items, 16 bins, mean of 5)",
-        &["algorithm", "fragments", "size imbalance", "cardinality imbalance"],
+        &[
+            "algorithm",
+            "fragments",
+            "size imbalance",
+            "cardinality imbalance",
+        ],
     );
     let draws: Vec<Instance> = (0..5u64)
         .map(|s| {
@@ -78,7 +91,7 @@ pub fn run(_quick: bool) -> Vec<Table> {
             Instance::balanced(items, 16)
         })
         .collect();
-    let algo_fns: Vec<(&str, fn(&Instance) -> Assignment)> = vec![
+    let algo_fns: Vec<NamedHeuristic> = vec![
         ("FFD", first_fit_decreasing),
         ("FragMin", fragmentation_minimization),
         ("BFD", best_fit_decreasing),

@@ -7,11 +7,11 @@
 
 pub mod ablation;
 pub mod fig10;
-pub mod fig6;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod fig6;
 pub mod table1;
 
 use prompt_core::types::Duration;

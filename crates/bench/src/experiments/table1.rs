@@ -42,7 +42,11 @@ pub fn sample(source: &mut dyn TupleSource, secs: u64, bytes_per_record: usize) 
 
 /// Run the Table 1 reproduction.
 pub fn run(quick: bool) -> Vec<Table> {
-    let (rate, secs) = if quick { (20_000.0, 3) } else { (100_000.0, 20) };
+    let (rate, secs) = if quick {
+        (20_000.0, 3)
+    } else {
+        (100_000.0, 20)
+    };
     let r = RateProfile::Constant { rate };
     let mut t = Table::new(
         "table1",
@@ -105,11 +109,7 @@ mod tests {
     fn uniform_tpch_covers_more_keys_than_zipf_tweets() {
         let tables = run(true);
         let keys_of = |name: &str| -> usize {
-            tables[0]
-                .rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[4]
+            tables[0].rows.iter().find(|r| r[0] == name).unwrap()[4]
                 .parse()
                 .unwrap()
         };

@@ -4,10 +4,8 @@
 use std::fs;
 use std::path::Path;
 
-use serde::Serialize;
-
 /// A printable/serialisable experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment identifier (e.g. `fig10a`).
     pub id: String,
@@ -75,13 +73,45 @@ impl Table {
         out
     }
 
+    /// Serialise as pretty-printed JSON (hand-rolled: the build environment
+    /// vendors no serde, and the schema is four known fields).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn str_array(items: &[String], indent: &str) -> String {
+            let cells: Vec<String> = items.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+            format!("{indent}[{}]", cells.join(", "))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| str_array(r, "    ")).collect();
+        format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"columns\":\n{},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            esc(&self.id),
+            esc(&self.title),
+            str_array(&self.columns, "    "),
+            rows.join(",\n")
+        )
+    }
+
     /// Print to stdout and persist as JSON under `results/<id>.json`
     /// (directory created on demand; IO errors are reported, not fatal).
     pub fn emit(&self, results_dir: &Path) {
         println!("{}", self.render());
         if let Err(e) = fs::create_dir_all(results_dir).and_then(|_| {
             let path = results_dir.join(format!("{}.json", self.id));
-            fs::write(path, serde_json::to_string_pretty(self).expect("serialisable"))
+            fs::write(path, self.to_json())
         }) {
             eprintln!("warning: could not persist results: {e}");
         }
@@ -105,7 +135,9 @@ pub fn sparkline(values: &[f64]) -> String {
             let idx = if span <= 0.0 {
                 3
             } else {
-                (((v - min) / span) * 7.0).round() as usize
+                // Floor, not round: the mid of the range must land on the
+                // mid level (3 of 0..=7), and only the maximum reaches 7.
+                (((v - min) / span) * 7.0).floor() as usize
             };
             LEVELS[idx.min(7)]
         })
@@ -123,7 +155,7 @@ pub fn sparkline_scaled(values: &[f64], lo: f64, hi: f64) -> String {
             let idx = if span <= 0.0 {
                 3
             } else {
-                (((v - lo) / span).clamp(0.0, 1.0) * 7.0).round() as usize
+                (((v - lo) / span).clamp(0.0, 1.0) * 7.0).floor() as usize
             };
             LEVELS[idx.min(7)]
         })

@@ -104,7 +104,7 @@ impl PlanReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::partitioner::{Partitioner, Technique};
+    use crate::partitioner::Technique;
     use crate::types::{Interval, Time, Tuple};
 
     fn plan() -> PartitionPlan {

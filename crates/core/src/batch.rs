@@ -50,7 +50,7 @@ impl MicroBatch {
 
 /// All tuples of one key within a sealed batch (`<k_i, count_i, tupleList_i>`
 /// in Algorithm 1's output).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct KeyGroup {
     /// The shared key.
     pub key: Key,
@@ -66,7 +66,7 @@ pub struct KeyGroup {
 /// "Quasi" because the online `CountTree` trades exact ordering for bounded
 /// update cost (§4.1); [`SealedBatch::sort_exact`] restores exact order, which
 /// the post-sort ablation (Fig. 14a) uses.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SealedBatch {
     /// Key groups, largest (approximately) first.
     pub groups: Vec<KeyGroup>,
@@ -120,7 +120,7 @@ pub struct KeyFragment {
 }
 
 /// A data block: one partition of a micro-batch, the input of one Map task.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DataBlock {
     /// Tuples assigned to this block.
     pub tuples: Vec<Tuple>,
@@ -177,11 +177,6 @@ impl BlockBuilder {
         self.tuples.len()
     }
 
-    #[inline]
-    pub fn cardinality(&self) -> usize {
-        self.counts.len()
-    }
-
     pub fn finish(self) -> DataBlock {
         let mut fragments: Vec<KeyFragment> = self
             .counts
@@ -200,7 +195,7 @@ impl BlockBuilder {
 /// The result of partitioning one micro-batch: `p` data blocks plus the
 /// reference table of split keys (§5: "each data block is equipped with a
 /// reference table \[marking\] if keys are split over other data blocks").
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PartitionPlan {
     /// The data blocks, one per prospective Map task.
     pub blocks: Vec<DataBlock>,

@@ -279,9 +279,7 @@ pub fn l2_bound(items: &[usize], capacity: usize) -> usize {
             .filter(|&s| s >= t && s <= capacity / 2)
             .sum();
         let medium_spare: usize = medium.iter().map(|&s| capacity - s).sum();
-        let extra = small_volume
-            .saturating_sub(medium_spare)
-            .div_ceil(capacity);
+        let extra = small_volume.saturating_sub(medium_spare).div_ceil(capacity);
         best = best.max(large + medium.len() + extra);
     }
     best
@@ -526,7 +524,12 @@ mod tests {
             let s = a.sizes();
             *s.iter().max().unwrap() - *s.iter().min().unwrap()
         };
-        assert!(spread(&bfd) <= spread(&ffd), "{:?} vs {:?}", bfd.sizes(), ffd.sizes());
+        assert!(
+            spread(&bfd) <= spread(&ffd),
+            "{:?} vs {:?}",
+            bfd.sizes(),
+            ffd.sizes()
+        );
         assert!(bfd.fragments() >= inst.items.len());
     }
 
@@ -546,7 +549,10 @@ mod tests {
             .flat_map(|b| b.iter())
             .filter(|&&(item, _)| item == 0)
             .count();
-        assert!(frags_of_0 >= 3, "15 into capacity-6 bins needs ≥ 3 fragments");
+        assert!(
+            frags_of_0 >= 3,
+            "15 into capacity-6 bins needs ≥ 3 fragments"
+        );
     }
 
     #[test]

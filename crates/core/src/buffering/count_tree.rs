@@ -386,7 +386,9 @@ mod tests {
         // Simple deterministic LCG so the test needs no rand dependency here.
         let mut state = 0x853c49e6748fea9bu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let mut tree = CountTree::new();

@@ -15,8 +15,10 @@
 //! quasi-descending frequency order with no explicit sorting step.
 
 mod count_tree;
+mod sharded;
 
 pub use count_tree::CountTree;
+pub use sharded::ShardedAccumulator;
 
 use crate::batch::{KeyGroup, SealedBatch};
 use crate::hash::KeyMap;

@@ -1,0 +1,330 @@
+//! Sharded parallel ingest for Algorithm 1.
+//!
+//! One [`FrequencyAwareAccumulator`] is inherently serial: every `ingest`
+//! touches the shared `HTable` and `CountTree`. To scale the batching phase
+//! across receiver cores, the accumulator is split into `n` independent
+//! shards, each a full Algorithm 1 instance over the keys that hash to it.
+//! Tuples route by a fixed key hash, so a key's entire group lives in exactly
+//! one shard and per-key state never crosses shard boundaries.
+//!
+//! ## Determinism contract
+//!
+//! * **Counts are exact and shard-invariant.** Sealed groups carry exact
+//!   per-key counts, so the frequency table is identical to the serial
+//!   accumulator's for *any* shard count.
+//! * **Parallel ≡ serial.** [`ShardedAccumulator::par_ingest`] scatters the
+//!   arrival slice into per-shard sub-streams (chunked across workers, in
+//!   arrival order), then gives each worker exclusive ownership of a
+//!   contiguous shard range; scattering keeps arrival order within every
+//!   shard, so each shard sees exactly the sub-stream it would see under
+//!   serial ingest, in the same order. The sealed output is bit-identical
+//!   to serially ingesting the same tuples, regardless of thread count.
+//! * **One shard ≡ the legacy accumulator.** With `n = 1` the merge is the
+//!   identity, so output order (and any downstream [`PartitionPlan`]) equals
+//!   the serial `FrequencyAwareAccumulator`'s exactly.
+//!
+//! At seal, the per-shard quasi-sorted group lists are combined by a k-way
+//! merge on exact `(count desc, key asc)`: deterministic, order-preserving
+//! within each shard, and quasi-descending overall — exactly what
+//! Algorithm 2 needs.
+//!
+//! [`PartitionPlan`]: crate::batch::PartitionPlan
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::batch::SealedBatch;
+use crate::buffering::{
+    AccumulatorConfig, BatchAccumulator, BatchStats, FrequencyAwareAccumulator,
+};
+use crate::hash::bucket_of;
+use crate::types::{Interval, Key, Tuple};
+
+/// Fixed routing seed: shard placement is part of the accumulator's
+/// deterministic behaviour, not a per-run random choice.
+const SHARD_SEED: u64 = 0x5ca1_ab1e_0d15_ea5e;
+
+/// Algorithm 1 sharded `n` ways for parallel ingest.
+#[derive(Debug)]
+pub struct ShardedAccumulator {
+    shards: Vec<FrequencyAwareAccumulator>,
+    interval: Interval,
+}
+
+impl ShardedAccumulator {
+    /// Create an accumulator with `n_shards` independent Algorithm 1
+    /// instances. Each shard's estimates are scaled down by the shard count
+    /// (it sees roughly `1/n` of the tuples and keys), which keeps the
+    /// initial `f.step` unchanged and the in-flight step updates comparable
+    /// to the serial accumulator's.
+    pub fn new(cfg: AccumulatorConfig, n_shards: usize, interval: Interval) -> ShardedAccumulator {
+        assert!(n_shards >= 1, "need at least one shard");
+        let shard_cfg = AccumulatorConfig {
+            budget: cfg.budget,
+            est_tuples: (cfg.est_tuples / n_shards as f64).max(1.0),
+            avg_keys: (cfg.avg_keys / n_shards as f64).max(1.0),
+        };
+        ShardedAccumulator {
+            shards: (0..n_shards)
+                .map(|_| FrequencyAwareAccumulator::new(shard_cfg, interval))
+                .collect(),
+            interval,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to.
+    #[inline]
+    pub fn shard_of(&self, key: Key) -> usize {
+        bucket_of(SHARD_SEED, key, self.shards.len())
+    }
+
+    /// Ingest an arrival-ordered slice on `threads` OS threads, in two
+    /// parallel phases: scatter the arrivals into per-shard sub-streams
+    /// (one hash and one copy per tuple), then ingest each shard's
+    /// sub-stream on the worker owning it. Scattering preserves arrival
+    /// order within every shard, so the result is bit-identical to serial
+    /// ingest for any thread count.
+    pub fn par_ingest(&mut self, tuples: &[Tuple], threads: usize) {
+        let n_shards = self.shards.len();
+        let threads = threads.clamp(1, n_shards);
+        if threads == 1 {
+            for &t in tuples {
+                self.ingest(t);
+            }
+            return;
+        }
+        // Phase 1 (parallel): scatter contiguous arrival chunks into
+        // per-(chunk, shard) runs. Chunks are taken in arrival order, so the
+        // concatenation of a shard's runs is the stable sub-stream serial
+        // ingest would deliver, whatever the chunk boundaries.
+        let chunk_len = tuples.len().div_ceil(threads).max(1);
+        let runs: Vec<Vec<Vec<Tuple>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tuples
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut runs: Vec<Vec<Tuple>> =
+                            vec![Vec::with_capacity(chunk.len() / n_shards + 1); n_shards];
+                        for &t in chunk {
+                            runs[bucket_of(SHARD_SEED, t.key, n_shards)].push(t);
+                        }
+                        runs
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker panicked"))
+                .collect()
+        });
+        // Phase 2 (parallel): each worker owns a contiguous shard range and
+        // ingests its shards' runs in chunk (= arrival) order.
+        let shard_chunk = n_shards.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, shard_range) in self.shards.chunks_mut(shard_chunk).enumerate() {
+                let base = ci * shard_chunk;
+                let runs = &runs;
+                scope.spawn(move || {
+                    for (i, shard) in shard_range.iter_mut().enumerate() {
+                        for chunk_runs in runs {
+                            for &t in &chunk_runs[base + i] {
+                                shard.ingest(t);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl BatchAccumulator for ShardedAccumulator {
+    fn ingest(&mut self, t: Tuple) {
+        let s = self.shard_of(t.key);
+        self.shards[s].ingest(t);
+    }
+
+    fn seal(&mut self, next_interval: Interval) -> SealedBatch {
+        // Seal every shard, then k-way merge the quasi-sorted lists on exact
+        // (count desc, key asc). Keys are unique across shards, so the heap
+        // order is total and the merge deterministic.
+        let mut queues: Vec<VecDeque<_>> = self
+            .shards
+            .iter_mut()
+            .map(|s| s.seal(next_interval).groups.into())
+            .collect();
+        let total: usize = queues.iter().map(VecDeque::len).sum();
+        let mut heap: BinaryHeap<(usize, Reverse<u64>, usize)> = queues
+            .iter()
+            .enumerate()
+            .filter_map(|(si, q)| q.front().map(|g| (g.count, Reverse(g.key.0), si)))
+            .collect();
+        let mut groups = Vec::with_capacity(total);
+        while let Some((_, _, si)) = heap.pop() {
+            let g = queues[si].pop_front().expect("heap entry has a head");
+            groups.push(g);
+            if let Some(nxt) = queues[si].front() {
+                heap.push((nxt.count, Reverse(nxt.key.0), si));
+            }
+        }
+        let sealed = SealedBatch::new(groups, self.interval);
+        self.interval = next_interval;
+        sealed
+    }
+
+    fn stats(&self) -> BatchStats {
+        self.shards
+            .iter()
+            .map(|s| s.stats())
+            .fold(BatchStats::default(), |acc, s| BatchStats {
+                n_tuples: acc.n_tuples + s.n_tuples,
+                n_keys: acc.n_keys + s.n_keys,
+                tree_updates: acc.tree_updates + s.tree_updates,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Duration, Time};
+
+    fn interval_secs(a: u64, b: u64) -> Interval {
+        Interval::new(Time::from_secs(a), Time::from_secs(b))
+    }
+
+    /// An arrival-ordered stream: `spec` = [(key, count)], round-robin
+    /// interleaved with timestamps spread over the interval.
+    fn stream(spec: &[(u64, usize)], iv: Interval) -> Vec<Tuple> {
+        let total: usize = spec.iter().map(|&(_, c)| c).sum();
+        let mut remaining: Vec<(u64, usize)> = spec.to_vec();
+        let step = iv.len().0 / (total as u64 + 1);
+        let mut ts = iv.start;
+        let mut out = Vec::with_capacity(total);
+        while out.len() < total {
+            for r in remaining.iter_mut() {
+                if r.1 > 0 {
+                    r.1 -= 1;
+                    ts = ts + Duration(step);
+                    out.push(Tuple::keyed(ts, Key(r.0)));
+                }
+            }
+        }
+        out
+    }
+
+    fn spec() -> Vec<(u64, usize)> {
+        (0..40u64).map(|k| (k, 5 + (k as usize * 7) % 90)).collect()
+    }
+
+    #[test]
+    fn counts_are_exact_for_any_shard_count() {
+        let iv = interval_secs(0, 1);
+        let tuples = stream(&spec(), iv);
+        for n_shards in [1, 2, 3, 8] {
+            let mut acc = ShardedAccumulator::new(AccumulatorConfig::default(), n_shards, iv);
+            for &t in &tuples {
+                acc.ingest(t);
+            }
+            assert_eq!(acc.stats().n_tuples, tuples.len() as u64);
+            assert_eq!(acc.stats().n_keys, 40);
+            let sealed = acc.seal(interval_secs(1, 2));
+            assert_eq!(sealed.n_tuples, tuples.len());
+            let mut got: Vec<(u64, usize)> =
+                sealed.groups.iter().map(|g| (g.key.0, g.count)).collect();
+            got.sort_unstable();
+            let mut want = spec();
+            want.sort_unstable();
+            assert_eq!(got, want, "{n_shards} shards");
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_is_bit_identical_to_serial() {
+        let iv = interval_secs(0, 1);
+        let tuples = stream(&spec(), iv);
+        for (n_shards, threads) in [(4, 2), (8, 3), (8, 8), (3, 16)] {
+            let cfg = AccumulatorConfig::default();
+            let mut serial = ShardedAccumulator::new(cfg, n_shards, iv);
+            for &t in &tuples {
+                serial.ingest(t);
+            }
+            let mut parallel = ShardedAccumulator::new(cfg, n_shards, iv);
+            parallel.par_ingest(&tuples, threads);
+            assert_eq!(serial.stats(), parallel.stats());
+            let a = serial.seal(interval_secs(1, 2));
+            let b = parallel.seal(interval_secs(1, 2));
+            assert_eq!(a.groups.len(), b.groups.len());
+            for (ga, gb) in a.groups.iter().zip(&b.groups) {
+                assert_eq!(ga.key, gb.key, "{n_shards} shards / {threads} threads");
+                assert_eq!(ga.count, gb.count);
+                assert_eq!(ga.tuples, gb.tuples);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_legacy_accumulator_exactly() {
+        let iv = interval_secs(0, 1);
+        let tuples = stream(&spec(), iv);
+        let cfg = AccumulatorConfig::default();
+        let mut legacy = FrequencyAwareAccumulator::new(cfg, iv);
+        let mut sharded = ShardedAccumulator::new(cfg, 1, iv);
+        for &t in &tuples {
+            legacy.ingest(t);
+            sharded.ingest(t);
+        }
+        let a = legacy.seal(interval_secs(1, 2));
+        let b = sharded.seal(interval_secs(1, 2));
+        let order = |s: &SealedBatch| s.groups.iter().map(|g| g.key).collect::<Vec<_>>();
+        assert_eq!(order(&a), order(&b), "merge of one shard is the identity");
+    }
+
+    #[test]
+    fn merged_output_is_quasi_descending() {
+        let iv = interval_secs(0, 1);
+        let tuples = stream(&spec(), iv);
+        let mut acc = ShardedAccumulator::new(AccumulatorConfig::default(), 4, iv);
+        acc.par_ingest(&tuples, 4);
+        let sealed = acc.seal(interval_secs(1, 2));
+        // The k-way merge picks the max exact head each step; with per-shard
+        // quasi-sorted lists the global order stays near-descending.
+        assert!(
+            sealed.adjacent_inversions() <= sealed.n_keys() / 4,
+            "too many inversions: {}",
+            sealed.adjacent_inversions()
+        );
+    }
+
+    #[test]
+    fn seal_resets_for_next_interval() {
+        let iv = interval_secs(0, 1);
+        let mut acc = ShardedAccumulator::new(AccumulatorConfig::default(), 4, iv);
+        acc.par_ingest(&stream(&[(1, 10), (2, 5)], iv), 2);
+        let first = acc.seal(interval_secs(1, 2));
+        assert_eq!(first.n_tuples, 15);
+        assert_eq!(acc.stats(), BatchStats::default());
+        let iv2 = interval_secs(1, 2);
+        acc.par_ingest(&stream(&[(7, 3)], iv2), 2);
+        let second = acc.seal(interval_secs(2, 3));
+        assert_eq!(second.n_tuples, 3);
+        assert_eq!(second.groups[0].key, Key(7));
+        assert_eq!(second.interval, iv2);
+    }
+
+    #[test]
+    fn shard_routing_is_total_and_stable() {
+        let acc = ShardedAccumulator::new(AccumulatorConfig::default(), 6, interval_secs(0, 1));
+        assert_eq!(acc.n_shards(), 6);
+        for k in 0..1000u64 {
+            let s = acc.shard_of(Key(k));
+            assert!(s < 6);
+            assert_eq!(s, acc.shard_of(Key(k)), "routing must be stable");
+        }
+    }
+}

@@ -76,11 +76,7 @@ impl HashFamily {
     /// Iterate over all candidate buckets of `key` among `n` buckets.
     /// Candidates may collide for small `n`; callers that need distinct
     /// candidates must dedup.
-    pub fn candidates<'a>(
-        &'a self,
-        key: Key,
-        n: usize,
-    ) -> impl Iterator<Item = usize> + 'a {
+    pub fn candidates<'a>(&'a self, key: Key, n: usize) -> impl Iterator<Item = usize> + 'a {
         self.seeds.iter().map(move |&s| bucket_of(s, key, n))
     }
 }

@@ -65,10 +65,12 @@ pub mod types;
 /// Convenient glob-import surface for downstream crates and examples.
 pub mod prelude {
     pub use crate::analysis::{BlockRow, PlanReport};
-    pub use crate::batch::{DataBlock, KeyFragment, KeyGroup, MicroBatch, PartitionPlan, SealedBatch};
+    pub use crate::batch::{
+        DataBlock, KeyFragment, KeyGroup, MicroBatch, PartitionPlan, SealedBatch,
+    };
     pub use crate::buffering::{
         AccumulatorConfig, BatchAccumulator, BatchStats, CountTree, FrequencyAwareAccumulator,
-        PostSortAccumulator,
+        PostSortAccumulator, ShardedAccumulator,
     };
     pub use crate::metrics::{MpiWeights, PlanMetrics};
     pub use crate::partitioner::{

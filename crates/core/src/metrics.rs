@@ -95,8 +95,16 @@ pub fn mpi(plan: &PartitionPlan, w: MpiWeights) -> f64 {
     let p = plan.n_blocks().max(1) as f64;
     let avg_size = plan.total_tuples() as f64 / p;
     let avg_card = plan.total_keys() as f64 / p;
-    let bsi_n = if avg_size > 0.0 { bsi(plan) / avg_size } else { 0.0 };
-    let bci_n = if avg_card > 0.0 { bci(plan) / avg_card } else { 0.0 };
+    let bsi_n = if avg_size > 0.0 {
+        bsi(plan) / avg_size
+    } else {
+        0.0
+    };
+    let bci_n = if avg_card > 0.0 {
+        bci(plan) / avg_card
+    } else {
+        0.0
+    };
     w.p1 * bsi_n + w.p2 * bci_n + w.p3 * ksr(plan)
 }
 
@@ -151,7 +159,10 @@ mod tests {
         let mut tuples = Vec::new();
         let mut fragments = Vec::new();
         for &(k, c) in spec {
-            fragments.push(KeyFragment { key: Key(k), count: c });
+            fragments.push(KeyFragment {
+                key: Key(k),
+                count: c,
+            });
             for _ in 0..c {
                 tuples.push(Tuple::keyed(Time::ZERO, Key(k)));
             }
@@ -161,10 +172,8 @@ mod tests {
 
     #[test]
     fn perfectly_balanced_plan_scores_zero_imbalance() {
-        let plan = PartitionPlan::from_blocks(vec![
-            block(&[(1, 5), (2, 5)]),
-            block(&[(3, 5), (4, 5)]),
-        ]);
+        let plan =
+            PartitionPlan::from_blocks(vec![block(&[(1, 5), (2, 5)]), block(&[(3, 5), (4, 5)])]);
         assert_eq!(bsi(&plan), 0.0);
         assert_eq!(bci(&plan), 0.0);
         assert_eq!(ksr(&plan), 1.0);
@@ -174,11 +183,8 @@ mod tests {
 
     #[test]
     fn bsi_measures_max_minus_avg() {
-        let plan = PartitionPlan::from_blocks(vec![
-            block(&[(1, 10)]),
-            block(&[(2, 4)]),
-            block(&[(3, 4)]),
-        ]);
+        let plan =
+            PartitionPlan::from_blocks(vec![block(&[(1, 10)]), block(&[(2, 4)]), block(&[(3, 4)])]);
         // sizes 10,4,4 → max 10, avg 6 → BSI 4
         assert_eq!(bsi(&plan), 4.0);
     }
@@ -196,10 +202,7 @@ mod tests {
     #[test]
     fn ksr_counts_fragments() {
         // Key 1 split across both blocks: 2 keys total, 3 fragments.
-        let plan = PartitionPlan::from_blocks(vec![
-            block(&[(1, 3), (2, 2)]),
-            block(&[(1, 2)]),
-        ]);
+        let plan = PartitionPlan::from_blocks(vec![block(&[(1, 3), (2, 2)]), block(&[(1, 2)])]);
         assert!((ksr(&plan) - 1.5).abs() < 1e-12);
         assert!(plan.split_keys.contains(&Key(1)));
     }
@@ -215,9 +218,86 @@ mod tests {
     #[test]
     fn weights_validation() {
         assert!(MpiWeights::default().validate().is_ok());
-        assert!(MpiWeights { p1: 1.0, p2: 0.0, p3: 0.0 }.validate().is_ok());
-        assert!(MpiWeights { p1: 0.5, p2: 0.5, p3: 0.5 }.validate().is_err());
-        assert!(MpiWeights { p1: 1.5, p2: -0.5, p3: 0.0 }.validate().is_err());
+        assert!(MpiWeights {
+            p1: 1.0,
+            p2: 0.0,
+            p3: 0.0
+        }
+        .validate()
+        .is_ok());
+        assert!(MpiWeights {
+            p1: 0.5,
+            p2: 0.5,
+            p3: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(MpiWeights {
+            p1: 1.5,
+            p2: -0.5,
+            p3: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    /// The worked 3-worker example from the cost-model walkthrough: every
+    /// metric pinned to its hand-computed value.
+    ///
+    /// Three blocks: A = {k1×8, k2×4}, B = {k2×2, k3×5, k4×2},
+    /// C = {k5×6, k6×3}. So sizes are (12, 9, 9), cardinalities (2, 3, 2),
+    /// 6 distinct keys in 7 fragments (only k2 is split).
+    #[test]
+    fn worked_three_worker_example_pins_all_metrics() {
+        let plan = PartitionPlan::from_blocks(vec![
+            block(&[(1, 8), (2, 4)]),
+            block(&[(2, 2), (3, 5), (4, 2)]),
+            block(&[(5, 6), (6, 3)]),
+        ]);
+        assert_eq!(plan.total_tuples(), 30);
+        assert_eq!(plan.total_keys(), 6);
+        assert_eq!(plan.total_fragments(), 7);
+        assert_eq!(plan.split_keys.len(), 1);
+        assert!(plan.split_keys.contains(&Key(2)));
+
+        // Eqn. 2: BSI = max size − avg size = 12 − 30/3 = 2.
+        assert_eq!(bsi(&plan), 2.0);
+        // Eqn. 4: BCI = max card − avg card = 3 − 7/3 = 2/3.
+        assert!((bci(&plan) - 2.0 / 3.0).abs() < 1e-12);
+        // Eqn. 5: KSR = fragments / keys = 7/6.
+        assert!((ksr(&plan) - 7.0 / 6.0).abs() < 1e-12);
+        // Eqn. 6 with p1 = p2 = p3 = 1/3 and the normalised addends
+        // BSI/avg_size = 2/10 and BCI/avg_card = (2/3)/2 = 1/3:
+        // MPI = (1/5 + 1/3 + 7/6)/3 = 51/90 = 17/30.
+        let m = mpi(&plan, MpiWeights::default());
+        assert!((m - 17.0 / 30.0).abs() < 1e-12, "got {m}");
+
+        // Degenerate weights recover the single-objective baselines.
+        let only_bsi = mpi(
+            &plan,
+            MpiWeights {
+                p1: 1.0,
+                p2: 0.0,
+                p3: 0.0,
+            },
+        );
+        assert!((only_bsi - 0.2).abs() < 1e-12);
+        let only_ksr = mpi(
+            &plan,
+            MpiWeights {
+                p1: 0.0,
+                p2: 0.0,
+                p3: 1.0,
+            },
+        );
+        assert!((only_ksr - 7.0 / 6.0).abs() < 1e-12);
+
+        // And the bundle agrees with the individual functions.
+        let pm = PlanMetrics::of(&plan);
+        assert_eq!(pm.bsi, bsi(&plan));
+        assert_eq!(pm.bci, bci(&plan));
+        assert_eq!(pm.ksr, ksr(&plan));
+        assert_eq!(pm.mpi, m);
     }
 
     #[test]
@@ -229,10 +309,7 @@ mod tests {
 
     #[test]
     fn plan_metrics_bundles_all() {
-        let plan = PartitionPlan::from_blocks(vec![
-            block(&[(1, 6)]),
-            block(&[(2, 2), (3, 2)]),
-        ]);
+        let plan = PartitionPlan::from_blocks(vec![block(&[(1, 6)]), block(&[(2, 2), (3, 2)])]);
         let m = PlanMetrics::of(&plan);
         assert_eq!(m.bsi, 1.0); // sizes 6,4 → max 6 avg 5
         assert_eq!(m.bci, 0.5); // cards 1,2 → max 2 avg 1.5

@@ -95,12 +95,8 @@ impl Technique {
             Technique::Pkg(d) => Box::new(PkgPartitioner::new(seed, d)),
             Technique::Cam(d) => Box::new(CamPartitioner::new(seed, d)),
             Technique::DChoices(d) => Box::new(DChoicesPartitioner::new(seed, d)),
-            Technique::Prompt => {
-                Box::new(PromptPartitioner::new(BufferingMode::FrequencyAware))
-            }
-            Technique::PromptPostSort => {
-                Box::new(PromptPartitioner::new(BufferingMode::PostSort))
-            }
+            Technique::Prompt => Box::new(PromptPartitioner::new(BufferingMode::FrequencyAware)),
+            Technique::PromptPostSort => Box::new(PromptPartitioner::new(BufferingMode::PostSort)),
         }
     }
 }

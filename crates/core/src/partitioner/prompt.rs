@@ -19,11 +19,14 @@
 //!    block with the *least* remaining capacity that can hold it (Best-Fit),
 //!    fragmenting further only when unavoidable.
 
-use crate::batch::{BlockBuilder, MicroBatch, PartitionPlan, SealedBatch};
-use crate::buffering::{AccumulatorConfig, BatchAccumulator, FrequencyAwareAccumulator, PostSortAccumulator};
-use crate::hash::KeyMap;
+use crate::batch::{BlockBuilder, DataBlock, MicroBatch, PartitionPlan, SealedBatch};
+use crate::buffering::{
+    AccumulatorConfig, BatchAccumulator, FrequencyAwareAccumulator, PostSortAccumulator,
+    ShardedAccumulator,
+};
+use crate::hash::{KeyMap, KeySet};
 use crate::partitioner::Partitioner;
-use crate::types::{Key, Tuple};
+use crate::types::Key;
 
 /// How the partitioner obtains the sorted key list when driven through the
 /// arrival-ordered [`Partitioner`] interface.
@@ -40,6 +43,10 @@ pub enum BufferingMode {
 pub struct PromptPartitioner {
     mode: BufferingMode,
     acc_cfg: AccumulatorConfig,
+    /// Accumulator shards for the batching phase (1 = legacy serial path).
+    shards: usize,
+    /// Worker threads for parallel ingest and plan materialization.
+    threads: usize,
 }
 
 impl PromptPartitioner {
@@ -48,6 +55,8 @@ impl PromptPartitioner {
         PromptPartitioner {
             mode,
             acc_cfg: AccumulatorConfig::default(),
+            shards: 1,
+            threads: 1,
         }
     }
 
@@ -56,7 +65,33 @@ impl PromptPartitioner {
         mode: BufferingMode,
         acc_cfg: AccumulatorConfig,
     ) -> PromptPartitioner {
-        PromptPartitioner { mode, acc_cfg }
+        PromptPartitioner {
+            mode,
+            acc_cfg,
+            shards: 1,
+            threads: 1,
+        }
+    }
+
+    /// Construct the parallel pipeline: `shards`-way sharded ingest and
+    /// `threads` workers for ingest and block materialization. The sharded
+    /// accumulator's determinism contract (see
+    /// [`ShardedAccumulator`](crate::buffering::ShardedAccumulator)) makes
+    /// the output independent of `threads`; `shards = 1, threads = 1` is
+    /// exactly the serial path.
+    pub fn with_parallelism(
+        mode: BufferingMode,
+        shards: usize,
+        threads: usize,
+    ) -> PromptPartitioner {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(threads >= 1, "need at least one thread");
+        PromptPartitioner {
+            mode,
+            acc_cfg: AccumulatorConfig::default(),
+            shards,
+            threads,
+        }
     }
 
     /// The buffering mode in use.
@@ -80,17 +115,85 @@ impl PromptPartitioner {
     /// larger values trade bounded size imbalance for cardinality balance.
     /// Exposed for the ablation benches.
     pub fn partition_sealed_with(batch: &SealedBatch, p: usize, tolerance: f64) -> PartitionPlan {
+        let pieces = Self::assign_pieces(batch, p, tolerance);
+        let blocks = pieces
+            .iter()
+            .map(|block_pieces| materialize_block(batch, block_pieces, batch.n_tuples / p + 1))
+            .collect();
+        PartitionPlan::from_blocks(blocks)
+    }
+
+    /// [`Self::partition_sealed`] with block materialization fanned out over
+    /// `threads` OS threads. The assignment phase is shared with the serial
+    /// path and blocks materialize independently, so the plan is
+    /// bit-identical to [`Self::partition_sealed`] for any thread count.
+    pub fn partition_sealed_par(batch: &SealedBatch, p: usize, threads: usize) -> PartitionPlan {
+        Self::partition_sealed_par_with(batch, p, Self::DEFAULT_TOLERANCE, threads)
+    }
+
+    /// [`Self::partition_sealed_par`] with an explicit residual tolerance.
+    pub fn partition_sealed_par_with(
+        batch: &SealedBatch,
+        p: usize,
+        tolerance: f64,
+        threads: usize,
+    ) -> PartitionPlan {
+        let threads = threads.clamp(1, p);
+        if threads == 1 {
+            return Self::partition_sealed_with(batch, p, tolerance);
+        }
+        let pieces = Self::assign_pieces(batch, p, tolerance);
+        let cap = batch.n_tuples / p + 1;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<DataBlock>> = Vec::new();
+        slots.resize_with(p, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let pieces = &pieces;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, DataBlock)> = Vec::new();
+                        loop {
+                            let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if b >= p {
+                                break;
+                            }
+                            local.push((b, materialize_block(batch, &pieces[b], cap)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (b, block) in h.join().expect("materialize worker panicked") {
+                    slots[b] = Some(block);
+                }
+            }
+        });
+        PartitionPlan::from_blocks(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every block materialized"))
+                .collect(),
+        )
+    }
+
+    /// The decision core of Algorithm 2: compute which range of which key
+    /// group lands in which block, without touching any tuple data. The
+    /// symbolic state (block sizes and distinct-key sets) reproduces exactly
+    /// the information the old interleaved implementation read back from its
+    /// partially built blocks, so the assignment — and hence the final plan —
+    /// is unchanged; it is just now independent of materialization, which
+    /// can run per-block in parallel.
+    fn assign_pieces(batch: &SealedBatch, p: usize, tolerance: f64) -> Vec<Vec<Piece>> {
         assert!(p > 0, "need at least one block");
         assert!((0.0..=1.0).contains(&tolerance), "tolerance is a fraction");
         let n = batch.n_tuples;
         let k = batch.n_keys();
-        let mut builders: Vec<BlockBuilder> = (0..p)
-            .map(|_| BlockBuilder::with_capacity(n / p + 1))
-            .collect();
+        let mut blocks = SymbolicBlocks::new(p);
         if n == 0 {
-            return PartitionPlan::from_blocks(
-                builders.into_iter().map(BlockBuilder::finish).collect(),
-            );
+            return blocks.pieces;
         }
 
         // Partition-Size, Partition-Cardinality, Key-Split-CutOff (Alg. 2
@@ -100,18 +203,18 @@ impl PromptPartitioner {
         let s_cut = (p_size / p_card).max(1);
 
         // Phase 1: fragment the high-frequency keys (lines 5–9).
-        let mut residuals: Vec<(Key, &[Tuple])> = Vec::new();
+        let mut residuals: Vec<(usize, usize)> = Vec::new(); // (group, split point)
         let mut lookup_large_pos: KeyMap<usize> = KeyMap::default();
-        let mut normal: Vec<&crate::batch::KeyGroup> = Vec::with_capacity(k);
+        let mut normal: Vec<usize> = Vec::with_capacity(k);
         let mut bi = 0usize;
-        for g in &batch.groups {
+        for (gi, g) in batch.groups.iter().enumerate() {
             if g.count > s_cut {
-                builders[bi].extend_from_slice(g.key, &g.tuples[..s_cut]);
+                blocks.place(bi, gi, 0, s_cut, g.key);
                 lookup_large_pos.insert(g.key, bi);
-                residuals.push((g.key, &g.tuples[s_cut..]));
+                residuals.push((gi, s_cut));
                 bi = (bi + 1) % p;
             } else {
-                normal.push(g);
+                normal.push(gi);
             }
         }
 
@@ -123,11 +226,16 @@ impl PromptPartitioner {
         // phases in Alg. 2) so the heavy fragments and the first zigzag
         // pass interleave instead of stacking on the low-index blocks.
         let offset = bi;
-        for (i, g) in normal.iter().enumerate() {
+        for (i, &gi) in normal.iter().enumerate() {
             let pass = i / p;
             let pos = i % p;
-            let idx = if pass.is_multiple_of(2) { pos } else { p - 1 - pos };
-            builders[(offset + idx) % p].extend_from_slice(g.key, &g.tuples);
+            let idx = if pass.is_multiple_of(2) {
+                pos
+            } else {
+                p - 1 - pos
+            };
+            let g = &batch.groups[gi];
+            blocks.place((offset + idx) % p, gi, 0, g.count, g.key);
         }
 
         // Phase 3: place the residuals of the fragmented keys (lines 17–25).
@@ -138,21 +246,20 @@ impl PromptPartitioner {
         // spread over all blocks — BSI stays ~0 relative to hashing and BCI
         // stays at shuffle level, the trade Fig. 10 reports.
         let cap_limit = p_size + (p_size as f64 * tolerance) as usize + 1;
-        let capacity =
-            |builders: &[BlockBuilder], b: usize| cap_limit.saturating_sub(builders[b].size());
-        for (key, rest) in residuals {
-            let mut remaining = rest;
+        'residuals: for (gi, split) in residuals {
+            let g = &batch.groups[gi];
+            let (mut start, end) = (split, g.count);
             // Key-locality first: the block already holding this key's
             // S_cut fragment.
-            let home = lookup_large_pos[&key];
-            let cap = capacity(&builders, home);
-            if remaining.len() <= cap {
-                builders[home].extend_from_slice(key, remaining);
+            let home = lookup_large_pos[&g.key];
+            let cap = blocks.capacity(home, cap_limit);
+            if end - start <= cap {
+                blocks.place(home, gi, start, end, g.key);
                 continue;
             }
             if cap > 0 {
-                builders[home].extend_from_slice(key, &remaining[..cap]);
-                remaining = &remaining[cap..];
+                blocks.place(home, gi, start, start + cap, g.key);
+                start += cap;
             }
             // Place the rest in a block that can hold it whole. Among those,
             // prefer the block with the fewest distinct keys (cardinality
@@ -162,38 +269,98 @@ impl PromptPartitioner {
             // into whichever block happens to be fullest, wrecking BCI; the
             // capacity bound already enforces size balance, so cardinality
             // is the right discriminator here (§3.2, cost model Eqn. 6).
-            while !remaining.is_empty() {
+            while start < end {
                 let fit = (0..p)
-                    .filter(|&b| capacity(&builders, b) >= remaining.len())
-                    .min_by_key(|&b| (builders[b].cardinality(), capacity(&builders, b), b));
+                    .filter(|&b| blocks.capacity(b, cap_limit) >= end - start)
+                    .min_by_key(|&b| (blocks.cardinality(b), blocks.capacity(b, cap_limit), b));
                 if let Some(b) = fit {
-                    builders[b].extend_from_slice(key, remaining);
-                    break;
+                    blocks.place(b, gi, start, end, g.key);
+                    continue 'residuals;
                 }
                 // No single block fits the residual: pour into the block
                 // with the most remaining capacity to minimise the number
                 // of extra fragments.
                 let (b, cap) = (0..p)
-                    .map(|b| (b, capacity(&builders, b)))
+                    .map(|b| (b, blocks.capacity(b, cap_limit)))
                     .max_by_key(|&(b, c)| (c, usize::MAX - b))
                     .expect("p > 0");
                 if cap == 0 {
                     // All blocks at capacity (rounding slack exhausted):
                     // overflow into the globally least-loaded block.
-                    let b = (0..p)
-                        .min_by_key(|&b| (builders[b].size(), b))
-                        .expect("p > 0");
-                    builders[b].extend_from_slice(key, remaining);
-                    break;
+                    let b = (0..p).min_by_key(|&b| (blocks.size(b), b)).expect("p > 0");
+                    blocks.place(b, gi, start, end, g.key);
+                    continue 'residuals;
                 }
-                let take = cap.min(remaining.len());
-                builders[b].extend_from_slice(key, &remaining[..take]);
-                remaining = &remaining[take..];
+                let take = cap.min(end - start);
+                blocks.place(b, gi, start, start + take, g.key);
+                start += take;
             }
         }
 
-        PartitionPlan::from_blocks(builders.into_iter().map(BlockBuilder::finish).collect())
+        blocks.pieces
     }
+}
+
+/// One contiguous range `[start, end)` of key group `group`'s tuples,
+/// assigned to a block by [`PromptPartitioner::assign_pieces`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Piece {
+    group: usize,
+    start: usize,
+    end: usize,
+}
+
+/// The symbolic block state the assignment phase reads back: per-block
+/// pieces, sizes and distinct-key sets — everything the placement decisions
+/// depend on, with no tuple data.
+struct SymbolicBlocks {
+    pieces: Vec<Vec<Piece>>,
+    sizes: Vec<usize>,
+    keys: Vec<KeySet>,
+}
+
+impl SymbolicBlocks {
+    fn new(p: usize) -> SymbolicBlocks {
+        SymbolicBlocks {
+            pieces: vec![Vec::new(); p],
+            sizes: vec![0; p],
+            keys: vec![KeySet::default(); p],
+        }
+    }
+
+    fn place(&mut self, b: usize, group: usize, start: usize, end: usize, key: Key) {
+        debug_assert!(start < end, "empty piece");
+        self.pieces[b].push(Piece { group, start, end });
+        self.sizes[b] += end - start;
+        self.keys[b].insert(key);
+    }
+
+    #[inline]
+    fn size(&self, b: usize) -> usize {
+        self.sizes[b]
+    }
+
+    #[inline]
+    fn cardinality(&self, b: usize) -> usize {
+        self.keys[b].len()
+    }
+
+    #[inline]
+    fn capacity(&self, b: usize, cap_limit: usize) -> usize {
+        cap_limit.saturating_sub(self.sizes[b])
+    }
+}
+
+/// Copy one block's assigned ranges out of the sealed batch. Pieces are
+/// appended in assignment order — the same order the old interleaved
+/// implementation pushed tuples — so the block content is bit-identical.
+fn materialize_block(batch: &SealedBatch, pieces: &[Piece], cap: usize) -> DataBlock {
+    let mut builder = BlockBuilder::with_capacity(cap);
+    for pc in pieces {
+        let g = &batch.groups[pc.group];
+        builder.extend_from_slice(g.key, &g.tuples[pc.start..pc.end]);
+    }
+    builder.finish()
 }
 
 impl Partitioner for PromptPartitioner {
@@ -215,11 +382,17 @@ impl Partitioner for PromptPartitioner {
                 // rolling statistics.
                 cfg.est_tuples = batch.len().max(1) as f64;
                 cfg.avg_keys = cfg.avg_keys.max(1.0);
-                let mut acc = FrequencyAwareAccumulator::new(cfg, batch.interval);
-                for &t in &batch.tuples {
-                    acc.ingest(t);
+                if self.shards > 1 {
+                    let mut acc = ShardedAccumulator::new(cfg, self.shards, batch.interval);
+                    acc.par_ingest(&batch.tuples, self.threads);
+                    acc.seal(batch.interval)
+                } else {
+                    let mut acc = FrequencyAwareAccumulator::new(cfg, batch.interval);
+                    for &t in &batch.tuples {
+                        acc.ingest(t);
+                    }
+                    acc.seal(batch.interval)
                 }
-                acc.seal(batch.interval)
             }
             BufferingMode::PostSort => {
                 let mut acc = PostSortAccumulator::new(batch.interval);
@@ -229,7 +402,11 @@ impl Partitioner for PromptPartitioner {
                 acc.seal(batch.interval)
             }
         };
-        Self::partition_sealed(&sealed, p)
+        if self.threads > 1 {
+            Self::partition_sealed_par(&sealed, p, self.threads)
+        } else {
+            Self::partition_sealed(&sealed, p)
+        }
     }
 }
 
@@ -239,7 +416,7 @@ mod tests {
     use crate::batch::KeyGroup;
     use crate::metrics;
     use crate::partitioner::test_support::*;
-    use crate::types::{Interval, Time};
+    use crate::types::{Interval, Time, Tuple};
 
     fn sealed(spec: &[(u64, usize)]) -> SealedBatch {
         let iv = Interval::new(Time::ZERO, Time::from_secs(1));
@@ -441,6 +618,46 @@ mod tests {
         let plan = PromptPartitioner::partition_sealed(&batch, 1);
         assert_eq!(plan.blocks[0].size(), 30);
         assert!(plan.split_keys.is_empty());
+    }
+
+    #[test]
+    fn parallel_materialization_is_bit_identical() {
+        // The symbolic assignment is shared; only materialization fans out.
+        let spec: Vec<(u64, usize)> = (1..=60u64)
+            .map(|k| (k, 3 + (k as usize * 13) % 120))
+            .collect();
+        let batch = sealed(&spec);
+        let want = PromptPartitioner::partition_sealed(&batch, 8);
+        for threads in [2, 3, 5, 16] {
+            let got = PromptPartitioner::partition_sealed_par(&batch, 8, threads);
+            assert_eq!(want, got, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_pipeline_with_one_shard_matches_serial_exactly() {
+        // shards = 1 keeps the legacy accumulator order, and parallel
+        // materialization is bit-identical, so the whole pipeline is.
+        let mb = zipfish_batch(200, 2000);
+        let want = PromptPartitioner::new(BufferingMode::FrequencyAware).partition(&mb, 8);
+        let got = PromptPartitioner::with_parallelism(BufferingMode::FrequencyAware, 1, 4)
+            .partition(&mb, 8);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn sharded_pipeline_produces_valid_plans_of_comparable_quality() {
+        let mb = zipfish_batch(200, 4000);
+        let serial = PromptPartitioner::new(BufferingMode::FrequencyAware).partition(&mb, 8);
+        let plan = PromptPartitioner::with_parallelism(BufferingMode::FrequencyAware, 8, 4)
+            .partition(&mb, 8);
+        assert_plan_valid(&mb, &plan, 8);
+        let m_serial = metrics::PlanMetrics::of(&serial);
+        let m_sharded = metrics::PlanMetrics::of(&plan);
+        assert!(
+            m_sharded.mpi <= m_serial.mpi * 1.5 + 0.1,
+            "sharded quality too far off: {m_sharded:?} vs {m_serial:?}"
+        );
     }
 
     #[test]

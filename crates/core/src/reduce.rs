@@ -131,9 +131,9 @@ impl ReduceAssigner for PromptReduceAllocator {
         let offset = self.task_counter % r;
         self.task_counter = self.task_counter.wrapping_add(1);
         let preference = |b: usize| r - ((b + r - offset) % r); // higher = preferred
-        // Refill the candidate list with the buckets that still have spare
-        // capacity; buckets already overflown by hashed split keys are only
-        // used when nothing else remains ("limits bucket overflow", §5).
+                                                                // Refill the candidate list with the buckets that still have spare
+                                                                // capacity; buckets already overflown by hashed split keys are only
+                                                                // used when nothing else remains ("limits bucket overflow", §5).
         let refill = |capacity: &[i64], available: &mut [bool]| -> usize {
             let mut n = 0;
             for b in 0..available.len() {
@@ -253,8 +253,8 @@ pub fn allocate_reduce(
 mod tests {
     use super::*;
     use crate::metrics::size_imbalance;
-    use crate::partitioner::{Partitioner, PromptPartitioner, ShufflePartitioner, BufferingMode};
     use crate::partitioner::test_support::zipfish_batch;
+    use crate::partitioner::{BufferingMode, Partitioner, PromptPartitioner, ShufflePartitioner};
 
     fn clusters(spec: &[(u64, usize)]) -> Vec<KeyCluster> {
         spec.iter()
@@ -280,7 +280,16 @@ mod tests {
     fn prompt_allocator_balances_sizes() {
         // Clusters 50,30,20,20,10,10,5,5 into 2 buckets: worst-fit
         // descending lands near 75/75; hashing is oblivious.
-        let cs = clusters(&[(1, 50), (2, 30), (3, 20), (4, 20), (5, 10), (6, 10), (7, 5), (8, 5)]);
+        let cs = clusters(&[
+            (1, 50),
+            (2, 30),
+            (3, 20),
+            (4, 20),
+            (5, 10),
+            (6, 10),
+            (7, 5),
+            (8, 5),
+        ]);
         let split = KeySet::default();
         let mut prompt = PromptReduceAllocator::new(7);
         let out = prompt.assign(&cs, &split, 2);
@@ -308,7 +317,16 @@ mod tests {
     #[test]
     fn bucket_retirement_spreads_cluster_counts() {
         // 8 equal clusters into 4 buckets: each bucket gets exactly 2.
-        let cs = clusters(&[(1, 10), (2, 10), (3, 10), (4, 10), (5, 10), (6, 10), (7, 10), (8, 10)]);
+        let cs = clusters(&[
+            (1, 10),
+            (2, 10),
+            (3, 10),
+            (4, 10),
+            (5, 10),
+            (6, 10),
+            (7, 10),
+            (8, 10),
+        ]);
         let split = KeySet::default();
         let mut prompt = PromptReduceAllocator::new(0);
         let out = prompt.assign(&cs, &split, 4);

@@ -166,7 +166,8 @@ impl LossyCounting {
         if self.total.is_multiple_of(self.bucket_width) {
             // Prune entries that cannot be frequent.
             let b = self.current_bucket;
-            self.entries.retain(|_, &mut (count, delta)| count + delta > b);
+            self.entries
+                .retain(|_, &mut (count, delta)| count + delta > b);
             self.current_bucket += 1;
         }
     }
@@ -258,7 +259,11 @@ mod tests {
             ss.observe(key);
         }
         // Guarantee: estimate ≥ true count for tracked keys.
-        assert!(ss.estimate(Key(0)) >= 500, "estimate {}", ss.estimate(Key(0)));
+        assert!(
+            ss.estimate(Key(0)) >= 500,
+            "estimate {}",
+            ss.estimate(Key(0))
+        );
         // Overestimation bounded by N/k.
         let slack = ss.total() / 4;
         assert!(ss.estimate(Key(0)) <= 500 + slack);

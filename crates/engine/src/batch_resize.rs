@@ -96,7 +96,8 @@ impl BatchSizeController {
         };
         // Slew-rate limit around the last interval.
         let last = interval.as_secs_f64();
-        let bounded = proposal_secs.clamp(last * (1.0 - self.max_step), last * (1.0 + self.max_step));
+        let bounded =
+            proposal_secs.clamp(last * (1.0 - self.max_step), last * (1.0 + self.max_step));
         Duration::from_secs_f64(bounded.clamp(self.min.as_secs_f64(), self.max.as_secs_f64()))
     }
 

@@ -44,6 +44,14 @@ pub struct EngineConfig {
     pub backpressure_queue: f64,
     /// Enable the Algorithm 4 auto-scaler.
     pub elasticity: Option<ScalerConfig>,
+    /// Accumulator shards for the Prompt batching phase. `1` keeps the
+    /// legacy serial Algorithm 1 path; `> 1` ingests through the sharded
+    /// accumulator, whose sealed output is shard-deterministic and
+    /// thread-invariant (see `prompt_core::buffering::ShardedAccumulator`).
+    pub ingest_shards: usize,
+    /// Worker threads for parallel ingest and plan materialization when
+    /// `ingest_shards > 1` (capped by the shard/block counts).
+    pub ingest_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +66,8 @@ impl Default for EngineConfig {
             early_release_frac: 0.05,
             backpressure_queue: 2.0,
             elasticity: None,
+            ingest_shards: 1,
+            ingest_threads: 1,
         }
     }
 }
@@ -81,6 +91,9 @@ impl EngineConfig {
         }
         if self.backpressure_queue <= 0.0 {
             return Err("backpressure queue threshold must be positive".into());
+        }
+        if self.ingest_shards == 0 || self.ingest_threads == 0 {
+            return Err("ingest shards and threads must be positive".into());
         }
         Ok(())
     }
@@ -122,6 +135,14 @@ mod tests {
             },
             EngineConfig {
                 backpressure_queue: 0.0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                ingest_shards: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                ingest_threads: 0,
                 ..EngineConfig::default()
             },
         ];

@@ -123,6 +123,9 @@ mod tests {
     fn scaled_scales_linearly() {
         let m = CostModel::default().scaled(2.0);
         let d = CostModel::default();
-        assert_eq!(m.map_task(100, 10).as_micros(), 2 * d.map_task(100, 10).as_micros());
+        assert_eq!(
+            m.map_task(100, 10).as_micros(),
+            2 * d.map_task(100, 10).as_micros()
+        );
     }
 }

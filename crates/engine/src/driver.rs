@@ -173,9 +173,21 @@ impl std::fmt::Display for RunSummary {
             self.w.mean,
             self.w.max,
             self.stable,
-            if self.backpressure { " [backpressure]" } else { "" },
-            if self.recoveries > 0 { " [recovered]" } else { "" },
-            if self.scale_events > 0 { " [scaled]" } else { "" },
+            if self.backpressure {
+                " [backpressure]"
+            } else {
+                ""
+            },
+            if self.recoveries > 0 {
+                " [recovered]"
+            } else {
+                ""
+            },
+            if self.scale_events > 0 {
+                " [scaled]"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -224,9 +236,24 @@ impl StreamingEngine {
     pub fn new(cfg: EngineConfig, technique: Technique, seed: u64, job: Job) -> StreamingEngine {
         cfg.validate().expect("invalid engine config");
         let reduce = ReduceStrategy::for_technique(technique);
+        // The ingest-parallelism knob only applies to Prompt's batching
+        // phase; every other technique partitions per tuple.
+        let partitioner: Box<dyn Partitioner> = if technique == Technique::Prompt
+            && (cfg.ingest_shards > 1 || cfg.ingest_threads > 1)
+        {
+            Box::new(
+                prompt_core::partitioner::PromptPartitioner::with_parallelism(
+                    prompt_core::partitioner::BufferingMode::FrequencyAware,
+                    cfg.ingest_shards,
+                    cfg.ingest_threads,
+                ),
+            )
+        } else {
+            technique.build(seed)
+        };
         StreamingEngine {
             cfg,
-            partitioner: technique.build(seed),
+            partitioner,
             assigner: reduce.build_boxed(seed),
             job,
             window: None,
@@ -308,10 +335,7 @@ impl StreamingEngine {
             .map(|(replicas, plan)| (ReplicatedBatchStore::new(*replicas), plan.clone()));
 
         for seq in 0..n_batches as u64 {
-            let interval = Interval::new(
-                Time(bi.0 * seq),
-                Time(bi.0 * (seq + 1)),
-            );
+            let interval = Interval::new(Time(bi.0 * seq), Time(bi.0 * (seq + 1)));
             arrivals.clear();
             source.fill(interval, &mut arrivals);
             debug_assert!(
@@ -515,7 +539,10 @@ mod tests {
             Job::identity("count", ReduceOp::Count),
         );
         let res = eng.run(&mut const_source(5000, 50), 12);
-        assert!(res.backpressure, "sustained overload must trip back-pressure");
+        assert!(
+            res.backpressure,
+            "sustained overload must trip back-pressure"
+        );
         assert!(!res.stable());
         // Queue delay grows monotonically under constant overload.
         let delays: Vec<u64> = res.batches.iter().map(|b| b.queue_delay.0).collect();
@@ -568,6 +595,34 @@ mod tests {
             match &reference {
                 None => reference = Some(got),
                 Some(want) => assert_eq!(&got, want, "{tech:?} changed the answer"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_preserves_query_answers() {
+        let run = |shards: usize, threads: usize| {
+            let mut cfg = small_cfg();
+            cfg.ingest_shards = shards;
+            cfg.ingest_threads = threads;
+            let mut eng = StreamingEngine::new(
+                cfg,
+                Technique::Prompt,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(WindowSpec::tumbling(Duration::from_secs(2)));
+            eng.run(&mut const_source(500, 21), 6)
+        };
+        let reference = run(1, 1);
+        for (shards, threads) in [(4, 2), (8, 4)] {
+            let res = run(shards, threads);
+            assert_eq!(res.batches.len(), reference.batches.len());
+            let a = reference.windows.last().unwrap();
+            let b = res.windows.last().unwrap();
+            assert_eq!(a.aggregates.len(), b.aggregates.len());
+            for (k, v) in &a.aggregates {
+                assert_eq!(b.aggregates[k], *v, "{shards} shards / {threads} threads");
             }
         }
     }

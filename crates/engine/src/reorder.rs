@@ -119,7 +119,9 @@ mod tests {
             Interval::new(Time::from_millis(a), Time::from_millis(b)),
             &mut out,
         );
-        out.iter().map(|t| (t.ts.as_micros() / 1000, t.key.0)).collect()
+        out.iter()
+            .map(|t| (t.ts.as_micros() / 1000, t.key.0))
+            .collect()
     }
 
     #[test]

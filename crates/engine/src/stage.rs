@@ -152,10 +152,10 @@ pub fn execute_batch(
 mod tests {
     use super::*;
     use crate::job::ReduceOp;
+    use prompt_core::batch::MicroBatch;
     use prompt_core::partitioner::Technique;
     use prompt_core::reduce::{HashReduceAssigner, PromptReduceAllocator};
     use prompt_core::types::{Interval, Time, Tuple};
-    use prompt_core::batch::MicroBatch;
 
     fn batch(spec: &[(u64, usize)]) -> MicroBatch {
         let iv = Interval::new(Time::ZERO, Time::from_secs(1));

@@ -57,7 +57,13 @@ impl StragglerPlan {
 
     /// A periodic plan: every `period` batches, the given task of `stage`
     /// runs `slowdown ×` slower — a crude noisy-neighbour model.
-    pub fn periodic(stage: Stage, task: usize, slowdown: f64, period: u64, batches: u64) -> StragglerPlan {
+    pub fn periodic(
+        stage: Stage,
+        task: usize,
+        slowdown: f64,
+        period: u64,
+        batches: u64,
+    ) -> StragglerPlan {
         assert!(period >= 1);
         let mut plan = StragglerPlan::none();
         let mut b = 0;

@@ -3,14 +3,31 @@
 //! The simulated cluster (`stage::execute_batch`) is what the experiments
 //! use — it is deterministic and models task times explicitly. This module
 //! is the complementary "it actually runs in parallel" backend: Map tasks
-//! execute concurrently on OS threads (crossbeam scoped threads), the
-//! shuffle applies the same [`ReduceAssigner`] logic, and Reduce tasks
-//! execute concurrently too. Wall-clock stage times are reported, so the
-//! examples can demonstrate real speedups from balanced partitioning.
+//! execute concurrently on OS threads (`std::thread::scope`), the shuffle
+//! applies the same [`ReduceAssigner`] logic, and Reduce tasks execute
+//! concurrently too. Wall-clock stage times are reported, so the examples
+//! can demonstrate real speedups from balanced partitioning.
+//!
+//! No locks anywhere on the hot path: every phase hands each worker an
+//! owned, disjoint slice of the work and collects the results through the
+//! join handles.
+//!
+//! * **Map** — workers claim block indices from an atomic counter and return
+//!   their `(index, clusters)` pairs.
+//! * **Shuffle** — cluster→bucket *assignment* stays serial because
+//!   Algorithm 3's allocator is stateful (its running bucket loads must see
+//!   map outputs in a deterministic order), but it only touches compact
+//!   `KeyCluster` descriptors. The *scatter* of the actual data is
+//!   parallelised by striping bucket ownership across workers
+//!   (`bucket % workers == w`), so no two threads ever write the same
+//!   bucket and the per-bucket content order (map-output order, then
+//!   within-output key order) is identical to the old serial loop.
+//! * **Reduce** — workers claim buckets from an atomic counter and return
+//!   per-bucket aggregate maps.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use prompt_core::batch::PartitionPlan;
 use prompt_core::hash::KeyMap;
 use prompt_core::reduce::{KeyCluster, ReduceAssigner};
@@ -24,7 +41,7 @@ use crate::stage::BatchOutput;
 pub struct WallTimes {
     /// Wall time of the parallel Map phase.
     pub map: std::time::Duration,
-    /// Wall time of the (serial) shuffle assignment.
+    /// Wall time of the shuffle (serial assignment + parallel scatter).
     pub shuffle: std::time::Duration,
     /// Wall time of the parallel Reduce phase.
     pub reduce: std::time::Duration,
@@ -40,7 +57,7 @@ impl WallTimes {
 /// A thread-pool-of-`threads` executor.
 #[derive(Clone, Copy, Debug)]
 pub struct ThreadedExecutor {
-    /// Worker threads for the Map and Reduce phases.
+    /// Worker threads for the Map, shuffle-scatter and Reduce phases.
     pub threads: usize,
 }
 
@@ -68,84 +85,133 @@ impl ThreadedExecutor {
         // --- Parallel Map: one cluster list per block. ---
         let t0 = Instant::now();
         let n_blocks = plan.blocks.len();
-        let results: Mutex<Vec<Option<ClusterList>>> = Mutex::new(vec![None; n_blocks]);
-        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n_blocks.max(1)) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n_blocks {
-                        break;
-                    }
-                    let block = &plan.blocks[i];
-                    let mut clusters: KeyMap<(f64, usize)> = KeyMap::default();
-                    for t in &block.tuples {
-                        if let Some(v) = (job.map)(t) {
-                            match clusters.entry(t.key) {
-                                std::collections::hash_map::Entry::Occupied(mut e) => {
-                                    let (acc, n) = e.get_mut();
-                                    *acc = job.reduce.apply(Some(*acc), v);
-                                    *n += 1;
+        let map_outputs = {
+            let next = AtomicUsize::new(0);
+            let mut slots: Vec<Option<ClusterList>> = Vec::new();
+            slots.resize_with(n_blocks, || None);
+            std::thread::scope(|scope| {
+                let workers = self.threads.min(n_blocks.max(1));
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local: Vec<(usize, ClusterList)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n_blocks {
+                                    break;
                                 }
-                                std::collections::hash_map::Entry::Vacant(e) => {
-                                    e.insert((job.reduce.apply(None, v), 1));
-                                }
+                                local.push((i, map_block(&plan.blocks[i].tuples, job)));
                             }
-                        }
+                            local
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, out) in h.join().expect("map worker panicked") {
+                        slots[i] = Some(out);
                     }
-                    let mut ordered: ClusterList = clusters.into_iter().collect();
-                    ordered.sort_unstable_by_key(|(k, _)| k.0);
-                    results.lock()[i] = Some(ordered);
-                });
-            }
-        })
-        .expect("map worker panicked");
-        let map_outputs: Vec<ClusterList> = results
-            .into_inner()
-            .into_iter()
-            .map(|o| o.expect("every block mapped"))
-            .collect();
+                }
+            });
+            slots
+                .into_iter()
+                .map(|o| o.expect("every block mapped"))
+                .collect::<Vec<ClusterList>>()
+        };
         times.map = t0.elapsed();
 
-        // --- Shuffle: same assignment logic as the simulated path. ---
+        // --- Shuffle: serial assignment, parallel scatter. ---
         let t1 = Instant::now();
-        let mut buckets: Vec<Vec<(Key, f64)>> = vec![Vec::new(); r];
-        for ordered in &map_outputs {
-            let descs: Vec<KeyCluster> = ordered
-                .iter()
-                .map(|&(key, (_, n))| KeyCluster { key, size: n })
-                .collect();
-            let assignment = assigner.assign(&descs, &plan.split_keys, r);
-            for (&(key, (value, _)), &b) in ordered.iter().zip(&assignment) {
-                buckets[b].push((key, value));
-            }
-        }
+        // Assignment must stay serial: Algorithm 3's allocator carries
+        // running bucket loads across calls, so map outputs are presented in
+        // block order exactly as the simulated path does.
+        let assignments: Vec<Vec<usize>> = map_outputs
+            .iter()
+            .map(|ordered| {
+                let descs: Vec<KeyCluster> = ordered
+                    .iter()
+                    .map(|&(key, (_, n))| KeyCluster { key, size: n })
+                    .collect();
+                assigner.assign(&descs, &plan.split_keys, r)
+            })
+            .collect();
+        // Scatter: worker `w` owns buckets `b` with `b % workers == w`, so
+        // writes are disjoint and each bucket is filled in the same order a
+        // serial loop would fill it.
+        let buckets: Vec<Vec<(Key, f64)>> = {
+            let workers = self.threads.min(r);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let map_outputs = &map_outputs;
+                        let assignments = &assignments;
+                        scope.spawn(move || {
+                            let owned = (r - w).div_ceil(workers);
+                            let mut mine: Vec<Vec<(Key, f64)>> = vec![Vec::new(); owned];
+                            for (ordered, assignment) in map_outputs.iter().zip(assignments) {
+                                for (&(key, (value, _)), &b) in ordered.iter().zip(assignment) {
+                                    if b % workers == w {
+                                        mine[b / workers].push((key, value));
+                                    }
+                                }
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                let mut buckets: Vec<Vec<(Key, f64)>> = vec![Vec::new(); r];
+                for (w, h) in handles.into_iter().enumerate() {
+                    for (j, filled) in h
+                        .join()
+                        .expect("scatter worker panicked")
+                        .into_iter()
+                        .enumerate()
+                    {
+                        buckets[w + j * workers] = filled;
+                    }
+                }
+                buckets
+            })
+        };
         times.shuffle = t1.elapsed();
 
         // --- Parallel Reduce: merge partials per bucket. ---
         let t2 = Instant::now();
-        let reduced: Mutex<Vec<Option<KeyMap<f64>>>> = Mutex::new(vec![None; r]);
-        let next_bucket = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..self.threads.min(r) {
-                scope.spawn(|_| loop {
-                    let b = next_bucket.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if b >= r {
-                        break;
-                    }
-                    let mut acc: KeyMap<f64> = KeyMap::default();
-                    for &(key, value) in &buckets[b] {
-                        acc.entry(key)
-                            .and_modify(|a| *a = job.reduce.merge(*a, value))
-                            .or_insert(value);
-                    }
-                    reduced.lock()[b] = Some(acc);
-                });
+        let next_bucket = AtomicUsize::new(0);
+        let mut reduced: Vec<Option<KeyMap<f64>>> = Vec::new();
+        reduced.resize_with(r, || None);
+        std::thread::scope(|scope| {
+            let workers = self.threads.min(r);
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let buckets = &buckets;
+                    let next_bucket = &next_bucket;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, KeyMap<f64>)> = Vec::new();
+                        loop {
+                            let b = next_bucket.fetch_add(1, Ordering::Relaxed);
+                            if b >= r {
+                                break;
+                            }
+                            let mut acc: KeyMap<f64> = KeyMap::default();
+                            for &(key, value) in &buckets[b] {
+                                acc.entry(key)
+                                    .and_modify(|a| *a = job.reduce.merge(*a, value))
+                                    .or_insert(value);
+                            }
+                            local.push((b, acc));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (b, acc) in h.join().expect("reduce worker panicked") {
+                    reduced[b] = Some(acc);
+                }
             }
-        })
-        .expect("reduce worker panicked");
+        });
         let mut aggregates: KeyMap<f64> = KeyMap::default();
-        for m in reduced.into_inner().into_iter().flatten() {
+        for m in reduced.into_iter().flatten() {
             for (k, v) in m {
                 let prev = aggregates.insert(k, v);
                 debug_assert!(prev.is_none(), "key reduced twice");
@@ -155,6 +221,28 @@ impl ThreadedExecutor {
 
         (BatchOutput { aggregates }, times)
     }
+}
+
+/// Map + local combine over one block, clusters in key order.
+fn map_block(tuples: &[prompt_core::types::Tuple], job: &Job) -> ClusterList {
+    let mut clusters: KeyMap<(f64, usize)> = KeyMap::default();
+    for t in tuples {
+        if let Some(v) = (job.map)(t) {
+            match clusters.entry(t.key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (acc, n) = e.get_mut();
+                    *acc = job.reduce.apply(Some(*acc), v);
+                    *n += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((job.reduce.apply(None, v), 1));
+                }
+            }
+        }
+    }
+    let mut ordered: ClusterList = clusters.into_iter().collect();
+    ordered.sort_unstable_by_key(|(k, _)| k.0);
+    ordered
 }
 
 #[cfg(test)]
@@ -169,13 +257,7 @@ mod tests {
     fn batch(n: usize, keys: u64) -> MicroBatch {
         let iv = Interval::new(Time::ZERO, Time::from_secs(1));
         let tuples: Vec<Tuple> = (0..n)
-            .map(|i| {
-                Tuple::new(
-                    Time::from_micros(i as u64),
-                    Key(i as u64 % keys),
-                    1.0,
-                )
-            })
+            .map(|i| Tuple::new(Time::from_micros(i as u64), Key(i as u64 % keys), 1.0))
             .collect();
         MicroBatch::new(tuples, iv)
     }
@@ -211,12 +293,8 @@ mod tests {
             &CostModel::default(),
             &Cluster::new(1, 4),
         );
-        let (thr_out, _) = ThreadedExecutor::new(3).execute(
-            &plan,
-            &job,
-            &mut PromptReduceAllocator::new(9),
-            3,
-        );
+        let (thr_out, _) =
+            ThreadedExecutor::new(3).execute(&plan, &job, &mut PromptReduceAllocator::new(9), 3);
         assert_eq!(sim_out.len(), thr_out.len());
         for (k, v) in &sim_out.aggregates {
             assert_eq!(thr_out.aggregates[k], *v);
@@ -231,5 +309,28 @@ mod tests {
         let (out, _) =
             ThreadedExecutor::new(1).execute(&plan, &job, &mut PromptReduceAllocator::new(0), 1);
         assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_answer() {
+        // The scatter stripes bucket ownership across workers; any worker
+        // count must produce identical per-key aggregates.
+        let mb = batch(20_000, 211);
+        let plan = Technique::Prompt.build(7).partition(&mb, 8);
+        let job = Job::identity("sum", ReduceOp::Sum);
+        let reference = {
+            let mut assigner = PromptReduceAllocator::new(7);
+            ThreadedExecutor::new(1)
+                .execute(&plan, &job, &mut assigner, 5)
+                .0
+        };
+        for threads in [2, 3, 4, 8] {
+            let mut assigner = PromptReduceAllocator::new(7);
+            let (out, _) = ThreadedExecutor::new(threads).execute(&plan, &job, &mut assigner, 5);
+            assert_eq!(out.len(), reference.len(), "{threads} threads");
+            for (k, v) in &reference.aggregates {
+                assert_eq!(out.aggregates[k], *v, "{threads} threads, key {k:?}");
+            }
+        }
     }
 }

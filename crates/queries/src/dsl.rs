@@ -192,7 +192,10 @@ mod tests {
             .map(Transform::Scale(0.1))
             .aggregate(ReduceOp::Sum);
         let (job, window) = spec.compile();
-        assert_eq!((job.map)(&Tuple::new(Time::ZERO, Key(1), 200.0)), Some(20.0));
+        assert_eq!(
+            (job.map)(&Tuple::new(Time::ZERO, Key(1), 200.0)),
+            Some(20.0)
+        );
         assert_eq!((job.map)(&Tuple::new(Time::ZERO, Key(1), 50.0)), None);
         assert_eq!(job.reduce, ReduceOp::Sum);
         assert_eq!(window.length, Duration::from_secs(30));
@@ -248,6 +251,9 @@ mod tests {
         );
         let result = engine.run(&mut source, 4);
         let total: f64 = result.windows.last().unwrap().aggregates.values().sum();
-        assert!((1990.0..2010.0).contains(&total), "2 s of 1000/s, got {total}");
+        assert!(
+            (1990.0..2010.0).contains(&total),
+            "2 s of 1000/s, got {total}"
+        );
     }
 }

@@ -169,7 +169,12 @@ pub fn tpch_q1() -> Query {
         window: WindowSpec::sliding(Duration::from_secs(3600), Duration::from_secs(60)),
         cardinality: 200_000,
         source: Box::new(|rate, card, seed| {
-            Box::new(datasets::tpch_lineitem(rate, card, TpchQuery::Q1Quantity, seed))
+            Box::new(datasets::tpch_lineitem(
+                rate,
+                card,
+                TpchQuery::Q1Quantity,
+                seed,
+            ))
         }),
     }
 }
@@ -187,7 +192,12 @@ pub fn tpch_q6() -> Query {
         window: WindowSpec::sliding(Duration::from_secs(3600), Duration::from_secs(60)),
         cardinality: 200_000,
         source: Box::new(|rate, card, seed| {
-            Box::new(datasets::tpch_lineitem(rate, card, TpchQuery::Q6Revenue, seed))
+            Box::new(datasets::tpch_lineitem(
+                rate,
+                card,
+                TpchQuery::Q6Revenue,
+                seed,
+            ))
         }),
     }
 }

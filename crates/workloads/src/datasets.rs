@@ -272,7 +272,11 @@ mod tests {
         let out = pull(&mut src, 9_000);
         for t in &out {
             assert!(t.value >= 2.5 + 2.5 * 0.5, "fare {} below minimum", t.value);
-            assert!(t.value <= 2.5 + 2.5 * 25.0 + 2.0, "fare {} too high", t.value);
+            assert!(
+                t.value <= 2.5 + 2.5 * 25.0 + 2.0,
+                "fare {} too high",
+                t.value
+            );
         }
     }
 

@@ -72,10 +72,7 @@ impl<S: TupleSource> TupleSource for JitterSource<S> {
         // whole quanta so the inner stream is boundary-independent.
         while Time(self.quanta_pulled * self.quantum.0) < interval.end {
             let q = self.quanta_pulled;
-            let chunk = Interval::new(
-                Time(q * self.quantum.0),
-                Time((q + 1) * self.quantum.0),
-            );
+            let chunk = Interval::new(Time(q * self.quantum.0), Time((q + 1) * self.quantum.0));
             let mut fresh = Vec::new();
             self.inner.fill(chunk, &mut fresh);
             self.quanta_pulled += 1;
@@ -175,10 +172,7 @@ mod tests {
         let second = pull(&mut jittered, 1, 2);
         // Some tuples with event time in [0, 1s) must arrive during the
         // second interval.
-        let stragglers = second
-            .iter()
-            .filter(|t| t.ts < Time::from_secs(1))
-            .count();
+        let stragglers = second.iter().filter(|t| t.ts < Time::from_secs(1)).count();
         assert!(stragglers > 0, "expected late arrivals");
         // And the first interval must not contain events at/after its end.
         assert!(first.iter().all(|t| t.ts < Time::from_secs(1)));

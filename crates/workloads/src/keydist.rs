@@ -59,7 +59,10 @@ impl ZipfKeys {
     /// Zipf over `n ≥ 1` keys with exponent `s > 0`.
     pub fn new(n: u64, s: f64) -> ZipfKeys {
         assert!(n >= 1, "need at least one key");
-        assert!(s > 0.0, "exponent must be positive (use UniformKeys for s=0)");
+        assert!(
+            s > 0.0,
+            "exponent must be positive (use UniformKeys for s=0)"
+        );
         let h_x1 = h_integral(1.5, s) - 1.0;
         let h_n = h_integral(n as f64 + 0.5, s);
         let shift = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);

@@ -30,8 +30,8 @@ pub mod prelude {
     pub use crate::generator::{KeyModel, StreamGenerator, ValueModel};
     pub use crate::interner::{word, KeyInterner};
     pub use crate::jitter::JitterSource;
-    pub use crate::merge::MergedSource;
     pub use crate::keydist::{zipf_or_uniform, KeyDistribution, UniformKeys, ZipfKeys};
+    pub use crate::merge::MergedSource;
     pub use crate::rate::RateProfile;
     pub use crate::records::{
         GcmEvent, GcmEventGenerator, LineItem, LineItemGenerator, TaxiTrip, TaxiTripGenerator,

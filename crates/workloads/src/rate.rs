@@ -242,7 +242,10 @@ mod tests {
                 amplitude: 1500.0,
                 period: Duration::from_secs(3),
             },
-            RateProfile::Ramp { start: 100.0, slope: 333.3 },
+            RateProfile::Ramp {
+                start: 100.0,
+                slope: 333.3,
+            },
             RateProfile::Step {
                 low: 50.0,
                 high: 5000.0,

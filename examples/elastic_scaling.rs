@@ -59,7 +59,13 @@ fn main() {
     for b in result.batches.iter().step_by(5) {
         let marker = events
             .remove(&b.seq)
-            .map(|a| if a.out { "  <-- scale-out" } else { "  <-- scale-in" })
+            .map(|a| {
+                if a.out {
+                    "  <-- scale-out"
+                } else {
+                    "  <-- scale-in"
+                }
+            })
             .unwrap_or("");
         println!(
             "{:>5}  {:>8} {:>7} {:>5} {:>7}  {:>5.2}{marker}",

@@ -53,7 +53,11 @@ fn main() {
     );
     let chaotic = engine(faults).run(&mut receiver, 15);
 
-    println!("reference run : {} batches, {} windows", reference.batches.len(), reference.windows.len());
+    println!(
+        "reference run : {} batches, {} windows",
+        reference.batches.len(),
+        reference.windows.len()
+    );
     println!(
         "chaotic run   : {} batches, {} windows, {} recoveries, {} late drops",
         chaotic.batches.len(),
@@ -75,7 +79,9 @@ fn main() {
     let mut mismatches = 0;
     for (a, b) in reference.windows.iter().zip(&chaotic.windows) {
         if a.aggregates.len() != b.aggregates.len()
-            || a.aggregates.iter().any(|(k, v)| b.aggregates.get(k) != Some(v))
+            || a.aggregates
+                .iter()
+                .any(|(k, v)| b.aggregates.get(k) != Some(v))
         {
             mismatches += 1;
         }

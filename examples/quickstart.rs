@@ -62,11 +62,8 @@ fn main() {
         Duration::from_secs(5),
         Duration::from_secs(1),
     ));
-    let mut source = prompt::workloads::datasets::tweets(
-        RateProfile::Constant { rate: 100_000.0 },
-        20_000,
-        42,
-    );
+    let mut source =
+        prompt::workloads::datasets::tweets(RateProfile::Constant { rate: 100_000.0 }, 20_000, 42);
     let result = engine.run(&mut source, 10);
     println!(
         "\nran {} batches: stable = {}, mean W = {:.3}, throughput = {:.0} tuples/s",

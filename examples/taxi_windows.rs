@@ -25,15 +25,12 @@ fn main() {
         cluster: Cluster::new(2, 4),
         ..EngineConfig::default()
     };
-    let mut engine =
-        StreamingEngine::new(cfg, Technique::Prompt, 99, query.job.clone()).with_window(query.window);
+    let mut engine = StreamingEngine::new(cfg, Technique::Prompt, 99, query.job.clone())
+        .with_window(query.window);
 
     // 30k trips/s over 20k medallions, mild fleet skew.
-    let mut source = query.source_with_cardinality(
-        RateProfile::Constant { rate: 30_000.0 },
-        20_000,
-        99,
-    );
+    let mut source =
+        query.source_with_cardinality(RateProfile::Constant { rate: 30_000.0 }, 20_000, 99);
     let result = engine.run(source.as_mut(), 75);
 
     println!(

@@ -36,18 +36,10 @@ fn main() {
                 cost: CostModel::default().scaled(4.0),
                 ..EngineConfig::default()
             };
-            let mut engine = StreamingEngine::new(
-                cfg,
-                tech,
-                11,
-                Job::identity("WordCount", ReduceOp::Count),
-            );
-            let mut source = prompt::workloads::datasets::synd(
-                RateProfile::Constant { rate },
-                keys,
-                z,
-                11,
-            );
+            let mut engine =
+                StreamingEngine::new(cfg, tech, 11, Job::identity("WordCount", ReduceOp::Count));
+            let mut source =
+                prompt::workloads::datasets::synd(RateProfile::Constant { rate }, keys, z, 11);
             let result = engine.run(&mut source, 6);
             cells.push(result.steady_state_mean(|b| b.processing.as_secs_f64() * 1e3));
         }
@@ -63,12 +55,8 @@ fn main() {
 
     // --- Real threads: wall-clock of one heavy batch, Prompt vs Hash.
     println!("\nreal threaded execution of one 400k-tuple batch (8 threads):");
-    let mut source = prompt::workloads::datasets::synd(
-        RateProfile::Constant { rate: 400_000.0 },
-        keys,
-        1.2,
-        5,
-    );
+    let mut source =
+        prompt::workloads::datasets::synd(RateProfile::Constant { rate: 400_000.0 }, keys, 1.2, 5);
     let interval = Interval::new(Time::ZERO, Time::from_secs(1));
     let mut tuples = Vec::new();
     source.fill(interval, &mut tuples);

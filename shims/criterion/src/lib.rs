@@ -1,0 +1,330 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal timing harness with the API subset its benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function` / `bench_with_input`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark takes `sample_size` samples; a sample
+//! times one invocation of the routine. The harness reports min / median /
+//! mean and, when a [`Throughput`] was declared, median-based elements/s.
+//! When invoked by `cargo test` (any `--test`-like argument present) every
+//! benchmark runs exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared work per routine invocation, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (tuples, items) processed per invocation.
+    Elements(u64),
+    /// Bytes processed per invocation.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// How `iter_batched` amortises setup cost. The shim times the routine per
+/// invocation either way, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small setup output; upstream batches many per sample.
+    SmallInput,
+    /// Large setup output; upstream runs one per sample.
+    LargeInput,
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` on a fresh `setup()` output per sample; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-invocation work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut results = Vec::new();
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut b = Bencher {
+            samples,
+            results: &mut results,
+        };
+        f(&mut b);
+        self.report(&id, &results);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut results = Vec::new();
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut b = Bencher {
+            samples,
+            results: &mut results,
+        };
+        f(&mut b, input);
+        self.report(&id, &results);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the shim reports
+    /// eagerly, so this is a no-op marker).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, results: &[Duration]) {
+        if results.is_empty() {
+            println!("{}/{}: no samples", self.name, id.id);
+            return;
+        }
+        let mut sorted: Vec<Duration> = results.to_vec();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(n)) if median.as_secs_f64() > 0.0 => {
+                format!("  thrpt: {:>10.0} elem/s", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median.as_secs_f64() > 0.0 => {
+                format!(
+                    "  thrpt: {:>8.1} MiB/s",
+                    n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: min {:?}  median {:?}  mean {:?}  ({} samples){}",
+            self.name,
+            id.id,
+            min,
+            median,
+            mean,
+            sorted.len(),
+            thrpt
+        );
+    }
+}
+
+/// The harness entry point handed to every benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench targets with `--test`-style
+        // arguments (or under the libtest flag set); run each routine once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".into(),
+            sample_size: 10,
+            throughput: None,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        let mut runs = 0usize;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 5), &5usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert_eq!(runs, 1, "test mode runs each routine once");
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(2);
+        let mut setups = 0usize;
+        group.bench_function("b", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 8]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 2, "one setup per sample");
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(1.5).id, "1.5");
+    }
+}

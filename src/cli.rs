@@ -145,22 +145,21 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             flags.push(key.to_string());
             continue;
         }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         kv.insert(key.to_string(), value.clone());
     }
     if flags.iter().any(|f| f == "help") {
         return Err(usage());
     }
     let mut opts = Options::default();
-    let mut num =
-        |key: &str, target: &mut f64| -> Result<(), String> {
-            if let Some(v) = kv.remove(key) {
-                *target = v.parse().map_err(|_| format!("--{key}: bad number '{v}'"))?;
-            }
-            Ok(())
-        };
+    let mut num = |key: &str, target: &mut f64| -> Result<(), String> {
+        if let Some(v) = kv.remove(key) {
+            *target = v
+                .parse()
+                .map_err(|_| format!("--{key}: bad number '{v}'"))?;
+        }
+        Ok(())
+    };
     num("rate", &mut opts.rate)?;
     num("skew", &mut opts.skew)?;
     if let Some(v) = kv.remove("technique") {
@@ -297,7 +296,10 @@ mod tests {
         assert_eq!(parse_technique("PK2").unwrap(), Technique::Pkg(2));
         assert_eq!(parse_technique("cam4").unwrap(), Technique::Cam(4));
         assert_eq!(parse_technique("cam(8)").unwrap(), Technique::Cam(8));
-        assert_eq!(parse_technique("dchoices5").unwrap(), Technique::DChoices(5));
+        assert_eq!(
+            parse_technique("dchoices5").unwrap(),
+            Technique::DChoices(5)
+        );
         assert_eq!(
             parse_technique("postsort").unwrap(),
             Technique::PromptPostSort
@@ -308,12 +310,24 @@ mod tests {
     #[test]
     fn errors_are_helpful() {
         assert!(parse(&argv("")).unwrap_err().contains("USAGE"));
-        assert!(parse(&argv("frobnicate")).unwrap_err().contains("unknown command"));
-        assert!(parse(&argv("run --rate")).unwrap_err().contains("needs a value"));
-        assert!(parse(&argv("run --rate abc")).unwrap_err().contains("bad number"));
-        assert!(parse(&argv("run --dataset mars")).unwrap_err().contains("unknown dataset"));
-        assert!(parse(&argv("run --frob 1")).unwrap_err().contains("unknown option"));
-        assert!(parse(&argv("run extra")).unwrap_err().contains("expected --option"));
+        assert!(parse(&argv("frobnicate"))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse(&argv("run --rate"))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&argv("run --rate abc"))
+            .unwrap_err()
+            .contains("bad number"));
+        assert!(parse(&argv("run --dataset mars"))
+            .unwrap_err()
+            .contains("unknown dataset"));
+        assert!(parse(&argv("run --frob 1"))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse(&argv("run extra"))
+            .unwrap_err()
+            .contains("expected --option"));
     }
 
     #[test]

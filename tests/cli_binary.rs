@@ -50,9 +50,22 @@ fn partition_prints_all_techniques() {
         "--blocks",
         "4",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    for label in ["Time-based", "Shuffle", "Hash", "PK2", "PK5", "cAM(4)", "Prompt", "D-Choices(5)"] {
+    for label in [
+        "Time-based",
+        "Shuffle",
+        "Hash",
+        "PK2",
+        "PK5",
+        "cAM(4)",
+        "Prompt",
+        "D-Choices(5)",
+    ] {
         assert!(text.contains(label), "missing {label} in:\n{text}");
     }
     assert!(text.contains("5000 tuples"));
@@ -61,8 +74,19 @@ fn partition_prints_all_techniques() {
 #[test]
 fn run_is_deterministic_across_invocations() {
     let args = [
-        "run", "--technique", "prompt", "--rate", "3000", "--cardinality", "200", "--batches",
-        "3", "--blocks", "4", "--reducers", "4",
+        "run",
+        "--technique",
+        "prompt",
+        "--rate",
+        "3000",
+        "--cardinality",
+        "200",
+        "--batches",
+        "3",
+        "--blocks",
+        "4",
+        "--reducers",
+        "4",
     ];
     let a = prompt(&args);
     let b = prompt(&args);

@@ -145,7 +145,8 @@ fn latency_accounting_is_consistent() {
     };
     let query = word_count().scale_window(10);
     let mut engine = StreamingEngine::new(cfg, Technique::Prompt, 3, query.job.clone());
-    let mut source = query.source_with_cardinality(RateProfile::Constant { rate: 5_000.0 }, 1_000, 3);
+    let mut source =
+        query.source_with_cardinality(RateProfile::Constant { rate: 5_000.0 }, 1_000, 3);
     let res = engine.run(source.as_mut(), 6);
     for b in &res.batches {
         // End-to-end latency decomposition (§1).

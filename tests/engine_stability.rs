@@ -119,7 +119,9 @@ fn elasticity_follows_a_load_wave() {
             period: Duration::from_secs(60),
             duty: 0.5,
         },
-        KeyModel::Static(Box::new(prompt::workloads::keydist::ZipfKeys::new(3_000, 0.8))),
+        KeyModel::Static(Box::new(prompt::workloads::keydist::ZipfKeys::new(
+            3_000, 0.8,
+        ))),
         ValueModel::Unit,
         3,
     );
