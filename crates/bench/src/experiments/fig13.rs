@@ -10,11 +10,12 @@ use prompt_core::partitioner::Technique;
 use prompt_core::types::Duration;
 use prompt_engine::driver::StreamingEngine;
 use prompt_engine::job::{Job, ReduceOp};
+use prompt_engine::trace::{TraceEvent, TraceLevel};
 use prompt_workloads::datasets;
 use prompt_workloads::rate::RateProfile;
 
 use crate::experiments::standard_config;
-use crate::report::{f1, f3, sparkline_scaled, Table};
+use crate::report::{f1, f3, sparkline_scaled, stage_breakdown_table, Table};
 
 /// Distribution summary of per-batch mean Reduce-task times.
 #[derive(Clone, Copy, Debug)]
@@ -46,7 +47,23 @@ pub fn measure_with_series(
     rate: f64,
     cardinality: u64,
 ) -> (LatencyStats, Vec<f64>) {
-    let cfg = standard_config(Duration::from_secs(1));
+    let (stats, series, _) = measure_traced(technique, batches, rate, cardinality, TraceLevel::Off);
+    (stats, series)
+}
+
+/// [`measure_with_series`] with the engine's trace recorder enabled at
+/// `level`, additionally returning the recorded event stream (which the
+/// per-stage breakdown table consumes). `TraceLevel::Off` keeps the run
+/// byte-identical to the untraced path — tracing never feeds virtual time.
+pub fn measure_traced(
+    technique: Technique,
+    batches: usize,
+    rate: f64,
+    cardinality: u64,
+    level: TraceLevel,
+) -> (LatencyStats, Vec<f64>, Vec<TraceEvent>) {
+    let mut cfg = standard_config(Duration::from_secs(1));
+    cfg.trace = level;
     let mut engine = StreamingEngine::new(
         cfg,
         technique,
@@ -64,7 +81,7 @@ pub fn measure_with_series(
         cardinality,
         23,
     );
-    let res = engine.run(&mut source, batches);
+    let (res, rec) = engine.run_traced(&mut source, batches);
 
     let mut per_batch_avg: Vec<f64> = Vec::with_capacity(batches);
     let mut spreads: Vec<f64> = Vec::with_capacity(batches);
@@ -93,6 +110,7 @@ pub fn measure_with_series(
             spread_ms: spreads.iter().sum::<f64>() / spreads.len().max(1) as f64,
         },
         per_batch_avg,
+        rec.events(),
     )
 }
 
@@ -116,12 +134,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             "within-batch spread ms",
         ],
     );
-    let measured: Vec<(Technique, LatencyStats, Vec<f64>)> =
+    let measured: Vec<(Technique, LatencyStats, Vec<f64>, Vec<TraceEvent>)> =
         [Technique::TimeBased, Technique::Prompt]
             .into_iter()
             .map(|tech| {
-                let (s, series) = measure_with_series(tech, batches, rate, cardinality);
-                (tech, s, series)
+                let (s, series, events) =
+                    measure_traced(tech, batches, rate, cardinality, TraceLevel::Full);
+                (tech, s, series, events)
             })
             .collect();
     // The paper plots the per-batch averages over time (Fig. 13a/b); render
@@ -129,13 +148,13 @@ pub fn run(quick: bool) -> Vec<Table> {
     // absolute band is visible.
     let hi = measured
         .iter()
-        .flat_map(|(_, _, series)| series.iter().copied())
+        .flat_map(|(_, _, series, _)| series.iter().copied())
         .fold(0.0f64, f64::max);
-    for (tech, _, series) in &measured {
+    for (tech, _, series, _) in &measured {
         let window = &series[..series.len().min(100)];
         println!("{:<11} {}", tech.label(), sparkline_scaled(window, 0.0, hi));
     }
-    for (tech, s, _) in &measured {
+    for (tech, s, _, _) in &measured {
         t.row(vec![
             tech.label(),
             f1(s.mean_ms),
@@ -146,7 +165,16 @@ pub fn run(quick: bool) -> Vec<Table> {
             f3(s.spread_ms),
         ]);
     }
-    vec![t]
+    let runs: Vec<(String, Vec<TraceEvent>)> = measured
+        .into_iter()
+        .map(|(tech, _, _, events)| (tech.label(), events))
+        .collect();
+    let breakdown = stage_breakdown_table(
+        "fig13c",
+        "Per-stage time breakdown of the Fig. 13 runs (from the trace export)",
+        &runs,
+    );
+    vec![t, breakdown]
 }
 
 #[cfg(test)]
@@ -171,6 +199,24 @@ mod tests {
             prompt.spread_ms,
             time_based.spread_ms
         );
+    }
+
+    #[test]
+    fn traced_run_yields_a_stage_breakdown() {
+        let (_, _, events) =
+            measure_traced(Technique::Prompt, 20, 30_000.0, 2_000, TraceLevel::Full);
+        assert!(!events.is_empty());
+        let t = stage_breakdown_table("t", "t", &[("prompt".into(), events)]);
+        let stages: Vec<&str> = t.rows.iter().map(|r| r[1].as_str()).collect();
+        assert!(stages.contains(&"map_stage"), "rows: {stages:?}");
+        assert!(stages.contains(&"reduce_stage"));
+        assert!(stages.contains(&"accumulate"));
+        // The Prompt partitioner reports its wall-clock heartbeat phases.
+        assert!(stages.contains(&"seal (wall)"));
+        assert!(stages.contains(&"partition_symbolic (wall)"));
+        // Off-level runs record nothing.
+        let (_, _, none) = measure_traced(Technique::Prompt, 5, 30_000.0, 2_000, TraceLevel::Off);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -4,6 +4,8 @@
 use std::fs;
 use std::path::Path;
 
+use prompt_engine::trace::{StageKind, TraceEvent, PROCESSING_KINDS};
+
 /// A printable/serialisable experiment table.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -116,6 +118,89 @@ impl Table {
             eprintln!("warning: could not persist results: {e}");
         }
     }
+}
+
+/// Render per-stage breakdowns from trace event streams, one series per
+/// labelled run.
+///
+/// [`TraceEvent::Span`]s carry virtual-time durations; [`TraceEvent::Phase`]s
+/// carry measured wall-clock durations. The two aggregate into separate rows
+/// (phase rows are suffixed `(wall)`), so a figure can show both the
+/// simulated stage makespans and the real heartbeat cost side by side. The
+/// `% processing` column relates each processing-kind span total to the sum
+/// over [`PROCESSING_KINDS`] for that series — the trace-side view of
+/// `BatchRecord::processing`.
+pub fn stage_breakdown_table(id: &str, title: &str, runs: &[(String, Vec<TraceEvent>)]) -> Table {
+    let mut t = Table::new(
+        id,
+        title,
+        &[
+            "series",
+            "stage",
+            "spans",
+            "total ms",
+            "mean ms",
+            "p50 ms",
+            "p95 ms",
+            "% processing",
+        ],
+    );
+    for (series, events) in runs {
+        let mut spans: Vec<Vec<f64>> = vec![Vec::new(); StageKind::ALL.len()];
+        let mut phases: Vec<Vec<f64>> = vec![Vec::new(); StageKind::ALL.len()];
+        for e in events {
+            match *e {
+                TraceEvent::Span { kind, .. } => {
+                    let i = StageKind::ALL.iter().position(|&k| k == kind).unwrap();
+                    spans[i].push(e.span_us() as f64 / 1e3);
+                }
+                TraceEvent::Phase { kind, wall_us, .. } => {
+                    let i = StageKind::ALL.iter().position(|&k| k == kind).unwrap();
+                    phases[i].push(wall_us as f64 / 1e3);
+                }
+                _ => {}
+            }
+        }
+        let processing_total: f64 = PROCESSING_KINDS
+            .iter()
+            .map(|k| {
+                let i = StageKind::ALL.iter().position(|a| a == k).unwrap();
+                spans[i].iter().sum::<f64>()
+            })
+            .sum();
+        let mut push_rows = |buckets: &[Vec<f64>], wall: bool| {
+            for (i, kind) in StageKind::ALL.iter().enumerate() {
+                if buckets[i].is_empty() {
+                    continue;
+                }
+                let mut ms = buckets[i].clone();
+                ms.sort_by(|a, b| a.total_cmp(b));
+                let total: f64 = ms.iter().sum();
+                let share = if !wall && PROCESSING_KINDS.contains(kind) && processing_total > 0.0 {
+                    f1(total / processing_total * 100.0)
+                } else {
+                    "-".to_string()
+                };
+                t.row(vec![
+                    series.clone(),
+                    if wall {
+                        format!("{} (wall)", kind.name())
+                    } else {
+                        kind.name().to_string()
+                    },
+                    ms.len().to_string(),
+                    f3(total),
+                    f3(total / ms.len() as f64),
+                    f3(prompt_engine::stats::percentile_sorted(&ms, 0.50)),
+                    f3(prompt_engine::stats::percentile_sorted(&ms, 0.95)),
+                    share,
+                ]);
+            }
+        };
+        push_rows(&spans, false);
+        push_rows(&phases, true);
+    }
+    t
 }
 
 /// Render a numeric series as a one-line unicode sparkline (8 levels).
@@ -234,6 +319,45 @@ mod tests {
         // Clamping out-of-range values.
         assert_eq!(sparkline_scaled(&[-5.0, 20.0], 0.0, 10.0), "▁█");
         assert_eq!(sparkline_scaled(&[1.0], 5.0, 5.0), "▄");
+    }
+
+    #[test]
+    fn stage_breakdown_aggregates_spans_and_phases() {
+        let events = vec![
+            TraceEvent::Span {
+                seq: 0,
+                kind: StageKind::MapStage,
+                start_us: 0,
+                end_us: 10_000,
+            },
+            TraceEvent::Span {
+                seq: 1,
+                kind: StageKind::MapStage,
+                start_us: 0,
+                end_us: 30_000,
+            },
+            TraceEvent::Span {
+                seq: 0,
+                kind: StageKind::ReduceStage,
+                start_us: 10_000,
+                end_us: 20_000,
+            },
+            TraceEvent::Phase {
+                seq: 0,
+                kind: StageKind::Seal,
+                wall_us: 500,
+            },
+        ];
+        let t = stage_breakdown_table("tb", "demo", &[("run".into(), events)]);
+        // map_stage, reduce_stage, plus the wall-clock seal phase.
+        assert_eq!(t.rows.len(), 3);
+        let map = t.rows.iter().find(|r| r[1] == "map_stage").unwrap();
+        assert_eq!(map[2], "2"); // spans
+        assert_eq!(map[3], "40.000"); // total ms
+        assert_eq!(map[7], "80.0"); // 40 of 50 ms processing
+        let seal = t.rows.iter().find(|r| r[1] == "seal (wall)").unwrap();
+        assert_eq!(seal[3], "0.500");
+        assert_eq!(seal[7], "-");
     }
 
     #[test]

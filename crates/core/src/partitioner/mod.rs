@@ -26,6 +26,20 @@ pub use time_based::TimeBasedPartitioner;
 
 use crate::batch::{MicroBatch, PartitionPlan};
 
+/// Wall-clock timing of the internal phases of one `partition()` call.
+/// Informational only — virtual-time scheduling never consumes these — so
+/// traced runs stay deterministic. Techniques without distinct phases
+/// report all zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionPhases {
+    /// Sealing the accumulated batch (replaying arrivals, merging shards).
+    pub seal_us: u64,
+    /// Symbolic piece assignment (Algorithm 2 proper).
+    pub symbolic_us: u64,
+    /// Materializing data blocks from the symbolic assignment.
+    pub materialize_us: u64,
+}
+
 /// A batching-phase partitioner: splits one micro-batch into `p` data blocks.
 pub trait Partitioner: Send {
     /// Human-readable technique name (used in experiment output).
@@ -34,6 +48,17 @@ pub trait Partitioner: Send {
     /// Partition the batch into exactly `p` blocks. Implementations must
     /// conserve tuples: the plan's total size equals `batch.len()`.
     fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan;
+
+    /// Like [`Partitioner::partition`], additionally reporting wall-clock
+    /// phase timings for observability. The default implementation has no
+    /// phase split and reports zeros; `PromptPartitioner` overrides it.
+    fn partition_phased(
+        &mut self,
+        batch: &MicroBatch,
+        p: usize,
+    ) -> (PartitionPlan, PartitionPhases) {
+        (self.partition(batch, p), PartitionPhases::default())
+    }
 }
 
 /// The partitioning techniques evaluated in the paper, as a value type the

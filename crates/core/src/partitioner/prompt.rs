@@ -25,7 +25,7 @@ use crate::buffering::{
     ShardedAccumulator,
 };
 use crate::hash::{KeyMap, KeySet};
-use crate::partitioner::Partitioner;
+use crate::partitioner::{PartitionPhases, Partitioner};
 use crate::types::Key;
 
 /// How the partitioner obtains the sorted key list when driven through the
@@ -116,11 +116,7 @@ impl PromptPartitioner {
     /// Exposed for the ablation benches.
     pub fn partition_sealed_with(batch: &SealedBatch, p: usize, tolerance: f64) -> PartitionPlan {
         let pieces = Self::assign_pieces(batch, p, tolerance);
-        let blocks = pieces
-            .iter()
-            .map(|block_pieces| materialize_block(batch, block_pieces, batch.n_tuples / p + 1))
-            .collect();
-        PartitionPlan::from_blocks(blocks)
+        Self::materialize_pieces(batch, &pieces, 1)
     }
 
     /// [`Self::partition_sealed`] with block materialization fanned out over
@@ -138,19 +134,36 @@ impl PromptPartitioner {
         tolerance: f64,
         threads: usize,
     ) -> PartitionPlan {
-        let threads = threads.clamp(1, p);
-        if threads == 1 {
-            return Self::partition_sealed_with(batch, p, tolerance);
-        }
         let pieces = Self::assign_pieces(batch, p, tolerance);
-        let cap = batch.n_tuples / p + 1;
+        Self::materialize_pieces(batch, &pieces, threads)
+    }
+
+    /// Materialize every block from its assigned pieces, fanning out over
+    /// `threads` OS threads when asked (1 = serial loop). Blocks
+    /// materialize independently, so the plan is bit-identical for any
+    /// thread count.
+    fn materialize_pieces(
+        batch: &SealedBatch,
+        pieces: &[Vec<Piece>],
+        threads: usize,
+    ) -> PartitionPlan {
+        let p = pieces.len();
+        let cap = batch.n_tuples / p.max(1) + 1;
+        let threads = threads.clamp(1, p.max(1));
+        if threads == 1 {
+            return PartitionPlan::from_blocks(
+                pieces
+                    .iter()
+                    .map(|block_pieces| materialize_block(batch, block_pieces, cap))
+                    .collect(),
+            );
+        }
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut slots: Vec<Option<DataBlock>> = Vec::new();
         slots.resize_with(p, || None);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    let pieces = &pieces;
                     let next = &next;
                     scope.spawn(move || {
                         let mut local: Vec<(usize, DataBlock)> = Vec::new();
@@ -374,7 +387,49 @@ impl Partitioner for PromptPartitioner {
     fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
         // Replay the arrivals through the configured accumulator, then run
         // Algorithm 2 on the sealed batch.
-        let sealed = match self.mode {
+        let sealed = self.seal_arrivals(batch);
+        if self.threads > 1 {
+            Self::partition_sealed_par(&sealed, p, self.threads)
+        } else {
+            Self::partition_sealed(&sealed, p)
+        }
+    }
+
+    fn partition_phased(
+        &mut self,
+        batch: &MicroBatch,
+        p: usize,
+    ) -> (PartitionPlan, PartitionPhases) {
+        // Same pipeline as `partition` — seal, symbolic assignment,
+        // materialization — with a wall clock around each phase. The phase
+        // split drives the observability layer's per-stage breakdowns
+        // (Fig. 14's overhead story); the plan itself is bit-identical to
+        // the untimed path.
+        let t0 = std::time::Instant::now();
+        let sealed = self.seal_arrivals(batch);
+        let seal_us = t0.elapsed().as_micros() as u64;
+        let t1 = std::time::Instant::now();
+        let pieces = Self::assign_pieces(&sealed, p, Self::DEFAULT_TOLERANCE);
+        let symbolic_us = t1.elapsed().as_micros() as u64;
+        let t2 = std::time::Instant::now();
+        let plan = Self::materialize_pieces(&sealed, &pieces, self.threads);
+        let materialize_us = t2.elapsed().as_micros() as u64;
+        (
+            plan,
+            PartitionPhases {
+                seal_us,
+                symbolic_us,
+                materialize_us,
+            },
+        )
+    }
+}
+
+impl PromptPartitioner {
+    /// Replay a micro-batch's arrivals through the configured accumulator
+    /// and seal at the heartbeat (the batching phase of §4.1).
+    fn seal_arrivals(&self, batch: &MicroBatch) -> SealedBatch {
+        match self.mode {
             BufferingMode::FrequencyAware => {
                 let mut cfg = self.acc_cfg;
                 // Seed the estimates from the actual batch when the caller
@@ -401,11 +456,6 @@ impl Partitioner for PromptPartitioner {
                 }
                 acc.seal(batch.interval)
             }
-        };
-        if self.threads > 1 {
-            Self::partition_sealed_par(&sealed, p, self.threads)
-        } else {
-            Self::partition_sealed(&sealed, p)
         }
     }
 }
@@ -658,6 +708,24 @@ mod tests {
             m_sharded.mpi <= m_serial.mpi * 1.5 + 0.1,
             "sharded quality too far off: {m_sharded:?} vs {m_serial:?}"
         );
+    }
+
+    #[test]
+    fn phased_partition_is_bit_identical_and_times_phases() {
+        let mb = zipfish_batch(150, 1500);
+        let want = PromptPartitioner::new(BufferingMode::FrequencyAware).partition(&mb, 8);
+        let (got, phases) =
+            PromptPartitioner::new(BufferingMode::FrequencyAware).partition_phased(&mb, 8);
+        assert_eq!(want, got, "phase timing must not change the plan");
+        // Wall clocks are monotonic; phases can be fast but never negative,
+        // and the default-trait fallback (all zeros) must not be what the
+        // override returns for a non-trivial batch... except on a machine
+        // fast enough to stay under 1 µs per phase, so only sanity-check
+        // the type here.
+        let _ = phases.seal_us + phases.symbolic_us + phases.materialize_us;
+        // A non-Prompt partitioner keeps the zero-phase default.
+        let (_, zero) = crate::partitioner::HashPartitioner::new(1).partition_phased(&mb, 8);
+        assert_eq!(zero, PartitionPhases::default());
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Property-based tests of Algorithm 3's Reduce bucket allocator.
+//!
+//! Three invariants the driver relies on:
+//! 1. split keys route identically from every Map task (Reduce correctness);
+//! 2. the Worst-Fit tie-break rotation actually varies with the task
+//!    counter, so concurrent Map tasks do not stack their largest cluster
+//!    on the same bucket;
+//! 3. bucket retirement survives hashed split keys overflowing every
+//!    bucket's capacity (the refill path) without panicking or emitting an
+//!    out-of-range bucket.
+
+use prompt_core::hash::{bucket_of, KeyMap, KeySet};
+use prompt_core::reduce::{KeyCluster, PromptReduceAllocator, ReduceAssigner};
+use prompt_core::types::Key;
+use proptest::prelude::*;
+
+/// Collapse raw (key, size) pairs into one cluster per distinct key, as a
+/// real Map task's grouped output would be.
+fn dedup_clusters(raw: &[(u64, usize)]) -> Vec<KeyCluster> {
+    let mut sizes: KeyMap<usize> = KeyMap::default();
+    let mut order: Vec<Key> = Vec::new();
+    for &(k, s) in raw {
+        let key = Key(k);
+        if sizes.insert(key, s).is_none() {
+            order.push(key);
+        } else {
+            *sizes.get_mut(&key).unwrap() += s;
+        }
+    }
+    order
+        .into_iter()
+        .map(|key| KeyCluster {
+            key,
+            size: sizes[&key],
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_keys_route_identically_across_map_tasks(
+        tasks in proptest::collection::vec(
+            proptest::collection::vec((0u64..20, 1usize..500), 1..30),
+            2..6,
+        ),
+        split in proptest::collection::vec(0u64..20, 0..12),
+        seed in 0u64..u64::MAX,
+        r in 1usize..9,
+    ) {
+        let mut split_set = KeySet::default();
+        for &k in &split {
+            split_set.insert(Key(k));
+        }
+        let mut alloc = PromptReduceAllocator::new(seed);
+        let mut routed: KeyMap<usize> = KeyMap::default();
+        for task in &tasks {
+            let cs = dedup_clusters(task);
+            let out = alloc.assign(&cs, &split_set, r);
+            prop_assert_eq!(out.len(), cs.len());
+            for (c, &b) in cs.iter().zip(&out) {
+                prop_assert!(b < r, "bucket {b} out of range for r = {r}");
+                if split_set.contains(&c.key) {
+                    // Split keys take the shared hash route, so every Map
+                    // task lands them on the same bucket...
+                    prop_assert_eq!(b, bucket_of(seed, c.key, r));
+                    // ...including across tasks seen so far.
+                    if let Some(&prev) = routed.get(&c.key) {
+                        prop_assert_eq!(b, prev);
+                    }
+                    routed.insert(c.key, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_rotation_varies_with_task_counter(
+        raw in proptest::collection::vec((0u64..1000, 1usize..500), 1..40),
+        r in 2usize..9,
+    ) {
+        let cs = dedup_clusters(&raw);
+        let split = KeySet::default();
+        let mut alloc = PromptReduceAllocator::new(0);
+        let out1 = alloc.assign(&cs, &split, r);
+        let out2 = alloc.assign(&cs, &split, r);
+        // The cluster placed first (largest size, ties by smallest key —
+        // the allocator's own sort order) faces all-equal capacities, so
+        // only the rotation decides its bucket: consecutive Map tasks with
+        // identical clusters must not stack it on the same bucket.
+        let largest = (0..cs.len())
+            .max_by(|&a, &b| {
+                cs[a].size
+                    .cmp(&cs[b].size)
+                    .then(cs[b].key.0.cmp(&cs[a].key.0))
+            })
+            .unwrap();
+        prop_assert!(
+            out1[largest] != out2[largest],
+            "consecutive tasks stacked the largest cluster on bucket {}",
+            out1[largest]
+        );
+    }
+
+    #[test]
+    fn overflowing_split_keys_never_panic(
+        split_raw in proptest::collection::vec((0u64..6, 1_000usize..10_000), 1..20),
+        extra_raw in proptest::collection::vec((6u64..30, 1usize..100), 0..30),
+        seed in 0u64..u64::MAX,
+        r in 1usize..6,
+    ) {
+        // Every key below 6 is split, with sizes that dwarf the non-split
+        // tail — the hashed placements drive some (often all) bucket
+        // capacities negative, exercising the candidate-list refill.
+        let mut split_set = KeySet::default();
+        for k in 0..6u64 {
+            split_set.insert(Key(k));
+        }
+        let mut cs = dedup_clusters(&split_raw);
+        cs.extend(dedup_clusters(&extra_raw));
+        let mut alloc = PromptReduceAllocator::new(seed);
+        let out = alloc.assign(&cs, &split_set, r);
+        prop_assert_eq!(out.len(), cs.len());
+        for (c, &b) in cs.iter().zip(&out) {
+            prop_assert!(b < r, "bucket {b} out of range for r = {r}");
+            if split_set.contains(&c.key) {
+                prop_assert_eq!(b, bucket_of(seed, c.key, r));
+            }
+        }
+    }
+}

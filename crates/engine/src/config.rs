@@ -5,6 +5,7 @@ use prompt_core::types::Duration;
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::elasticity::ScalerConfig;
+use crate::trace::TraceLevel;
 
 /// How the batching-phase partitioning overhead is charged against the
 /// processing budget.
@@ -52,6 +53,12 @@ pub struct EngineConfig {
     /// Worker threads for parallel ingest and plan materialization when
     /// `ingest_shards > 1` (capped by the shard/block counts).
     pub ingest_threads: usize,
+    /// Observability verbosity: what [`StreamingEngine::run_traced`]
+    /// records (see `crate::trace`). `Off` keeps the hot path free of any
+    /// recording cost.
+    ///
+    /// [`StreamingEngine::run_traced`]: crate::driver::StreamingEngine::run_traced
+    pub trace: TraceLevel,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +75,7 @@ impl Default for EngineConfig {
             elasticity: None,
             ingest_shards: 1,
             ingest_threads: 1,
+            trace: TraceLevel::Off,
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use prompt_core::batch::MicroBatch;
 use prompt_core::metrics::PlanMetrics;
-use prompt_core::partitioner::{Partitioner, Technique};
+use prompt_core::partitioner::{PartitionPhases, Partitioner, Technique};
 use prompt_core::reduce::{HashReduceAssigner, PromptReduceAllocator, ReduceAssigner};
 use prompt_core::types::{Duration, Interval, Time, Tuple};
 
@@ -19,8 +19,9 @@ use crate::elasticity::{AutoScaler, Observation, ScaleAction};
 use crate::job::Job;
 use crate::recovery::{FaultPlan, ReplicatedBatchStore};
 use crate::source::TupleSource;
-use crate::stage::execute_batch;
+use crate::stage::execute_batch_traced;
 use crate::straggler::StragglerPlan;
+use crate::trace::{Counter, StageKind, TraceEvent, TraceRecorder};
 use crate::window::{WindowResult, WindowSpec, WindowState};
 
 /// Per-batch execution record — the raw material of every figure in §7.2.
@@ -312,6 +313,29 @@ impl StreamingEngine {
 
     /// Run the engine for `n_batches` heartbeats over `source`.
     pub fn run(&mut self, source: &mut dyn TupleSource, n_batches: usize) -> RunResult {
+        self.run_traced(source, n_batches).0
+    }
+
+    /// [`StreamingEngine::run`] that also returns the observability
+    /// recorder, populated according to the config's
+    /// [`trace`](EngineConfig::trace) level. At
+    /// [`TraceLevel::Off`](crate::trace::TraceLevel::Off) (the default)
+    /// every recording call is an early return, so `run` is just this with
+    /// the recorder dropped.
+    ///
+    /// The recorded virtual-time spans reconcile exactly with the returned
+    /// [`BatchRecord`]s: per batch, the spans of
+    /// [`PROCESSING_KINDS`](crate::trace::PROCESSING_KINDS) tile
+    /// `[heartbeat + queue_delay, …]` without gaps and sum to `processing`,
+    /// the `QueueWait` span equals `queue_delay`, and `Accumulate` equals
+    /// the batch interval.
+    pub fn run_traced(
+        &mut self,
+        source: &mut dyn TupleSource,
+        n_batches: usize,
+    ) -> (RunResult, TraceRecorder) {
+        let rec = TraceRecorder::new(self.cfg.trace);
+        let tracing = rec.enabled();
         let bi = self.cfg.batch_interval;
         let mut result = RunResult::default();
         let mut window = self
@@ -333,6 +357,8 @@ impl StreamingEngine {
             .fault_tolerance
             .as_ref()
             .map(|(replicas, plan)| (ReplicatedBatchStore::new(*replicas), plan.clone()));
+        let mut prev_zone: Option<u8> = None;
+        let mut was_in_grace = false;
 
         for seq in 0..n_batches as u64 {
             let interval = Interval::new(Time(bi.0 * seq), Time(bi.0 * (seq + 1)));
@@ -345,43 +371,90 @@ impl StreamingEngine {
             let batch = MicroBatch::new(std::mem::take(&mut arrivals), interval);
             let n_tuples = batch.len();
             let n_keys = batch.distinct_keys();
+            rec.incr(Counter::Batches, 1);
+            rec.incr(Counter::Tuples, n_tuples as u64);
             if let Some((store, _)) = store_and_plan.as_mut() {
                 // Replicate the batch input on ingestion (§8 point 2).
                 store.retain(seq, batch.tuples.clone());
             }
 
-            // Partition (optionally measuring real cost).
-            let (plan, raw_overhead) = match self.cfg.overhead {
-                OverheadMode::None => (self.partitioner.partition(&batch, p), Duration::ZERO),
-                OverheadMode::Fixed(d) => (self.partitioner.partition(&batch, p), d),
-                OverheadMode::Measured => {
-                    let t0 = std::time::Instant::now();
-                    let plan = self.partitioner.partition(&batch, p);
-                    (plan, Duration::from_micros(t0.elapsed().as_micros() as u64))
-                }
+            // Partition (optionally measuring real cost; when tracing, the
+            // phased path additionally times seal / symbolic / materialize —
+            // the plan is bit-identical either way).
+            let t0 = std::time::Instant::now();
+            let (plan, phases) = if tracing {
+                self.partitioner.partition_phased(&batch, p)
+            } else {
+                (
+                    self.partitioner.partition(&batch, p),
+                    PartitionPhases::default(),
+                )
             };
+            let raw_overhead = match self.cfg.overhead {
+                OverheadMode::None => Duration::ZERO,
+                OverheadMode::Fixed(d) => d,
+                OverheadMode::Measured => Duration::from_micros(t0.elapsed().as_micros() as u64),
+            };
+            if tracing && phases != PartitionPhases::default() {
+                rec.phase(seq, StageKind::Seal, Duration::from_micros(phases.seal_us));
+                rec.phase(
+                    seq,
+                    StageKind::PartitionSymbolic,
+                    Duration::from_micros(phases.symbolic_us),
+                );
+                rec.phase(
+                    seq,
+                    StageKind::PartitionMaterialize,
+                    Duration::from_micros(phases.materialize_us),
+                );
+            }
             arrivals = batch.tuples; // reuse the allocation next interval
             let visible_overhead = raw_overhead - self.cfg.early_release_slack();
 
             // Execute on the cluster.
-            let (mut output, mut times) = execute_batch(
+            let (mut output, mut times) = execute_batch_traced(
                 &plan,
                 &self.job,
                 self.assigner.as_mut(),
                 r,
                 &self.cfg.cost,
                 &self.cfg.cluster,
+                tracing.then_some(&rec),
             );
             if !self.stragglers.is_empty() {
                 self.stragglers
                     .apply(seq, &mut times.map_tasks, &mut times.reduce_tasks);
                 times.map_stage = self.cfg.cluster.makespan(&times.map_tasks);
                 times.reduce_stage = self.cfg.cluster.makespan(&times.reduce_tasks);
+                if tracing {
+                    for e in self.stragglers.events_for(seq) {
+                        // Mirror `apply`: out-of-range task indices did
+                        // nothing, so they are not recorded either.
+                        let (stage, n) = match e.stage {
+                            crate::straggler::Stage::Map => {
+                                (StageKind::MapStage, times.map_tasks.len())
+                            }
+                            crate::straggler::Stage::Reduce => {
+                                (StageKind::ReduceStage, times.reduce_tasks.len())
+                            }
+                        };
+                        if e.task < n {
+                            rec.incr(Counter::Stragglers, 1);
+                            rec.event(TraceEvent::Straggler {
+                                seq,
+                                stage,
+                                task: e.task,
+                                slowdown: e.slowdown,
+                            });
+                        }
+                    }
+                }
             }
             let mut processing = visible_overhead + times.processing();
 
             // Fault injection: each scheduled loss of this batch's state
             // forces one recomputation from the replicated input.
+            let mut recovery_times: Vec<Duration> = Vec::new();
             if let Some((store, fault_plan)) = store_and_plan.as_mut() {
                 for _ in 0..fault_plan.losses_for(seq) {
                     let input = store
@@ -390,17 +463,26 @@ impl StreamingEngine {
                         .to_vec();
                     let rebatch = MicroBatch::new(input, interval);
                     let replan = self.partitioner.partition(&rebatch, p);
-                    let (recovered, retimes) = execute_batch(
+                    let (recovered, retimes) = execute_batch_traced(
                         &replan,
                         &self.job,
                         self.assigner.as_mut(),
                         r,
                         &self.cfg.cost,
                         &self.cfg.cluster,
+                        tracing.then_some(&rec),
                     );
                     output = recovered;
                     processing += retimes.processing();
                     result.recoveries += 1;
+                    if tracing {
+                        recovery_times.push(retimes.processing());
+                        rec.incr(Counter::Recoveries, 1);
+                        rec.event(TraceEvent::Recovery {
+                            seq,
+                            replicas_left: store.replicas_left(seq).unwrap_or(0),
+                        });
+                    }
                 }
                 // Batches that have produced output and left every window
                 // can drop their replicated input (§8).
@@ -422,12 +504,59 @@ impl StreamingEngine {
             let latency = bi + queue_delay + processing;
             let w = processing.as_secs_f64() / bi.as_secs_f64();
 
+            if tracing {
+                // The batch's lifecycle as virtual-time spans. The
+                // PROCESSING_KINDS spans tile [start, start + processing]
+                // with no gaps, so per batch they sum to `processing`
+                // exactly — the reconciliation invariant the integration
+                // tests assert.
+                rec.span(seq, StageKind::Accumulate, interval.start, interval.end);
+                rec.span(seq, StageKind::QueueWait, heartbeat, start);
+                let mut cursor = start;
+                rec.span(
+                    seq,
+                    StageKind::PartitionVisible,
+                    cursor,
+                    cursor + visible_overhead,
+                );
+                cursor = cursor + visible_overhead;
+                rec.span(seq, StageKind::MapStage, cursor, cursor + times.map_stage);
+                cursor = cursor + times.map_stage;
+                rec.span(
+                    seq,
+                    StageKind::ReduceStage,
+                    cursor,
+                    cursor + times.reduce_stage,
+                );
+                cursor = cursor + times.reduce_stage;
+                for &rt in &recovery_times {
+                    rec.span(seq, StageKind::Recovery, cursor, cursor + rt);
+                    cursor = cursor + rt;
+                }
+                debug_assert_eq!(cursor, start + processing, "spans must tile processing");
+            }
+
             if queue_delay.as_secs_f64() > self.cfg.backpressure_queue * bi.as_secs_f64() {
                 result.backpressure = true;
+                rec.incr(Counter::BackpressureBatches, 1);
+                rec.event(TraceEvent::Backpressure {
+                    seq,
+                    queue_us: queue_delay.0,
+                    limit_us: bi.mul_f64(self.cfg.backpressure_queue).0,
+                });
             }
 
             // Elasticity (Algorithm 4).
             if let Some(sc) = scaler.as_mut() {
+                let zone = sc.zone(w);
+                if tracing && prev_zone != Some(zone) {
+                    if prev_zone.is_some() {
+                        rec.incr(Counter::ZoneTransitions, 1);
+                    }
+                    rec.event(TraceEvent::Zone { seq, zone, w });
+                }
+                prev_zone = Some(zone);
+                let noops_before = sc.noop_decisions();
                 if let Some(action) = sc.observe(Observation {
                     w,
                     n_tuples: n_tuples as u64,
@@ -436,6 +565,38 @@ impl StreamingEngine {
                     p = action.map_tasks;
                     r = action.reduce_tasks;
                     result.scale_events.push((seq, action));
+                    if tracing {
+                        let (rate_trend, key_trend) = sc.last_trends();
+                        rec.incr(
+                            if action.out {
+                                Counter::ScaleOut
+                            } else {
+                                Counter::ScaleIn
+                            },
+                            1,
+                        );
+                        rec.incr(Counter::GraceEntries, 1);
+                        rec.event(TraceEvent::Scale {
+                            seq,
+                            map_tasks: action.map_tasks,
+                            reduce_tasks: action.reduce_tasks,
+                            out: action.out,
+                            rate_trend,
+                            key_trend,
+                        });
+                        rec.event(TraceEvent::Grace { seq, entered: true });
+                    }
+                }
+                if tracing {
+                    rec.incr(Counter::NoopDecisions, sc.noop_decisions() - noops_before);
+                    let in_grace = sc.in_grace();
+                    if was_in_grace && !in_grace {
+                        rec.event(TraceEvent::Grace {
+                            seq,
+                            entered: false,
+                        });
+                    }
+                    was_in_grace = in_grace;
                 }
             }
 
@@ -465,7 +626,7 @@ impl StreamingEngine {
                 plan_metrics: PlanMetrics::of(&plan),
             });
         }
-        result
+        (result, rec)
     }
 }
 

@@ -11,8 +11,12 @@
 //! * **Zone 1** (`W ≤ thres − step`): under-utilised — after `d` consecutive
 //!   batches, scale in by the mirrored criteria.
 //!
-//! After any action a grace period of `d` batches suppresses reverse
-//! decisions.
+//! After any *applied* action a grace period of `d` batches suppresses
+//! reverse decisions. A decision that cannot change anything (the controller
+//! is saturated at `min_tasks`/`max_tasks`) does **not** enter grace: a
+//! no-op must not delay the next legitimate decision. Every fired decision
+//! — applied or not — consumes the trend history, so the next decision's
+//! rate/key evidence is computed from post-decision batches only.
 
 use std::collections::VecDeque;
 
@@ -98,6 +102,13 @@ pub struct AutoScaler {
     above: usize,
     below: usize,
     grace: usize,
+    /// Trend evidence `(rate, keys)` computed at the most recent fired
+    /// decision (applied or not) — the observability layer reports it
+    /// alongside scale actions.
+    last_trends: (f64, f64),
+    /// Fired decisions that could not change any task count (saturated at
+    /// the min/max bounds). These do not enter grace.
+    noop_decisions: u64,
 }
 
 impl AutoScaler {
@@ -117,6 +128,8 @@ impl AutoScaler {
             above: 0,
             below: 0,
             grace: 0,
+            last_trends: (0.0, 0.0),
+            noop_decisions: 0,
         }
     }
 
@@ -133,6 +146,30 @@ impl AutoScaler {
     /// Whether the controller is inside a post-action grace period.
     pub fn in_grace(&self) -> bool {
         self.grace > 0
+    }
+
+    /// The Fig. 9b zone a load value falls into: 3 = overloaded,
+    /// 2 = stability band, 1 = under-utilised.
+    pub fn zone(&self, w: f64) -> u8 {
+        if w > self.cfg.thres {
+            3
+        } else if w <= self.cfg.thres - self.cfg.step {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// The `(rate, keys)` trend evidence behind the most recent fired
+    /// decision — zeros before any decision has fired.
+    pub fn last_trends(&self) -> (f64, f64) {
+        self.last_trends
+    }
+
+    /// How many fired decisions were no-ops because the controller was
+    /// saturated at its task bounds. No-ops never enter grace.
+    pub fn noop_decisions(&self) -> u64 {
+        self.noop_decisions
     }
 
     /// Trend of a metric: mean over the most recent `d` observations versus
@@ -176,9 +213,10 @@ impl AutoScaler {
 
         if self.above >= self.cfg.d {
             self.above = 0;
-            self.grace = self.cfg.d;
-            let rate_up = self.trend(|o| o.n_tuples as f64) > 0.0;
-            let keys_up = self.trend(|o| o.n_keys as f64) > 0.0;
+            let rate_trend = self.trend(|o| o.n_tuples as f64);
+            let key_trend = self.trend(|o| o.n_keys as f64);
+            self.last_trends = (rate_trend, key_trend);
+            let (rate_up, keys_up) = (rate_trend > 0.0, key_trend > 0.0);
             let mut changed = false;
             // Overloaded with no identified driver: grow both, the safe move.
             if (rate_up || !keys_up) && self.map_tasks < self.cfg.max_tasks {
@@ -189,18 +227,29 @@ impl AutoScaler {
                 self.reduce_tasks += 1;
                 changed = true;
             }
+            // The decision consumed the trend evidence: keeping the window
+            // would double-count pre-decision growth at the next decision
+            // and can latch a stale trend that starves the grow-both
+            // fallback (see `stale_trend_is_discarded_at_decisions`).
+            self.history.clear();
             if changed {
+                // Grace only guards *applied* actions; a saturated no-op
+                // must not burn a grace period and delay the next
+                // legitimate decision.
+                self.grace = self.cfg.d;
                 return Some(ScaleAction {
                     map_tasks: self.map_tasks,
                     reduce_tasks: self.reduce_tasks,
                     out: true,
                 });
             }
+            self.noop_decisions += 1;
         } else if self.below >= self.cfg.d {
             self.below = 0;
-            self.grace = self.cfg.d;
-            let rate_down = self.trend(|o| o.n_tuples as f64) < 0.0;
-            let keys_down = self.trend(|o| o.n_keys as f64) < 0.0;
+            let rate_trend = self.trend(|o| o.n_tuples as f64);
+            let key_trend = self.trend(|o| o.n_keys as f64);
+            self.last_trends = (rate_trend, key_trend);
+            let (rate_down, keys_down) = (rate_trend < 0.0, key_trend < 0.0);
             let mut changed = false;
             if (rate_down || !keys_down) && self.map_tasks > self.cfg.min_tasks {
                 self.map_tasks -= 1;
@@ -210,13 +259,16 @@ impl AutoScaler {
                 self.reduce_tasks -= 1;
                 changed = true;
             }
+            self.history.clear();
             if changed {
+                self.grace = self.cfg.d;
                 return Some(ScaleAction {
                     map_tasks: self.map_tasks,
                     reduce_tasks: self.reduce_tasks,
                     out: false,
                 });
             }
+            self.noop_decisions += 1;
         }
         None
     }
@@ -339,6 +391,67 @@ mod tests {
         }
         assert_eq!(s.map_tasks(), 5);
         assert_eq!(s.reduce_tasks(), 5);
+    }
+
+    #[test]
+    fn saturated_scaler_does_not_burn_grace() {
+        let c = ScalerConfig {
+            d: 2,
+            max_tasks: 4,
+            ..ScalerConfig::default()
+        };
+        let mut s = AutoScaler::new(c, 4, 4);
+        // Overloaded at the task ceiling: the decision fires but cannot
+        // change anything.
+        assert!(s.observe(obs(2.0, 1000, 100)).is_none());
+        assert!(s.observe(obs(2.0, 1000, 100)).is_none());
+        assert_eq!(s.noop_decisions(), 1);
+        assert!(
+            !s.in_grace(),
+            "a no-op decision must not enter a grace period"
+        );
+        // Load collapses immediately: scale-in must fire after d = 2
+        // batches. The old behaviour burned a grace period on the no-op
+        // above and would swallow both of these observations.
+        assert!(s.observe(obs(0.2, 500, 50)).is_none());
+        let act = s.observe(obs(0.2, 500, 50)).expect("scale-in not delayed");
+        assert!(!act.out);
+        assert_eq!((act.map_tasks, act.reduce_tasks), (3, 3));
+    }
+
+    #[test]
+    fn stale_trend_is_discarded_at_decisions() {
+        // Map side saturated; rate genuinely grew before the first decision.
+        let c = ScalerConfig {
+            d: 2,
+            max_tasks: 5,
+            ..ScalerConfig::default()
+        };
+        let mut s = AutoScaler::new(c, 5, 4);
+        s.observe(obs(0.85, 900, 1000));
+        s.observe(obs(0.85, 1000, 1000));
+        s.observe(obs(0.95, 2000, 1000));
+        // Fires: rate up → wants a mapper, but Map is at max_tasks; keys
+        // flat → Reduce untouched. A no-op, and the rate evidence is spent.
+        assert!(s.observe(obs(0.95, 2400, 1000)).is_none());
+        assert_eq!(s.noop_decisions(), 1);
+        let (rate_t, key_t) = s.last_trends();
+        assert!(rate_t > 0.0 && key_t == 0.0);
+        // Still overloaded at a now-*steady* rate. If the pre-decision
+        // window survived, the straddling trend (2000 → 2400) would keep
+        // `rate_up` latched true and the grow-both fallback could never
+        // reach the Reduce side: the controller would deadlock overloaded.
+        assert!(s.observe(obs(0.95, 2400, 1000)).is_none());
+        let act = s
+            .observe(obs(0.95, 2400, 1000))
+            .expect("fallback fires once the stale trend is gone");
+        assert!(act.out);
+        assert_eq!(
+            (act.map_tasks, act.reduce_tasks),
+            (5, 5),
+            "no trend evidence → grow both; only Reduce has headroom"
+        );
+        assert_eq!(s.last_trends(), (0.0, 0.0));
     }
 
     #[test]

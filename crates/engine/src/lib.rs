@@ -46,6 +46,7 @@ pub mod stage;
 pub mod stats;
 pub mod straggler;
 pub mod threaded;
+pub mod trace;
 pub mod window;
 
 /// Convenient import surface.
@@ -65,5 +66,9 @@ pub mod prelude {
     pub use crate::stats::{percentile_sorted, summarize, Summary};
     pub use crate::straggler::{Stage, StragglerEvent, StragglerPlan};
     pub use crate::threaded::{ThreadedExecutor, WallTimes};
+    pub use crate::trace::{
+        parse_jsonl, to_jsonl, Counter, StageKind, StageSummary, TraceEvent, TraceLevel,
+        TraceRecorder, TraceSummary, PROCESSING_KINDS,
+    };
     pub use crate::window::{WindowResult, WindowSpec, WindowState};
 }

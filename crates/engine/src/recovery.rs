@@ -122,6 +122,15 @@ impl ReplicatedBatchStore {
         Ok(&batch.input)
     }
 
+    /// Replicas remaining for batch `seq`, or `None` if it is not retained
+    /// (never was, or already expired).
+    pub fn replicas_left(&self, seq: u64) -> Option<usize> {
+        self.retained
+            .iter()
+            .find(|b| b.seq == seq)
+            .map(|b| b.replicas_left)
+    }
+
     /// Number of batches currently retained.
     pub fn len(&self) -> usize {
         self.retained.len()

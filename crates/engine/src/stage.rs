@@ -11,6 +11,7 @@ use prompt_core::types::{Duration, Key};
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::job::Job;
+use crate::trace::{Counter, TraceRecorder};
 
 /// Per-key aggregates produced by one batch (the batch's partial query
 /// state, §2.1).
@@ -71,6 +72,21 @@ pub fn execute_batch(
     cost: &CostModel,
     cluster: &Cluster,
 ) -> (BatchOutput, StageTimes) {
+    execute_batch_traced(plan, job, assigner, r, cost, cluster, None)
+}
+
+/// [`execute_batch`] that additionally records shuffle statistics — scatter
+/// routings performed and how many of them carried a split key — into the
+/// recorder.
+pub fn execute_batch_traced(
+    plan: &PartitionPlan,
+    job: &Job,
+    assigner: &mut dyn ReduceAssigner,
+    r: usize,
+    cost: &CostModel,
+    cluster: &Cluster,
+    trace: Option<&TraceRecorder>,
+) -> (BatchOutput, StageTimes) {
     assert!(r > 0, "need at least one reduce task");
     let mut map_tasks = Vec::with_capacity(plan.blocks.len());
     let mut bucket_partials: Vec<Vec<Partial>> = vec![Vec::new(); r];
@@ -104,6 +120,14 @@ pub fn execute_batch(
         // Shuffle: route each cluster to its Reduce bucket.
         let assignment = assigner.assign(&cluster_descs, &plan.split_keys, r);
         debug_assert_eq!(assignment.len(), cluster_descs.len());
+        if let Some(rec) = trace {
+            rec.incr(Counter::ScatterFragments, assignment.len() as u64);
+            let split = cluster_descs
+                .iter()
+                .filter(|c| plan.split_keys.contains(&c.key))
+                .count();
+            rec.incr(Counter::SplitKeyFragments, split as u64);
+        }
         for ((key, (value, tuples)), &bucket) in ordered.into_iter().zip(&assignment) {
             bucket_partials[bucket].push(Partial { key, value, tuples });
         }
@@ -301,6 +325,37 @@ mod tests {
             sum(&shuffle_times.reduce_tasks) > sum(&hash_times.reduce_tasks),
             "shuffle reduce work should exceed hash (fragment merges)"
         );
+    }
+
+    #[test]
+    fn traced_execution_counts_scatter_fragments() {
+        use crate::trace::{TraceLevel, TraceRecorder};
+        // A giant key forces Prompt to split it, so some scatter routings
+        // must carry a split key.
+        let mb = batch(&[(1, 2000), (2, 10), (3, 10)]);
+        let plan = Technique::Prompt.build(0).partition(&mb, 4);
+        assert!(!plan.split_keys.is_empty(), "test needs a split key");
+        let job = Job::identity("sum", ReduceOp::Sum);
+        let rec = TraceRecorder::new(TraceLevel::Summary);
+        let (out, _) = execute_batch_traced(
+            &plan,
+            &job,
+            &mut PromptReduceAllocator::new(0),
+            2,
+            &CostModel::default(),
+            &Cluster::new(1, 4),
+            Some(&rec),
+        );
+        assert_eq!(out.len(), 3);
+        let frags = rec.counter(crate::trace::Counter::ScatterFragments);
+        let split = rec.counter(crate::trace::Counter::SplitKeyFragments);
+        assert!(frags >= 3, "at least one routing per key: {frags}");
+        // Key 1 lives in several blocks, so it scatters more than once.
+        assert!(
+            split >= 2,
+            "split key scattered from multiple blocks: {split}"
+        );
+        assert!(split <= frags);
     }
 
     #[test]

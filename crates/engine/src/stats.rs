@@ -22,16 +22,19 @@ pub struct Summary {
     pub max: f64,
 }
 
-/// Nearest-rank percentile of a **sorted** slice (`p` in `[0, 1]`).
-/// Returns 0 for an empty slice.
+/// Nearest-rank percentile of a **sorted** slice (`p` in `[0, 1]`):
+/// the smallest element such that at least `p·n` of the sample is ≤ it,
+/// i.e. index `⌈p·n⌉ − 1` (clamped to the slice). `p = 0` returns the
+/// minimum and `p = 1` the maximum. Returns 0 for an empty slice.
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "percentile in [0, 1]");
     if sorted.is_empty() {
         return 0.0;
     }
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    let n = sorted.len();
+    let rank = (p * n as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(n - 1)]
 }
 
 /// Summarise a sample (copies and sorts internally).
@@ -68,9 +71,9 @@ mod tests {
         assert!((s.mean - 50.5).abs() < 1e-9);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 100.0);
-        assert_eq!(s.p50, 51.0); // nearest-rank: index round(49.5) = 50
-        assert_eq!(s.p5, 6.0);
-        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p50, 50.0); // nearest-rank: index ceil(0.50 * 100) - 1 = 49
+        assert_eq!(s.p5, 5.0); // index ceil(0.05 * 100) - 1 = 4
+        assert_eq!(s.p95, 95.0); // index ceil(0.95 * 100) - 1 = 94
         assert!((s.std - 28.866).abs() < 0.01);
     }
 
@@ -92,6 +95,31 @@ mod tests {
         let v = vec![1.0, 2.0, 3.0];
         assert_eq!(percentile_sorted(&v, 0.0), 1.0);
         assert_eq!(percentile_sorted(&v, 1.0), 3.0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_table() {
+        // The canonical nearest-rank worked example: ordered sample of 5,
+        // rank = ceil(p·n), percentile = the rank-th smallest element.
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        for (p, want) in [
+            (0.05, 15.0), // ceil(0.25) = 1st
+            (0.20, 15.0), // ceil(1.00) = 1st
+            (0.30, 20.0), // ceil(1.50) = 2nd
+            (0.40, 20.0), // ceil(2.00) = 2nd
+            (0.50, 35.0), // ceil(2.50) = 3rd
+            (0.60, 35.0), // ceil(3.00) = 3rd
+            (0.95, 50.0), // ceil(4.75) = 5th
+            (1.00, 50.0), // ceil(5.00) = 5th
+        ] {
+            assert_eq!(percentile_sorted(&v, p), want, "p = {p}");
+        }
+        // Even spacing: every nearest-rank value is an actual sample point,
+        // never an interpolation.
+        let v: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        for (p, want) in [(0.1, 1.0), (0.11, 2.0), (0.5, 5.0), (0.51, 6.0), (0.9, 9.0)] {
+            assert_eq!(percentile_sorted(&v, p), want, "p = {p}");
+        }
     }
 
     #[test]

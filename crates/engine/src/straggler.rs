@@ -79,6 +79,12 @@ impl StragglerPlan {
         self.events.is_empty()
     }
 
+    /// The events scheduled for batch `seq` (the observability layer
+    /// records these alongside [`StragglerPlan::apply`]).
+    pub fn events_for(&self, seq: u64) -> impl Iterator<Item = &StragglerEvent> {
+        self.events.iter().filter(move |e| e.batch == seq)
+    }
+
     /// Apply this plan's events for batch `seq` to the per-task times.
     /// Out-of-range task indices are ignored (the batch may have fewer
     /// tasks than the script assumed).

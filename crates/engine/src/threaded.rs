@@ -35,6 +35,7 @@ use prompt_core::types::Key;
 
 use crate::job::Job;
 use crate::stage::BatchOutput;
+use crate::trace::{StageKind, TraceRecorder};
 
 /// Wall-clock timings of a threaded batch execution.
 #[derive(Clone, Copy, Debug, Default)]
@@ -79,6 +80,22 @@ impl ThreadedExecutor {
         assigner: &mut dyn ReduceAssigner,
         r: usize,
     ) -> (BatchOutput, WallTimes) {
+        self.execute_traced(plan, job, assigner, r, None)
+    }
+
+    /// [`ThreadedExecutor::execute`] that additionally records the measured
+    /// Map / scatter / Reduce wall times as phase events of batch `seq`.
+    /// The recorder is shared by reference and all its recording methods
+    /// take `&self`, so worker threads could record into it concurrently;
+    /// here the phases are stamped after each parallel section completes.
+    pub fn execute_traced(
+        &self,
+        plan: &PartitionPlan,
+        job: &Job,
+        assigner: &mut dyn ReduceAssigner,
+        r: usize,
+        trace: Option<(&TraceRecorder, u64)>,
+    ) -> (BatchOutput, WallTimes) {
         assert!(r > 0, "need at least one reduce bucket");
         let mut times = WallTimes::default();
 
@@ -118,6 +135,9 @@ impl ThreadedExecutor {
                 .collect::<Vec<ClusterList>>()
         };
         times.map = t0.elapsed();
+        if let Some((rec, seq)) = trace {
+            rec.phase(seq, StageKind::MapStage, wall(times.map));
+        }
 
         // --- Shuffle: serial assignment, parallel scatter. ---
         let t1 = Instant::now();
@@ -173,6 +193,9 @@ impl ThreadedExecutor {
             })
         };
         times.shuffle = t1.elapsed();
+        if let Some((rec, seq)) = trace {
+            rec.phase(seq, StageKind::Scatter, wall(times.shuffle));
+        }
 
         // --- Parallel Reduce: merge partials per bucket. ---
         let t2 = Instant::now();
@@ -218,9 +241,17 @@ impl ThreadedExecutor {
             }
         }
         times.reduce = t2.elapsed();
+        if let Some((rec, seq)) = trace {
+            rec.phase(seq, StageKind::ReduceStage, wall(times.reduce));
+        }
 
         (BatchOutput { aggregates }, times)
     }
+}
+
+/// Convert a wall-clock duration into the trace's µs representation.
+fn wall(d: std::time::Duration) -> prompt_core::types::Duration {
+    prompt_core::types::Duration::from_micros(d.as_micros() as u64)
 }
 
 /// Map + local combine over one block, clusters in key order.
@@ -309,6 +340,39 @@ mod tests {
         let (out, _) =
             ThreadedExecutor::new(1).execute(&plan, &job, &mut PromptReduceAllocator::new(0), 1);
         assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn traced_execution_stamps_the_three_phases() {
+        use crate::trace::{TraceEvent, TraceLevel};
+        let mb = batch(5_000, 31);
+        let plan = Technique::Prompt.build(1).partition(&mb, 6);
+        let job = Job::identity("count", ReduceOp::Count);
+        let rec = TraceRecorder::new(TraceLevel::Full);
+        let mut assigner = PromptReduceAllocator::new(1);
+        let (out, times) =
+            ThreadedExecutor::new(3).execute_traced(&plan, &job, &mut assigner, 4, Some((&rec, 7)));
+        assert_eq!(out.len(), 31);
+        let phases: Vec<(u64, StageKind)> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::Phase { seq, kind, .. } => Some((seq, kind)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            phases,
+            vec![
+                (7, StageKind::MapStage),
+                (7, StageKind::Scatter),
+                (7, StageKind::ReduceStage)
+            ]
+        );
+        // The recorded wall times match the returned ones at µs granularity.
+        let summary = rec.summary();
+        let map = summary.stage(StageKind::MapStage).unwrap();
+        assert_eq!(map.total_us, times.map.as_micros() as u64);
     }
 
     #[test]

@@ -1,0 +1,1034 @@
+//! Batch-lifecycle observability: a structured, low-overhead event sink.
+//!
+//! Every figure in §7 is derived from per-batch signals — partitioning
+//! overhead, stage makespans, queue delay, `W` — but a flat end-of-run
+//! [`BatchRecord`](crate::driver::BatchRecord) cannot answer *where inside a
+//! batch* time went or *why* the controller acted. This module records the
+//! full batch lifecycle as typed events:
+//!
+//! * **Spans** over virtual time — accumulate → queue wait → visible
+//!   partitioning overhead → Map stage → Reduce stage → recovery
+//!   recomputations. The spans of [`PROCESSING_KINDS`] laid end to end
+//!   reconcile *exactly* with `BatchRecord::processing`; the integration
+//!   tests assert that, so the trace layer carries its own differential
+//!   safety net.
+//! * **Phases** over wall-clock time — the batching phase's seal / symbolic
+//!   assignment / materialization split, and the threaded backend's real
+//!   Map / scatter / Reduce times. Informational only: wall time never feeds
+//!   back into virtual time, so traced runs stay deterministic.
+//! * **Decision events** — elasticity zone transitions, grace entry/exit,
+//!   scale actions with their rate/key-trend evidence, straggler hits,
+//!   recovery recomputations, back-pressure trips and probe outcomes.
+//!
+//! # Recorder concurrency
+//!
+//! [`TraceRecorder`] is shared by `&` reference across the threaded
+//! backend's workers. Counters and per-stage histograms are plain atomics
+//! (lock-free). The event log is sharded eight ways with one mutex per
+//! shard and a per-thread shard assignment, so concurrent recorders almost
+//! never contend; a global ordinal (an atomic counter) timestamps every
+//! event so [`TraceRecorder::events`] can restore a single total order.
+//!
+//! # Sinks
+//!
+//! Three consumption paths, selected by [`TraceLevel`] in
+//! [`EngineConfig`](crate::config::EngineConfig):
+//!
+//! * `Off` — every recording call is a cheap early return.
+//! * `Summary` — counters + histograms only; [`TraceRecorder::summary`]
+//!   yields per-stage counts, means and log₂-bucket percentiles.
+//! * `Full` — additionally keeps the typed event log, exportable as
+//!   JSON-lines ([`TraceRecorder::to_jsonl`], hand-rolled — the workspace
+//!   has no serde) and re-importable with [`parse_jsonl`] (the bench
+//!   harness consumes this to render per-stage breakdowns).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use prompt_core::types::{Duration, Time};
+
+/// How much the recorder keeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceLevel {
+    /// Record nothing; every call is a cheap early return.
+    #[default]
+    Off,
+    /// Counters and per-stage histograms only.
+    Summary,
+    /// Everything: counters, histograms and the typed event log.
+    Full,
+}
+
+/// A stage of the batch lifecycle (the subject of spans and phases).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// The batching interval itself (virtual span = the heartbeat period).
+    Accumulate,
+    /// Wall-clock: replaying the accumulator into the sealed batch.
+    Seal,
+    /// Wall-clock: Algorithm 2's symbolic piece assignment.
+    PartitionSymbolic,
+    /// Wall-clock: materializing blocks from the symbolic assignment.
+    PartitionMaterialize,
+    /// Virtual: partitioning overhead that spilled past early release.
+    PartitionVisible,
+    /// Virtual: time queued behind earlier batches in the pipeline.
+    QueueWait,
+    /// Wall-clock (threaded backend): the shuffle scatter.
+    Scatter,
+    /// The Map stage makespan.
+    MapStage,
+    /// The Reduce stage makespan.
+    ReduceStage,
+    /// Virtual: one recovery recomputation after injected state loss.
+    Recovery,
+}
+
+impl StageKind {
+    /// All kinds, in lifecycle order.
+    pub const ALL: [StageKind; 10] = [
+        StageKind::Accumulate,
+        StageKind::Seal,
+        StageKind::PartitionSymbolic,
+        StageKind::PartitionMaterialize,
+        StageKind::PartitionVisible,
+        StageKind::QueueWait,
+        StageKind::Scatter,
+        StageKind::MapStage,
+        StageKind::ReduceStage,
+        StageKind::Recovery,
+    ];
+
+    /// Stable wire name (JSON-lines `kind` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Accumulate => "accumulate",
+            StageKind::Seal => "seal",
+            StageKind::PartitionSymbolic => "partition_symbolic",
+            StageKind::PartitionMaterialize => "partition_materialize",
+            StageKind::PartitionVisible => "partition_visible",
+            StageKind::QueueWait => "queue_wait",
+            StageKind::Scatter => "scatter",
+            StageKind::MapStage => "map_stage",
+            StageKind::ReduceStage => "reduce_stage",
+            StageKind::Recovery => "recovery",
+        }
+    }
+
+    /// Inverse of [`StageKind::name`].
+    pub fn from_name(s: &str) -> Option<StageKind> {
+        StageKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    fn index(self) -> usize {
+        StageKind::ALL.iter().position(|&k| k == self).unwrap()
+    }
+}
+
+/// The virtual-time span kinds that make up `BatchRecord::processing`: for
+/// every batch, the durations of these spans sum to exactly the batch's
+/// processing time (the trace layer's reconciliation invariant).
+pub const PROCESSING_KINDS: [StageKind; 4] = [
+    StageKind::PartitionVisible,
+    StageKind::MapStage,
+    StageKind::ReduceStage,
+    StageKind::Recovery,
+];
+
+/// A monotonically increasing count the recorder maintains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Batches executed.
+    Batches,
+    /// Tuples ingested.
+    Tuples,
+    /// (key cluster → bucket) routings performed by the shuffle.
+    ScatterFragments,
+    /// Scatter routings whose key was a split key.
+    SplitKeyFragments,
+    /// Elasticity zone changes between consecutive batches.
+    ZoneTransitions,
+    /// Applied scale-out actions.
+    ScaleOut,
+    /// Applied scale-in actions.
+    ScaleIn,
+    /// Fired decisions that were saturated no-ops.
+    NoopDecisions,
+    /// Grace periods entered (= applied actions).
+    GraceEntries,
+    /// Straggler events applied.
+    Stragglers,
+    /// Recovery recomputations performed.
+    Recoveries,
+    /// Batches whose queue delay exceeded the back-pressure threshold.
+    BackpressureBatches,
+    /// Sustainable-rate probes that came back sustainable.
+    ProbesSustainable,
+    /// Sustainable-rate probes that came back unsustainable.
+    ProbesUnsustainable,
+}
+
+impl Counter {
+    /// All counters, in declaration order.
+    pub const ALL: [Counter; 14] = [
+        Counter::Batches,
+        Counter::Tuples,
+        Counter::ScatterFragments,
+        Counter::SplitKeyFragments,
+        Counter::ZoneTransitions,
+        Counter::ScaleOut,
+        Counter::ScaleIn,
+        Counter::NoopDecisions,
+        Counter::GraceEntries,
+        Counter::Stragglers,
+        Counter::Recoveries,
+        Counter::BackpressureBatches,
+        Counter::ProbesSustainable,
+        Counter::ProbesUnsustainable,
+    ];
+
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Batches => "batches",
+            Counter::Tuples => "tuples",
+            Counter::ScatterFragments => "scatter_fragments",
+            Counter::SplitKeyFragments => "split_key_fragments",
+            Counter::ZoneTransitions => "zone_transitions",
+            Counter::ScaleOut => "scale_out",
+            Counter::ScaleIn => "scale_in",
+            Counter::NoopDecisions => "noop_decisions",
+            Counter::GraceEntries => "grace_entries",
+            Counter::Stragglers => "stragglers",
+            Counter::Recoveries => "recoveries",
+            Counter::BackpressureBatches => "backpressure_batches",
+            Counter::ProbesSustainable => "probes_sustainable",
+            Counter::ProbesUnsustainable => "probes_unsustainable",
+        }
+    }
+
+    fn index(self) -> usize {
+        Counter::ALL.iter().position(|&c| c == self).unwrap()
+    }
+}
+
+/// One recorded observation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A virtual-time interval of batch `seq` spent in `kind`.
+    Span {
+        /// Batch sequence number.
+        seq: u64,
+        /// Lifecycle stage.
+        kind: StageKind,
+        /// Span start (virtual µs).
+        start_us: u64,
+        /// Span end (virtual µs).
+        end_us: u64,
+    },
+    /// A wall-clock measurement of batch `seq` in `kind` (informational;
+    /// never fed back into virtual time).
+    Phase {
+        /// Batch sequence number.
+        seq: u64,
+        /// Lifecycle stage.
+        kind: StageKind,
+        /// Measured wall time in µs.
+        wall_us: u64,
+    },
+    /// The elasticity controller saw batch `seq` land in a new zone.
+    Zone {
+        /// Batch sequence number.
+        seq: u64,
+        /// Fig. 9b zone (1 / 2 / 3).
+        zone: u8,
+        /// The load value that placed it there.
+        w: f64,
+    },
+    /// An applied scale action, with the trend evidence behind it.
+    Scale {
+        /// Batch sequence number.
+        seq: u64,
+        /// New Map task count.
+        map_tasks: usize,
+        /// New Reduce task count.
+        reduce_tasks: usize,
+        /// True for scale-out.
+        out: bool,
+        /// Data-rate trend at the decision.
+        rate_trend: f64,
+        /// Key-cardinality trend at the decision.
+        key_trend: f64,
+    },
+    /// Grace-period entry (after an applied action) or exit.
+    Grace {
+        /// Batch sequence number.
+        seq: u64,
+        /// True on entry, false on exit.
+        entered: bool,
+    },
+    /// An injected straggler inflated a task.
+    Straggler {
+        /// Batch sequence number.
+        seq: u64,
+        /// [`StageKind::MapStage`] or [`StageKind::ReduceStage`].
+        stage: StageKind,
+        /// Task index within the stage.
+        task: usize,
+        /// Multiplicative slowdown applied.
+        slowdown: f64,
+    },
+    /// One recovery recomputation after injected state loss.
+    Recovery {
+        /// Batch sequence number.
+        seq: u64,
+        /// Replicas remaining after this recovery consumed one.
+        replicas_left: usize,
+    },
+    /// Batch `seq` queued past the back-pressure threshold.
+    Backpressure {
+        /// Batch sequence number.
+        seq: u64,
+        /// The batch's queue delay in µs.
+        queue_us: u64,
+        /// The configured threshold in µs.
+        limit_us: u64,
+    },
+    /// One sustainable-rate probe outcome.
+    Probe {
+        /// Probed ingestion rate (tuples/s).
+        rate: f64,
+        /// Whether the run at this rate stayed stable.
+        sustainable: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Span length in µs (0 for non-span events).
+    pub fn span_us(&self) -> u64 {
+        match *self {
+            TraceEvent::Span {
+                start_us, end_us, ..
+            } => end_us - start_us,
+            _ => 0,
+        }
+    }
+
+    /// The batch the event belongs to, when it has one.
+    pub fn seq(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::Span { seq, .. }
+            | TraceEvent::Phase { seq, .. }
+            | TraceEvent::Zone { seq, .. }
+            | TraceEvent::Scale { seq, .. }
+            | TraceEvent::Grace { seq, .. }
+            | TraceEvent::Straggler { seq, .. }
+            | TraceEvent::Recovery { seq, .. }
+            | TraceEvent::Backpressure { seq, .. } => Some(seq),
+            TraceEvent::Probe { .. } => None,
+        }
+    }
+
+    /// Serialise as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            TraceEvent::Span {
+                seq,
+                kind,
+                start_us,
+                end_us,
+            } => format!(
+                "{{\"type\":\"span\",\"seq\":{seq},\"kind\":\"{}\",\"start_us\":{start_us},\"end_us\":{end_us}}}",
+                kind.name()
+            ),
+            TraceEvent::Phase { seq, kind, wall_us } => format!(
+                "{{\"type\":\"phase\",\"seq\":{seq},\"kind\":\"{}\",\"wall_us\":{wall_us}}}",
+                kind.name()
+            ),
+            TraceEvent::Zone { seq, zone, w } => {
+                format!("{{\"type\":\"zone\",\"seq\":{seq},\"zone\":{zone},\"w\":{w}}}")
+            }
+            TraceEvent::Scale {
+                seq,
+                map_tasks,
+                reduce_tasks,
+                out,
+                rate_trend,
+                key_trend,
+            } => format!(
+                "{{\"type\":\"scale\",\"seq\":{seq},\"map_tasks\":{map_tasks},\"reduce_tasks\":{reduce_tasks},\"out\":{out},\"rate_trend\":{rate_trend},\"key_trend\":{key_trend}}}"
+            ),
+            TraceEvent::Grace { seq, entered } => {
+                format!("{{\"type\":\"grace\",\"seq\":{seq},\"entered\":{entered}}}")
+            }
+            TraceEvent::Straggler {
+                seq,
+                stage,
+                task,
+                slowdown,
+            } => format!(
+                "{{\"type\":\"straggler\",\"seq\":{seq},\"stage\":\"{}\",\"task\":{task},\"slowdown\":{slowdown}}}",
+                stage.name()
+            ),
+            TraceEvent::Recovery { seq, replicas_left } => format!(
+                "{{\"type\":\"recovery\",\"seq\":{seq},\"replicas_left\":{replicas_left}}}"
+            ),
+            TraceEvent::Backpressure {
+                seq,
+                queue_us,
+                limit_us,
+            } => format!(
+                "{{\"type\":\"backpressure\",\"seq\":{seq},\"queue_us\":{queue_us},\"limit_us\":{limit_us}}}"
+            ),
+            TraceEvent::Probe { rate, sustainable } => {
+                format!("{{\"type\":\"probe\",\"rate\":{rate},\"sustainable\":{sustainable}}}")
+            }
+        }
+    }
+}
+
+/// Serialise events as JSON-lines (one object per line).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse JSON-lines produced by [`to_jsonl`] / [`TraceRecorder::to_jsonl`]
+/// back into events. Blank lines are skipped; anything else malformed is an
+/// error naming the offending line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        events.push(parse_event(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// Parse one flat JSON object into field pairs. Only the subset the trace
+/// format emits is supported: string, number and boolean values, no nesting,
+/// no escapes inside strings.
+fn parse_fields(line: &str) -> Result<Vec<(String, String)>, String> {
+    let body = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut fields = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let after_quote = rest.strip_prefix('"').ok_or("expected quoted key")?;
+        let key_end = after_quote.find('"').ok_or("unterminated key")?;
+        let key = &after_quote[..key_end];
+        let after_key = after_quote[key_end + 1..].trim_start();
+        let mut val_text = after_key
+            .strip_prefix(':')
+            .ok_or("expected ':'")?
+            .trim_start();
+        let value = if let Some(s) = val_text.strip_prefix('"') {
+            let end = s.find('"').ok_or("unterminated string value")?;
+            val_text = &s[end + 1..];
+            s[..end].to_string()
+        } else {
+            let end = val_text.find(',').unwrap_or(val_text.len());
+            let v = val_text[..end].trim().to_string();
+            val_text = &val_text[end..];
+            if v.is_empty() {
+                return Err("empty value".into());
+            }
+            v
+        };
+        fields.push((key.to_string(), value));
+        rest = val_text.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err("expected ',' between fields".into());
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_event(line: &str) -> Result<TraceEvent, String> {
+    let fields = parse_fields(line)?;
+    let get = |name: &str| -> Result<&str, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("missing field '{name}'"))
+    };
+    let num = |name: &str| -> Result<u64, String> {
+        get(name)?
+            .parse()
+            .map_err(|_| format!("field '{name}' is not an integer"))
+    };
+    let float = |name: &str| -> Result<f64, String> {
+        get(name)?
+            .parse()
+            .map_err(|_| format!("field '{name}' is not a number"))
+    };
+    let boolean = |name: &str| -> Result<bool, String> {
+        match get(name)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            _ => Err(format!("field '{name}' is not a boolean")),
+        }
+    };
+    let kind = |name: &str| -> Result<StageKind, String> {
+        let v = get(name)?;
+        StageKind::from_name(v).ok_or_else(|| format!("unknown stage kind '{v}'"))
+    };
+    match get("type")? {
+        "span" => Ok(TraceEvent::Span {
+            seq: num("seq")?,
+            kind: kind("kind")?,
+            start_us: num("start_us")?,
+            end_us: num("end_us")?,
+        }),
+        "phase" => Ok(TraceEvent::Phase {
+            seq: num("seq")?,
+            kind: kind("kind")?,
+            wall_us: num("wall_us")?,
+        }),
+        "zone" => Ok(TraceEvent::Zone {
+            seq: num("seq")?,
+            zone: num("zone")? as u8,
+            w: float("w")?,
+        }),
+        "scale" => Ok(TraceEvent::Scale {
+            seq: num("seq")?,
+            map_tasks: num("map_tasks")? as usize,
+            reduce_tasks: num("reduce_tasks")? as usize,
+            out: boolean("out")?,
+            rate_trend: float("rate_trend")?,
+            key_trend: float("key_trend")?,
+        }),
+        "grace" => Ok(TraceEvent::Grace {
+            seq: num("seq")?,
+            entered: boolean("entered")?,
+        }),
+        "straggler" => Ok(TraceEvent::Straggler {
+            seq: num("seq")?,
+            stage: kind("stage")?,
+            task: num("task")? as usize,
+            slowdown: float("slowdown")?,
+        }),
+        "recovery" => Ok(TraceEvent::Recovery {
+            seq: num("seq")?,
+            replicas_left: num("replicas_left")? as usize,
+        }),
+        "backpressure" => Ok(TraceEvent::Backpressure {
+            seq: num("seq")?,
+            queue_us: num("queue_us")?,
+            limit_us: num("limit_us")?,
+        }),
+        "probe" => Ok(TraceEvent::Probe {
+            rate: float("rate")?,
+            sustainable: boolean("sustainable")?,
+        }),
+        other => Err(format!("unknown event type '{other}'")),
+    }
+}
+
+/// Number of log₂ duration buckets (covers up to 2³⁹ µs ≈ 6 days).
+const HIST_BUCKETS: usize = 40;
+
+/// A lock-free log₂-bucket histogram of µs durations.
+#[derive(Debug)]
+struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((us.ilog2() + 1) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket's value range.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    fn record(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Nearest-rank percentile, reported as the containing bucket's upper
+    /// bound (clamped by the observed maximum) — a ≤ 2× overestimate by
+    /// construction of the log₂ buckets.
+    fn percentile(&self, p: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let target = ((p * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(i).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-stage aggregate in a [`TraceSummary`].
+#[derive(Clone, Copy, Debug)]
+pub struct StageSummary {
+    /// The stage.
+    pub kind: StageKind,
+    /// Observations recorded.
+    pub count: u64,
+    /// Total µs across observations.
+    pub total_us: u64,
+    /// Mean µs (exact: total / count).
+    pub mean_us: f64,
+    /// Median, from the log₂ histogram (bucket upper bound).
+    pub p50_us: u64,
+    /// 95th percentile, from the log₂ histogram (bucket upper bound).
+    pub p95_us: u64,
+    /// Largest single observation (exact).
+    pub max_us: u64,
+}
+
+/// End-of-run digest: per-stage duration summaries plus all counters.
+/// Available at [`TraceLevel::Summary`] and above.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// One entry per stage that recorded at least one observation, in
+    /// lifecycle order.
+    pub stages: Vec<StageSummary>,
+    /// Non-zero counters, in declaration order.
+    pub counters: Vec<(Counter, u64)>,
+}
+
+impl TraceSummary {
+    /// Look up a stage's summary.
+    pub fn stage(&self, kind: StageKind) -> Option<&StageSummary> {
+        self.stages.iter().find(|s| s.kind == kind)
+    }
+
+    /// Look up a counter (0 when it never fired).
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == c)
+            .map_or(0, |&(_, v)| v)
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<22} {:>8} {:>12} {:>10} {:>10} {:>10}",
+            "stage", "count", "mean ms", "p50 ms", "p95 ms", "max ms"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<22} {:>8} {:>12.3} {:>10.3} {:>10.3} {:>10.3}",
+                s.kind.name(),
+                s.count,
+                s.mean_us / 1e3,
+                s.p50_us as f64 / 1e3,
+                s.p95_us as f64 / 1e3,
+                s.max_us as f64 / 1e3,
+            )?;
+        }
+        for (c, v) in &self.counters {
+            writeln!(f, "{:<22} {v}", c.name())?;
+        }
+        Ok(())
+    }
+}
+
+/// Number of event-log shards (kept small; contention is per-thread).
+const SHARDS: usize = 8;
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    static MY_SHARD: std::cell::OnceCell<usize> = const { std::cell::OnceCell::new() };
+}
+
+fn my_shard() -> usize {
+    MY_SHARD.with(|c| *c.get_or_init(|| NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS))
+}
+
+/// The thread-safe event sink (see the module docs for the concurrency
+/// story). Recording methods take `&self`, so one recorder can be shared by
+/// every worker of the threaded backend.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    level: TraceLevel,
+    ordinal: AtomicU64,
+    counters: [AtomicU64; Counter::ALL.len()],
+    hists: [Histogram; StageKind::ALL.len()],
+    shards: [Mutex<Vec<(u64, TraceEvent)>>; SHARDS],
+}
+
+impl TraceRecorder {
+    /// Create a recorder at the given level.
+    pub fn new(level: TraceLevel) -> TraceRecorder {
+        TraceRecorder {
+            level,
+            ordinal: AtomicU64::new(0),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Histogram::default()),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Whether anything is recorded at all.
+    pub fn enabled(&self) -> bool {
+        self.level != TraceLevel::Off
+    }
+
+    /// Bump a counter.
+    pub fn incr(&self, c: Counter, by: u64) {
+        if self.enabled() {
+            self.counters[c.index()].fetch_add(by, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()].load(Ordering::Relaxed)
+    }
+
+    /// Record a virtual-time span of batch `seq` in `kind`. Zero-length
+    /// spans are dropped (reconciliation sums are unaffected).
+    pub fn span(&self, seq: u64, kind: StageKind, start: Time, end: Time) {
+        if !self.enabled() || end <= start {
+            return;
+        }
+        let (start_us, end_us) = (start.0, end.0);
+        self.hists[kind.index()].record(end_us - start_us);
+        self.push(TraceEvent::Span {
+            seq,
+            kind,
+            start_us,
+            end_us,
+        });
+    }
+
+    /// Record a wall-clock phase measurement of batch `seq` in `kind`.
+    pub fn phase(&self, seq: u64, kind: StageKind, wall: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        self.hists[kind.index()].record(wall.0);
+        self.push(TraceEvent::Phase {
+            seq,
+            kind,
+            wall_us: wall.0,
+        });
+    }
+
+    /// Record a decision event (kept only at [`TraceLevel::Full`]).
+    pub fn event(&self, e: TraceEvent) {
+        if self.enabled() {
+            self.push(e);
+        }
+    }
+
+    fn push(&self, e: TraceEvent) {
+        if self.level != TraceLevel::Full {
+            return;
+        }
+        let ord = self.ordinal.fetch_add(1, Ordering::Relaxed);
+        self.shards[my_shard()]
+            .lock()
+            .expect("trace shard poisoned")
+            .push((ord, e));
+    }
+
+    /// Snapshot of the event log in recording order (empty below
+    /// [`TraceLevel::Full`]).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<(u64, TraceEvent)> = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().expect("trace shard poisoned").iter().cloned());
+        }
+        all.sort_by_key(|&(ord, _)| ord);
+        all.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// The event log as JSON-lines (see [`to_jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        to_jsonl(&self.events())
+    }
+
+    /// Build the end-of-run digest from the histograms and counters.
+    pub fn summary(&self) -> TraceSummary {
+        let mut stages = Vec::new();
+        for kind in StageKind::ALL {
+            let h = &self.hists[kind.index()];
+            let count = h.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let total_us = h.sum.load(Ordering::Relaxed);
+            stages.push(StageSummary {
+                kind,
+                count,
+                total_us,
+                mean_us: total_us as f64 / count as f64,
+                p50_us: h.percentile(0.50),
+                p95_us: h.percentile(0.95),
+                max_us: h.max.load(Ordering::Relaxed),
+            });
+        }
+        let counters = Counter::ALL
+            .into_iter()
+            .filter_map(|c| {
+                let v = self.counter(c);
+                (v > 0).then_some((c, v))
+            })
+            .collect();
+        TraceSummary { stages, counters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_level_records_nothing() {
+        let rec = TraceRecorder::new(TraceLevel::Off);
+        rec.incr(Counter::Batches, 5);
+        rec.span(0, StageKind::MapStage, Time(0), Time(100));
+        rec.phase(0, StageKind::Seal, Duration::from_micros(10));
+        rec.event(TraceEvent::Grace {
+            seq: 0,
+            entered: true,
+        });
+        assert_eq!(rec.counter(Counter::Batches), 0);
+        assert!(rec.events().is_empty());
+        assert!(rec.summary().stages.is_empty());
+    }
+
+    #[test]
+    fn summary_level_keeps_histograms_but_not_events() {
+        let rec = TraceRecorder::new(TraceLevel::Summary);
+        rec.span(0, StageKind::MapStage, Time(0), Time(1000));
+        rec.span(1, StageKind::MapStage, Time(0), Time(3000));
+        rec.incr(Counter::Batches, 2);
+        assert!(rec.events().is_empty(), "event log only at Full");
+        let s = rec.summary();
+        let map = s.stage(StageKind::MapStage).expect("map recorded");
+        assert_eq!(map.count, 2);
+        assert_eq!(map.total_us, 4000);
+        assert_eq!(map.mean_us, 2000.0);
+        assert_eq!(map.max_us, 3000);
+        assert_eq!(s.counter(Counter::Batches), 2);
+        assert_eq!(s.counter(Counter::Recoveries), 0);
+    }
+
+    #[test]
+    fn zero_length_spans_are_dropped() {
+        let rec = TraceRecorder::new(TraceLevel::Full);
+        rec.span(0, StageKind::QueueWait, Time(50), Time(50));
+        assert!(rec.events().is_empty());
+        assert!(rec.summary().stage(StageKind::QueueWait).is_none());
+    }
+
+    #[test]
+    fn events_preserve_recording_order() {
+        let rec = TraceRecorder::new(TraceLevel::Full);
+        for seq in 0..20 {
+            rec.span(seq, StageKind::MapStage, Time(0), Time(seq + 1));
+        }
+        let seqs: Vec<u64> = rec.events().iter().filter_map(|e| e.seq()).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = TraceRecorder::new(TraceLevel::Full);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        rec.incr(Counter::Tuples, 1);
+                        rec.span(t, StageKind::ReduceStage, Time(0), Time(i + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter(Counter::Tuples), 400);
+        assert_eq!(rec.events().len(), 400);
+        assert_eq!(
+            rec.summary().stage(StageKind::ReduceStage).unwrap().count,
+            400
+        );
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let h = Histogram::default();
+        for us in 1..=1000u64 {
+            h.record(us);
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        // Log2 buckets overestimate by at most 2x and never exceed the max.
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert!((950..=1000).contains(&p95), "p95 = {p95}");
+        assert!(p50 <= p95);
+        assert_eq!(h.percentile(1.0), 1000.min(bucket_upper(bucket_of(1000))));
+    }
+
+    #[test]
+    fn bucket_layout_is_monotonic() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        for us in 0..10_000u64 {
+            let b = bucket_of(us);
+            assert!(us <= bucket_upper(b), "{us} above its bucket bound");
+            assert!(b == 0 || us > bucket_upper(b - 1));
+        }
+        // Durations beyond the last bucket saturate instead of panicking.
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let events = vec![
+            TraceEvent::Span {
+                seq: 3,
+                kind: StageKind::PartitionVisible,
+                start_us: 1_000_000,
+                end_us: 1_030_000,
+            },
+            TraceEvent::Phase {
+                seq: 3,
+                kind: StageKind::PartitionSymbolic,
+                wall_us: 42,
+            },
+            TraceEvent::Zone {
+                seq: 4,
+                zone: 3,
+                w: 1.25,
+            },
+            TraceEvent::Scale {
+                seq: 5,
+                map_tasks: 6,
+                reduce_tasks: 4,
+                out: true,
+                rate_trend: 812.5,
+                key_trend: -3.0,
+            },
+            TraceEvent::Grace {
+                seq: 5,
+                entered: true,
+            },
+            TraceEvent::Grace {
+                seq: 7,
+                entered: false,
+            },
+            TraceEvent::Straggler {
+                seq: 8,
+                stage: StageKind::ReduceStage,
+                task: 2,
+                slowdown: 10.0,
+            },
+            TraceEvent::Recovery {
+                seq: 9,
+                replicas_left: 1,
+            },
+            TraceEvent::Backpressure {
+                seq: 10,
+                queue_us: 2_500_000,
+                limit_us: 2_000_000,
+            },
+            TraceEvent::Probe {
+                rate: 123456.789,
+                sustainable: false,
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let parsed = parse_jsonl(&text).expect("round trip");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl("not json").is_err());
+        assert!(
+            parse_jsonl("{\"type\":\"span\",\"seq\":1}").is_err(),
+            "missing fields"
+        );
+        assert!(parse_jsonl("{\"type\":\"warp\"}").is_err(), "unknown type");
+        assert!(
+            parse_jsonl("{\"type\":\"phase\",\"seq\":0,\"kind\":\"nope\",\"wall_us\":1}").is_err(),
+            "unknown stage kind"
+        );
+        // Blank lines are fine.
+        assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn summary_display_lists_stages_and_counters() {
+        let rec = TraceRecorder::new(TraceLevel::Summary);
+        rec.span(0, StageKind::MapStage, Time(0), Time(500));
+        rec.incr(Counter::ScaleOut, 2);
+        let text = rec.summary().to_string();
+        assert!(text.contains("map_stage"));
+        assert!(text.contains("scale_out"));
+        assert!(!text.contains("recovery"), "silent stages omitted");
+    }
+
+    #[test]
+    fn stage_kind_names_round_trip() {
+        for k in StageKind::ALL {
+            assert_eq!(StageKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(StageKind::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,209 @@
+//! Differential safety net for the batch-lifecycle trace layer: every span
+//! the recorder emits must reconcile exactly with the `BatchRecord` the
+//! driver already reports, and the JSON-lines export must round-trip.
+//!
+//! Shard/thread counts for the parallel ingest pipeline come from
+//! `PROMPT_INGEST_SHARDS` / `PROMPT_INGEST_THREADS` (defaults 4/2), so CI
+//! can re-run the suite with a different parallel geometry.
+
+use prompt_core::partitioner::Technique;
+use prompt_core::types::Duration;
+use prompt_engine::config::{EngineConfig, OverheadMode};
+use prompt_engine::driver::StreamingEngine;
+use prompt_engine::elasticity::ScalerConfig;
+use prompt_engine::job::{Job, ReduceOp};
+use prompt_engine::recovery::FaultPlan;
+use prompt_engine::straggler::{Stage, StragglerPlan};
+use prompt_engine::trace::{
+    parse_jsonl, Counter, StageKind, TraceEvent, TraceLevel, TraceRecorder, PROCESSING_KINDS,
+};
+use prompt_workloads::datasets;
+use prompt_workloads::rate::RateProfile;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn traced_config() -> EngineConfig {
+    EngineConfig {
+        batch_interval: Duration::from_secs(1),
+        map_tasks: 8,
+        reduce_tasks: 8,
+        // Fixed overhead larger than the early-release slack, so the
+        // partition_visible span is non-zero and participates in the
+        // reconciliation.
+        overhead: OverheadMode::Fixed(Duration::from_millis(120)),
+        ingest_shards: env_or("PROMPT_INGEST_SHARDS", 4),
+        ingest_threads: env_or("PROMPT_INGEST_THREADS", 2),
+        trace: TraceLevel::Full,
+        ..EngineConfig::default()
+    }
+}
+
+fn run_traced(
+    cfg: EngineConfig,
+    batches: usize,
+) -> (prompt_engine::driver::RunResult, TraceRecorder) {
+    let mut engine = StreamingEngine::new(
+        cfg,
+        Technique::Prompt,
+        23,
+        Job::identity("WordCount", ReduceOp::Count),
+    )
+    .with_stragglers(StragglerPlan::none().slow(2, Stage::Map, 0, 3.0))
+    .with_fault_tolerance(2, FaultPlan::none().lose_once(3));
+    let mut source = datasets::tweets(
+        RateProfile::Sinusoidal {
+            base: 30_000.0,
+            amplitude: 12_000.0,
+            period: Duration::from_millis(5_500),
+        },
+        2_000,
+        23,
+    );
+    engine.run_traced(&mut source, batches)
+}
+
+/// The acceptance criterion of the observability layer: for every batch of a
+/// run through the threaded ingest backend, the recorded processing spans
+/// sum to `BatchRecord::processing` exactly, and the accumulate/queue spans
+/// match the interval and queue delay.
+#[test]
+fn spans_reconcile_with_batch_records() {
+    let (res, rec) = run_traced(traced_config(), 12);
+    assert_eq!(res.batches.len(), 12);
+    let events = rec.events();
+    assert!(!events.is_empty());
+    for b in &res.batches {
+        let spans_of = |kind: StageKind| -> u64 {
+            events
+                .iter()
+                .filter(|e| {
+                    matches!(e, TraceEvent::Span { seq, kind: k, .. }
+                        if *seq == b.seq && *k == kind)
+                })
+                .map(|e| e.span_us())
+                .sum()
+        };
+        let processing: u64 = PROCESSING_KINDS.iter().map(|&k| spans_of(k)).sum();
+        assert_eq!(
+            processing, b.processing.0,
+            "batch {}: processing spans must sum to BatchRecord::processing",
+            b.seq
+        );
+        assert_eq!(
+            spans_of(StageKind::MapStage),
+            b.map_stage.0,
+            "batch {}",
+            b.seq
+        );
+        assert_eq!(
+            spans_of(StageKind::QueueWait),
+            b.queue_delay.0,
+            "batch {}",
+            b.seq
+        );
+        assert_eq!(
+            spans_of(StageKind::Accumulate),
+            Duration::from_secs(1).0,
+            "batch {}: accumulate span is the batch interval",
+            b.seq
+        );
+        assert_eq!(
+            spans_of(StageKind::PartitionVisible),
+            b.visible_overhead.0,
+            "batch {}",
+            b.seq
+        );
+    }
+    // Counters agree with the run result.
+    assert_eq!(rec.counter(Counter::Batches), 12);
+    let tuples: usize = res.batches.iter().map(|b| b.n_tuples).sum();
+    assert_eq!(rec.counter(Counter::Tuples), tuples as u64);
+    assert_eq!(rec.counter(Counter::Recoveries), res.recoveries);
+    assert_eq!(rec.counter(Counter::Stragglers), 1);
+    // The recovery recompute shows up as its own processing span.
+    assert!(events.iter().any(|e| matches!(
+        e,
+        TraceEvent::Span {
+            seq: 3,
+            kind: StageKind::Recovery,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn jsonl_export_round_trips_and_summarizes() {
+    let (res, rec) = run_traced(traced_config(), 8);
+    let events = rec.events();
+    let parsed = parse_jsonl(&rec.to_jsonl()).expect("export must parse back");
+    assert_eq!(parsed, events, "JSONL round-trip must be lossless");
+
+    let summary = rec.summary();
+    let map = summary
+        .stage(StageKind::MapStage)
+        .expect("map stage summary");
+    // One map-stage span per batch; the recovery recompute is folded into
+    // its own Recovery span, so count and total match the records exactly.
+    assert_eq!(map.count, 8);
+    let total: u64 = res.batches.iter().map(|b| b.map_stage.0).sum();
+    assert_eq!(map.total_us, total);
+    assert!(map.p50_us > 0 && map.p95_us >= map.p50_us);
+    assert_eq!(
+        map.max_us,
+        res.batches.iter().map(|b| b.map_stage.0).max().unwrap()
+    );
+}
+
+#[test]
+fn elasticity_and_zone_events_are_recorded() {
+    let mut cfg = traced_config();
+    cfg.elasticity = Some(ScalerConfig::default());
+    let (res, rec) = run_traced(cfg, 20);
+    assert_eq!(res.batches.len(), 20);
+    let events = rec.events();
+    // Zone events fire at least once (the first batch establishes a zone).
+    assert!(events.iter().any(|e| matches!(e, TraceEvent::Zone { .. })));
+    // Scale actions and the scaler's decision counters stay consistent.
+    let scale_events = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Scale { .. }))
+        .count() as u64;
+    assert_eq!(
+        scale_events,
+        rec.counter(Counter::ScaleOut) + rec.counter(Counter::ScaleIn)
+    );
+    assert_eq!(rec.counter(Counter::GraceEntries), scale_events);
+}
+
+#[test]
+fn off_level_records_nothing() {
+    let mut cfg = traced_config();
+    cfg.trace = TraceLevel::Off;
+    let (res, rec) = run_traced(cfg, 6);
+    assert_eq!(res.batches.len(), 6);
+    assert!(rec.events().is_empty());
+    assert_eq!(rec.counter(Counter::Batches), 0);
+    assert!(rec.summary().stages.is_empty());
+}
+
+/// Traced and untraced runs are virtual-time identical: tracing observes the
+/// lifecycle, it never perturbs it.
+#[test]
+fn tracing_does_not_change_the_run() {
+    let mut cfg = traced_config();
+    cfg.overhead = OverheadMode::Fixed(Duration::from_millis(120));
+    let (traced, _) = run_traced(cfg.clone(), 10);
+    cfg.trace = TraceLevel::Off;
+    let (untraced, _) = run_traced(cfg, 10);
+    assert_eq!(traced.batches.len(), untraced.batches.len());
+    for (a, b) in traced.batches.iter().zip(&untraced.batches) {
+        assert_eq!(a.processing, b.processing, "batch {}", a.seq);
+        assert_eq!(a.latency, b.latency, "batch {}", a.seq);
+        assert_eq!(a.plan_metrics, b.plan_metrics, "batch {}", a.seq);
+    }
+}
