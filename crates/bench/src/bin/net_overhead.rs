@@ -1,0 +1,12 @@
+//! Execution-backend overhead table (see
+//! `prompt_bench::experiments::net_overhead`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!(
+        "running net_overhead ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let tables = prompt_bench::experiments::net_overhead::run(quick);
+    prompt_bench::emit_all(&tables);
+}

@@ -12,6 +12,7 @@ fn main() {
         ("fig12", prompt_bench::experiments::fig12::run),
         ("fig13", prompt_bench::experiments::fig13::run),
         ("fig14", prompt_bench::experiments::fig14::run),
+        ("net_overhead", prompt_bench::experiments::net_overhead::run),
         ("ablations", prompt_bench::experiments::ablation::run),
     ];
     for (name, run) in all {

@@ -12,6 +12,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig6;
+pub mod net_overhead;
 pub mod table1;
 
 use prompt_core::types::Duration;

@@ -14,6 +14,7 @@
 //! | `fig12_elasticity` | Fig. 12 — auto-scaling time series |
 //! | `fig13_latency` | Fig. 13 — reduce-task latency distribution |
 //! | `fig14_overhead` | Fig. 14 — Prompt's own overhead & post-sort ablation |
+//! | `net_overhead` | backend comparison — in-process vs threaded vs distributed TCP |
 //! | `run_all` | everything above, sequentially |
 //!
 //! Pass `--quick` to any binary for a seconds-scale smoke version; the full

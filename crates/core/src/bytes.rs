@@ -1,0 +1,510 @@
+//! Hand-rolled binary byte codecs for the wire types that cross process
+//! boundaries in the distributed runtime (`prompt-engine::net`).
+//!
+//! The repo policy is **no serde**: like the trace layer's hand-rolled JSON,
+//! the data plane gets an explicit little-endian binary format. Everything
+//! here is deterministic — the same value always encodes to the same bytes —
+//! so encodings double as digest inputs for bit-identity checks.
+//!
+//! Layout conventions:
+//!
+//! * all integers little-endian; `f64` as its IEEE-754 bit pattern (`u64`),
+//!   so values round-trip bit-exactly (including `-0.0` and NaN payloads);
+//! * collection lengths as `u32` counts followed by the elements;
+//! * no self-describing tags inside payloads — framing and versioning live
+//!   one layer up, in the engine's wire module.
+
+use crate::batch::{DataBlock, KeyFragment, PartitionPlan};
+use crate::hash::KeySet;
+use crate::types::{Key, Time, Tuple};
+
+/// Decoding error: the bytes do not describe a valid value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes remain than the value needs.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A length prefix promises more elements than the remaining bytes
+    /// could possibly hold (guards against allocating on garbage input).
+    BadLength {
+        /// Declared element count.
+        len: usize,
+        /// Bytes remaining after the prefix.
+        remaining: usize,
+    },
+    /// A field held a value outside its domain (bad enum tag, invalid
+    /// UTF-8, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            CodecError::BadLength { len, remaining } => {
+                write!(
+                    f,
+                    "length prefix {len} impossible with {remaining} bytes left"
+                )
+            }
+            CodecError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Byte sink the encoders write into. Implemented by [`ByteWriter`] (buffer
+/// building) and [`FnvSink`] (streaming digest), so one encoder definition
+/// serves both serialization and fingerprinting.
+pub trait BytesSink {
+    /// Append raw bytes.
+    fn put_bytes(&mut self, bytes: &[u8]);
+
+    /// Append a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_bytes(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_bytes(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_bytes(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_bytes(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a collection length as a `u32` count.
+    ///
+    /// Panics if `len` exceeds `u32::MAX` — four billion elements in one
+    /// frame is beyond any workload this engine batches.
+    fn put_len(&mut self, len: usize) {
+        self.put_u32(u32::try_from(len).expect("collection too large for wire"));
+    }
+
+    /// Append a UTF-8 string (length prefix + bytes).
+    fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Growable byte buffer implementing [`BytesSink`].
+#[derive(Clone, Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> ByteWriter {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// View of the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl BytesSink for ByteWriter {
+    fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Streaming FNV-1a (64-bit) digest implementing [`BytesSink`]: feed an
+/// encoder the sink and read the fingerprint without materializing bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct FnvSink {
+    state: u64,
+}
+
+impl FnvSink {
+    /// Fresh digest at the FNV-1a offset basis.
+    pub fn new() -> FnvSink {
+        FnvSink {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// The digest of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for FnvSink {
+    fn default() -> FnvSink {
+        FnvSink::new()
+    }
+}
+
+impl BytesSink for FnvSink {
+    fn put_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Cursor over a byte slice with checked little-endian reads.
+#[derive(Clone, Copy, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a collection length and validate it against the bytes left:
+    /// `len * min_element_size` must still fit, so garbage length prefixes
+    /// fail fast instead of triggering huge allocations.
+    pub fn get_len(&mut self, min_element_size: usize) -> Result<usize, CodecError> {
+        let len = self.get_u32()? as usize;
+        if len.saturating_mul(min_element_size.max(1)) > self.remaining() {
+            return Err(CodecError::BadLength {
+                len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Read a UTF-8 string (length prefix + bytes).
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let len = self.get_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Malformed("utf-8 string"))
+    }
+
+    /// Fail unless every byte was consumed — frames must not carry slack.
+    pub fn expect_empty(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed("trailing bytes after value"))
+        }
+    }
+}
+
+/// Encoded size of one [`Tuple`]: ts + key + value, 8 bytes each.
+pub const TUPLE_WIRE_SIZE: usize = 24;
+
+/// Encoded size of one [`KeyFragment`]: key + count.
+pub const FRAGMENT_WIRE_SIZE: usize = 16;
+
+/// Encode one tuple.
+pub fn put_tuple<S: BytesSink>(s: &mut S, t: &Tuple) {
+    s.put_u64(t.ts.0);
+    s.put_u64(t.key.0);
+    s.put_f64(t.value);
+}
+
+/// Decode one tuple.
+pub fn get_tuple(r: &mut ByteReader<'_>) -> Result<Tuple, CodecError> {
+    Ok(Tuple {
+        ts: Time(r.get_u64()?),
+        key: Key(r.get_u64()?),
+        value: r.get_f64()?,
+    })
+}
+
+/// Encode a tuple run (length-prefixed).
+pub fn put_tuples<S: BytesSink>(s: &mut S, tuples: &[Tuple]) {
+    s.put_len(tuples.len());
+    for t in tuples {
+        put_tuple(s, t);
+    }
+}
+
+/// Decode a tuple run.
+pub fn get_tuples(r: &mut ByteReader<'_>) -> Result<Vec<Tuple>, CodecError> {
+    let n = r.get_len(TUPLE_WIRE_SIZE)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_tuple(r)?);
+    }
+    Ok(out)
+}
+
+/// Encode a key/frequency table — the sealed-batch summary shape used by
+/// fragment lists and map-output cluster reports alike.
+pub fn put_key_counts<S: BytesSink>(s: &mut S, counts: &[(Key, u64)]) {
+    s.put_len(counts.len());
+    for &(k, n) in counts {
+        s.put_u64(k.0);
+        s.put_u64(n);
+    }
+}
+
+/// Decode a key/frequency table.
+pub fn get_key_counts(r: &mut ByteReader<'_>) -> Result<Vec<(Key, u64)>, CodecError> {
+    let n = r.get_len(FRAGMENT_WIRE_SIZE)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((Key(r.get_u64()?), r.get_u64()?));
+    }
+    Ok(out)
+}
+
+/// Encode one data block: its tuples plus the per-key fragment summary.
+pub fn put_block<S: BytesSink>(s: &mut S, block: &DataBlock) {
+    put_tuples(s, &block.tuples);
+    s.put_len(block.fragments.len());
+    for f in &block.fragments {
+        s.put_u64(f.key.0);
+        s.put_u64(f.count as u64);
+    }
+}
+
+/// Decode one data block.
+pub fn get_block(r: &mut ByteReader<'_>) -> Result<DataBlock, CodecError> {
+    let tuples = get_tuples(r)?;
+    let n = r.get_len(FRAGMENT_WIRE_SIZE)?;
+    let mut fragments = Vec::with_capacity(n);
+    for _ in 0..n {
+        fragments.push(KeyFragment {
+            key: Key(r.get_u64()?),
+            count: r.get_u64()? as usize,
+        });
+    }
+    Ok(DataBlock { tuples, fragments })
+}
+
+/// Encode a partition plan: every block, then the split-key set in sorted
+/// key order (canonical — `KeySet` iteration order is not).
+pub fn put_plan<S: BytesSink>(s: &mut S, plan: &PartitionPlan) {
+    s.put_len(plan.blocks.len());
+    for b in &plan.blocks {
+        put_block(s, b);
+    }
+    let mut split: Vec<u64> = plan.split_keys.iter().map(|k| k.0).collect();
+    split.sort_unstable();
+    s.put_len(split.len());
+    for k in split {
+        s.put_u64(k);
+    }
+}
+
+/// Decode a partition plan.
+pub fn get_plan(r: &mut ByteReader<'_>) -> Result<PartitionPlan, CodecError> {
+    let n = r.get_len(8)?;
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(get_block(r)?);
+    }
+    let ns = r.get_len(8)?;
+    let mut split_keys = KeySet::default();
+    for _ in 0..ns {
+        split_keys.insert(Key(r.get_u64()?));
+    }
+    Ok(PartitionPlan { blocks, split_keys })
+}
+
+/// Canonical 64-bit fingerprint of a plan (streamed FNV-1a over its
+/// canonical encoding) — lets differential tests assert plan bit-identity
+/// without shipping the plan around.
+pub fn plan_digest(plan: &PartitionPlan) -> u64 {
+    let mut sink = FnvSink::new();
+    put_plan(&mut sink, plan);
+    sink.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::MicroBatch;
+    use crate::partitioner::{HashPartitioner, Partitioner};
+    use crate::types::Interval;
+
+    fn sample_plan() -> PartitionPlan {
+        let tuples: Vec<Tuple> = (0..200)
+            .map(|i| Tuple {
+                ts: Time(i * 10),
+                key: Key(i % 7),
+                value: (i as f64) * 0.25 - 3.0,
+            })
+            .collect();
+        let batch = MicroBatch::new(tuples, Interval::new(Time(0), Time(2_000)));
+        HashPartitioner::new(3).partition(&batch, 4)
+    }
+
+    #[test]
+    fn tuple_round_trips_bit_exact() {
+        for value in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, -123.456] {
+            let t = Tuple {
+                ts: Time(99),
+                key: Key(u64::MAX),
+                value,
+            };
+            let mut w = ByteWriter::new();
+            put_tuple(&mut w, &t);
+            assert_eq!(w.len(), TUPLE_WIRE_SIZE);
+            let mut r = ByteReader::new(w.as_bytes());
+            let back = get_tuple(&mut r).unwrap();
+            assert_eq!(back.ts, t.ts);
+            assert_eq!(back.key, t.key);
+            assert_eq!(back.value.to_bits(), t.value.to_bits());
+            r.expect_empty().unwrap();
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_and_digest_is_stable() {
+        let plan = sample_plan();
+        let mut w = ByteWriter::new();
+        put_plan(&mut w, &plan);
+        let mut r = ByteReader::new(w.as_bytes());
+        let back = get_plan(&mut r).unwrap();
+        r.expect_empty().unwrap();
+        assert_eq!(back.blocks.len(), plan.blocks.len());
+        for (a, b) in plan.blocks.iter().zip(&back.blocks) {
+            assert_eq!(a.tuples, b.tuples);
+            assert_eq!(a.fragments, b.fragments);
+        }
+        assert_eq!(back.split_keys, plan.split_keys);
+        assert_eq!(plan_digest(&plan), plan_digest(&back));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let plan = sample_plan();
+        let mut w = ByteWriter::new();
+        put_plan(&mut w, &plan);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                get_plan(&mut r).is_err(),
+                "cut at {cut}/{} decoded anyway",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected_without_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // promises 4 billion tuples
+        let mut r = ByteReader::new(w.as_bytes());
+        assert!(matches!(
+            get_tuples(&mut r),
+            Err(CodecError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn strings_round_trip_and_bad_utf8_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_str("håndteret ✓");
+        let mut r = ByteReader::new(w.as_bytes());
+        assert_eq!(r.get_str().unwrap(), "håndteret ✓");
+
+        let mut w = ByteWriter::new();
+        w.put_len(2);
+        w.put_bytes(&[0xff, 0xfe]);
+        let mut r = ByteReader::new(w.as_bytes());
+        assert_eq!(r.get_str(), Err(CodecError::Malformed("utf-8 string")));
+    }
+
+    #[test]
+    fn digest_differs_when_a_value_bit_flips() {
+        let plan = sample_plan();
+        let mut tweaked = plan.clone();
+        tweaked.blocks[0].tuples[0].value += 1.0;
+        assert_ne!(plan_digest(&plan), plan_digest(&tweaked));
+    }
+}

@@ -54,6 +54,7 @@ pub mod analysis;
 pub mod batch;
 pub mod binpack;
 pub mod buffering;
+pub mod bytes;
 pub mod hash;
 pub mod metrics;
 pub mod partitioner;
@@ -72,6 +73,7 @@ pub mod prelude {
         AccumulatorConfig, BatchAccumulator, BatchStats, CountTree, FrequencyAwareAccumulator,
         PostSortAccumulator, ShardedAccumulator,
     };
+    pub use crate::bytes::{ByteReader, ByteWriter, BytesSink, CodecError, FnvSink};
     pub use crate::metrics::{MpiWeights, PlanMetrics};
     pub use crate::partitioner::{
         BufferingMode, CamPartitioner, DChoicesPartitioner, HashPartitioner, Partitioner,

@@ -46,7 +46,7 @@ proptest! {
             2..6,
         ),
         split in proptest::collection::vec(0u64..20, 0..12),
-        seed in 0u64..u64::MAX,
+        seed in any::<u64>(),
         r in 1usize..9,
     ) {
         let mut split_set = KeySet::default();
@@ -96,8 +96,9 @@ proptest! {
                     .then(cs[b].key.0.cmp(&cs[a].key.0))
             })
             .unwrap();
-        prop_assert!(
-            out1[largest] != out2[largest],
+        prop_assert_ne!(
+            out1[largest],
+            out2[largest],
             "consecutive tasks stacked the largest cluster on bucket {}",
             out1[largest]
         );
@@ -107,7 +108,7 @@ proptest! {
     fn overflowing_split_keys_never_panic(
         split_raw in proptest::collection::vec((0u64..6, 1_000usize..10_000), 1..20),
         extra_raw in proptest::collection::vec((6u64..30, 1usize..100), 0..30),
-        seed in 0u64..u64::MAX,
+        seed in any::<u64>(),
         r in 1usize..6,
     ) {
         // Every key below 6 is split, with sizes that dwarf the non-split

@@ -1,0 +1,71 @@
+//! The distributed worker process.
+//!
+//! Spawned by the driver (`Backend::Distributed` /
+//! [`prompt_engine::net::DistributedRuntime`]), one process per worker:
+//!
+//! ```text
+//! prompt-worker --driver 127.0.0.1:4500 --worker 0
+//! ```
+//!
+//! Connects to the driver's control port, registers, serves Map/Reduce
+//! tasks and shuffle fetches until told to shut down. Exits 0 on a clean
+//! shutdown, 1 on a protocol or connection error, 2 on bad usage.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use prompt_engine::net::{run_worker, WorkerOptions};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: prompt-worker --driver HOST:PORT --worker ID");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut driver: Option<SocketAddr> = None;
+    let mut worker: Option<u32> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--driver" => {
+                let Some(v) = args.next() else { return usage() };
+                match v.parse() {
+                    Ok(a) => driver = Some(a),
+                    Err(e) => {
+                        eprintln!("prompt-worker: bad --driver address {v:?}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--worker" => {
+                let Some(v) = args.next() else { return usage() };
+                match v.parse() {
+                    Ok(id) => worker = Some(id),
+                    Err(e) => {
+                        eprintln!("prompt-worker: bad --worker id {v:?}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("prompt-worker: distributed Map/Reduce worker for the prompt engine");
+                println!("usage: prompt-worker --driver HOST:PORT --worker ID");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("prompt-worker: unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let (Some(driver), Some(worker)) = (driver, worker) else {
+        return usage();
+    };
+    match run_worker(driver, WorkerOptions::new(worker)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("prompt-worker {worker}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

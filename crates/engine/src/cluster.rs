@@ -20,12 +20,26 @@ pub struct Cluster {
 
 impl Cluster {
     /// A cluster with the given shape.
+    ///
+    /// Panics on an empty shape (`executors == 0` or
+    /// `cores_per_executor == 0`); use [`Cluster::try_new`] where the shape
+    /// comes from configuration rather than code.
     pub fn new(executors: usize, cores_per_executor: usize) -> Cluster {
-        assert!(executors > 0 && cores_per_executor > 0, "empty cluster");
-        Cluster {
+        Cluster::try_new(executors, cores_per_executor).expect("empty cluster")
+    }
+
+    /// Fallible [`Cluster::new`]: reports an empty shape as an error instead
+    /// of panicking, for validating user-supplied configuration.
+    pub fn try_new(executors: usize, cores_per_executor: usize) -> Result<Cluster, String> {
+        if executors == 0 || cores_per_executor == 0 {
+            return Err(format!(
+                "empty cluster: executors = {executors}, cores_per_executor = {cores_per_executor}"
+            ));
+        }
+        Ok(Cluster {
             executors,
             cores_per_executor,
-        }
+        })
     }
 
     /// Total task slots.
@@ -106,6 +120,13 @@ mod tests {
     #[should_panic(expected = "empty cluster")]
     fn zero_cores_rejected() {
         let _ = Cluster::new(1, 0);
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        assert!(Cluster::try_new(0, 8).is_err());
+        assert!(Cluster::try_new(8, 0).is_err());
+        assert_eq!(Cluster::try_new(2, 8), Ok(Cluster::new(2, 8)));
     }
 
     #[test]

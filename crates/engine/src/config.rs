@@ -22,6 +22,34 @@ pub enum OverheadMode {
     Fixed(Duration),
 }
 
+/// Which execution substrate runs the Map/shuffle/Reduce of each batch.
+///
+/// All backends produce bit-identical per-batch outputs and (cost-model)
+/// stage times — the partitioning/assignment decisions are always computed
+/// in the same deterministic order — so experiments can switch substrate
+/// without changing their numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Serial in-process execution (`stage::execute_batch`). The default.
+    #[default]
+    InProcess,
+    /// OS-thread parallel execution in this process (`threaded`).
+    Threaded {
+        /// Worker threads for the Map, scatter and Reduce phases.
+        threads: usize,
+    },
+    /// Multi-process execution over the TCP runtime (`net`): tasks run on
+    /// spawned local worker processes, shuffle bytes cross sockets, and a
+    /// lost worker triggers batch recomputation from the replicated store.
+    Distributed {
+        /// Worker processes to spawn.
+        workers: usize,
+        /// Driver control-plane port; `0` picks an ephemeral port (the
+        /// test-friendly default — no port collisions between runs).
+        base_port: u16,
+    },
+}
+
 /// Full engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -59,6 +87,8 @@ pub struct EngineConfig {
     ///
     /// [`StreamingEngine::run_traced`]: crate::driver::StreamingEngine::run_traced
     pub trace: TraceLevel,
+    /// Execution substrate for batch processing.
+    pub backend: Backend,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +106,7 @@ impl Default for EngineConfig {
             ingest_shards: 1,
             ingest_threads: 1,
             trace: TraceLevel::Off,
+            backend: Backend::default(),
         }
     }
 }
@@ -102,6 +133,32 @@ impl EngineConfig {
         }
         if self.ingest_shards == 0 || self.ingest_threads == 0 {
             return Err("ingest shards and threads must be positive".into());
+        }
+        // A config can describe a cluster shape directly (the fields are
+        // public), so report emptiness here instead of panicking later.
+        Cluster::try_new(self.cluster.executors, self.cluster.cores_per_executor)?;
+        match self.backend {
+            Backend::InProcess => {}
+            Backend::Threaded { threads } => {
+                if threads == 0 {
+                    return Err("threaded backend needs at least one thread".into());
+                }
+            }
+            Backend::Distributed { workers, base_port } => {
+                if workers == 0 {
+                    return Err("distributed backend needs at least one worker".into());
+                }
+                if workers > 64 {
+                    return Err(format!(
+                        "distributed backend capped at 64 local workers, got {workers}"
+                    ));
+                }
+                if base_port != 0 && base_port < 1024 {
+                    return Err(format!(
+                        "base_port must be 0 (ephemeral) or >= 1024, got {base_port}"
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -153,9 +210,63 @@ mod tests {
                 ingest_threads: 0,
                 ..EngineConfig::default()
             },
+            EngineConfig {
+                cluster: Cluster {
+                    executors: 0,
+                    cores_per_executor: 8,
+                },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                backend: Backend::Threaded { threads: 0 },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                backend: Backend::Distributed {
+                    workers: 0,
+                    base_port: 0,
+                },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                backend: Backend::Distributed {
+                    workers: 65,
+                    base_port: 0,
+                },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                backend: Backend::Distributed {
+                    workers: 2,
+                    base_port: 80,
+                },
+                ..EngineConfig::default()
+            },
         ];
         for cfg in bad {
-            assert!(cfg.validate().is_err());
+            assert!(cfg.validate().is_err(), "{:?}", cfg.backend);
+        }
+    }
+
+    #[test]
+    fn good_backends_validate() {
+        for backend in [
+            Backend::InProcess,
+            Backend::Threaded { threads: 4 },
+            Backend::Distributed {
+                workers: 2,
+                base_port: 0,
+            },
+            Backend::Distributed {
+                workers: 4,
+                base_port: 45_000,
+            },
+        ] {
+            let cfg = EngineConfig {
+                backend,
+                ..EngineConfig::default()
+            };
+            assert!(cfg.validate().is_ok(), "{backend:?}");
         }
     }
 }

@@ -8,19 +8,21 @@
 //! instability mechanism of §1. End-to-end latency is `batch interval +
 //! queue delay + processing time` (§1).
 
-use prompt_core::batch::MicroBatch;
+use prompt_core::batch::{MicroBatch, PartitionPlan};
 use prompt_core::metrics::PlanMetrics;
 use prompt_core::partitioner::{PartitionPhases, Partitioner, Technique};
 use prompt_core::reduce::{HashReduceAssigner, PromptReduceAllocator, ReduceAssigner};
 use prompt_core::types::{Duration, Interval, Time, Tuple};
 
-use crate::config::{EngineConfig, OverheadMode};
+use crate::config::{Backend, EngineConfig, OverheadMode};
 use crate::elasticity::{AutoScaler, Observation, ScaleAction};
-use crate::job::Job;
-use crate::recovery::{FaultPlan, ReplicatedBatchStore};
+use crate::job::{Job, JobSpec};
+use crate::net::{DistributedOptions, DistributedRuntime, NetStats};
+use crate::recovery::{FaultPlan, NetFaultPlan, ReplicatedBatchStore};
 use crate::source::TupleSource;
-use crate::stage::execute_batch_traced;
+use crate::stage::{execute_batch_traced, times_from_stats, BatchOutput, StageTimes};
 use crate::straggler::StragglerPlan;
+use crate::threaded::ThreadedExecutor;
 use crate::trace::{Counter, StageKind, TraceEvent, TraceRecorder};
 use crate::window::{WindowResult, WindowSpec, WindowState};
 
@@ -74,7 +76,15 @@ pub struct RunResult {
     /// triggered at any point.
     pub backpressure: bool,
     /// Number of state-loss recoveries performed (fault injection, §8).
+    /// Distributed worker losses count here too — each forces one
+    /// recomputation from the replicated store.
     pub recoveries: u64,
+    /// Workers the distributed backend declared lost (each also counts in
+    /// [`RunResult::recoveries`]). Always 0 for in-process backends.
+    pub worker_losses: u64,
+    /// Driver-side wire totals when the run used
+    /// [`Backend::Distributed`](crate::config::Backend::Distributed).
+    pub net: Option<NetStats>,
 }
 
 impl RunResult {
@@ -229,6 +239,22 @@ pub struct StreamingEngine {
     window: Option<WindowSpec>,
     fault_tolerance: Option<(usize, FaultPlan)>,
     stragglers: StragglerPlan,
+    net_faults: NetFaultPlan,
+}
+
+/// The execution backend instantiated for one run, per
+/// [`EngineConfig::backend`].
+enum BackendRuntime {
+    /// Simulated cluster (the default): [`execute_batch_traced`].
+    InProcess,
+    /// Real threads; virtual times recovered via [`times_from_stats`].
+    Threaded(ThreadedExecutor),
+    /// Real worker processes/threads over TCP (boxed: the runtime holds
+    /// per-worker channels and is much larger than the other variants).
+    Distributed {
+        rt: Box<DistributedRuntime>,
+        spec: JobSpec,
+    },
 }
 
 impl StreamingEngine {
@@ -260,6 +286,7 @@ impl StreamingEngine {
             window: None,
             fault_tolerance: None,
             stragglers: StragglerPlan::none(),
+            net_faults: NetFaultPlan::none(),
         }
     }
 
@@ -279,6 +306,7 @@ impl StreamingEngine {
             window: None,
             fault_tolerance: None,
             stragglers: StragglerPlan::none(),
+            net_faults: NetFaultPlan::none(),
         }
     }
 
@@ -294,6 +322,17 @@ impl StreamingEngine {
     /// the affected batch's processing time.
     pub fn with_fault_tolerance(mut self, replicas: usize, plan: FaultPlan) -> StreamingEngine {
         self.fault_tolerance = Some((replicas, plan));
+        self
+    }
+
+    /// Script real worker kills for the distributed backend: each
+    /// [`NetFaultPlan`] entry terminates the named worker's process (or
+    /// thread-mode connection) at the scheduled point of the scheduled
+    /// batch. The driver detects the loss and recomputes the in-flight
+    /// batch from the replicated input store. Ignored by in-process
+    /// backends.
+    pub fn with_net_faults(mut self, plan: NetFaultPlan) -> StreamingEngine {
+        self.net_faults = plan;
         self
     }
 
@@ -357,6 +396,34 @@ impl StreamingEngine {
             .fault_tolerance
             .as_ref()
             .map(|(replicas, plan)| (ReplicatedBatchStore::new(*replicas), plan.clone()));
+        let mut backend = match self.cfg.backend {
+            Backend::InProcess => BackendRuntime::InProcess,
+            Backend::Threaded { threads } => {
+                BackendRuntime::Threaded(ThreadedExecutor::new(threads))
+            }
+            Backend::Distributed { workers, base_port } => {
+                let spec = self.job.wire_spec().expect(
+                    "Backend::Distributed needs a wire-serialisable job (build it with \
+                     Job::identity)",
+                );
+                let mut rt =
+                    DistributedRuntime::launch(DistributedOptions::new(workers, base_port))
+                        .expect("failed to launch distributed workers");
+                rt.set_fault_plan(self.net_faults.clone());
+                // Worker-loss recompute needs the replicated batch inputs
+                // even when the user did not configure fault tolerance; a
+                // budget of one recompute per worker always suffices (the
+                // run aborts anyway once every worker is gone).
+                if store_and_plan.is_none() {
+                    store_and_plan =
+                        Some((ReplicatedBatchStore::new(workers.max(2)), FaultPlan::none()));
+                }
+                BackendRuntime::Distributed {
+                    rt: Box::new(rt),
+                    spec,
+                }
+            }
+        };
         let mut prev_zone: Option<u8> = None;
         let mut was_in_grace = false;
 
@@ -411,15 +478,23 @@ impl StreamingEngine {
             arrivals = batch.tuples; // reuse the allocation next interval
             let visible_overhead = raw_overhead - self.cfg.early_release_slack();
 
-            // Execute on the cluster.
-            let (mut output, mut times) = execute_batch_traced(
-                &plan,
-                &self.job,
+            // Execute on the configured backend, recomputing from the
+            // replicated store if a distributed worker dies mid-batch.
+            let (mut output, mut times) = execute_with_recovery(
+                &mut backend,
+                self.partitioner.as_mut(),
                 self.assigner.as_mut(),
+                &self.job,
+                &self.cfg,
+                &mut store_and_plan,
+                &plan,
+                seq,
+                interval,
+                p,
                 r,
-                &self.cfg.cost,
-                &self.cfg.cluster,
-                tracing.then_some(&rec),
+                &rec,
+                tracing,
+                &mut result,
             );
             if !self.stragglers.is_empty() {
                 self.stragglers
@@ -455,22 +530,39 @@ impl StreamingEngine {
             // Fault injection: each scheduled loss of this batch's state
             // forces one recomputation from the replicated input.
             let mut recovery_times: Vec<Duration> = Vec::new();
-            if let Some((store, fault_plan)) = store_and_plan.as_mut() {
-                for _ in 0..fault_plan.losses_for(seq) {
-                    let input = store
-                        .recover(seq)
-                        .expect("injected failure beyond recovery budget")
-                        .to_vec();
+            if store_and_plan
+                .as_ref()
+                .is_some_and(|(_, fault_plan)| fault_plan.losses_for(seq) > 0)
+            {
+                let losses = store_and_plan
+                    .as_ref()
+                    .map(|(_, fp)| fp.losses_for(seq))
+                    .unwrap_or(0);
+                for _ in 0..losses {
+                    let input = {
+                        let (store, _) = store_and_plan.as_mut().expect("checked above");
+                        store
+                            .recover(seq)
+                            .expect("injected failure beyond recovery budget")
+                            .to_vec()
+                    };
                     let rebatch = MicroBatch::new(input, interval);
                     let replan = self.partitioner.partition(&rebatch, p);
-                    let (recovered, retimes) = execute_batch_traced(
-                        &replan,
-                        &self.job,
+                    let (recovered, retimes) = execute_with_recovery(
+                        &mut backend,
+                        self.partitioner.as_mut(),
                         self.assigner.as_mut(),
+                        &self.job,
+                        &self.cfg,
+                        &mut store_and_plan,
+                        &replan,
+                        seq,
+                        interval,
+                        p,
                         r,
-                        &self.cfg.cost,
-                        &self.cfg.cluster,
-                        tracing.then_some(&rec),
+                        &rec,
+                        tracing,
+                        &mut result,
                     );
                     output = recovered;
                     processing += retimes.processing();
@@ -478,12 +570,15 @@ impl StreamingEngine {
                     if tracing {
                         recovery_times.push(retimes.processing());
                         rec.incr(Counter::Recoveries, 1);
+                        let (store, _) = store_and_plan.as_ref().expect("checked above");
                         rec.event(TraceEvent::Recovery {
                             seq,
                             replicas_left: store.replicas_left(seq).unwrap_or(0),
                         });
                     }
                 }
+            }
+            if let Some((store, _)) = store_and_plan.as_mut() {
                 // Batches that have produced output and left every window
                 // can drop their replicated input (§8).
                 if seq + 1 >= window_len_batches {
@@ -626,7 +721,108 @@ impl StreamingEngine {
                 plan_metrics: PlanMetrics::of(&plan),
             });
         }
+        if let BackendRuntime::Distributed { rt, .. } = &mut backend {
+            result.net = Some(rt.stats());
+            rt.shutdown();
+        }
         (result, rec)
+    }
+}
+
+/// Execute one batch on whichever backend the run instantiated.
+///
+/// All three arms produce bit-identical outputs and virtual [`StageTimes`]
+/// given the same plan and assigner state: the real backends report raw
+/// [`BucketStats`](crate::stage::BucketStats) which [`times_from_stats`]
+/// converts with the same cost model the simulated path uses directly.
+///
+/// For [`BackendRuntime::Distributed`], a worker lost mid-batch triggers the
+/// §8 recovery path: the attempt is discarded (it made no assigner calls, so
+/// allocator state is untouched), the batch input is recovered from the
+/// replicated store, re-partitioned, and retried on the survivors. Failed
+/// attempts contribute no virtual time — virtual time models the healthy
+/// cluster, while the loss itself is visible in
+/// [`RunResult::worker_losses`], [`RunResult::recoveries`] and the trace's
+/// `WorkerLost`/`Recovery` events.
+#[allow(clippy::too_many_arguments)]
+fn execute_with_recovery(
+    backend: &mut BackendRuntime,
+    partitioner: &mut dyn Partitioner,
+    assigner: &mut dyn ReduceAssigner,
+    job: &Job,
+    cfg: &EngineConfig,
+    store_and_plan: &mut Option<(ReplicatedBatchStore, FaultPlan)>,
+    plan: &PartitionPlan,
+    seq: u64,
+    interval: Interval,
+    p: usize,
+    r: usize,
+    rec: &TraceRecorder,
+    tracing: bool,
+    result: &mut RunResult,
+) -> (BatchOutput, StageTimes) {
+    match backend {
+        BackendRuntime::InProcess => execute_batch_traced(
+            plan,
+            job,
+            assigner,
+            r,
+            &cfg.cost,
+            &cfg.cluster,
+            tracing.then_some(rec),
+        ),
+        BackendRuntime::Threaded(exec) => {
+            let (output, stats, _wall) =
+                exec.execute_with_stats(plan, job, assigner, r, tracing.then_some((rec, seq)));
+            let times = times_from_stats(plan, &stats, &cfg.cost, &cfg.cluster);
+            (output, times)
+        }
+        BackendRuntime::Distributed { rt, spec } => {
+            let mut replan: Option<PartitionPlan> = None;
+            loop {
+                let attempt_plan = replan.as_ref().unwrap_or(plan);
+                match rt.execute_batch(
+                    seq,
+                    attempt_plan,
+                    spec,
+                    assigner,
+                    r,
+                    tracing.then_some((rec, seq)),
+                ) {
+                    Ok((output, stats)) => {
+                        let times = times_from_stats(attempt_plan, &stats, &cfg.cost, &cfg.cluster);
+                        return (output, times);
+                    }
+                    Err(loss) => {
+                        result.worker_losses += 1;
+                        result.recoveries += 1;
+                        let (store, _) = store_and_plan
+                            .as_mut()
+                            .expect("distributed runs always carry a replicated store");
+                        let input = store
+                            .recover(seq)
+                            .unwrap_or_else(|e| {
+                                panic!("worker loss on batch {seq} beyond recovery budget: {e}")
+                            })
+                            .to_vec();
+                        if tracing {
+                            rec.incr(Counter::WorkersLost, 1);
+                            rec.incr(Counter::Recoveries, 1);
+                            rec.event(TraceEvent::WorkerLost {
+                                seq,
+                                worker: loss.worker,
+                            });
+                            rec.event(TraceEvent::Recovery {
+                                seq,
+                                replicas_left: store.replicas_left(seq).unwrap_or(0),
+                            });
+                        }
+                        let rebatch = MicroBatch::new(input, interval);
+                        replan = Some(partitioner.partition(&rebatch, p));
+                    }
+                }
+            }
+        }
     }
 }
 

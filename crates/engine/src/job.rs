@@ -64,6 +64,73 @@ impl ReduceOp {
             _ => panic!("{self:?} has no inverse reduce"),
         }
     }
+
+    /// Wire tag of the operation (for the binary task protocol).
+    pub fn wire_code(self) -> u8 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Count => 1,
+            ReduceOp::Max => 2,
+            ReduceOp::Min => 3,
+        }
+    }
+
+    /// Inverse of [`ReduceOp::wire_code`]; `None` for unknown tags.
+    pub fn from_wire_code(code: u8) -> Option<ReduceOp> {
+        match code {
+            0 => Some(ReduceOp::Sum),
+            1 => Some(ReduceOp::Count),
+            2 => Some(ReduceOp::Max),
+            3 => Some(ReduceOp::Min),
+            _ => None,
+        }
+    }
+}
+
+/// Wire-expressible Map functions. Arbitrary closures cannot cross a process
+/// boundary; distributed jobs are restricted to the declarative shapes a
+/// worker can reconstruct. (`Identity` covers WordCount, per-key sums and
+/// every experiment in the harness — sources pre-key their tuples.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapSpec {
+    /// Keep the tuple's value unchanged (`Job::identity`).
+    Identity,
+}
+
+impl MapSpec {
+    /// Wire tag of the map shape.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            MapSpec::Identity => 0,
+        }
+    }
+
+    /// Inverse of [`MapSpec::wire_code`]; `None` for unknown tags.
+    pub fn from_wire_code(code: u8) -> Option<MapSpec> {
+        match code {
+            0 => Some(MapSpec::Identity),
+            _ => None,
+        }
+    }
+}
+
+/// A serializable job description: everything a remote worker needs to
+/// instantiate the [`Job`] locally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The declarative Map shape.
+    pub map: MapSpec,
+    /// The Reduce aggregation.
+    pub reduce: ReduceOp,
+}
+
+impl JobSpec {
+    /// Materialize the runnable job on this process.
+    pub fn instantiate(self, name: impl Into<String>) -> Job {
+        match self.map {
+            MapSpec::Identity => Job::identity(name, self.reduce),
+        }
+    }
 }
 
 /// The Map function: filter + value transform, at most one output per input
@@ -83,6 +150,10 @@ pub struct Job {
     pub map: MapFn,
     /// The Reduce aggregation.
     pub reduce: ReduceOp,
+    /// The wire-expressible description, when the map shape has one.
+    /// `None` for arbitrary closures ([`Job::new`]) — such jobs cannot run
+    /// on the distributed backend.
+    spec: Option<JobSpec>,
 }
 
 impl std::fmt::Debug for Job {
@@ -105,13 +176,25 @@ impl Job {
             name: name.into(),
             map: Arc::new(map),
             reduce,
+            spec: None,
         }
     }
 
     /// The identity job: keep the value as-is and aggregate with `op`.
     /// Covers WordCount (`Count`), per-key sums, etc.
     pub fn identity(name: impl Into<String>, op: ReduceOp) -> Job {
-        Job::new(name, |t: &Tuple| Some(t.value), op)
+        let mut job = Job::new(name, |t: &Tuple| Some(t.value), op);
+        job.spec = Some(JobSpec {
+            map: MapSpec::Identity,
+            reduce: op,
+        });
+        job
+    }
+
+    /// The wire-expressible description of this job, if its map shape has
+    /// one. The distributed backend requires `Some`.
+    pub fn wire_spec(&self) -> Option<JobSpec> {
+        self.spec
     }
 }
 
@@ -158,6 +241,28 @@ mod tests {
         let t = Tuple::new(Time::ZERO, Key(4), 9.0);
         assert_eq!((job.map)(&t), Some(9.0));
         assert_eq!(job.name, "wordcount");
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_specs_instantiate() {
+        for op in [ReduceOp::Sum, ReduceOp::Count, ReduceOp::Max, ReduceOp::Min] {
+            assert_eq!(ReduceOp::from_wire_code(op.wire_code()), Some(op));
+        }
+        assert_eq!(ReduceOp::from_wire_code(9), None);
+        assert_eq!(
+            MapSpec::from_wire_code(MapSpec::Identity.wire_code()),
+            Some(MapSpec::Identity)
+        );
+        assert_eq!(MapSpec::from_wire_code(7), None);
+
+        let job = Job::identity("sum", ReduceOp::Sum);
+        let spec = job.wire_spec().expect("identity jobs are wire-able");
+        let remote = spec.instantiate("sum");
+        let t = Tuple::new(Time::ZERO, Key(1), 4.5);
+        assert_eq!((remote.map)(&t), (job.map)(&t));
+
+        let opaque = Job::new("custom", |_: &Tuple| None, ReduceOp::Sum);
+        assert_eq!(opaque.wire_spec(), None);
     }
 
     #[test]

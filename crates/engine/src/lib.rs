@@ -13,14 +13,19 @@
 //! the interval delays its successors, and sustained queueing triggers
 //! back-pressure.
 //!
-//! Two execution backends share the same semantics:
+//! Three execution backends share the same semantics (selected by
+//! [`config::EngineConfig::backend`]) and are **bit-identical** given the
+//! same plan and assigner state:
 //!
 //! * [`stage::execute_batch`] — the **simulated cluster**: deterministic,
 //!   virtual-time, with task times from an explicit [`cost::CostModel`] and
 //!   stage times as LPT makespans (Eqn. 1 generalised to waves). All
-//!   experiments run here.
+//!   experiments run here by default.
 //! * [`threaded::ThreadedExecutor`] — a real multi-threaded backend for the
 //!   runnable examples.
+//! * [`net::DistributedRuntime`] — a real multi-*process* backend: tasks run
+//!   on spawned `prompt-worker` processes over a binary TCP protocol, with
+//!   heartbeat failure detection and recompute-from-replica recovery.
 //!
 //! [`driver::StreamingEngine`] is the top-level entry point;
 //! [`elasticity::AutoScaler`] implements the Algorithm 4 controller.
@@ -36,6 +41,7 @@ pub mod cost;
 pub mod driver;
 pub mod elasticity;
 pub mod job;
+pub mod net;
 pub mod recovery;
 pub mod reorder;
 /// Re-export of the stream-source abstraction from `prompt-core`.
@@ -54,15 +60,20 @@ pub mod prelude {
     pub use crate::backpressure::max_sustainable_rate;
     pub use crate::batch_resize::{run_with_resizing, BatchSizeController, ResizeRunResult};
     pub use crate::cluster::Cluster;
-    pub use crate::config::{EngineConfig, OverheadMode};
+    pub use crate::config::{Backend, EngineConfig, OverheadMode};
     pub use crate::cost::CostModel;
     pub use crate::driver::{BatchRecord, ReduceStrategy, RunResult, RunSummary, StreamingEngine};
     pub use crate::elasticity::{AutoScaler, Observation, ScaleAction, ScalerConfig};
-    pub use crate::job::{Job, ReduceOp};
-    pub use crate::recovery::{FaultPlan, RecoveryError, ReplicatedBatchStore};
+    pub use crate::job::{Job, JobSpec, MapSpec, ReduceOp};
+    pub use crate::net::{
+        DistributedOptions, DistributedRuntime, LaunchMode, NetStats, WorkerLoss,
+    };
+    pub use crate::recovery::{
+        FaultPlan, FaultPoint, NetFault, NetFaultPlan, RecoveryError, ReplicatedBatchStore,
+    };
     pub use crate::reorder::ReorderingReceiver;
     pub use crate::source::TupleSource;
-    pub use crate::stage::{execute_batch, BatchOutput, StageTimes};
+    pub use crate::stage::{execute_batch, times_from_stats, BatchOutput, BucketStats, StageTimes};
     pub use crate::stats::{percentile_sorted, summarize, Summary};
     pub use crate::straggler::{Stage, StragglerEvent, StragglerPlan};
     pub use crate::threaded::{ThreadedExecutor, WallTimes};

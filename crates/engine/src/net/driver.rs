@@ -1,0 +1,923 @@
+//! The driver side of the distributed runtime: worker lifecycle, the
+//! per-batch Map → shuffle-assign → Reduce protocol, and failure detection.
+//!
+//! [`DistributedRuntime::launch`] binds the control listener, spawns `N`
+//! local workers (separate processes running the `prompt-worker` binary, or
+//! in-process threads as a fallback), collects their registrations and
+//! starts one reader thread per worker that funnels every inbound message
+//! into a single channel.
+//!
+//! [`DistributedRuntime::execute_batch`] then drives one batch:
+//!
+//! 1. Map tasks fan out round-robin over live workers (each carries its
+//!    data block on the wire);
+//! 2. the workers' key/frequency tables come back and the driver runs the
+//!    Reduce assigner serially in block order — exactly the serial engine's
+//!    call sequence, so Algorithm 3's stateful allocator produces the same
+//!    buckets;
+//! 3. per-block bucket assignments are pushed back (`ShuffleAssign`) and
+//!    Reduce tasks fan out, each fetching its bucket from the map workers'
+//!    shuffle listeners;
+//! 4. `ReduceComplete` aggregates are merged into the batch output.
+//!
+//! Failure is detected organically — a broken control connection, a
+//! heartbeat that stops, a worker blaming an unreachable shuffle source —
+//! and reported as [`WorkerLoss`], leaving the caller to recompute the
+//! batch from its replicated input. A failed attempt makes *no* assigner
+//! calls (the allocator state must stay bit-identical to the serial
+//! engine's), which the fault points in
+//! [`NetFaultPlan`](crate::recovery::NetFaultPlan) are chosen to respect.
+
+use std::net::{Ipv4Addr, SocketAddrV4, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration as WallDuration, Instant};
+
+use prompt_core::batch::PartitionPlan;
+use prompt_core::reduce::{KeyCluster, ReduceAssigner};
+use prompt_core::types::Key;
+
+use super::transport::{FrameConn, NetCounters, NetError, RetryPolicy};
+use super::wire::{Message, ShuffleSource};
+use super::worker::{run_worker, WorkerOptions};
+use crate::job::JobSpec;
+use crate::recovery::{FaultPoint, NetFaultPlan};
+use crate::stage::{BatchOutput, BucketStats};
+use crate::trace::{Counter, StageKind, TraceRecorder};
+
+/// How workers are spawned.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LaunchMode {
+    /// Use worker processes when a `prompt-worker` binary can be found
+    /// (explicit path, `PROMPT_WORKER_BIN`, or next to the current
+    /// executable), in-process threads otherwise.
+    #[default]
+    Auto,
+    /// Require worker processes; launching fails without a binary.
+    Process,
+    /// Always run workers as in-process threads (tests, constrained
+    /// environments). Still exercises the full TCP protocol on loopback.
+    Thread,
+}
+
+/// Configuration of a [`DistributedRuntime`].
+#[derive(Clone, Debug)]
+pub struct DistributedOptions {
+    /// Number of workers to spawn.
+    pub workers: usize,
+    /// Control-plane listen port on loopback; `0` picks an ephemeral port.
+    pub base_port: u16,
+    /// Process vs thread workers.
+    pub launch: LaunchMode,
+    /// Explicit path to the worker binary (overrides discovery).
+    pub worker_bin: Option<PathBuf>,
+    /// Heartbeat period workers are told to keep.
+    pub heartbeat_interval: WallDuration,
+    /// Silence longer than this declares a worker lost.
+    pub heartbeat_timeout: WallDuration,
+    /// Overall deadline for each collection phase of a batch.
+    pub io_timeout: WallDuration,
+    /// Connect-retry policy (driver dial and worker registration wait).
+    pub retry: RetryPolicy,
+}
+
+impl DistributedOptions {
+    /// Defaults for `workers` workers on `base_port` (0 = ephemeral).
+    pub fn new(workers: usize, base_port: u16) -> DistributedOptions {
+        DistributedOptions {
+            workers,
+            base_port,
+            launch: LaunchMode::Auto,
+            worker_bin: None,
+            heartbeat_interval: WallDuration::from_millis(100),
+            heartbeat_timeout: WallDuration::from_secs(3),
+            io_timeout: WallDuration::from_secs(30),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A worker was declared lost while a batch was in flight. The batch made
+/// no observable progress (no assigner calls, no output); recompute it.
+#[derive(Debug)]
+pub struct WorkerLoss {
+    /// The lost worker's id.
+    pub worker: u32,
+    /// How the loss was detected.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WorkerLoss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker {} lost: {}", self.worker, self.detail)
+    }
+}
+
+impl std::error::Error for WorkerLoss {}
+
+/// Wire-traffic totals of one distributed run, as seen from the driver.
+///
+/// Covers the control plane (task dispatch including data blocks, replies,
+/// heartbeats); worker-to-worker shuffle fetches happen on the workers' own
+/// sockets and are not visible here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Bytes the driver wrote.
+    pub bytes_sent: u64,
+    /// Bytes the driver read.
+    pub bytes_received: u64,
+    /// Frames the driver wrote.
+    pub frames_sent: u64,
+    /// Frames the driver read.
+    pub frames_received: u64,
+    /// Workers declared lost over the run.
+    pub workers_lost: u64,
+}
+
+/// Handle to a spawned worker.
+#[derive(Debug)]
+enum WorkerHandle {
+    Process(Child),
+    Thread(Option<std::thread::JoinHandle<Result<(), NetError>>>),
+}
+
+#[derive(Debug)]
+struct WorkerSlot {
+    id: u32,
+    /// Write half of the control connection (reads happen on the reader
+    /// thread's clone).
+    conn: FrameConn,
+    /// The worker's shuffle listener.
+    shuffle: SocketAddrV4,
+    handle: WorkerHandle,
+    alive: bool,
+    last_seen: Instant,
+}
+
+/// A running fleet of local workers executing batches over TCP.
+pub struct DistributedRuntime {
+    opts: DistributedOptions,
+    slots: Vec<WorkerSlot>,
+    rx: Receiver<(u32, Result<Message, NetError>)>,
+    /// Kept so the channel never disconnects even if every reader exits.
+    _tx: Sender<(u32, Result<Message, NetError>)>,
+    counters: Arc<NetCounters>,
+    epoch: u32,
+    fault: NetFaultPlan,
+    workers_lost: u64,
+    shut_down: bool,
+}
+
+impl std::fmt::Debug for DistributedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedRuntime")
+            .field("workers", &self.slots.len())
+            .field("alive", &self.workers_alive())
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+/// Find a worker binary: explicit option, `PROMPT_WORKER_BIN`, or a
+/// `prompt-worker` next to (or one directory above, for test binaries in
+/// `target/<profile>/deps/`) the current executable.
+fn resolve_worker_bin(opts: &DistributedOptions) -> Option<PathBuf> {
+    if let Some(p) = &opts.worker_bin {
+        return Some(p.clone());
+    }
+    if let Ok(p) = std::env::var("PROMPT_WORKER_BIN") {
+        if !p.is_empty() {
+            return Some(PathBuf::from(p));
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    let name = format!("prompt-worker{}", std::env::consts::EXE_SUFFIX);
+    [dir.join(&name), dir.parent().map(|d| d.join(&name))?]
+        .into_iter()
+        .find(|cand| cand.is_file())
+}
+
+/// A reduce bucket's collected result: its stats plus key-sorted aggregates.
+type BucketSlot = Option<(BucketStats, Vec<(Key, f64)>)>;
+
+impl DistributedRuntime {
+    /// Spawn and register the workers. Blocks until every worker has
+    /// registered (bounded by `opts.io_timeout`).
+    pub fn launch(opts: DistributedOptions) -> Result<DistributedRuntime, NetError> {
+        assert!(opts.workers >= 1, "need at least one worker");
+        let counters = NetCounters::shared();
+        let listener = TcpListener::bind(("127.0.0.1", opts.base_port))?;
+        let addr = listener.local_addr()?;
+
+        let bin = match opts.launch {
+            LaunchMode::Thread => None,
+            LaunchMode::Auto => resolve_worker_bin(&opts),
+            LaunchMode::Process => Some(resolve_worker_bin(&opts).ok_or_else(|| {
+                NetError::Protocol(
+                    "LaunchMode::Process but no prompt-worker binary found \
+                     (set PROMPT_WORKER_BIN or DistributedOptions::worker_bin)"
+                        .into(),
+                )
+            })?),
+        };
+
+        let mut handles: Vec<WorkerHandle> = Vec::with_capacity(opts.workers);
+        for id in 0..opts.workers as u32 {
+            let handle = match &bin {
+                Some(bin) => {
+                    let child = Command::new(bin)
+                        .arg("--driver")
+                        .arg(addr.to_string())
+                        .arg("--worker")
+                        .arg(id.to_string())
+                        .stdin(std::process::Stdio::null())
+                        .spawn();
+                    match child {
+                        Ok(c) => WorkerHandle::Process(c),
+                        Err(e) => {
+                            for h in &mut handles {
+                                if let WorkerHandle::Process(c) = h {
+                                    let _ = c.kill();
+                                    let _ = c.wait();
+                                }
+                            }
+                            return Err(NetError::Io(e));
+                        }
+                    }
+                }
+                None => {
+                    let retry = opts.retry;
+                    WorkerHandle::Thread(Some(std::thread::spawn(move || {
+                        run_worker(addr, WorkerOptions { worker: id, retry })
+                    })))
+                }
+            };
+            handles.push(handle);
+        }
+
+        match Self::register_all(&listener, &opts, &counters, handles) {
+            Ok(slots) => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                for slot in &slots {
+                    let mut reader = slot.conn.try_clone()?;
+                    reader.set_read_timeout(None)?;
+                    let tx = tx.clone();
+                    let id = slot.id;
+                    std::thread::spawn(move || loop {
+                        match reader.recv() {
+                            Ok(msg) => {
+                                if tx.send((id, Ok(msg))).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(e) if e.is_timeout() => continue,
+                            Err(e) => {
+                                let _ = tx.send((id, Err(e)));
+                                return;
+                            }
+                        }
+                    });
+                }
+                Ok(DistributedRuntime {
+                    opts,
+                    slots,
+                    rx,
+                    _tx: tx,
+                    counters,
+                    epoch: 0,
+                    fault: NetFaultPlan::none(),
+                    workers_lost: 0,
+                    shut_down: false,
+                })
+            }
+            Err((mut handles, e)) => {
+                for h in &mut handles {
+                    if let WorkerHandle::Process(c) = h {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    // Thread workers exit on their own once the listener and
+                    // any accepted connections drop.
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Accept and ack `Register` from every spawned worker, pairing each
+    /// with its handle. On failure returns the handles for cleanup.
+    fn register_all(
+        listener: &TcpListener,
+        opts: &DistributedOptions,
+        counters: &Arc<NetCounters>,
+        handles: Vec<WorkerHandle>,
+    ) -> Result<Vec<WorkerSlot>, (Vec<WorkerHandle>, NetError)> {
+        let n = opts.workers;
+        let mut registered: Vec<Option<(FrameConn, SocketAddrV4)>> = Vec::new();
+        registered.resize_with(n, || None);
+        let mut pending = n;
+        let deadline = Instant::now() + opts.io_timeout;
+        if let Err(e) = listener.set_nonblocking(true) {
+            return Err((handles, e.into()));
+        }
+        while pending > 0 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let register = (|| -> Result<(u32, FrameConn, SocketAddrV4), NetError> {
+                        stream.set_nonblocking(false)?;
+                        let mut conn = FrameConn::new(stream, Arc::clone(counters));
+                        conn.set_read_timeout(Some(opts.io_timeout))?;
+                        match conn.recv()? {
+                            Message::Register {
+                                worker,
+                                shuffle_port,
+                            } => {
+                                if worker as usize >= n {
+                                    return Err(NetError::Protocol(format!(
+                                        "registration from unknown worker {worker}"
+                                    )));
+                                }
+                                conn.send(&Message::RegisterAck {
+                                    worker,
+                                    heartbeat_ms: opts.heartbeat_interval.as_millis().max(1) as u32,
+                                })?;
+                                let shuffle = SocketAddrV4::new(Ipv4Addr::LOCALHOST, shuffle_port);
+                                Ok((worker, conn, shuffle))
+                            }
+                            other => Err(NetError::Protocol(format!(
+                                "expected register, got {}",
+                                other.kind()
+                            ))),
+                        }
+                    })();
+                    match register {
+                        Ok((worker, conn, shuffle)) => {
+                            let slot = &mut registered[worker as usize];
+                            if slot.is_some() {
+                                return Err((
+                                    handles,
+                                    NetError::Protocol(format!("worker {worker} registered twice")),
+                                ));
+                            }
+                            *slot = Some((conn, shuffle));
+                            pending -= 1;
+                        }
+                        Err(e) => return Err((handles, e)),
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err((
+                            handles,
+                            NetError::Protocol(format!(
+                                "timed out waiting for {pending} of {n} workers to register"
+                            )),
+                        ));
+                    }
+                    std::thread::sleep(WallDuration::from_millis(5));
+                }
+                Err(e) => return Err((handles, e.into())),
+            }
+        }
+        let now = Instant::now();
+        let slots = handles
+            .into_iter()
+            .enumerate()
+            .map(|(id, handle)| {
+                let (conn, shuffle) = registered[id].take().expect("all registered");
+                WorkerSlot {
+                    id: id as u32,
+                    conn,
+                    shuffle,
+                    handle,
+                    alive: true,
+                    last_seen: now,
+                }
+            })
+            .collect();
+        Ok(slots)
+    }
+
+    /// Number of workers still considered alive.
+    pub fn workers_alive(&self) -> usize {
+        self.slots.iter().filter(|s| s.alive).count()
+    }
+
+    /// Install the scripted kill plan (replaces any previous plan).
+    pub fn set_fault_plan(&mut self, plan: NetFaultPlan) {
+        self.fault = plan;
+    }
+
+    /// Driver-side wire totals and loss count so far.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            bytes_sent: self.counters.bytes_sent(),
+            bytes_received: self.counters.bytes_received(),
+            frames_sent: self.counters.frames_sent(),
+            frames_received: self.counters.frames_received(),
+            workers_lost: self.workers_lost,
+        }
+    }
+
+    /// Terminate a worker without declaring it lost — the crash is meant to
+    /// be *detected* (reader error, heartbeat silence), exactly like an
+    /// unannounced real failure. Public for fault-injection tests.
+    pub fn inject_kill(&mut self, worker: u32) {
+        let slot = &mut self.slots[worker as usize];
+        slot.conn.shutdown();
+        match &mut slot.handle {
+            WorkerHandle::Process(child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            WorkerHandle::Thread(h) => {
+                // The control-connection shutdown above unblocks the worker
+                // thread's recv; it then stops its shuffle plane and exits.
+                if let Some(h) = h.take() {
+                    let _ = h.join();
+                }
+            }
+        }
+    }
+
+    /// Mark `worker` lost (idempotent) and build the loss report.
+    fn declare_lost(&mut self, worker: u32, detail: String) -> WorkerLoss {
+        if let Some(slot) = self.slots.get(worker as usize) {
+            if slot.alive {
+                self.slots[worker as usize].alive = false;
+                self.workers_lost += 1;
+                self.inject_kill(worker);
+            }
+        }
+        WorkerLoss { worker, detail }
+    }
+
+    /// Remove and return the scripted kills for (`seq`, `point`) so each
+    /// fires exactly once even when the batch is re-executed.
+    fn take_kills(&mut self, seq: u64, point: FaultPoint) -> Vec<u32> {
+        let mut fired = Vec::new();
+        self.fault.kills.retain(|f| {
+            if f.seq == seq && f.point == point {
+                fired.push(f.worker);
+                false
+            } else {
+                true
+            }
+        });
+        fired
+    }
+
+    fn send_to(&mut self, worker: u32, msg: &Message) -> Result<(), WorkerLoss> {
+        let kind = msg.kind();
+        match self.slots[worker as usize].conn.send(msg) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.declare_lost(worker, format!("send of {kind} failed: {e}"))),
+        }
+    }
+
+    /// Any alive worker gone silent past the heartbeat timeout?
+    fn check_heartbeats(&mut self) -> Result<(), WorkerLoss> {
+        let timeout = self.opts.heartbeat_timeout;
+        let silent = self
+            .slots
+            .iter()
+            .find(|s| s.alive && s.last_seen.elapsed() > timeout)
+            .map(|s| s.id);
+        match silent {
+            Some(w) => Err(self.declare_lost(w, "heartbeat timeout".into())),
+            None => Ok(()),
+        }
+    }
+
+    /// Next task-progress message of the current attempt. Heartbeats update
+    /// liveness, stale-epoch replies are dropped, and every failure signal
+    /// (reader error, heartbeat silence, a worker blaming a peer, overall
+    /// deadline) is converted into `Err(WorkerLoss)`.
+    fn next_event(
+        &mut self,
+        deadline: Instant,
+        seq: u64,
+        epoch: u32,
+    ) -> Result<Message, WorkerLoss> {
+        loop {
+            self.check_heartbeats()?;
+            let polled = self.rx.recv_timeout(WallDuration::from_millis(25));
+            match polled {
+                Ok((w, Ok(msg))) => {
+                    if let Some(slot) = self.slots.get_mut(w as usize) {
+                        slot.last_seen = Instant::now();
+                    }
+                    match msg {
+                        Message::Heartbeat { .. } => continue,
+                        Message::WorkerError {
+                            worker,
+                            seq: s,
+                            epoch: e,
+                            blame,
+                            detail,
+                        } => {
+                            if s == seq && e == epoch {
+                                return Err(self.declare_lost(
+                                    blame,
+                                    format!("worker {worker} reported: {detail}"),
+                                ));
+                            }
+                            continue; // stale attempt's failure; already handled
+                        }
+                        Message::MapComplete {
+                            seq: s, epoch: e, ..
+                        }
+                        | Message::ReduceComplete {
+                            seq: s, epoch: e, ..
+                        } if s != seq || e != epoch => continue,
+                        m => return Ok(m),
+                    }
+                }
+                Ok((w, Err(e))) => {
+                    let alive = self.slots.get(w as usize).map(|s| s.alive).unwrap_or(false);
+                    if alive {
+                        return Err(self.declare_lost(w, format!("connection lost: {e}")));
+                    }
+                    continue; // reader of an already-declared worker winding down
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() > deadline {
+                        // Deadlock breaker: blame the quietest worker.
+                        let w = self
+                            .slots
+                            .iter()
+                            .filter(|s| s.alive)
+                            .min_by_key(|s| s.last_seen)
+                            .map(|s| s.id)
+                            .expect("at least one alive worker while waiting");
+                        return Err(
+                            self.declare_lost(w, format!("batch {seq} collection timed out"))
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("runtime holds a sender; channel cannot disconnect")
+                }
+            }
+        }
+    }
+
+    /// Execute one batch across the live workers.
+    ///
+    /// Runs the serial engine's exact logical pipeline over the wire; given
+    /// the same plan, assigner state and `r`, the returned output and
+    /// per-bucket stats are bit-identical to [`crate::stage::execute_batch`]'s.
+    /// On `Err(WorkerLoss)` the attempt had no observable effect on the
+    /// assigner — recompute the batch and call again.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no workers are left alive — with nothing to run on,
+    /// recompute-and-retry cannot make progress.
+    pub fn execute_batch(
+        &mut self,
+        seq: u64,
+        plan: &PartitionPlan,
+        spec: &JobSpec,
+        assigner: &mut dyn ReduceAssigner,
+        r: usize,
+        trace: Option<(&TraceRecorder, u64)>,
+    ) -> Result<(BatchOutput, Vec<BucketStats>), WorkerLoss> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // Scripted pre-batch kills: the worker dies unannounced; dispatch
+        // proceeds and the loss is detected like any real crash.
+        for w in self.take_kills(seq, FaultPoint::BeforeMap) {
+            self.inject_kill(w);
+        }
+
+        let owners: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.id)
+            .collect();
+        assert!(
+            !owners.is_empty(),
+            "all distributed workers lost; batch {seq} cannot execute"
+        );
+
+        // --- Map fan-out. ---
+        let t0 = Instant::now();
+        let n_blocks = plan.blocks.len();
+        let mut block_owner = Vec::with_capacity(n_blocks);
+        for (i, block) in plan.blocks.iter().enumerate() {
+            let w = owners[i % owners.len()];
+            block_owner.push(w);
+            self.send_to(
+                w,
+                &Message::MapTask {
+                    seq,
+                    epoch,
+                    block_id: i as u32,
+                    job: *spec,
+                    block: block.clone(),
+                },
+            )?;
+        }
+        let mut clusters: Vec<Option<Vec<(Key, u64)>>> = vec![None; n_blocks];
+        let mut outstanding = n_blocks;
+        let deadline = Instant::now() + self.opts.io_timeout;
+        while outstanding > 0 {
+            if let Message::MapComplete {
+                block_id,
+                clusters: c,
+                ..
+            } = self.next_event(deadline, seq, epoch)?
+            {
+                let slot = &mut clusters[block_id as usize];
+                if slot.is_none() {
+                    *slot = Some(c);
+                    outstanding -= 1;
+                }
+            }
+        }
+        if let Some((rec, tseq)) = trace {
+            rec.phase(tseq, StageKind::MapStage, wall(t0.elapsed()));
+        }
+
+        // Scripted mid-batch kills: fire *before* any assigner call so a
+        // doomed attempt leaves the allocator untouched; the worker's
+        // un-fetched map outputs die with it. Detection is organic — the
+        // kill queues a reader error, surfaced by the drain below.
+        let after_map = self.take_kills(seq, FaultPoint::AfterMap);
+        if !after_map.is_empty() {
+            for w in after_map {
+                self.inject_kill(w);
+            }
+            loop {
+                // No further completes of this epoch are expected; the only
+                // exit is the queued failure signal.
+                let _ = self.next_event(deadline, seq, epoch)?;
+            }
+        }
+
+        // --- Shuffle: serial assignment in block order (Algorithm 3's
+        // allocator carries state across calls), then per-block pushes. ---
+        let t1 = Instant::now();
+        let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(n_blocks);
+        for c in &clusters {
+            let c = c.as_ref().expect("all map completes collected");
+            let descs: Vec<KeyCluster> = c
+                .iter()
+                .map(|&(key, n)| KeyCluster {
+                    key,
+                    size: n as usize,
+                })
+                .collect();
+            let assignment = assigner.assign(&descs, &plan.split_keys, r);
+            if let Some((rec, _)) = trace {
+                rec.incr(Counter::ScatterFragments, assignment.len() as u64);
+                let split = descs
+                    .iter()
+                    .filter(|cl| plan.split_keys.contains(&cl.key))
+                    .count();
+                rec.incr(Counter::SplitKeyFragments, split as u64);
+            }
+            assignments.push(assignment);
+        }
+        for (i, assignment) in assignments.iter().enumerate() {
+            self.send_to(
+                block_owner[i],
+                &Message::ShuffleAssign {
+                    seq,
+                    epoch,
+                    block_id: i as u32,
+                    assignment: assignment.iter().map(|&b| b as u32).collect(),
+                },
+            )?;
+        }
+        if let Some((rec, tseq)) = trace {
+            rec.phase(tseq, StageKind::Scatter, wall(t1.elapsed()));
+        }
+
+        // --- Reduce fan-out. ---
+        let t2 = Instant::now();
+        let mut src_ids = block_owner.clone();
+        src_ids.sort_unstable();
+        src_ids.dedup();
+        let sources: Vec<ShuffleSource> = src_ids
+            .iter()
+            .map(|&w| ShuffleSource {
+                worker: w,
+                addr: self.slots[w as usize].shuffle,
+            })
+            .collect();
+        for b in 0..r {
+            self.send_to(
+                owners[b % owners.len()],
+                &Message::ReduceTask {
+                    seq,
+                    epoch,
+                    bucket: b as u32,
+                    reduce: spec.reduce,
+                    sources: sources.clone(),
+                },
+            )?;
+        }
+        let mut buckets: Vec<BucketSlot> = vec![None; r];
+        let mut outstanding = r;
+        let deadline = Instant::now() + self.opts.io_timeout;
+        while outstanding > 0 {
+            if let Message::ReduceComplete {
+                bucket,
+                tuples,
+                keys,
+                fragments,
+                aggregates,
+                ..
+            } = self.next_event(deadline, seq, epoch)?
+            {
+                let slot = &mut buckets[bucket as usize];
+                if slot.is_none() {
+                    *slot = Some((
+                        BucketStats {
+                            tuples: tuples as usize,
+                            keys: keys as usize,
+                            fragments: fragments as usize,
+                        },
+                        aggregates,
+                    ));
+                    outstanding -= 1;
+                }
+            }
+        }
+        let mut output = BatchOutput::default();
+        let mut stats = Vec::with_capacity(r);
+        for entry in buckets {
+            let (s, aggs) = entry.expect("all reduce completes collected");
+            stats.push(s);
+            for (k, v) in aggs {
+                let prev = output.aggregates.insert(k, v);
+                debug_assert!(prev.is_none(), "key reduced in two buckets");
+            }
+        }
+        if let Some((rec, tseq)) = trace {
+            rec.phase(tseq, StageKind::ReduceStage, wall(t2.elapsed()));
+        }
+
+        // Commit: let the workers drop the batch's shuffle state. A send
+        // failure here is a loss for the *next* batch to discover — this
+        // one is already complete.
+        for slot in self.slots.iter_mut().filter(|s| s.alive) {
+            let _ = slot.conn.send(&Message::BatchDone { seq });
+        }
+        Ok((output, stats))
+    }
+
+    /// Shut the fleet down: `Shutdown` to every live worker, then reap
+    /// processes / join threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        for slot in &mut self.slots {
+            if slot.alive {
+                let _ = slot.conn.send(&Message::Shutdown);
+            }
+        }
+        for slot in &mut self.slots {
+            match &mut slot.handle {
+                WorkerHandle::Process(child) => {
+                    let deadline = Instant::now() + WallDuration::from_secs(5);
+                    loop {
+                        match child.try_wait() {
+                            Ok(Some(_)) => break,
+                            Ok(None) => {
+                                if Instant::now() > deadline {
+                                    let _ = child.kill();
+                                    let _ = child.wait();
+                                    break;
+                                }
+                                std::thread::sleep(WallDuration::from_millis(10));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+                WorkerHandle::Thread(h) => {
+                    // Shutting the socket down guarantees the worker's recv
+                    // unblocks even if the Shutdown frame was lost.
+                    slot.conn.shutdown();
+                    if let Some(h) = h.take() {
+                        let _ = h.join();
+                    }
+                }
+            }
+            slot.conn.shutdown();
+        }
+    }
+}
+
+impl Drop for DistributedRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Convert a wall-clock duration into the trace's µs representation.
+fn wall(d: WallDuration) -> prompt_core::types::Duration {
+    prompt_core::types::Duration::from_micros(d.as_micros() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{MapSpec, ReduceOp};
+    use prompt_core::batch::MicroBatch;
+    use prompt_core::partitioner::{BufferingMode, Partitioner, PromptPartitioner};
+    use prompt_core::reduce::PromptReduceAllocator;
+    use prompt_core::types::{Interval, Time, Tuple};
+
+    fn thread_opts(workers: usize) -> DistributedOptions {
+        let mut opts = DistributedOptions::new(workers, 0);
+        opts.launch = LaunchMode::Thread;
+        opts
+    }
+
+    fn small_plan(n_tuples: usize, keys: u64, p: usize) -> PartitionPlan {
+        let interval = Interval::new(Time(0), Time(1_000_000));
+        let tuples: Vec<Tuple> = (0..n_tuples)
+            .map(|i| Tuple::keyed(Time(1 + i as u64), Key(i as u64 % keys)))
+            .collect();
+        let batch = MicroBatch::new(tuples, interval);
+        PromptPartitioner::new(BufferingMode::FrequencyAware).partition(&batch, p)
+    }
+
+    #[test]
+    fn thread_fleet_registers_executes_and_shuts_down() {
+        let mut rt = DistributedRuntime::launch(thread_opts(2)).expect("launch");
+        assert_eq!(rt.workers_alive(), 2);
+        let plan = small_plan(300, 17, 4);
+        let spec = JobSpec {
+            map: MapSpec::Identity,
+            reduce: ReduceOp::Count,
+        };
+        let mut assigner = PromptReduceAllocator::new(7);
+        let (out, stats) = rt
+            .execute_batch(0, &plan, &spec, &mut assigner, 3, None)
+            .expect("no faults scheduled");
+        assert_eq!(out.len(), 17, "one aggregate per distinct key");
+        assert_eq!(stats.len(), 3);
+        let tuples: usize = stats.iter().map(|s| s.tuples).sum();
+        assert_eq!(tuples, 300);
+        let s = rt.stats();
+        assert!(s.frames_sent > 0 && s.frames_received > 0);
+        assert_eq!(s.workers_lost, 0);
+        rt.shutdown();
+        rt.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn scripted_kill_is_detected_and_survivors_finish() {
+        let mut rt = DistributedRuntime::launch(thread_opts(2)).expect("launch");
+        rt.set_fault_plan(NetFaultPlan::none().kill_before(0, 1));
+        let plan = small_plan(200, 11, 4);
+        let spec = JobSpec {
+            map: MapSpec::Identity,
+            reduce: ReduceOp::Sum,
+        };
+        let mut assigner = PromptReduceAllocator::new(3);
+        let loss = rt
+            .execute_batch(0, &plan, &spec, &mut assigner, 2, None)
+            .expect_err("worker 1 is scripted to die");
+        assert_eq!(loss.worker, 1);
+        assert_eq!(rt.workers_alive(), 1);
+        assert_eq!(rt.stats().workers_lost, 1);
+        // The retry (same seq, fresh epoch) completes on the survivor.
+        let (out, _) = rt
+            .execute_batch(0, &plan, &spec, &mut assigner, 2, None)
+            .expect("kill fires only once");
+        assert_eq!(out.len(), 11);
+    }
+
+    #[test]
+    fn unannounced_crash_surfaces_organically() {
+        let mut rt = DistributedRuntime::launch(thread_opts(3)).expect("launch");
+        rt.inject_kill(2);
+        let plan = small_plan(150, 9, 3);
+        let spec = JobSpec {
+            map: MapSpec::Identity,
+            reduce: ReduceOp::Count,
+        };
+        let mut assigner = PromptReduceAllocator::new(1);
+        let loss = rt
+            .execute_batch(0, &plan, &spec, &mut assigner, 2, None)
+            .expect_err("dead worker must be detected");
+        assert_eq!(loss.worker, 2);
+        let (out, _) = rt
+            .execute_batch(0, &plan, &spec, &mut assigner, 2, None)
+            .expect("two survivors suffice");
+        assert_eq!(out.len(), 9);
+    }
+}

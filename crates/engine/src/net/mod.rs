@@ -1,0 +1,27 @@
+//! `prompt-net`: the real multi-process distributed runtime.
+//!
+//! Everything the simulated engine computes in one address space, this
+//! module executes across N local worker processes (or threads) over TCP:
+//!
+//! - [`wire`] — the versioned length-prefixed binary protocol (no serde);
+//! - [`transport`] — framed connections, byte accounting, retry/backoff;
+//! - [`worker`] — the worker runtime: map/reduce execution plus the
+//!   shuffle data-plane server other workers fetch buckets from;
+//! - [`driver`] — the driver runtime: worker lifecycle, per-batch task
+//!   orchestration, heartbeat/connection failure detection.
+//!
+//! The design constraint throughout is *bit-identity with the serial
+//! engine*: map folds, assigner call order and reduce merge order are
+//! preserved exactly, so a distributed run's per-batch plans and outputs
+//! equal the in-process engine's, `f64` for `f64`. The differential tests
+//! in `tests/distributed_smoke.rs` enforce this.
+
+pub mod driver;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use driver::{DistributedOptions, DistributedRuntime, LaunchMode, NetStats, WorkerLoss};
+pub use transport::{FrameConn, NetCounters, NetError, RetryPolicy};
+pub use wire::{Message, ShuffleSegment, ShuffleSource, WireError, PROTOCOL_VERSION};
+pub use worker::{run_worker, WorkerOptions};

@@ -1,0 +1,296 @@
+//! Framed TCP transport: length-prefixed message I/O, byte accounting, and
+//! connect/read retry with exponential backoff.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration as WallDuration;
+
+use super::wire::{Message, WireError, HEADER_LEN};
+
+/// Transport-layer error.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent bytes that are not a valid protocol frame.
+    Wire(WireError),
+    /// The peer violated the message protocol (valid frame, wrong message).
+    Protocol(String),
+}
+
+impl NetError {
+    /// Whether the error is a read timeout (the connection may still be
+    /// healthy; the caller decides whether to keep waiting).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(e) if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+        )
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Wire(e) => write!(f, "wire: {e}"),
+            NetError::Protocol(what) => write!(f, "protocol: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> NetError {
+        NetError::Wire(e)
+    }
+}
+
+/// Shared atomic counters of wire traffic, aggregated into the run's
+/// [`super::NetStats`].
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+}
+
+impl NetCounters {
+    /// Fresh zeroed counters behind an `Arc` (every connection of one
+    /// runtime shares them).
+    pub fn shared() -> Arc<NetCounters> {
+        Arc::new(NetCounters::default())
+    }
+
+    /// Total bytes written to sockets.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read from sockets.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Frames written.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Frames read.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received.load(Ordering::Relaxed)
+    }
+
+    fn record_send(&self, bytes: usize) {
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_recv(&self, bytes: usize) {
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A TCP stream speaking the framed protocol.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: TcpStream,
+    counters: Arc<NetCounters>,
+}
+
+impl FrameConn {
+    /// Wrap an accepted/connected stream. Disables Nagle — the protocol is
+    /// request/reply with small control frames, where coalescing only adds
+    /// latency.
+    pub fn new(stream: TcpStream, counters: Arc<NetCounters>) -> FrameConn {
+        let _ = stream.set_nodelay(true);
+        FrameConn { stream, counters }
+    }
+
+    /// Clone the underlying socket (shared file description): one half can
+    /// read while the other writes.
+    pub fn try_clone(&self) -> std::io::Result<FrameConn> {
+        Ok(FrameConn {
+            stream: self.stream.try_clone()?,
+            counters: Arc::clone(&self.counters),
+        })
+    }
+
+    /// Bound every blocking read; `None` blocks forever.
+    pub fn set_read_timeout(&self, t: Option<WallDuration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Shut down both directions; concurrent reads unblock with an error.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Write one message as a frame.
+    pub fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        let frame = msg.encode();
+        self.stream.write_all(&frame)?;
+        self.counters.record_send(frame.len());
+        Ok(())
+    }
+
+    /// Read one complete frame and decode it.
+    pub fn recv(&mut self) -> Result<Message, NetError> {
+        let mut header = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let (msg_type, len) = Message::check_header(&header)?;
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        self.counters.record_recv(HEADER_LEN + payload.len());
+        Ok(Message::decode_payload(msg_type, &payload)?)
+    }
+}
+
+/// Connect/retry policy with exponential backoff.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum attempts before giving up.
+    pub attempts: u32,
+    /// Delay after the first failed attempt.
+    pub base: WallDuration,
+    /// Backoff cap.
+    pub max: WallDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 8,
+            base: WallDuration::from_millis(10),
+            max: WallDuration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based): doubles from
+    /// [`RetryPolicy::base`], capped at [`RetryPolicy::max`].
+    pub fn delay(&self, attempt: u32) -> WallDuration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base.saturating_mul(factor).min(self.max)
+    }
+
+    /// Connect to `addr`, retrying with backoff — the peer may not have
+    /// bound its listener yet (worker startup races the driver's first
+    /// dial, and shuffle listeners come up while a batch is in flight).
+    pub fn connect(
+        &self,
+        addr: SocketAddr,
+        counters: &Arc<NetCounters>,
+    ) -> Result<FrameConn, NetError> {
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 1..=self.attempts.max(1) {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Ok(FrameConn::new(stream, Arc::clone(counters))),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt < self.attempts {
+                        std::thread::sleep(self.delay(attempt));
+                    }
+                }
+            }
+        }
+        Err(NetError::Io(last.expect("at least one attempt")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn send_recv_roundtrip_counts_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counters = NetCounters::shared();
+        let server_counters = Arc::clone(&counters);
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FrameConn::new(stream, server_counters);
+            let msg = conn.recv().unwrap();
+            conn.send(&msg).unwrap();
+        });
+        let mut conn = RetryPolicy::default()
+            .connect(addr, &counters)
+            .expect("connect");
+        let msg = Message::Heartbeat { worker: 42 };
+        conn.send(&msg).unwrap();
+        let echo = conn.recv().unwrap();
+        assert_eq!(echo, msg);
+        server.join().unwrap();
+        assert_eq!(counters.frames_sent(), 2, "client + server sends");
+        assert_eq!(counters.frames_received(), 2);
+        assert_eq!(counters.bytes_sent(), counters.bytes_received());
+        assert!(counters.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn read_timeout_is_distinguishable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counters = NetCounters::shared();
+        let mut conn = RetryPolicy::default().connect(addr, &counters).unwrap();
+        conn.set_read_timeout(Some(WallDuration::from_millis(30)))
+            .unwrap();
+        let err = conn.recv().expect_err("nothing to read");
+        assert!(err.is_timeout(), "{err}");
+    }
+
+    #[test]
+    fn connect_retry_gives_up_with_io_error() {
+        // A port nothing listens on: bind-then-drop reserves one.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            attempts: 2,
+            base: WallDuration::from_millis(1),
+            max: WallDuration::from_millis(2),
+        };
+        let err = policy
+            .connect(addr, &NetCounters::shared())
+            .expect_err("no listener");
+        assert!(matches!(err, NetError::Io(_)));
+        assert!(!err.is_timeout());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            attempts: 10,
+            base: WallDuration::from_millis(10),
+            max: WallDuration::from_millis(60),
+        };
+        assert_eq!(p.delay(1), WallDuration::from_millis(10));
+        assert_eq!(p.delay(2), WallDuration::from_millis(20));
+        assert_eq!(p.delay(3), WallDuration::from_millis(40));
+        assert_eq!(p.delay(4), WallDuration::from_millis(60), "capped");
+        assert_eq!(p.delay(9), WallDuration::from_millis(60));
+    }
+}

@@ -1,0 +1,755 @@
+//! The binary wire protocol: versioned frames and the message set.
+//!
+//! Every frame is `[magic u32][version u8][msg-type u8][payload-len u32]`
+//! followed by `payload-len` payload bytes, all little-endian, encoded with
+//! the hand-rolled codecs in [`prompt_core::bytes`] (no serde, per repo
+//! policy). The magic and version are checked before the payload is even
+//! read, so a peer speaking a future protocol fails fast with a clear error
+//! instead of a garbage decode.
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use prompt_core::batch::DataBlock;
+use prompt_core::bytes::{self, ByteReader, ByteWriter, BytesSink, CodecError, FRAGMENT_WIRE_SIZE};
+use prompt_core::types::Key;
+
+use crate::job::{JobSpec, MapSpec, ReduceOp};
+
+/// Frame magic: `"PNET"` little-endian.
+pub const MAGIC: u32 = 0x5445_4e50;
+
+/// Current protocol version. Bump on any incompatible layout change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame header length: magic + version + msg type + payload length.
+pub const HEADER_LEN: usize = 10;
+
+/// Upper bound on a payload (256 MiB) — rejects garbage length fields
+/// before any allocation.
+pub const MAX_PAYLOAD_LEN: u32 = 256 << 20;
+
+/// Protocol-layer error: the bytes are not a valid frame of this protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic(u32),
+    /// The frame's version byte is not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Unknown message-type byte.
+    UnknownType(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD_LEN`].
+    FrameTooLarge(u32),
+    /// The payload failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::BadVersion(v) => {
+                write!(f, "protocol version {v} (expected {PROTOCOL_VERSION})")
+            }
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::FrameTooLarge(n) => write!(f, "payload of {n} bytes exceeds frame cap"),
+            WireError::Codec(e) => write!(f, "payload decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> WireError {
+        WireError::Codec(e)
+    }
+}
+
+/// Where a reduce worker fetches one shuffle bucket's segments from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShuffleSource {
+    /// The worker holding map outputs.
+    pub worker: u32,
+    /// Its shuffle listener address.
+    pub addr: SocketAddrV4,
+}
+
+/// One map output's contribution to a shuffle bucket: the block it came
+/// from and its `(key, partial, mapped-tuple-count)` items in key order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShuffleSegment {
+    /// The data block (map task) the items came from.
+    pub block_id: u32,
+    /// Key-ordered `(key, partial aggregate, tuples folded)` triples.
+    pub items: Vec<(Key, f64, u64)>,
+}
+
+/// Every message of the control and data planes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Worker → driver: first message on the control connection.
+    Register {
+        /// The worker's id (assigned at spawn).
+        worker: u32,
+        /// Port of the worker's shuffle listener (on loopback).
+        shuffle_port: u16,
+    },
+    /// Driver → worker: registration accepted.
+    RegisterAck {
+        /// Echo of the worker id.
+        worker: u32,
+        /// Heartbeat period the worker should keep.
+        heartbeat_ms: u32,
+    },
+    /// Worker → driver: liveness beacon.
+    Heartbeat {
+        /// The sending worker.
+        worker: u32,
+    },
+    /// Driver → worker: map one data block.
+    MapTask {
+        /// Batch sequence number.
+        seq: u64,
+        /// Execution attempt epoch (stale-epoch replies are dropped).
+        epoch: u32,
+        /// Block index within the batch's plan.
+        block_id: u32,
+        /// The job to run.
+        job: JobSpec,
+        /// The block's tuples and fragment table.
+        block: DataBlock,
+    },
+    /// Worker → driver: map finished; report the key/frequency table of the
+    /// block's clusters (key order) so the driver can run Algorithm 3.
+    MapComplete {
+        /// Batch sequence number.
+        seq: u64,
+        /// Execution attempt epoch.
+        epoch: u32,
+        /// Block index mapped.
+        block_id: u32,
+        /// `(key, mapped-tuple-count)` per cluster, in key order.
+        clusters: Vec<(Key, u64)>,
+    },
+    /// Driver → worker: the bucket assignment for one mapped block
+    /// (`assignment[i]` = Reduce bucket of the block's i-th cluster).
+    ShuffleAssign {
+        /// Batch sequence number.
+        seq: u64,
+        /// Execution attempt epoch.
+        epoch: u32,
+        /// Block index the assignment applies to.
+        block_id: u32,
+        /// Bucket per cluster, in the block's key order.
+        assignment: Vec<u32>,
+    },
+    /// Driver → worker: reduce one bucket by fetching segments from the
+    /// listed sources.
+    ReduceTask {
+        /// Batch sequence number.
+        seq: u64,
+        /// Execution attempt epoch.
+        epoch: u32,
+        /// Reduce bucket index.
+        bucket: u32,
+        /// The merge operation.
+        reduce: ReduceOp,
+        /// Workers holding map outputs for this batch.
+        sources: Vec<ShuffleSource>,
+    },
+    /// Worker → driver: one bucket reduced.
+    ReduceComplete {
+        /// Batch sequence number.
+        seq: u64,
+        /// Execution attempt epoch.
+        epoch: u32,
+        /// Reduce bucket index.
+        bucket: u32,
+        /// Mapped tuples folded into the bucket.
+        tuples: u64,
+        /// Distinct keys reduced.
+        keys: u64,
+        /// Fragments (per-block partials) merged.
+        fragments: u64,
+        /// Final `(key, aggregate)` pairs, in key order.
+        aggregates: Vec<(Key, f64)>,
+    },
+    /// Driver → worker: batch committed; garbage-collect its shuffle state.
+    BatchDone {
+        /// Batch sequence number.
+        seq: u64,
+    },
+    /// Driver → worker: exit cleanly.
+    Shutdown,
+    /// Reduce worker → map worker (shuffle plane): request one bucket.
+    Fetch {
+        /// Batch sequence number.
+        seq: u64,
+        /// Execution attempt epoch.
+        epoch: u32,
+        /// Reduce bucket index.
+        bucket: u32,
+    },
+    /// Map worker → reduce worker (shuffle plane): the bucket's segments,
+    /// or not-ready (retry after backoff).
+    FetchReply {
+        /// Whether the batch's shuffle state was complete; if `false` the
+        /// segments are empty and the fetcher retries.
+        ready: bool,
+        /// The bucket's segments (unordered; the fetcher sorts by block).
+        segments: Vec<ShuffleSegment>,
+    },
+    /// Worker → driver: a task failed; `blame` names the peer at fault
+    /// (e.g. an unreachable shuffle source) so the driver can declare it
+    /// lost rather than the reporter.
+    WorkerError {
+        /// The reporting worker.
+        worker: u32,
+        /// Batch in flight.
+        seq: u64,
+        /// Execution attempt epoch.
+        epoch: u32,
+        /// The worker id held responsible.
+        blame: u32,
+        /// Human-readable detail for traces/logs.
+        detail: String,
+    },
+}
+
+impl Message {
+    /// The message-type byte written into the frame header.
+    fn type_id(&self) -> u8 {
+        match self {
+            Message::Register { .. } => 1,
+            Message::RegisterAck { .. } => 2,
+            Message::Heartbeat { .. } => 3,
+            Message::MapTask { .. } => 4,
+            Message::MapComplete { .. } => 5,
+            Message::ShuffleAssign { .. } => 6,
+            Message::ReduceTask { .. } => 7,
+            Message::ReduceComplete { .. } => 8,
+            Message::BatchDone { .. } => 9,
+            Message::Shutdown => 10,
+            Message::Fetch { .. } => 11,
+            Message::FetchReply { .. } => 12,
+            Message::WorkerError { .. } => 13,
+        }
+    }
+
+    /// Short human-readable name (for logs and errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Register { .. } => "register",
+            Message::RegisterAck { .. } => "register_ack",
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::MapTask { .. } => "map_task",
+            Message::MapComplete { .. } => "map_complete",
+            Message::ShuffleAssign { .. } => "shuffle_assign",
+            Message::ReduceTask { .. } => "reduce_task",
+            Message::ReduceComplete { .. } => "reduce_complete",
+            Message::BatchDone { .. } => "batch_done",
+            Message::Shutdown => "shutdown",
+            Message::Fetch { .. } => "fetch",
+            Message::FetchReply { .. } => "fetch_reply",
+            Message::WorkerError { .. } => "worker_error",
+        }
+    }
+
+    /// Encode as one complete frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        self.encode_payload(&mut payload);
+        let payload = payload.into_bytes();
+        assert!(
+            payload.len() <= MAX_PAYLOAD_LEN as usize,
+            "oversized frame: {} bytes",
+            payload.len()
+        );
+        let mut frame = ByteWriter::with_capacity(HEADER_LEN + payload.len());
+        frame.put_u32(MAGIC);
+        frame.put_u8(PROTOCOL_VERSION);
+        frame.put_u8(self.type_id());
+        frame.put_u32(payload.len() as u32);
+        frame.put_bytes(&payload);
+        frame.into_bytes()
+    }
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        match self {
+            Message::Register {
+                worker,
+                shuffle_port,
+            } => {
+                w.put_u32(*worker);
+                w.put_u16(*shuffle_port);
+            }
+            Message::RegisterAck {
+                worker,
+                heartbeat_ms,
+            } => {
+                w.put_u32(*worker);
+                w.put_u32(*heartbeat_ms);
+            }
+            Message::Heartbeat { worker } => w.put_u32(*worker),
+            Message::MapTask {
+                seq,
+                epoch,
+                block_id,
+                job,
+                block,
+            } => {
+                w.put_u64(*seq);
+                w.put_u32(*epoch);
+                w.put_u32(*block_id);
+                w.put_u8(job.map.wire_code());
+                w.put_u8(job.reduce.wire_code());
+                bytes::put_block(w, block);
+            }
+            Message::MapComplete {
+                seq,
+                epoch,
+                block_id,
+                clusters,
+            } => {
+                w.put_u64(*seq);
+                w.put_u32(*epoch);
+                w.put_u32(*block_id);
+                bytes::put_key_counts(w, clusters);
+            }
+            Message::ShuffleAssign {
+                seq,
+                epoch,
+                block_id,
+                assignment,
+            } => {
+                w.put_u64(*seq);
+                w.put_u32(*epoch);
+                w.put_u32(*block_id);
+                w.put_len(assignment.len());
+                for &b in assignment {
+                    w.put_u32(b);
+                }
+            }
+            Message::ReduceTask {
+                seq,
+                epoch,
+                bucket,
+                reduce,
+                sources,
+            } => {
+                w.put_u64(*seq);
+                w.put_u32(*epoch);
+                w.put_u32(*bucket);
+                w.put_u8(reduce.wire_code());
+                w.put_len(sources.len());
+                for s in sources {
+                    w.put_u32(s.worker);
+                    w.put_bytes(&s.addr.ip().octets());
+                    w.put_u16(s.addr.port());
+                }
+            }
+            Message::ReduceComplete {
+                seq,
+                epoch,
+                bucket,
+                tuples,
+                keys,
+                fragments,
+                aggregates,
+            } => {
+                w.put_u64(*seq);
+                w.put_u32(*epoch);
+                w.put_u32(*bucket);
+                w.put_u64(*tuples);
+                w.put_u64(*keys);
+                w.put_u64(*fragments);
+                w.put_len(aggregates.len());
+                for &(k, v) in aggregates {
+                    w.put_u64(k.0);
+                    w.put_f64(v);
+                }
+            }
+            Message::BatchDone { seq } => w.put_u64(*seq),
+            Message::Shutdown => {}
+            Message::Fetch { seq, epoch, bucket } => {
+                w.put_u64(*seq);
+                w.put_u32(*epoch);
+                w.put_u32(*bucket);
+            }
+            Message::FetchReply { ready, segments } => {
+                w.put_u8(u8::from(*ready));
+                w.put_len(segments.len());
+                for seg in segments {
+                    w.put_u32(seg.block_id);
+                    w.put_len(seg.items.len());
+                    for &(k, v, n) in &seg.items {
+                        w.put_u64(k.0);
+                        w.put_f64(v);
+                        w.put_u64(n);
+                    }
+                }
+            }
+            Message::WorkerError {
+                worker,
+                seq,
+                epoch,
+                blame,
+                detail,
+            } => {
+                w.put_u32(*worker);
+                w.put_u64(*seq);
+                w.put_u32(*epoch);
+                w.put_u32(*blame);
+                w.put_str(detail);
+            }
+        }
+    }
+
+    /// Validate a frame header, returning `(msg_type, payload_len)`.
+    pub fn check_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> {
+        let mut r = ByteReader::new(header);
+        let magic = r.get_u32().expect("header is long enough");
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = r.get_u8().expect("header is long enough");
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let msg_type = r.get_u8().expect("header is long enough");
+        let len = r.get_u32().expect("header is long enough");
+        if len > MAX_PAYLOAD_LEN {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        Ok((msg_type, len))
+    }
+
+    /// Decode one complete frame (header + payload), as produced by
+    /// [`Message::encode`].
+    pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+        if frame.len() < HEADER_LEN {
+            return Err(WireError::Codec(CodecError::Truncated {
+                needed: HEADER_LEN,
+                available: frame.len(),
+            }));
+        }
+        let header: &[u8; HEADER_LEN] = frame[..HEADER_LEN].try_into().expect("checked length");
+        let (msg_type, len) = Message::check_header(header)?;
+        let payload = &frame[HEADER_LEN..];
+        if payload.len() != len as usize {
+            return Err(WireError::Codec(CodecError::Truncated {
+                needed: len as usize,
+                available: payload.len(),
+            }));
+        }
+        Message::decode_payload(msg_type, payload)
+    }
+
+    /// Decode a payload whose header was already validated.
+    pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = ByteReader::new(payload);
+        let msg = match msg_type {
+            1 => Message::Register {
+                worker: r.get_u32()?,
+                shuffle_port: r.get_u16()?,
+            },
+            2 => Message::RegisterAck {
+                worker: r.get_u32()?,
+                heartbeat_ms: r.get_u32()?,
+            },
+            3 => Message::Heartbeat {
+                worker: r.get_u32()?,
+            },
+            4 => {
+                let seq = r.get_u64()?;
+                let epoch = r.get_u32()?;
+                let block_id = r.get_u32()?;
+                let map = MapSpec::from_wire_code(r.get_u8()?)
+                    .ok_or(WireError::Codec(CodecError::Malformed("map spec tag")))?;
+                let reduce = ReduceOp::from_wire_code(r.get_u8()?)
+                    .ok_or(WireError::Codec(CodecError::Malformed("reduce op tag")))?;
+                Message::MapTask {
+                    seq,
+                    epoch,
+                    block_id,
+                    job: JobSpec { map, reduce },
+                    block: bytes::get_block(&mut r)?,
+                }
+            }
+            5 => Message::MapComplete {
+                seq: r.get_u64()?,
+                epoch: r.get_u32()?,
+                block_id: r.get_u32()?,
+                clusters: bytes::get_key_counts(&mut r)?,
+            },
+            6 => {
+                let seq = r.get_u64()?;
+                let epoch = r.get_u32()?;
+                let block_id = r.get_u32()?;
+                let n = r.get_len(4)?;
+                let mut assignment = Vec::with_capacity(n);
+                for _ in 0..n {
+                    assignment.push(r.get_u32()?);
+                }
+                Message::ShuffleAssign {
+                    seq,
+                    epoch,
+                    block_id,
+                    assignment,
+                }
+            }
+            7 => {
+                let seq = r.get_u64()?;
+                let epoch = r.get_u32()?;
+                let bucket = r.get_u32()?;
+                let reduce = ReduceOp::from_wire_code(r.get_u8()?)
+                    .ok_or(WireError::Codec(CodecError::Malformed("reduce op tag")))?;
+                let n = r.get_len(10)?;
+                let mut sources = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let worker = r.get_u32()?;
+                    let ip = Ipv4Addr::new(r.get_u8()?, r.get_u8()?, r.get_u8()?, r.get_u8()?);
+                    let port = r.get_u16()?;
+                    sources.push(ShuffleSource {
+                        worker,
+                        addr: SocketAddrV4::new(ip, port),
+                    });
+                }
+                Message::ReduceTask {
+                    seq,
+                    epoch,
+                    bucket,
+                    reduce,
+                    sources,
+                }
+            }
+            8 => {
+                let seq = r.get_u64()?;
+                let epoch = r.get_u32()?;
+                let bucket = r.get_u32()?;
+                let tuples = r.get_u64()?;
+                let keys = r.get_u64()?;
+                let fragments = r.get_u64()?;
+                let n = r.get_len(FRAGMENT_WIRE_SIZE)?;
+                let mut aggregates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    aggregates.push((Key(r.get_u64()?), r.get_f64()?));
+                }
+                Message::ReduceComplete {
+                    seq,
+                    epoch,
+                    bucket,
+                    tuples,
+                    keys,
+                    fragments,
+                    aggregates,
+                }
+            }
+            9 => Message::BatchDone { seq: r.get_u64()? },
+            10 => Message::Shutdown,
+            11 => Message::Fetch {
+                seq: r.get_u64()?,
+                epoch: r.get_u32()?,
+                bucket: r.get_u32()?,
+            },
+            12 => {
+                let ready = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Codec(CodecError::Malformed("ready flag"))),
+                };
+                let n = r.get_len(8)?;
+                let mut segments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let block_id = r.get_u32()?;
+                    let m = r.get_len(24)?;
+                    let mut items = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        items.push((Key(r.get_u64()?), r.get_f64()?, r.get_u64()?));
+                    }
+                    segments.push(ShuffleSegment { block_id, items });
+                }
+                Message::FetchReply { ready, segments }
+            }
+            13 => Message::WorkerError {
+                worker: r.get_u32()?,
+                seq: r.get_u64()?,
+                epoch: r.get_u32()?,
+                blame: r.get_u32()?,
+                detail: r.get_str()?,
+            },
+            other => return Err(WireError::UnknownType(other)),
+        };
+        r.expect_empty()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prompt_core::batch::KeyFragment;
+    use prompt_core::types::{Time, Tuple};
+
+    /// One exemplar of every message variant.
+    pub(crate) fn exemplars() -> Vec<Message> {
+        let block = DataBlock {
+            tuples: vec![
+                Tuple {
+                    ts: Time(1),
+                    key: Key(7),
+                    value: 1.5,
+                },
+                Tuple {
+                    ts: Time(2),
+                    key: Key(7),
+                    value: -0.5,
+                },
+            ],
+            fragments: vec![KeyFragment {
+                key: Key(7),
+                count: 2,
+            }],
+        };
+        vec![
+            Message::Register {
+                worker: 3,
+                shuffle_port: 40_001,
+            },
+            Message::RegisterAck {
+                worker: 3,
+                heartbeat_ms: 100,
+            },
+            Message::Heartbeat { worker: 3 },
+            Message::MapTask {
+                seq: 9,
+                epoch: 2,
+                block_id: 1,
+                job: JobSpec {
+                    map: MapSpec::Identity,
+                    reduce: ReduceOp::Sum,
+                },
+                block,
+            },
+            Message::MapComplete {
+                seq: 9,
+                epoch: 2,
+                block_id: 1,
+                clusters: vec![(Key(7), 2), (Key(9), 1)],
+            },
+            Message::ShuffleAssign {
+                seq: 9,
+                epoch: 2,
+                block_id: 1,
+                assignment: vec![0, 3, 1],
+            },
+            Message::ReduceTask {
+                seq: 9,
+                epoch: 2,
+                bucket: 3,
+                reduce: ReduceOp::Max,
+                sources: vec![ShuffleSource {
+                    worker: 1,
+                    addr: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 40_002),
+                }],
+            },
+            Message::ReduceComplete {
+                seq: 9,
+                epoch: 2,
+                bucket: 3,
+                tuples: 100,
+                keys: 2,
+                fragments: 4,
+                aggregates: vec![(Key(7), 1.0), (Key(9), f64::NEG_INFINITY)],
+            },
+            Message::BatchDone { seq: 9 },
+            Message::Shutdown,
+            Message::Fetch {
+                seq: 9,
+                epoch: 2,
+                bucket: 3,
+            },
+            Message::FetchReply {
+                ready: true,
+                segments: vec![ShuffleSegment {
+                    block_id: 1,
+                    items: vec![(Key(7), 1.0, 2), (Key(9), -0.0, 1)],
+                }],
+            },
+            Message::WorkerError {
+                worker: 2,
+                seq: 9,
+                epoch: 2,
+                blame: 1,
+                detail: "fetch from worker 1 timed out".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for msg in exemplars() {
+            let frame = msg.encode();
+            let back = Message::decode(&frame).unwrap_or_else(|e| panic!("{}: {e}", msg.kind()));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut frame = Message::Shutdown.encode();
+        frame[0] ^= 0xff;
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut frame = Message::Shutdown.encode();
+        frame[4] = PROTOCOL_VERSION + 1;
+        assert_eq!(
+            Message::decode(&frame),
+            Err(WireError::BadVersion(PROTOCOL_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        for msg in exemplars() {
+            let frame = msg.encode();
+            for cut in 0..frame.len() {
+                assert!(
+                    Message::decode(&frame[..cut]).is_err(),
+                    "{} decoded from {cut}/{} bytes",
+                    msg.kind(),
+                    frame.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_rejected() {
+        let mut frame = Message::Shutdown.encode();
+        frame[6..10].copy_from_slice(&(MAX_PAYLOAD_LEN + 1).to_le_bytes());
+        assert_eq!(
+            Message::decode(&frame),
+            Err(WireError::FrameTooLarge(MAX_PAYLOAD_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut frame = Message::Shutdown.encode();
+        frame[5] = 200;
+        assert_eq!(Message::decode(&frame), Err(WireError::UnknownType(200)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = Message::Heartbeat { worker: 1 }.encode();
+        // Grow the payload by one byte and fix up the length field.
+        frame.push(0);
+        let len = (frame.len() - HEADER_LEN) as u32;
+        frame[6..10].copy_from_slice(&len.to_le_bytes());
+        assert!(Message::decode(&frame).is_err());
+    }
+}

@@ -1,0 +1,500 @@
+//! The worker side of the distributed runtime: control-plane loop, map/reduce
+//! task execution, and the shuffle data-plane server.
+//!
+//! A worker is a plain function ([`run_worker`]) so it can run as a spawned
+//! process (`prompt-worker` binary) or as an in-process thread (tests, and
+//! the fallback when no worker binary can be found). Lifecycle:
+//!
+//! 1. bind an ephemeral loopback shuffle listener;
+//! 2. connect to the driver (with retry — the worker may start first),
+//!    `Register` with the shuffle port, receive `RegisterAck`;
+//! 3. heartbeat from a side thread at the acked period;
+//! 4. serve control messages until `Shutdown` or connection loss.
+//!
+//! Determinism: the map fold is literally `threaded::map_block` (key-sorted
+//! clusters), and reduce merges fetched segments in global block order then
+//! key order — the exact merge sequence of the serial engine, so `f64`
+//! aggregates are bit-identical.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration as WallDuration;
+
+use prompt_core::hash::KeyMap;
+use prompt_core::types::Key;
+
+use super::transport::{FrameConn, NetCounters, NetError, RetryPolicy};
+use super::wire::{Message, ShuffleSegment, ShuffleSource};
+use crate::job::ReduceOp;
+use crate::threaded::{map_block, ClusterList};
+
+/// How long a shuffle fetch keeps retrying `NotReady` before blaming the
+/// source (attempts × delay ≈ 5 s).
+const NOT_READY_ATTEMPTS: u32 = 500;
+const NOT_READY_DELAY: WallDuration = WallDuration::from_millis(10);
+
+/// Read timeout on shuffle-plane sockets.
+const SHUFFLE_IO_TIMEOUT: WallDuration = WallDuration::from_secs(5);
+
+/// Options for [`run_worker`].
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerOptions {
+    /// This worker's id (assigned by the spawner; must be unique per run).
+    pub worker: u32,
+    /// Retry policy for dialing the driver and shuffle peers.
+    pub retry: RetryPolicy,
+}
+
+impl WorkerOptions {
+    /// Default options for worker `worker`.
+    pub fn new(worker: u32) -> WorkerOptions {
+        WorkerOptions {
+            worker,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Map outputs stashed between `MapTask` and `ShuffleAssign`, keyed by
+/// `(seq, epoch)` with a per-bucket segment store once assigned.
+#[derive(Debug, Default)]
+struct ShuffleStore {
+    batches: HashMap<(u64, u32), BatchShuffle>,
+}
+
+#[derive(Debug, Default)]
+struct BatchShuffle {
+    /// Blocks mapped on this worker whose assignment has not arrived yet.
+    /// A bucket is fetchable only once this drains to zero.
+    pending_blocks: usize,
+    buckets: HashMap<u32, Vec<ShuffleSegment>>,
+}
+
+impl ShuffleStore {
+    fn begin_block(&mut self, seq: u64, epoch: u32) {
+        self.batches.entry((seq, epoch)).or_default().pending_blocks += 1;
+    }
+
+    fn add_block(
+        &mut self,
+        seq: u64,
+        epoch: u32,
+        block_id: u32,
+        ordered: &ClusterList,
+        assignment: &[u32],
+    ) {
+        let batch = self
+            .batches
+            .get_mut(&(seq, epoch))
+            .expect("assignment for a block never begun");
+        for (&(key, (value, n)), &bucket) in ordered.iter().zip(assignment) {
+            let segs = batch.buckets.entry(bucket).or_default();
+            match segs.last_mut() {
+                Some(seg) if seg.block_id == block_id => seg.items.push((key, value, n as u64)),
+                _ => segs.push(ShuffleSegment {
+                    block_id,
+                    items: vec![(key, value, n as u64)],
+                }),
+            }
+        }
+        batch.pending_blocks -= 1;
+    }
+
+    fn fetch(&self, seq: u64, epoch: u32, bucket: u32) -> Message {
+        match self.batches.get(&(seq, epoch)) {
+            Some(b) if b.pending_blocks == 0 => Message::FetchReply {
+                ready: true,
+                segments: b.buckets.get(&bucket).cloned().unwrap_or_default(),
+            },
+            _ => Message::FetchReply {
+                ready: false,
+                segments: Vec::new(),
+            },
+        }
+    }
+
+    fn gc(&mut self, seq: u64) {
+        self.batches.retain(|&(s, _), _| s != seq);
+    }
+}
+
+/// Run a worker against the driver at `driver`. Returns when the driver
+/// sends `Shutdown` (Ok) or the control connection fails (Err).
+pub fn run_worker(driver: SocketAddr, opts: WorkerOptions) -> Result<(), NetError> {
+    let counters = NetCounters::shared();
+    let stop = Arc::new(AtomicBool::new(false));
+    let store = Arc::new(Mutex::new(ShuffleStore::default()));
+
+    // Shuffle data plane: always an ephemeral loopback port, reported to the
+    // driver in Register.
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let shuffle_port = listener.local_addr()?.port();
+    let acceptor = spawn_shuffle_acceptor(
+        listener,
+        Arc::clone(&store),
+        Arc::clone(&stop),
+        Arc::clone(&counters),
+    );
+
+    let result = control_loop(driver, opts, &counters, &store, shuffle_port, &stop);
+
+    stop.store(true, Ordering::SeqCst);
+    let _ = acceptor.join();
+    result
+}
+
+fn control_loop(
+    driver: SocketAddr,
+    opts: WorkerOptions,
+    counters: &Arc<NetCounters>,
+    store: &Arc<Mutex<ShuffleStore>>,
+    shuffle_port: u16,
+    stop: &Arc<AtomicBool>,
+) -> Result<(), NetError> {
+    let mut conn = opts.retry.connect(driver, counters)?;
+    conn.send(&Message::Register {
+        worker: opts.worker,
+        shuffle_port,
+    })?;
+    let heartbeat_ms = match conn.recv()? {
+        Message::RegisterAck { heartbeat_ms, .. } => heartbeat_ms,
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected register_ack, got {}",
+                other.kind()
+            )))
+        }
+    };
+
+    // Writes are shared between the main loop (task replies) and the
+    // heartbeat thread; reads stay exclusive to the main loop.
+    let writer = Arc::new(Mutex::new(conn.try_clone()?));
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(stop);
+        let worker = opts.worker;
+        let period = WallDuration::from_millis(u64::from(heartbeat_ms.max(1)));
+        std::thread::spawn(move || {
+            let tick = period.min(WallDuration::from_millis(25));
+            let mut elapsed = WallDuration::ZERO;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                elapsed += tick;
+                if elapsed >= period {
+                    elapsed = WallDuration::ZERO;
+                    if writer
+                        .lock()
+                        .expect("writer lock")
+                        .send(&Message::Heartbeat { worker })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+        })
+    };
+
+    let result = serve_tasks(&mut conn, &writer, opts, counters, store);
+
+    stop.store(true, Ordering::SeqCst);
+    // Unblock nothing — the heartbeat thread only sleeps in short ticks.
+    let _ = heartbeat.join();
+    result
+}
+
+fn serve_tasks(
+    conn: &mut FrameConn,
+    writer: &Arc<Mutex<FrameConn>>,
+    opts: WorkerOptions,
+    counters: &Arc<NetCounters>,
+    store: &Arc<Mutex<ShuffleStore>>,
+) -> Result<(), NetError> {
+    // Map outputs awaiting their ShuffleAssign, in full precision.
+    let mut pending: HashMap<(u64, u32, u32), ClusterList> = HashMap::new();
+    loop {
+        match conn.recv()? {
+            Message::MapTask {
+                seq,
+                epoch,
+                block_id,
+                job,
+                block,
+            } => {
+                let job = job.instantiate("net-task");
+                let ordered = map_block(&block.tuples, &job);
+                let clusters: Vec<(Key, u64)> =
+                    ordered.iter().map(|&(k, (_, n))| (k, n as u64)).collect();
+                store.lock().expect("store lock").begin_block(seq, epoch);
+                pending.insert((seq, epoch, block_id), ordered);
+                writer
+                    .lock()
+                    .expect("writer lock")
+                    .send(&Message::MapComplete {
+                        seq,
+                        epoch,
+                        block_id,
+                        clusters,
+                    })?;
+            }
+            Message::ShuffleAssign {
+                seq,
+                epoch,
+                block_id,
+                assignment,
+            } => {
+                if let Some(ordered) = pending.remove(&(seq, epoch, block_id)) {
+                    store.lock().expect("store lock").add_block(
+                        seq,
+                        epoch,
+                        block_id,
+                        &ordered,
+                        &assignment,
+                    );
+                }
+            }
+            Message::ReduceTask {
+                seq,
+                epoch,
+                bucket,
+                reduce,
+                sources,
+            } => {
+                let reply = match reduce_bucket(
+                    opts, counters, store, seq, epoch, bucket, reduce, &sources,
+                ) {
+                    Ok(done) => done,
+                    Err((blame, detail)) => Message::WorkerError {
+                        worker: opts.worker,
+                        seq,
+                        epoch,
+                        blame,
+                        detail,
+                    },
+                };
+                writer.lock().expect("writer lock").send(&reply)?;
+            }
+            Message::BatchDone { seq } => {
+                pending.retain(|&(s, _, _), _| s != seq);
+                store.lock().expect("store lock").gc(seq);
+            }
+            Message::Shutdown => return Ok(()),
+            // RegisterAck duplicates or anything unexpected: ignore.
+            _ => {}
+        }
+    }
+}
+
+/// Execute one Reduce task: fetch the bucket's segments from every source,
+/// merge deterministically, return the `ReduceComplete`. On failure returns
+/// `(blamed worker, detail)`.
+#[allow(clippy::too_many_arguments)]
+fn reduce_bucket(
+    opts: WorkerOptions,
+    counters: &Arc<NetCounters>,
+    store: &Arc<Mutex<ShuffleStore>>,
+    seq: u64,
+    epoch: u32,
+    bucket: u32,
+    reduce: ReduceOp,
+    sources: &[ShuffleSource],
+) -> Result<Message, (u32, String)> {
+    let mut segments: Vec<ShuffleSegment> = Vec::new();
+    for src in sources {
+        if src.worker == opts.worker {
+            // Local map outputs: the control stream is FIFO, so every
+            // ShuffleAssign for this worker's blocks was processed before
+            // this ReduceTask — the store is necessarily ready.
+            match store.lock().expect("store lock").fetch(seq, epoch, bucket) {
+                Message::FetchReply {
+                    ready: true,
+                    segments: segs,
+                } => segments.extend(segs),
+                _ => {
+                    return Err((
+                        opts.worker,
+                        "local shuffle state incomplete at reduce".into(),
+                    ))
+                }
+            }
+        } else {
+            segments.extend(fetch_remote(opts, counters, src, seq, epoch, bucket)?);
+        }
+    }
+
+    // Global block order, then within-segment key order: the serial
+    // engine's exact merge sequence (bit-identical f64 results).
+    segments.sort_unstable_by_key(|s| s.block_id);
+    let mut acc: KeyMap<f64> = KeyMap::default();
+    let mut tuples = 0u64;
+    let mut fragments = 0u64;
+    for seg in &segments {
+        for &(key, value, n) in &seg.items {
+            tuples += n;
+            fragments += 1;
+            acc.entry(key)
+                .and_modify(|a| *a = reduce.merge(*a, value))
+                .or_insert(value);
+        }
+    }
+    let keys = acc.len() as u64;
+    let mut aggregates: Vec<(Key, f64)> = acc.into_iter().collect();
+    aggregates.sort_unstable_by_key(|&(k, _)| k.0);
+    Ok(Message::ReduceComplete {
+        seq,
+        epoch,
+        bucket,
+        tuples,
+        keys,
+        fragments,
+        aggregates,
+    })
+}
+
+/// Fetch one bucket from a remote source, retrying `NotReady` with backoff.
+fn fetch_remote(
+    opts: WorkerOptions,
+    counters: &Arc<NetCounters>,
+    src: &ShuffleSource,
+    seq: u64,
+    epoch: u32,
+    bucket: u32,
+) -> Result<Vec<ShuffleSegment>, (u32, String)> {
+    let blame = |e: String| {
+        (
+            src.worker,
+            format!("shuffle fetch from worker {}: {e}", src.worker),
+        )
+    };
+    let mut conn = opts
+        .retry
+        .connect(SocketAddr::V4(src.addr), counters)
+        .map_err(|e| blame(format!("connect: {e}")))?;
+    conn.set_read_timeout(Some(SHUFFLE_IO_TIMEOUT))
+        .map_err(|e| blame(format!("timeout setup: {e}")))?;
+    for _ in 0..NOT_READY_ATTEMPTS {
+        conn.send(&Message::Fetch { seq, epoch, bucket })
+            .map_err(|e| blame(format!("send: {e}")))?;
+        match conn.recv() {
+            Ok(Message::FetchReply {
+                ready: true,
+                segments,
+            }) => return Ok(segments),
+            Ok(Message::FetchReply { ready: false, .. }) => {
+                std::thread::sleep(NOT_READY_DELAY);
+            }
+            Ok(other) => return Err(blame(format!("unexpected reply {}", other.kind()))),
+            Err(e) => return Err(blame(format!("recv: {e}"))),
+        }
+    }
+    Err(blame("bucket never became ready".into()))
+}
+
+/// Accept shuffle connections until `stop`; each connection gets a serving
+/// thread answering `Fetch` requests from the shared store.
+fn spawn_shuffle_acceptor(
+    listener: TcpListener,
+    store: Arc<Mutex<ShuffleStore>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        listener
+            .set_nonblocking(true)
+            .expect("shuffle listener nonblocking");
+        let mut serving: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .expect("accepted stream blocking");
+                    let conn = FrameConn::new(stream, Arc::clone(&counters));
+                    let store = Arc::clone(&store);
+                    let stop = Arc::clone(&stop);
+                    serving.push(std::thread::spawn(move || serve_fetches(conn, store, stop)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(WallDuration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        for h in serving {
+            let _ = h.join();
+        }
+    })
+}
+
+fn serve_fetches(mut conn: FrameConn, store: Arc<Mutex<ShuffleStore>>, stop: Arc<AtomicBool>) {
+    if conn
+        .set_read_timeout(Some(WallDuration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match conn.recv() {
+            Ok(Message::Fetch { seq, epoch, bucket }) => {
+                let reply = store.lock().expect("store lock").fetch(seq, epoch, bucket);
+                if conn.send(&reply).is_err() {
+                    return;
+                }
+            }
+            Ok(_) => return,
+            Err(e) if e.is_timeout() => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_readiness_follows_pending_blocks() {
+        let mut store = ShuffleStore::default();
+        store.begin_block(4, 1);
+        store.begin_block(4, 1);
+        let ordered: ClusterList = vec![(Key(1), (2.0, 2)), (Key(5), (1.0, 1))];
+        assert!(matches!(
+            store.fetch(4, 1, 0),
+            Message::FetchReply { ready: false, .. }
+        ));
+        store.add_block(4, 1, 0, &ordered, &[0, 1]);
+        assert!(
+            matches!(
+                store.fetch(4, 1, 0),
+                Message::FetchReply { ready: false, .. }
+            ),
+            "one block still unassigned"
+        );
+        store.add_block(4, 1, 1, &ordered, &[1, 1]);
+        match store.fetch(4, 1, 1) {
+            Message::FetchReply { ready, segments } => {
+                assert!(ready);
+                // Bucket 1 got key 5 from block 0 and both keys from block 1.
+                assert_eq!(segments.len(), 2);
+                assert_eq!(segments[0].items, vec![(Key(5), 1.0, 1)]);
+                assert_eq!(segments[1].items, vec![(Key(1), 2.0, 2), (Key(5), 1.0, 1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown (seq, epoch) is not ready; GC forgets the batch.
+        assert!(matches!(
+            store.fetch(9, 1, 0),
+            Message::FetchReply { ready: false, .. }
+        ));
+        store.gc(4);
+        assert!(matches!(
+            store.fetch(4, 1, 1),
+            Message::FetchReply { ready: false, .. }
+        ));
+    }
+}

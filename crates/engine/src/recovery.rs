@@ -189,6 +189,80 @@ impl FaultPlan {
     }
 }
 
+/// Where in a batch's distributed execution an injected worker kill fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Kill the worker before any task of the batch is dispatched to it.
+    BeforeMap,
+    /// Kill the worker after the Map stage completes, mid-shuffle — the
+    /// worker's un-fetched map outputs die with it.
+    AfterMap,
+}
+
+/// One scripted worker kill for the distributed backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetFault {
+    /// Batch sequence number the kill fires during.
+    pub seq: u64,
+    /// The worker id to kill.
+    pub worker: u32,
+    /// Where in the batch the kill fires.
+    pub point: FaultPoint,
+}
+
+/// Scripted worker kills for the distributed backend — the `FaultPlan`
+/// analogue whose failure source is a real dead process rather than
+/// simulated state loss. Each kill terminates the worker (process kill or
+/// socket shutdown for thread-mode workers); the driver then observes the
+/// loss and recomputes the in-flight batch from the replicated store.
+#[derive(Clone, Debug, Default)]
+pub struct NetFaultPlan {
+    /// The scripted kills, in no particular order.
+    pub kills: Vec<NetFault>,
+}
+
+impl NetFaultPlan {
+    /// No kills.
+    pub fn none() -> NetFaultPlan {
+        NetFaultPlan::default()
+    }
+
+    /// Kill `worker` before batch `seq` dispatches any task to it.
+    pub fn kill_before(mut self, seq: u64, worker: u32) -> NetFaultPlan {
+        self.kills.push(NetFault {
+            seq,
+            worker,
+            point: FaultPoint::BeforeMap,
+        });
+        self
+    }
+
+    /// Kill `worker` mid-batch: after `seq`'s Map stage, before its
+    /// shuffle completes.
+    pub fn kill_after_map(mut self, seq: u64, worker: u32) -> NetFaultPlan {
+        self.kills.push(NetFault {
+            seq,
+            worker,
+            point: FaultPoint::AfterMap,
+        });
+        self
+    }
+
+    /// Worker ids scheduled to die at (`seq`, `point`).
+    pub fn kills_at(&self, seq: u64, point: FaultPoint) -> Vec<u32> {
+        self.kills
+            .iter()
+            .filter(|f| f.seq == seq && f.point == point)
+            .map(|f| f.worker)
+            .collect()
+    }
+
+    /// Whether any kill is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

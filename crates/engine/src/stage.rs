@@ -34,7 +34,7 @@ impl BatchOutput {
 }
 
 /// Task- and stage-level timings of one executed batch.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StageTimes {
     /// Per-Map-task execution times (length = number of blocks).
     pub map_tasks: Vec<Duration>,
@@ -50,6 +50,49 @@ impl StageTimes {
     /// Total processing time: Map stage then Reduce stage (Eqn. 1).
     pub fn processing(&self) -> Duration {
         self.map_stage + self.reduce_stage
+    }
+}
+
+/// Shuffle-volume statistics of one Reduce bucket — the inputs the
+/// [`CostModel`] charges a Reduce task for. Backends that execute for real
+/// (threads, processes) report these so their virtual stage times are
+/// computed from exactly the same quantities as the serial simulator's.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BucketStats {
+    /// Mapped tuples folded into the bucket's partials.
+    pub tuples: usize,
+    /// Distinct keys reduced in the bucket.
+    pub keys: usize,
+    /// (key, map-task) partials merged — the fragment count.
+    pub fragments: usize,
+}
+
+/// Derive [`StageTimes`] from a plan plus per-bucket shuffle statistics:
+/// Map-task costs come from the blocks, Reduce-task costs from the reported
+/// stats, stage times as cluster makespans. Given equal stats this is
+/// bit-identical to what [`execute_batch`] computes inline.
+pub fn times_from_stats(
+    plan: &PartitionPlan,
+    stats: &[BucketStats],
+    cost: &CostModel,
+    cluster: &Cluster,
+) -> StageTimes {
+    let map_tasks: Vec<Duration> = plan
+        .blocks
+        .iter()
+        .map(|b| cost.map_task(b.size(), b.cardinality()))
+        .collect();
+    let reduce_tasks: Vec<Duration> = stats
+        .iter()
+        .map(|s| cost.reduce_task(s.tuples, s.keys, s.fragments))
+        .collect();
+    let map_stage = cluster.makespan(&map_tasks);
+    let reduce_stage = cluster.makespan(&reduce_tasks);
+    StageTimes {
+        map_tasks,
+        reduce_tasks,
+        map_stage,
+        reduce_stage,
     }
 }
 

@@ -34,8 +34,8 @@ use prompt_core::reduce::{KeyCluster, ReduceAssigner};
 use prompt_core::types::Key;
 
 use crate::job::Job;
-use crate::stage::BatchOutput;
-use crate::trace::{StageKind, TraceRecorder};
+use crate::stage::{BatchOutput, BucketStats};
+use crate::trace::{Counter, StageKind, TraceRecorder};
 
 /// Wall-clock timings of a threaded batch execution.
 #[derive(Clone, Copy, Debug, Default)]
@@ -62,7 +62,7 @@ pub struct ThreadedExecutor {
     pub threads: usize,
 }
 
-type ClusterList = Vec<(Key, (f64, usize))>;
+pub(crate) type ClusterList = Vec<(Key, (f64, usize))>;
 
 impl ThreadedExecutor {
     /// Create an executor with the given parallelism (≥ 1).
@@ -96,6 +96,22 @@ impl ThreadedExecutor {
         r: usize,
         trace: Option<(&TraceRecorder, u64)>,
     ) -> (BatchOutput, WallTimes) {
+        let (out, _, times) = self.execute_with_stats(plan, job, assigner, r, trace);
+        (out, times)
+    }
+
+    /// [`ThreadedExecutor::execute_traced`] that additionally reports the
+    /// per-bucket shuffle statistics, so a driver can cost the batch with
+    /// the same [`crate::cost::CostModel`] quantities the serial simulator
+    /// uses (see [`crate::stage::times_from_stats`]).
+    pub fn execute_with_stats(
+        &self,
+        plan: &PartitionPlan,
+        job: &Job,
+        assigner: &mut dyn ReduceAssigner,
+        r: usize,
+        trace: Option<(&TraceRecorder, u64)>,
+    ) -> (BatchOutput, Vec<BucketStats>, WallTimes) {
         assert!(r > 0, "need at least one reduce bucket");
         let mut times = WallTimes::default();
 
@@ -151,13 +167,22 @@ impl ThreadedExecutor {
                     .iter()
                     .map(|&(key, (_, n))| KeyCluster { key, size: n })
                     .collect();
-                assigner.assign(&descs, &plan.split_keys, r)
+                let assignment = assigner.assign(&descs, &plan.split_keys, r);
+                if let Some((rec, _)) = trace {
+                    rec.incr(Counter::ScatterFragments, assignment.len() as u64);
+                    let split = descs
+                        .iter()
+                        .filter(|c| plan.split_keys.contains(&c.key))
+                        .count();
+                    rec.incr(Counter::SplitKeyFragments, split as u64);
+                }
+                assignment
             })
             .collect();
         // Scatter: worker `w` owns buckets `b` with `b % workers == w`, so
         // writes are disjoint and each bucket is filled in the same order a
         // serial loop would fill it.
-        let buckets: Vec<Vec<(Key, f64)>> = {
+        let buckets: Vec<Vec<(Key, f64, usize)>> = {
             let workers = self.threads.min(r);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
@@ -166,11 +191,11 @@ impl ThreadedExecutor {
                         let assignments = &assignments;
                         scope.spawn(move || {
                             let owned = (r - w).div_ceil(workers);
-                            let mut mine: Vec<Vec<(Key, f64)>> = vec![Vec::new(); owned];
+                            let mut mine: Vec<Vec<(Key, f64, usize)>> = vec![Vec::new(); owned];
                             for (ordered, assignment) in map_outputs.iter().zip(assignments) {
-                                for (&(key, (value, _)), &b) in ordered.iter().zip(assignment) {
+                                for (&(key, (value, n)), &b) in ordered.iter().zip(assignment) {
                                     if b % workers == w {
-                                        mine[b / workers].push((key, value));
+                                        mine[b / workers].push((key, value, n));
                                     }
                                 }
                             }
@@ -178,7 +203,7 @@ impl ThreadedExecutor {
                         })
                     })
                     .collect();
-                let mut buckets: Vec<Vec<(Key, f64)>> = vec![Vec::new(); r];
+                let mut buckets: Vec<Vec<(Key, f64, usize)>> = vec![Vec::new(); r];
                 for (w, h) in handles.into_iter().enumerate() {
                     for (j, filled) in h
                         .join()
@@ -200,7 +225,7 @@ impl ThreadedExecutor {
         // --- Parallel Reduce: merge partials per bucket. ---
         let t2 = Instant::now();
         let next_bucket = AtomicUsize::new(0);
-        let mut reduced: Vec<Option<KeyMap<f64>>> = Vec::new();
+        let mut reduced: Vec<Option<(KeyMap<f64>, BucketStats)>> = Vec::new();
         reduced.resize_with(r, || None);
         std::thread::scope(|scope| {
             let workers = self.threads.min(r);
@@ -209,19 +234,26 @@ impl ThreadedExecutor {
                     let buckets = &buckets;
                     let next_bucket = &next_bucket;
                     scope.spawn(move || {
-                        let mut local: Vec<(usize, KeyMap<f64>)> = Vec::new();
+                        let mut local: Vec<(usize, (KeyMap<f64>, BucketStats))> = Vec::new();
                         loop {
                             let b = next_bucket.fetch_add(1, Ordering::Relaxed);
                             if b >= r {
                                 break;
                             }
                             let mut acc: KeyMap<f64> = KeyMap::default();
-                            for &(key, value) in &buckets[b] {
+                            let mut tuples = 0usize;
+                            for &(key, value, n) in &buckets[b] {
+                                tuples += n;
                                 acc.entry(key)
                                     .and_modify(|a| *a = job.reduce.merge(*a, value))
                                     .or_insert(value);
                             }
-                            local.push((b, acc));
+                            let stats = BucketStats {
+                                tuples,
+                                keys: acc.len(),
+                                fragments: buckets[b].len(),
+                            };
+                            local.push((b, (acc, stats)));
                         }
                         local
                     })
@@ -234,7 +266,12 @@ impl ThreadedExecutor {
             }
         });
         let mut aggregates: KeyMap<f64> = KeyMap::default();
-        for m in reduced.into_iter().flatten() {
+        let mut stats = Vec::with_capacity(r);
+        for (m, s) in reduced
+            .into_iter()
+            .map(|o| o.expect("every bucket reduced"))
+        {
+            stats.push(s);
             for (k, v) in m {
                 let prev = aggregates.insert(k, v);
                 debug_assert!(prev.is_none(), "key reduced twice");
@@ -245,7 +282,7 @@ impl ThreadedExecutor {
             rec.phase(seq, StageKind::ReduceStage, wall(times.reduce));
         }
 
-        (BatchOutput { aggregates }, times)
+        (BatchOutput { aggregates }, stats, times)
     }
 }
 
@@ -254,8 +291,10 @@ fn wall(d: std::time::Duration) -> prompt_core::types::Duration {
     prompt_core::types::Duration::from_micros(d.as_micros() as u64)
 }
 
-/// Map + local combine over one block, clusters in key order.
-fn map_block(tuples: &[prompt_core::types::Tuple], job: &Job) -> ClusterList {
+/// Map + local combine over one block, clusters in key order. Shared with
+/// the distributed worker (`net::worker`), which runs the identical fold so
+/// map outputs are bit-identical across backends.
+pub(crate) fn map_block(tuples: &[prompt_core::types::Tuple], job: &Job) -> ClusterList {
     let mut clusters: KeyMap<(f64, usize)> = KeyMap::default();
     for t in tuples {
         if let Some(v) = (job.map)(t) {

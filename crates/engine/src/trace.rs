@@ -160,6 +160,9 @@ pub enum Counter {
     Stragglers,
     /// Recovery recomputations performed.
     Recoveries,
+    /// Distributed workers declared lost (heartbeat timeout, socket failure
+    /// or injected kill).
+    WorkersLost,
     /// Batches whose queue delay exceeded the back-pressure threshold.
     BackpressureBatches,
     /// Sustainable-rate probes that came back sustainable.
@@ -170,7 +173,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 15] = [
         Counter::Batches,
         Counter::Tuples,
         Counter::ScatterFragments,
@@ -182,6 +185,7 @@ impl Counter {
         Counter::GraceEntries,
         Counter::Stragglers,
         Counter::Recoveries,
+        Counter::WorkersLost,
         Counter::BackpressureBatches,
         Counter::ProbesSustainable,
         Counter::ProbesUnsustainable,
@@ -201,6 +205,7 @@ impl Counter {
             Counter::GraceEntries => "grace_entries",
             Counter::Stragglers => "stragglers",
             Counter::Recoveries => "recoveries",
+            Counter::WorkersLost => "workers_lost",
             Counter::BackpressureBatches => "backpressure_batches",
             Counter::ProbesSustainable => "probes_sustainable",
             Counter::ProbesUnsustainable => "probes_unsustainable",
@@ -285,6 +290,14 @@ pub enum TraceEvent {
         /// Replicas remaining after this recovery consumed one.
         replicas_left: usize,
     },
+    /// The driver declared a distributed worker lost while batch `seq` was
+    /// in flight (the decision that triggers recomputation).
+    WorkerLost {
+        /// Batch sequence number in flight at the loss.
+        seq: u64,
+        /// The lost worker's id.
+        worker: u32,
+    },
     /// Batch `seq` queued past the back-pressure threshold.
     Backpressure {
         /// Batch sequence number.
@@ -324,6 +337,7 @@ impl TraceEvent {
             | TraceEvent::Grace { seq, .. }
             | TraceEvent::Straggler { seq, .. }
             | TraceEvent::Recovery { seq, .. }
+            | TraceEvent::WorkerLost { seq, .. }
             | TraceEvent::Backpressure { seq, .. } => Some(seq),
             TraceEvent::Probe { .. } => None,
         }
@@ -373,6 +387,9 @@ impl TraceEvent {
             TraceEvent::Recovery { seq, replicas_left } => format!(
                 "{{\"type\":\"recovery\",\"seq\":{seq},\"replicas_left\":{replicas_left}}}"
             ),
+            TraceEvent::WorkerLost { seq, worker } => {
+                format!("{{\"type\":\"worker_lost\",\"seq\":{seq},\"worker\":{worker}}}")
+            }
             TraceEvent::Backpressure {
                 seq,
                 queue_us,
@@ -523,6 +540,10 @@ fn parse_event(line: &str) -> Result<TraceEvent, String> {
         "recovery" => Ok(TraceEvent::Recovery {
             seq: num("seq")?,
             replicas_left: num("replicas_left")? as usize,
+        }),
+        "worker_lost" => Ok(TraceEvent::WorkerLost {
+            seq: num("seq")?,
+            worker: num("worker")? as u32,
         }),
         "backpressure" => Ok(TraceEvent::Backpressure {
             seq: num("seq")?,
@@ -981,6 +1002,7 @@ mod tests {
                 seq: 9,
                 replicas_left: 1,
             },
+            TraceEvent::WorkerLost { seq: 9, worker: 2 },
             TraceEvent::Backpressure {
                 seq: 10,
                 queue_us: 2_500_000,

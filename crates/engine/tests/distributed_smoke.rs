@@ -1,0 +1,227 @@
+//! The distributed acceptance gate: real `prompt-worker` processes over
+//! loopback TCP must be **bit-identical** to the serial in-process engine —
+//! per-batch plans, stage times, aggregates and window outputs — and a
+//! worker killed mid-run must be detected, recomputed from the replicated
+//! store, and leave the outputs unchanged.
+//!
+//! These spawn OS processes, so they live in their own test binary (CI runs
+//! it as the `distributed-smoke` job) rather than the fast unit tier.
+
+use prompt_core::partitioner::Technique;
+use prompt_core::types::{Duration, Interval, Key, Time, Tuple};
+use prompt_engine::prelude::*;
+
+/// Point the engine's worker-binary resolution at the freshly built
+/// `prompt-worker` before any runtime launches. Cargo guarantees the binary
+/// exists when this test binary runs.
+fn ensure_worker_bin() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        std::env::set_var("PROMPT_WORKER_BIN", env!("CARGO_BIN_EXE_prompt-worker"));
+    });
+}
+
+/// Skewed workload: key 0 takes ~40% of tuples, the rest spread over a
+/// round-robin tail with varying values.
+fn skewed_source(rate: usize, keys: u64) -> impl TupleSource {
+    move |iv: Interval, out: &mut Vec<Tuple>| {
+        let step = iv.len().0 / (rate as u64 + 1);
+        for i in 0..rate {
+            let key = if i % 5 < 2 {
+                0
+            } else {
+                1 + (i as u64 % (keys - 1))
+            };
+            out.push(Tuple {
+                ts: Time(iv.start.0 + step * (i as u64 + 1)),
+                key: Key(key),
+                value: (i % 17) as f64 - 4.5,
+            });
+        }
+    }
+}
+
+/// Uniform workload with a drifting key set, stressing re-registration of
+/// clusters across batches.
+fn drifting_source(rate: usize, keys: u64) -> impl TupleSource {
+    move |iv: Interval, out: &mut Vec<Tuple>| {
+        let step = iv.len().0 / (rate as u64 + 1);
+        let shift = iv.start.0 / 1_000_000; // one new key band per batch
+        for i in 0..rate {
+            out.push(Tuple {
+                ts: Time(iv.start.0 + step * (i as u64 + 1)),
+                key: Key((i as u64 + shift * 3) % keys),
+                value: 1.0 + (i % 7) as f64,
+            });
+        }
+    }
+}
+
+fn cfg_with(backend: Backend) -> EngineConfig {
+    EngineConfig {
+        batch_interval: Duration::from_secs(1),
+        map_tasks: 4,
+        reduce_tasks: 3,
+        cluster: Cluster::new(2, 4),
+        backend,
+        ..EngineConfig::default()
+    }
+}
+
+/// Assert two runs are bit-identical in everything the paper's figures are
+/// built from: per-batch sizes, plans, stage times, latencies and windows.
+fn assert_runs_identical(serial: &RunResult, dist: &RunResult) {
+    assert_eq!(serial.batches.len(), dist.batches.len());
+    for (a, b) in serial.batches.iter().zip(&dist.batches) {
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.n_tuples, b.n_tuples, "batch {}", a.seq);
+        assert_eq!(a.n_keys, b.n_keys, "batch {}", a.seq);
+        assert_eq!(a.map_tasks, b.map_tasks, "batch {}", a.seq);
+        assert_eq!(a.reduce_tasks, b.reduce_tasks, "batch {}", a.seq);
+        assert_eq!(a.map_stage, b.map_stage, "batch {} map stage", a.seq);
+        assert_eq!(
+            a.reduce_stage, b.reduce_stage,
+            "batch {} reduce stage",
+            a.seq
+        );
+        assert_eq!(a.processing, b.processing, "batch {} processing", a.seq);
+        assert_eq!(a.queue_delay, b.queue_delay, "batch {} queue delay", a.seq);
+        assert_eq!(a.latency, b.latency, "batch {} latency", a.seq);
+        assert_eq!(a.map_task_times, b.map_task_times, "batch {}", a.seq);
+        assert_eq!(a.reduce_task_times, b.reduce_task_times, "batch {}", a.seq);
+        assert_eq!(
+            a.plan_metrics, b.plan_metrics,
+            "batch {} plan metrics",
+            a.seq
+        );
+        assert!(a.w.to_bits() == b.w.to_bits(), "batch {} W", a.seq);
+    }
+    assert_eq!(serial.windows.len(), dist.windows.len());
+    for (a, b) in serial.windows.iter().zip(&dist.windows) {
+        assert_eq!(a.last_batch_seq, b.last_batch_seq);
+        assert_eq!(
+            a.aggregates, b.aggregates,
+            "window at batch {} must be bit-identical",
+            a.last_batch_seq
+        );
+    }
+}
+
+fn run_pair(
+    technique: Technique,
+    job: Job,
+    source_of: impl Fn() -> Box<dyn TupleSource>,
+    workers: usize,
+    n_batches: usize,
+) -> (RunResult, RunResult) {
+    ensure_worker_bin();
+    let window = WindowSpec::sliding(Duration::from_secs(3), Duration::from_secs(1));
+    let mut serial = StreamingEngine::new(cfg_with(Backend::InProcess), technique, 9, job.clone())
+        .with_window(window);
+    let serial_res = serial.run(source_of().as_mut(), n_batches);
+
+    let mut dist = StreamingEngine::new(
+        cfg_with(Backend::Distributed {
+            workers,
+            base_port: 0,
+        }),
+        technique,
+        9,
+        job,
+    )
+    .with_window(window);
+    let dist_res = dist.run(source_of().as_mut(), n_batches);
+    (serial_res, dist_res)
+}
+
+#[test]
+fn skewed_sum_two_processes_bit_identical() {
+    let (serial, dist) = run_pair(
+        Technique::Prompt,
+        Job::identity("sum", ReduceOp::Sum),
+        || Box::new(skewed_source(900, 23)),
+        2,
+        6,
+    );
+    assert_runs_identical(&serial, &dist);
+    assert_eq!(dist.worker_losses, 0);
+    assert_eq!(dist.recoveries, 0);
+    let net = dist.net.expect("distributed runs report wire stats");
+    assert_eq!(net.workers_lost, 0);
+    assert!(net.frames_sent > 0 && net.bytes_sent > 0);
+    assert!(serial.net.is_none(), "in-process runs have no wire stats");
+}
+
+#[test]
+fn drifting_count_three_processes_bit_identical() {
+    let (serial, dist) = run_pair(
+        Technique::Hash,
+        Job::identity("count", ReduceOp::Count),
+        || Box::new(drifting_source(700, 40)),
+        3,
+        6,
+    );
+    assert_runs_identical(&serial, &dist);
+    assert_eq!(dist.worker_losses, 0);
+}
+
+#[test]
+fn killed_worker_recovers_and_outputs_match_serial() {
+    ensure_worker_bin();
+    let job = Job::identity("sum", ReduceOp::Sum);
+    let window = WindowSpec::tumbling(Duration::from_secs(2));
+    let n_batches = 6;
+
+    let mut serial = StreamingEngine::new(
+        cfg_with(Backend::InProcess),
+        Technique::Prompt,
+        5,
+        job.clone(),
+    )
+    .with_window(window);
+    let serial_res = serial.run(&mut skewed_source(600, 15), n_batches);
+
+    let mut cfg = cfg_with(Backend::Distributed {
+        workers: 3,
+        base_port: 0,
+    });
+    cfg.trace = TraceLevel::Full;
+    let mut dist = StreamingEngine::new(cfg, Technique::Prompt, 5, job)
+        .with_window(window)
+        .with_net_faults(NetFaultPlan::none().kill_before(2, 1));
+    let (dist_res, rec) = dist.run_traced(&mut skewed_source(600, 15), n_batches);
+
+    // The kill really happened and was recovered from...
+    assert_eq!(dist_res.worker_losses, 1, "worker 1 dies at batch 2");
+    assert_eq!(dist_res.recoveries, 1);
+    assert_eq!(dist_res.net.expect("wire stats").workers_lost, 1);
+    assert_eq!(rec.counter(Counter::WorkersLost), 1);
+    assert_eq!(rec.counter(Counter::Recoveries), 1);
+    let events = rec.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::WorkerLost { seq: 2, worker: 1 })),
+        "worker-loss decision must be visible in the trace"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Recovery { seq: 2, .. })),
+        "recompute decision must be visible in the trace"
+    );
+
+    // ...and the survivors' recompute left every output bit-identical.
+    assert_eq!(serial_res.batches.len(), dist_res.batches.len());
+    for (a, b) in serial_res.batches.iter().zip(&dist_res.batches) {
+        assert_eq!(a.n_tuples, b.n_tuples, "batch {}", a.seq);
+        assert_eq!(a.plan_metrics, b.plan_metrics, "batch {} plan", a.seq);
+        assert_eq!(a.map_stage, b.map_stage, "batch {} map stage", a.seq);
+        assert_eq!(a.reduce_stage, b.reduce_stage, "batch {}", a.seq);
+        assert_eq!(a.processing, b.processing, "batch {} processing", a.seq);
+    }
+    assert_eq!(serial_res.windows.len(), dist_res.windows.len());
+    for (a, b) in serial_res.windows.iter().zip(&dist_res.windows) {
+        assert_eq!(a.aggregates, b.aggregates, "window {}", a.last_batch_seq);
+    }
+}

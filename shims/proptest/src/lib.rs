@@ -2,8 +2,9 @@
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
 //! the API subset its property tests use: the [`proptest!`] macro (with the
-//! `#![proptest_config(..)]` header), [`prop_assert!`]/[`prop_assert_eq!`],
-//! range and tuple strategies, [`collection::vec`], and
+//! `#![proptest_config(..)]` header), [`prop_assert!`]/[`prop_assert_eq!`]/
+//! [`prop_assert_ne!`], range and tuple strategies, [`strategy::any`] for
+//! primitive ints/bools, [`collection::vec`], and
 //! [`strategy::Strategy::prop_map`].
 //!
 //! Semantics differ from upstream in one deliberate way: there is **no input
@@ -96,9 +97,9 @@ impl Default for ProptestConfig {
 pub mod prelude {
     //! The glob import used by test files.
 
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
 }
 
 /// Define deterministic property tests. Supports an optional
@@ -181,6 +182,27 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}\n{}",
+            stringify!($left), stringify!($right), l, format!($($fmt)+)
+        );
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
@@ -231,6 +253,26 @@ mod tests {
             prop_assert_eq!(ys.len(), ys.iter().map(|&y| y / y).sum::<usize>());
             prop_assert!(!ys.is_empty(), "generated {} elements", ys.len());
         }
+
+        #[test]
+        fn any_covers_the_full_domain(x in any::<u64>(), b in any::<bool>(), s in any::<i8>()) {
+            // The values themselves are unconstrained; exercise the macros.
+            prop_assert_ne!(u128::from(x) + 1, 0u128);
+            prop_assert!(b || !b);
+            prop_assert!(i16::from(s) >= -128 && i16::from(s) <= 127);
+        }
+    }
+
+    #[test]
+    fn any_eventually_hits_extremes() {
+        // With 4096 draws of a u8 the probability of missing any fixed value
+        // is (255/256)^4096 ≈ 1e-7; deterministic seeding makes this stable.
+        let mut rng = TestRng::deterministic("extremes");
+        let mut seen = [false; 256];
+        for _ in 0..4096 {
+            seen[crate::strategy::any::<u8>().generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[255], "u8 extremes never generated");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::ops::{Range, RangeInclusive};
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::test_runner::TestRng;
 
@@ -101,6 +101,53 @@ tuple_strategy!(A, B);
 tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
+
+/// Types with a canonical full-domain strategy, selected via [`any`].
+/// The shim covers the primitive integers and `bool` — enough for wire
+/// fields — rather than upstream's blanket derive machinery.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draw one value uniformly from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`]: generates over the full domain of `T`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for FullRange<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for a primitive type: `any::<u64>()` replaces the
+/// hand-rolled `0u64..u64::MAX` (which silently excludes the maximum).
+pub fn any<T: Arbitrary>() -> FullRange<T> {
+    FullRange(std::marker::PhantomData)
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Truncating a uniform u64 stays uniform for every integer
+                // width ≤ 64 bits, signed or not.
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
 
 /// Collection length specification (`1..60`, `10..=80`, or a fixed `usize`).
 #[derive(Clone, Debug)]

@@ -1,0 +1,240 @@
+//! Property tests for the `prompt-net` wire codec.
+//!
+//! Every message variant must round-trip bit-exactly through
+//! `encode`/`decode` for arbitrary field values, and every malformed frame
+//! (truncated at any byte, wrong magic, wrong version, unknown type,
+//! oversized length) must be rejected with a typed error — never a panic or
+//! a garbage decode. These run in the fast root tier; the deterministic
+//! exemplar-based unit tests live next to the codec itself.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use prompt_core::batch::{DataBlock, KeyFragment};
+use prompt_core::types::{Key, Time, Tuple};
+use prompt_engine::job::{JobSpec, MapSpec, ReduceOp};
+use prompt_engine::net::wire::{
+    Message, ShuffleSegment, ShuffleSource, WireError, HEADER_LEN, MAGIC, PROTOCOL_VERSION,
+};
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+/// A finite payload value: full-precision mantissa exercise without the
+/// NaN != NaN equality hole (bit-preservation of the sign/infinities is
+/// covered by the codec's exemplar unit tests).
+fn value() -> impl Strategy<Value = f64> {
+    -1.0e12f64..1.0e12
+}
+
+fn round_trip(msg: Message) -> Result<(), proptest::test_runner::TestCaseError> {
+    let frame = msg.encode();
+    let back = Message::decode(&frame);
+    prop_assert_eq!(back.as_ref(), Ok(&msg), "kind = {}", msg.kind());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fixed_size_variants_round_trip(
+        worker in any::<u32>(),
+        port in any::<u16>(),
+        hb in any::<u32>(),
+        seq in any::<u64>(),
+        epoch in any::<u32>(),
+        bucket in any::<u32>(),
+    ) {
+        for msg in [
+            Message::Register { worker, shuffle_port: port },
+            Message::RegisterAck { worker, heartbeat_ms: hb },
+            Message::Heartbeat { worker },
+            Message::BatchDone { seq },
+            Message::Shutdown,
+            Message::Fetch { seq, epoch, bucket },
+        ] {
+            round_trip(msg)?;
+        }
+    }
+
+    #[test]
+    fn map_task_round_trips(
+        seq in any::<u64>(),
+        epoch in any::<u32>(),
+        block_id in any::<u32>(),
+        reduce_code in 0u8..4,
+        tuples in vec((any::<u64>(), any::<u64>(), value()), 0..40),
+        fragments in vec((any::<u64>(), 0usize..10_000), 0..20),
+    ) {
+        let block = DataBlock {
+            tuples: tuples
+                .into_iter()
+                .map(|(ts, key, value)| Tuple { ts: Time(ts), key: Key(key), value })
+                .collect(),
+            fragments: fragments
+                .into_iter()
+                .map(|(key, count)| KeyFragment { key: Key(key), count })
+                .collect(),
+        };
+        round_trip(Message::MapTask {
+            seq,
+            epoch,
+            block_id,
+            job: JobSpec {
+                map: MapSpec::Identity,
+                reduce: ReduceOp::from_wire_code(reduce_code).unwrap(),
+            },
+            block,
+        })?;
+    }
+
+    #[test]
+    fn map_complete_and_shuffle_assign_round_trip(
+        seq in any::<u64>(),
+        epoch in any::<u32>(),
+        block_id in any::<u32>(),
+        clusters in vec((any::<u64>(), any::<u64>()), 0..60),
+        assignment in vec(any::<u32>(), 0..60),
+    ) {
+        round_trip(Message::MapComplete {
+            seq,
+            epoch,
+            block_id,
+            clusters: clusters.into_iter().map(|(k, n)| (Key(k), n)).collect(),
+        })?;
+        round_trip(Message::ShuffleAssign { seq, epoch, block_id, assignment })?;
+    }
+
+    #[test]
+    fn reduce_task_round_trips(
+        seq in any::<u64>(),
+        epoch in any::<u32>(),
+        bucket in any::<u32>(),
+        reduce_code in 0u8..4,
+        sources in vec((any::<u32>(), any::<u32>(), any::<u16>()), 0..8),
+    ) {
+        round_trip(Message::ReduceTask {
+            seq,
+            epoch,
+            bucket,
+            reduce: ReduceOp::from_wire_code(reduce_code).unwrap(),
+            sources: sources
+                .into_iter()
+                .map(|(worker, ip, port)| ShuffleSource {
+                    worker,
+                    addr: SocketAddrV4::new(Ipv4Addr::from(ip), port),
+                })
+                .collect(),
+        })?;
+    }
+
+    #[test]
+    fn reduce_complete_round_trips(
+        seq in any::<u64>(),
+        epoch in any::<u32>(),
+        bucket in any::<u32>(),
+        tuples in any::<u64>(),
+        keys in any::<u64>(),
+        fragments in any::<u64>(),
+        aggregates in vec((any::<u64>(), value()), 0..60),
+    ) {
+        round_trip(Message::ReduceComplete {
+            seq,
+            epoch,
+            bucket,
+            tuples,
+            keys,
+            fragments,
+            aggregates: aggregates.into_iter().map(|(k, v)| (Key(k), v)).collect(),
+        })?;
+    }
+
+    #[test]
+    fn fetch_reply_and_worker_error_round_trip(
+        ready in any::<bool>(),
+        segments in vec((any::<u32>(), vec((any::<u64>(), value(), any::<u64>()), 0..20)), 0..8),
+        worker in any::<u32>(),
+        seq in any::<u64>(),
+        epoch in any::<u32>(),
+        blame in any::<u32>(),
+        detail in vec(any::<u8>(), 0..80),
+    ) {
+        round_trip(Message::FetchReply {
+            ready,
+            segments: segments
+                .into_iter()
+                .map(|(block_id, items)| ShuffleSegment {
+                    block_id,
+                    items: items.into_iter().map(|(k, v, n)| (Key(k), v, n)).collect(),
+                })
+                .collect(),
+        })?;
+        round_trip(Message::WorkerError {
+            worker,
+            seq,
+            epoch,
+            blame,
+            detail: String::from_utf8_lossy(&detail).into_owned(),
+        })?;
+    }
+
+    #[test]
+    fn truncation_at_any_cut_is_rejected(
+        seq in any::<u64>(),
+        aggregates in vec((any::<u64>(), value()), 1..30),
+        cut_pick in any::<u16>(),
+    ) {
+        let frame = Message::ReduceComplete {
+            seq,
+            epoch: 1,
+            bucket: 0,
+            tuples: 10,
+            keys: aggregates.len() as u64,
+            fragments: 10,
+            aggregates: aggregates.into_iter().map(|(k, v)| (Key(k), v)).collect(),
+        }
+        .encode();
+        let cut = cut_pick as usize % frame.len();
+        prop_assert!(
+            Message::decode(&frame[..cut]).is_err(),
+            "decoded from {cut}/{} bytes",
+            frame.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected_with_typed_errors(
+        worker in any::<u32>(),
+        magic in any::<u32>(),
+        version in any::<u8>(),
+        msg_type in 14u8..=255,
+    ) {
+        let good = Message::Heartbeat { worker }.encode();
+
+        // Wrong magic: rejected before anything else is interpreted.
+        let mut frame = good.clone();
+        frame[..4].copy_from_slice(&magic.to_le_bytes());
+        if magic != MAGIC {
+            prop_assert_eq!(Message::decode(&frame), Err(WireError::BadMagic(magic)));
+        }
+
+        // Wrong version: a future/corrupt peer fails fast.
+        let mut frame = good.clone();
+        frame[4] = version;
+        if version != PROTOCOL_VERSION {
+            prop_assert_eq!(Message::decode(&frame), Err(WireError::BadVersion(version)));
+        }
+
+        // Unknown message type: the header is fine, the type byte is not.
+        let mut frame = good;
+        frame[5] = msg_type;
+        prop_assert_eq!(Message::decode(&frame), Err(WireError::UnknownType(msg_type)));
+    }
+}
+
+#[test]
+fn header_len_matches_layout() {
+    // magic u32 + version u8 + type u8 + len u32.
+    assert_eq!(HEADER_LEN, 4 + 1 + 1 + 4);
+    let frame = Message::Shutdown.encode();
+    assert_eq!(frame.len(), HEADER_LEN, "shutdown has an empty payload");
+}
