@@ -1,0 +1,12 @@
+//! Checkpoint overhead & recovery tables (see
+//! `prompt_bench::experiments::checkpoint_overhead`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!(
+        "running checkpoint_overhead ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let tables = prompt_bench::experiments::checkpoint_overhead::run(quick);
+    prompt_bench::emit_all(&tables);
+}

@@ -13,6 +13,10 @@ fn main() {
         ("fig13", prompt_bench::experiments::fig13::run),
         ("fig14", prompt_bench::experiments::fig14::run),
         ("net_overhead", prompt_bench::experiments::net_overhead::run),
+        (
+            "checkpoint_overhead",
+            prompt_bench::experiments::checkpoint_overhead::run,
+        ),
         ("ablations", prompt_bench::experiments::ablation::run),
     ];
     for (name, run) in all {

@@ -15,6 +15,7 @@
 //! | `fig13_latency` | Fig. 13 — reduce-task latency distribution |
 //! | `fig14_overhead` | Fig. 14 — Prompt's own overhead & post-sort ablation |
 //! | `net_overhead` | backend comparison — in-process vs threaded vs distributed TCP |
+//! | `checkpoint_overhead` | checkpoint cost (off vs per-batch vs every 4th) & recovery payoff |
 //! | `run_all` | everything above, sequentially |
 //!
 //! Pass `--quick` to any binary for a seconds-scale smoke version; the full

@@ -270,6 +270,13 @@ impl<'a> ByteReader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Malformed("utf-8 string"))
     }
 
+    /// Read a length-prefixed raw byte blob (the counterpart of
+    /// `put_len` + `put_bytes`).
+    pub fn get_blob(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_len(1)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
     /// Fail unless every byte was consumed — frames must not carry slack.
     pub fn expect_empty(&self) -> Result<(), CodecError> {
         if self.is_empty() {
@@ -403,6 +410,71 @@ pub fn plan_digest(plan: &PartitionPlan) -> u64 {
     sink.finish()
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 (IEEE) implementing [`BytesSink`] — the integrity check
+/// for durable state files, where a short 32-bit check detecting torn or
+/// bit-rotted frames matters more than collision resistance. Matches the
+/// standard zlib/`cksum -o 3` CRC: init `!0`, reflected, final xor `!0`.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32Sink {
+    state: u32,
+}
+
+impl Crc32Sink {
+    /// Fresh CRC at the standard all-ones preset.
+    pub fn new() -> Crc32Sink {
+        Crc32Sink { state: !0 }
+    }
+
+    /// The CRC of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32Sink {
+    fn default() -> Crc32Sink {
+        Crc32Sink::new()
+    }
+}
+
+impl BytesSink for Crc32Sink {
+    fn put_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = (self.state ^ u32::from(b)) & 0xFF;
+            self.state = (self.state >> 8) ^ CRC32_TABLE[idx as usize];
+        }
+    }
+}
+
+/// CRC-32 (IEEE) of a byte slice in one call.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut sink = Crc32Sink::new();
+    sink.put_bytes(bytes);
+    sink.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +570,32 @@ mod tests {
         w.put_bytes(&[0xff, 0xfe]);
         let mut r = ByteReader::new(w.as_bytes());
         assert_eq!(r.get_str(), Err(CodecError::Malformed("utf-8 string")));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        // Streaming in pieces equals one-shot.
+        let mut sink = Crc32Sink::new();
+        sink.put_bytes(b"1234");
+        sink.put_bytes(b"56789");
+        assert_eq!(sink.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let bytes: Vec<u8> = (0u16..400).map(|i| (i % 251) as u8).collect();
+        let base = crc32(&bytes);
+        for pos in [0, 17, 399] {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[pos] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {pos} bit {bit}");
+            }
+        }
     }
 
     #[test]

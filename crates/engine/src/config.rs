@@ -5,6 +5,7 @@ use prompt_core::types::Duration;
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::elasticity::ScalerConfig;
+use crate::state::CheckpointConfig;
 use crate::trace::TraceLevel;
 
 /// How the batching-phase partitioning overhead is charged against the
@@ -89,6 +90,12 @@ pub struct EngineConfig {
     pub trace: TraceLevel,
     /// Execution substrate for batch processing.
     pub backend: Backend,
+    /// Durable keyed-state checkpointing (see `crate::state`). When set,
+    /// window state is kept in a sharded [`crate::state::KeyedStateStore`],
+    /// committed as changelog deltas + periodic snapshots, and retained
+    /// batch inputs are truncated at the checkpoint watermark instead of
+    /// at window expiry. Requires a window on the engine.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +114,7 @@ impl Default for EngineConfig {
             ingest_threads: 1,
             trace: TraceLevel::Off,
             backend: Backend::default(),
+            checkpoint: None,
         }
     }
 }
@@ -159,6 +167,9 @@ impl EngineConfig {
                     ));
                 }
             }
+        }
+        if let Some(ckpt) = &self.checkpoint {
+            ckpt.validate()?;
         }
         Ok(())
     }
@@ -240,6 +251,10 @@ mod tests {
                     workers: 2,
                     base_port: 80,
                 },
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                checkpoint: Some(CheckpointConfig::new("/tmp/ckpt").interval(0)),
                 ..EngineConfig::default()
             },
         ];

@@ -21,6 +21,7 @@ use crate::net::{DistributedOptions, DistributedRuntime, NetStats};
 use crate::recovery::{FaultPlan, NetFaultPlan, ReplicatedBatchStore};
 use crate::source::TupleSource;
 use crate::stage::{execute_batch_traced, times_from_stats, BatchOutput, StageTimes};
+use crate::state::{restore, Checkpointer, KeyedStateStore, StateStats, StatefulOp};
 use crate::straggler::StragglerPlan;
 use crate::threaded::ThreadedExecutor;
 use crate::trace::{Counter, StageKind, TraceEvent, TraceRecorder};
@@ -85,6 +86,12 @@ pub struct RunResult {
     /// Driver-side wire totals when the run used
     /// [`Backend::Distributed`](crate::config::Backend::Distributed).
     pub net: Option<NetStats>,
+    /// State-layer accounting when the keyed state store was active
+    /// (checkpointing configured or a stateful operator attached).
+    pub state: Option<StateStats>,
+    /// Stateful-operator emissions, one per emitted window, when a
+    /// [`StatefulOp`] was attached with [`StreamingEngine::with_stateful`].
+    pub stateful: Vec<WindowResult>,
 }
 
 impl RunResult {
@@ -237,6 +244,7 @@ pub struct StreamingEngine {
     assigner: Box<dyn ReduceAssigner>,
     job: Job,
     window: Option<WindowSpec>,
+    stateful: Option<StatefulOp>,
     fault_tolerance: Option<(usize, FaultPlan)>,
     stragglers: StragglerPlan,
     net_faults: NetFaultPlan,
@@ -284,6 +292,7 @@ impl StreamingEngine {
             assigner: reduce.build_boxed(seed),
             job,
             window: None,
+            stateful: None,
             fault_tolerance: None,
             stragglers: StragglerPlan::none(),
             net_faults: NetFaultPlan::none(),
@@ -304,6 +313,7 @@ impl StreamingEngine {
             assigner,
             job,
             window: None,
+            stateful: None,
             fault_tolerance: None,
             stragglers: StragglerPlan::none(),
             net_faults: NetFaultPlan::none(),
@@ -313,6 +323,16 @@ impl StreamingEngine {
     /// Attach a window computation.
     pub fn with_window(mut self, spec: WindowSpec) -> StreamingEngine {
         self.window = Some(spec);
+        self
+    }
+
+    /// Attach a stateful per-key operator, evaluated over the keyed state
+    /// store at every window emission (results land in
+    /// [`RunResult::stateful`]). Requires a window; routes the run through
+    /// the sharded [`KeyedStateStore`], which is bit-identical to the
+    /// serial window path.
+    pub fn with_stateful(mut self, op: StatefulOp) -> StreamingEngine {
+        self.stateful = Some(op);
         self
     }
 
@@ -377,9 +397,30 @@ impl StreamingEngine {
         let tracing = rec.enabled();
         let bi = self.cfg.batch_interval;
         let mut result = RunResult::default();
-        let mut window = self
-            .window
-            .map(|spec| WindowState::new(spec, bi, self.job.reduce));
+        // The state layer (sharded keyed store + optional checkpointing)
+        // replaces the serial WindowState when active; the two paths are
+        // bit-identical (see `crate::state::store`).
+        let ckpt_cfg = self.cfg.checkpoint.clone();
+        let state_on = ckpt_cfg.is_some() || self.stateful.is_some();
+        assert!(
+            !state_on || self.window.is_some(),
+            "checkpointing and stateful operators require a window (with_window)"
+        );
+        let mut window = if state_on {
+            None
+        } else {
+            self.window
+                .map(|spec| WindowState::new(spec, bi, self.job.reduce))
+        };
+        let mut state_store = state_on.then(|| {
+            KeyedStateStore::new(
+                self.window.expect("asserted above"),
+                bi,
+                self.job.reduce,
+                self.cfg.reduce_tasks,
+            )
+        });
+        let mut sstats = state_on.then(StateStats::default);
         let mut scaler = self
             .cfg
             .elasticity
@@ -396,6 +437,33 @@ impl StreamingEngine {
             .fault_tolerance
             .as_ref()
             .map(|(replicas, plan)| (ReplicatedBatchStore::new(*replicas), plan.clone()));
+        // Resume a restarted run from its checkpoint directory: the loop
+        // below then skips the batches the restored watermark covers (the
+        // source still advances through them).
+        let mut resume_through: Option<u64> = None;
+        if let Some(cfg) = ckpt_cfg.as_ref().filter(|c| c.resume) {
+            if let Some(restored) = restore(&cfg.dir).expect("checkpoint restore failed") {
+                let stats = sstats.as_mut().expect("state layer active");
+                stats.restores += 1;
+                rec.incr(Counter::StateRestores, 1);
+                rec.event(TraceEvent::StateRestore {
+                    seq: 0,
+                    covered: restored.watermark + 1,
+                    bytes: restored.bytes_read,
+                    recomputed: 0,
+                });
+                let mut restored_store = restored.store;
+                if restored_store.shard_count() != r {
+                    restored_store.migrate(r);
+                }
+                state_store = Some(restored_store);
+                resume_through = Some(restored.watermark);
+            }
+        }
+        let mut checkpointer = ckpt_cfg
+            .as_ref()
+            .map(|cfg| Checkpointer::create(cfg).expect("failed to open checkpoint directory"));
+        let checkpoint_on = checkpointer.is_some();
         let mut backend = match self.cfg.backend {
             Backend::InProcess => BackendRuntime::InProcess,
             Backend::Threaded { threads } => {
@@ -424,6 +492,20 @@ impl StreamingEngine {
                 }
             }
         };
+        // Checkpointed runs retain batch inputs so a lost store can recompute
+        // the post-watermark suffix, even without explicit fault tolerance.
+        if checkpoint_on && store_and_plan.is_none() {
+            store_and_plan = Some((ReplicatedBatchStore::new(2), FaultPlan::none()));
+        }
+        // Inputs are only retained when something could ever read them back:
+        // a scheduled fault, a distributed worker loss, or checkpoint-suffix
+        // recompute. A replica-equipped run with no failure source skips the
+        // copy entirely.
+        let retain_inputs = matches!(self.cfg.backend, Backend::Distributed { .. })
+            || checkpoint_on
+            || store_and_plan
+                .as_ref()
+                .is_some_and(|(_, plan)| !plan.is_empty());
         let mut prev_zone: Option<u8> = None;
         let mut was_in_grace = false;
 
@@ -435,14 +517,108 @@ impl StreamingEngine {
                 arrivals.windows(2).all(|w| w[0].ts <= w[1].ts),
                 "source must emit in timestamp order"
             );
+            if resume_through.is_some_and(|w| seq <= w) {
+                // Covered by the restored checkpoint: the source advances
+                // through the interval, but the batch is not re-processed.
+                continue;
+            }
             let batch = MicroBatch::new(std::mem::take(&mut arrivals), interval);
             let n_tuples = batch.len();
             let n_keys = batch.distinct_keys();
             rec.incr(Counter::Batches, 1);
             rec.incr(Counter::Tuples, n_tuples as u64);
-            if let Some((store, _)) = store_and_plan.as_mut() {
-                // Replicate the batch input on ingestion (§8 point 2).
-                store.retain(seq, batch.tuples.clone());
+            if retain_inputs {
+                if let Some((store, _)) = store_and_plan.as_mut() {
+                    // Replicate the batch input on ingestion (§8 point 2).
+                    // The buffer is shared (`Arc`), so recovery reads and
+                    // replica accounting never deep-copy the tuples again.
+                    store.retain(seq, batch.tuples.as_slice().into());
+                    if let Some(stats) = sstats.as_mut() {
+                        stats.max_retained_tuples = stats
+                            .max_retained_tuples
+                            .max(store.retained_tuples() as u64);
+                        stats.max_retained_batches =
+                            stats.max_retained_batches.max(store.len() as u64);
+                    }
+                }
+            }
+
+            // A scheduled loss of the whole keyed state store: rebuild from
+            // the latest checkpoint (or from scratch when none exists) and
+            // recompute only the post-watermark suffix from retained inputs.
+            let mut restore_times: Vec<Duration> = Vec::new();
+            if state_on
+                && store_and_plan
+                    .as_ref()
+                    .is_some_and(|(_, plan)| plan.loses_store_at(seq))
+            {
+                let (mut rebuilt, covered, bytes_read) = match ckpt_cfg
+                    .as_ref()
+                    .and_then(|cfg| restore(&cfg.dir).expect("checkpoint restore failed"))
+                {
+                    Some(rs) => (rs.store, rs.watermark + 1, rs.bytes_read),
+                    None => (
+                        KeyedStateStore::new(
+                            self.window.expect("state layer requires a window"),
+                            bi,
+                            self.job.reduce,
+                            self.cfg.reduce_tasks,
+                        ),
+                        0,
+                        0,
+                    ),
+                };
+                if rebuilt.shard_count() != r {
+                    rebuilt.migrate(r);
+                }
+                let mut recomputed = 0u64;
+                for b in covered..seq {
+                    let input = {
+                        let (store, _) = store_and_plan.as_mut().expect("checked above");
+                        store
+                            .recover(b)
+                            .unwrap_or_else(|e| {
+                                panic!("state loss at batch {seq}: batch {b} unrecoverable: {e}")
+                            })
+                            .to_vec()
+                    };
+                    let riv = Interval::new(Time(bi.0 * b), Time(bi.0 * (b + 1)));
+                    let rebatch = MicroBatch::new(input, riv);
+                    let replan = self.partitioner.partition(&rebatch, p);
+                    let (routput, rtimes) = execute_with_recovery(
+                        &mut backend,
+                        self.partitioner.as_mut(),
+                        self.assigner.as_mut(),
+                        &self.job,
+                        &self.cfg,
+                        &mut store_and_plan,
+                        &replan,
+                        b,
+                        riv,
+                        p,
+                        r,
+                        &rec,
+                        tracing,
+                        &mut result,
+                    );
+                    // Replay into the rebuilt store, discarding emissions —
+                    // the original run already emitted these windows.
+                    rebuilt.push(&routput);
+                    restore_times.push(rtimes.processing());
+                    recomputed += 1;
+                }
+                let stats = sstats.as_mut().expect("state layer active");
+                stats.restores += 1;
+                stats.recomputed_batches += recomputed;
+                rec.incr(Counter::StateRestores, 1);
+                rec.incr(Counter::RecomputedBatches, recomputed);
+                rec.event(TraceEvent::StateRestore {
+                    seq,
+                    covered,
+                    bytes: bytes_read,
+                    recomputed,
+                });
+                state_store = Some(rebuilt);
             }
 
             // Partition (optionally measuring real cost; when tracing, the
@@ -526,10 +702,15 @@ impl StreamingEngine {
                 }
             }
             let mut processing = visible_overhead + times.processing();
+            // Suffix recomputes after a store loss bill this batch, exactly
+            // like the per-batch recovery recomputations below.
+            for &d in &restore_times {
+                processing += d;
+            }
 
             // Fault injection: each scheduled loss of this batch's state
             // forces one recomputation from the replicated input.
-            let mut recovery_times: Vec<Duration> = Vec::new();
+            let mut recovery_times: Vec<Duration> = restore_times;
             if store_and_plan
                 .as_ref()
                 .is_some_and(|(_, fault_plan)| fault_plan.losses_for(seq) > 0)
@@ -579,9 +760,12 @@ impl StreamingEngine {
                 }
             }
             if let Some((store, _)) = store_and_plan.as_mut() {
-                // Batches that have produced output and left every window
-                // can drop their replicated input (§8).
-                if seq + 1 >= window_len_batches {
+                // Without checkpointing, batches that have produced output
+                // and left every window can drop their replicated input
+                // (§8). With checkpointing, retention is truncated at the
+                // checkpoint watermark on commit instead — durable state
+                // covers everything before it.
+                if !checkpoint_on && seq + 1 >= window_len_batches {
                     store.expire_through(seq + 1 - window_len_batches);
                 }
             }
@@ -695,10 +879,99 @@ impl StreamingEngine {
                 }
             }
 
-            // Window maintenance.
-            if let Some(ws) = window.as_mut() {
+            // Window maintenance: through the sharded state store (with
+            // checkpoint commits and watermark truncation) when the state
+            // layer is active, else the serial WindowState. The two paths
+            // are bit-identical.
+            if let Some(store) = state_store.as_mut() {
+                let (res, delta) = store.push_with_delta(&output);
+                if let Some(ckpt) = checkpointer.as_mut() {
+                    if let Some(commit) =
+                        ckpt.record(&delta, store).expect("checkpoint write failed")
+                    {
+                        let stats = sstats.as_mut().expect("state layer active");
+                        stats.checkpoints += 1;
+                        stats.checkpoint_bytes += commit.bytes;
+                        rec.incr(Counter::Checkpoints, 1);
+                        rec.incr(Counter::CheckpointBytes, commit.bytes);
+                        if commit.snapshot {
+                            stats.snapshots += 1;
+                            rec.incr(Counter::Snapshots, 1);
+                        }
+                        rec.event(TraceEvent::Checkpoint {
+                            seq: commit.seq,
+                            snapshot: commit.snapshot,
+                            bytes: commit.bytes,
+                            wall_us: commit.wall_us,
+                        });
+                        if let Some((bstore, _)) = store_and_plan.as_mut() {
+                            // Everything the commit covers is durable:
+                            // truncate input retention at the watermark.
+                            bstore.expire_through(commit.seq);
+                        }
+                    }
+                }
+                if let Some(res) = res {
+                    if let Some(op) = self.stateful {
+                        result.stateful.push(WindowResult {
+                            last_batch_seq: res.last_batch_seq,
+                            aggregates: op.eval(store),
+                        });
+                    }
+                    result.windows.push(res);
+                }
+            } else if let Some(ws) = window.as_mut() {
                 if let Some(res) = ws.push(output) {
                     result.windows.push(res);
+                }
+            }
+
+            // Elasticity changed the reduce count: migrate state shards to
+            // the new allocation. With checkpointing on, a migration is a
+            // commit point (deltas are bucket-keyed, so the changelog must
+            // never mix shard counts — `snapshot_now` rolls it over).
+            if let Some(store) = state_store.as_mut() {
+                if store.shard_count() != r {
+                    let report = store.migrate(r);
+                    let stats = sstats.as_mut().expect("state layer active");
+                    stats.migrations += 1;
+                    stats.migrated_keys += report.keys_moved as u64;
+                    rec.incr(Counter::StateMigrations, 1);
+                    rec.incr(Counter::MigratedKeys, report.keys_moved as u64);
+                    rec.event(TraceEvent::StateMigrate {
+                        seq,
+                        from_r: report.from_r,
+                        to_r: report.to_r,
+                        keys: report.keys_moved as u64,
+                        bytes: report.bytes,
+                    });
+                    if let BackendRuntime::Distributed { rt, .. } = &mut backend {
+                        // Hand the re-sharded state to the workers owning
+                        // the new buckets over the wire.
+                        let payloads: Vec<(u32, Vec<u8>)> = (0..store.shard_count())
+                            .map(|b| (b as u32, store.encode_shard(b)))
+                            .collect();
+                        rt.migrate_state(seq, payloads)
+                            .expect("state migration push failed");
+                    }
+                    if let Some(ckpt) = checkpointer.as_mut() {
+                        let commit = ckpt.snapshot_now(store).expect("checkpoint write failed");
+                        stats.checkpoints += 1;
+                        stats.checkpoint_bytes += commit.bytes;
+                        stats.snapshots += 1;
+                        rec.incr(Counter::Checkpoints, 1);
+                        rec.incr(Counter::CheckpointBytes, commit.bytes);
+                        rec.incr(Counter::Snapshots, 1);
+                        rec.event(TraceEvent::Checkpoint {
+                            seq: commit.seq,
+                            snapshot: true,
+                            bytes: commit.bytes,
+                            wall_us: commit.wall_us,
+                        });
+                        if let Some((bstore, _)) = store_and_plan.as_mut() {
+                            bstore.expire_through(commit.seq);
+                        }
+                    }
                 }
             }
 
@@ -724,6 +997,15 @@ impl StreamingEngine {
         if let BackendRuntime::Distributed { rt, .. } = &mut backend {
             result.net = Some(rt.stats());
             rt.shutdown();
+        }
+        if let Some(mut stats) = sstats {
+            if let Some(ckpt) = &checkpointer {
+                let cs = ckpt.stats();
+                stats.snapshot_bytes = cs.snapshot_bytes;
+                stats.watermark = ckpt.watermark();
+                rec.incr(Counter::SnapshotBytes, cs.snapshot_bytes);
+            }
+            result.state = Some(stats);
         }
         (result, rec)
     }
@@ -1210,6 +1492,285 @@ mod tests {
                 .as_secs_f64()
         };
         assert!(max_task(&wide) < max_task(&narrow) * 0.5);
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        std::env::temp_dir().join(format!(
+            "prompt-driver-{tag}-{}-{nanos}",
+            std::process::id()
+        ))
+    }
+
+    fn assert_windows_identical(a: &RunResult, b: &RunResult, what: &str) {
+        assert_eq!(a.windows.len(), b.windows.len(), "{what}: window count");
+        for (x, y) in a.windows.iter().zip(&b.windows) {
+            assert_eq!(x.last_batch_seq, y.last_batch_seq, "{what}");
+            assert_eq!(x.aggregates.len(), y.aggregates.len(), "{what}");
+            for (k, v) in &x.aggregates {
+                assert_eq!(y.aggregates[k], *v, "{what}: key {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_state_run_matches_plain_window_run() {
+        let window = WindowSpec::sliding(Duration::from_secs(3), Duration::from_secs(1));
+        let plain = {
+            let mut eng = StreamingEngine::new(
+                small_cfg(),
+                Technique::Prompt,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(window);
+            eng.run(&mut const_source(400, 13), 8)
+        };
+        let dir = ckpt_dir("match");
+        let ckpt = {
+            let mut cfg = small_cfg();
+            cfg.checkpoint = Some(crate::state::CheckpointConfig::new(&dir).interval(1));
+            let mut eng = StreamingEngine::new(
+                cfg,
+                Technique::Prompt,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(window);
+            eng.run(&mut const_source(400, 13), 8)
+        };
+        assert_windows_identical(&plain, &ckpt, "checkpoint on vs off");
+        for (a, b) in plain.batches.iter().zip(&ckpt.batches) {
+            assert_eq!(a.n_tuples, b.n_tuples);
+            assert_eq!(a.n_keys, b.n_keys);
+        }
+        let stats = ckpt.state.expect("state layer was on");
+        assert_eq!(stats.checkpoints, 8, "one commit per batch at interval 1");
+        assert!(stats.snapshots >= 1, "first commit always snapshots");
+        assert!(stats.checkpoint_bytes > 0);
+        assert_eq!(stats.watermark, Some(7));
+        assert!(plain.state.is_none(), "plain run has no state layer");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_recovery_recomputes_only_the_suffix() {
+        // Window spans the whole run so the no-checkpoint variant retains
+        // every batch and recompute-from-scratch stays feasible.
+        let window = WindowSpec::sliding(Duration::from_secs(8), Duration::from_secs(1));
+        let run = |ckpt: Option<crate::state::CheckpointConfig>, plan: FaultPlan| {
+            let mut cfg = small_cfg();
+            cfg.checkpoint = ckpt;
+            let mut eng = StreamingEngine::new(
+                cfg,
+                Technique::Prompt,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(window)
+            .with_stateful(StatefulOp::SessionCount)
+            .with_fault_tolerance(2, plan);
+            eng.run(&mut const_source(500, 11), 8)
+        };
+        let clean = run(None, FaultPlan::none());
+        let scratch = run(None, FaultPlan::none().lose_store_at(6));
+        let dir = ckpt_dir("suffix");
+        let fast = run(
+            Some(crate::state::CheckpointConfig::new(&dir).interval(1)),
+            FaultPlan::none().lose_store_at(6),
+        );
+        assert_windows_identical(&clean, &scratch, "recompute-from-scratch");
+        assert_windows_identical(&clean, &fast, "restore-from-checkpoint");
+        let slow_stats = scratch.state.expect("state on");
+        let fast_stats = fast.state.expect("state on");
+        assert_eq!(slow_stats.restores, 1);
+        assert_eq!(fast_stats.restores, 1);
+        assert_eq!(
+            slow_stats.recomputed_batches, 6,
+            "no checkpoint: recompute everything before the loss"
+        );
+        assert!(
+            fast_stats.recomputed_batches < slow_stats.recomputed_batches,
+            "checkpoint must shrink the recompute suffix: {} vs {}",
+            fast_stats.recomputed_batches,
+            slow_stats.recomputed_batches
+        );
+        // Stateful emissions also survive the loss bit-identically.
+        assert_eq!(clean.stateful.len(), fast.stateful.len());
+        for (a, b) in clean.stateful.iter().zip(&fast.stateful) {
+            for (k, v) in &a.aggregates {
+                assert_eq!(b.aggregates[k], *v);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watermark_truncates_retained_inputs() {
+        let window = WindowSpec::sliding(Duration::from_secs(8), Duration::from_secs(1));
+        let run = |interval: usize| {
+            let dir = ckpt_dir(&format!("trunc-{interval}"));
+            let mut cfg = small_cfg();
+            cfg.checkpoint = Some(crate::state::CheckpointConfig::new(&dir).interval(interval));
+            let mut eng = StreamingEngine::new(
+                cfg,
+                Technique::Prompt,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(window);
+            let res = eng.run(&mut const_source(300, 7), 8);
+            let _ = std::fs::remove_dir_all(&dir);
+            res.state.expect("state on")
+        };
+        let tight = run(1);
+        let loose = run(4);
+        // Interval 1: the commit after each batch truncates the store down
+        // to nothing; the high-water mark is the single in-flight batch.
+        assert!(
+            tight.max_retained_batches <= 1,
+            "interval 1 must retain at most the in-flight batch, got {}",
+            tight.max_retained_batches
+        );
+        assert!(tight.max_retained_tuples <= 300);
+        // Interval 4: up to 4 batches accumulate between commits.
+        assert!(
+            (2..=4).contains(&loose.max_retained_batches),
+            "interval 4 retention out of range: {}",
+            loose.max_retained_batches
+        );
+        assert!(loose.max_retained_tuples > tight.max_retained_tuples);
+    }
+
+    #[test]
+    fn scale_migration_keeps_answers_bit_identical() {
+        let window = WindowSpec::sliding(Duration::from_secs(3), Duration::from_secs(1));
+        let source = || {
+            let mut rate = 2000usize;
+            move |iv: Interval, out: &mut Vec<Tuple>| {
+                rate += 400;
+                let step = iv.len().0 / (rate as u64 + 1);
+                for i in 0..rate {
+                    out.push(Tuple::keyed(
+                        Time(iv.start.0 + step * (i as u64 + 1)),
+                        Key(i as u64 % 64),
+                    ));
+                }
+            }
+        };
+        let run = |ckpt: Option<crate::state::CheckpointConfig>| {
+            let mut cfg = small_cfg();
+            cfg.map_tasks = 2;
+            cfg.reduce_tasks = 2;
+            cfg.cluster = Cluster::new(4, 4);
+            cfg.cost = CostModel {
+                map_per_tuple: Duration::from_micros(150),
+                reduce_per_tuple: Duration::from_micros(150),
+                ..CostModel::default()
+            };
+            cfg.elasticity = Some(crate::elasticity::ScalerConfig {
+                d: 2,
+                ..Default::default()
+            });
+            cfg.checkpoint = ckpt;
+            let mut eng = StreamingEngine::new(
+                cfg,
+                Technique::Prompt,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(window);
+            eng.run(&mut source(), 30)
+        };
+        let plain = run(None);
+        assert!(
+            plain.scale_events.iter().any(|(_, a)| a.out),
+            "load ramp must trigger scale-out"
+        );
+        let dir = ckpt_dir("migrate");
+        let ckpt = run(Some(crate::state::CheckpointConfig::new(&dir).interval(2)));
+        assert_windows_identical(&plain, &ckpt, "migration vs serial window");
+        let stats = ckpt.state.expect("state on");
+        assert!(stats.migrations >= 1, "scale-out must migrate shards");
+        assert!(stats.migrated_keys > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_continues_the_stream() {
+        let window = WindowSpec::sliding(Duration::from_secs(3), Duration::from_secs(1));
+        let mk = |ckpt: Option<crate::state::CheckpointConfig>| {
+            StreamingEngine::new(
+                {
+                    let mut cfg = small_cfg();
+                    cfg.checkpoint = ckpt;
+                    cfg
+                },
+                Technique::Prompt,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(window)
+        };
+        let uninterrupted = mk(None).run(&mut const_source(400, 9), 12);
+        let dir = ckpt_dir("resume");
+        let first = mk(Some(crate::state::CheckpointConfig::new(&dir).interval(1)))
+            .run(&mut const_source(400, 9), 8);
+        assert_eq!(first.state.expect("state on").watermark, Some(7));
+        let second = mk(Some(
+            crate::state::CheckpointConfig::new(&dir)
+                .interval(1)
+                .resume(),
+        ))
+        .run(&mut const_source(400, 9), 12);
+        // Batches 0..=7 are skipped (already durable); only the suffix runs.
+        assert_eq!(second.batches.len(), 4);
+        let stats = second.state.expect("state on");
+        assert_eq!(stats.restores, 1);
+        assert_eq!(stats.recomputed_batches, 0, "resume recomputes nothing");
+        // The resumed suffix emits exactly the uninterrupted run's windows.
+        let want: Vec<&WindowResult> = uninterrupted
+            .windows
+            .iter()
+            .filter(|w| w.last_batch_seq >= 8)
+            .collect();
+        assert_eq!(second.windows.len(), want.len());
+        for (got, want) in second.windows.iter().zip(want) {
+            assert_eq!(got.last_batch_seq, want.last_batch_seq);
+            for (k, v) in &want.aggregates {
+                assert_eq!(got.aggregates[k], *v);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stateful_operator_emits_alongside_windows() {
+        let mut eng = StreamingEngine::new(
+            small_cfg(),
+            Technique::Prompt,
+            1,
+            Job::identity("count", ReduceOp::Count),
+        )
+        .with_window(WindowSpec::sliding(
+            Duration::from_secs(3),
+            Duration::from_secs(1),
+        ))
+        .with_stateful(StatefulOp::SessionCount);
+        let res = eng.run(&mut const_source(300, 5), 6);
+        assert_eq!(res.stateful.len(), res.windows.len());
+        // Every key appears in every batch, so once warm the session count
+        // is the window length in batches.
+        let last = res.stateful.last().unwrap();
+        assert_eq!(last.aggregates.len(), 5);
+        for k in 0..5u64 {
+            assert_eq!(last.aggregates[&Key(k)], 3.0, "key {k}");
+        }
+        // Warm-up: the first emission has seen only one batch.
+        assert_eq!(res.stateful[0].aggregates[&Key(0)], 1.0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod source {
     pub use prompt_core::source::TupleSource;
 }
 pub mod stage;
+pub mod state;
 pub mod stats;
 pub mod straggler;
 pub mod threaded;
@@ -74,6 +75,10 @@ pub mod prelude {
     pub use crate::reorder::ReorderingReceiver;
     pub use crate::source::TupleSource;
     pub use crate::stage::{execute_batch, times_from_stats, BatchOutput, BucketStats, StageTimes};
+    pub use crate::state::{
+        CheckpointConfig, CheckpointError, Checkpointer, KeyedStateStore, MigrationReport,
+        StateDelta, StateStats, StatefulOp,
+    };
     pub use crate::stats::{percentile_sorted, summarize, Summary};
     pub use crate::straggler::{Stage, StragglerEvent, StragglerPlan};
     pub use crate::threaded::{ThreadedExecutor, WallTimes};

@@ -774,6 +774,54 @@ impl DistributedRuntime {
         Ok((output, stats))
     }
 
+    /// Ship re-sharded state to the fleet after an elasticity migration.
+    ///
+    /// Each `(bucket, encoded shard)` pair is pushed to the worker that
+    /// will own the bucket under the new shard count — the same
+    /// round-robin over live workers the reduce fan-out uses — and the
+    /// call blocks until every push is acknowledged, so the next batch
+    /// cannot start before the fleet holds the migrated state.
+    pub fn migrate_state(
+        &mut self,
+        seq: u64,
+        payloads: Vec<(u32, Vec<u8>)>,
+    ) -> Result<(), WorkerLoss> {
+        let owners: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.id)
+            .collect();
+        assert!(
+            !owners.is_empty(),
+            "all distributed workers lost; state migration at batch {seq} cannot proceed"
+        );
+        let shards = payloads.len() as u32;
+        let mut outstanding = 0usize;
+        for (bucket, payload) in payloads {
+            self.send_to(
+                owners[bucket as usize % owners.len()],
+                &Message::StatePush {
+                    seq,
+                    bucket,
+                    shards,
+                    payload,
+                },
+            )?;
+            outstanding += 1;
+        }
+        let deadline = Instant::now() + self.opts.io_timeout;
+        let epoch = self.epoch;
+        while outstanding > 0 {
+            if let Message::StateAck { seq: s, .. } = self.next_event(deadline, seq, epoch)? {
+                if s == seq {
+                    outstanding -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Shut the fleet down: `Shutdown` to every live worker, then reap
     /// processes / join threads. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
@@ -899,6 +947,14 @@ mod tests {
             .execute_batch(0, &plan, &spec, &mut assigner, 2, None)
             .expect("kill fires only once");
         assert_eq!(out.len(), 11);
+    }
+
+    #[test]
+    fn state_push_round_trips_acks() {
+        let mut rt = DistributedRuntime::launch(thread_opts(2)).expect("launch");
+        let payloads: Vec<(u32, Vec<u8>)> = (0..5u32).map(|b| (b, vec![b as u8; 64])).collect();
+        rt.migrate_state(3, payloads).expect("all pushes acked");
+        assert_eq!(rt.workers_alive(), 2);
     }
 
     #[test]

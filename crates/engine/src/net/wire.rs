@@ -214,6 +214,28 @@ pub enum Message {
         /// Human-readable detail for traces/logs.
         detail: String,
     },
+    /// Driver → worker: install one migrated keyed-state shard (an
+    /// elasticity action re-sharded the state; this worker now owns the
+    /// bucket).
+    StatePush {
+        /// Batch sequence number of the scale action.
+        seq: u64,
+        /// The shard's Reduce bucket index at the new shard count.
+        bucket: u32,
+        /// Total shard count after the migration.
+        shards: u32,
+        /// The shard's encoded bytes (see `crate::state::put_shard`).
+        payload: Vec<u8>,
+    },
+    /// Worker → driver: the pushed shard is installed.
+    StateAck {
+        /// The acknowledging worker.
+        worker: u32,
+        /// Batch sequence number echoed from the push.
+        seq: u64,
+        /// Bucket index echoed from the push.
+        bucket: u32,
+    },
 }
 
 impl Message {
@@ -233,6 +255,8 @@ impl Message {
             Message::Fetch { .. } => 11,
             Message::FetchReply { .. } => 12,
             Message::WorkerError { .. } => 13,
+            Message::StatePush { .. } => 14,
+            Message::StateAck { .. } => 15,
         }
     }
 
@@ -252,6 +276,8 @@ impl Message {
             Message::Fetch { .. } => "fetch",
             Message::FetchReply { .. } => "fetch_reply",
             Message::WorkerError { .. } => "worker_error",
+            Message::StatePush { .. } => "state_push",
+            Message::StateAck { .. } => "state_ack",
         }
     }
 
@@ -401,6 +427,27 @@ impl Message {
                 w.put_u32(*epoch);
                 w.put_u32(*blame);
                 w.put_str(detail);
+            }
+            Message::StatePush {
+                seq,
+                bucket,
+                shards,
+                payload,
+            } => {
+                w.put_u64(*seq);
+                w.put_u32(*bucket);
+                w.put_u32(*shards);
+                w.put_len(payload.len());
+                w.put_bytes(payload);
+            }
+            Message::StateAck {
+                worker,
+                seq,
+                bucket,
+            } => {
+                w.put_u32(*worker);
+                w.put_u64(*seq);
+                w.put_u32(*bucket);
             }
         }
     }
@@ -578,6 +625,17 @@ impl Message {
                 blame: r.get_u32()?,
                 detail: r.get_str()?,
             },
+            14 => Message::StatePush {
+                seq: r.get_u64()?,
+                bucket: r.get_u32()?,
+                shards: r.get_u32()?,
+                payload: r.get_blob()?,
+            },
+            15 => Message::StateAck {
+                worker: r.get_u32()?,
+                seq: r.get_u64()?,
+                bucket: r.get_u32()?,
+            },
             other => return Err(WireError::UnknownType(other)),
         };
         r.expect_empty()?;
@@ -682,6 +740,17 @@ mod tests {
                 epoch: 2,
                 blame: 1,
                 detail: "fetch from worker 1 timed out".into(),
+            },
+            Message::StatePush {
+                seq: 9,
+                bucket: 3,
+                shards: 8,
+                payload: vec![0xde, 0xad, 0xbe, 0xef],
+            },
+            Message::StateAck {
+                worker: 2,
+                seq: 9,
+                bucket: 3,
             },
         ]
     }

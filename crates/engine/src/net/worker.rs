@@ -214,6 +214,11 @@ fn serve_tasks(
 ) -> Result<(), NetError> {
     // Map outputs awaiting their ShuffleAssign, in full precision.
     let mut pending: HashMap<(u64, u32, u32), ClusterList> = HashMap::new();
+    // Encoded state shards pushed by the driver on elasticity migrations,
+    // keyed by bucket at the new shard count. Shards from the previous
+    // count are dropped on arrival of a push with a different total.
+    let mut state: HashMap<u32, Vec<u8>> = HashMap::new();
+    let mut state_shards = 0u32;
     loop {
         match conn.recv()? {
             Message::MapTask {
@@ -275,6 +280,26 @@ fn serve_tasks(
                     },
                 };
                 writer.lock().expect("writer lock").send(&reply)?;
+            }
+            Message::StatePush {
+                seq,
+                bucket,
+                shards,
+                payload,
+            } => {
+                if shards != state_shards {
+                    state.clear();
+                    state_shards = shards;
+                }
+                state.insert(bucket, payload);
+                writer
+                    .lock()
+                    .expect("writer lock")
+                    .send(&Message::StateAck {
+                        worker: opts.worker,
+                        seq,
+                        bucket,
+                    })?;
             }
             Message::BatchDone { seq } => {
                 pending.retain(|&(s, _, _), _| s != seq);

@@ -14,15 +14,18 @@
 //! surfaces as an error.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use prompt_core::types::Tuple;
 
-/// A retained batch input with its remaining replica count.
+/// A retained batch input with its remaining replica count. The input is
+/// shared (`Arc<[Tuple]>`), so recovery reads hand out the buffer without
+/// copying it.
 #[derive(Clone, Debug)]
 struct RetainedBatch {
     seq: u64,
     replicas_left: usize,
-    input: Vec<Tuple>,
+    input: Arc<[Tuple]>,
 }
 
 /// Replicated storage of recent batch inputs.
@@ -81,8 +84,10 @@ impl ReplicatedBatchStore {
         }
     }
 
-    /// Retain the input of batch `seq` (called on ingestion).
-    pub fn retain(&mut self, seq: u64, input: Vec<Tuple>) {
+    /// Retain the input of batch `seq` (called on ingestion). The buffer is
+    /// shared, not copied — callers pass an `Arc<[Tuple]>` (a `Vec` converts
+    /// with one allocation) and recovery reads clone the handle only.
+    pub fn retain(&mut self, seq: u64, input: Arc<[Tuple]>) {
         if let Some(last) = self.retained.back() {
             assert!(last.seq < seq, "batches must be retained in order");
         }
@@ -108,8 +113,9 @@ impl ReplicatedBatchStore {
 
     /// Fetch the replicated input of `seq` for recomputation, consuming one
     /// replica (the failed copy is gone; a recovery read re-replicates in a
-    /// real system, here we only track the budget).
-    pub fn recover(&mut self, seq: u64) -> Result<&[Tuple], RecoveryError> {
+    /// real system, here we only track the budget). Returns a shared handle:
+    /// no tuple is copied.
+    pub fn recover(&mut self, seq: u64) -> Result<Arc<[Tuple]>, RecoveryError> {
         let batch = self
             .retained
             .iter_mut()
@@ -119,7 +125,7 @@ impl ReplicatedBatchStore {
             return Err(RecoveryError::ReplicasExhausted { seq });
         }
         batch.replicas_left -= 1;
-        Ok(&batch.input)
+        Ok(Arc::clone(&batch.input))
     }
 
     /// Replicas remaining for batch `seq`, or `None` if it is not retained
@@ -154,6 +160,12 @@ pub struct FaultPlan {
     /// For each entry `(seq, times)`: the state of batch `seq` is lost
     /// `times` times, each loss forcing one recomputation from the store.
     pub lose_state: Vec<(u64, usize)>,
+    /// Batch sequence numbers at whose start the *keyed window state* is
+    /// lost wholesale (an executor holding the state store dies). The driver
+    /// restores from the latest checkpoint and recomputes only the
+    /// post-watermark suffix from retained inputs — or, with no checkpoint,
+    /// replays from batch zero.
+    pub lose_store: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -174,6 +186,12 @@ impl FaultPlan {
         self
     }
 
+    /// Lose the whole keyed state store at the start of batch `seq`.
+    pub fn lose_store_at(mut self, seq: u64) -> FaultPlan {
+        self.lose_store.push(seq);
+        self
+    }
+
     /// How many state losses are scheduled for `seq`.
     pub fn losses_for(&self, seq: u64) -> usize {
         self.lose_state
@@ -183,9 +201,14 @@ impl FaultPlan {
             .sum()
     }
 
+    /// Whether the keyed state store is scheduled to be lost at `seq`.
+    pub fn loses_store_at(&self, seq: u64) -> bool {
+        self.lose_store.contains(&seq)
+    }
+
     /// Whether any failure is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.lose_state.is_empty()
+        self.lose_state.is_empty() && self.lose_store.is_empty()
     }
 }
 
@@ -277,8 +300,8 @@ mod tests {
     #[test]
     fn retain_recover_roundtrip() {
         let mut store = ReplicatedBatchStore::new(2);
-        store.retain(0, tuples(10));
-        store.retain(1, tuples(20));
+        store.retain(0, tuples(10).into());
+        store.retain(1, tuples(20).into());
         assert_eq!(store.len(), 2);
         assert_eq!(store.retained_tuples(), 30);
         let got = store.recover(1).expect("recoverable");
@@ -298,7 +321,7 @@ mod tests {
     fn expiry_discards_and_frees_memory() {
         let mut store = ReplicatedBatchStore::new(1);
         for seq in 0..5 {
-            store.retain(seq, tuples(10));
+            store.retain(seq, tuples(10).into());
         }
         store.expire_through(2);
         assert_eq!(store.len(), 2);
@@ -313,8 +336,8 @@ mod tests {
     #[should_panic(expected = "retained in order")]
     fn out_of_order_retention_rejected() {
         let mut store = ReplicatedBatchStore::new(1);
-        store.retain(3, tuples(1));
-        store.retain(2, tuples(1));
+        store.retain(3, tuples(1).into());
+        store.retain(2, tuples(1).into());
     }
 
     #[test]

@@ -169,11 +169,27 @@ pub enum Counter {
     ProbesSustainable,
     /// Sustainable-rate probes that came back unsustainable.
     ProbesUnsustainable,
+    /// Checkpoint commits (delta or snapshot) written by the state layer.
+    Checkpoints,
+    /// Total checkpoint bytes written (deltas + snapshots + manifests).
+    CheckpointBytes,
+    /// Checkpoint commits that wrote a full snapshot.
+    Snapshots,
+    /// Snapshot bytes written.
+    SnapshotBytes,
+    /// Keyed-state restores (lost store or resumed run).
+    StateRestores,
+    /// Batches recomputed from retained input after state restores.
+    RecomputedBatches,
+    /// Shard migrations triggered by scale actions.
+    StateMigrations,
+    /// Distinct keys moved across shards by migrations.
+    MigratedKeys,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 23] = [
         Counter::Batches,
         Counter::Tuples,
         Counter::ScatterFragments,
@@ -189,6 +205,14 @@ impl Counter {
         Counter::BackpressureBatches,
         Counter::ProbesSustainable,
         Counter::ProbesUnsustainable,
+        Counter::Checkpoints,
+        Counter::CheckpointBytes,
+        Counter::Snapshots,
+        Counter::SnapshotBytes,
+        Counter::StateRestores,
+        Counter::RecomputedBatches,
+        Counter::StateMigrations,
+        Counter::MigratedKeys,
     ];
 
     /// Stable wire name.
@@ -209,6 +233,14 @@ impl Counter {
             Counter::BackpressureBatches => "backpressure_batches",
             Counter::ProbesSustainable => "probes_sustainable",
             Counter::ProbesUnsustainable => "probes_unsustainable",
+            Counter::Checkpoints => "checkpoints",
+            Counter::CheckpointBytes => "checkpoint_bytes",
+            Counter::Snapshots => "snapshots",
+            Counter::SnapshotBytes => "snapshot_bytes",
+            Counter::StateRestores => "state_restores",
+            Counter::RecomputedBatches => "recomputed_batches",
+            Counter::StateMigrations => "state_migrations",
+            Counter::MigratedKeys => "migrated_keys",
         }
     }
 
@@ -314,6 +346,42 @@ pub enum TraceEvent {
         /// Whether the run at this rate stayed stable.
         sustainable: bool,
     },
+    /// One checkpoint commit of the keyed state store.
+    Checkpoint {
+        /// Last batch covered by the commit (the new watermark).
+        seq: u64,
+        /// Whether this commit wrote a full snapshot (else delta-only).
+        snapshot: bool,
+        /// Bytes written by the commit (frames + manifest).
+        bytes: u64,
+        /// Wall-clock time of the commit in µs.
+        wall_us: u64,
+    },
+    /// The keyed state store was rebuilt (lost store or resumed run).
+    StateRestore {
+        /// Batch sequence number at which the restore happened.
+        seq: u64,
+        /// First batch *not* covered by the restored checkpoint: the
+        /// watermark + 1, or `0` when no checkpoint existed.
+        covered: u64,
+        /// Checkpoint bytes read during the restore.
+        bytes: u64,
+        /// Batches recomputed from retained input to catch up.
+        recomputed: u64,
+    },
+    /// A scale action changed the reduce count and state shards migrated.
+    StateMigrate {
+        /// Batch sequence number of the scale action.
+        seq: u64,
+        /// Shard count before.
+        from_r: usize,
+        /// Shard count after.
+        to_r: usize,
+        /// Distinct keys that changed shard.
+        keys: u64,
+        /// Encoded bytes of the shards that handed keys off.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -338,7 +406,10 @@ impl TraceEvent {
             | TraceEvent::Straggler { seq, .. }
             | TraceEvent::Recovery { seq, .. }
             | TraceEvent::WorkerLost { seq, .. }
-            | TraceEvent::Backpressure { seq, .. } => Some(seq),
+            | TraceEvent::Backpressure { seq, .. }
+            | TraceEvent::Checkpoint { seq, .. }
+            | TraceEvent::StateRestore { seq, .. }
+            | TraceEvent::StateMigrate { seq, .. } => Some(seq),
             TraceEvent::Probe { .. } => None,
         }
     }
@@ -400,6 +471,31 @@ impl TraceEvent {
             TraceEvent::Probe { rate, sustainable } => {
                 format!("{{\"type\":\"probe\",\"rate\":{rate},\"sustainable\":{sustainable}}}")
             }
+            TraceEvent::Checkpoint {
+                seq,
+                snapshot,
+                bytes,
+                wall_us,
+            } => format!(
+                "{{\"type\":\"checkpoint\",\"seq\":{seq},\"snapshot\":{snapshot},\"bytes\":{bytes},\"wall_us\":{wall_us}}}"
+            ),
+            TraceEvent::StateRestore {
+                seq,
+                covered,
+                bytes,
+                recomputed,
+            } => format!(
+                "{{\"type\":\"state_restore\",\"seq\":{seq},\"covered\":{covered},\"bytes\":{bytes},\"recomputed\":{recomputed}}}"
+            ),
+            TraceEvent::StateMigrate {
+                seq,
+                from_r,
+                to_r,
+                keys,
+                bytes,
+            } => format!(
+                "{{\"type\":\"state_migrate\",\"seq\":{seq},\"from_r\":{from_r},\"to_r\":{to_r},\"keys\":{keys},\"bytes\":{bytes}}}"
+            ),
         }
     }
 }
@@ -553,6 +649,25 @@ fn parse_event(line: &str) -> Result<TraceEvent, String> {
         "probe" => Ok(TraceEvent::Probe {
             rate: float("rate")?,
             sustainable: boolean("sustainable")?,
+        }),
+        "checkpoint" => Ok(TraceEvent::Checkpoint {
+            seq: num("seq")?,
+            snapshot: boolean("snapshot")?,
+            bytes: num("bytes")?,
+            wall_us: num("wall_us")?,
+        }),
+        "state_restore" => Ok(TraceEvent::StateRestore {
+            seq: num("seq")?,
+            covered: num("covered")?,
+            bytes: num("bytes")?,
+            recomputed: num("recomputed")?,
+        }),
+        "state_migrate" => Ok(TraceEvent::StateMigrate {
+            seq: num("seq")?,
+            from_r: num("from_r")? as usize,
+            to_r: num("to_r")? as usize,
+            keys: num("keys")?,
+            bytes: num("bytes")?,
         }),
         other => Err(format!("unknown event type '{other}'")),
     }
@@ -1011,6 +1126,25 @@ mod tests {
             TraceEvent::Probe {
                 rate: 123456.789,
                 sustainable: false,
+            },
+            TraceEvent::Checkpoint {
+                seq: 11,
+                snapshot: true,
+                bytes: 4096,
+                wall_us: 250,
+            },
+            TraceEvent::StateRestore {
+                seq: 12,
+                covered: 9,
+                bytes: 4096,
+                recomputed: 3,
+            },
+            TraceEvent::StateMigrate {
+                seq: 13,
+                from_r: 4,
+                to_r: 8,
+                keys: 17,
+                bytes: 1024,
             },
         ];
         let text = to_jsonl(&events);

@@ -165,6 +165,211 @@ fn drifting_count_three_processes_bit_identical() {
     assert_eq!(dist.worker_losses, 0);
 }
 
+fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    std::env::temp_dir().join(format!("prompt-smoke-{tag}-{}-{nanos}", std::process::id()))
+}
+
+/// The state-recovery acceptance gate: a worker killed mid-window *and* a
+/// scheduled loss of the whole keyed state store, with checkpointing on,
+/// must restore from the checkpoint, recompute only the post-watermark
+/// suffix (fewer batches than the no-checkpoint rebuild), and leave every
+/// window bit-identical to the serial engine.
+#[test]
+fn checkpointed_state_survives_worker_kill_and_store_loss() {
+    ensure_worker_bin();
+    let job = Job::identity("sum", ReduceOp::Sum);
+    // The window spans the whole run so the no-checkpoint variant retains
+    // every batch and recompute-from-scratch stays feasible.
+    let window = WindowSpec::sliding(Duration::from_secs(8), Duration::from_secs(1));
+    let n_batches = 8;
+
+    let mut serial = StreamingEngine::new(
+        cfg_with(Backend::InProcess),
+        Technique::Prompt,
+        5,
+        job.clone(),
+    )
+    .with_window(window)
+    .with_stateful(StatefulOp::SessionCount);
+    let serial_res = serial.run(&mut skewed_source(600, 15), n_batches);
+
+    let run_dist = |checkpoint: Option<CheckpointConfig>| {
+        let mut cfg = cfg_with(Backend::Distributed {
+            workers: 3,
+            base_port: 0,
+        });
+        cfg.trace = TraceLevel::Full;
+        cfg.checkpoint = checkpoint;
+        let mut dist = StreamingEngine::new(cfg, Technique::Prompt, 5, job.clone())
+            .with_window(window)
+            .with_stateful(StatefulOp::SessionCount)
+            .with_fault_tolerance(3, FaultPlan::none().lose_store_at(5))
+            .with_net_faults(NetFaultPlan::none().kill_before(2, 1));
+        dist.run_traced(&mut skewed_source(600, 15), n_batches)
+    };
+
+    let dir = ckpt_dir("recovery");
+    let (ckpt_res, rec) = run_dist(Some(CheckpointConfig::new(&dir).interval(1)));
+    let (scratch_res, _) = run_dist(None);
+
+    // The worker kill really happened and was recovered from...
+    assert_eq!(ckpt_res.worker_losses, 1, "worker 1 dies at batch 2");
+    assert_eq!(ckpt_res.recoveries, 1);
+
+    // ...the store loss restored from the checkpoint, recomputing only the
+    // post-watermark suffix (nothing: the watermark covers batch 4)...
+    let ckpt_stats = ckpt_res.state.expect("state layer on");
+    let scratch_stats = scratch_res.state.expect("state layer on");
+    assert_eq!(ckpt_stats.restores, 1);
+    assert_eq!(scratch_stats.restores, 1);
+    assert_eq!(
+        scratch_stats.recomputed_batches, 5,
+        "no checkpoint: rebuild all"
+    );
+    assert!(
+        ckpt_stats.recomputed_batches < scratch_stats.recomputed_batches,
+        "checkpoint must shrink the recompute suffix: {} vs {}",
+        ckpt_stats.recomputed_batches,
+        scratch_stats.recomputed_batches
+    );
+    assert_eq!(rec.counter(Counter::StateRestores), 1);
+    assert!(
+        rec.counter(Counter::Checkpoints) >= 7,
+        "one commit per batch"
+    );
+    let events = rec.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::StateRestore { seq: 5, .. })),
+        "the restore decision must be visible in the trace"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Checkpoint { .. })),
+        "checkpoint commits must be visible in the trace"
+    );
+
+    // ...and the retained inputs were truncated at the watermark while the
+    // no-checkpoint run had to keep everything.
+    assert!(
+        ckpt_stats.max_retained_batches < scratch_stats.max_retained_batches,
+        "watermark truncation must bound retention: {} vs {}",
+        ckpt_stats.max_retained_batches,
+        scratch_stats.max_retained_batches
+    );
+
+    // Both runs emit windows and stateful results bit-identical to serial.
+    for (name, res) in [("checkpoint", &ckpt_res), ("scratch", &scratch_res)] {
+        assert_eq!(serial_res.windows.len(), res.windows.len(), "{name}");
+        for (a, b) in serial_res.windows.iter().zip(&res.windows) {
+            assert_eq!(
+                a.aggregates, b.aggregates,
+                "{name} window {}",
+                a.last_batch_seq
+            );
+        }
+        assert_eq!(serial_res.stateful.len(), res.stateful.len(), "{name}");
+        for (a, b) in serial_res.stateful.iter().zip(&res.stateful) {
+            assert_eq!(
+                a.aggregates, b.aggregates,
+                "{name} stateful {}",
+                a.last_batch_seq
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Elasticity-driven migration over the wire: when the auto-scaler changes
+/// the reduce task count mid-run, the re-sharded state is pushed to the
+/// worker fleet (`StatePush`/`StateAck`) and the answers stay bit-identical
+/// to the serial engine without checkpointing.
+#[test]
+fn scale_migration_ships_state_over_the_wire() {
+    ensure_worker_bin();
+    let job = Job::identity("count", ReduceOp::Count);
+    let window = WindowSpec::sliding(Duration::from_secs(3), Duration::from_secs(1));
+    let source = || {
+        let mut rate = 2000usize;
+        move |iv: Interval, out: &mut Vec<Tuple>| {
+            rate += 400;
+            let step = iv.len().0 / (rate as u64 + 1);
+            for i in 0..rate {
+                out.push(Tuple::keyed(
+                    Time(iv.start.0 + step * (i as u64 + 1)),
+                    Key(i as u64 % 64),
+                ));
+            }
+        }
+    };
+    let base_cfg = |backend: Backend| {
+        let mut cfg = cfg_with(backend);
+        cfg.map_tasks = 2;
+        cfg.reduce_tasks = 2;
+        cfg.cluster = Cluster::new(4, 4);
+        cfg.cost = CostModel {
+            map_per_tuple: Duration::from_micros(150),
+            reduce_per_tuple: Duration::from_micros(150),
+            ..CostModel::default()
+        };
+        cfg.elasticity = Some(ScalerConfig {
+            d: 2,
+            ..Default::default()
+        });
+        cfg
+    };
+
+    let mut serial = StreamingEngine::new(
+        base_cfg(Backend::InProcess),
+        Technique::Prompt,
+        9,
+        job.clone(),
+    )
+    .with_window(window);
+    let serial_res = serial.run(&mut source(), 20);
+    assert!(
+        serial_res.scale_events.iter().any(|(_, a)| a.out),
+        "load ramp must trigger scale-out"
+    );
+
+    let dir = ckpt_dir("migrate");
+    let mut cfg = base_cfg(Backend::Distributed {
+        workers: 2,
+        base_port: 0,
+    });
+    cfg.trace = TraceLevel::Full;
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir).interval(2));
+    let mut dist = StreamingEngine::new(cfg, Technique::Prompt, 9, job).with_window(window);
+    let (dist_res, rec) = dist.run_traced(&mut source(), 20);
+
+    assert_eq!(serial_res.scale_events, dist_res.scale_events);
+    let stats = dist_res.state.expect("state layer on");
+    assert!(stats.migrations >= 1, "scale-out must migrate shards");
+    assert!(stats.migrated_keys > 0);
+    assert_eq!(rec.counter(Counter::StateMigrations), stats.migrations);
+    assert!(
+        rec.events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::StateMigrate { .. })),
+        "the migration must be visible in the trace"
+    );
+    assert_eq!(serial_res.windows.len(), dist_res.windows.len());
+    for (a, b) in serial_res.windows.iter().zip(&dist_res.windows) {
+        assert_eq!(
+            a.aggregates, b.aggregates,
+            "window at batch {} must survive migration bit-identically",
+            a.last_batch_seq
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn killed_worker_recovers_and_outputs_match_serial() {
     ensure_worker_bin();

@@ -9,7 +9,9 @@
 //! structurally, and printed.
 
 use prompt_core::types::Duration;
+use prompt_engine::driver::StreamingEngine;
 use prompt_engine::job::{Job, ReduceOp};
+use prompt_engine::state::StatefulOp;
 use prompt_engine::window::WindowSpec;
 
 /// A predicate over the tuple's value field.
@@ -87,6 +89,9 @@ pub struct QuerySpec {
     pub window: Duration,
     /// Window slide.
     pub slide: Duration,
+    /// Optional stateful per-key operator evaluated against the engine's
+    /// durable keyed state alongside the windowed aggregate.
+    pub stateful: Option<StatefulOp>,
 }
 
 impl QuerySpec {
@@ -100,6 +105,7 @@ impl QuerySpec {
             aggregate: ReduceOp::Sum,
             window: Duration::from_secs(30),
             slide: Duration::from_secs(10),
+            stateful: None,
         }
     }
 
@@ -128,6 +134,14 @@ impl QuerySpec {
         self
     }
 
+    /// Declare a stateful per-key operator (e.g. session count) to be
+    /// evaluated against the engine's keyed state store on every window
+    /// emission.
+    pub fn stateful(mut self, op: StatefulOp) -> QuerySpec {
+        self.stateful = Some(op);
+        self
+    }
+
     /// Compile into the engine's imperative form.
     pub fn compile(&self) -> (Job, WindowSpec) {
         let predicate = self.predicate;
@@ -140,6 +154,21 @@ impl QuerySpec {
             self.aggregate,
         );
         (job, WindowSpec::sliding(self.window, self.slide))
+    }
+
+    /// Attach this spec's compiled window — and its stateful operator,
+    /// when one is declared — to an engine built from [`compile`]'s job.
+    /// A declared operator routes window maintenance through the durable
+    /// [`prompt_engine::state::KeyedStateStore`] instead of the serial
+    /// window path (same results, checkpointable state).
+    ///
+    /// [`compile`]: QuerySpec::compile
+    pub fn configure(&self, engine: StreamingEngine) -> StreamingEngine {
+        let engine = engine.with_window(WindowSpec::sliding(self.window, self.slide));
+        match self.stateful {
+            Some(op) => engine.with_stateful(op),
+            None => engine,
+        }
     }
 }
 
@@ -155,7 +184,11 @@ impl std::fmt::Display for QuerySpec {
             self.window.as_secs_f64(),
             self.slide.as_secs_f64(),
             self.name
-        )
+        )?;
+        if let Some(op) = self.stateful {
+            write!(f, " [stateful: {op:?}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -224,6 +257,51 @@ mod tests {
         assert!(s.contains("SELECT key"));
         assert!(s.contains("Gt(5.0)"));
         assert!(s.contains("demo"));
+    }
+
+    #[test]
+    fn stateful_query_compiles_and_runs() {
+        use prompt_core::partitioner::Technique;
+        use prompt_core::types::Interval;
+        use prompt_engine::prelude::*;
+        let spec = QuerySpec::new("active-keys")
+            .map(Transform::One)
+            .aggregate(ReduceOp::Sum)
+            .window(Duration::from_secs(3), Duration::from_secs(1))
+            .stateful(StatefulOp::SessionCount);
+        assert!(spec.to_string().contains("[stateful: SessionCount]"));
+        let (job, _) = spec.compile();
+        let cfg = EngineConfig {
+            batch_interval: Duration::from_secs(1),
+            map_tasks: 2,
+            reduce_tasks: 2,
+            cluster: Cluster::new(1, 2),
+            ..EngineConfig::default()
+        };
+        let mut engine = spec.configure(StreamingEngine::new(cfg, Technique::Prompt, 1, job));
+        // 4 keys, each present in every batch.
+        let mut source = |iv: Interval, out: &mut Vec<Tuple>| {
+            let step = iv.len().0 / 101;
+            for i in 0..100usize {
+                out.push(Tuple::keyed(
+                    Time(iv.start.0 + step * (i as u64 + 1)),
+                    Key(i as u64 % 4),
+                ));
+            }
+        };
+        let result = engine.run(&mut source, 6);
+        assert_eq!(result.stateful.len(), result.windows.len());
+        let last = result.stateful.last().unwrap();
+        for k in 0..4u64 {
+            assert_eq!(
+                last.aggregates[&Key(k)],
+                3.0,
+                "key {k} active in all 3 window batches"
+            );
+        }
+        // The windowed aggregate is still emitted alongside.
+        let window = result.windows.last().unwrap();
+        assert_eq!(window.aggregates[&Key(0)], 75.0, "3 batches x 25 per key");
     }
 
     #[test]

@@ -258,7 +258,7 @@ mod tests {
         fn any_covers_the_full_domain(x in any::<u64>(), b in any::<bool>(), s in any::<i8>()) {
             // The values themselves are unconstrained; exercise the macros.
             prop_assert_ne!(u128::from(x) + 1, 0u128);
-            prop_assert!(b || !b);
+            prop_assert!(u8::from(b) <= 1);
             prop_assert!(i16::from(s) >= -128 && i16::from(s) <= 127);
         }
     }

@@ -206,7 +206,7 @@ proptest! {
         worker in any::<u32>(),
         magic in any::<u32>(),
         version in any::<u8>(),
-        msg_type in 14u8..=255,
+        msg_type in 16u8..=255,
     ) {
         let good = Message::Heartbeat { worker }.encode();
 
