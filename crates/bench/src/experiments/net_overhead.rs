@@ -108,36 +108,46 @@ pub fn run(quick: bool) -> Vec<Table> {
             "wall ms",
             "wall ms / batch",
             "ctrl MiB sent",
-            "ctrl MiB recv",
+            "ctrl MiB raw",
+            "shuffle KiB wire",
+            "shuffle KiB raw",
+            "conns dialed",
+            "conns reused",
+            "fetch wait ms",
             "frames",
             "worker losses",
             "identical to serial",
         ],
     );
+    let mib = |b: u64| f3(b as f64 / (1 << 20) as f64);
+    let kib = |b: u64| f3(b as f64 / (1 << 10) as f64);
     for r in &runs {
-        let (sent, recv, frames, lost) = match r.result.net {
-            Some(n) => (
-                f3(n.bytes_sent as f64 / (1 << 20) as f64),
-                f3(n.bytes_received as f64 / (1 << 20) as f64),
+        let cols = match r.result.net {
+            Some(n) => [
+                mib(n.bytes_sent),
+                mib(n.bytes_sent_raw),
+                kib(n.shuffle_bytes_wire),
+                kib(n.shuffle_bytes_raw),
+                n.shuffle_conns_dialed.to_string(),
+                n.shuffle_conns_reused.to_string(),
+                f3(n.shuffle_wait_us as f64 / 1e3),
                 (n.frames_sent + n.frames_received).to_string(),
                 n.workers_lost.to_string(),
-            ),
-            None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            ],
+            None => std::array::from_fn(|_| "-".into()),
         };
-        t.row(vec![
+        let mut row = vec![
             r.label.clone(),
             f3(r.wall_ms),
             f3(r.wall_ms / batches as f64),
-            sent,
-            recv,
-            frames,
-            lost,
-            if outputs_identical(&serial.result, &r.result) {
-                "yes".into()
-            } else {
-                "NO".into()
-            },
-        ]);
+        ];
+        row.extend(cols);
+        row.push(if outputs_identical(&serial.result, &r.result) {
+            "yes".into()
+        } else {
+            "NO".into()
+        });
+        t.row(row);
     }
     vec![t]
 }
@@ -164,6 +174,16 @@ mod tests {
         assert!(net.bytes_sent > 0 && net.frames_received > 0);
         assert_eq!(net.workers_lost, 0);
         assert!(serial.result.net.is_none());
+        // Pooled data plane: reuse dominates dialing, and the v2 varint
+        // encoding strictly beats the v1 fixed-width layout on both planes.
+        assert!(
+            net.shuffle_conns_dialed <= 2,
+            "{}",
+            net.shuffle_conns_dialed
+        );
+        assert!(net.shuffle_conns_reused > net.shuffle_conns_dialed);
+        assert!(net.shuffle_bytes_wire < net.shuffle_bytes_raw);
+        assert!(net.bytes_sent < net.bytes_sent_raw);
     }
 
     #[test]
@@ -182,7 +202,7 @@ mod tests {
         );
         // Every row reproduced the serial outputs bit-for-bit.
         for row in &tables[0].rows {
-            assert_eq!(row[7], "yes", "{} diverged from serial", row[0]);
+            assert_eq!(row[12], "yes", "{} diverged from serial", row[0]);
         }
     }
 }

@@ -100,6 +100,31 @@ pub trait BytesSink {
         self.put_u32(u32::try_from(len).expect("collection too large for wire"));
     }
 
+    /// Append a `u64` as an LEB128 varint: 7 value bits per byte, high bit
+    /// as continuation. Small values (the common case for ids, counts and
+    /// sorted-key deltas) take 1–2 bytes instead of 8; the encoding is
+    /// canonical — exactly one byte sequence per value — so varint payloads
+    /// stay valid digest inputs.
+    fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.put_u8(b);
+                return;
+            }
+            self.put_u8(b | 0x80);
+        }
+    }
+
+    /// Append a collection length as a varint count.
+    ///
+    /// Panics if `len` exceeds `u32::MAX`, like [`BytesSink::put_len`].
+    fn put_varint_len(&mut self, len: usize) {
+        u32::try_from(len).expect("collection too large for wire");
+        self.put_varint(len as u64);
+    }
+
     /// Append a UTF-8 string (length prefix + bytes).
     fn put_str(&mut self, s: &str) {
         self.put_len(s.len());
@@ -263,6 +288,48 @@ impl<'a> ByteReader<'a> {
         Ok(len)
     }
 
+    /// Read an LEB128 varint (the counterpart of [`BytesSink::put_varint`]).
+    ///
+    /// Rejects truncated input, encodings longer than 10 bytes, 10th bytes
+    /// that would overflow 64 bits, and non-canonical (overlong) encodings —
+    /// every `u64` has exactly one accepted byte sequence.
+    pub fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.get_u8()?;
+            // The 10th byte may only hold the top bit of a u64; anything
+            // larger (including a continuation bit, i.e. an 11th byte)
+            // cannot encode a u64.
+            if shift == 63 && b > 1 {
+                return Err(CodecError::Malformed("varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                if b == 0 && shift != 0 {
+                    return Err(CodecError::Malformed("non-canonical varint"));
+                }
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a varint collection length with the same guard as
+    /// [`ByteReader::get_len`]: `len * min_element_size` must still fit in
+    /// the remaining bytes.
+    pub fn get_varint_len(&mut self, min_element_size: usize) -> Result<usize, CodecError> {
+        let raw = self.get_varint()?;
+        let len = usize::try_from(raw).map_err(|_| CodecError::Malformed("length prefix"))?;
+        if len.saturating_mul(min_element_size.max(1)) > self.remaining() {
+            return Err(CodecError::BadLength {
+                len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
     /// Read a UTF-8 string (length prefix + bytes).
     pub fn get_str(&mut self) -> Result<String, CodecError> {
         let len = self.get_len(1)?;
@@ -285,6 +352,30 @@ impl<'a> ByteReader<'a> {
             Err(CodecError::Malformed("trailing bytes after value"))
         }
     }
+}
+
+/// Zigzag-map a signed delta onto the unsigned varint domain: small
+/// magnitudes of either sign get small codes (0 → 0, -1 → 1, 1 → 2, …).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Invert [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a key as a zigzag varint delta against the previous key of a
+/// sorted run. Ascending key ids yield small positive deltas (1–2 bytes
+/// instead of 8); the wrapping difference keeps the mapping total, so even
+/// unsorted inputs round-trip exactly.
+pub fn put_key_delta<S: BytesSink>(s: &mut S, prev: u64, key: u64) {
+    s.put_varint(zigzag(key.wrapping_sub(prev) as i64));
+}
+
+/// Read a key encoded by [`put_key_delta`] against the same previous key.
+pub fn get_key_delta(r: &mut ByteReader<'_>, prev: u64) -> Result<u64, CodecError> {
+    Ok(prev.wrapping_add(unzigzag(r.get_varint()?) as u64))
 }
 
 /// Encoded size of one [`Tuple`]: ts + key + value, 8 bytes each.
@@ -596,6 +687,84 @@ mod tests {
                 assert_ne!(crc32(&flipped), base, "flip at byte {pos} bit {bit}");
             }
         }
+    }
+
+    #[test]
+    fn varints_round_trip_at_every_width() {
+        let mut boundary = vec![0u64, 1, 127, 128, 300, u64::MAX];
+        for shift in 1..10 {
+            boundary.push((1u64 << (7 * shift)) - 1);
+            boundary.push(1u64 << (7 * shift));
+        }
+        for v in boundary {
+            let mut w = ByteWriter::new();
+            w.put_varint(v);
+            assert!(w.len() <= 10, "{v} took {} bytes", w.len());
+            let mut r = ByteReader::new(w.as_bytes());
+            assert_eq!(r.get_varint().unwrap(), v);
+            r.expect_empty().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncated_overlong_and_noncanonical() {
+        // Truncated: continuation bit set, nothing follows.
+        let mut r = ByteReader::new(&[0x80]);
+        assert!(matches!(r.get_varint(), Err(CodecError::Truncated { .. })));
+        // Overlong: a 10th continuation byte cannot encode a u64.
+        let mut r = ByteReader::new(&[0x80; 11]);
+        assert_eq!(
+            r.get_varint(),
+            Err(CodecError::Malformed("varint overflows u64"))
+        );
+        // 10th byte may only contribute the top bit of a u64.
+        let frame = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut r = ByteReader::new(&frame);
+        assert_eq!(
+            r.get_varint(),
+            Err(CodecError::Malformed("varint overflows u64"))
+        );
+        // Non-canonical: `1` padded with a zero terminator byte.
+        let mut r = ByteReader::new(&[0x81, 0x00]);
+        assert_eq!(
+            r.get_varint(),
+            Err(CodecError::Malformed("non-canonical varint"))
+        );
+    }
+
+    #[test]
+    fn key_deltas_round_trip_sorted_and_wrapping() {
+        let keys = [0u64, 1, 2, 500, 10_000, u64::MAX, 3];
+        let mut w = ByteWriter::new();
+        let mut prev = 0u64;
+        for &k in &keys {
+            put_key_delta(&mut w, prev, k);
+            prev = k;
+        }
+        // A sorted prefix of small gaps stays compact.
+        let mut r = ByteReader::new(w.as_bytes());
+        let mut prev = 0u64;
+        for &k in &keys {
+            let got = get_key_delta(&mut r, prev).unwrap();
+            assert_eq!(got, k);
+            prev = k;
+        }
+        r.expect_empty().unwrap();
+        // zigzag is a bijection at the extremes.
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_len_guard_rejects_absurd_counts() {
+        let mut w = ByteWriter::new();
+        w.put_varint(u64::from(u32::MAX)); // promises 4 billion elements
+        let mut r = ByteReader::new(w.as_bytes());
+        assert!(matches!(
+            r.get_varint_len(8),
+            Err(CodecError::BadLength { .. })
+        ));
     }
 
     #[test]

@@ -40,7 +40,7 @@ use prompt_core::reduce::{KeyCluster, ReduceAssigner};
 use prompt_core::types::Key;
 
 use super::transport::{FrameConn, NetCounters, NetError, RetryPolicy};
-use super::wire::{Message, ShuffleSource};
+use super::wire::{FetchStats, Message, ShuffleSource};
 use super::worker::{run_worker, WorkerOptions};
 use crate::job::JobSpec;
 use crate::recovery::{FaultPoint, NetFaultPlan};
@@ -119,19 +119,37 @@ impl std::error::Error for WorkerLoss {}
 
 /// Wire-traffic totals of one distributed run, as seen from the driver.
 ///
-/// Covers the control plane (task dispatch including data blocks, replies,
-/// heartbeats); worker-to-worker shuffle fetches happen on the workers' own
-/// sockets and are not visible here.
+/// The byte/frame counters cover the control plane (task dispatch including
+/// data blocks, replies, heartbeats). Worker-to-worker shuffle fetches
+/// happen on the workers' own sockets, invisible to the driver's counters —
+/// the `shuffle_*` fields instead aggregate the [`FetchStats`] every
+/// reducing worker reports on `ReduceComplete`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Bytes the driver wrote.
     pub bytes_sent: u64,
     /// Bytes the driver read.
     pub bytes_received: u64,
+    /// What the driver's writes would have cost in the fixed-width v1
+    /// layout (the v2 varint encoding's win is `raw - sent`).
+    pub bytes_sent_raw: u64,
+    /// v1-layout equivalent of `bytes_received`.
+    pub bytes_received_raw: u64,
     /// Frames the driver wrote.
     pub frames_sent: u64,
     /// Frames the driver read.
     pub frames_received: u64,
+    /// Shuffle connections dialed by reducing workers (pool misses).
+    pub shuffle_conns_dialed: u64,
+    /// Pooled shuffle connections reused by reducing workers (pool hits).
+    pub shuffle_conns_reused: u64,
+    /// Wall-clock µs workers spent waiting on shuffle fetches (summed over
+    /// tasks; concurrent fetches overlap, so this exceeds elapsed time).
+    pub shuffle_wait_us: u64,
+    /// Fetch-reply bytes received by workers (v2 encoding).
+    pub shuffle_bytes_wire: u64,
+    /// v1-layout equivalent of `shuffle_bytes_wire`.
+    pub shuffle_bytes_raw: u64,
     /// Workers declared lost over the run.
     pub workers_lost: u64,
 }
@@ -167,6 +185,8 @@ pub struct DistributedRuntime {
     epoch: u32,
     fault: NetFaultPlan,
     workers_lost: u64,
+    /// Shuffle-plane totals reported by workers on `ReduceComplete`.
+    shuffle: FetchStats,
     shut_down: bool,
 }
 
@@ -290,6 +310,7 @@ impl DistributedRuntime {
                     epoch: 0,
                     fault: NetFaultPlan::none(),
                     workers_lost: 0,
+                    shuffle: FetchStats::default(),
                     shut_down: false,
                 })
             }
@@ -411,13 +432,21 @@ impl DistributedRuntime {
         self.fault = plan;
     }
 
-    /// Driver-side wire totals and loss count so far.
+    /// Driver-side wire totals, worker-reported shuffle totals, and loss
+    /// count so far.
     pub fn stats(&self) -> NetStats {
         NetStats {
             bytes_sent: self.counters.bytes_sent(),
             bytes_received: self.counters.bytes_received(),
+            bytes_sent_raw: self.counters.raw_bytes_sent(),
+            bytes_received_raw: self.counters.raw_bytes_received(),
             frames_sent: self.counters.frames_sent(),
             frames_received: self.counters.frames_received(),
+            shuffle_conns_dialed: self.shuffle.dialed,
+            shuffle_conns_reused: self.shuffle.reused,
+            shuffle_wait_us: self.shuffle.wait_us,
+            shuffle_bytes_wire: self.shuffle.bytes_wire,
+            shuffle_bytes_raw: self.shuffle.bytes_raw,
             workers_lost: self.workers_lost,
         }
     }
@@ -734,11 +763,20 @@ impl DistributedRuntime {
                 keys,
                 fragments,
                 aggregates,
+                net,
                 ..
             } = self.next_event(deadline, seq, epoch)?
             {
                 let slot = &mut buckets[bucket as usize];
                 if slot.is_none() {
+                    self.shuffle.absorb(net);
+                    if let Some((rec, _)) = trace {
+                        rec.incr(Counter::ShuffleConnsDialed, net.dialed);
+                        rec.incr(Counter::ShuffleConnsReused, net.reused);
+                        rec.incr(Counter::ShuffleWaitUs, net.wait_us);
+                        rec.incr(Counter::ShuffleBytesWire, net.bytes_wire);
+                        rec.incr(Counter::ShuffleBytesRaw, net.bytes_raw);
+                    }
                     *slot = Some((
                         BucketStats {
                             tuples: tuples as usize,

@@ -22,6 +22,6 @@ pub mod wire;
 pub mod worker;
 
 pub use driver::{DistributedOptions, DistributedRuntime, LaunchMode, NetStats, WorkerLoss};
-pub use transport::{FrameConn, NetCounters, NetError, RetryPolicy};
-pub use wire::{Message, ShuffleSegment, ShuffleSource, WireError, PROTOCOL_VERSION};
+pub use transport::{ConnPool, FrameConn, NetCounters, NetError, RetryPolicy};
+pub use wire::{FetchStats, Message, ShuffleSegment, ShuffleSource, WireError, PROTOCOL_VERSION};
 pub use worker::{run_worker, WorkerOptions};

@@ -1,10 +1,12 @@
-//! Framed TCP transport: length-prefixed message I/O, byte accounting, and
-//! connect/read retry with exponential backoff.
+//! Framed TCP transport: length-prefixed message I/O, byte accounting,
+//! connect/read retry with exponential backoff, and a per-peer connection
+//! pool for the shuffle data plane.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration as WallDuration;
 
 use super::wire::{Message, WireError, HEADER_LEN};
@@ -64,6 +66,10 @@ pub struct NetCounters {
     bytes_received: AtomicU64,
     frames_sent: AtomicU64,
     frames_received: AtomicU64,
+    raw_bytes_sent: AtomicU64,
+    raw_bytes_received: AtomicU64,
+    conns_dialed: AtomicU64,
+    conns_reused: AtomicU64,
 }
 
 impl NetCounters {
@@ -93,14 +99,38 @@ impl NetCounters {
         self.frames_received.load(Ordering::Relaxed)
     }
 
-    fn record_send(&self, bytes: usize) {
+    /// What the sent frames would have cost in the fixed-width v1 layout
+    /// (compare with [`NetCounters::bytes_sent`] for the encoding win).
+    pub fn raw_bytes_sent(&self) -> u64 {
+        self.raw_bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// v1-layout equivalent of the received frames.
+    pub fn raw_bytes_received(&self) -> u64 {
+        self.raw_bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Connections dialed through a [`ConnPool`] (pool misses).
+    pub fn conns_dialed(&self) -> u64 {
+        self.conns_dialed.load(Ordering::Relaxed)
+    }
+
+    /// Pooled connections reused by a [`ConnPool`] (pool hits).
+    pub fn conns_reused(&self) -> u64 {
+        self.conns_reused.load(Ordering::Relaxed)
+    }
+
+    fn record_send(&self, bytes: usize, raw: usize) {
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.raw_bytes_sent.fetch_add(raw as u64, Ordering::Relaxed);
         self.frames_sent.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_recv(&self, bytes: usize) {
+    fn record_recv(&self, bytes: usize, raw: usize) {
         self.bytes_received
             .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.raw_bytes_received
+            .fetch_add(raw as u64, Ordering::Relaxed);
         self.frames_received.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -149,19 +179,121 @@ impl FrameConn {
     pub fn send(&mut self, msg: &Message) -> Result<(), NetError> {
         let frame = msg.encode();
         self.stream.write_all(&frame)?;
-        self.counters.record_send(frame.len());
+        self.counters
+            .record_send(frame.len(), HEADER_LEN + msg.v1_payload_len());
         Ok(())
     }
 
     /// Read one complete frame and decode it.
     pub fn recv(&mut self) -> Result<Message, NetError> {
+        Ok(self.recv_counted()?.0)
+    }
+
+    /// [`FrameConn::recv`], also returning the frame's bytes-on-wire (for
+    /// callers accounting per-fetch transfer, not just the shared totals).
+    pub fn recv_counted(&mut self) -> Result<(Message, usize), NetError> {
         let mut header = [0u8; HEADER_LEN];
         self.stream.read_exact(&mut header)?;
         let (msg_type, len) = Message::check_header(&header)?;
         let mut payload = vec![0u8; len as usize];
         self.stream.read_exact(&mut payload)?;
-        self.counters.record_recv(HEADER_LEN + payload.len());
-        Ok(Message::decode_payload(msg_type, &payload)?)
+        let msg = Message::decode_payload(msg_type, &payload)?;
+        let wire = HEADER_LEN + payload.len();
+        self.counters
+            .record_recv(wire, HEADER_LEN + msg.v1_payload_len());
+        Ok((msg, wire))
+    }
+
+    /// Whether an idle connection is still usable: the peer has not closed
+    /// it and no stray bytes are queued (a leftover byte means the last
+    /// request/reply exchange desynced — the framing can't be trusted).
+    pub fn is_healthy(&self) -> bool {
+        if self.stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let mut probe = [0u8; 1];
+        let healthy = match self.stream.peek(&mut probe) {
+            Ok(0) => false, // peer closed
+            Ok(_) => false, // desynced
+            Err(e) => e.kind() == std::io::ErrorKind::WouldBlock,
+        };
+        healthy && self.stream.set_nonblocking(false).is_ok()
+    }
+}
+
+/// Per-peer pool of idle shuffle connections. A fetch checks a connection
+/// out (reusing an idle healthy one, else dialing), runs its request/reply
+/// exchanges, and checks it back in; connections thereby persist across
+/// fetches and batches. Stale entries (peer closed, or bytes left queued)
+/// are dropped at checkout, and [`ConnPool::evict`] throws away every idle
+/// connection to a dead peer so recovery never retries a doomed socket.
+#[derive(Debug)]
+pub struct ConnPool {
+    idle: Mutex<HashMap<SocketAddr, Vec<FrameConn>>>,
+    retry: RetryPolicy,
+    counters: Arc<NetCounters>,
+}
+
+impl ConnPool {
+    /// An empty pool dialing with `retry` and accounting into `counters`.
+    pub fn new(retry: RetryPolicy, counters: Arc<NetCounters>) -> ConnPool {
+        ConnPool {
+            idle: Mutex::new(HashMap::new()),
+            retry,
+            counters,
+        }
+    }
+
+    /// Check a connection to `addr` out: the most recently returned healthy
+    /// idle connection if any (`reused = true`), else a fresh dial under
+    /// the retry policy (`reused = false`).
+    pub fn checkout(&self, addr: SocketAddr) -> Result<(FrameConn, bool), NetError> {
+        loop {
+            let candidate = self
+                .idle
+                .lock()
+                .expect("pool lock")
+                .get_mut(&addr)
+                .and_then(Vec::pop);
+            match candidate {
+                Some(conn) if conn.is_healthy() => {
+                    self.counters.conns_reused.fetch_add(1, Ordering::Relaxed);
+                    return Ok((conn, true));
+                }
+                Some(stale) => drop(stale), // closed or desynced: try the next one
+                None => break,
+            }
+        }
+        let conn = self.retry.connect(addr, &self.counters)?;
+        self.counters.conns_dialed.fetch_add(1, Ordering::Relaxed);
+        Ok((conn, false))
+    }
+
+    /// Return a connection after a clean request/reply exchange. Never
+    /// check in a connection whose last exchange errored mid-frame — drop
+    /// it instead, so the pool only holds frame-aligned sockets.
+    pub fn checkin(&self, addr: SocketAddr, conn: FrameConn) {
+        self.idle
+            .lock()
+            .expect("pool lock")
+            .entry(addr)
+            .or_default()
+            .push(conn);
+    }
+
+    /// Drop every idle connection to `addr` (the peer died or was declared
+    /// lost); subsequent checkouts dial anew.
+    pub fn evict(&self, addr: SocketAddr) {
+        self.idle.lock().expect("pool lock").remove(&addr);
+    }
+
+    /// Idle connections currently held for `addr` (tests and diagnostics).
+    pub fn idle_count(&self, addr: SocketAddr) -> usize {
+        self.idle
+            .lock()
+            .expect("pool lock")
+            .get(&addr)
+            .map_or(0, Vec::len)
     }
 }
 
@@ -278,6 +410,80 @@ mod tests {
             .expect_err("no listener");
         assert!(matches!(err, NetError::Io(_)));
         assert!(!err.is_timeout());
+    }
+
+    #[test]
+    fn pool_reuses_one_connection_per_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server_counters = NetCounters::shared();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FrameConn::new(stream, server_counters);
+            // Echo until the client side drops (recv returns EOF).
+            while let Ok(msg) = conn.recv() {
+                conn.send(&msg).unwrap();
+            }
+        });
+        let counters = NetCounters::shared();
+        let pool = ConnPool::new(RetryPolicy::default(), Arc::clone(&counters));
+        for round in 0..3u32 {
+            let (mut conn, reused) = pool.checkout(addr).unwrap();
+            assert_eq!(reused, round > 0, "round {round}");
+            conn.send(&Message::Heartbeat { worker: round }).unwrap();
+            conn.recv().unwrap();
+            pool.checkin(addr, conn);
+        }
+        assert_eq!(counters.conns_dialed(), 1, "one dial serves every round");
+        assert_eq!(counters.conns_reused(), 2);
+        assert_eq!(pool.idle_count(addr), 1);
+        pool.evict(addr);
+        assert_eq!(pool.idle_count(addr), 0, "evicted peers hold nothing");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pool_drops_closed_connections_at_checkout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counters = NetCounters::shared();
+        let pool = ConnPool::new(RetryPolicy::default(), Arc::clone(&counters));
+        let (conn, reused) = pool.checkout(addr).unwrap();
+        assert!(!reused);
+        let (server_side, _) = listener.accept().unwrap();
+        drop(server_side);
+        pool.checkin(addr, conn);
+        // Let the FIN land so the health probe sees the close.
+        std::thread::sleep(WallDuration::from_millis(20));
+        let (_conn, reused) = pool.checkout(addr).unwrap();
+        assert!(!reused, "closed idle conn must be dropped, not reused");
+        assert_eq!(counters.conns_dialed(), 2);
+        assert_eq!(counters.conns_reused(), 0);
+    }
+
+    #[test]
+    fn raw_byte_accounting_tracks_v1_layout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counters = NetCounters::shared();
+        let mut conn = RetryPolicy::default().connect(addr, &counters).unwrap();
+        let msg = Message::MapComplete {
+            seq: 1,
+            epoch: 0,
+            block_id: 0,
+            clusters: (0..32).map(|k| (prompt_core::types::Key(k), k)).collect(),
+        };
+        conn.send(&msg).unwrap();
+        assert_eq!(
+            counters.raw_bytes_sent() as usize,
+            HEADER_LEN + msg.v1_payload_len()
+        );
+        assert!(
+            counters.bytes_sent() < counters.raw_bytes_sent(),
+            "v2 on-wire {} should beat v1 {}",
+            counters.bytes_sent(),
+            counters.raw_bytes_sent()
+        );
     }
 
     #[test]

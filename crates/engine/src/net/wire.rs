@@ -6,11 +6,23 @@
 //! policy). The magic and version are checked before the payload is even
 //! read, so a peer speaking a future protocol fails fast with a clear error
 //! instead of a garbage decode.
+//!
+//! Protocol v2 compacts the data-plane payloads: collection counts and
+//! small integers travel as LEB128 varints, and the key ids of key-sorted
+//! runs (map-output clusters, shuffle-segment items, reduce aggregates) are
+//! delta-encoded against the previous key as zigzag varints — ascending ids
+//! a few apart take 1–2 bytes instead of 8. `f64` aggregates stay fixed
+//! 8-byte bit patterns (bit-identity is non-negotiable, and mantissas do
+//! not compress). [`Message::v1_payload_len`] reports what the fixed-width
+//! v1 layout would have used, so transports can account raw vs. encoded
+//! bytes-on-wire.
 
 use std::net::{Ipv4Addr, SocketAddrV4};
 
 use prompt_core::batch::DataBlock;
-use prompt_core::bytes::{self, ByteReader, ByteWriter, BytesSink, CodecError, FRAGMENT_WIRE_SIZE};
+use prompt_core::bytes::{
+    self, ByteReader, ByteWriter, BytesSink, CodecError, FRAGMENT_WIRE_SIZE, TUPLE_WIRE_SIZE,
+};
 use prompt_core::types::Key;
 
 use crate::job::{JobSpec, MapSpec, ReduceOp};
@@ -19,7 +31,8 @@ use crate::job::{JobSpec, MapSpec, ReduceOp};
 pub const MAGIC: u32 = 0x5445_4e50;
 
 /// Current protocol version. Bump on any incompatible layout change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// v2: varint/delta-compacted data-plane payloads (see module docs).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Frame header length: magic + version + msg type + payload length.
 pub const HEADER_LEN: usize = 10;
@@ -82,6 +95,35 @@ pub struct ShuffleSegment {
     pub block_id: u32,
     /// Key-ordered `(key, partial aggregate, tuples folded)` triples.
     pub items: Vec<(Key, f64, u64)>,
+}
+
+/// Shuffle data-plane cost of one Reduce task, measured by the fetching
+/// worker and reported to the driver on `ReduceComplete` (the driver's own
+/// counters only see the control plane — worker-to-worker fetch sockets
+/// are invisible to it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Shuffle connections dialed for this task (pool misses).
+    pub dialed: u64,
+    /// Pooled shuffle connections reused for this task (pool hits).
+    pub reused: u64,
+    /// Wall-clock µs spent waiting on shuffle fetches, summed per source.
+    pub wait_us: u64,
+    /// Fetch-reply bytes actually received (v2 varint encoding).
+    pub bytes_wire: u64,
+    /// What the same replies would have cost in the fixed-width v1 layout.
+    pub bytes_raw: u64,
+}
+
+impl FetchStats {
+    /// Accumulate another task's (or source's) stats into this one.
+    pub fn absorb(&mut self, other: FetchStats) {
+        self.dialed += other.dialed;
+        self.reused += other.reused;
+        self.wait_us += other.wait_us;
+        self.bytes_wire += other.bytes_wire;
+        self.bytes_raw += other.bytes_raw;
+    }
 }
 
 /// Every message of the control and data planes.
@@ -173,6 +215,8 @@ pub enum Message {
         fragments: u64,
         /// Final `(key, aggregate)` pairs, in key order.
         aggregates: Vec<(Key, f64)>,
+        /// Shuffle-fetch cost of the task, as seen by the reducing worker.
+        net: FetchStats,
     },
     /// Driver → worker: batch committed; garbage-collect its shuffle state.
     BatchDone {
@@ -340,7 +384,7 @@ impl Message {
                 w.put_u64(*seq);
                 w.put_u32(*epoch);
                 w.put_u32(*block_id);
-                bytes::put_key_counts(w, clusters);
+                put_key_counts_compact(w, clusters);
             }
             Message::ShuffleAssign {
                 seq,
@@ -351,9 +395,9 @@ impl Message {
                 w.put_u64(*seq);
                 w.put_u32(*epoch);
                 w.put_u32(*block_id);
-                w.put_len(assignment.len());
+                w.put_varint_len(assignment.len());
                 for &b in assignment {
-                    w.put_u32(b);
+                    w.put_varint(u64::from(b));
                 }
             }
             Message::ReduceTask {
@@ -382,18 +426,26 @@ impl Message {
                 keys,
                 fragments,
                 aggregates,
+                net,
             } => {
                 w.put_u64(*seq);
                 w.put_u32(*epoch);
                 w.put_u32(*bucket);
-                w.put_u64(*tuples);
-                w.put_u64(*keys);
-                w.put_u64(*fragments);
-                w.put_len(aggregates.len());
+                w.put_varint(*tuples);
+                w.put_varint(*keys);
+                w.put_varint(*fragments);
+                w.put_varint_len(aggregates.len());
+                let mut prev = 0u64;
                 for &(k, v) in aggregates {
-                    w.put_u64(k.0);
+                    bytes::put_key_delta(w, prev, k.0);
+                    prev = k.0;
                     w.put_f64(v);
                 }
+                w.put_varint(net.dialed);
+                w.put_varint(net.reused);
+                w.put_varint(net.wait_us);
+                w.put_varint(net.bytes_wire);
+                w.put_varint(net.bytes_raw);
             }
             Message::BatchDone { seq } => w.put_u64(*seq),
             Message::Shutdown => {}
@@ -404,14 +456,16 @@ impl Message {
             }
             Message::FetchReply { ready, segments } => {
                 w.put_u8(u8::from(*ready));
-                w.put_len(segments.len());
+                w.put_varint_len(segments.len());
                 for seg in segments {
-                    w.put_u32(seg.block_id);
-                    w.put_len(seg.items.len());
+                    w.put_varint(u64::from(seg.block_id));
+                    w.put_varint_len(seg.items.len());
+                    let mut prev = 0u64;
                     for &(k, v, n) in &seg.items {
-                        w.put_u64(k.0);
+                        bytes::put_key_delta(w, prev, k.0);
+                        prev = k.0;
                         w.put_f64(v);
-                        w.put_u64(n);
+                        w.put_varint(n);
                     }
                 }
             }
@@ -449,6 +503,46 @@ impl Message {
                 w.put_u64(*seq);
                 w.put_u32(*bucket);
             }
+        }
+    }
+
+    /// What this message's payload would occupy in the fixed-width v1
+    /// layout (8-byte keys/counts, 4-byte length prefixes, no deltas).
+    /// Transports subtract this from the v2 size to report compression
+    /// wins; it is bookkeeping only and never hits the wire.
+    pub fn v1_payload_len(&self) -> usize {
+        match self {
+            Message::Register { .. } => 6,
+            Message::RegisterAck { .. } => 8,
+            Message::Heartbeat { .. } => 4,
+            Message::MapTask { block, .. } => {
+                8 + 4
+                    + 4
+                    + 1
+                    + 1
+                    + (4 + TUPLE_WIRE_SIZE * block.tuples.len())
+                    + (4 + FRAGMENT_WIRE_SIZE * block.fragments.len())
+            }
+            Message::MapComplete { clusters, .. } => 8 + 4 + 4 + 4 + 16 * clusters.len(),
+            Message::ShuffleAssign { assignment, .. } => 8 + 4 + 4 + 4 + 4 * assignment.len(),
+            Message::ReduceTask { sources, .. } => 8 + 4 + 4 + 1 + 4 + 10 * sources.len(),
+            Message::ReduceComplete { aggregates, .. } => {
+                // v1 carried no FetchStats trailer.
+                8 + 4 + 4 + 8 + 8 + 8 + 4 + 16 * aggregates.len()
+            }
+            Message::BatchDone { .. } => 8,
+            Message::Shutdown => 0,
+            Message::Fetch { .. } => 16,
+            Message::FetchReply { segments, .. } => {
+                1 + 4
+                    + segments
+                        .iter()
+                        .map(|s| 4 + 4 + TUPLE_WIRE_SIZE * s.items.len())
+                        .sum::<usize>()
+            }
+            Message::WorkerError { detail, .. } => 4 + 8 + 4 + 4 + 4 + detail.len(),
+            Message::StatePush { payload, .. } => 8 + 4 + 4 + 4 + payload.len(),
+            Message::StateAck { .. } => 16,
         }
     }
 
@@ -527,16 +621,16 @@ impl Message {
                 seq: r.get_u64()?,
                 epoch: r.get_u32()?,
                 block_id: r.get_u32()?,
-                clusters: bytes::get_key_counts(&mut r)?,
+                clusters: get_key_counts_compact(&mut r)?,
             },
             6 => {
                 let seq = r.get_u64()?;
                 let epoch = r.get_u32()?;
                 let block_id = r.get_u32()?;
-                let n = r.get_len(4)?;
+                let n = r.get_varint_len(1)?;
                 let mut assignment = Vec::with_capacity(n);
                 for _ in 0..n {
-                    assignment.push(r.get_u32()?);
+                    assignment.push(get_small_u32(&mut r)?);
                 }
                 Message::ShuffleAssign {
                     seq,
@@ -574,14 +668,25 @@ impl Message {
                 let seq = r.get_u64()?;
                 let epoch = r.get_u32()?;
                 let bucket = r.get_u32()?;
-                let tuples = r.get_u64()?;
-                let keys = r.get_u64()?;
-                let fragments = r.get_u64()?;
-                let n = r.get_len(FRAGMENT_WIRE_SIZE)?;
+                let tuples = r.get_varint()?;
+                let keys = r.get_varint()?;
+                let fragments = r.get_varint()?;
+                // Minimal aggregate: 1-byte key delta + 8-byte value.
+                let n = r.get_varint_len(9)?;
                 let mut aggregates = Vec::with_capacity(n);
+                let mut prev = 0u64;
                 for _ in 0..n {
-                    aggregates.push((Key(r.get_u64()?), r.get_f64()?));
+                    let k = bytes::get_key_delta(&mut r, prev)?;
+                    prev = k;
+                    aggregates.push((Key(k), r.get_f64()?));
                 }
+                let net = FetchStats {
+                    dialed: r.get_varint()?,
+                    reused: r.get_varint()?,
+                    wait_us: r.get_varint()?,
+                    bytes_wire: r.get_varint()?,
+                    bytes_raw: r.get_varint()?,
+                };
                 Message::ReduceComplete {
                     seq,
                     epoch,
@@ -590,6 +695,7 @@ impl Message {
                     keys,
                     fragments,
                     aggregates,
+                    net,
                 }
             }
             9 => Message::BatchDone { seq: r.get_u64()? },
@@ -605,14 +711,19 @@ impl Message {
                     1 => true,
                     _ => return Err(WireError::Codec(CodecError::Malformed("ready flag"))),
                 };
-                let n = r.get_len(8)?;
+                // Minimal segment: 1-byte block id + 1-byte item count.
+                let n = r.get_varint_len(2)?;
                 let mut segments = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let block_id = r.get_u32()?;
-                    let m = r.get_len(24)?;
+                    let block_id = get_small_u32(&mut r)?;
+                    // Minimal item: key delta + fixed f64 + tuple count.
+                    let m = r.get_varint_len(10)?;
                     let mut items = Vec::with_capacity(m);
+                    let mut prev = 0u64;
                     for _ in 0..m {
-                        items.push((Key(r.get_u64()?), r.get_f64()?, r.get_u64()?));
+                        let k = bytes::get_key_delta(&mut r, prev)?;
+                        prev = k;
+                        items.push((Key(k), r.get_f64()?, r.get_varint()?));
                     }
                     segments.push(ShuffleSegment { block_id, items });
                 }
@@ -641,6 +752,37 @@ impl Message {
         r.expect_empty()?;
         Ok(msg)
     }
+}
+
+/// Key-ordered `(key, count)` runs, delta-encoded: varint count prefix,
+/// then per entry a zigzag-varint key delta against the previous key and a
+/// varint count.
+fn put_key_counts_compact<S: BytesSink>(w: &mut S, counts: &[(Key, u64)]) {
+    w.put_varint_len(counts.len());
+    let mut prev = 0u64;
+    for &(k, n) in counts {
+        bytes::put_key_delta(w, prev, k.0);
+        prev = k.0;
+        w.put_varint(n);
+    }
+}
+
+fn get_key_counts_compact(r: &mut ByteReader<'_>) -> Result<Vec<(Key, u64)>, CodecError> {
+    // Minimal entry: 1-byte key delta + 1-byte count.
+    let n = r.get_varint_len(2)?;
+    let mut counts = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let k = bytes::get_key_delta(r, prev)?;
+        prev = k;
+        counts.push((Key(k), r.get_varint()?));
+    }
+    Ok(counts)
+}
+
+/// Decode a varint that must fit in a `u32` (block ids, bucket indices).
+fn get_small_u32(r: &mut ByteReader<'_>) -> Result<u32, CodecError> {
+    u32::try_from(r.get_varint()?).map_err(|_| CodecError::Malformed("varint overflows u32"))
 }
 
 #[cfg(test)]
@@ -719,6 +861,13 @@ mod tests {
                 keys: 2,
                 fragments: 4,
                 aggregates: vec![(Key(7), 1.0), (Key(9), f64::NEG_INFINITY)],
+                net: FetchStats {
+                    dialed: 1,
+                    reused: 2,
+                    wait_us: 350,
+                    bytes_wire: 64,
+                    bytes_raw: 128,
+                },
             },
             Message::BatchDone { seq: 9 },
             Message::Shutdown,
@@ -761,6 +910,28 @@ mod tests {
             let frame = msg.encode();
             let back = Message::decode(&frame).unwrap_or_else(|e| panic!("{}: {e}", msg.kind()));
             assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn v2_data_plane_payloads_beat_the_v1_layout() {
+        for msg in exemplars() {
+            let encoded = msg.encode().len() - HEADER_LEN;
+            if matches!(
+                msg,
+                Message::MapComplete { .. }
+                    | Message::ShuffleAssign { .. }
+                    | Message::ReduceComplete { .. }
+                    | Message::FetchReply { .. }
+            ) {
+                assert!(
+                    encoded < msg.v1_payload_len(),
+                    "{}: v2 {} bytes, v1 {} bytes",
+                    msg.kind(),
+                    encoded,
+                    msg.v1_payload_len()
+                );
+            }
         }
     }
 

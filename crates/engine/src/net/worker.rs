@@ -14,28 +14,41 @@
 //! Determinism: the map fold is literally `threaded::map_block` (key-sorted
 //! clusters), and reduce merges fetched segments in global block order then
 //! key order — the exact merge sequence of the serial engine, so `f64`
-//! aggregates are bit-identical.
+//! aggregates are bit-identical. Fetches are pipelined (every remote source
+//! fetched concurrently over pooled connections, segments parked in
+//! per-block accumulators as they land), which reorders only the *arrival*
+//! of segments, never the fold.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration as WallDuration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration as WallDuration, Instant};
 
 use prompt_core::hash::KeyMap;
 use prompt_core::types::Key;
 
-use super::transport::{FrameConn, NetCounters, NetError, RetryPolicy};
-use super::wire::{Message, ShuffleSegment, ShuffleSource};
+use super::transport::{ConnPool, FrameConn, NetCounters, NetError, RetryPolicy};
+use super::wire::{FetchStats, Message, ShuffleSegment, ShuffleSource};
 use crate::job::ReduceOp;
 use crate::threaded::{map_block, ClusterList};
 
-/// How long a shuffle fetch keeps retrying `NotReady` before blaming the
-/// source (attempts × delay ≈ 5 s).
-const NOT_READY_ATTEMPTS: u32 = 500;
-const NOT_READY_DELAY: WallDuration = WallDuration::from_millis(10);
+/// Fetch round-trips before blaming the source. The serving side parks
+/// each request up to [`FETCH_PARK`], so the budget is ≈ attempts × park.
+const NOT_READY_ATTEMPTS: u32 = 10;
 
-/// Read timeout on shuffle-plane sockets.
+/// How long the shuffle server holds a `Fetch` whose bucket is not ready
+/// yet before replying `ready: false` (the long-poll park deadline).
+const FETCH_PARK: WallDuration = WallDuration::from_millis(500);
+
+/// Granularity at which a parked fetch re-checks the stop flag.
+const PARK_SLICE: WallDuration = WallDuration::from_millis(50);
+
+/// Cap on the shuffle acceptor's backoff between empty accept polls.
+const ACCEPT_BACKOFF_MAX: WallDuration = WallDuration::from_millis(20);
+
+/// Read timeout on shuffle-plane sockets (must exceed [`FETCH_PARK`], or a
+/// parked fetch would look like a dead peer).
 const SHUFFLE_IO_TIMEOUT: WallDuration = WallDuration::from_secs(5);
 
 /// Options for [`run_worker`].
@@ -73,6 +86,10 @@ struct BatchShuffle {
 }
 
 impl ShuffleStore {
+    fn is_ready(&self, seq: u64, epoch: u32) -> bool {
+        matches!(self.batches.get(&(seq, epoch)), Some(b) if b.pending_blocks == 0)
+    }
+
     fn begin_block(&mut self, seq: u64, epoch: u32) {
         self.batches.entry((seq, epoch)).or_default().pending_blocks += 1;
     }
@@ -120,12 +137,79 @@ impl ShuffleStore {
     }
 }
 
+/// The shuffle store plus the condvar that long-polling fetch servers park
+/// on. `add_block` signals it whenever a batch may have become complete.
+#[derive(Debug, Default)]
+struct SharedStore {
+    store: Mutex<ShuffleStore>,
+    became_ready: Condvar,
+}
+
+impl SharedStore {
+    fn begin_block(&self, seq: u64, epoch: u32) {
+        self.store
+            .lock()
+            .expect("store lock")
+            .begin_block(seq, epoch);
+    }
+
+    fn add_block(&self, seq: u64, epoch: u32, block_id: u32, ordered: &ClusterList, a: &[u32]) {
+        self.store
+            .lock()
+            .expect("store lock")
+            .add_block(seq, epoch, block_id, ordered, a);
+        self.became_ready.notify_all();
+    }
+
+    fn fetch(&self, seq: u64, epoch: u32, bucket: u32) -> Message {
+        self.store
+            .lock()
+            .expect("store lock")
+            .fetch(seq, epoch, bucket)
+    }
+
+    fn gc(&self, seq: u64) {
+        self.store.lock().expect("store lock").gc(seq);
+    }
+
+    /// Long-poll fetch: if the batch's shuffle state is incomplete, park on
+    /// the condvar (in stop-aware slices) until it completes or `park`
+    /// elapses, then answer. The reply clones the segments out under the
+    /// lock; encoding and sending happen after it is released.
+    fn fetch_wait(
+        &self,
+        seq: u64,
+        epoch: u32,
+        bucket: u32,
+        park: WallDuration,
+        stop: &AtomicBool,
+    ) -> Message {
+        let deadline = Instant::now() + park;
+        let mut guard = self.store.lock().expect("store lock");
+        loop {
+            if guard.is_ready(seq, epoch) || stop.load(Ordering::SeqCst) {
+                return guard.fetch(seq, epoch, bucket);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return guard.fetch(seq, epoch, bucket);
+            }
+            let slice = (deadline - now).min(PARK_SLICE);
+            guard = self
+                .became_ready
+                .wait_timeout(guard, slice)
+                .expect("store lock")
+                .0;
+        }
+    }
+}
+
 /// Run a worker against the driver at `driver`. Returns when the driver
 /// sends `Shutdown` (Ok) or the control connection fails (Err).
 pub fn run_worker(driver: SocketAddr, opts: WorkerOptions) -> Result<(), NetError> {
     let counters = NetCounters::shared();
     let stop = Arc::new(AtomicBool::new(false));
-    let store = Arc::new(Mutex::new(ShuffleStore::default()));
+    let store = Arc::new(SharedStore::default());
 
     // Shuffle data plane: always an ephemeral loopback port, reported to the
     // driver in Register.
@@ -149,7 +233,7 @@ fn control_loop(
     driver: SocketAddr,
     opts: WorkerOptions,
     counters: &Arc<NetCounters>,
-    store: &Arc<Mutex<ShuffleStore>>,
+    store: &Arc<SharedStore>,
     shuffle_port: u16,
     stop: &Arc<AtomicBool>,
 ) -> Result<(), NetError> {
@@ -210,8 +294,11 @@ fn serve_tasks(
     writer: &Arc<Mutex<FrameConn>>,
     opts: WorkerOptions,
     counters: &Arc<NetCounters>,
-    store: &Arc<Mutex<ShuffleStore>>,
+    store: &Arc<SharedStore>,
 ) -> Result<(), NetError> {
+    // Shuffle connections persist here across fetches and batches; a fetch
+    // failure evicts the peer's pooled entries before retrying or blaming.
+    let pool = ConnPool::new(opts.retry, Arc::clone(counters));
     // Map outputs awaiting their ShuffleAssign, in full precision.
     let mut pending: HashMap<(u64, u32, u32), ClusterList> = HashMap::new();
     // Encoded state shards pushed by the driver on elasticity migrations,
@@ -232,7 +319,7 @@ fn serve_tasks(
                 let ordered = map_block(&block.tuples, &job);
                 let clusters: Vec<(Key, u64)> =
                     ordered.iter().map(|&(k, (_, n))| (k, n as u64)).collect();
-                store.lock().expect("store lock").begin_block(seq, epoch);
+                store.begin_block(seq, epoch);
                 pending.insert((seq, epoch, block_id), ordered);
                 writer
                     .lock()
@@ -251,13 +338,7 @@ fn serve_tasks(
                 assignment,
             } => {
                 if let Some(ordered) = pending.remove(&(seq, epoch, block_id)) {
-                    store.lock().expect("store lock").add_block(
-                        seq,
-                        epoch,
-                        block_id,
-                        &ordered,
-                        &assignment,
-                    );
+                    store.add_block(seq, epoch, block_id, &ordered, &assignment);
                 }
             }
             Message::ReduceTask {
@@ -267,18 +348,17 @@ fn serve_tasks(
                 reduce,
                 sources,
             } => {
-                let reply = match reduce_bucket(
-                    opts, counters, store, seq, epoch, bucket, reduce, &sources,
-                ) {
-                    Ok(done) => done,
-                    Err((blame, detail)) => Message::WorkerError {
-                        worker: opts.worker,
-                        seq,
-                        epoch,
-                        blame,
-                        detail,
-                    },
-                };
+                let reply =
+                    match reduce_bucket(opts, &pool, store, seq, epoch, bucket, reduce, &sources) {
+                        Ok(done) => done,
+                        Err((blame, detail)) => Message::WorkerError {
+                            worker: opts.worker,
+                            seq,
+                            epoch,
+                            blame,
+                            detail,
+                        },
+                    };
                 writer.lock().expect("writer lock").send(&reply)?;
             }
             Message::StatePush {
@@ -303,7 +383,7 @@ fn serve_tasks(
             }
             Message::BatchDone { seq } => {
                 pending.retain(|&(s, _, _), _| s != seq);
-                store.lock().expect("store lock").gc(seq);
+                store.gc(seq);
             }
             Message::Shutdown => return Ok(()),
             // RegisterAck duplicates or anything unexpected: ignore.
@@ -312,51 +392,86 @@ fn serve_tasks(
     }
 }
 
-/// Execute one Reduce task: fetch the bucket's segments from every source,
-/// merge deterministically, return the `ReduceComplete`. On failure returns
-/// `(blamed worker, detail)`.
+/// Per-block partial accumulator: segment items keyed by the globally
+/// unique block id they were mapped under.
+type BlockPartials = BTreeMap<u32, Vec<(Key, f64, u64)>>;
+
+/// Execute one Reduce task: fetch the bucket's segments from every source
+/// concurrently (pooled connections), park each segment in a per-block
+/// accumulator as it lands, then merge deterministically and return the
+/// `ReduceComplete`. On failure returns `(blamed worker, detail)`.
 #[allow(clippy::too_many_arguments)]
 fn reduce_bucket(
     opts: WorkerOptions,
-    counters: &Arc<NetCounters>,
-    store: &Arc<Mutex<ShuffleStore>>,
+    pool: &ConnPool,
+    store: &Arc<SharedStore>,
     seq: u64,
     epoch: u32,
     bucket: u32,
     reduce: ReduceOp,
     sources: &[ShuffleSource],
 ) -> Result<Message, (u32, String)> {
-    let mut segments: Vec<ShuffleSegment> = Vec::new();
-    for src in sources {
-        if src.worker == opts.worker {
+    // Per-block partial accumulators. Block ids are globally unique (each
+    // block is mapped by exactly one worker), so keying arrivals by block
+    // id and folding the BTreeMap in ascending order reproduces the exact
+    // sort-by-block merge sequence of the serial engine no matter which
+    // source's reply lands first.
+    let partials: Mutex<BlockPartials> = Mutex::new(BTreeMap::new());
+    let net = Mutex::new(FetchStats::default());
+    let failure: Mutex<Option<(u32, String)>> = Mutex::new(None);
+
+    let park = |segs: Vec<ShuffleSegment>| {
+        let mut map = partials.lock().expect("partials lock");
+        for seg in segs {
+            map.entry(seg.block_id).or_default().extend(seg.items);
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for src in sources {
+            if src.worker == opts.worker {
+                continue; // handled below, overlapping the remote fetches
+            }
+            scope.spawn(|| match fetch_remote(pool, src, seq, epoch, bucket) {
+                Ok((segs, stats)) => {
+                    park(segs);
+                    net.lock().expect("net lock").absorb(stats);
+                }
+                Err(blamed) => {
+                    failure.lock().expect("failure lock").get_or_insert(blamed);
+                }
+            });
+        }
+        if sources.iter().any(|s| s.worker == opts.worker) {
             // Local map outputs: the control stream is FIFO, so every
             // ShuffleAssign for this worker's blocks was processed before
             // this ReduceTask — the store is necessarily ready.
-            match store.lock().expect("store lock").fetch(seq, epoch, bucket) {
+            match store.fetch(seq, epoch, bucket) {
                 Message::FetchReply {
                     ready: true,
                     segments: segs,
-                } => segments.extend(segs),
+                } => park(segs),
                 _ => {
-                    return Err((
-                        opts.worker,
-                        "local shuffle state incomplete at reduce".into(),
-                    ))
+                    failure
+                        .lock()
+                        .expect("failure lock")
+                        .get_or_insert((opts.worker, "local shuffle state incomplete".into()));
                 }
             }
-        } else {
-            segments.extend(fetch_remote(opts, counters, src, seq, epoch, bucket)?);
         }
+    });
+
+    if let Some(blamed) = failure.into_inner().expect("failure lock") {
+        return Err(blamed);
     }
 
-    // Global block order, then within-segment key order: the serial
-    // engine's exact merge sequence (bit-identical f64 results).
-    segments.sort_unstable_by_key(|s| s.block_id);
+    // Global block order, then within-block key order: the serial engine's
+    // exact merge sequence (bit-identical f64 results).
     let mut acc: KeyMap<f64> = KeyMap::default();
     let mut tuples = 0u64;
     let mut fragments = 0u64;
-    for seg in &segments {
-        for &(key, value, n) in &seg.items {
+    for items in partials.into_inner().expect("partials lock").into_values() {
+        for (key, value, n) in items {
             tuples += n;
             fragments += 1;
             acc.entry(key)
@@ -375,53 +490,94 @@ fn reduce_bucket(
         keys,
         fragments,
         aggregates,
+        net: net.into_inner().expect("net lock"),
     })
 }
 
-/// Fetch one bucket from a remote source, retrying `NotReady` with backoff.
+/// Fetch one bucket from a remote source over a pooled connection,
+/// re-requesting while the source long-polls `NotReady`. A pooled
+/// connection that fails its first exchange (the peer closed it between
+/// health check and use) is thrown away along with every idle sibling, and
+/// the fetch redials once before blaming the source.
 fn fetch_remote(
-    opts: WorkerOptions,
-    counters: &Arc<NetCounters>,
+    pool: &ConnPool,
     src: &ShuffleSource,
     seq: u64,
     epoch: u32,
     bucket: u32,
-) -> Result<Vec<ShuffleSegment>, (u32, String)> {
+) -> Result<(Vec<ShuffleSegment>, FetchStats), (u32, String)> {
+    let addr = SocketAddr::V4(src.addr);
     let blame = |e: String| {
+        pool.evict(addr);
         (
             src.worker,
             format!("shuffle fetch from worker {}: {e}", src.worker),
         )
     };
-    let mut conn = opts
-        .retry
-        .connect(SocketAddr::V4(src.addr), counters)
-        .map_err(|e| blame(format!("connect: {e}")))?;
-    conn.set_read_timeout(Some(SHUFFLE_IO_TIMEOUT))
-        .map_err(|e| blame(format!("timeout setup: {e}")))?;
+    let started = Instant::now();
+    let mut stats = FetchStats::default();
+
+    let checkout = |stats: &mut FetchStats| -> Result<FrameConn, (u32, String)> {
+        let (conn, reused) = pool
+            .checkout(addr)
+            .map_err(|e| blame(format!("connect: {e}")))?;
+        if reused {
+            stats.reused += 1;
+        } else {
+            stats.dialed += 1;
+        }
+        conn.set_read_timeout(Some(SHUFFLE_IO_TIMEOUT))
+            .map_err(|e| blame(format!("timeout setup: {e}")))?;
+        Ok(conn)
+    };
+
+    let mut conn = checkout(&mut stats)?;
+    let mut exchanges = 0u32;
     for _ in 0..NOT_READY_ATTEMPTS {
-        conn.send(&Message::Fetch { seq, epoch, bucket })
-            .map_err(|e| blame(format!("send: {e}")))?;
-        match conn.recv() {
-            Ok(Message::FetchReply {
-                ready: true,
-                segments,
-            }) => return Ok(segments),
-            Ok(Message::FetchReply { ready: false, .. }) => {
-                std::thread::sleep(NOT_READY_DELAY);
+        let exchange = conn
+            .send(&Message::Fetch { seq, epoch, bucket })
+            .and_then(|()| conn.recv_counted());
+        match exchange {
+            Ok((reply, wire)) => {
+                exchanges += 1;
+                stats.bytes_wire += wire as u64;
+                stats.bytes_raw += (super::wire::HEADER_LEN + reply.v1_payload_len()) as u64;
+                match reply {
+                    Message::FetchReply {
+                        ready: true,
+                        segments,
+                    } => {
+                        stats.wait_us = started.elapsed().as_micros() as u64;
+                        pool.checkin(addr, conn);
+                        return Ok((segments, stats));
+                    }
+                    // Server-side park expired with the bucket still
+                    // pending; re-request immediately (no client sleep).
+                    Message::FetchReply { ready: false, .. } => {}
+                    other => return Err(blame(format!("unexpected reply {}", other.kind()))),
+                }
             }
-            Ok(other) => return Err(blame(format!("unexpected reply {}", other.kind()))),
-            Err(e) => return Err(blame(format!("recv: {e}"))),
+            Err(_) if exchanges == 0 && stats.reused > 0 && stats.dialed == 0 => {
+                // The pooled conn died since its health check. Evict the
+                // peer's idle conns and redial fresh exactly once.
+                pool.evict(addr);
+                drop(conn);
+                conn = checkout(&mut stats)?;
+            }
+            Err(e) => return Err(blame(format!("exchange: {e}"))),
         }
     }
     Err(blame("bucket never became ready".into()))
 }
 
 /// Accept shuffle connections until `stop`; each connection gets a serving
-/// thread answering `Fetch` requests from the shared store.
+/// thread answering `Fetch` requests from the shared store. Empty polls
+/// back off exponentially (reset on every accept) instead of spinning at a
+/// fixed period, and threads whose connection closed are reaped as the
+/// loop goes rather than accumulating until shutdown.
 fn spawn_shuffle_acceptor(
     listener: TcpListener,
-    store: Arc<Mutex<ShuffleStore>>,
+    store: Arc<SharedStore>,
     stop: Arc<AtomicBool>,
     counters: Arc<NetCounters>,
 ) -> std::thread::JoinHandle<()> {
@@ -430,9 +586,11 @@ fn spawn_shuffle_acceptor(
             .set_nonblocking(true)
             .expect("shuffle listener nonblocking");
         let mut serving: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut backoff = WallDuration::from_millis(1);
         while !stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
+                    backoff = WallDuration::from_millis(1);
                     stream
                         .set_nonblocking(false)
                         .expect("accepted stream blocking");
@@ -442,7 +600,16 @@ fn spawn_shuffle_acceptor(
                     serving.push(std::thread::spawn(move || serve_fetches(conn, store, stop)));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(WallDuration::from_millis(5));
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    let mut i = 0;
+                    while i < serving.len() {
+                        if serving[i].is_finished() {
+                            let _ = serving.swap_remove(i).join();
+                        } else {
+                            i += 1;
+                        }
+                    }
                 }
                 Err(_) => break,
             }
@@ -453,7 +620,7 @@ fn spawn_shuffle_acceptor(
     })
 }
 
-fn serve_fetches(mut conn: FrameConn, store: Arc<Mutex<ShuffleStore>>, stop: Arc<AtomicBool>) {
+fn serve_fetches(mut conn: FrameConn, store: Arc<SharedStore>, stop: Arc<AtomicBool>) {
     if conn
         .set_read_timeout(Some(WallDuration::from_millis(100)))
         .is_err()
@@ -466,7 +633,10 @@ fn serve_fetches(mut conn: FrameConn, store: Arc<Mutex<ShuffleStore>>, stop: Arc
         }
         match conn.recv() {
             Ok(Message::Fetch { seq, epoch, bucket }) => {
-                let reply = store.lock().expect("store lock").fetch(seq, epoch, bucket);
+                // Long-poll: park until the bucket is ready or the park
+                // deadline passes. The store lock is released before the
+                // reply is encoded and sent.
+                let reply = store.fetch_wait(seq, epoch, bucket, FETCH_PARK, &stop);
                 if conn.send(&reply).is_err() {
                     return;
                 }
@@ -521,5 +691,42 @@ mod tests {
             store.fetch(4, 1, 1),
             Message::FetchReply { ready: false, .. }
         ));
+    }
+
+    #[test]
+    fn fetch_wait_parks_until_the_batch_completes() {
+        let shared = Arc::new(SharedStore::default());
+        shared.begin_block(1, 0);
+        let waiter = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let stop = AtomicBool::new(false);
+                shared.fetch_wait(1, 0, 0, WallDuration::from_secs(5), &stop)
+            })
+        };
+        std::thread::sleep(WallDuration::from_millis(30));
+        let ordered: ClusterList = vec![(Key(1), (2.0, 2))];
+        shared.add_block(1, 0, 0, &ordered, &[0]);
+        match waiter.join().unwrap() {
+            Message::FetchReply { ready, segments } => {
+                assert!(ready, "park must end when the last block is assigned");
+                assert_eq!(segments.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_wait_deadline_answers_not_ready() {
+        let shared = SharedStore::default();
+        shared.begin_block(1, 0);
+        let stop = AtomicBool::new(false);
+        let start = Instant::now();
+        let reply = shared.fetch_wait(1, 0, 0, WallDuration::from_millis(60), &stop);
+        assert!(matches!(reply, Message::FetchReply { ready: false, .. }));
+        assert!(
+            start.elapsed() >= WallDuration::from_millis(55),
+            "must actually park until the deadline"
+        );
     }
 }

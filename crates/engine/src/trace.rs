@@ -185,11 +185,21 @@ pub enum Counter {
     StateMigrations,
     /// Distinct keys moved across shards by migrations.
     MigratedKeys,
+    /// Shuffle connections dialed by reducing workers (pool misses).
+    ShuffleConnsDialed,
+    /// Pooled shuffle connections reused by reducing workers (pool hits).
+    ShuffleConnsReused,
+    /// Wall-clock µs workers spent waiting on shuffle fetches.
+    ShuffleWaitUs,
+    /// Fetch-reply bytes received by workers (v2 varint encoding).
+    ShuffleBytesWire,
+    /// v1 fixed-width equivalent of the same fetch replies.
+    ShuffleBytesRaw,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 28] = [
         Counter::Batches,
         Counter::Tuples,
         Counter::ScatterFragments,
@@ -213,6 +223,11 @@ impl Counter {
         Counter::RecomputedBatches,
         Counter::StateMigrations,
         Counter::MigratedKeys,
+        Counter::ShuffleConnsDialed,
+        Counter::ShuffleConnsReused,
+        Counter::ShuffleWaitUs,
+        Counter::ShuffleBytesWire,
+        Counter::ShuffleBytesRaw,
     ];
 
     /// Stable wire name.
@@ -241,6 +256,11 @@ impl Counter {
             Counter::RecomputedBatches => "recomputed_batches",
             Counter::StateMigrations => "state_migrations",
             Counter::MigratedKeys => "migrated_keys",
+            Counter::ShuffleConnsDialed => "shuffle_conns_dialed",
+            Counter::ShuffleConnsReused => "shuffle_conns_reused",
+            Counter::ShuffleWaitUs => "shuffle_wait_us",
+            Counter::ShuffleBytesWire => "shuffle_bytes_wire",
+            Counter::ShuffleBytesRaw => "shuffle_bytes_raw",
         }
     }
 

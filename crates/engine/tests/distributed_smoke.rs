@@ -150,6 +150,35 @@ fn skewed_sum_two_processes_bit_identical() {
     assert_eq!(net.workers_lost, 0);
     assert!(net.frames_sent > 0 && net.bytes_sent > 0);
     assert!(serial.net.is_none(), "in-process runs have no wire stats");
+
+    // The pooled data plane: across 6 batches the two workers dial each
+    // other at most once per direction and reuse those connections for
+    // every later fetch, and the v2 varint encoding strictly beats the v1
+    // fixed-width layout on fetch bytes.
+    assert!(
+        net.shuffle_conns_dialed <= 2,
+        "2 workers need at most one dial per direction, got {}",
+        net.shuffle_conns_dialed
+    );
+    assert!(
+        net.shuffle_conns_reused > net.shuffle_conns_dialed,
+        "pool hits ({}) must dominate dials ({})",
+        net.shuffle_conns_reused,
+        net.shuffle_conns_dialed
+    );
+    assert!(net.shuffle_bytes_wire > 0, "remote fetches happened");
+    assert!(
+        net.shuffle_bytes_wire < net.shuffle_bytes_raw,
+        "v2 fetch encoding ({}) must beat v1 layout ({})",
+        net.shuffle_bytes_wire,
+        net.shuffle_bytes_raw
+    );
+    assert!(
+        net.bytes_sent < net.bytes_sent_raw,
+        "v2 control encoding ({}) must beat v1 layout ({})",
+        net.bytes_sent,
+        net.bytes_sent_raw
+    );
 }
 
 #[test]

@@ -11,10 +11,12 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use prompt_core::batch::{DataBlock, KeyFragment};
+use prompt_core::bytes::{self, ByteReader, ByteWriter, BytesSink};
 use prompt_core::types::{Key, Time, Tuple};
 use prompt_engine::job::{JobSpec, MapSpec, ReduceOp};
 use prompt_engine::net::wire::{
-    Message, ShuffleSegment, ShuffleSource, WireError, HEADER_LEN, MAGIC, PROTOCOL_VERSION,
+    FetchStats, Message, ShuffleSegment, ShuffleSource, WireError, HEADER_LEN, MAGIC,
+    PROTOCOL_VERSION,
 };
 use std::net::{Ipv4Addr, SocketAddrV4};
 
@@ -136,6 +138,11 @@ proptest! {
         keys in any::<u64>(),
         fragments in any::<u64>(),
         aggregates in vec((any::<u64>(), value()), 0..60),
+        dialed in any::<u64>(),
+        reused in any::<u64>(),
+        wait_us in any::<u64>(),
+        bytes_wire in any::<u64>(),
+        bytes_raw in any::<u64>(),
     ) {
         round_trip(Message::ReduceComplete {
             seq,
@@ -145,6 +152,7 @@ proptest! {
             keys,
             fragments,
             aggregates: aggregates.into_iter().map(|(k, v)| (Key(k), v)).collect(),
+            net: FetchStats { dialed, reused, wait_us, bytes_wire, bytes_raw },
         })?;
     }
 
@@ -191,6 +199,7 @@ proptest! {
             keys: aggregates.len() as u64,
             fragments: 10,
             aggregates: aggregates.into_iter().map(|(k, v)| (Key(k), v)).collect(),
+            net: FetchStats::default(),
         }
         .encode();
         let cut = cut_pick as usize % frame.len();
@@ -199,6 +208,57 @@ proptest! {
             "decoded from {cut}/{} bytes",
             frame.len()
         );
+    }
+
+    #[test]
+    fn varints_round_trip_and_reject_truncation(values in vec(any::<u64>(), 1..50)) {
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.put_varint(v);
+        }
+        let encoded = w.into_bytes();
+        let mut r = ByteReader::new(&encoded);
+        for &v in &values {
+            prop_assert_eq!(r.get_varint().unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+        // Cutting the buffer anywhere strictly inside leaves a final varint
+        // truncated: the last read must fail (earlier complete ones may
+        // still succeed — that is the framing layer's job to prevent).
+        for cut in 0..encoded.len() {
+            let mut r = ByteReader::new(&encoded[..cut]);
+            let mut decoded = 0usize;
+            while r.get_varint().is_ok() {
+                decoded += 1;
+            }
+            prop_assert!(
+                decoded < values.len(),
+                "all {} values decoded from {cut}/{} bytes",
+                values.len(),
+                encoded.len()
+            );
+        }
+    }
+
+    #[test]
+    fn key_deltas_round_trip_for_arbitrary_sequences(keys in vec(any::<u64>(), 1..50)) {
+        // Deltas are zigzag-encoded wrapping differences — a total
+        // bijection on u64, so even unsorted key sequences round-trip.
+        let mut w = ByteWriter::new();
+        let mut prev = 0u64;
+        for &k in &keys {
+            bytes::put_key_delta(&mut w, prev, k);
+            prev = k;
+        }
+        let encoded = w.into_bytes();
+        let mut r = ByteReader::new(&encoded);
+        let mut prev = 0u64;
+        for &k in &keys {
+            let got = bytes::get_key_delta(&mut r, prev).unwrap();
+            prop_assert_eq!(got, k);
+            prev = got;
+        }
+        prop_assert_eq!(r.remaining(), 0);
     }
 
     #[test]
