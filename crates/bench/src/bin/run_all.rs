@@ -18,6 +18,7 @@ fn main() {
             prompt_bench::experiments::checkpoint_overhead::run,
         ),
         ("ablations", prompt_bench::experiments::ablation::run),
+        ("scenarios", prompt_bench::experiments::scenarios::run),
     ];
     for (name, run) in all {
         eprintln!("=== {name} ({}) ===", if quick { "quick" } else { "full" });

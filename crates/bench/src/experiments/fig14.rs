@@ -307,12 +307,16 @@ mod tests {
     #[test]
     fn overhead_stays_small_relative_to_interval() {
         // The paper's observation: ≤ 5% of the interval. Generous bound of
-        // 20% here to absorb slow CI machines on debug-opt test builds.
-        let s = measure_overhead(50_000, 5_000, 32);
+        // 20% here to absorb slow CI machines on debug-opt test builds, and
+        // median-of-5 so a single descheduled sample can't fail the run.
+        let mut v: Vec<f64> = (0..5)
+            .map(|_| measure_overhead(50_000, 5_000, 32).fa_heartbeat_us)
+            .collect();
+        v.sort_by(|a, b| a.total_cmp(b));
+        let med = v[2];
         assert!(
-            s.fa_heartbeat_us / 1e6 < 0.20,
-            "heartbeat cost {}µs too large for a 1s interval",
-            s.fa_heartbeat_us
+            med / 1e6 < 0.20,
+            "median heartbeat cost {med}µs too large for a 1s interval"
         );
     }
 }

@@ -14,6 +14,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig6;
 pub mod net_overhead;
+pub mod scenarios;
 pub mod table1;
 
 use prompt_core::types::Duration;

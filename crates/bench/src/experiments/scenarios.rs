@@ -1,0 +1,121 @@
+//! The scenario wall — ranked per-scenario scorecards over the generator
+//! matrix (see `prompt_scenarios`).
+//!
+//! Runs the pinned CI subset of the matrix with 2 concurrent tenants per
+//! cell against the Hash / Shuffle / Prompt partitioners, prints the
+//! ranked scorecard as a table, and writes the machine-readable
+//! `BENCH_scenarios.json` that `prompt-scenarios --check` diffs against
+//! for the regression gate.
+
+use prompt_engine::config::Backend;
+use prompt_scenarios::harness::{run_matrix, DEFAULT_TECHNIQUES};
+use prompt_scenarios::matrix::pinned_subset;
+use prompt_scenarios::score::Scorecard;
+
+use crate::report::{f1, f3, Table};
+
+/// Batches per cell in full mode (quick mode halves it).
+const FULL_BATCHES: usize = 8;
+
+/// Run the scenario wall over the pinned subset.
+pub fn run(quick: bool) -> Vec<Table> {
+    let scenarios = pinned_subset();
+    let scenarios = if quick {
+        scenarios[..4].to_vec()
+    } else {
+        scenarios
+    };
+    let batches = if quick {
+        FULL_BATCHES / 2
+    } else {
+        FULL_BATCHES
+    };
+    let cells = run_matrix(
+        &scenarios,
+        &DEFAULT_TECHNIQUES,
+        2,
+        batches,
+        Backend::InProcess,
+        0xC0FFEE,
+        false,
+    );
+    let card = Scorecard::build(cells);
+
+    // Table id deliberately differs from the scorecard file: emit_all
+    // writes the table to results/scenario_wall.json, while the gate
+    // contract results/BENCH_scenarios.json keeps the scorecard schema.
+    let mut t = Table::new(
+        "scenario_wall",
+        "Scenario wall — 2 tenants per cell, ranked per scenario (p95 asc, mpi tiebreak)",
+        &[
+            "scenario",
+            "rank",
+            "technique",
+            "mpi",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "tuples/s",
+            "slot wait (ms)",
+            "oracle match",
+        ],
+    );
+    for r in &card.cells {
+        let c = &r.cell;
+        t.row(vec![
+            c.scenario.clone(),
+            r.rank.to_string(),
+            c.technique.clone(),
+            f3(c.mpi),
+            f1(c.p50_ms),
+            f1(c.p95_ms),
+            f1(c.p99_ms),
+            f1(c.throughput),
+            f1(c.slot_wait_ms),
+            if c.bit_identical {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+
+    // The gate input: same schema the CLI's --out/--check use. Written
+    // here (not via Table::emit) because the scorecard JSON is the
+    // contract, one cell object per line.
+    let dir = super::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    } else {
+        let path = dir.join("BENCH_scenarios.json");
+        match std::fs::write(&path, card.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_wall_is_ranked_and_bit_identical() {
+        let tmp = std::env::temp_dir().join("prompt_scenarios_bench_test");
+        std::env::set_var("PROMPT_RESULTS_DIR", &tmp);
+        let tables = run(true);
+        std::env::remove_var("PROMPT_RESULTS_DIR");
+        assert_eq!(tables.len(), 1);
+        // 4 scenarios × 3 techniques in quick mode.
+        assert_eq!(tables[0].rows.len(), 12);
+        assert!(tables[0].rows.iter().all(|r| r.last().unwrap() == "yes"));
+        // Ranks restart at 1 inside each scenario group.
+        let ones = tables[0].rows.iter().filter(|r| r[1] == "1").count();
+        assert_eq!(ones, 4);
+        // The gate input parses back.
+        let text = std::fs::read_to_string(tmp.join("BENCH_scenarios.json")).expect("json written");
+        let parsed = Scorecard::parse(&text).expect("scorecard parses");
+        assert_eq!(parsed.cells.len(), 12);
+    }
+}

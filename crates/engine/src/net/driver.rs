@@ -85,6 +85,13 @@ pub struct DistributedOptions {
 
 impl DistributedOptions {
     /// Defaults for `workers` workers on `base_port` (0 = ephemeral).
+    ///
+    /// The liveness deadlines honor environment overrides so CI can widen
+    /// them on slow shared runners without code changes:
+    /// `PROMPT_HEARTBEAT_TIMEOUT_MS` and `PROMPT_IO_TIMEOUT_MS` (whole
+    /// milliseconds). Kill detection is socket-close based, so raising the
+    /// heartbeat timeout does not slow down clean-failure tests — it only
+    /// guards against false losses under scheduler starvation.
     pub fn new(workers: usize, base_port: u16) -> DistributedOptions {
         DistributedOptions {
             workers,
@@ -92,11 +99,22 @@ impl DistributedOptions {
             launch: LaunchMode::Auto,
             worker_bin: None,
             heartbeat_interval: WallDuration::from_millis(100),
-            heartbeat_timeout: WallDuration::from_secs(3),
-            io_timeout: WallDuration::from_secs(30),
+            heartbeat_timeout: env_millis("PROMPT_HEARTBEAT_TIMEOUT_MS")
+                .unwrap_or_else(|| WallDuration::from_secs(3)),
+            io_timeout: env_millis("PROMPT_IO_TIMEOUT_MS")
+                .unwrap_or_else(|| WallDuration::from_secs(30)),
             retry: RetryPolicy::default(),
         }
     }
+}
+
+/// A positive whole-millisecond duration from the environment, if set.
+fn env_millis(var: &str) -> Option<WallDuration> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(WallDuration::from_millis)
 }
 
 /// A worker was declared lost while a batch was in flight. The batch made

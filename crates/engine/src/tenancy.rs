@@ -1,0 +1,800 @@
+//! Multi-tenant execution: N concurrent jobs sharing one cluster.
+//!
+//! The ROADMAP north-star is a production-scale deployment serving many
+//! concurrent queries, but every figure-reproduction drives exactly one job.
+//! [`MultiTenantEngine`] closes that gap: each tenant keeps its own
+//! partitioner, reduce assigner and window state (so query answers are — by
+//! construction — bit-identical to the tenant running alone), while the
+//! tenants *compete for task slots* through a weighted-fair scheduler that
+//! replaces the per-job LPT makespan of
+//! [`Cluster::makespan`](crate::cluster::Cluster::makespan). Contention
+//! is therefore purely a timing effect: latency, queueing and back-pressure
+//! are per-tenant (isolated), and a [`NoisyNeighbor`] injector can inflate
+//! one tenant's task times to measure how well the fair scheduler protects
+//! the others.
+//!
+//! With a single tenant the fair scheduler degenerates bit-exactly to the
+//! LPT rule, so a solo [`MultiTenantEngine`] run reproduces
+//! [`StreamingEngine`](crate::driver::StreamingEngine) timings too.
+
+use prompt_core::batch::MicroBatch;
+use prompt_core::metrics::PlanMetrics;
+use prompt_core::partitioner::{Partitioner, Technique};
+use prompt_core::reduce::ReduceAssigner;
+use prompt_core::types::{Duration, Interval, Time, Tuple};
+
+use crate::config::{Backend, EngineConfig, OverheadMode};
+use crate::driver::{BatchRecord, ReduceStrategy};
+use crate::job::{Job, JobSpec};
+use crate::net::{DistributedOptions, DistributedRuntime};
+use crate::source::TupleSource;
+use crate::stage::{execute_batch_traced, times_from_stats, BatchOutput, StageTimes};
+use crate::threaded::ThreadedExecutor;
+use crate::trace::{Counter, StageKind, TraceEvent, TraceRecorder};
+use crate::window::{WindowResult, WindowSpec, WindowState};
+
+/// One tenant job in a shared-cluster run.
+pub struct TenantSpec {
+    /// Tenant name (used to tag trace lines; must not contain `"`).
+    pub name: String,
+    /// Batching technique (paired with its natural reduce strategy).
+    pub technique: Technique,
+    /// Seed for the tenant's partitioner/assigner routing.
+    pub seed: u64,
+    /// The tenant's query.
+    pub job: Job,
+    /// Optional window maintained over the tenant's batch outputs.
+    pub window: Option<WindowSpec>,
+    /// Fair-share weight (≥ 1): a weight-2 tenant is entitled to twice the
+    /// slot time of a weight-1 tenant under contention.
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// A weight-1, windowless tenant.
+    pub fn new(name: impl Into<String>, technique: Technique, seed: u64, job: Job) -> TenantSpec {
+        let name = name.into();
+        assert!(!name.contains('"'), "tenant names must not contain quotes");
+        TenantSpec {
+            name,
+            technique,
+            seed,
+            job,
+            window: None,
+            weight: 1,
+        }
+    }
+
+    /// Attach a window computation.
+    pub fn with_window(mut self, spec: WindowSpec) -> TenantSpec {
+        self.window = Some(spec);
+        self
+    }
+
+    /// Set the fair-share weight.
+    pub fn with_weight(mut self, weight: u32) -> TenantSpec {
+        assert!(weight >= 1, "weights start at 1");
+        self.weight = weight;
+        self
+    }
+}
+
+/// Scripted interference: inflate one tenant's task times over a batch
+/// range, as if its executors were colocated with an antagonist. Timing
+/// only — outputs are never touched.
+#[derive(Clone, Copy, Debug)]
+pub struct NoisyNeighbor {
+    /// Index of the tenant to slow down.
+    pub tenant: usize,
+    /// First affected batch seq (inclusive).
+    pub from_seq: u64,
+    /// Last affected batch seq (exclusive).
+    pub until_seq: u64,
+    /// Multiplier applied to every task time (> 1 slows down).
+    pub slowdown: f64,
+}
+
+impl NoisyNeighbor {
+    /// Whether this injection hits `(tenant, seq)`.
+    fn applies(&self, tenant: usize, seq: u64) -> bool {
+        tenant == self.tenant && (self.from_seq..self.until_seq).contains(&seq)
+    }
+}
+
+/// Per-tenant outcome of a shared-cluster run.
+pub struct TenantRun {
+    /// The tenant's name.
+    pub name: String,
+    /// One record per batch (timings reflect shared-cluster contention).
+    pub batches: Vec<BatchRecord>,
+    /// Emitted window results.
+    pub windows: Vec<WindowResult>,
+    /// Whether *this tenant's* queue crossed the back-pressure threshold.
+    pub backpressure: bool,
+    /// Distributed worker losses recovered during this tenant's batches.
+    pub worker_losses: u64,
+    /// Per-batch slot-contention penalty: how much longer the tenant's
+    /// stages took under sharing than they would have alone (LPT).
+    pub slot_waits: Vec<Duration>,
+    /// The tenant's trace (tag with [`tagged_jsonl`] before merging).
+    pub trace: TraceRecorder,
+}
+
+/// Outcome of [`MultiTenantEngine::run`].
+pub struct MultiTenantResult {
+    /// One entry per tenant, in spec order.
+    pub tenants: Vec<TenantRun>,
+}
+
+impl MultiTenantResult {
+    /// All tenants' traces merged into one tenant-tagged JSONL stream.
+    pub fn tagged_trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tenants {
+            out.push_str(&tagged_jsonl(&t.name, &t.trace));
+        }
+        out
+    }
+}
+
+/// Render a tenant's trace as JSONL with `"tenant":"name"` injected as the
+/// first field of every line, so merged multi-tenant streams stay
+/// attributable. Round-trips through [`parse_tagged_jsonl`].
+pub fn tagged_jsonl(name: &str, rec: &TraceRecorder) -> String {
+    let mut out = String::new();
+    for line in rec.to_jsonl().lines() {
+        let rest = line.strip_prefix('{').expect("trace lines are objects");
+        out.push_str(&format!("{{\"tenant\":\"{name}\",{rest}\n"));
+    }
+    out
+}
+
+/// Parse a tenant-tagged JSONL stream back into `(tenant, event)` pairs.
+pub fn parse_tagged_jsonl(text: &str) -> Result<Vec<(String, TraceEvent)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("{\"tenant\":\"")
+            .ok_or_else(|| format!("line {}: missing tenant tag", i + 1))?;
+        let (name, event_rest) = rest
+            .split_once("\",")
+            .ok_or_else(|| format!("line {}: malformed tenant tag", i + 1))?;
+        let events = crate::trace::parse_jsonl(&format!("{{{event_rest}"))?;
+        let event = events
+            .into_iter()
+            .next()
+            .ok_or_else(|| format!("line {}: empty event", i + 1))?;
+        out.push((name.to_string(), event));
+    }
+    Ok(out)
+}
+
+/// Weighted-fair slot scheduling for one stage: every tenant's tasks are
+/// considered in LPT order, the next placement always goes to the tenant
+/// with the smallest `allocated / weight` ratio (ties to the lowest
+/// index), and each task lands on the least-loaded slot — the same
+/// placement rule as [`makespan_on_slots`](crate::cluster::makespan_on_slots).
+/// Returns each tenant's completion time (the finish of its last task).
+///
+/// With one tenant this is exactly LPT, so the returned makespan equals
+/// [`Cluster::makespan`](crate::cluster::Cluster::makespan) bit-for-bit.
+pub fn fair_makespans(tenants: &[(u32, Vec<Duration>)], slots: usize) -> Vec<Duration> {
+    assert!(slots > 0, "need at least one slot");
+    let mut queues: Vec<Vec<Duration>> = tenants
+        .iter()
+        .map(|(_, tasks)| {
+            let mut sorted = tasks.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted.reverse(); // pop() takes the longest remaining task
+            sorted
+        })
+        .collect();
+    let mut allocated = vec![0u64; tenants.len()];
+    let mut finish = vec![Duration::ZERO; tenants.len()];
+    let mut loads = vec![Duration::ZERO; slots];
+    loop {
+        // Next tenant: smallest allocated/weight with tasks left, exact
+        // arithmetic via cross-multiplication, ties to the lowest index.
+        let mut pick: Option<usize> = None;
+        for (i, q) in queues.iter().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            pick = Some(match pick {
+                None => i,
+                Some(j) => {
+                    let lhs = allocated[i] as u128 * tenants[j].0 as u128;
+                    let rhs = allocated[j] as u128 * tenants[i].0 as u128;
+                    if lhs < rhs {
+                        i
+                    } else {
+                        j
+                    }
+                }
+            });
+        }
+        let Some(i) = pick else { break };
+        let task = queues[i].pop().expect("picked tenant has tasks");
+        allocated[i] += task.0;
+        // First minimum wins, matching `makespan_on_slots`'s min_by_key.
+        let slot = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.0)
+            .map(|(s, _)| s)
+            .expect("slots non-empty");
+        loads[slot] += task;
+        finish[i] = finish[i].max(loads[slot]);
+    }
+    finish
+}
+
+/// The execution backend shared by all tenants of one run.
+enum SharedBackend {
+    InProcess,
+    Threaded(ThreadedExecutor),
+    Distributed {
+        rt: Box<DistributedRuntime>,
+        specs: Vec<JobSpec>,
+    },
+}
+
+/// Per-tenant mutable state across the run.
+struct TenantState {
+    partitioner: Box<dyn Partitioner>,
+    assigner: Box<dyn ReduceAssigner>,
+    window: Option<WindowState>,
+    pipeline_free_at: Time,
+    run: TenantRun,
+}
+
+/// N concurrent jobs on one shared cluster (see the module docs).
+pub struct MultiTenantEngine {
+    cfg: EngineConfig,
+    tenants: Vec<TenantSpec>,
+    noisy: Vec<NoisyNeighbor>,
+}
+
+impl MultiTenantEngine {
+    /// Build a shared-cluster engine for `tenants` under `cfg`. The config's
+    /// task counts, cost model, cluster shape, overhead mode, back-pressure
+    /// threshold, trace level and backend apply to every tenant.
+    pub fn new(cfg: EngineConfig, tenants: Vec<TenantSpec>) -> MultiTenantEngine {
+        cfg.validate().expect("invalid engine config");
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        MultiTenantEngine {
+            cfg,
+            tenants,
+            noisy: Vec::new(),
+        }
+    }
+
+    /// Attach noisy-neighbor injections.
+    pub fn with_noisy_neighbors(mut self, noisy: Vec<NoisyNeighbor>) -> MultiTenantEngine {
+        for n in &noisy {
+            assert!(n.tenant < self.tenants.len(), "noisy tenant out of range");
+            assert!(n.slowdown > 0.0, "slowdown must be positive");
+        }
+        self.noisy = noisy;
+        self
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Run all tenants for `n_batches` heartbeats, tenant `i` reading from
+    /// `sources[i]`. Within each heartbeat every tenant's batch is
+    /// partitioned and executed with its own partitioner/assigner/window
+    /// (outputs identical to a solo run), then both stages are scheduled
+    /// jointly on the shared slots by [`fair_makespans`] — the timing each
+    /// tenant's [`BatchRecord`]s report.
+    pub fn run(
+        &mut self,
+        sources: &mut [Box<dyn TupleSource>],
+        n_batches: usize,
+    ) -> MultiTenantResult {
+        assert_eq!(
+            sources.len(),
+            self.tenants.len(),
+            "one source per tenant required"
+        );
+        let bi = self.cfg.batch_interval;
+        let n_tenants = self.tenants.len();
+        let mut backend = match self.cfg.backend {
+            Backend::InProcess => SharedBackend::InProcess,
+            Backend::Threaded { threads } => {
+                SharedBackend::Threaded(ThreadedExecutor::new(threads))
+            }
+            Backend::Distributed { workers, base_port } => {
+                let specs: Vec<JobSpec> = self
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        t.job.wire_spec().expect(
+                            "Backend::Distributed needs wire-serialisable tenant jobs \
+                             (build them with Job::identity)",
+                        )
+                    })
+                    .collect();
+                let rt = DistributedRuntime::launch(DistributedOptions::new(workers, base_port))
+                    .expect("failed to launch distributed workers");
+                SharedBackend::Distributed {
+                    rt: Box::new(rt),
+                    specs,
+                }
+            }
+        };
+        let mut states: Vec<TenantState> = self
+            .tenants
+            .iter()
+            .map(|spec| TenantState {
+                partitioner: spec.technique.build(spec.seed),
+                assigner: ReduceStrategy::for_technique(spec.technique).build_boxed(spec.seed),
+                window: spec
+                    .window
+                    .map(|w| WindowState::new(w, bi, spec.job.reduce)),
+                pipeline_free_at: Time::ZERO,
+                run: TenantRun {
+                    name: spec.name.clone(),
+                    batches: Vec::with_capacity(n_batches),
+                    windows: Vec::new(),
+                    backpressure: false,
+                    worker_losses: 0,
+                    slot_waits: Vec::with_capacity(n_batches),
+                    trace: TraceRecorder::new(self.cfg.trace),
+                },
+            })
+            .collect();
+        let p = self.cfg.map_tasks;
+        let r = self.cfg.reduce_tasks;
+        let mut arrivals: Vec<Tuple> = Vec::new();
+
+        for seq in 0..n_batches as u64 {
+            let interval = Interval::new(Time(bi.0 * seq), Time(bi.0 * (seq + 1)));
+            // Phase 1: per-tenant ingest, partition and execute. Outputs and
+            // per-task times are tenant-local; only slot time is shared.
+            let mut outputs: Vec<BatchOutput> = Vec::with_capacity(n_tenants);
+            let mut all_times: Vec<StageTimes> = Vec::with_capacity(n_tenants);
+            let mut overheads: Vec<(Duration, Duration)> = Vec::with_capacity(n_tenants);
+            let mut plan_stats: Vec<(usize, usize, usize, PlanMetrics)> =
+                Vec::with_capacity(n_tenants);
+            for (i, st) in states.iter_mut().enumerate() {
+                let tracing = st.run.trace.enabled();
+                arrivals.clear();
+                sources[i].fill(interval, &mut arrivals);
+                debug_assert!(
+                    arrivals.windows(2).all(|w| w[0].ts <= w[1].ts),
+                    "source must emit in timestamp order"
+                );
+                let batch = MicroBatch::new(std::mem::take(&mut arrivals), interval);
+                let n_tuples = batch.len();
+                let n_keys = batch.distinct_keys();
+                st.run.trace.incr(Counter::Batches, 1);
+                st.run.trace.incr(Counter::Tuples, n_tuples as u64);
+                let t0 = std::time::Instant::now();
+                let plan = st.partitioner.partition(&batch, p);
+                let raw_overhead = match self.cfg.overhead {
+                    OverheadMode::None => Duration::ZERO,
+                    OverheadMode::Fixed(d) => d,
+                    OverheadMode::Measured => {
+                        Duration::from_micros(t0.elapsed().as_micros() as u64)
+                    }
+                };
+                let visible_overhead = raw_overhead - self.cfg.early_release_slack();
+                let (output, mut times) = match &mut backend {
+                    SharedBackend::InProcess => execute_batch_traced(
+                        &plan,
+                        &self.tenants[i].job,
+                        st.assigner.as_mut(),
+                        r,
+                        &self.cfg.cost,
+                        &self.cfg.cluster,
+                        tracing.then_some(&st.run.trace),
+                    ),
+                    SharedBackend::Threaded(exec) => {
+                        let (output, stats, _wall) = exec.execute_with_stats(
+                            &plan,
+                            &self.tenants[i].job,
+                            st.assigner.as_mut(),
+                            r,
+                            tracing.then_some((&st.run.trace, seq)),
+                        );
+                        let times =
+                            times_from_stats(&plan, &stats, &self.cfg.cost, &self.cfg.cluster);
+                        (output, times)
+                    }
+                    SharedBackend::Distributed { rt, specs } => {
+                        // Namespace batch seqs so tenants never collide in
+                        // the workers' per-batch shuffle state.
+                        let wire_seq = seq * n_tenants as u64 + i as u64;
+                        let mut attempt_plan = None;
+                        loop {
+                            let use_plan = attempt_plan.as_ref().unwrap_or(&plan);
+                            match rt.execute_batch(
+                                wire_seq,
+                                use_plan,
+                                &specs[i],
+                                st.assigner.as_mut(),
+                                r,
+                                tracing.then_some((&st.run.trace, seq)),
+                            ) {
+                                Ok((output, stats)) => {
+                                    let times = times_from_stats(
+                                        use_plan,
+                                        &stats,
+                                        &self.cfg.cost,
+                                        &self.cfg.cluster,
+                                    );
+                                    break (output, times);
+                                }
+                                Err(loss) => {
+                                    // The batch input is still in hand:
+                                    // re-partition for the survivors and
+                                    // retry. Failed attempts make no
+                                    // assigner calls and add no time.
+                                    st.run.worker_losses += 1;
+                                    if tracing {
+                                        st.run.trace.incr(Counter::WorkersLost, 1);
+                                        st.run.trace.event(TraceEvent::WorkerLost {
+                                            seq,
+                                            worker: loss.worker,
+                                        });
+                                    }
+                                    attempt_plan = Some(st.partitioner.partition(&batch, p));
+                                }
+                            }
+                        }
+                    }
+                };
+                for noise in self.noisy.iter().filter(|n| n.applies(i, seq)) {
+                    for t in times.map_tasks.iter_mut().chain(&mut times.reduce_tasks) {
+                        *t = t.mul_f64(noise.slowdown);
+                    }
+                }
+                arrivals = batch.tuples; // reuse the allocation next tenant
+                outputs.push(output);
+                plan_stats.push((n_tuples, n_keys, plan.n_blocks(), PlanMetrics::of(&plan)));
+                overheads.push((raw_overhead, visible_overhead));
+                all_times.push(times);
+            }
+
+            // Phase 2: joint stage scheduling on the shared slots.
+            let slots = self.cfg.cluster.slots();
+            let weights: Vec<u32> = self.tenants.iter().map(|t| t.weight).collect();
+            let map_input: Vec<(u32, Vec<Duration>)> = all_times
+                .iter()
+                .zip(&weights)
+                .map(|(t, &w)| (w, t.map_tasks.clone()))
+                .collect();
+            let reduce_input: Vec<(u32, Vec<Duration>)> = all_times
+                .iter()
+                .zip(&weights)
+                .map(|(t, &w)| (w, t.reduce_tasks.clone()))
+                .collect();
+            let map_spans = fair_makespans(&map_input, slots);
+            let reduce_spans = fair_makespans(&reduce_input, slots);
+
+            // Phase 3: per-tenant accounting (pipelining, back-pressure,
+            // windows) — fully isolated.
+            for (i, st) in states.iter_mut().enumerate() {
+                let times = &all_times[i];
+                let (raw_overhead, visible_overhead) = overheads[i];
+                let (n_tuples, n_keys, n_blocks, metrics) = plan_stats[i];
+                let map_stage = map_spans[i];
+                let reduce_stage = reduce_spans[i];
+                let solo_map = self.cfg.cluster.makespan(&times.map_tasks);
+                let solo_reduce = self.cfg.cluster.makespan(&times.reduce_tasks);
+                let slot_wait = (map_stage - solo_map) + (reduce_stage - solo_reduce);
+                let processing = visible_overhead + map_stage + reduce_stage;
+                let heartbeat = interval.end;
+                let start = if st.pipeline_free_at > heartbeat {
+                    st.pipeline_free_at
+                } else {
+                    heartbeat
+                };
+                let queue_delay = start.since(heartbeat);
+                st.pipeline_free_at = start + processing;
+                let latency = bi + queue_delay + processing;
+                let w = processing.as_secs_f64() / bi.as_secs_f64();
+
+                let rec = &st.run.trace;
+                if rec.enabled() {
+                    rec.span(seq, StageKind::Accumulate, interval.start, interval.end);
+                    rec.span(seq, StageKind::QueueWait, heartbeat, start);
+                    let mut cursor = start;
+                    rec.span(
+                        seq,
+                        StageKind::PartitionVisible,
+                        cursor,
+                        cursor + visible_overhead,
+                    );
+                    cursor = cursor + visible_overhead;
+                    rec.span(seq, StageKind::MapStage, cursor, cursor + map_stage);
+                    cursor = cursor + map_stage;
+                    rec.span(seq, StageKind::ReduceStage, cursor, cursor + reduce_stage);
+                    cursor = cursor + reduce_stage;
+                    debug_assert_eq!(cursor, start + processing, "spans must tile processing");
+                }
+                if queue_delay.as_secs_f64() > self.cfg.backpressure_queue * bi.as_secs_f64() {
+                    st.run.backpressure = true;
+                    rec.incr(Counter::BackpressureBatches, 1);
+                    rec.event(TraceEvent::Backpressure {
+                        seq,
+                        queue_us: queue_delay.0,
+                        limit_us: bi.mul_f64(self.cfg.backpressure_queue).0,
+                    });
+                }
+                st.run.slot_waits.push(slot_wait);
+                st.run.batches.push(BatchRecord {
+                    seq,
+                    n_tuples,
+                    n_keys,
+                    map_tasks: n_blocks,
+                    reduce_tasks: r,
+                    partition_overhead: raw_overhead,
+                    visible_overhead,
+                    map_stage,
+                    reduce_stage,
+                    processing,
+                    queue_delay,
+                    latency,
+                    w,
+                    map_task_times: times.map_tasks.clone(),
+                    reduce_task_times: times.reduce_tasks.clone(),
+                    plan_metrics: metrics,
+                });
+            }
+            for (st, output) in states.iter_mut().zip(outputs) {
+                if let Some(ws) = st.window.as_mut() {
+                    if let Some(res) = ws.push(output) {
+                        st.run.windows.push(res);
+                    }
+                }
+            }
+        }
+        if let SharedBackend::Distributed { rt, .. } = &mut backend {
+            rt.shutdown();
+        }
+        MultiTenantResult {
+            tenants: states.into_iter().map(|s| s.run).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::cost::CostModel;
+    use crate::driver::StreamingEngine;
+    use crate::job::ReduceOp;
+    use crate::trace::TraceLevel;
+    use prompt_core::types::Key;
+
+    fn const_source(rate: usize, keys: u64, phase: u64) -> Box<dyn TupleSource> {
+        Box::new(move |iv: Interval, out: &mut Vec<Tuple>| {
+            let step = iv.len().0 / (rate as u64 + 1);
+            for i in 0..rate {
+                out.push(Tuple::keyed(
+                    Time(iv.start.0 + step * (i as u64 + 1)),
+                    Key((i as u64 + phase) % keys),
+                ));
+            }
+        })
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            batch_interval: Duration::from_secs(1),
+            map_tasks: 4,
+            reduce_tasks: 4,
+            cluster: Cluster::new(1, 4),
+            cost: CostModel::default(),
+            ..EngineConfig::default()
+        }
+    }
+
+    fn tenant(name: &str, tech: Technique, seed: u64) -> TenantSpec {
+        TenantSpec::new(name, tech, seed, Job::identity(name, ReduceOp::Count)).with_window(
+            WindowSpec::sliding(Duration::from_secs(3), Duration::from_secs(1)),
+        )
+    }
+
+    #[test]
+    fn solo_tenant_matches_streaming_engine_bit_for_bit() {
+        let mut multi = MultiTenantEngine::new(cfg(), vec![tenant("a", Technique::Prompt, 7)]);
+        let res = multi.run(&mut [const_source(900, 30, 0)], 8);
+        let mut eng = StreamingEngine::new(
+            cfg(),
+            Technique::Prompt,
+            7,
+            Job::identity("a", ReduceOp::Count),
+        )
+        .with_window(WindowSpec::sliding(
+            Duration::from_secs(3),
+            Duration::from_secs(1),
+        ));
+        let solo = eng.run(&mut *const_source(900, 30, 0), 8);
+        let t = &res.tenants[0];
+        assert_eq!(t.batches.len(), solo.batches.len());
+        for (a, b) in t.batches.iter().zip(&solo.batches) {
+            assert_eq!(a.map_stage, b.map_stage, "batch {}", a.seq);
+            assert_eq!(a.reduce_stage, b.reduce_stage);
+            assert_eq!(a.processing, b.processing);
+            assert_eq!(a.queue_delay, b.queue_delay);
+            assert_eq!(a.plan_metrics, b.plan_metrics);
+        }
+        assert_eq!(t.windows.len(), solo.windows.len());
+        for (a, b) in t.windows.iter().zip(&solo.windows) {
+            assert_eq!(a.aggregates.len(), b.aggregates.len());
+            for (k, v) in &a.aggregates {
+                assert_eq!(v.to_bits(), b.aggregates[k].to_bits());
+            }
+        }
+        assert!(t.slot_waits.iter().all(|&w| w == Duration::ZERO));
+    }
+
+    #[test]
+    fn two_tenants_answers_match_solo_runs() {
+        let specs = vec![
+            tenant("a", Technique::Prompt, 1),
+            tenant("b", Technique::Hash, 2),
+        ];
+        let mut multi = MultiTenantEngine::new(cfg(), specs);
+        let res = multi.run(&mut [const_source(800, 20, 0), const_source(600, 15, 3)], 8);
+        for (i, (tech, seed, rate, keys, phase)) in [
+            (Technique::Prompt, 1, 800, 20, 0),
+            (Technique::Hash, 2, 600, 15, 3),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut eng =
+                StreamingEngine::new(cfg(), tech, seed, Job::identity("solo", ReduceOp::Count))
+                    .with_window(WindowSpec::sliding(
+                        Duration::from_secs(3),
+                        Duration::from_secs(1),
+                    ));
+            let solo = eng.run(&mut *const_source(rate, keys, phase), 8);
+            let t = &res.tenants[i];
+            assert_eq!(t.windows.len(), solo.windows.len());
+            for (a, b) in t.windows.iter().zip(&solo.windows) {
+                for (k, v) in &a.aggregates {
+                    assert_eq!(v.to_bits(), b.aggregates[k].to_bits(), "tenant {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contention_slows_tenants_but_not_their_answers() {
+        // Make tasks expensive enough that two tenants contend for slots.
+        let mut c = cfg();
+        c.cost = CostModel {
+            map_per_tuple: Duration::from_micros(300),
+            ..CostModel::default()
+        };
+        let specs = vec![
+            tenant("a", Technique::Prompt, 1),
+            tenant("b", Technique::Prompt, 2),
+        ];
+        let mut multi = MultiTenantEngine::new(c, specs);
+        let res = multi.run(&mut [const_source(800, 20, 0), const_source(800, 20, 7)], 6);
+        let waited: u64 = res
+            .tenants
+            .iter()
+            .flat_map(|t| t.slot_waits.iter().map(|d| d.0))
+            .sum();
+        assert!(waited > 0, "shared slots must create contention");
+    }
+
+    #[test]
+    fn noisy_neighbor_hits_only_its_tenant_and_range() {
+        let specs = || {
+            vec![
+                tenant("a", Technique::Prompt, 1),
+                tenant("b", Technique::Prompt, 2),
+            ]
+        };
+        let sources = || -> Vec<Box<dyn TupleSource>> {
+            vec![const_source(500, 10, 0), const_source(500, 10, 5)]
+        };
+        let mut clean_eng = MultiTenantEngine::new(cfg(), specs());
+        let clean = clean_eng.run(&mut sources()[..], 6);
+        let mut noisy_eng =
+            MultiTenantEngine::new(cfg(), specs()).with_noisy_neighbors(vec![NoisyNeighbor {
+                tenant: 1,
+                from_seq: 2,
+                until_seq: 4,
+                slowdown: 5.0,
+            }]);
+        let noisy = noisy_eng.run(&mut sources()[..], 6);
+        for seq in 0..6usize {
+            let (ca, na) = (
+                &clean.tenants[1].batches[seq],
+                &noisy.tenants[1].batches[seq],
+            );
+            if (2..4).contains(&seq) {
+                assert!(na.processing > ca.processing, "batch {seq} must slow down");
+            } else {
+                assert_eq!(na.processing, ca.processing, "batch {seq} unaffected");
+            }
+        }
+        // Answers never change — interference is timing-only.
+        for (a, b) in clean.tenants[1]
+            .windows
+            .iter()
+            .zip(&noisy.tenants[1].windows)
+        {
+            for (k, v) in &a.aggregates {
+                assert_eq!(v.to_bits(), b.aggregates[k].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_tenants_get_proportional_protection() {
+        // Two identical workloads; the weight-3 tenant must finish its
+        // stages no later than the weight-1 tenant.
+        let mut c = cfg();
+        c.cost = CostModel {
+            map_per_tuple: Duration::from_micros(400),
+            ..CostModel::default()
+        };
+        let specs = vec![
+            tenant("light", Technique::Prompt, 1).with_weight(1),
+            tenant("heavy", Technique::Prompt, 1).with_weight(3),
+        ];
+        let mut multi = MultiTenantEngine::new(c, specs);
+        let res = multi.run(&mut [const_source(900, 16, 0), const_source(900, 16, 0)], 4);
+        let light: u64 = res.tenants[0].slot_waits.iter().map(|d| d.0).sum();
+        let heavy: u64 = res.tenants[1].slot_waits.iter().map(|d| d.0).sum();
+        assert!(
+            heavy <= light,
+            "weight-3 tenant waited {heavy} µs vs weight-1's {light} µs"
+        );
+    }
+
+    #[test]
+    fn fair_makespans_degenerate_to_lpt_for_one_tenant() {
+        let d = |us: u64| Duration::from_micros(us);
+        for tasks in [
+            vec![d(5), d(4), d(3), d(3), d(3)],
+            vec![d(10); 4],
+            vec![d(100); 7],
+            vec![],
+        ] {
+            let fair = fair_makespans(&[(1, tasks.clone())], 2)[0];
+            assert_eq!(fair, crate::cluster::makespan_on_slots(&tasks, 2));
+        }
+    }
+
+    #[test]
+    fn tagged_trace_roundtrip() {
+        let mut c = cfg();
+        c.trace = TraceLevel::Full;
+        let mut multi = MultiTenantEngine::new(
+            c,
+            vec![
+                tenant("alpha", Technique::Prompt, 1),
+                tenant("beta", Technique::Hash, 2),
+            ],
+        );
+        let res = multi.run(&mut [const_source(200, 8, 0), const_source(200, 8, 2)], 3);
+        let jsonl = res.tagged_trace_jsonl();
+        let parsed = parse_tagged_jsonl(&jsonl).expect("round-trip");
+        assert!(!parsed.is_empty());
+        let names: std::collections::HashSet<&str> =
+            parsed.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains("alpha") && names.contains("beta"));
+        // Tagged totals match per-tenant event counts.
+        let total: usize = res.tenants.iter().map(|t| t.trace.events().len()).sum();
+        assert_eq!(parsed.len(), total);
+    }
+}

@@ -1,0 +1,244 @@
+//! The scenario-wall front door.
+//!
+//! ```text
+//! prompt-scenarios                  # pinned 8 scenarios × 3 techniques, 2 tenants
+//! prompt-scenarios --list           # print every scenario name in the matrix
+//! prompt-scenarios --scenario zipf1.0-sin-64k
+//! prompt-scenarios --full           # the whole 72-scenario matrix
+//! prompt-scenarios --backend threaded --tenants 3 --noisy
+//! prompt-scenarios --out results/BENCH_scenarios.json
+//! prompt-scenarios --check results/BENCH_scenarios.json --tolerance 0.10
+//! ```
+//!
+//! `--check` exits non-zero when the current run regresses past the
+//! baseline's tolerance bands — the CI gate.
+
+use std::process::ExitCode;
+
+use prompt_core::partitioner::Technique;
+use prompt_engine::config::Backend;
+use prompt_scenarios::harness::{run_matrix, DEFAULT_TECHNIQUES};
+use prompt_scenarios::matrix::{full_matrix, pinned_subset, Scenario};
+use prompt_scenarios::score::Scorecard;
+
+const USAGE: &str = "prompt-scenarios — the multi-tenant scenario wall
+
+USAGE:
+  prompt-scenarios [OPTIONS]
+
+OPTIONS:
+  --list                 Print every scenario name in the matrix and exit
+  --full                 Run the full matrix (default: the pinned CI subset)
+  --scenario NAME        Run a single named scenario (repeatable)
+  --backend KIND         inprocess | threaded | distributed  [default: inprocess]
+  --tenants N            Concurrent tenant jobs per cell      [default: 2]
+  --batches N            Heartbeats per cell                  [default: 8]
+  --noisy                Inject a noisy neighbor against the last tenant
+  --seed N               Base seed                            [default: 12648430]
+  --quick                Fewer batches (4) for a fast smoke pass
+  --out PATH             Write the scorecard JSON to PATH
+  --check BASELINE       Diff against a baseline scorecard; exit 1 on regression
+  --tolerance F          Relative tolerance band for --check  [default: 0.10]
+  -h, --help             This help
+";
+
+struct Options {
+    list: bool,
+    full: bool,
+    scenarios: Vec<String>,
+    backend: Backend,
+    tenants: usize,
+    batches: usize,
+    noisy: bool,
+    seed: u64,
+    out: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        list: false,
+        full: false,
+        scenarios: Vec::new(),
+        backend: Backend::InProcess,
+        tenants: 2,
+        batches: 8,
+        noisy: false,
+        seed: 0xC0FFEE,
+        out: None,
+        check: None,
+        tolerance: 0.10,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--full" => opts.full = true,
+            "--scenario" => opts.scenarios.push(value("--scenario")?),
+            "--backend" => {
+                opts.backend = match value("--backend")?.as_str() {
+                    "inprocess" => Backend::InProcess,
+                    "threaded" => Backend::Threaded { threads: 4 },
+                    "distributed" => Backend::Distributed {
+                        workers: 2,
+                        base_port: 0,
+                    },
+                    other => return Err(format!("unknown backend '{other}'")),
+                }
+            }
+            "--tenants" => {
+                opts.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+                if opts.tenants == 0 {
+                    return Err("--tenants must be >= 1".into());
+                }
+            }
+            "--batches" => {
+                opts.batches = value("--batches")?
+                    .parse()
+                    .map_err(|e| format!("--batches: {e}"))?;
+                if opts.batches == 0 {
+                    return Err("--batches must be >= 1".into());
+                }
+            }
+            "--noisy" => opts.noisy = true,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--quick" | "-q" => opts.batches = 4,
+            "--out" => opts.out = Some(value("--out")?),
+            "--check" => opts.check = Some(value("--check")?),
+            "--tolerance" => {
+                opts.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+                if !(0.0..10.0).contains(&opts.tolerance) {
+                    return Err("--tolerance must be in [0, 10)".into());
+                }
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.list {
+        for s in full_matrix() {
+            println!("{}", s.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let scenarios: Vec<Scenario> = if !opts.scenarios.is_empty() {
+        let mut picked = Vec::new();
+        for name in &opts.scenarios {
+            match Scenario::by_name(name) {
+                Some(s) => picked.push(s),
+                None => {
+                    eprintln!("error: unknown scenario '{name}' (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        picked
+    } else if opts.full {
+        full_matrix()
+    } else {
+        pinned_subset()
+    };
+    let techniques: Vec<Technique> = DEFAULT_TECHNIQUES.to_vec();
+    eprintln!(
+        "scenario wall: {} scenario(s) x {} technique(s) = {} cells, {} tenant(s), {} batches, {:?}",
+        scenarios.len(),
+        techniques.len(),
+        scenarios.len() * techniques.len(),
+        opts.tenants,
+        opts.batches,
+        opts.backend,
+    );
+    let cells = run_matrix(
+        &scenarios,
+        &techniques,
+        opts.tenants,
+        opts.batches,
+        opts.backend,
+        opts.seed,
+        opts.noisy,
+    );
+    let broken: Vec<String> = cells
+        .iter()
+        .filter(|c| !c.bit_identical)
+        .map(|c| format!("{}/{}", c.scenario, c.technique))
+        .collect();
+    let card = Scorecard::build(cells);
+    println!("{}", card.render());
+    if let Some(path) = &opts.out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: creating {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, card.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if !broken.is_empty() {
+        eprintln!(
+            "FAIL: {} cell(s) diverged from the serial oracle: {}",
+            broken.len(),
+            broken.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(baseline_path) = &opts.check {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match Scorecard::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: parsing baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = card.diff(&baseline, opts.tolerance);
+        if regressions.is_empty() {
+            eprintln!(
+                "scenario wall: no regressions vs {baseline_path} (tolerance {:.0}%)",
+                opts.tolerance * 100.0
+            );
+        } else {
+            eprintln!("scenario wall: {} regression(s):", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

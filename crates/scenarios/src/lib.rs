@@ -1,0 +1,26 @@
+//! The multi-tenant scenario wall.
+//!
+//! A deterministic, seedable regression harness that expands a generator
+//! matrix — key-distribution shapes × arrival processes × cardinality
+//! tiers ([`matrix`]) — into named scenarios, runs N concurrent tenant
+//! jobs per cell against one shared cluster ([`harness`], built on
+//! `prompt_engine::tenancy`), verifies every cell bit-identical to its
+//! serial single-tenant oracle, and emits ranked per-scenario scorecards
+//! with a tolerance-band regression diff ([`score`]).
+//!
+//! The `prompt-scenarios` binary is the front door: run one scenario, the
+//! pinned CI subset, or the full 72-scenario matrix, and gate changes with
+//! `--check` against a checked-in `BENCH_scenarios.json` baseline.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod matrix;
+pub mod score;
+
+/// Common imports for wall consumers.
+pub mod prelude {
+    pub use crate::harness::{run_cell, run_matrix, CellConfig, CellOutcome, DEFAULT_TECHNIQUES};
+    pub use crate::matrix::{full_matrix, pinned_subset, Arrival, CardTier, KeyShape, Scenario};
+    pub use crate::score::{RankedCell, Scorecard};
+}

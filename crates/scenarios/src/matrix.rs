@@ -1,0 +1,330 @@
+//! The generator matrix: key shapes × arrival processes × cardinality
+//! tiers, expanded into named scenarios.
+//!
+//! Each scenario is a deterministic, seedable recipe for a tuple stream.
+//! The matrix spans the axes Fang et al. (arXiv 1610.05121) identify as
+//! decisive for partitioner behaviour — skewness *and* how it varies over
+//! time — plus the arrival-process axis the paper's Fig. 11 stresses, and a
+//! cardinality axis up to millions of distinct keys (routed through string
+//! interning, like a receiver ingesting raw text).
+
+use prompt_core::source::TupleSource;
+use prompt_core::types::{Duration, Time};
+use prompt_workloads::drift::{AlphaDrift, HotSetChurn};
+use prompt_workloads::generator::{KeyModel, StreamGenerator, ValueModel};
+use prompt_workloads::interner::InternedSource;
+use prompt_workloads::keydist::{zipf_or_uniform, UniformKeys};
+use prompt_workloads::rate::RateProfile;
+
+/// The key-distribution axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyShape {
+    /// Uniform over the tier's key space.
+    Uniform,
+    /// Stationary Zipf with the given exponent.
+    Zipf(f64),
+    /// Mid-stream skew drift: Zipf exponent sweeps `from → to` over the
+    /// first 8 seconds of stream time.
+    Drift {
+        /// Exponent at t = 0.
+        from: f64,
+        /// Exponent from t = 8 s on.
+        to: f64,
+    },
+    /// Hot-set churn: 80% of arrivals on a compact hot set that rotates
+    /// every 2 seconds.
+    HotChurn,
+}
+
+impl KeyShape {
+    fn token(&self) -> String {
+        match self {
+            KeyShape::Uniform => "uniform".into(),
+            KeyShape::Zipf(s) => format!("zipf{s:.1}"),
+            KeyShape::Drift { .. } => "drift".into(),
+            KeyShape::HotChurn => "hotchurn".into(),
+        }
+    }
+}
+
+/// The arrival-process axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arrival {
+    /// Fixed rate.
+    Constant,
+    /// Square wave (low/high).
+    Step,
+    /// Fig. 11's sinusoidal variable rate.
+    Sinusoidal,
+    /// Irregular bursts with hashed per-cycle heights.
+    Bursty,
+}
+
+impl Arrival {
+    fn token(&self) -> &'static str {
+        match self {
+            Arrival::Constant => "const",
+            Arrival::Step => "step",
+            Arrival::Sinusoidal => "sin",
+            Arrival::Bursty => "bursty",
+        }
+    }
+
+    /// The rate profile, tuned so a 1-second batch carries a few thousand
+    /// tuples (laptop-friendly; the shapes are what matters).
+    pub fn profile(&self) -> RateProfile {
+        match self {
+            Arrival::Constant => RateProfile::Constant { rate: 2500.0 },
+            Arrival::Step => RateProfile::Step {
+                low: 1200.0,
+                high: 4000.0,
+                period: Duration::from_secs(3),
+                duty: 1.0 / 3.0,
+            },
+            Arrival::Sinusoidal => RateProfile::Sinusoidal {
+                base: 2500.0,
+                amplitude: 1800.0,
+                period: Duration::from_secs(4),
+            },
+            Arrival::Bursty => RateProfile::Bursty {
+                base: 1200.0,
+                burst: 3500.0,
+                period: Duration::from_secs(2),
+                duty: 0.25,
+            },
+        }
+    }
+}
+
+/// The cardinality axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CardTier {
+    /// 1 000 distinct keys.
+    Small,
+    /// 65 536 distinct keys.
+    Large,
+    /// ~4.2 million distinct keys, routed through the string interner
+    /// (every key rendered to its pseudo-word and re-interned) to stress
+    /// the receiver's vocabulary path.
+    Huge,
+}
+
+impl CardTier {
+    /// Distinct keys in the tier's key space.
+    pub fn cardinality(&self) -> u64 {
+        match self {
+            CardTier::Small => 1_000,
+            CardTier::Large => 65_536,
+            CardTier::Huge => 1 << 22,
+        }
+    }
+
+    fn token(&self) -> &'static str {
+        match self {
+            CardTier::Small => "1k",
+            CardTier::Large => "64k",
+            CardTier::Huge => "4m",
+        }
+    }
+}
+
+/// One cell of the generator matrix: a named, seedable stream recipe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scenario {
+    /// Key-distribution shape.
+    pub shape: KeyShape,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Key-space size tier.
+    pub tier: CardTier,
+}
+
+impl Scenario {
+    /// The scenario's name: `<shape>-<arrival>-<tier>`, e.g.
+    /// `zipf1.0-sin-64k`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-{}",
+            self.shape.token(),
+            self.arrival.token(),
+            self.tier.token()
+        )
+    }
+
+    /// Look a scenario up by its [`Scenario::name`] in the full matrix.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        full_matrix().into_iter().find(|s| s.name() == name)
+    }
+
+    /// Build the scenario's tuple stream. Equal `(scenario, seed)` pairs
+    /// produce bit-identical streams — the property the differential
+    /// harness rests on.
+    pub fn source(&self, seed: u64) -> Box<dyn TupleSource> {
+        let n = self.tier.cardinality();
+        let keys = match self.shape {
+            KeyShape::Uniform => KeyModel::Static(Box::new(UniformKeys::new(n))),
+            KeyShape::Zipf(s) => KeyModel::Static(zipf_or_uniform(n, s)),
+            KeyShape::Drift { from, to } => KeyModel::Timed(Box::new(AlphaDrift::new(
+                n,
+                from,
+                to,
+                Time::ZERO,
+                Time::from_secs(8),
+            ))),
+            KeyShape::HotChurn => KeyModel::Timed(Box::new(HotSetChurn::new(
+                n,
+                (n / 64).max(1),
+                0.8,
+                Duration::from_secs(2),
+            ))),
+        };
+        let gen = StreamGenerator::new(self.arrival.profile(), keys, ValueModel::Unit, seed);
+        if self.tier == CardTier::Huge {
+            Box::new(InternedSource::new(gen))
+        } else {
+            Box::new(gen)
+        }
+    }
+}
+
+/// The full 6 × 4 × 3 = 72-scenario matrix: {uniform, Zipf-α sweep at 0.5 /
+/// 1.0 / 1.5, α drift, hot-set churn} × {constant, step, sinusoidal,
+/// bursty} × {1k, 64k, 4M keys}.
+pub fn full_matrix() -> Vec<Scenario> {
+    let shapes = [
+        KeyShape::Uniform,
+        KeyShape::Zipf(0.5),
+        KeyShape::Zipf(1.0),
+        KeyShape::Zipf(1.5),
+        KeyShape::Drift { from: 0.4, to: 1.6 },
+        KeyShape::HotChurn,
+    ];
+    let arrivals = [
+        Arrival::Constant,
+        Arrival::Step,
+        Arrival::Sinusoidal,
+        Arrival::Bursty,
+    ];
+    let tiers = [CardTier::Small, CardTier::Large, CardTier::Huge];
+    let mut out = Vec::with_capacity(shapes.len() * arrivals.len() * tiers.len());
+    for shape in shapes {
+        for arrival in arrivals {
+            for tier in tiers {
+                out.push(Scenario {
+                    shape,
+                    arrival,
+                    tier,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The pinned CI subset: 8 scenarios covering every shape, every arrival
+/// process and every cardinality tier at least once. Small and fast enough
+/// for the regression gate, diverse enough to catch a partitioner change
+/// that helps one regime and hurts another.
+pub fn pinned_subset() -> Vec<Scenario> {
+    [
+        "uniform-const-1k",
+        "zipf0.5-bursty-64k",
+        "zipf1.0-sin-64k",
+        "zipf1.5-step-1k",
+        "drift-const-64k",
+        "drift-sin-1k",
+        "hotchurn-bursty-1k",
+        "uniform-sin-4m",
+    ]
+    .iter()
+    .map(|n| Scenario::by_name(n).expect("pinned scenario must exist in the matrix"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prompt_core::types::{Interval, Tuple};
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let all = full_matrix();
+        assert_eq!(all.len(), 72);
+        let names: std::collections::HashSet<String> = all.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), all.len(), "duplicate scenario names");
+        for s in &all {
+            assert_eq!(Scenario::by_name(&s.name()), Some(*s));
+        }
+        assert_eq!(Scenario::by_name("no-such-scenario"), None);
+    }
+
+    #[test]
+    fn pinned_subset_covers_every_axis_value() {
+        let pinned = pinned_subset();
+        assert_eq!(pinned.len(), 8);
+        for arrival in [
+            Arrival::Constant,
+            Arrival::Step,
+            Arrival::Sinusoidal,
+            Arrival::Bursty,
+        ] {
+            assert!(pinned.iter().any(|s| s.arrival == arrival), "{arrival:?}");
+        }
+        for tier in [CardTier::Small, CardTier::Large, CardTier::Huge] {
+            assert!(pinned.iter().any(|s| s.tier == tier), "{tier:?}");
+        }
+        assert!(pinned.iter().any(|s| s.shape == KeyShape::Uniform));
+        assert!(pinned.iter().any(|s| matches!(s.shape, KeyShape::Zipf(_))));
+        assert!(pinned
+            .iter()
+            .any(|s| matches!(s.shape, KeyShape::Drift { .. })));
+        assert!(pinned.iter().any(|s| s.shape == KeyShape::HotChurn));
+    }
+
+    #[test]
+    fn sources_are_deterministic_per_seed() {
+        for s in pinned_subset() {
+            let fill = |seed: u64| {
+                let mut src = s.source(seed);
+                let mut out: Vec<Tuple> = Vec::new();
+                for b in 0..2u64 {
+                    src.fill(
+                        Interval::new(Time::from_secs(b), Time::from_secs(b + 1)),
+                        &mut out,
+                    );
+                }
+                out
+            };
+            let a = fill(42);
+            let b = fill(42);
+            assert_eq!(a.len(), b.len(), "{}", s.name());
+            assert!(a.iter().zip(&b).all(|(x, y)| x == y), "{}", s.name());
+            assert!(!a.is_empty(), "{}", s.name());
+            let n = s.tier.cardinality();
+            assert!(a.iter().all(|t| t.key.0 < n), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn huge_tier_interns_a_large_vocabulary() {
+        let s = Scenario::by_name("uniform-sin-4m").expect("exists");
+        let mut src = s.source(7);
+        let mut out = Vec::new();
+        for b in 0..3u64 {
+            src.fill(
+                Interval::new(Time::from_secs(b), Time::from_secs(b + 1)),
+                &mut out,
+            );
+        }
+        // Interned keys are dense first-sight ranks, far below the raw
+        // 4M key space, and the distinct count stays large.
+        let distinct: std::collections::HashSet<u64> = out.iter().map(|t| t.key.0).collect();
+        assert!(distinct.len() > 1000, "only {} distinct", distinct.len());
+        let max = out.iter().map(|t| t.key.0).max().unwrap();
+        assert!(
+            (max as usize) < out.len(),
+            "interned keys must be dense (max {max} over {} tuples)",
+            out.len()
+        );
+    }
+}

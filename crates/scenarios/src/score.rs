@@ -1,0 +1,374 @@
+//! Ranked scorecards and the regression diff.
+//!
+//! A [`Scorecard`] groups cell outcomes by scenario, ranks the techniques
+//! inside each scenario (lower p95 latency wins, max-partition imbalance
+//! breaks ties), renders a human-readable wall, and serialises to the
+//! machine-readable `BENCH_scenarios.json` the CI gate diffs against a
+//! checked-in baseline with tolerance bands.
+//!
+//! The JSON is hand-rolled (the workspace has no serde): one object per
+//! cell, one cell per line, so baselines diff cleanly under `git diff` and
+//! parse with simple field extraction.
+
+use std::collections::BTreeMap;
+
+use crate::harness::CellOutcome;
+
+/// A full wall of scored cells, ranked within each scenario.
+#[derive(Clone, Debug)]
+pub struct Scorecard {
+    /// All cells, sorted by (scenario, rank).
+    pub cells: Vec<RankedCell>,
+}
+
+/// A cell plus its rank among the techniques of its scenario (1 = best).
+#[derive(Clone, Debug)]
+pub struct RankedCell {
+    /// Rank within the scenario, 1-based.
+    pub rank: usize,
+    /// The scored cell.
+    pub cell: CellOutcome,
+}
+
+impl Scorecard {
+    /// Rank `cells` within each scenario by ascending p95 latency, ties
+    /// broken by ascending max-partition imbalance, then by label for
+    /// total determinism.
+    pub fn build(cells: Vec<CellOutcome>) -> Scorecard {
+        let mut by_scenario: BTreeMap<String, Vec<CellOutcome>> = BTreeMap::new();
+        for c in cells {
+            by_scenario.entry(c.scenario.clone()).or_default().push(c);
+        }
+        let mut out = Vec::new();
+        for (_, mut group) in by_scenario {
+            group.sort_by(|a, b| {
+                a.p95_ms
+                    .partial_cmp(&b.p95_ms)
+                    .expect("latencies are finite")
+                    .then(a.mpi.partial_cmp(&b.mpi).expect("mpi is finite"))
+                    .then(a.technique.cmp(&b.technique))
+            });
+            for (i, cell) in group.into_iter().enumerate() {
+                out.push(RankedCell { rank: i + 1, cell });
+            }
+        }
+        Scorecard { cells: out }
+    }
+
+    /// Look up a cell by its (scenario, technique) coordinates.
+    pub fn get(&self, scenario: &str, technique: &str) -> Option<&RankedCell> {
+        self.cells
+            .iter()
+            .find(|r| r.cell.scenario == scenario && r.cell.technique == technique)
+    }
+
+    /// Render the ranked wall as text, one scenario block at a time.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut current = "";
+        for r in &self.cells {
+            if r.cell.scenario != current {
+                current = &r.cell.scenario;
+                out.push_str(&format!("\n=== {current} ===\n"));
+                out.push_str(&format!(
+                    "{:>4}  {:<10} {:>6} {:>8} {:>8} {:>8} {:>9} {:>6} {:>5}\n",
+                    "rank", "technique", "mpi", "p50ms", "p95ms", "p99ms", "tuples/s", "wait", "ok"
+                ));
+            }
+            let c = &r.cell;
+            out.push_str(&format!(
+                "{:>4}  {:<10} {:>6.3} {:>8.1} {:>8.1} {:>8.1} {:>9.0} {:>6.1} {:>5}\n",
+                r.rank,
+                c.technique,
+                c.mpi,
+                c.p50_ms,
+                c.p95_ms,
+                c.p99_ms,
+                c.throughput,
+                c.slot_wait_ms,
+                if c.bit_identical { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+
+    /// Serialise to the `BENCH_scenarios.json` format: one cell object per
+    /// line inside a `"cells"` array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n\"schema\": \"prompt-scenarios/v1\",\n\"cells\": [\n");
+        for (i, r) in self.cells.iter().enumerate() {
+            let c = &r.cell;
+            let sep = if i + 1 == self.cells.len() { "" } else { "," };
+            out.push_str(&format!(
+                "{{\"scenario\":\"{}\",\"technique\":\"{}\",\"rank\":{},\"bit_identical\":{},\
+                 \"bsi\":{:.6},\"bci\":{:.6},\"ksr\":{:.6},\"mpi\":{:.6},\
+                 \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\
+                 \"throughput\":{:.3},\"backpressure\":{},\"slot_wait_ms\":{:.3}}}{sep}\n",
+                c.scenario,
+                c.technique,
+                r.rank,
+                c.bit_identical,
+                c.bsi,
+                c.bci,
+                c.ksr,
+                c.mpi,
+                c.p50_ms,
+                c.p95_ms,
+                c.p99_ms,
+                c.throughput,
+                c.backpressure,
+                c.slot_wait_ms,
+            ));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parse a scorecard previously written by [`Scorecard::to_json`].
+    pub fn parse(text: &str) -> Result<Scorecard, String> {
+        let mut cells = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with("{\"scenario\"") {
+                continue;
+            }
+            let at = |msg: &str| format!("line {}: {msg}", i + 1);
+            let cell = CellOutcome {
+                scenario: field_str(line, "scenario").ok_or_else(|| at("missing scenario"))?,
+                technique: field_str(line, "technique").ok_or_else(|| at("missing technique"))?,
+                bit_identical: field_bool(line, "bit_identical")
+                    .ok_or_else(|| at("missing bit_identical"))?,
+                bsi: field_f64(line, "bsi").ok_or_else(|| at("missing bsi"))?,
+                bci: field_f64(line, "bci").ok_or_else(|| at("missing bci"))?,
+                ksr: field_f64(line, "ksr").ok_or_else(|| at("missing ksr"))?,
+                mpi: field_f64(line, "mpi").ok_or_else(|| at("missing mpi"))?,
+                p50_ms: field_f64(line, "p50_ms").ok_or_else(|| at("missing p50_ms"))?,
+                p95_ms: field_f64(line, "p95_ms").ok_or_else(|| at("missing p95_ms"))?,
+                p99_ms: field_f64(line, "p99_ms").ok_or_else(|| at("missing p99_ms"))?,
+                throughput: field_f64(line, "throughput")
+                    .ok_or_else(|| at("missing throughput"))?,
+                backpressure: field_bool(line, "backpressure")
+                    .ok_or_else(|| at("missing backpressure"))?,
+                slot_wait_ms: field_f64(line, "slot_wait_ms")
+                    .ok_or_else(|| at("missing slot_wait_ms"))?,
+            };
+            let rank = field_f64(line, "rank").ok_or_else(|| at("missing rank"))? as usize;
+            cells.push(RankedCell { rank, cell });
+        }
+        if cells.is_empty() {
+            return Err("no cells found in scorecard".into());
+        }
+        Ok(Scorecard { cells })
+    }
+
+    /// Diff this (current) scorecard against a `baseline` with a relative
+    /// tolerance band. Returns one message per regression; an empty vector
+    /// means the gate passes. Checked, per cell present in the baseline:
+    ///
+    /// * the cell must still exist;
+    /// * `bit_identical` must not flip to `false`;
+    /// * `backpressure` must not flip on;
+    /// * `p95_ms` and `mpi` must not grow past `base × (1 + tol)`;
+    /// * `throughput` must not drop below `base × (1 − tol)`.
+    ///
+    /// New cells (in `self` but not the baseline) are additions, not
+    /// regressions — refreshing the baseline file admits them.
+    pub fn diff(&self, baseline: &Scorecard, tol: f64) -> Vec<String> {
+        assert!(tol >= 0.0, "tolerance must be non-negative");
+        let mut regressions = Vec::new();
+        for base in &baseline.cells {
+            let b = &base.cell;
+            let key = format!("{} / {}", b.scenario, b.technique);
+            let Some(cur) = self.get(&b.scenario, &b.technique) else {
+                regressions.push(format!("{key}: cell missing from current run"));
+                continue;
+            };
+            let c = &cur.cell;
+            if b.bit_identical && !c.bit_identical {
+                regressions.push(format!("{key}: lost bit-identity with the serial oracle"));
+            }
+            if !b.backpressure && c.backpressure {
+                regressions.push(format!("{key}: back-pressure newly triggered"));
+            }
+            for (name, cur_v, base_v) in [("p95_ms", c.p95_ms, b.p95_ms), ("mpi", c.mpi, b.mpi)] {
+                if cur_v > base_v * (1.0 + tol) {
+                    regressions.push(format!(
+                        "{key}: {name} regressed {cur_v:.3} > {base_v:.3} (+{tol:.0}% band)",
+                        tol = tol * 100.0
+                    ));
+                }
+            }
+            if c.throughput < b.throughput * (1.0 - tol) {
+                regressions.push(format!(
+                    "{key}: throughput regressed {:.1} < {:.1} (-{:.0}% band)",
+                    c.throughput,
+                    b.throughput,
+                    tol * 100.0
+                ));
+            }
+        }
+        regressions
+    }
+}
+
+fn field_str(line: &str, name: &str) -> Option<String> {
+    let pat = format!("\"{name}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_raw<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn field_f64(line: &str, name: &str) -> Option<f64> {
+    field_raw(line, name)?.parse().ok()
+}
+
+fn field_bool(line: &str, name: &str) -> Option<bool> {
+    match field_raw(line, name)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(scenario: &str, technique: &str, p95: f64, mpi: f64) -> CellOutcome {
+        CellOutcome {
+            scenario: scenario.into(),
+            technique: technique.into(),
+            bit_identical: true,
+            bsi: 0.1,
+            bci: 0.2,
+            ksr: 0.3,
+            mpi,
+            p50_ms: p95 * 0.8,
+            p95_ms: p95,
+            p99_ms: p95 * 1.1,
+            throughput: 5000.0,
+            backpressure: false,
+            slot_wait_ms: 1.5,
+        }
+    }
+
+    #[test]
+    fn ranking_orders_by_p95_then_mpi() {
+        let card = Scorecard::build(vec![
+            cell("s1", "Hash", 2000.0, 0.9),
+            cell("s1", "Prompt", 1500.0, 0.1),
+            cell("s1", "Shuffle", 1500.0, 0.5),
+            cell("s2", "Hash", 1000.0, 0.2),
+        ]);
+        let ranks: Vec<(&str, &str, usize)> = card
+            .cells
+            .iter()
+            .map(|r| (r.cell.scenario.as_str(), r.cell.technique.as_str(), r.rank))
+            .collect();
+        assert_eq!(
+            ranks,
+            vec![
+                ("s1", "Prompt", 1),
+                ("s1", "Shuffle", 2),
+                ("s1", "Hash", 3),
+                ("s2", "Hash", 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let card = Scorecard::build(vec![
+            cell("s1", "Hash", 2000.0, 0.9),
+            cell("s1", "Prompt", 1500.0, 0.1),
+        ]);
+        let parsed = Scorecard::parse(&card.to_json()).expect("round-trip");
+        assert_eq!(parsed.cells.len(), card.cells.len());
+        for (a, b) in parsed.cells.iter().zip(&card.cells) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.cell.scenario, b.cell.scenario);
+            assert_eq!(a.cell.technique, b.cell.technique);
+            assert_eq!(a.cell.bit_identical, b.cell.bit_identical);
+            assert!((a.cell.p95_ms - b.cell.p95_ms).abs() < 1e-3);
+            assert!((a.cell.mpi - b.cell.mpi).abs() < 1e-6);
+            assert!((a.cell.throughput - b.cell.throughput).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Scorecard::parse("not json").is_err());
+        assert!(Scorecard::parse("{\"scenario\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn diff_passes_identical_runs_and_within_band_drift() {
+        let base = Scorecard::build(vec![cell("s1", "Prompt", 1500.0, 0.1)]);
+        assert!(base.diff(&base, 0.10).is_empty());
+        let drifted = Scorecard::build(vec![cell("s1", "Prompt", 1600.0, 0.105)]);
+        assert!(drifted.diff(&base, 0.10).is_empty(), "within the band");
+    }
+
+    #[test]
+    fn diff_flags_each_regression_kind() {
+        let base = Scorecard::build(vec![
+            cell("s1", "Prompt", 1500.0, 0.1),
+            cell("s1", "Hash", 1800.0, 0.5),
+        ]);
+        // Latency blow-up.
+        let slow = Scorecard::build(vec![
+            cell("s1", "Prompt", 2000.0, 0.1),
+            cell("s1", "Hash", 1800.0, 0.5),
+        ]);
+        assert_eq!(slow.diff(&base, 0.10).len(), 1);
+        // Lost bit-identity.
+        let mut broken_cell = cell("s1", "Prompt", 1500.0, 0.1);
+        broken_cell.bit_identical = false;
+        let broken = Scorecard::build(vec![broken_cell, cell("s1", "Hash", 1800.0, 0.5)]);
+        assert!(broken
+            .diff(&base, 0.10)
+            .iter()
+            .any(|m| m.contains("bit-identity")));
+        // Missing cell.
+        let partial = Scorecard::build(vec![cell("s1", "Prompt", 1500.0, 0.1)]);
+        assert!(partial
+            .diff(&base, 0.10)
+            .iter()
+            .any(|m| m.contains("missing")));
+        // Throughput drop.
+        let mut starved_cell = cell("s1", "Hash", 1800.0, 0.5);
+        starved_cell.throughput = 100.0;
+        let starved = Scorecard::build(vec![cell("s1", "Prompt", 1500.0, 0.1), starved_cell]);
+        assert!(starved
+            .diff(&base, 0.10)
+            .iter()
+            .any(|m| m.contains("throughput")));
+        // New cells are not regressions.
+        let grown = Scorecard::build(vec![
+            cell("s1", "Prompt", 1500.0, 0.1),
+            cell("s1", "Hash", 1800.0, 0.5),
+            cell("s2", "Prompt", 1200.0, 0.1),
+        ]);
+        assert!(grown.diff(&base, 0.10).is_empty());
+    }
+
+    #[test]
+    fn render_groups_by_scenario() {
+        let card = Scorecard::build(vec![
+            cell("s1", "Prompt", 1500.0, 0.1),
+            cell("s2", "Hash", 1000.0, 0.2),
+        ]);
+        let text = card.render();
+        assert!(text.contains("=== s1 ==="));
+        assert!(text.contains("=== s2 ==="));
+        assert!(text.contains("Prompt"));
+    }
+}

@@ -6,6 +6,7 @@ use prompt_core::types::{Interval, Key, Time, Tuple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::drift::TimedKeyDistribution;
 use crate::keydist::KeyDistribution;
 use crate::rate::RateProfile;
 
@@ -13,6 +14,11 @@ use crate::rate::RateProfile;
 pub enum KeyModel {
     /// A fixed distribution.
     Static(Box<dyn KeyDistribution>),
+    /// A time-dependent distribution (skew drift, hot-set churn — see
+    /// [`crate::drift`]). The *shape* varies with stream time while the key
+    /// space stays fixed, complementing [`KeyModel::Drifting`] which varies
+    /// cardinality under a uniform shape.
+    Timed(Box<dyn TimedKeyDistribution>),
     /// Uniform over a cardinality that drifts linearly with time:
     /// `n(t) = clamp(base + per_sec · t, min, max)`. Drives the elasticity
     /// experiments where the *data distribution* (number of distinct keys)
@@ -34,6 +40,7 @@ impl KeyModel {
     pub fn sample(&mut self, t: Time, rng: &mut StdRng) -> Key {
         match self {
             KeyModel::Static(d) => d.sample(rng),
+            KeyModel::Timed(d) => d.sample(t, rng),
             KeyModel::Drifting {
                 base,
                 per_sec,
@@ -52,6 +59,7 @@ impl KeyModel {
     pub fn cardinality_at(&self, t: Time) -> u64 {
         match self {
             KeyModel::Static(d) => d.cardinality(),
+            KeyModel::Timed(d) => d.cardinality(),
             KeyModel::Drifting {
                 base,
                 per_sec,

@@ -8,7 +8,8 @@
 //! tweet workload's output.
 
 use prompt_core::hash::FastBuildHasher;
-use prompt_core::types::Key;
+use prompt_core::source::TupleSource;
+use prompt_core::types::{Interval, Key, Tuple};
 use std::collections::HashMap;
 
 /// Bidirectional `String ↔ Key` mapping with dense key assignment.
@@ -54,6 +55,45 @@ impl KeyInterner {
     /// Whether nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.by_key.is_empty()
+    }
+}
+
+/// A [`TupleSource`] adapter that routes every key of an inner source
+/// through string interning: each generated `Key(rank)` is rendered to its
+/// [`word`] spelling and re-interned in first-sight order, exactly like a
+/// receiver ingesting raw text.
+///
+/// Used by the scenario wall's huge-cardinality tier to stress the interner
+/// with millions of distinct names. Interning is deterministic (first-sight
+/// dense assignment over a deterministic tuple stream), so wrapped sources
+/// remain replayable and differential-testable.
+pub struct InternedSource<S> {
+    inner: S,
+    interner: KeyInterner,
+}
+
+impl<S: TupleSource> InternedSource<S> {
+    /// Wrap `inner`, interning every key it emits.
+    pub fn new(inner: S) -> InternedSource<S> {
+        InternedSource {
+            inner,
+            interner: KeyInterner::new(),
+        }
+    }
+
+    /// The interner accumulated so far (for cardinality reporting).
+    pub fn interner(&self) -> &KeyInterner {
+        &self.interner
+    }
+}
+
+impl<S: TupleSource> TupleSource for InternedSource<S> {
+    fn fill(&mut self, interval: Interval, out: &mut Vec<Tuple>) {
+        let start = out.len();
+        self.inner.fill(interval, out);
+        for t in &mut out[start..] {
+            t.key = self.interner.intern(&word(t.key.0));
+        }
     }
 }
 

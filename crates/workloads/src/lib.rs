@@ -13,6 +13,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod datasets;
+pub mod drift;
 pub mod generator;
 pub mod interner;
 pub mod jitter;
@@ -27,8 +28,9 @@ pub mod prelude {
         debs_taxi, gcm, synd, table1_profiles, tpch_lineitem, tweets, DatasetProfile, DebsField,
         DebsSource, TpchQuery, TpchSource,
     };
+    pub use crate::drift::{AlphaDrift, HotSetChurn, TimedKeyDistribution};
     pub use crate::generator::{KeyModel, StreamGenerator, ValueModel};
-    pub use crate::interner::{word, KeyInterner};
+    pub use crate::interner::{word, InternedSource, KeyInterner};
     pub use crate::jitter::JitterSource;
     pub use crate::keydist::{zipf_or_uniform, KeyDistribution, UniformKeys, ZipfKeys};
     pub use crate::merge::MergedSource;

@@ -47,6 +47,26 @@ pub enum RateProfile {
         /// Fraction of the period spent at `high`, in `[0, 1]`.
         duty: f64,
     },
+    /// Irregular bursts: like [`RateProfile::Step`], but each cycle's burst
+    /// height is scaled by a deterministic per-cycle factor in `[0.5, 1.5)`
+    /// (a hash of the cycle index), so no two consecutive spikes are alike —
+    /// the "variable spikes" the scenario wall stresses partitioners with.
+    Bursty {
+        /// Baseline rate between bursts.
+        base: f64,
+        /// Mean burst height added on top of `base` while bursting.
+        burst: f64,
+        /// Full cycle length.
+        period: Duration,
+        /// Fraction of the period spent bursting, in `[0, 1]`.
+        duty: f64,
+    },
+}
+
+/// Deterministic per-cycle burst multiplier in `[0.5, 1.5)`.
+fn burst_factor(cycle: u64) -> f64 {
+    let h = prompt_core::hash::mix64(cycle ^ 0xB00_57ED);
+    0.5 + (h % 4096) as f64 / 4096.0
 }
 
 impl RateProfile {
@@ -77,6 +97,20 @@ impl RateProfile {
                     low
                 }
             }
+            RateProfile::Bursty {
+                base,
+                burst,
+                period,
+                duty,
+            } => {
+                let cycles = secs / period.as_secs_f64();
+                let pos = cycles.fract();
+                if pos < duty {
+                    base + burst * burst_factor(cycles.floor() as u64)
+                } else {
+                    base
+                }
+            }
         };
         r.max(0.0)
     }
@@ -91,7 +125,7 @@ impl RateProfile {
     /// batch size; the shape carries the intra-batch burstiness.
     ///
     /// Integration is trapezoidal over 64 sub-slots, so for *discontinuous*
-    /// profiles (`Step`) the count can deviate from the exact integral by up
+    /// profiles (`Step`, `Bursty`) the count can deviate from the exact integral by up
     /// to `(high − low) · dt / 2` per edge, where `dt` shrinks with the
     /// interval — i.e. counts are granularity-dependent near step edges.
     /// Continuous profiles integrate to within one tuple per call.
@@ -271,6 +305,60 @@ mod tests {
                 "{p:?}: whole {whole} vs split {split} (tolerance {tolerance})"
             );
         }
+    }
+
+    #[test]
+    fn bursty_spikes_vary_per_cycle_deterministically() {
+        let p = RateProfile::Bursty {
+            base: 100.0,
+            burst: 1000.0,
+            period: Duration::from_secs(2),
+            duty: 0.25,
+        };
+        // Inside the duty window: elevated; outside: baseline.
+        assert!(p.rate_at(Time::from_millis(200)) >= 600.0);
+        assert_eq!(p.rate_at(Time::from_millis(1500)), 100.0);
+        // The same instant always sees the same rate.
+        assert_eq!(
+            p.rate_at(Time::from_millis(200)),
+            p.rate_at(Time::from_millis(200))
+        );
+        // Burst heights differ across cycles (per-cycle factor).
+        let heights: Vec<f64> = (0..8)
+            .map(|c| p.rate_at(Time::from_millis(2000 * c + 200)))
+            .collect();
+        let distinct = heights
+            .iter()
+            .filter(|&&h| (h - heights[0]).abs() > 1e-9)
+            .count();
+        assert!(distinct >= 4, "spikes should vary: {heights:?}");
+        // All heights stay within the declared envelope.
+        for h in heights {
+            assert!((100.0 + 500.0..100.0 + 1500.0).contains(&h), "{h}");
+        }
+    }
+
+    #[test]
+    fn bursty_timestamps_sorted_and_front_loaded() {
+        let p = RateProfile::Bursty {
+            base: 500.0,
+            burst: 8000.0,
+            period: Duration::from_secs(1),
+            duty: 0.2,
+        };
+        let interval = iv(0, 1);
+        let ts = p.timestamps(interval);
+        assert_eq!(ts.len(), p.count_in(interval));
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(ts.iter().all(|&t| interval.contains(t)));
+        // The burst occupies the first 20% of the cycle.
+        let cutoff = Time::from_millis(250);
+        let in_burst = ts.iter().filter(|&&t| t < cutoff).count();
+        assert!(
+            in_burst * 2 > ts.len(),
+            "burst window should dominate: {in_burst}/{}",
+            ts.len()
+        );
     }
 
     #[test]
