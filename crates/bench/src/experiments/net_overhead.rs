@@ -37,12 +37,14 @@ struct BackendRun {
 fn run_backend(
     label: &str,
     backend: Backend,
+    depth: usize,
     batches: usize,
     rate: f64,
     cardinality: u64,
 ) -> BackendRun {
     let mut cfg = standard_config(Duration::from_secs(1));
     cfg.backend = backend;
+    cfg.pipeline_depth = depth;
     let mut engine = StreamingEngine::new(
         cfg,
         Technique::Prompt,
@@ -77,15 +79,28 @@ pub fn run(quick: bool) -> Vec<Table> {
         (30, 60_000.0, 20_000)
     };
 
+    // The depth2 rows re-run the distributed scenarios with the driver's
+    // in-flight window at 2: batch N+1's partition + Map dispatch overlap
+    // batch N's shuffle/reduce. Outputs stay bit-identical (same `identical
+    // to serial` gate); only the wall clock moves.
     let runs: Vec<BackendRun> = [
-        ("in-process", Backend::InProcess),
-        ("threaded x4", Backend::Threaded { threads: 4 }),
+        ("in-process", Backend::InProcess, 1),
+        ("threaded x4", Backend::Threaded { threads: 4 }, 1),
         (
             "distributed x2",
             Backend::Distributed {
                 workers: 2,
                 base_port: 0,
             },
+            1,
+        ),
+        (
+            "distributed x2 depth2",
+            Backend::Distributed {
+                workers: 2,
+                base_port: 0,
+            },
+            2,
         ),
         (
             "distributed x4",
@@ -93,10 +108,19 @@ pub fn run(quick: bool) -> Vec<Table> {
                 workers: 4,
                 base_port: 0,
             },
+            1,
+        ),
+        (
+            "distributed x4 depth2",
+            Backend::Distributed {
+                workers: 4,
+                base_port: 0,
+            },
+            2,
         ),
     ]
     .into_iter()
-    .map(|(label, backend)| run_backend(label, backend, batches, rate, cardinality))
+    .map(|(label, backend, depth)| run_backend(label, backend, depth, batches, rate, cardinality))
     .collect();
 
     let serial = &runs[0];
@@ -158,13 +182,14 @@ mod tests {
 
     #[test]
     fn distributed_rows_match_serial_and_report_wire_bytes() {
-        let serial = run_backend("serial", Backend::InProcess, 4, 10_000.0, 1_000);
+        let serial = run_backend("serial", Backend::InProcess, 1, 4, 10_000.0, 1_000);
         let dist = run_backend(
             "dist",
             Backend::Distributed {
                 workers: 2,
                 base_port: 0,
             },
+            1,
             4,
             10_000.0,
             1_000,
@@ -187,6 +212,25 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_distributed_row_matches_serial() {
+        let serial = run_backend("serial", Backend::InProcess, 1, 6, 10_000.0, 1_000);
+        let piped = run_backend(
+            "dist depth2",
+            Backend::Distributed {
+                workers: 2,
+                base_port: 0,
+            },
+            2,
+            6,
+            10_000.0,
+            1_000,
+        );
+        assert!(outputs_identical(&serial.result, &piped.result));
+        let net = piped.result.net.expect("wire stats");
+        assert_eq!(net.workers_lost, 0);
+    }
+
+    #[test]
     fn quick_table_has_all_backends() {
         let tables = run(true);
         assert_eq!(tables.len(), 1);
@@ -197,7 +241,9 @@ mod tests {
                 "in-process",
                 "threaded x4",
                 "distributed x2",
-                "distributed x4"
+                "distributed x2 depth2",
+                "distributed x4",
+                "distributed x4 depth2"
             ]
         );
         // Every row reproduced the serial outputs bit-for-bit.

@@ -96,6 +96,24 @@ pub struct EngineConfig {
     /// batch inputs are truncated at the checkpoint watermark instead of
     /// at window expiry. Requires a window on the engine.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Bounded in-flight window of the driver's batch-state machine: how
+    /// many batches may be past *buffering* (prepared/partitioned or
+    /// executing) before the oldest commits. `1` (the default) is the
+    /// classic one-lifecycle-at-a-time loop; `> 1` lets batch `N+1`'s
+    /// ingest/accumulate/partition overlap batch `N`'s map/reduce — on the
+    /// distributed backend the prepared batches' Map tasks are dispatched
+    /// eagerly so the worker fleet pipelines wire transfer and execution
+    /// across batches. Commits stay strictly sequential (window state,
+    /// checkpoints and trace spans apply at commit), so outputs are
+    /// bit-identical to depth 1 at every depth. Runs with elasticity, a
+    /// scheduled [`FaultPlan`](crate::recovery::FaultPlan), or durable
+    /// keyed state (`checkpoint`/stateful jobs) are clamped to an
+    /// effective depth of 1 (their decision loops — and the state layer's
+    /// retention statistics — are commit-to-prepare feedback paths);
+    /// scripted *worker* kills
+    /// ([`NetFaultPlan`](crate::recovery::NetFaultPlan)) are fully
+    /// supported at any depth.
+    pub pipeline_depth: usize,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +133,7 @@ impl Default for EngineConfig {
             trace: TraceLevel::Off,
             backend: Backend::default(),
             checkpoint: None,
+            pipeline_depth: 1,
         }
     }
 }
@@ -167,6 +186,15 @@ impl EngineConfig {
                     ));
                 }
             }
+        }
+        if self.pipeline_depth == 0 {
+            return Err("pipeline depth must be at least 1".into());
+        }
+        if self.pipeline_depth > 32 {
+            return Err(format!(
+                "pipeline depth capped at 32 in-flight batches, got {}",
+                self.pipeline_depth
+            ));
         }
         if let Some(ckpt) = &self.checkpoint {
             ckpt.validate()?;
@@ -255,6 +283,14 @@ mod tests {
             },
             EngineConfig {
                 checkpoint: Some(CheckpointConfig::new("/tmp/ckpt").interval(0)),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                pipeline_depth: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                pipeline_depth: 33,
                 ..EngineConfig::default()
             },
         ];

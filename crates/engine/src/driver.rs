@@ -7,6 +7,26 @@
 //! is still busy with earlier batches, in which case it queues, exactly the
 //! instability mechanism of §1. End-to-end latency is `batch interval +
 //! queue delay + processing time` (§1).
+//!
+//! # The batch-state machine
+//!
+//! Each batch advances through four states: **buffering** (its interval is
+//! still accumulating tuples), **partitioned** (ingested, replicated and
+//! planned — a [`PreparedBatch`]), **executing** (map/reduce in flight on
+//! the backend), and **committed** (window state, checkpoints, virtual-time
+//! scheduling and trace spans applied). [`EngineConfig::pipeline_depth`]
+//! bounds how many batches may sit past *buffering* at once: at the default
+//! depth 1 the loop is the classic one-lifecycle-per-heartbeat sequence,
+//! while at depth `d > 1` the driver prepares up to `d` batches ahead and —
+//! on the distributed backend — dispatches their Map tasks eagerly, so
+//! batch `N+1`'s ingest/partition/wire-transfer overlaps batch `N`'s
+//! execution. **Commits are strictly sequential in batch order** regardless
+//! of depth; every state mutation with cross-batch feedback (windows,
+//! checkpoints, retention expiry, the virtual pipeline clock) happens only
+//! at commit, which is what keeps outputs bit-identical to serial at every
+//! depth.
+
+use std::collections::VecDeque;
 
 use prompt_core::batch::{MicroBatch, PartitionPlan};
 use prompt_core::metrics::PlanMetrics;
@@ -265,6 +285,25 @@ enum BackendRuntime {
     },
 }
 
+/// A batch past the *buffering* state of the driver's state machine:
+/// ingested, counted, replicated into the recovery store, and partitioned —
+/// everything up to (but excluding) execution and commit. When
+/// `pipeline_depth` exceeds 1, up to `depth` of these sit in the prepare
+/// queue while older batches execute; on the distributed backend their Map
+/// tasks are already on the wire.
+struct PreparedBatch {
+    seq: u64,
+    interval: Interval,
+    n_tuples: usize,
+    n_keys: usize,
+    plan: PartitionPlan,
+    raw_overhead: Duration,
+    visible_overhead: Duration,
+    /// Processing time of suffix recomputes after a store loss (depth-1
+    /// only — scheduled faults clamp the window); billed to this batch.
+    restore_times: Vec<Duration>,
+}
+
 impl StreamingEngine {
     /// Build an engine running `job` with the given partitioning technique
     /// (paired with its natural reduce strategy) under `cfg`.
@@ -508,170 +547,292 @@ impl StreamingEngine {
                 .is_some_and(|(_, plan)| !plan.is_empty());
         let mut prev_zone: Option<u8> = None;
         let mut was_in_grace = false;
+        // Effective in-flight window of the batch-state machine. Elasticity,
+        // the durable state layer and scheduled store/state faults are
+        // commit-to-prepare feedback paths — decisions made while
+        // committing batch N (scale actions, checkpoint truncation of input
+        // retention, store-loss suffix recomputes) steer how batch N+1 is
+        // prepared — so those runs clamp to the classic depth-1 loop.
+        // Scripted worker kills (NetFaultPlan) need no clamp: losses
+        // surface through the wait path and recompute from the replicated
+        // store at any depth.
+        let depth = if scaler.is_some()
+            || state_on
+            || self
+                .fault_tolerance
+                .as_ref()
+                .is_some_and(|(_, plan)| !plan.is_empty())
+        {
+            1
+        } else {
+            self.cfg.pipeline_depth
+        };
+        let mut prepared: VecDeque<PreparedBatch> = VecDeque::new();
+        let mut next_seq = 0u64;
 
-        for seq in 0..n_batches as u64 {
-            let interval = Interval::new(Time(bi.0 * seq), Time(bi.0 * (seq + 1)));
-            arrivals.clear();
-            source.fill(interval, &mut arrivals);
-            debug_assert!(
-                arrivals.windows(2).all(|w| w[0].ts <= w[1].ts),
-                "source must emit in timestamp order"
-            );
-            if resume_through.is_some_and(|w| seq <= w) {
-                // Covered by the restored checkpoint: the source advances
-                // through the interval, but the batch is not re-processed.
-                continue;
-            }
-            let batch = MicroBatch::new(std::mem::take(&mut arrivals), interval);
-            let n_tuples = batch.len();
-            let n_keys = batch.distinct_keys();
-            rec.incr(Counter::Batches, 1);
-            rec.incr(Counter::Tuples, n_tuples as u64);
-            if retain_inputs {
-                if let Some((store, _)) = store_and_plan.as_mut() {
-                    // Replicate the batch input on ingestion (§8 point 2).
-                    // The buffer is shared (`Arc`), so recovery reads and
-                    // replica accounting never deep-copy the tuples again.
-                    store.retain(seq, batch.tuples.as_slice().into());
-                    if let Some(stats) = sstats.as_mut() {
-                        stats.max_retained_tuples = stats
-                            .max_retained_tuples
-                            .max(store.retained_tuples() as u64);
-                        stats.max_retained_batches =
-                            stats.max_retained_batches.max(store.len() as u64);
+        loop {
+            // ── Fill: advance batches from *buffering* to *partitioned*
+            // until the in-flight window is full or the source is drained.
+            while prepared.len() < depth && next_seq < n_batches as u64 {
+                let seq = next_seq;
+                next_seq += 1;
+                let interval = Interval::new(Time(bi.0 * seq), Time(bi.0 * (seq + 1)));
+                arrivals.clear();
+                source.fill(interval, &mut arrivals);
+                debug_assert!(
+                    arrivals.windows(2).all(|w| w[0].ts <= w[1].ts),
+                    "source must emit in timestamp order"
+                );
+                if resume_through.is_some_and(|w| seq <= w) {
+                    // Covered by the restored checkpoint: the source advances
+                    // through the interval, but the batch is not re-processed.
+                    continue;
+                }
+                let batch = MicroBatch::new(std::mem::take(&mut arrivals), interval);
+                let n_tuples = batch.len();
+                let n_keys = batch.distinct_keys();
+                rec.incr(Counter::Batches, 1);
+                rec.incr(Counter::Tuples, n_tuples as u64);
+                if retain_inputs {
+                    if let Some((store, _)) = store_and_plan.as_mut() {
+                        // Replicate the batch input on ingestion (§8 point 2).
+                        // The buffer is shared (`Arc`), so recovery reads and
+                        // replica accounting never deep-copy the tuples again.
+                        store.retain(seq, batch.tuples.as_slice().into());
+                        if let Some(stats) = sstats.as_mut() {
+                            stats.max_retained_tuples = stats
+                                .max_retained_tuples
+                                .max(store.retained_tuples() as u64);
+                            stats.max_retained_batches =
+                                stats.max_retained_batches.max(store.len() as u64);
+                        }
                     }
                 }
-            }
 
-            // A scheduled loss of the whole keyed state store: rebuild from
-            // the latest checkpoint (or from scratch when none exists) and
-            // recompute only the post-watermark suffix from retained inputs.
-            let mut restore_times: Vec<Duration> = Vec::new();
-            if state_on
-                && store_and_plan
-                    .as_ref()
-                    .is_some_and(|(_, plan)| plan.loses_store_at(seq))
-            {
-                let (mut rebuilt, covered, bytes_read) = match ckpt_cfg
-                    .as_ref()
-                    .and_then(|cfg| restore(&cfg.dir).expect("checkpoint restore failed"))
+                // A scheduled loss of the whole keyed state store: rebuild from
+                // the latest checkpoint (or from scratch when none exists) and
+                // recompute only the post-watermark suffix from retained inputs.
+                let mut restore_times: Vec<Duration> = Vec::new();
+                if state_on
+                    && store_and_plan
+                        .as_ref()
+                        .is_some_and(|(_, plan)| plan.loses_store_at(seq))
                 {
-                    Some(rs) => (rs.store, rs.watermark + 1, rs.bytes_read),
-                    None => (
-                        KeyedStateStore::new(
-                            self.window.expect("state layer requires a window"),
-                            bi,
-                            self.job.reduce,
-                            self.cfg.reduce_tasks,
+                    let (mut rebuilt, covered, bytes_read) = match ckpt_cfg
+                        .as_ref()
+                        .and_then(|cfg| restore(&cfg.dir).expect("checkpoint restore failed"))
+                    {
+                        Some(rs) => (rs.store, rs.watermark + 1, rs.bytes_read),
+                        None => (
+                            KeyedStateStore::new(
+                                self.window.expect("state layer requires a window"),
+                                bi,
+                                self.job.reduce,
+                                self.cfg.reduce_tasks,
+                            ),
+                            0,
+                            0,
                         ),
-                        0,
-                        0,
-                    ),
-                };
-                if rebuilt.shard_count() != r {
-                    rebuilt.migrate(r);
-                }
-                let mut recomputed = 0u64;
-                for b in covered..seq {
-                    let input = {
-                        let (store, _) = store_and_plan.as_mut().expect("checked above");
-                        store
+                    };
+                    if rebuilt.shard_count() != r {
+                        rebuilt.migrate(r);
+                    }
+                    let mut recomputed = 0u64;
+                    for b in covered..seq {
+                        let input =
+                            {
+                                let (store, _) = store_and_plan.as_mut().expect("checked above");
+                                store
                             .recover(b)
                             .unwrap_or_else(|e| {
                                 panic!("state loss at batch {seq}: batch {b} unrecoverable: {e}")
                             })
                             .to_vec()
-                    };
-                    let riv = Interval::new(Time(bi.0 * b), Time(bi.0 * (b + 1)));
-                    let rebatch = MicroBatch::new(input, riv);
-                    let replan = self.partitioner.partition(&rebatch, p);
-                    let (routput, rtimes) = execute_with_recovery(
-                        &mut backend,
-                        self.partitioner.as_mut(),
-                        self.assigner.as_mut(),
-                        &self.job,
-                        &self.cfg,
-                        &mut store_and_plan,
-                        &replan,
-                        b,
-                        riv,
-                        p,
-                        r,
-                        &rec,
-                        tracing,
-                        &mut result,
-                    );
-                    // Replay into the rebuilt store, discarding emissions —
-                    // the original run already emitted these windows.
-                    rebuilt.push(&routput);
-                    restore_times.push(rtimes.processing());
-                    recomputed += 1;
+                            };
+                        let riv = Interval::new(Time(bi.0 * b), Time(bi.0 * (b + 1)));
+                        let rebatch = MicroBatch::new(input, riv);
+                        let replan = self.partitioner.partition(&rebatch, p);
+                        let (routput, rtimes) = execute_with_recovery(
+                            &mut backend,
+                            self.partitioner.as_mut(),
+                            self.assigner.as_mut(),
+                            &self.job,
+                            &self.cfg,
+                            &mut store_and_plan,
+                            &replan,
+                            b,
+                            riv,
+                            p,
+                            r,
+                            &rec,
+                            tracing,
+                            &mut result,
+                        );
+                        // Replay into the rebuilt store, discarding emissions —
+                        // the original run already emitted these windows.
+                        rebuilt.push(&routput);
+                        restore_times.push(rtimes.processing());
+                        recomputed += 1;
+                    }
+                    let stats = sstats.as_mut().expect("state layer active");
+                    stats.restores += 1;
+                    stats.recomputed_batches += recomputed;
+                    rec.incr(Counter::StateRestores, 1);
+                    rec.incr(Counter::RecomputedBatches, recomputed);
+                    rec.event(TraceEvent::StateRestore {
+                        seq,
+                        covered,
+                        bytes: bytes_read,
+                        recomputed,
+                    });
+                    state_store = Some(rebuilt);
                 }
-                let stats = sstats.as_mut().expect("state layer active");
-                stats.restores += 1;
-                stats.recomputed_batches += recomputed;
-                rec.incr(Counter::StateRestores, 1);
-                rec.incr(Counter::RecomputedBatches, recomputed);
-                rec.event(TraceEvent::StateRestore {
+
+                // Partition (optionally measuring real cost; when tracing, the
+                // phased path additionally times seal / symbolic / materialize —
+                // the plan is bit-identical either way).
+                let t0 = std::time::Instant::now();
+                let (plan, phases) = if tracing {
+                    self.partitioner.partition_phased(&batch, p)
+                } else {
+                    (
+                        self.partitioner.partition(&batch, p),
+                        PartitionPhases::default(),
+                    )
+                };
+                let raw_overhead = match self.cfg.overhead {
+                    OverheadMode::None => Duration::ZERO,
+                    OverheadMode::Fixed(d) => d,
+                    OverheadMode::Measured => {
+                        Duration::from_micros(t0.elapsed().as_micros() as u64)
+                    }
+                };
+                if tracing && phases != PartitionPhases::default() {
+                    rec.phase(seq, StageKind::Seal, Duration::from_micros(phases.seal_us));
+                    rec.phase(
+                        seq,
+                        StageKind::PartitionSymbolic,
+                        Duration::from_micros(phases.symbolic_us),
+                    );
+                    rec.phase(
+                        seq,
+                        StageKind::PartitionMaterialize,
+                        Duration::from_micros(phases.materialize_us),
+                    );
+                }
+                arrivals = batch.tuples; // reuse the allocation next interval
+                let visible_overhead = raw_overhead - self.cfg.early_release_slack();
+                let pb = PreparedBatch {
                     seq,
-                    covered,
-                    bytes: bytes_read,
-                    recomputed,
-                });
-                state_store = Some(rebuilt);
+                    interval,
+                    n_tuples,
+                    n_keys,
+                    plan,
+                    raw_overhead,
+                    visible_overhead,
+                    restore_times,
+                };
+                if depth > 1 {
+                    if let BackendRuntime::Distributed { rt, spec } = &mut backend {
+                        // Eager dispatch: this batch's Map tasks go on the wire
+                        // now, overlapping the older in-flight batches' reduce
+                        // and wire transfer. Reduce dispatch waits behind the
+                        // runtime's assigner-order gate, so allocator state is
+                        // still advanced strictly in batch order.
+                        rt.submit_batch(seq, seq, &pb.plan, spec, r);
+                    }
+                }
+                prepared.push_back(pb);
             }
 
-            // Partition (optionally measuring real cost; when tracing, the
-            // phased path additionally times seal / symbolic / materialize —
-            // the plan is bit-identical either way).
-            let t0 = std::time::Instant::now();
-            let (plan, phases) = if tracing {
-                self.partitioner.partition_phased(&batch, p)
-            } else {
-                (
-                    self.partitioner.partition(&batch, p),
-                    PartitionPhases::default(),
-                )
+            // ── Execute + commit the oldest in-flight batch. Everything
+            // with cross-batch feedback below (pipeline clock, windows,
+            // checkpoints, retention expiry, scaling) runs here, in strict
+            // batch order.
+            let Some(pb) = prepared.pop_front() else {
+                break;
             };
-            let raw_overhead = match self.cfg.overhead {
-                OverheadMode::None => Duration::ZERO,
-                OverheadMode::Fixed(d) => d,
-                OverheadMode::Measured => Duration::from_micros(t0.elapsed().as_micros() as u64),
-            };
-            if tracing && phases != PartitionPhases::default() {
-                rec.phase(seq, StageKind::Seal, Duration::from_micros(phases.seal_us));
-                rec.phase(
-                    seq,
-                    StageKind::PartitionSymbolic,
-                    Duration::from_micros(phases.symbolic_us),
-                );
-                rec.phase(
-                    seq,
-                    StageKind::PartitionMaterialize,
-                    Duration::from_micros(phases.materialize_us),
-                );
-            }
-            arrivals = batch.tuples; // reuse the allocation next interval
-            let visible_overhead = raw_overhead - self.cfg.early_release_slack();
-
-            // Execute on the configured backend, recomputing from the
-            // replicated store if a distributed worker dies mid-batch.
-            let (mut output, mut times) = execute_with_recovery(
-                &mut backend,
-                self.partitioner.as_mut(),
-                self.assigner.as_mut(),
-                &self.job,
-                &self.cfg,
-                &mut store_and_plan,
-                &plan,
+            let PreparedBatch {
                 seq,
                 interval,
-                p,
-                r,
-                &rec,
-                tracing,
-                &mut result,
-            );
+                n_tuples,
+                n_keys,
+                plan,
+                raw_overhead,
+                visible_overhead,
+                restore_times,
+            } = pb;
+
+            // Execute on the configured backend, recomputing from the
+            // replicated store if a distributed worker dies mid-batch. At
+            // depth > 1 the distributed batch is already in flight (maps
+            // dispatched at prepare); wait_batch drives the shared event
+            // pump, which also advances the younger in-flight batches while
+            // this one completes.
+            let (mut output, mut times) = match &mut backend {
+                BackendRuntime::Distributed { rt, spec } if depth > 1 => loop {
+                    // No-ops while the seqs are in flight (or already
+                    // done); after a loss these re-dispatch the aborted
+                    // window in batch order.
+                    rt.submit_batch(seq, seq, &plan, spec, r);
+                    for q in prepared.iter() {
+                        rt.submit_batch(q.seq, q.seq, &q.plan, spec, r);
+                    }
+                    match rt.wait_batch(seq, self.assigner.as_mut(), tracing.then_some(&rec)) {
+                        Ok((output, stats)) => {
+                            break (
+                                output,
+                                times_from_stats(&plan, &stats, &self.cfg.cost, &self.cfg.cluster),
+                            );
+                        }
+                        Err(loss) => {
+                            // One recovery per loss, mirroring depth 1: the
+                            // failed attempts made no assigner calls (fresh
+                            // assignments replay from the runtime's cache),
+                            // so allocator state — and with it the output —
+                            // is untouched. The replica spend keeps the
+                            // recovery-budget accounting identical to the
+                            // serial path.
+                            result.worker_losses += 1;
+                            result.recoveries += 1;
+                            let (store, _) = store_and_plan
+                                .as_mut()
+                                .expect("distributed runs always carry a replicated store");
+                            let _ = store.recover(seq).unwrap_or_else(|e| {
+                                panic!("worker loss on batch {seq} beyond recovery budget: {e}")
+                            });
+                            if tracing {
+                                rec.incr(Counter::WorkersLost, 1);
+                                rec.incr(Counter::Recoveries, 1);
+                                rec.event(TraceEvent::WorkerLost {
+                                    seq,
+                                    worker: loss.worker,
+                                });
+                                rec.event(TraceEvent::Recovery {
+                                    seq,
+                                    replicas_left: store.replicas_left(seq).unwrap_or(0),
+                                });
+                            }
+                        }
+                    }
+                },
+                backend => execute_with_recovery(
+                    backend,
+                    self.partitioner.as_mut(),
+                    self.assigner.as_mut(),
+                    &self.job,
+                    &self.cfg,
+                    &mut store_and_plan,
+                    &plan,
+                    seq,
+                    interval,
+                    p,
+                    r,
+                    &rec,
+                    tracing,
+                    &mut result,
+                ),
+            };
             if !self.stragglers.is_empty() {
                 self.stragglers
                     .apply(seq, &mut times.map_tasks, &mut times.reduce_tasks);

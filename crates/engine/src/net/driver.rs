@@ -7,35 +7,52 @@
 //! starts one reader thread per worker that funnels every inbound message
 //! into a single channel.
 //!
-//! [`DistributedRuntime::execute_batch`] then drives one batch:
+//! Batches move through an explicit in-flight state machine
+//! ([`DistributedRuntime::submit_batch`] / [`DistributedRuntime::wait_batch`];
+//! [`DistributedRuntime::execute_batch`] is the submit-then-wait
+//! convenience for one batch at a time):
 //!
-//! 1. Map tasks fan out round-robin over live workers (each carries its
-//!    data block on the wire);
-//! 2. the workers' key/frequency tables come back and the driver runs the
-//!    Reduce assigner serially in block order — exactly the serial engine's
-//!    call sequence, so Algorithm 3's stateful allocator produces the same
-//!    buckets;
+//! 1. `submit_batch` fans Map tasks out round-robin over live workers
+//!    (each carries its data block on the wire) — several batches may be
+//!    mapping at once;
+//! 2. when a batch's key/frequency tables are all back, the driver runs
+//!    the Reduce assigner serially in block order — and only when every
+//!    *older* in-flight batch has made its assigner calls, so Algorithm
+//!    3's stateful allocator sees exactly the serial engine's call
+//!    sequence no matter how deep the pipeline is;
 //! 3. per-block bucket assignments are pushed back (`ShuffleAssign`) and
 //!    Reduce tasks fan out, each fetching its bucket from the map workers'
 //!    shuffle listeners;
-//! 4. `ReduceComplete` aggregates are merged into the batch output.
+//! 4. `ReduceComplete` aggregates are merged into the batch output, taken
+//!    by `wait_batch` in strict submission order.
+//!
+//! All progress is driven from one event pump: every worker's inbound
+//! messages funnel into a single channel (one blocking reader thread per
+//! connection stands in for poll(2) readiness on a std-only build), and
+//! the pump blocks with an *exact* timeout — the earliest of the
+//! heartbeat-liveness deadlines and the in-flight stage deadlines — never
+//! a fixed polling period.
 //!
 //! Failure is detected organically — a broken control connection, a
 //! heartbeat that stops, a worker blaming an unreachable shuffle source —
 //! and reported as [`WorkerLoss`], leaving the caller to recompute the
-//! batch from its replicated input. A failed attempt makes *no* assigner
-//! calls (the allocator state must stay bit-identical to the serial
-//! engine's), which the fault points in
-//! [`NetFaultPlan`](crate::recovery::NetFaultPlan) are chosen to respect.
+//! aborted batches from their replicated inputs. A failed attempt makes
+//! *no* assigner calls: the first successful assignment of each batch is
+//! cached, retries replay it verbatim, and a batch doomed by a scripted
+//! mid-batch kill holds off assigning until the loss surfaces — the
+//! allocator state stays bit-identical to the serial engine's.
 
-use std::net::{Ipv4Addr, SocketAddrV4, TcpListener};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration as WallDuration, Instant};
 
 use prompt_core::batch::PartitionPlan;
+use prompt_core::hash::KeySet;
 use prompt_core::reduce::{KeyCluster, ReduceAssigner};
 use prompt_core::types::Key;
 
@@ -192,6 +209,52 @@ struct WorkerSlot {
     last_seen: Instant,
 }
 
+/// Where an in-flight batch is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    /// Map tasks dispatched; collecting `MapComplete`s.
+    Mapping,
+    /// A scripted mid-batch kill fired after the maps completed; the
+    /// attempt must make no assigner calls and just waits for the loss to
+    /// surface (reader error or heartbeat silence).
+    Draining,
+    /// All maps collected; waiting for this batch's turn at the stateful
+    /// Reduce assigner (strict batch order).
+    WaitAssign,
+    /// Assignments pushed, Reduce tasks dispatched; collecting
+    /// `ReduceComplete`s.
+    Reducing,
+    /// Output merged and ready for [`DistributedRuntime::wait_batch`].
+    Done,
+}
+
+/// One batch in flight between `submit_batch` and `wait_batch`.
+struct Inflight {
+    seq: u64,
+    /// Seq used for trace phases (tenancy runs batches under namespaced
+    /// wire seqs but records traces under the tenant-local seq).
+    tseq: u64,
+    epoch: u32,
+    r: usize,
+    spec: JobSpec,
+    split_keys: KeySet,
+    /// Live workers at submission, the fan-out targets.
+    owners: Vec<u32>,
+    /// Worker that mapped each block (shuffle sources).
+    block_owner: Vec<u32>,
+    clusters: Vec<Option<Vec<(Key, u64)>>>,
+    outstanding_maps: usize,
+    buckets: Vec<BucketSlot>,
+    outstanding_reduces: usize,
+    stage: Stage,
+    /// Current collection phase's overall deadline.
+    deadline: Instant,
+    t_map: Instant,
+    t_reduce: Instant,
+    output: BatchOutput,
+    stats: Vec<BucketStats>,
+}
+
 /// A running fleet of local workers executing batches over TCP.
 pub struct DistributedRuntime {
     opts: DistributedOptions,
@@ -206,6 +269,17 @@ pub struct DistributedRuntime {
     /// Shuffle-plane totals reported by workers on `ReduceComplete`.
     shuffle: FetchStats,
     shut_down: bool,
+    /// Batches between `submit_batch` and `wait_batch`, in submission
+    /// (= seq) order.
+    inflight: Vec<Inflight>,
+    /// Each batch's first successful assignment, replayed verbatim on
+    /// recovery retries (zero assigner calls) and dropped when the batch's
+    /// result is taken — a later recompute of the same seq (checkpoint
+    /// store loss) re-runs the assigner exactly as the serial engine does.
+    assign_cache: HashMap<u64, Vec<Vec<u32>>>,
+    /// A loss detected while dispatching inside `submit_batch`, surfaced
+    /// by the next `wait_batch`.
+    pending_loss: Option<WorkerLoss>,
 }
 
 impl std::fmt::Debug for DistributedRuntime {
@@ -330,6 +404,9 @@ impl DistributedRuntime {
                     workers_lost: 0,
                     shuffle: FetchStats::default(),
                     shut_down: false,
+                    inflight: Vec::new(),
+                    assign_cache: HashMap::new(),
+                    pending_loss: None,
                 })
             }
             Err((mut handles, e)) => {
@@ -348,6 +425,12 @@ impl DistributedRuntime {
 
     /// Accept and ack `Register` from every spawned worker, pairing each
     /// with its handle. On failure returns the handles for cleanup.
+    ///
+    /// An acceptor thread owns a (blocking) clone of the listener and
+    /// feeds accepted streams over a channel; this thread waits on the
+    /// channel with the exact registration deadline instead of
+    /// sleep-polling a nonblocking accept. The acceptor is terminated by
+    /// a stop flag plus a self-connect wakeup.
     fn register_all(
         listener: &TcpListener,
         opts: &DistributedOptions,
@@ -359,68 +442,96 @@ impl DistributedRuntime {
         registered.resize_with(n, || None);
         let mut pending = n;
         let deadline = Instant::now() + opts.io_timeout;
-        if let Err(e) = listener.set_nonblocking(true) {
-            return Err((handles, e.into()));
-        }
-        while pending > 0 {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let register = (|| -> Result<(u32, FrameConn, SocketAddrV4), NetError> {
-                        stream.set_nonblocking(false)?;
-                        let mut conn = FrameConn::new(stream, Arc::clone(counters));
-                        conn.set_read_timeout(Some(opts.io_timeout))?;
-                        match conn.recv()? {
-                            Message::Register {
-                                worker,
-                                shuffle_port,
-                            } => {
-                                if worker as usize >= n {
-                                    return Err(NetError::Protocol(format!(
-                                        "registration from unknown worker {worker}"
-                                    )));
-                                }
-                                conn.send(&Message::RegisterAck {
-                                    worker,
-                                    heartbeat_ms: opts.heartbeat_interval.as_millis().max(1) as u32,
-                                })?;
-                                let shuffle = SocketAddrV4::new(Ipv4Addr::LOCALHOST, shuffle_port);
-                                Ok((worker, conn, shuffle))
-                            }
-                            other => Err(NetError::Protocol(format!(
-                                "expected register, got {}",
-                                other.kind()
-                            ))),
-                        }
-                    })();
-                    match register {
-                        Ok((worker, conn, shuffle)) => {
-                            let slot = &mut registered[worker as usize];
-                            if slot.is_some() {
-                                return Err((
-                                    handles,
-                                    NetError::Protocol(format!("worker {worker} registered twice")),
-                                ));
-                            }
-                            *slot = Some((conn, shuffle));
-                            pending -= 1;
-                        }
-                        Err(e) => return Err((handles, e)),
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if Instant::now() > deadline {
-                        return Err((
-                            handles,
-                            NetError::Protocol(format!(
-                                "timed out waiting for {pending} of {n} workers to register"
-                            )),
-                        ));
-                    }
-                    std::thread::sleep(WallDuration::from_millis(5));
-                }
+
+        let addr = match listener.local_addr() {
+            Ok(a) => a,
+            Err(e) => return Err((handles, e.into())),
+        };
+        let accept_stop = Arc::new(AtomicBool::new(false));
+        let (atx, arx) = std::sync::mpsc::channel::<std::io::Result<TcpStream>>();
+        let acceptor = {
+            let listener = match listener.try_clone() {
+                Ok(l) => l,
                 Err(e) => return Err((handles, e.into())),
+            };
+            let stop = Arc::clone(&accept_stop);
+            std::thread::spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stop.load(Ordering::SeqCst) {
+                            return; // the wakeup self-connect
+                        }
+                        if atx.send(Ok(stream)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = atx.send(Err(e));
+                        return;
+                    }
+                }
+            })
+        };
+
+        let outcome = (|| -> Result<(), NetError> {
+            while pending > 0 {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                let stream = match arx.recv_timeout(timeout) {
+                    Ok(Ok(stream)) => stream,
+                    Ok(Err(e)) => return Err(e.into()),
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(NetError::Protocol(format!(
+                            "timed out waiting for {pending} of {n} workers to register"
+                        )))
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(NetError::Protocol("registration acceptor exited".into()))
+                    }
+                };
+                let mut conn = FrameConn::new(stream, Arc::clone(counters));
+                conn.set_read_timeout(Some(opts.io_timeout))?;
+                let (worker, shuffle) = match conn.recv()? {
+                    Message::Register {
+                        worker,
+                        shuffle_port,
+                    } => {
+                        if worker as usize >= n {
+                            return Err(NetError::Protocol(format!(
+                                "registration from unknown worker {worker}"
+                            )));
+                        }
+                        conn.send(&Message::RegisterAck {
+                            worker,
+                            heartbeat_ms: opts.heartbeat_interval.as_millis().max(1) as u32,
+                        })?;
+                        (worker, SocketAddrV4::new(Ipv4Addr::LOCALHOST, shuffle_port))
+                    }
+                    other => {
+                        return Err(NetError::Protocol(format!(
+                            "expected register, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                let slot = &mut registered[worker as usize];
+                if slot.is_some() {
+                    return Err(NetError::Protocol(format!(
+                        "worker {worker} registered twice"
+                    )));
+                }
+                *slot = Some((conn, shuffle));
+                pending -= 1;
             }
+            Ok(())
+        })();
+
+        accept_stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr); // unblock the acceptor's accept()
+        let _ = acceptor.join();
+        if let Err(e) = outcome {
+            return Err((handles, e));
         }
+
         let now = Instant::now();
         let slots = handles
             .into_iter()
@@ -539,59 +650,42 @@ impl DistributedRuntime {
         }
     }
 
-    /// Next task-progress message of the current attempt. Heartbeats update
-    /// liveness, stale-epoch replies are dropped, and every failure signal
-    /// (reader error, heartbeat silence, a worker blaming a peer, overall
-    /// deadline) is converted into `Err(WorkerLoss)`.
-    fn next_event(
-        &mut self,
-        deadline: Instant,
-        seq: u64,
-        epoch: u32,
-    ) -> Result<Message, WorkerLoss> {
+    /// One blocking wait on the event channel with an *exact* timeout: the
+    /// earlier of `overall` and the next heartbeat-liveness deadline.
+    /// Heartbeats refresh liveness and are consumed here; every failure
+    /// signal (reader error of a live worker, heartbeat silence, `overall`
+    /// expiring with `label_seq` blamed on the quietest worker) becomes
+    /// `Err(WorkerLoss)`. Anything else is returned to the caller.
+    fn recv_deadline(&mut self, overall: Instant, label_seq: u64) -> Result<Message, WorkerLoss> {
         loop {
             self.check_heartbeats()?;
-            let polled = self.rx.recv_timeout(WallDuration::from_millis(25));
-            match polled {
+            let now = Instant::now();
+            let next_hb = self
+                .slots
+                .iter()
+                .filter(|s| s.alive)
+                .map(|s| s.last_seen + self.opts.heartbeat_timeout)
+                .min();
+            let wake = next_hb.map_or(overall, |hb| overall.min(hb));
+            match self.rx.recv_timeout(wake.saturating_duration_since(now)) {
                 Ok((w, Ok(msg))) => {
                     if let Some(slot) = self.slots.get_mut(w as usize) {
                         slot.last_seen = Instant::now();
                     }
-                    match msg {
-                        Message::Heartbeat { .. } => continue,
-                        Message::WorkerError {
-                            worker,
-                            seq: s,
-                            epoch: e,
-                            blame,
-                            detail,
-                        } => {
-                            if s == seq && e == epoch {
-                                return Err(self.declare_lost(
-                                    blame,
-                                    format!("worker {worker} reported: {detail}"),
-                                ));
-                            }
-                            continue; // stale attempt's failure; already handled
-                        }
-                        Message::MapComplete {
-                            seq: s, epoch: e, ..
-                        }
-                        | Message::ReduceComplete {
-                            seq: s, epoch: e, ..
-                        } if s != seq || e != epoch => continue,
-                        m => return Ok(m),
+                    if matches!(msg, Message::Heartbeat { .. }) {
+                        continue;
                     }
+                    return Ok(msg);
                 }
                 Ok((w, Err(e))) => {
                     let alive = self.slots.get(w as usize).map(|s| s.alive).unwrap_or(false);
                     if alive {
                         return Err(self.declare_lost(w, format!("connection lost: {e}")));
                     }
-                    continue; // reader of an already-declared worker winding down
+                    // Reader of an already-declared worker winding down.
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    if Instant::now() > deadline {
+                    if Instant::now() > overall {
                         // Deadlock breaker: blame the quietest worker.
                         let w = self
                             .slots
@@ -601,9 +695,10 @@ impl DistributedRuntime {
                             .map(|s| s.id)
                             .expect("at least one alive worker while waiting");
                         return Err(
-                            self.declare_lost(w, format!("batch {seq} collection timed out"))
+                            self.declare_lost(w, format!("batch {label_seq} collection timed out"))
                         );
                     }
+                    // A heartbeat-liveness deadline fired; re-check at top.
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     unreachable!("runtime holds a sender; channel cannot disconnect")
@@ -612,27 +707,45 @@ impl DistributedRuntime {
         }
     }
 
-    /// Execute one batch across the live workers.
+    /// Dispatch one batch's Map tasks without waiting for anything — the
+    /// entry point of the in-flight state machine. Several batches may be
+    /// submitted back to back; their results are taken in submission order
+    /// via [`DistributedRuntime::wait_batch`].
     ///
-    /// Runs the serial engine's exact logical pipeline over the wire; given
-    /// the same plan, assigner state and `r`, the returned output and
-    /// per-bucket stats are bit-identical to [`crate::stage::execute_batch`]'s.
-    /// On `Err(WorkerLoss)` the attempt had no observable effect on the
-    /// assigner — recompute the batch and call again.
+    /// Resubmitting a seq that is still in flight (a completed-but-untaken
+    /// batch surviving a loss abort) is a no-op, as is submitting after a
+    /// loss was detected mid-dispatch (the loss surfaces on the next
+    /// `wait_batch`).
     ///
     /// # Panics
     ///
     /// Panics when no workers are left alive — with nothing to run on,
     /// recompute-and-retry cannot make progress.
-    pub fn execute_batch(
+    pub fn submit_batch(
         &mut self,
         seq: u64,
+        tseq: u64,
         plan: &PartitionPlan,
         spec: &JobSpec,
-        assigner: &mut dyn ReduceAssigner,
         r: usize,
-        trace: Option<(&TraceRecorder, u64)>,
-    ) -> Result<(BatchOutput, Vec<BucketStats>), WorkerLoss> {
+    ) {
+        if self.pending_loss.is_some() || self.inflight.iter().any(|e| e.seq == seq) {
+            return;
+        }
+        if let Err(loss) = self.dispatch_maps(seq, tseq, plan, spec, r) {
+            self.abort_unfinished();
+            self.pending_loss = Some(loss);
+        }
+    }
+
+    fn dispatch_maps(
+        &mut self,
+        seq: u64,
+        tseq: u64,
+        plan: &PartitionPlan,
+        spec: &JobSpec,
+        r: usize,
+    ) -> Result<(), WorkerLoss> {
         self.epoch += 1;
         let epoch = self.epoch;
 
@@ -653,8 +766,7 @@ impl DistributedRuntime {
             "all distributed workers lost; batch {seq} cannot execute"
         );
 
-        // --- Map fan-out. ---
-        let t0 = Instant::now();
+        let t_map = Instant::now();
         let n_blocks = plan.blocks.len();
         let mut block_owner = Vec::with_capacity(n_blocks);
         for (i, block) in plan.blocks.iter().enumerate() {
@@ -671,48 +783,133 @@ impl DistributedRuntime {
                 },
             )?;
         }
-        let mut clusters: Vec<Option<Vec<(Key, u64)>>> = vec![None; n_blocks];
-        let mut outstanding = n_blocks;
-        let deadline = Instant::now() + self.opts.io_timeout;
-        while outstanding > 0 {
-            if let Message::MapComplete {
-                block_id,
-                clusters: c,
-                ..
-            } = self.next_event(deadline, seq, epoch)?
-            {
-                let slot = &mut clusters[block_id as usize];
-                if slot.is_none() {
-                    *slot = Some(c);
-                    outstanding -= 1;
+        self.inflight.push(Inflight {
+            seq,
+            tseq,
+            epoch,
+            r,
+            spec: *spec,
+            split_keys: plan.split_keys.clone(),
+            owners,
+            block_owner,
+            clusters: vec![None; n_blocks],
+            outstanding_maps: n_blocks,
+            buckets: vec![None; r],
+            outstanding_reduces: r,
+            stage: Stage::Mapping,
+            deadline: Instant::now() + self.opts.io_timeout,
+            t_map,
+            t_reduce: t_map,
+            output: BatchOutput::default(),
+            stats: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Drop every in-flight batch that has not completed. Completed
+    /// results stay available for `wait_batch`; the assignment cache is
+    /// kept so retries replay assignments without touching the assigner.
+    fn abort_unfinished(&mut self) {
+        self.inflight.retain(|e| e.stage == Stage::Done);
+    }
+
+    /// Block until batch `seq` completes and take its result.
+    ///
+    /// Runs the serial engine's exact logical pipeline over the wire; given
+    /// the same plans, assigner state and `r`, the outputs and per-bucket
+    /// stats are bit-identical to [`crate::stage::execute_batch`]'s at any
+    /// pipeline depth — the stateful assigner is invoked exactly once per
+    /// batch, in batch order, block order.
+    ///
+    /// On `Err(WorkerLoss)` every unfinished in-flight batch was aborted
+    /// with no observable effect on the assigner (completed-but-untaken
+    /// results survive); resubmit the aborted batches and wait again.
+    pub fn wait_batch(
+        &mut self,
+        seq: u64,
+        assigner: &mut dyn ReduceAssigner,
+        trace: Option<&TraceRecorder>,
+    ) -> Result<(BatchOutput, Vec<BucketStats>), WorkerLoss> {
+        loop {
+            if let Some(loss) = self.pending_loss.take() {
+                return Err(loss);
+            }
+            assert!(
+                self.inflight.iter().any(|e| e.seq == seq),
+                "wait_batch({seq}) without a submitted batch"
+            );
+            let step = self.advance_assignments(assigner, trace).and_then(|()| {
+                match self
+                    .inflight
+                    .iter()
+                    .position(|e| e.seq == seq && e.stage == Stage::Done)
+                {
+                    Some(i) => Ok(Some(i)),
+                    None => self.pump_event(trace).map(|()| None),
+                }
+            });
+            match step {
+                Ok(Some(i)) => {
+                    let done = self.inflight.remove(i);
+                    self.assign_cache.remove(&seq);
+                    return Ok((done.output, done.stats));
+                }
+                Ok(None) => {}
+                Err(loss) => {
+                    self.abort_unfinished();
+                    return Err(loss);
                 }
             }
         }
-        if let Some((rec, tseq)) = trace {
-            rec.phase(tseq, StageKind::MapStage, wall(t0.elapsed()));
-        }
+    }
 
-        // Scripted mid-batch kills: fire *before* any assigner call so a
-        // doomed attempt leaves the allocator untouched; the worker's
-        // un-fetched map outputs die with it. Detection is organic — the
-        // kill queues a reader error, surfaced by the drain below.
-        let after_map = self.take_kills(seq, FaultPoint::AfterMap);
-        if !after_map.is_empty() {
-            for w in after_map {
-                self.inject_kill(w);
-            }
-            loop {
-                // No further completes of this epoch are expected; the only
-                // exit is the queued failure signal.
-                let _ = self.next_event(deadline, seq, epoch)?;
+    /// Move every batch that is allowed to assign into its Reduce phase.
+    ///
+    /// The assigner-order gate: a batch may make *fresh* assigner calls
+    /// only when every older in-flight batch has its assignments computed
+    /// (Algorithm 3's allocator carries state across calls — batch order,
+    /// block order is the serial engine's exact sequence). Cached batches
+    /// (loss retries) replay without assigner calls and skip the gate; a
+    /// draining batch (scripted mid-batch kill) never assigns and blocks
+    /// younger fresh assignments until its loss aborts the window.
+    fn advance_assignments(
+        &mut self,
+        assigner: &mut dyn ReduceAssigner,
+        trace: Option<&TraceRecorder>,
+    ) -> Result<(), WorkerLoss> {
+        let mut earlier_all_assigned = true;
+        for i in 0..self.inflight.len() {
+            let cached = self.assign_cache.contains_key(&self.inflight[i].seq);
+            match self.inflight[i].stage {
+                Stage::WaitAssign if cached => self.begin_reduce(i, Instant::now(), trace)?,
+                Stage::WaitAssign if earlier_all_assigned => {
+                    let t_scatter = Instant::now();
+                    self.compute_assignments(i, assigner, trace);
+                    self.begin_reduce(i, t_scatter, trace)?;
+                }
+                Stage::WaitAssign | Stage::Mapping | Stage::Draining => {
+                    if !cached {
+                        earlier_all_assigned = false;
+                    }
+                }
+                Stage::Reducing | Stage::Done => {}
             }
         }
+        Ok(())
+    }
 
-        // --- Shuffle: serial assignment in block order (Algorithm 3's
-        // allocator carries state across calls), then per-block pushes. ---
-        let t1 = Instant::now();
-        let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(n_blocks);
-        for c in &clusters {
+    /// Run the stateful assigner for batch `i`'s blocks (serially, in block
+    /// order) and cache the result.
+    fn compute_assignments(
+        &mut self,
+        i: usize,
+        assigner: &mut dyn ReduceAssigner,
+        trace: Option<&TraceRecorder>,
+    ) {
+        let e = &self.inflight[i];
+        let r = e.r;
+        let mut assignments: Vec<Vec<u32>> = Vec::with_capacity(e.clusters.len());
+        for c in &e.clusters {
             let c = c.as_ref().expect("all map completes collected");
             let descs: Vec<KeyCluster> = c
                 .iter()
@@ -721,35 +918,54 @@ impl DistributedRuntime {
                     size: n as usize,
                 })
                 .collect();
-            let assignment = assigner.assign(&descs, &plan.split_keys, r);
-            if let Some((rec, _)) = trace {
+            let assignment = assigner.assign(&descs, &e.split_keys, r);
+            if let Some(rec) = trace {
                 rec.incr(Counter::ScatterFragments, assignment.len() as u64);
                 let split = descs
                     .iter()
-                    .filter(|cl| plan.split_keys.contains(&cl.key))
+                    .filter(|cl| e.split_keys.contains(&cl.key))
                     .count();
                 rec.incr(Counter::SplitKeyFragments, split as u64);
             }
-            assignments.push(assignment);
+            assignments.push(assignment.into_iter().map(|b| b as u32).collect());
         }
-        for (i, assignment) in assignments.iter().enumerate() {
+        let seq = e.seq;
+        self.assign_cache.insert(seq, assignments);
+    }
+
+    /// Push batch `i`'s (cached) assignments and fan its Reduce tasks out.
+    fn begin_reduce(
+        &mut self,
+        i: usize,
+        t_scatter: Instant,
+        trace: Option<&TraceRecorder>,
+    ) -> Result<(), WorkerLoss> {
+        let e = &self.inflight[i];
+        let (seq, tseq, epoch, r, reduce) = (e.seq, e.tseq, e.epoch, e.r, e.spec.reduce);
+        let owners = e.owners.clone();
+        let block_owner = e.block_owner.clone();
+        let assignments = self
+            .assign_cache
+            .get(&seq)
+            .expect("assignments cached")
+            .clone();
+        for (b, assignment) in assignments.into_iter().enumerate() {
             self.send_to(
-                block_owner[i],
+                block_owner[b],
                 &Message::ShuffleAssign {
                     seq,
                     epoch,
-                    block_id: i as u32,
-                    assignment: assignment.iter().map(|&b| b as u32).collect(),
+                    block_id: b as u32,
+                    assignment,
                 },
             )?;
         }
-        if let Some((rec, tseq)) = trace {
-            rec.phase(tseq, StageKind::Scatter, wall(t1.elapsed()));
+        if let Some(rec) = trace {
+            rec.phase(tseq, StageKind::Scatter, wall(t_scatter.elapsed()));
         }
 
-        // --- Reduce fan-out. ---
-        let t2 = Instant::now();
-        let mut src_ids = block_owner.clone();
+        let t_reduce = Instant::now();
+        let mut src_ids = block_owner;
         src_ids.sort_unstable();
         src_ids.dedup();
         let sources: Vec<ShuffleSource> = src_ids
@@ -766,34 +982,95 @@ impl DistributedRuntime {
                     seq,
                     epoch,
                     bucket: b as u32,
-                    reduce: spec.reduce,
+                    reduce,
                     sources: sources.clone(),
                 },
             )?;
         }
-        let mut buckets: Vec<BucketSlot> = vec![None; r];
-        let mut outstanding = r;
-        let deadline = Instant::now() + self.opts.io_timeout;
-        while outstanding > 0 {
-            if let Message::ReduceComplete {
+        let e = &mut self.inflight[i];
+        e.stage = Stage::Reducing;
+        e.deadline = Instant::now() + self.opts.io_timeout;
+        e.t_reduce = t_reduce;
+        Ok(())
+    }
+
+    /// Wait for one event and apply it to the in-flight window.
+    fn pump_event(&mut self, trace: Option<&TraceRecorder>) -> Result<(), WorkerLoss> {
+        let (overall, label_seq) = self
+            .inflight
+            .iter()
+            .filter(|e| e.stage != Stage::Done)
+            .map(|e| (e.deadline, e.seq))
+            .min_by_key(|&(d, _)| d)
+            .expect("pump with no batch in flight");
+        match self.recv_deadline(overall, label_seq)? {
+            Message::MapComplete {
+                seq,
+                epoch,
+                block_id,
+                clusters,
+            } => {
+                let Some(i) = self
+                    .inflight
+                    .iter()
+                    .position(|e| e.seq == seq && e.epoch == epoch && e.stage == Stage::Mapping)
+                else {
+                    return Ok(()); // stale attempt's reply
+                };
+                {
+                    let e = &mut self.inflight[i];
+                    let slot = &mut e.clusters[block_id as usize];
+                    if slot.is_none() {
+                        *slot = Some(clusters);
+                        e.outstanding_maps -= 1;
+                    }
+                    if e.outstanding_maps > 0 {
+                        return Ok(());
+                    }
+                }
+                let (tseq, t_map) = {
+                    let e = &self.inflight[i];
+                    (e.tseq, e.t_map)
+                };
+                if let Some(rec) = trace {
+                    rec.phase(tseq, StageKind::MapStage, wall(t_map.elapsed()));
+                }
+                // Scripted mid-batch kills: fire *before* any assigner call
+                // so the doomed attempt leaves the allocator untouched; the
+                // worker's un-fetched map outputs die with it. Detection is
+                // organic — the kill queues a reader error.
+                let kills = self.take_kills(seq, FaultPoint::AfterMap);
+                if kills.is_empty() {
+                    self.inflight[i].stage = Stage::WaitAssign;
+                } else {
+                    for w in kills {
+                        self.inject_kill(w);
+                    }
+                    self.inflight[i].stage = Stage::Draining;
+                }
+            }
+            Message::ReduceComplete {
+                seq,
+                epoch,
                 bucket,
                 tuples,
                 keys,
                 fragments,
                 aggregates,
                 net,
-                ..
-            } = self.next_event(deadline, seq, epoch)?
-            {
-                let slot = &mut buckets[bucket as usize];
-                if slot.is_none() {
-                    self.shuffle.absorb(net);
-                    if let Some((rec, _)) = trace {
-                        rec.incr(Counter::ShuffleConnsDialed, net.dialed);
-                        rec.incr(Counter::ShuffleConnsReused, net.reused);
-                        rec.incr(Counter::ShuffleWaitUs, net.wait_us);
-                        rec.incr(Counter::ShuffleBytesWire, net.bytes_wire);
-                        rec.incr(Counter::ShuffleBytesRaw, net.bytes_raw);
+            } => {
+                let Some(i) = self
+                    .inflight
+                    .iter()
+                    .position(|e| e.seq == seq && e.epoch == epoch && e.stage == Stage::Reducing)
+                else {
+                    return Ok(()); // stale attempt's reply
+                };
+                {
+                    let e = &mut self.inflight[i];
+                    let slot = &mut e.buckets[bucket as usize];
+                    if slot.is_some() {
+                        return Ok(());
                     }
                     *slot = Some((
                         BucketStats {
@@ -803,31 +1080,92 @@ impl DistributedRuntime {
                         },
                         aggregates,
                     ));
-                    outstanding -= 1;
+                    e.outstanding_reduces -= 1;
+                }
+                self.shuffle.absorb(net);
+                if let Some(rec) = trace {
+                    rec.incr(Counter::ShuffleConnsDialed, net.dialed);
+                    rec.incr(Counter::ShuffleConnsReused, net.reused);
+                    rec.incr(Counter::ShuffleWaitUs, net.wait_us);
+                    rec.incr(Counter::ShuffleBytesWire, net.bytes_wire);
+                    rec.incr(Counter::ShuffleBytesRaw, net.bytes_raw);
+                }
+                if self.inflight[i].outstanding_reduces > 0 {
+                    return Ok(());
+                }
+                {
+                    let e = &mut self.inflight[i];
+                    let mut output = BatchOutput::default();
+                    let mut stats = Vec::with_capacity(e.r);
+                    for entry in e.buckets.drain(..) {
+                        let (s, aggs) = entry.expect("all reduce completes collected");
+                        stats.push(s);
+                        for (k, v) in aggs {
+                            let prev = output.aggregates.insert(k, v);
+                            debug_assert!(prev.is_none(), "key reduced in two buckets");
+                        }
+                    }
+                    e.output = output;
+                    e.stats = stats;
+                    e.stage = Stage::Done;
+                    if let Some(rec) = trace {
+                        rec.phase(e.tseq, StageKind::ReduceStage, wall(e.t_reduce.elapsed()));
+                    }
+                }
+                // Commit: let the workers drop the batch's shuffle state. A
+                // send failure here is a loss for a later pump to discover —
+                // this batch is already complete.
+                for slot in self.slots.iter_mut().filter(|s| s.alive) {
+                    let _ = slot.conn.send(&Message::BatchDone { seq });
                 }
             }
-        }
-        let mut output = BatchOutput::default();
-        let mut stats = Vec::with_capacity(r);
-        for entry in buckets {
-            let (s, aggs) = entry.expect("all reduce completes collected");
-            stats.push(s);
-            for (k, v) in aggs {
-                let prev = output.aggregates.insert(k, v);
-                debug_assert!(prev.is_none(), "key reduced in two buckets");
+            Message::WorkerError {
+                worker,
+                seq,
+                epoch,
+                blame,
+                detail,
+            } => {
+                let current = self
+                    .inflight
+                    .iter()
+                    .any(|e| e.seq == seq && e.epoch == epoch && e.stage != Stage::Done);
+                if current {
+                    return Err(
+                        self.declare_lost(blame, format!("worker {worker} reported: {detail}"))
+                    );
+                }
+                // A stale attempt's failure; already handled.
             }
+            _ => {}
         }
-        if let Some((rec, tseq)) = trace {
-            rec.phase(tseq, StageKind::ReduceStage, wall(t2.elapsed()));
-        }
+        Ok(())
+    }
 
-        // Commit: let the workers drop the batch's shuffle state. A send
-        // failure here is a loss for the *next* batch to discover — this
-        // one is already complete.
-        for slot in self.slots.iter_mut().filter(|s| s.alive) {
-            let _ = slot.conn.send(&Message::BatchDone { seq });
-        }
-        Ok((output, stats))
+    /// Execute one batch across the live workers: submit, then wait.
+    ///
+    /// The one-batch-at-a-time convenience over
+    /// [`DistributedRuntime::submit_batch`] /
+    /// [`DistributedRuntime::wait_batch`] — identical semantics at pipeline
+    /// depth 1. On `Err(WorkerLoss)` the attempt had no observable effect
+    /// on the assigner — recompute the batch and call again.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no workers are left alive — with nothing to run on,
+    /// recompute-and-retry cannot make progress.
+    pub fn execute_batch(
+        &mut self,
+        seq: u64,
+        plan: &PartitionPlan,
+        spec: &JobSpec,
+        assigner: &mut dyn ReduceAssigner,
+        r: usize,
+        trace: Option<(&TraceRecorder, u64)>,
+    ) -> Result<(BatchOutput, Vec<BucketStats>), WorkerLoss> {
+        let tseq = trace.map_or(seq, |(_, t)| t);
+        self.submit_batch(seq, tseq, plan, spec, r);
+        self.wait_batch(seq, assigner, trace.map(|(rec, _)| rec))
     }
 
     /// Ship re-sharded state to the fleet after an elasticity migration.
@@ -867,9 +1205,8 @@ impl DistributedRuntime {
             outstanding += 1;
         }
         let deadline = Instant::now() + self.opts.io_timeout;
-        let epoch = self.epoch;
         while outstanding > 0 {
-            if let Message::StateAck { seq: s, .. } = self.next_event(deadline, seq, epoch)? {
+            if let Message::StateAck { seq: s, .. } = self.recv_deadline(deadline, seq)? {
                 if s == seq {
                     outstanding -= 1;
                 }
@@ -880,6 +1217,12 @@ impl DistributedRuntime {
 
     /// Shut the fleet down: `Shutdown` to every live worker, then reap
     /// processes / join threads. Idempotent; also runs on drop.
+    ///
+    /// Process workers are reaped concurrently under ONE shared grace
+    /// deadline: `try_wait` passes round-robin over all still-running
+    /// children, so a wedged N-worker cluster tears down in ~5 s total
+    /// (kill + wait on whatever is left at the deadline), not N×5 s as the
+    /// old serial per-worker loop did.
     pub fn shutdown(&mut self) {
         if self.shut_down {
             return;
@@ -890,34 +1233,47 @@ impl DistributedRuntime {
                 let _ = slot.conn.send(&Message::Shutdown);
             }
         }
+        // Thread workers: shutting the socket down guarantees the worker's
+        // recv unblocks even if the Shutdown frame was lost; the join is
+        // then prompt.
         for slot in &mut self.slots {
-            match &mut slot.handle {
-                WorkerHandle::Process(child) => {
-                    let deadline = Instant::now() + WallDuration::from_secs(5);
-                    loop {
-                        match child.try_wait() {
-                            Ok(Some(_)) => break,
-                            Ok(None) => {
-                                if Instant::now() > deadline {
-                                    let _ = child.kill();
-                                    let _ = child.wait();
-                                    break;
-                                }
-                                std::thread::sleep(WallDuration::from_millis(10));
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                }
-                WorkerHandle::Thread(h) => {
-                    // Shutting the socket down guarantees the worker's recv
-                    // unblocks even if the Shutdown frame was lost.
-                    slot.conn.shutdown();
-                    if let Some(h) = h.take() {
-                        let _ = h.join();
-                    }
+            if let WorkerHandle::Thread(h) = &mut slot.handle {
+                slot.conn.shutdown();
+                if let Some(h) = h.take() {
+                    let _ = h.join();
                 }
             }
+        }
+        let deadline = Instant::now() + WallDuration::from_secs(5);
+        let mut running: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.handle, WorkerHandle::Process(_)))
+            .map(|(i, _)| i)
+            .collect();
+        loop {
+            running.retain(|&i| {
+                let WorkerHandle::Process(child) = &mut self.slots[i].handle else {
+                    return false;
+                };
+                matches!(child.try_wait(), Ok(None))
+            });
+            if running.is_empty() {
+                break;
+            }
+            if Instant::now() > deadline {
+                for &i in &running {
+                    if let WorkerHandle::Process(child) = &mut self.slots[i].handle {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(WallDuration::from_millis(10));
+        }
+        for slot in &mut self.slots {
             slot.conn.shutdown();
         }
     }
@@ -1011,6 +1367,84 @@ mod tests {
         let payloads: Vec<(u32, Vec<u8>)> = (0..5u32).map(|b| (b, vec![b as u8; 64])).collect();
         rt.migrate_state(3, payloads).expect("all pushes acked");
         assert_eq!(rt.workers_alive(), 2);
+    }
+
+    #[test]
+    fn pipelined_submits_match_serial_execution_bit_for_bit() {
+        let spec = JobSpec {
+            map: MapSpec::Identity,
+            reduce: ReduceOp::Sum,
+        };
+        let plans: Vec<PartitionPlan> = (0..4).map(|i| small_plan(200 + i * 50, 13, 4)).collect();
+
+        // Reference: one batch at a time through the compat wrapper.
+        type BatchResult = (Vec<(Key, u64)>, Vec<BucketStats>);
+        let mut serial: Vec<BatchResult> = Vec::new();
+        {
+            let mut rt = DistributedRuntime::launch(thread_opts(2)).expect("launch");
+            let mut assigner = PromptReduceAllocator::new(7);
+            for (seq, plan) in plans.iter().enumerate() {
+                let (out, stats) = rt
+                    .execute_batch(seq as u64, plan, &spec, &mut assigner, 3, None)
+                    .expect("no faults");
+                let mut aggs: Vec<(Key, u64)> = out
+                    .aggregates
+                    .iter()
+                    .map(|(&k, &v)| (k, v.to_bits()))
+                    .collect();
+                aggs.sort_unstable_by_key(|&(k, _)| k.0);
+                serial.push((aggs, stats));
+            }
+        }
+
+        // Pipelined: all four batches in flight before the first wait. The
+        // stateful allocator must still see the serial call sequence.
+        let mut rt = DistributedRuntime::launch(thread_opts(2)).expect("launch");
+        let mut assigner = PromptReduceAllocator::new(7);
+        for (seq, plan) in plans.iter().enumerate() {
+            rt.submit_batch(seq as u64, seq as u64, plan, &spec, 3);
+        }
+        for (seq, expect) in serial.iter().enumerate() {
+            let (out, stats) = rt
+                .wait_batch(seq as u64, &mut assigner, None)
+                .expect("no faults");
+            let mut aggs: Vec<(Key, u64)> = out
+                .aggregates
+                .iter()
+                .map(|(&k, &v)| (k, v.to_bits()))
+                .collect();
+            aggs.sort_unstable_by_key(|&(k, _)| k.0);
+            assert_eq!(&(aggs, stats.clone()), expect, "batch {seq} diverged");
+        }
+    }
+
+    #[test]
+    fn loss_mid_window_aborts_unfinished_and_replays_cached_assignments() {
+        let mut rt = DistributedRuntime::launch(thread_opts(2)).expect("launch");
+        // Worker 1 dies right before batch 1's maps dispatch; batch 0 and 1
+        // are both in flight when the loss surfaces.
+        rt.set_fault_plan(NetFaultPlan::none().kill_before(1, 1));
+        let spec = JobSpec {
+            map: MapSpec::Identity,
+            reduce: ReduceOp::Count,
+        };
+        let plans: Vec<PartitionPlan> = (0..2).map(|_| small_plan(200, 11, 4)).collect();
+        let mut assigner = PromptReduceAllocator::new(5);
+        rt.submit_batch(0, 0, &plans[0], &spec, 2);
+        rt.submit_batch(1, 1, &plans[1], &spec, 2);
+        let loss = rt
+            .wait_batch(0, &mut assigner, None)
+            .expect_err("worker 1 is scripted to die");
+        assert_eq!(loss.worker, 1);
+        assert_eq!(rt.workers_alive(), 1);
+        // Resubmit both; already-Done survivors would be skipped, aborted
+        // ones re-dispatch on the survivor. Outputs still arrive in order.
+        rt.submit_batch(0, 0, &plans[0], &spec, 2);
+        rt.submit_batch(1, 1, &plans[1], &spec, 2);
+        let (out0, _) = rt.wait_batch(0, &mut assigner, None).expect("retry");
+        let (out1, _) = rt.wait_batch(1, &mut assigner, None).expect("retry");
+        assert_eq!(out0.len(), 11);
+        assert_eq!(out1.len(), 11);
     }
 
     #[test]

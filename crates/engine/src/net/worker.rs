@@ -21,7 +21,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration as WallDuration, Instant};
 
@@ -137,12 +137,57 @@ impl ShuffleStore {
     }
 }
 
+/// Deadline-driven heartbeat schedule. The next beat is always a whole
+/// number of periods from the previous *scheduled* beat — never from the
+/// moment the thread happened to wake — so scheduler delay on one sleep
+/// cannot stretch the effective period. (The previous implementation
+/// accumulated `elapsed += tick` across sleeps, which under-counts real
+/// time whenever a sleep overshoots; the period drifted long and could
+/// trip the driver's heartbeat timeout spuriously.) A stall longer than
+/// one period emits a single catch-up beat and re-anchors on the grid
+/// rather than bursting once per missed tick.
+struct Ticker {
+    period: WallDuration,
+    next: Instant,
+}
+
+impl Ticker {
+    fn new(period: WallDuration, now: Instant) -> Ticker {
+        Ticker {
+            period,
+            next: now + period,
+        }
+    }
+
+    /// Whether a beat is due at `now`. When due, advances the schedule past
+    /// `now` by whole periods (skipping missed ticks, not queueing them).
+    fn due(&mut self, now: Instant) -> bool {
+        if now < self.next {
+            return false;
+        }
+        while self.next <= now {
+            self.next += self.period;
+        }
+        true
+    }
+
+    /// How long to sleep before re-checking, capped so the thread keeps
+    /// noticing the stop flag promptly.
+    fn sleep_hint(&self, now: Instant, cap: WallDuration) -> WallDuration {
+        self.next.saturating_duration_since(now).min(cap)
+    }
+}
+
 /// The shuffle store plus the condvar that long-polling fetch servers park
 /// on. `add_block` signals it whenever a batch may have become complete.
 #[derive(Debug, Default)]
 struct SharedStore {
     store: Mutex<ShuffleStore>,
     became_ready: Condvar,
+    /// Fetches currently parked on the condvar. Incremented under the store
+    /// lock before the first wait, so observing a non-zero count proves a
+    /// fetch really reached the parked state (test observability).
+    waiters: AtomicUsize,
 }
 
 impl SharedStore {
@@ -186,13 +231,18 @@ impl SharedStore {
     ) -> Message {
         let deadline = Instant::now() + park;
         let mut guard = self.store.lock().expect("store lock");
-        loop {
+        let mut parked = false;
+        let reply = loop {
             if guard.is_ready(seq, epoch) || stop.load(Ordering::SeqCst) {
-                return guard.fetch(seq, epoch, bucket);
+                break guard.fetch(seq, epoch, bucket);
             }
             let now = Instant::now();
             if now >= deadline {
-                return guard.fetch(seq, epoch, bucket);
+                break guard.fetch(seq, epoch, bucket);
+            }
+            if !parked {
+                parked = true;
+                self.waiters.fetch_add(1, Ordering::SeqCst);
             }
             let slice = (deadline - now).min(PARK_SLICE);
             guard = self
@@ -200,7 +250,17 @@ impl SharedStore {
                 .wait_timeout(guard, slice)
                 .expect("store lock")
                 .0;
+        };
+        if parked {
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
         }
+        reply
+    }
+
+    /// Fetches currently parked in [`SharedStore::fetch_wait`].
+    #[cfg(test)]
+    fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::SeqCst)
     }
 }
 
@@ -261,22 +321,19 @@ fn control_loop(
         let worker = opts.worker;
         let period = WallDuration::from_millis(u64::from(heartbeat_ms.max(1)));
         std::thread::spawn(move || {
-            let tick = period.min(WallDuration::from_millis(25));
-            let mut elapsed = WallDuration::ZERO;
+            let cap = WallDuration::from_millis(25);
+            let mut ticker = Ticker::new(period, Instant::now());
             while !stop.load(Ordering::SeqCst) {
-                std::thread::sleep(tick);
-                elapsed += tick;
-                if elapsed >= period {
-                    elapsed = WallDuration::ZERO;
-                    if writer
+                if ticker.due(Instant::now())
+                    && writer
                         .lock()
                         .expect("writer lock")
                         .send(&Message::Heartbeat { worker })
                         .is_err()
-                    {
-                        break;
-                    }
+                {
+                    break;
                 }
+                std::thread::sleep(ticker.sleep_hint(Instant::now(), cap));
             }
         })
     };
@@ -298,7 +355,51 @@ fn serve_tasks(
 ) -> Result<(), NetError> {
     // Shuffle connections persist here across fetches and batches; a fetch
     // failure evicts the peer's pooled entries before retrying or blaming.
-    let pool = ConnPool::new(opts.retry, Arc::clone(counters));
+    let pool = Arc::new(ConnPool::new(opts.retry, Arc::clone(counters)));
+    // One long-lived reduce executor: ReduceTasks are enqueued and run
+    // serially off the control loop. Serial execution preserves the pooled
+    // data plane's one-dial-per-peer-direction property (concurrent
+    // reduces would check out concurrent connections to the same peer),
+    // while still freeing the control loop to run the next in-flight
+    // batch's Map tasks — the cross-batch overlap `pipeline_depth > 1`
+    // relies on. Dropping the sender (any exit path) winds the executor
+    // down; it is deliberately not joined, mirroring the old detached
+    // reduce threads (a wind-down blocked in a fetch is bounded by the
+    // shuffle timeouts and must not stall worker shutdown).
+    let (reduce_tx, reduce_rx) = std::sync::mpsc::channel::<ReduceJob>();
+    {
+        let pool = Arc::clone(&pool);
+        let store = Arc::clone(store);
+        let writer = Arc::clone(writer);
+        std::thread::spawn(move || {
+            while let Ok(job) = reduce_rx.recv() {
+                let reply = match reduce_bucket(
+                    opts,
+                    &pool,
+                    &store,
+                    job.seq,
+                    job.epoch,
+                    job.bucket,
+                    job.reduce,
+                    &job.sources,
+                ) {
+                    Ok(done) => done,
+                    Err((blame, detail)) => Message::WorkerError {
+                        worker: opts.worker,
+                        seq: job.seq,
+                        epoch: job.epoch,
+                        blame,
+                        detail,
+                    },
+                };
+                // A dead control connection surfaces on the main loop's
+                // next recv; nothing more to do about it here.
+                if writer.lock().expect("writer lock").send(&reply).is_err() {
+                    break;
+                }
+            }
+        });
+    }
     // Map outputs awaiting their ShuffleAssign, in full precision.
     let mut pending: HashMap<(u64, u32, u32), ClusterList> = HashMap::new();
     // Encoded state shards pushed by the driver on elasticity migrations,
@@ -348,18 +449,24 @@ fn serve_tasks(
                 reduce,
                 sources,
             } => {
-                let reply =
-                    match reduce_bucket(opts, &pool, store, seq, epoch, bucket, reduce, &sources) {
-                        Ok(done) => done,
-                        Err((blame, detail)) => Message::WorkerError {
-                            worker: opts.worker,
-                            seq,
-                            epoch,
-                            blame,
-                            detail,
-                        },
-                    };
-                writer.lock().expect("writer lock").send(&reply)?;
+                // Hand the fetch+merge to the reduce executor so Map tasks
+                // for the next in-flight batch are not serialized behind
+                // this batch's shuffle. The local-store readiness argument
+                // still holds at enqueue time: the control stream is FIFO,
+                // so every ShuffleAssign for this worker's blocks of `seq`
+                // was applied before this ReduceTask was read. The driver
+                // sends BatchDone (which GCs the store) only after
+                // collecting this bucket's reply, so the store cannot be
+                // swept mid-reduce. A send error means the executor died
+                // with the control connection; the main loop's next recv
+                // surfaces that.
+                let _ = reduce_tx.send(ReduceJob {
+                    seq,
+                    epoch,
+                    bucket,
+                    reduce,
+                    sources,
+                });
             }
             Message::StatePush {
                 seq,
@@ -390,6 +497,15 @@ fn serve_tasks(
             _ => {}
         }
     }
+}
+
+/// One queued Reduce task for the worker's reduce-executor thread.
+struct ReduceJob {
+    seq: u64,
+    epoch: u32,
+    bucket: u32,
+    reduce: ReduceOp,
+    sources: Vec<ShuffleSource>,
 }
 
 /// Per-block partial accumulator: segment items keyed by the globally
@@ -704,7 +820,13 @@ mod tests {
                 shared.fetch_wait(1, 0, 0, WallDuration::from_secs(5), &stop)
             })
         };
-        std::thread::sleep(WallDuration::from_millis(30));
+        // Observe the parked state directly instead of racing a sleep
+        // against thread spawn: the waiter count is incremented under the
+        // store lock before the first condvar wait, so reading 1 proves the
+        // fetch is parked — only then is the final block assigned.
+        while shared.waiters() != 1 {
+            std::thread::yield_now();
+        }
         let ordered: ClusterList = vec![(Key(1), (2.0, 2))];
         shared.add_block(1, 0, 0, &ordered, &[0]);
         match waiter.join().unwrap() {
@@ -714,6 +836,41 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        assert_eq!(shared.waiters(), 0, "waiter count must drop on return");
+    }
+
+    #[test]
+    fn heartbeat_ticker_period_does_not_drift_under_delay() {
+        let t0 = Instant::now();
+        let ms = |n: u64| t0 + WallDuration::from_millis(n);
+        let mut ticker = Ticker::new(WallDuration::from_millis(100), t0);
+        assert!(!ticker.due(ms(99)), "before the first deadline");
+        // The check runs 30 ms late; the beat fires, and the schedule stays
+        // anchored on the t0 grid. The old `elapsed += tick` accounting
+        // would have pushed the next beat to ~t0+230 here.
+        assert!(ticker.due(ms(130)));
+        assert!(!ticker.due(ms(199)));
+        assert!(ticker.due(ms(200)), "second beat must stay on the grid");
+    }
+
+    #[test]
+    fn heartbeat_ticker_skips_missed_beats_after_a_stall() {
+        let t0 = Instant::now();
+        let ms = |n: u64| t0 + WallDuration::from_millis(n);
+        let mut ticker = Ticker::new(WallDuration::from_millis(100), t0);
+        // A 750 ms stall: one catch-up beat, no burst of seven.
+        assert!(ticker.due(ms(750)));
+        assert!(!ticker.due(ms(750)), "missed beats are skipped, not queued");
+        assert!(!ticker.due(ms(799)));
+        assert!(ticker.due(ms(800)), "schedule re-anchors on the grid");
+        // Sleep hints aim at the next deadline but stay stop-responsive.
+        let cap = WallDuration::from_millis(25);
+        assert_eq!(ticker.sleep_hint(ms(850), cap), cap);
+        assert_eq!(
+            ticker.sleep_hint(ms(895), cap),
+            WallDuration::from_millis(5)
+        );
+        assert_eq!(ticker.sleep_hint(ms(950), cap), WallDuration::ZERO);
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //! With a single tenant the fair scheduler degenerates bit-exactly to the
 //! LPT rule, so a solo [`MultiTenantEngine`] run reproduces
 //! [`StreamingEngine`](crate::driver::StreamingEngine) timings too.
+//!
+//! Tenant batches commit *jointly* at each heartbeat — phase 2's shared-slot
+//! schedule needs every tenant's stage times for the same seq — so the
+//! multi-tenant loop always runs one lifecycle per heartbeat:
+//! [`EngineConfig::pipeline_depth`](crate::config::EngineConfig) is accepted
+//! but inert here (the distributed path goes through the runtime's
+//! submit-then-wait compatibility wrapper, i.e. effective depth 1), and a
+//! `pipeline_depth > 1` config is bit-identical to depth 1 for every
+//! tenant.
 
 use prompt_core::batch::MicroBatch;
 use prompt_core::metrics::PlanMetrics;
@@ -667,6 +676,40 @@ mod tests {
             for (a, b) in t.windows.iter().zip(&solo.windows) {
                 for (k, v) in &a.aggregates {
                     assert_eq!(v.to_bits(), b.aggregates[k].to_bits(), "tenant {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_config_is_inert_for_tenancy() {
+        // The multi-tenant loop commits all tenants jointly per heartbeat,
+        // so a deep in-flight window validates but changes nothing.
+        let deep = EngineConfig {
+            pipeline_depth: 4,
+            ..cfg()
+        };
+        assert!(deep.validate().is_ok());
+        let specs = || {
+            vec![
+                tenant("a", Technique::Prompt, 1),
+                tenant("b", Technique::Hash, 2),
+            ]
+        };
+        let mut base = MultiTenantEngine::new(cfg(), specs());
+        let want = base.run(&mut [const_source(800, 20, 0), const_source(600, 15, 3)], 6);
+        let mut piped = MultiTenantEngine::new(deep, specs());
+        let got = piped.run(&mut [const_source(800, 20, 0), const_source(600, 15, 3)], 6);
+        for (a, b) in want.tenants.iter().zip(&got.tenants) {
+            assert_eq!(a.batches.len(), b.batches.len());
+            for (x, y) in a.batches.iter().zip(&b.batches) {
+                assert_eq!(x.processing, y.processing, "batch {}", x.seq);
+                assert_eq!(x.plan_metrics, y.plan_metrics, "batch {}", x.seq);
+            }
+            assert_eq!(a.windows.len(), b.windows.len());
+            for (x, y) in a.windows.iter().zip(&b.windows) {
+                for (k, v) in &x.aggregates {
+                    assert_eq!(v.to_bits(), y.aggregates[k].to_bits());
                 }
             }
         }
