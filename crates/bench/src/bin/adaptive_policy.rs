@@ -1,0 +1,12 @@
+//! Adaptive policy vs fixed techniques (see
+//! `prompt_bench::experiments::adaptive`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!(
+        "running adaptive_policy ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let tables = prompt_bench::experiments::adaptive::run(quick);
+    prompt_bench::emit_all(&tables);
+}

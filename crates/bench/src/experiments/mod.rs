@@ -6,6 +6,7 @@
 //! as JSON under `results/`.
 
 pub mod ablation;
+pub mod adaptive;
 pub mod checkpoint_overhead;
 pub mod fig10;
 pub mod fig11;

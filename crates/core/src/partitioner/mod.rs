@@ -32,6 +32,11 @@ use crate::batch::{MicroBatch, PartitionPlan};
 /// report all zeros.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PartitionPhases {
+    /// Per-tuple selection/scoring work that is specific to the technique
+    /// (e.g. D-Choices' heavy-hitter sketch probes, a policy layer's
+    /// decision pass) — kept separate from `partition` proper so strategy
+    /// overhead is visible in stage-breakdown tables.
+    pub select_us: u64,
     /// Sealing the accumulated batch (replaying arrivals, merging shards).
     pub seal_us: u64,
     /// Symbolic piece assignment (Algorithm 2 proper).
@@ -123,6 +128,93 @@ impl Technique {
             Technique::Prompt => Box::new(PromptPartitioner::new(BufferingMode::FrequencyAware)),
             Technique::PromptPostSort => Box::new(PromptPartitioner::new(BufferingMode::PostSort)),
         }
+    }
+}
+
+/// A [`Technique`]-indexed registry of live partitioner instances.
+///
+/// A policy layer that hot-swaps strategies at batch boundaries needs every
+/// candidate constructible behind one object-safe handle *and* needs each
+/// instance to persist across batches (Prompt's rolling statistics, for
+/// example, carry cross-batch state). The registry builds each technique
+/// lazily on first use — with the run's seed and, for Prompt, its ingest
+/// parallelism — and hands back the same instance for the rest of the run.
+pub struct PartitionerRegistry {
+    seed: u64,
+    prompt_shards: usize,
+    prompt_threads: usize,
+    entries: Vec<(Technique, Box<dyn Partitioner>)>,
+}
+
+impl PartitionerRegistry {
+    /// Registry whose Prompt instances run single-threaded.
+    pub fn new(seed: u64) -> PartitionerRegistry {
+        PartitionerRegistry::with_parallelism(seed, 1, 1)
+    }
+
+    /// Registry that builds `Technique::Prompt` with the given accumulator
+    /// sharding / materialization threading (mirrors the engine's ingest
+    /// configuration so a swapped-in Prompt behaves exactly like a
+    /// run-constant one).
+    pub fn with_parallelism(seed: u64, shards: usize, threads: usize) -> PartitionerRegistry {
+        PartitionerRegistry {
+            seed,
+            prompt_shards: shards.max(1),
+            prompt_threads: threads.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Pre-seed the registry with an already-built instance (used by the
+    /// engine to adopt the constructor-built base partitioner so its state
+    /// is never duplicated).
+    pub fn insert(&mut self, technique: Technique, partitioner: Box<dyn Partitioner>) {
+        if let Some(slot) = self.entries.iter_mut().find(|(t, _)| *t == technique) {
+            slot.1 = partitioner;
+        } else {
+            self.entries.push((technique, partitioner));
+        }
+    }
+
+    /// Whether an instance for `technique` has been built already.
+    pub fn contains(&self, technique: Technique) -> bool {
+        self.entries.iter().any(|(t, _)| *t == technique)
+    }
+
+    /// The live instance for `technique`, building it on first use.
+    pub fn get_or_build(&mut self, technique: Technique) -> &mut dyn Partitioner {
+        if let Some(idx) = self.entries.iter().position(|(t, _)| t == &technique) {
+            return self.entries[idx].1.as_mut();
+        }
+        let built: Box<dyn Partitioner> = match technique {
+            Technique::Prompt if self.prompt_shards > 1 || self.prompt_threads > 1 => {
+                Box::new(PromptPartitioner::with_parallelism(
+                    BufferingMode::FrequencyAware,
+                    self.prompt_shards,
+                    self.prompt_threads,
+                ))
+            }
+            other => other.build(self.seed),
+        };
+        self.entries.push((technique, built));
+        self.entries.last_mut().expect("just pushed").1.as_mut()
+    }
+
+    /// Techniques with a live instance, in first-use order.
+    pub fn techniques(&self) -> impl Iterator<Item = Technique> + '_ {
+        self.entries.iter().map(|(t, _)| *t)
+    }
+}
+
+impl std::fmt::Debug for PartitionerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionerRegistry")
+            .field("seed", &self.seed)
+            .field(
+                "techniques",
+                &self.entries.iter().map(|(t, _)| t).collect::<Vec<_>>(),
+            )
+            .finish()
     }
 }
 
@@ -229,6 +321,39 @@ mod tests {
             assert_eq!(plan.n_blocks(), 4, "{}", part.name());
             assert_eq!(plan.total_tuples(), 0);
         }
+    }
+
+    #[test]
+    fn registry_builds_lazily_and_reuses_instances() {
+        let mut reg = PartitionerRegistry::new(11);
+        assert!(!reg.contains(Technique::Hash));
+        let batch = zipfish_batch(20, 100);
+        let plan_a = reg.get_or_build(Technique::Hash).partition(&batch, 4);
+        assert!(reg.contains(Technique::Hash));
+        assert_plan_valid(&batch, &plan_a, 4);
+        // Same seed, same instance: a second registry agrees bit-for-bit.
+        let plan_b = PartitionerRegistry::new(11)
+            .get_or_build(Technique::Hash)
+            .partition(&batch, 4);
+        for (a, b) in plan_a.blocks.iter().zip(&plan_b.blocks) {
+            assert_eq!(a.size(), b.size());
+        }
+        reg.get_or_build(Technique::Prompt);
+        assert_eq!(
+            reg.techniques().collect::<Vec<_>>(),
+            vec![Technique::Hash, Technique::Prompt]
+        );
+    }
+
+    #[test]
+    fn registry_insert_adopts_prebuilt_instance() {
+        let mut reg = PartitionerRegistry::new(0);
+        reg.insert(Technique::Shuffle, Technique::Shuffle.build(0));
+        assert!(reg.contains(Technique::Shuffle));
+        assert_eq!(reg.get_or_build(Technique::Shuffle).name(), "Shuffle");
+        // Re-insert replaces rather than duplicates.
+        reg.insert(Technique::Shuffle, Technique::Shuffle.build(0));
+        assert_eq!(reg.techniques().count(), 1);
     }
 
     #[test]

@@ -417,6 +417,7 @@ impl Partitioner for PromptPartitioner {
         (
             plan,
             PartitionPhases {
+                select_us: 0,
                 seal_us,
                 symbolic_us,
                 materialize_us,

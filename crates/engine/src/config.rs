@@ -5,6 +5,7 @@ use prompt_core::types::Duration;
 use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::elasticity::ScalerConfig;
+use crate::policy::PolicySpec;
 use crate::state::CheckpointConfig;
 use crate::trace::TraceLevel;
 
@@ -112,8 +113,20 @@ pub struct EngineConfig {
     /// retention statistics — are commit-to-prepare feedback paths);
     /// scripted *worker* kills
     /// ([`NetFaultPlan`](crate::recovery::NetFaultPlan)) are fully
-    /// supported at any depth.
+    /// supported at any depth. Non-[`Fixed`](crate::policy::PolicySpec)
+    /// partitioner policies also clamp to 1: per-batch strategy selection
+    /// pairs each batch with its own reduce assigner, which the depth-`d`
+    /// distributed wait path cannot thread yet.
     pub pipeline_depth: usize,
+    /// Which partitioner runs each batch (see [`crate::policy`]).
+    /// `Fixed` (the default) is the classic run-constant behaviour —
+    /// [`StreamingEngine::new`](crate::driver::StreamingEngine::new)
+    /// normalises it to the constructor's technique, so existing call
+    /// sites are unaffected. `Adaptive` scores the live frequency sketch
+    /// and plan metrics each batch and hot-swaps strategies at batch
+    /// boundaries; `Forced` replays an explicit per-batch sequence (the
+    /// differential-test oracle).
+    pub policy: PolicySpec,
 }
 
 impl Default for EngineConfig {
@@ -134,6 +147,7 @@ impl Default for EngineConfig {
             backend: Backend::default(),
             checkpoint: None,
             pipeline_depth: 1,
+            policy: PolicySpec::default(),
         }
     }
 }
@@ -199,6 +213,7 @@ impl EngineConfig {
         if let Some(ckpt) = &self.checkpoint {
             ckpt.validate()?;
         }
+        self.policy.validate()?;
         Ok(())
     }
 }
@@ -291,6 +306,24 @@ mod tests {
             },
             EngineConfig {
                 pipeline_depth: 33,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                policy: crate::policy::PolicySpec::Forced(vec![]),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                policy: crate::policy::PolicySpec::Adaptive(crate::policy::AdaptiveConfig {
+                    min_dwell: 0,
+                    ..crate::policy::AdaptiveConfig::default()
+                }),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                policy: crate::policy::PolicySpec::Adaptive(crate::policy::AdaptiveConfig {
+                    margin: 1.0,
+                    ..crate::policy::AdaptiveConfig::default()
+                }),
                 ..EngineConfig::default()
             },
         ];

@@ -26,11 +26,11 @@
 //! at commit, which is what keeps outputs bit-identical to serial at every
 //! depth.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use prompt_core::batch::{MicroBatch, PartitionPlan};
 use prompt_core::metrics::PlanMetrics;
-use prompt_core::partitioner::{PartitionPhases, Partitioner, Technique};
+use prompt_core::partitioner::{PartitionPhases, Partitioner, PartitionerRegistry, Technique};
 use prompt_core::reduce::{HashReduceAssigner, PromptReduceAllocator, ReduceAssigner};
 use prompt_core::types::{Duration, Interval, Time, Tuple};
 
@@ -38,6 +38,9 @@ use crate::config::{Backend, EngineConfig, OverheadMode};
 use crate::elasticity::{AutoScaler, Observation, ScaleAction};
 use crate::job::{Job, JobSpec};
 use crate::net::{DistributedOptions, DistributedRuntime, NetStats};
+use crate::policy::{
+    build_policy, BatchObservation, PartitionerPolicy, PolicyDecision, PolicySpec,
+};
 use crate::recovery::{FaultPlan, NetFaultPlan, ReplicatedBatchStore};
 use crate::source::TupleSource;
 use crate::stage::{execute_batch_traced, times_from_stats, BatchOutput, StageTimes};
@@ -82,6 +85,11 @@ pub struct BatchRecord {
     pub reduce_task_times: Vec<Duration>,
     /// Partition-quality metrics of the plan (BSI/BCI/KSR/MPI).
     pub plan_metrics: PlanMetrics,
+    /// The technique that partitioned this batch. Run-constant under a
+    /// `Fixed` policy; per-batch under `Adaptive`/`Forced`. `None` only for
+    /// engines built with [`StreamingEngine::with_parts`] (an explicit
+    /// partitioner instance has no [`Technique`] name).
+    pub technique: Option<Technique>,
 }
 
 /// The outcome of a streaming run.
@@ -112,6 +120,9 @@ pub struct RunResult {
     /// Stateful-operator emissions, one per emitted window, when a
     /// [`StatefulOp`] was attached with [`StreamingEngine::with_stateful`].
     pub stateful: Vec<WindowResult>,
+    /// The partitioner policy's per-batch decision log, in batch order.
+    /// Empty under a `Fixed` policy (the decision is the constructor's).
+    pub policy_decisions: Vec<PolicyDecision>,
 }
 
 impl RunResult {
@@ -257,11 +268,68 @@ impl ReduceStrategy {
     }
 }
 
+/// The per-technique strategy pool a non-`Fixed` policy hot-swaps between:
+/// lazily built partitioners (one instance per technique, reused across
+/// batches so stateful partitioners keep their cross-batch state) plus the
+/// two reduce assigners. Each assigner persists across the whole run — the
+/// Prompt allocator's task counter advances monotonically over every batch
+/// it assigns, so handing a switched-back technique a fresh assigner would
+/// break bit-identity with a forced-sequence run.
+pub(crate) struct StrategySet {
+    pub(crate) registry: PartitionerRegistry,
+    hash_assigner: Box<dyn ReduceAssigner>,
+    prompt_assigner: Box<dyn ReduceAssigner>,
+}
+
+impl StrategySet {
+    pub(crate) fn new(seed: u64, shards: usize, threads: usize) -> StrategySet {
+        StrategySet {
+            registry: PartitionerRegistry::with_parallelism(seed, shards, threads),
+            hash_assigner: ReduceStrategy::Hash.build_boxed(seed),
+            prompt_assigner: ReduceStrategy::Prompt.build_boxed(seed),
+        }
+    }
+
+    /// Both halves of the strategy for `t`, resolved together.
+    pub(crate) fn pair_mut(
+        &mut self,
+        t: Technique,
+    ) -> (&mut dyn Partitioner, &mut dyn ReduceAssigner) {
+        let assigner = match ReduceStrategy::for_technique(t) {
+            ReduceStrategy::Hash => self.hash_assigner.as_mut(),
+            ReduceStrategy::Prompt => self.prompt_assigner.as_mut(),
+        };
+        (self.registry.get_or_build(t), assigner)
+    }
+}
+
+/// The (partitioner, assigner) pair a batch runs with: the policy's
+/// strategy set when a per-batch technique was selected, else the engine's
+/// run-constant parts.
+fn resolve_pair<'a>(
+    base_partitioner: &'a mut Box<dyn Partitioner>,
+    base_assigner: &'a mut Box<dyn ReduceAssigner>,
+    strategies: &'a mut Option<StrategySet>,
+    technique: Option<Technique>,
+) -> (&'a mut dyn Partitioner, &'a mut dyn ReduceAssigner) {
+    match (strategies.as_mut(), technique) {
+        (Some(set), Some(t)) => set.pair_mut(t),
+        _ => (base_partitioner.as_mut(), base_assigner.as_mut()),
+    }
+}
+
 /// The micro-batch streaming engine.
 pub struct StreamingEngine {
     cfg: EngineConfig,
     partitioner: Box<dyn Partitioner>,
     assigner: Box<dyn ReduceAssigner>,
+    /// Per-technique strategy pool; `Some` exactly when `policy` is.
+    strategies: Option<StrategySet>,
+    /// Per-batch technique selection for non-`Fixed`
+    /// [`EngineConfig::policy`] specs.
+    policy: Option<Box<dyn PartitionerPolicy>>,
+    /// The constructor's technique (`None` for [`StreamingEngine::with_parts`]).
+    base_technique: Option<Technique>,
     job: Job,
     window: Option<WindowSpec>,
     stateful: Option<StatefulOp>,
@@ -299,6 +367,14 @@ struct PreparedBatch {
     plan: PartitionPlan,
     raw_overhead: Duration,
     visible_overhead: Duration,
+    /// The technique that partitioned this batch (policy-selected or the
+    /// constructor's); `None` only under `with_parts`.
+    technique: Option<Technique>,
+    /// The policy's decision for this batch, when a policy drove it.
+    decision: Option<PolicyDecision>,
+    /// Plan-quality metrics, computed once at prepare (the policy consumes
+    /// them too).
+    metrics: PlanMetrics,
     /// Processing time of suffix recomputes after a store loss (depth-1
     /// only — scheduled faults clamp the window); billed to this batch.
     restore_times: Vec<Duration>,
@@ -309,6 +385,22 @@ impl StreamingEngine {
     /// (paired with its natural reduce strategy) under `cfg`.
     pub fn new(cfg: EngineConfig, technique: Technique, seed: u64, job: Job) -> StreamingEngine {
         cfg.validate().expect("invalid engine config");
+        let mut cfg = cfg;
+        let (strategies, policy) = if cfg.policy.is_fixed() {
+            // The constructor's technique is authoritative: normalise the
+            // spec so `config()` reports what actually runs.
+            cfg.policy = PolicySpec::Fixed(technique);
+            (None, None)
+        } else {
+            (
+                Some(StrategySet::new(
+                    seed,
+                    cfg.ingest_shards,
+                    cfg.ingest_threads,
+                )),
+                Some(build_policy(&cfg.policy, technique, seed)),
+            )
+        };
         let reduce = ReduceStrategy::for_technique(technique);
         // The ingest-parallelism knob only applies to Prompt's batching
         // phase; every other technique partitions per tuple.
@@ -329,6 +421,9 @@ impl StreamingEngine {
             cfg,
             partitioner,
             assigner: reduce.build_boxed(seed),
+            strategies,
+            policy,
+            base_technique: Some(technique),
             job,
             window: None,
             stateful: None,
@@ -346,10 +441,18 @@ impl StreamingEngine {
         job: Job,
     ) -> StreamingEngine {
         cfg.validate().expect("invalid engine config");
+        assert!(
+            cfg.policy.is_fixed(),
+            "with_parts requires a Fixed partitioner policy: an explicit \
+             partitioner instance has no Technique name to hot-swap from"
+        );
         StreamingEngine {
             cfg,
             partitioner,
             assigner,
+            strategies: None,
+            policy: None,
+            base_technique: None,
             job,
             window: None,
             stateful: None,
@@ -555,9 +658,12 @@ impl StreamingEngine {
         // prepared — so those runs clamp to the classic depth-1 loop.
         // Scripted worker kills (NetFaultPlan) need no clamp: losses
         // surface through the wait path and recompute from the replicated
-        // store at any depth.
+        // store at any depth. Non-Fixed policies clamp too: each batch runs
+        // with its own (partitioner, assigner) pair, which the depth-d
+        // distributed wait path cannot thread yet.
         let depth = if scaler.is_some()
             || state_on
+            || self.policy.is_some()
             || self
                 .fault_tolerance
                 .as_ref()
@@ -569,6 +675,11 @@ impl StreamingEngine {
         };
         let mut prepared: VecDeque<PreparedBatch> = VecDeque::new();
         let mut next_seq = 0u64;
+        // Which technique partitioned each committed-or-prepared batch —
+        // store-loss replays of old batches must re-partition them with the
+        // same strategy the original run used. Only populated (and only
+        // consulted) when a policy drives the run.
+        let mut tech_log: HashMap<u64, Technique> = HashMap::new();
 
         loop {
             // ── Fill: advance batches from *buffering* to *partitioned*
@@ -651,11 +762,18 @@ impl StreamingEngine {
                             };
                         let riv = Interval::new(Time(bi.0 * b), Time(bi.0 * (b + 1)));
                         let rebatch = MicroBatch::new(input, riv);
-                        let replan = self.partitioner.partition(&rebatch, p);
+                        let tech_b = tech_log.get(&b).copied().or(self.base_technique);
+                        let (part, asg) = resolve_pair(
+                            &mut self.partitioner,
+                            &mut self.assigner,
+                            &mut self.strategies,
+                            tech_b,
+                        );
+                        let replan = part.partition(&rebatch, p);
                         let (routput, rtimes) = execute_with_recovery(
                             &mut backend,
-                            self.partitioner.as_mut(),
-                            self.assigner.as_mut(),
+                            part,
+                            asg,
                             &self.job,
                             &self.cfg,
                             &mut store_and_plan,
@@ -688,17 +806,44 @@ impl StreamingEngine {
                     state_store = Some(rebuilt);
                 }
 
+                // Per-batch technique resolution: the policy (when present)
+                // scores the previous batch's statistics and may hot-swap
+                // the strategy here, at the batch boundary. The decision is
+                // a pure function of prior observations — never of trace
+                // level or wall clock — so traced and untraced runs select
+                // identical sequences.
+                let dec0 = std::time::Instant::now();
+                let decision = self.policy.as_mut().map(|pol| pol.decide(seq));
+                let decide_us = dec0.elapsed().as_micros() as u64;
+                let technique = decision
+                    .as_ref()
+                    .map(|d| d.technique)
+                    .or(self.base_technique);
+                if let Some(d) = decision.as_ref() {
+                    tech_log.insert(seq, d.technique);
+                    rec.incr(Counter::PolicyDecisions, 1);
+                    if d.switched {
+                        rec.incr(Counter::PolicySwitches, 1);
+                        rec.event(TraceEvent::PolicySwitch {
+                            seq,
+                            from: d.prev.label(),
+                            to: d.technique.label(),
+                        });
+                    }
+                }
                 // Partition (optionally measuring real cost; when tracing, the
-                // phased path additionally times seal / symbolic / materialize —
-                // the plan is bit-identical either way).
+                // phased path additionally times select / seal / symbolic /
+                // materialize — the plan is bit-identical either way).
                 let t0 = std::time::Instant::now();
+                let partitioner: &mut dyn Partitioner =
+                    match (self.strategies.as_mut(), decision.as_ref()) {
+                        (Some(set), Some(d)) => set.registry.get_or_build(d.technique),
+                        _ => self.partitioner.as_mut(),
+                    };
                 let (plan, phases) = if tracing {
-                    self.partitioner.partition_phased(&batch, p)
+                    partitioner.partition_phased(&batch, p)
                 } else {
-                    (
-                        self.partitioner.partition(&batch, p),
-                        PartitionPhases::default(),
-                    )
+                    (partitioner.partition(&batch, p), PartitionPhases::default())
                 };
                 let raw_overhead = match self.cfg.overhead {
                     OverheadMode::None => Duration::ZERO,
@@ -707,18 +852,42 @@ impl StreamingEngine {
                         Duration::from_micros(t0.elapsed().as_micros() as u64)
                     }
                 };
-                if tracing && phases != PartitionPhases::default() {
-                    rec.phase(seq, StageKind::Seal, Duration::from_micros(phases.seal_us));
-                    rec.phase(
+                if tracing {
+                    // The select/score phase: the policy's decision plus the
+                    // technique's own per-tuple selection work, split out so
+                    // policy overhead is visible in stage-breakdown tables.
+                    if decision.is_some() || phases.select_us > 0 {
+                        rec.phase(
+                            seq,
+                            StageKind::Select,
+                            Duration::from_micros(decide_us + phases.select_us),
+                        );
+                    }
+                    if phases != PartitionPhases::default() {
+                        rec.phase(seq, StageKind::Seal, Duration::from_micros(phases.seal_us));
+                        rec.phase(
+                            seq,
+                            StageKind::PartitionSymbolic,
+                            Duration::from_micros(phases.symbolic_us),
+                        );
+                        rec.phase(
+                            seq,
+                            StageKind::PartitionMaterialize,
+                            Duration::from_micros(phases.materialize_us),
+                        );
+                    }
+                }
+                let metrics = PlanMetrics::of(&plan);
+                if let Some(pol) = self.policy.as_mut() {
+                    pol.observe(&BatchObservation {
                         seq,
-                        StageKind::PartitionSymbolic,
-                        Duration::from_micros(phases.symbolic_us),
-                    );
-                    rec.phase(
-                        seq,
-                        StageKind::PartitionMaterialize,
-                        Duration::from_micros(phases.materialize_us),
-                    );
+                        technique: technique.expect("policy runs always resolve a technique"),
+                        n_tuples,
+                        n_keys,
+                        map_tasks: p,
+                        metrics,
+                        plan: &plan,
+                    });
                 }
                 arrivals = batch.tuples; // reuse the allocation next interval
                 let visible_overhead = raw_overhead - self.cfg.early_release_slack();
@@ -730,6 +899,9 @@ impl StreamingEngine {
                     plan,
                     raw_overhead,
                     visible_overhead,
+                    technique,
+                    decision,
+                    metrics,
                     restore_times,
                 };
                 if depth > 1 {
@@ -760,6 +932,9 @@ impl StreamingEngine {
                 plan,
                 raw_overhead,
                 visible_overhead,
+                technique,
+                decision,
+                metrics,
                 restore_times,
             } = pb;
 
@@ -816,22 +991,30 @@ impl StreamingEngine {
                         }
                     }
                 },
-                backend => execute_with_recovery(
-                    backend,
-                    self.partitioner.as_mut(),
-                    self.assigner.as_mut(),
-                    &self.job,
-                    &self.cfg,
-                    &mut store_and_plan,
-                    &plan,
-                    seq,
-                    interval,
-                    p,
-                    r,
-                    &rec,
-                    tracing,
-                    &mut result,
-                ),
+                backend => {
+                    let (part, asg) = resolve_pair(
+                        &mut self.partitioner,
+                        &mut self.assigner,
+                        &mut self.strategies,
+                        technique,
+                    );
+                    execute_with_recovery(
+                        backend,
+                        part,
+                        asg,
+                        &self.job,
+                        &self.cfg,
+                        &mut store_and_plan,
+                        &plan,
+                        seq,
+                        interval,
+                        p,
+                        r,
+                        &rec,
+                        tracing,
+                        &mut result,
+                    )
+                }
             };
             if !self.stragglers.is_empty() {
                 self.stragglers
@@ -889,11 +1072,17 @@ impl StreamingEngine {
                             .to_vec()
                     };
                     let rebatch = MicroBatch::new(input, interval);
-                    let replan = self.partitioner.partition(&rebatch, p);
+                    let (part, asg) = resolve_pair(
+                        &mut self.partitioner,
+                        &mut self.assigner,
+                        &mut self.strategies,
+                        technique,
+                    );
+                    let replan = part.partition(&rebatch, p);
                     let (recovered, retimes) = execute_with_recovery(
                         &mut backend,
-                        self.partitioner.as_mut(),
-                        self.assigner.as_mut(),
+                        part,
+                        asg,
                         &self.job,
                         &self.cfg,
                         &mut store_and_plan,
@@ -1136,6 +1325,9 @@ impl StreamingEngine {
                 }
             }
 
+            if let Some(d) = decision {
+                result.policy_decisions.push(d);
+            }
             result.batches.push(BatchRecord {
                 seq,
                 n_tuples,
@@ -1152,7 +1344,8 @@ impl StreamingEngine {
                 w,
                 map_task_times: times.map_tasks,
                 reduce_task_times: times.reduce_tasks,
-                plan_metrics: PlanMetrics::of(&plan),
+                plan_metrics: metrics,
+                technique,
             });
         }
         if let BackendRuntime::Distributed { rt, .. } = &mut backend {

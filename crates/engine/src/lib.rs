@@ -42,6 +42,7 @@ pub mod driver;
 pub mod elasticity;
 pub mod job;
 pub mod net;
+pub mod policy;
 pub mod recovery;
 pub mod reorder;
 /// Re-export of the stream-source abstraction from `prompt-core`.
@@ -69,6 +70,10 @@ pub mod prelude {
     pub use crate::job::{Job, JobSpec, MapSpec, ReduceOp};
     pub use crate::net::{
         DistributedOptions, DistributedRuntime, LaunchMode, NetStats, WorkerLoss,
+    };
+    pub use crate::policy::{
+        build_policy, AdaptiveConfig, AdaptivePolicy, BatchObservation, FixedPolicy,
+        ForcedSequencePolicy, PartitionerPolicy, PolicyDecision, PolicySpec,
     };
     pub use crate::recovery::{
         FaultPlan, FaultPoint, NetFault, NetFaultPlan, RecoveryError, ReplicatedBatchStore,

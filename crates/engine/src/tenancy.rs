@@ -33,9 +33,10 @@ use prompt_core::reduce::ReduceAssigner;
 use prompt_core::types::{Duration, Interval, Time, Tuple};
 
 use crate::config::{Backend, EngineConfig, OverheadMode};
-use crate::driver::{BatchRecord, ReduceStrategy};
+use crate::driver::{BatchRecord, ReduceStrategy, StrategySet};
 use crate::job::{Job, JobSpec};
 use crate::net::{DistributedOptions, DistributedRuntime};
+use crate::policy::{build_policy, BatchObservation, PartitionerPolicy, PolicySpec};
 use crate::source::TupleSource;
 use crate::stage::{execute_batch_traced, times_from_stats, BatchOutput, StageTimes};
 use crate::threaded::ThreadedExecutor;
@@ -57,6 +58,11 @@ pub struct TenantSpec {
     /// Fair-share weight (≥ 1): a weight-2 tenant is entitled to twice the
     /// slot time of a weight-1 tenant under contention.
     pub weight: u32,
+    /// Which partitioner runs each of this tenant's batches. `Fixed` (the
+    /// default) keeps [`TenantSpec::technique`] for the whole run; a
+    /// non-`Fixed` spec hot-swaps per batch exactly like the solo driver,
+    /// with `technique` as batch 0's strategy.
+    pub policy: PolicySpec,
 }
 
 impl TenantSpec {
@@ -71,12 +77,19 @@ impl TenantSpec {
             job,
             window: None,
             weight: 1,
+            policy: PolicySpec::default(),
         }
     }
 
     /// Attach a window computation.
     pub fn with_window(mut self, spec: WindowSpec) -> TenantSpec {
         self.window = Some(spec);
+        self
+    }
+
+    /// Set the partitioner-selection policy (validated at engine build).
+    pub fn with_policy(mut self, policy: PolicySpec) -> TenantSpec {
+        self.policy = policy;
         self
     }
 
@@ -256,6 +269,10 @@ enum SharedBackend {
 struct TenantState {
     partitioner: Box<dyn Partitioner>,
     assigner: Box<dyn ReduceAssigner>,
+    /// Per-technique strategy pool; `Some` exactly when `policy` is.
+    strategies: Option<StrategySet>,
+    /// Per-batch technique selection for non-`Fixed` tenant policies.
+    policy: Option<Box<dyn PartitionerPolicy>>,
     window: Option<WindowState>,
     pipeline_free_at: Time,
     run: TenantRun,
@@ -275,6 +292,11 @@ impl MultiTenantEngine {
     pub fn new(cfg: EngineConfig, tenants: Vec<TenantSpec>) -> MultiTenantEngine {
         cfg.validate().expect("invalid engine config");
         assert!(!tenants.is_empty(), "need at least one tenant");
+        for t in &tenants {
+            t.policy
+                .validate()
+                .unwrap_or_else(|e| panic!("tenant '{}' policy invalid: {e}", t.name));
+        }
         MultiTenantEngine {
             cfg,
             tenants,
@@ -345,6 +367,9 @@ impl MultiTenantEngine {
             .map(|spec| TenantState {
                 partitioner: spec.technique.build(spec.seed),
                 assigner: ReduceStrategy::for_technique(spec.technique).build_boxed(spec.seed),
+                strategies: (!spec.policy.is_fixed()).then(|| StrategySet::new(spec.seed, 1, 1)),
+                policy: (!spec.policy.is_fixed())
+                    .then(|| build_policy(&spec.policy, spec.technique, spec.seed)),
                 window: spec
                     .window
                     .map(|w| WindowState::new(w, bi, spec.job.reduce)),
@@ -371,7 +396,7 @@ impl MultiTenantEngine {
             let mut outputs: Vec<BatchOutput> = Vec::with_capacity(n_tenants);
             let mut all_times: Vec<StageTimes> = Vec::with_capacity(n_tenants);
             let mut overheads: Vec<(Duration, Duration)> = Vec::with_capacity(n_tenants);
-            let mut plan_stats: Vec<(usize, usize, usize, PlanMetrics)> =
+            let mut plan_stats: Vec<(usize, usize, usize, PlanMetrics, Technique)> =
                 Vec::with_capacity(n_tenants);
             for (i, st) in states.iter_mut().enumerate() {
                 let tracing = st.run.trace.enabled();
@@ -386,8 +411,40 @@ impl MultiTenantEngine {
                 let n_keys = batch.distinct_keys();
                 st.run.trace.incr(Counter::Batches, 1);
                 st.run.trace.incr(Counter::Tuples, n_tuples as u64);
+                // Per-batch technique resolution, mirroring the solo driver:
+                // a non-Fixed tenant policy may hot-swap the strategy here.
+                let dec0 = std::time::Instant::now();
+                let decision = st.policy.as_mut().map(|pol| pol.decide(seq));
+                let decide_us = dec0.elapsed().as_micros() as u64;
+                let technique = decision
+                    .as_ref()
+                    .map(|d| d.technique)
+                    .unwrap_or(self.tenants[i].technique);
+                if let Some(d) = decision.as_ref() {
+                    st.run.trace.incr(Counter::PolicyDecisions, 1);
+                    if d.switched {
+                        st.run.trace.incr(Counter::PolicySwitches, 1);
+                        st.run.trace.event(TraceEvent::PolicySwitch {
+                            seq,
+                            from: d.prev.label(),
+                            to: d.technique.label(),
+                        });
+                    }
+                    if tracing {
+                        st.run.trace.phase(
+                            seq,
+                            StageKind::Select,
+                            Duration::from_micros(decide_us),
+                        );
+                    }
+                }
+                let (part, asg): (&mut dyn Partitioner, &mut dyn ReduceAssigner) =
+                    match (st.strategies.as_mut(), decision.as_ref()) {
+                        (Some(set), Some(d)) => set.pair_mut(d.technique),
+                        _ => (st.partitioner.as_mut(), st.assigner.as_mut()),
+                    };
                 let t0 = std::time::Instant::now();
-                let plan = st.partitioner.partition(&batch, p);
+                let plan = part.partition(&batch, p);
                 let raw_overhead = match self.cfg.overhead {
                     OverheadMode::None => Duration::ZERO,
                     OverheadMode::Fixed(d) => d,
@@ -396,11 +453,23 @@ impl MultiTenantEngine {
                     }
                 };
                 let visible_overhead = raw_overhead - self.cfg.early_release_slack();
+                let metrics = PlanMetrics::of(&plan);
+                if let Some(pol) = st.policy.as_mut() {
+                    pol.observe(&BatchObservation {
+                        seq,
+                        technique,
+                        n_tuples,
+                        n_keys,
+                        map_tasks: p,
+                        metrics,
+                        plan: &plan,
+                    });
+                }
                 let (output, mut times) = match &mut backend {
                     SharedBackend::InProcess => execute_batch_traced(
                         &plan,
                         &self.tenants[i].job,
-                        st.assigner.as_mut(),
+                        asg,
                         r,
                         &self.cfg.cost,
                         &self.cfg.cluster,
@@ -410,7 +479,7 @@ impl MultiTenantEngine {
                         let (output, stats, _wall) = exec.execute_with_stats(
                             &plan,
                             &self.tenants[i].job,
-                            st.assigner.as_mut(),
+                            asg,
                             r,
                             tracing.then_some((&st.run.trace, seq)),
                         );
@@ -429,7 +498,7 @@ impl MultiTenantEngine {
                                 wire_seq,
                                 use_plan,
                                 &specs[i],
-                                st.assigner.as_mut(),
+                                &mut *asg,
                                 r,
                                 tracing.then_some((&st.run.trace, seq)),
                             ) {
@@ -455,7 +524,7 @@ impl MultiTenantEngine {
                                             worker: loss.worker,
                                         });
                                     }
-                                    attempt_plan = Some(st.partitioner.partition(&batch, p));
+                                    attempt_plan = Some(part.partition(&batch, p));
                                 }
                             }
                         }
@@ -468,7 +537,7 @@ impl MultiTenantEngine {
                 }
                 arrivals = batch.tuples; // reuse the allocation next tenant
                 outputs.push(output);
-                plan_stats.push((n_tuples, n_keys, plan.n_blocks(), PlanMetrics::of(&plan)));
+                plan_stats.push((n_tuples, n_keys, plan.n_blocks(), metrics, technique));
                 overheads.push((raw_overhead, visible_overhead));
                 all_times.push(times);
             }
@@ -494,7 +563,7 @@ impl MultiTenantEngine {
             for (i, st) in states.iter_mut().enumerate() {
                 let times = &all_times[i];
                 let (raw_overhead, visible_overhead) = overheads[i];
-                let (n_tuples, n_keys, n_blocks, metrics) = plan_stats[i];
+                let (n_tuples, n_keys, n_blocks, metrics, technique) = plan_stats[i];
                 let map_stage = map_spans[i];
                 let reduce_stage = reduce_spans[i];
                 let solo_map = self.cfg.cluster.makespan(&times.map_tasks);
@@ -557,6 +626,7 @@ impl MultiTenantEngine {
                     map_task_times: times.map_tasks.clone(),
                     reduce_task_times: times.reduce_tasks.clone(),
                     plan_metrics: metrics,
+                    technique: Some(technique),
                 });
             }
             for (st, output) in states.iter_mut().zip(outputs) {

@@ -64,6 +64,11 @@ pub enum TraceLevel {
 pub enum StageKind {
     /// The batching interval itself (virtual span = the heartbeat period).
     Accumulate,
+    /// Wall-clock: the per-batch select/score work — the policy's strategy
+    /// decision plus the chosen technique's per-tuple selection phase (e.g.
+    /// the d-choices sketch probe), split out of the partition phases so
+    /// policy overhead is visible in stage-breakdown tables.
+    Select,
     /// Wall-clock: replaying the accumulator into the sealed batch.
     Seal,
     /// Wall-clock: Algorithm 2's symbolic piece assignment.
@@ -86,8 +91,9 @@ pub enum StageKind {
 
 impl StageKind {
     /// All kinds, in lifecycle order.
-    pub const ALL: [StageKind; 10] = [
+    pub const ALL: [StageKind; 11] = [
         StageKind::Accumulate,
+        StageKind::Select,
         StageKind::Seal,
         StageKind::PartitionSymbolic,
         StageKind::PartitionMaterialize,
@@ -103,6 +109,7 @@ impl StageKind {
     pub fn name(self) -> &'static str {
         match self {
             StageKind::Accumulate => "accumulate",
+            StageKind::Select => "select",
             StageKind::Seal => "seal",
             StageKind::PartitionSymbolic => "partition_symbolic",
             StageKind::PartitionMaterialize => "partition_materialize",
@@ -195,11 +202,15 @@ pub enum Counter {
     ShuffleBytesWire,
     /// v1 fixed-width equivalent of the same fetch replies.
     ShuffleBytesRaw,
+    /// Partitioner-policy decisions evaluated at batch boundaries.
+    PolicyDecisions,
+    /// Policy decisions that switched the partitioning technique.
+    PolicySwitches,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 30] = [
         Counter::Batches,
         Counter::Tuples,
         Counter::ScatterFragments,
@@ -228,6 +239,8 @@ impl Counter {
         Counter::ShuffleWaitUs,
         Counter::ShuffleBytesWire,
         Counter::ShuffleBytesRaw,
+        Counter::PolicyDecisions,
+        Counter::PolicySwitches,
     ];
 
     /// Stable wire name.
@@ -261,6 +274,8 @@ impl Counter {
             Counter::ShuffleWaitUs => "shuffle_wait_us",
             Counter::ShuffleBytesWire => "shuffle_bytes_wire",
             Counter::ShuffleBytesRaw => "shuffle_bytes_raw",
+            Counter::PolicyDecisions => "policy_decisions",
+            Counter::PolicySwitches => "policy_switches",
         }
     }
 
@@ -389,6 +404,16 @@ pub enum TraceEvent {
         /// Batches recomputed from retained input to catch up.
         recomputed: u64,
     },
+    /// The partitioner policy hot-swapped the technique at a batch
+    /// boundary: batch `seq` runs `to` where its predecessor ran `from`.
+    PolicySwitch {
+        /// First batch partitioned by the new technique.
+        seq: u64,
+        /// Label of the previous technique (`Technique::label`).
+        from: String,
+        /// Label of the newly selected technique.
+        to: String,
+    },
     /// A scale action changed the reduce count and state shards migrated.
     StateMigrate {
         /// Batch sequence number of the scale action.
@@ -430,6 +455,7 @@ impl TraceEvent {
             | TraceEvent::Checkpoint { seq, .. }
             | TraceEvent::StateRestore { seq, .. }
             | TraceEvent::StateMigrate { seq, .. } => Some(seq),
+            TraceEvent::PolicySwitch { seq, .. } => Some(seq),
             TraceEvent::Probe { .. } => None,
         }
     }
@@ -515,6 +541,9 @@ impl TraceEvent {
                 bytes,
             } => format!(
                 "{{\"type\":\"state_migrate\",\"seq\":{seq},\"from_r\":{from_r},\"to_r\":{to_r},\"keys\":{keys},\"bytes\":{bytes}}}"
+            ),
+            TraceEvent::PolicySwitch { seq, from, to } => format!(
+                "{{\"type\":\"policy_switch\",\"seq\":{seq},\"from\":\"{from}\",\"to\":\"{to}\"}}"
             ),
         }
     }
@@ -688,6 +717,11 @@ fn parse_event(line: &str) -> Result<TraceEvent, String> {
             to_r: num("to_r")? as usize,
             keys: num("keys")?,
             bytes: num("bytes")?,
+        }),
+        "policy_switch" => Ok(TraceEvent::PolicySwitch {
+            seq: num("seq")?,
+            from: get("from")?.to_string(),
+            to: get("to")?.to_string(),
         }),
         other => Err(format!("unknown event type '{other}'")),
     }
@@ -1165,6 +1199,11 @@ mod tests {
                 to_r: 8,
                 keys: 17,
                 bytes: 1024,
+            },
+            TraceEvent::PolicySwitch {
+                seq: 14,
+                from: "Hash".to_string(),
+                to: "Prompt".to_string(),
             },
         ];
         let text = to_jsonl(&events);

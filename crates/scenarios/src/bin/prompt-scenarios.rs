@@ -34,6 +34,9 @@ OPTIONS:
   --tenants N            Concurrent tenant jobs per cell      [default: 2]
   --batches N            Heartbeats per cell                  [default: 8]
   --noisy                Inject a noisy neighbor against the last tenant
+  --adaptive             Add an Adaptive-policy cell per scenario (hot-swaps
+                         techniques at batch boundaries; oracle is the solo
+                         run forced through the recorded sequence)
   --seed N               Base seed                            [default: 12648430]
   --quick                Fewer batches (4) for a fast smoke pass
   --out PATH             Write the scorecard JSON to PATH
@@ -50,6 +53,7 @@ struct Options {
     tenants: usize,
     batches: usize,
     noisy: bool,
+    adaptive: bool,
     seed: u64,
     out: Option<String>,
     check: Option<String>,
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Options, String> {
         tenants: 2,
         batches: 8,
         noisy: false,
+        adaptive: false,
         seed: 0xC0FFEE,
         out: None,
         check: None,
@@ -105,6 +110,7 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--noisy" => opts.noisy = true,
+            "--adaptive" => opts.adaptive = true,
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
@@ -172,7 +178,7 @@ fn main() -> ExitCode {
         opts.batches,
         opts.backend,
     );
-    let cells = run_matrix(
+    let mut cells = run_matrix(
         &scenarios,
         &techniques,
         opts.tenants,
@@ -181,6 +187,22 @@ fn main() -> ExitCode {
         opts.seed,
         opts.noisy,
     );
+    if opts.adaptive {
+        use prompt_engine::policy::{AdaptiveConfig, PolicySpec};
+        use prompt_scenarios::harness::{run_cell, CellConfig};
+        for s in &scenarios {
+            cells.push(run_cell(&CellConfig {
+                scenario: *s,
+                technique: Technique::Hash,
+                policy: PolicySpec::Adaptive(AdaptiveConfig::default()),
+                tenants: opts.tenants,
+                batches: opts.batches,
+                backend: opts.backend,
+                seed: opts.seed,
+                noisy: opts.noisy,
+            }));
+        }
+    }
     let broken: Vec<String> = cells
         .iter()
         .filter(|c| !c.bit_identical)

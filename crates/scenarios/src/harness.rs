@@ -18,20 +18,28 @@ use prompt_engine::cluster::Cluster;
 use prompt_engine::config::{Backend, EngineConfig, OverheadMode};
 use prompt_engine::driver::StreamingEngine;
 use prompt_engine::job::{Job, ReduceOp};
+use prompt_engine::policy::PolicySpec;
 use prompt_engine::stats::percentile_sorted;
 use prompt_engine::tenancy::{MultiTenantEngine, NoisyNeighbor, TenantRun, TenantSpec};
-use prompt_engine::trace::{StageKind, TraceEvent, TraceLevel, PROCESSING_KINDS};
+use prompt_engine::trace::{Counter, StageKind, TraceEvent, TraceLevel, PROCESSING_KINDS};
 use prompt_engine::window::WindowSpec;
 
 use crate::matrix::Scenario;
 
 /// Configuration of one scorecard cell.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CellConfig {
     /// The stream recipe.
     pub scenario: Scenario,
-    /// The partitioner under test (all tenants use it).
+    /// The partitioner under test (all tenants use it). Under a non-`Fixed`
+    /// [`CellConfig::policy`] this is batch 0's technique — the policy may
+    /// hot-swap from there.
     pub technique: Technique,
+    /// Partitioner-selection policy every tenant runs. `Fixed` (default)
+    /// is the classic run-constant cell; `Adaptive` makes each tenant score
+    /// and hot-swap per batch, and its oracle becomes the solo run forced
+    /// through the tenant's recorded technique sequence.
+    pub policy: PolicySpec,
     /// Concurrent tenant jobs sharing the cluster (≥ 1; the wall runs 2+).
     pub tenants: usize,
     /// Heartbeats to run.
@@ -51,6 +59,7 @@ impl CellConfig {
         CellConfig {
             scenario,
             technique,
+            policy: PolicySpec::default(),
             tenants: 2,
             batches: 8,
             backend: Backend::InProcess,
@@ -90,6 +99,8 @@ pub struct CellOutcome {
     pub backpressure: bool,
     /// Mean per-batch slot-contention penalty (ms), all tenants.
     pub slot_wait_ms: f64,
+    /// Technique hot-swaps across all tenants (0 for `Fixed` cells).
+    pub policy_switches: u64,
 }
 
 /// Engine configuration shared by the cell run and its oracles: a small
@@ -150,9 +161,26 @@ fn trace_latencies_us(run: &TenantRun, bi: Duration) -> Vec<u64> {
 }
 
 /// Compare one tenant of the shared run against its serial solo oracle.
+///
+/// For `Fixed` cells the oracle is the classic run-constant solo engine.
+/// For a non-`Fixed` cell the oracle replays the tenant's *recorded*
+/// per-batch technique sequence through [`PolicySpec::Forced`] — the
+/// adaptive tenant must be bit-identical to that forced solo run.
 fn matches_oracle(cell: &CellConfig, tenant_idx: usize, shared: &TenantRun) -> bool {
+    let mut cfg = cell_engine_config(Backend::InProcess);
+    if !cell.policy.is_fixed() {
+        let sequence: Vec<Technique> = shared
+            .batches
+            .iter()
+            .map(|b| b.technique.unwrap_or(cell.technique))
+            .collect();
+        if sequence.is_empty() {
+            return false;
+        }
+        cfg.policy = PolicySpec::Forced(sequence);
+    }
     let mut oracle = StreamingEngine::new(
-        cell_engine_config(Backend::InProcess),
+        cfg,
         cell.technique,
         cell.seed.wrapping_add(tenant_idx as u64),
         Job::identity("oracle", ReduceOp::Count),
@@ -168,6 +196,7 @@ fn matches_oracle(cell: &CellConfig, tenant_idx: usize, shared: &TenantRun) -> b
             || a.n_keys != b.n_keys
             || a.map_tasks != b.map_tasks
             || a.plan_metrics != b.plan_metrics
+            || a.technique != b.technique
         {
             return false;
         }
@@ -202,6 +231,7 @@ pub fn run_cell(cell: &CellConfig) -> CellOutcome {
                 Job::identity(format!("t{i}"), ReduceOp::Count),
             )
             .with_window(window_spec())
+            .with_policy(cell.policy.clone())
         })
         .collect();
     let mut engine = MultiTenantEngine::new(cfg, specs);
@@ -229,6 +259,7 @@ pub fn run_cell(cell: &CellConfig) -> CellOutcome {
     let mut backpressure = false;
     let mut slot_wait_us = 0u64;
     let mut n_waits = 0usize;
+    let mut policy_switches = 0u64;
     for (i, t) in result.tenants.iter().enumerate() {
         // The noisy-neighbor injection is timing-only; answers still have
         // to match the oracle, so victims stay in the differential too.
@@ -245,13 +276,20 @@ pub fn run_cell(cell: &CellConfig) -> CellOutcome {
         backpressure |= t.backpressure;
         slot_wait_us += t.slot_waits.iter().map(|d| d.0).sum::<u64>();
         n_waits += t.slot_waits.len();
+        policy_switches += t.trace.counter(Counter::PolicySwitches);
     }
     let n = n_records.max(1) as f64;
     let mut sorted: Vec<f64> = latencies_us.iter().map(|&us| us as f64 / 1e3).collect();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     CellOutcome {
         scenario: cell.scenario.name(),
-        technique: cell.technique.label(),
+        // Non-Fixed cells rank as their own wall column, not as batch 0's
+        // technique.
+        technique: match &cell.policy {
+            PolicySpec::Fixed(_) => cell.technique.label(),
+            PolicySpec::Adaptive(_) => "Adaptive".into(),
+            PolicySpec::Forced(_) => "Forced".into(),
+        },
         bit_identical,
         bsi: bsi / n,
         bci: bci / n,
@@ -267,6 +305,7 @@ pub fn run_cell(cell: &CellConfig) -> CellOutcome {
         } else {
             slot_wait_us as f64 / n_waits as f64 / 1e3
         },
+        policy_switches,
     }
 }
 
@@ -286,6 +325,7 @@ pub fn run_matrix(
             out.push(run_cell(&CellConfig {
                 scenario: *s,
                 technique: *t,
+                policy: PolicySpec::default(),
                 tenants,
                 batches,
                 backend,
@@ -364,6 +404,39 @@ mod tests {
             prompt.mpi,
             hash.mpi
         );
+    }
+
+    #[test]
+    fn adaptive_policy_cells_match_forced_sequence_oracles_on_all_backends() {
+        use prompt_engine::policy::AdaptiveConfig;
+        // The α-drift stream sweeps uniform → heavily skewed mid-run, so an
+        // adaptive tenant starting on Hash must hot-swap at least once; the
+        // oracle is the solo run forced through the recorded sequence.
+        let s = Scenario::by_name("drift-const-64k").expect("exists");
+        for backend in [
+            Backend::InProcess,
+            Backend::Threaded { threads: 4 },
+            Backend::Distributed {
+                workers: 2,
+                base_port: 0,
+            },
+        ] {
+            let mut cfg = CellConfig::new(s, Technique::Hash);
+            cfg.policy = PolicySpec::Adaptive(AdaptiveConfig::default());
+            cfg.backend = backend;
+            let out = run_cell(&cfg);
+            assert_eq!(out.technique, "Adaptive");
+            assert!(
+                out.bit_identical,
+                "{backend:?}: adaptive tenants diverged from their forced-sequence oracles"
+            );
+            assert!(
+                out.policy_switches >= 2,
+                "{backend:?}: both tenants must hot-swap on the drift stream, \
+                 saw {} switches",
+                out.policy_switches
+            );
+        }
     }
 
     #[test]

@@ -103,7 +103,8 @@ impl Scorecard {
                 "{{\"scenario\":\"{}\",\"technique\":\"{}\",\"rank\":{},\"bit_identical\":{},\
                  \"bsi\":{:.6},\"bci\":{:.6},\"ksr\":{:.6},\"mpi\":{:.6},\
                  \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\
-                 \"throughput\":{:.3},\"backpressure\":{},\"slot_wait_ms\":{:.3}}}{sep}\n",
+                 \"throughput\":{:.3},\"backpressure\":{},\"slot_wait_ms\":{:.3},\
+                 \"policy_switches\":{}}}{sep}\n",
                 c.scenario,
                 c.technique,
                 r.rank,
@@ -118,6 +119,7 @@ impl Scorecard {
                 c.throughput,
                 c.backpressure,
                 c.slot_wait_ms,
+                c.policy_switches,
             ));
         }
         out.push_str("]\n}\n");
@@ -151,6 +153,8 @@ impl Scorecard {
                     .ok_or_else(|| at("missing backpressure"))?,
                 slot_wait_ms: field_f64(line, "slot_wait_ms")
                     .ok_or_else(|| at("missing slot_wait_ms"))?,
+                // Absent in pre-policy baselines: default to no switches.
+                policy_switches: field_f64(line, "policy_switches").unwrap_or(0.0) as u64,
             };
             let rank = field_f64(line, "rank").ok_or_else(|| at("missing rank"))? as usize;
             cells.push(RankedCell { rank, cell });
@@ -257,6 +261,7 @@ mod tests {
             throughput: 5000.0,
             backpressure: false,
             slot_wait_ms: 1.5,
+            policy_switches: 0,
         }
     }
 

@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use prompt_core::partitioner::Technique;
 use prompt_core::source::TupleSource;
 use prompt_core::types::Duration;
+use prompt_engine::policy::{AdaptiveConfig, PolicySpec};
 use prompt_workloads::datasets;
 use prompt_workloads::rate::RateProfile;
 
@@ -67,6 +68,10 @@ pub struct Options {
     pub seed: u64,
     /// Verbose output (per-block plan diagnostics for `partition`).
     pub verbose: bool,
+    /// Partitioner-selection policy (`run` only): `fixed` keeps
+    /// `--technique` for the whole run; `adaptive` scores the live sketch
+    /// each batch and may hot-swap the strategy at batch boundaries.
+    pub policy: PolicySpec,
 }
 
 impl Default for Options {
@@ -84,7 +89,17 @@ impl Default for Options {
             elastic: false,
             seed: 42,
             verbose: false,
+            policy: PolicySpec::default(),
         }
+    }
+}
+
+/// Parse a policy name.
+pub fn parse_policy(s: &str) -> Result<PolicySpec, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "fixed" => Ok(PolicySpec::default()),
+        "adaptive" => Ok(PolicySpec::Adaptive(AdaptiveConfig::default())),
+        other => Err(format!("unknown policy '{other}' (try: fixed, adaptive)")),
     }
 }
 
@@ -165,6 +180,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     if let Some(v) = kv.remove("technique") {
         opts.technique = parse_technique(&v)?;
     }
+    if let Some(v) = kv.remove("policy") {
+        opts.policy = parse_policy(&v)?;
+    }
     if let Some(v) = kv.remove("dataset") {
         let v = v.to_ascii_lowercase();
         if !["tweets", "synd", "debs", "gcm", "tpch"].contains(&v.as_str()) {
@@ -209,6 +227,7 @@ COMMANDS:
 
 OPTIONS (all optional):
     --technique <t>     prompt | time-based | shuffle | hash | pk2 | pk5 | cam4 | dchoices5
+    --policy <p>        fixed | adaptive (run command)        [fixed]
     --dataset <d>       tweets | synd | debs | gcm | tpch     [tweets]
     --rate <r>          input rate, tuples/s                  [50000]
     --skew <z>          Zipf exponent (synd)                  [1.0]
@@ -305,6 +324,21 @@ mod tests {
             Technique::PromptPostSort
         );
         assert!(parse_technique("banana").is_err());
+    }
+
+    #[test]
+    fn policy_option_parses() {
+        assert_eq!(parse_policy("fixed").unwrap(), PolicySpec::default());
+        assert!(matches!(
+            parse_policy("Adaptive").unwrap(),
+            PolicySpec::Adaptive(_)
+        ));
+        assert!(parse_policy("greedy").is_err());
+        let cli = parse(&argv("run --policy adaptive")).unwrap();
+        assert!(matches!(cli.opts.policy, PolicySpec::Adaptive(_)));
+        assert!(parse(&argv("run --policy greedy"))
+            .unwrap_err()
+            .contains("unknown policy"));
     }
 
     #[test]

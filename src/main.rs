@@ -39,6 +39,7 @@ fn engine_config(cli: &Cli) -> EngineConfig {
         cfg.backpressure_queue = f64::INFINITY;
         cfg.elasticity = Some(ScalerConfig::default());
     }
+    cfg.policy = cli.opts.policy.clone();
     cfg
 }
 
@@ -64,17 +65,30 @@ fn run(cli: &Cli) {
         cli.opts.rate,
         result.batches.len()
     );
-    println!("batch  tuples    keys   maps reds     W   latency ms");
+    println!("batch  tuples    keys   maps reds     W   latency ms  technique");
     for b in &result.batches {
         println!(
-            "{:>5} {:>7} {:>7} {:>5} {:>4} {:>6.3} {:>10.1}",
+            "{:>5} {:>7} {:>7} {:>5} {:>4} {:>6.3} {:>10.1}  {}",
             b.seq,
             b.n_tuples,
             b.n_keys,
             b.map_tasks,
             b.reduce_tasks,
             b.w,
-            b.latency.as_secs_f64() * 1e3
+            b.latency.as_secs_f64() * 1e3,
+            b.technique.map(|t| t.label()).unwrap_or_default()
+        );
+    }
+    let switches = result
+        .policy_decisions
+        .iter()
+        .filter(|d| d.switched)
+        .count();
+    if !result.policy_decisions.is_empty() {
+        println!(
+            "policy: {} decisions, {} switches",
+            result.policy_decisions.len(),
+            switches
         );
     }
     println!(
