@@ -1,0 +1,12 @@
+//! Key-group rebalancing vs Algorithm 4 elasticity (see
+//! `prompt_bench::experiments::rebalance`).
+
+fn main() {
+    let quick = prompt_bench::quick_flag();
+    eprintln!(
+        "running rebalance ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let tables = prompt_bench::experiments::rebalance::run(quick);
+    prompt_bench::emit_all(&tables);
+}

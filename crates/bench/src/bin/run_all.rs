@@ -20,6 +20,7 @@ fn main() {
         ("ablations", prompt_bench::experiments::ablation::run),
         ("scenarios", prompt_bench::experiments::scenarios::run),
         ("adaptive_policy", prompt_bench::experiments::adaptive::run),
+        ("rebalance", prompt_bench::experiments::rebalance::run),
     ];
     for (name, run) in all {
         eprintln!("=== {name} ({}) ===", if quick { "quick" } else { "full" });

@@ -15,6 +15,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig6;
 pub mod net_overhead;
+pub mod rebalance;
 pub mod scenarios;
 pub mod table1;
 

@@ -1,0 +1,363 @@
+//! Key-group rebalancing vs Algorithm 4 elasticity on a skew shift.
+//!
+//! Runs a mid-stream skew shift — a uniform prefix, then eight hot keys
+//! that together carry 40% of the batch mass — through the real engine
+//! once per strategy:
+//!
+//! * **Static**: group routing with no migrations
+//!   ([`RebalanceSpec::Forced`] with an empty plan list) — the hot keys
+//!   stay piled on one reduce worker for the rest of the run.
+//! * **AutoScaler**: Algorithm 4's whole-cluster elasticity — it must see
+//!   `d` consecutive overloaded batches before it changes task counts,
+//!   and the new hash layout reshuffles *every* key.
+//! * **Rebalance**: the [`AutoRebalance`] hot-group detector — it moves
+//!   only the offending key-groups at the next batch boundary.
+//!
+//! The hot keys are searched at setup so they collide on one reduce
+//! worker under *both* routing schemes (the plain `bucket_of` hash the
+//! scaler and its pre-scale layout use, and the key-group round-robin the
+//! routed runs start from): every strategy faces the same pile-up and the
+//! score differences come from how each reacts, not from luck of the
+//! hash. The score is the mean cost-model processing makespan per batch
+//! (ms) — virtual time, so `results/BENCH_rebalance.json` is an exact
+//! baseline the CI gate diffs fresh runs against. The reaction column
+//! counts batches from the shift until the reduce stage re-balances
+//! (max/mean busy-time ratio back under [`RECOVERED`]); the rebalancer's
+//! contract is reaction in ~1 batch.
+
+use prompt_core::hash::bucket_of;
+use prompt_core::partitioner::Technique;
+use prompt_core::types::{Duration, Interval, Key, Time, Tuple};
+use prompt_engine::driver::{RunResult, StreamingEngine};
+use prompt_engine::elasticity::ScalerConfig;
+use prompt_engine::job::{Job, ReduceOp};
+use prompt_engine::rebalance::{group_of, imbalance_ratio, RebalanceConfig, RebalanceSpec};
+
+use crate::report::{f3, Table};
+
+/// Batches per run: a uniform prefix, then the skew shift at [`SHIFT`].
+pub const BATCHES: usize = 14;
+
+/// The batch at which the eight hot keys appear.
+pub const SHIFT: usize = 6;
+
+/// Tuples per one-second batch — sized so the hot pile-up pushes the
+/// utilisation `w` past the scaler's overload threshold (its trigger),
+/// while the uniform prefix stays comfortably under it.
+pub const RATE: u64 = 40_000;
+
+/// Engine seed shared by every strategy (also the reduce-assigner hash
+/// seed the hot-key search collides against).
+pub const SEED: u64 = 0x9EBA1;
+
+/// Key-group count for the routed strategies.
+pub const N_GROUPS: usize = 128;
+
+/// Reduce worker the hot keys are piled onto.
+pub const HOT_WORKER: usize = 0;
+
+/// Reduce-stage max/mean busy-time ratio under which a batch counts as
+/// re-balanced (the reaction-time threshold).
+pub const RECOVERED: f64 = 1.5;
+
+/// Eight hot keys in *distinct* key-groups that all start on
+/// [`HOT_WORKER`]: `bucket_of(SEED, k, reduce_tasks)` (the plain-hash
+/// layout) and the round-robin owner of `group_of(k, N_GROUPS)` agree on
+/// the pile-up, and distinct groups keep the pile *movable* — a single
+/// overloaded group could only shift the hot spot, never shrink it —
+/// and small enough (5% of the mass each) that a spread layout sits back
+/// under [`RECOVERED`].
+pub fn hot_keys(reduce_tasks: usize) -> [Key; 8] {
+    let targets: [usize; 8] = std::array::from_fn(|j| HOT_WORKER + j * reduce_tasks);
+    targets.map(|group| {
+        (1u64..)
+            .map(Key)
+            .find(|&k| {
+                bucket_of(SEED, k, reduce_tasks) == HOT_WORKER && group_of(k, N_GROUPS) == group
+            })
+            .expect("searchable key space")
+    })
+}
+
+/// The skew-shift stream: uniform over ~800 keys, then from batch
+/// [`SHIFT`] the eight hot keys carry 40% of the mass (5% each) while the
+/// rest stays uniform.
+pub fn shift_source(hot: [Key; 8]) -> impl FnMut(Interval, &mut Vec<Tuple>) {
+    move |iv: Interval, out: &mut Vec<Tuple>| {
+        let sec = iv.start.0 / 1_000_000;
+        let step = iv.len().0 / (RATE + 1);
+        for i in 0..RATE {
+            let key = if sec >= SHIFT as u64 && i % 100 < 40 {
+                hot[(i % 8) as usize]
+            } else {
+                Key(1_000_000 + (i * 7 + sec * 13) % 797)
+            };
+            out.push(Tuple::keyed(Time(iv.start.0 + step * (i + 1)), key));
+        }
+    }
+}
+
+/// One measured strategy row.
+#[derive(Clone, Debug)]
+pub struct StrategyRow {
+    /// `Static`, `AutoScaler`, or `Rebalance`.
+    pub name: String,
+    /// The score being minimised: mean cost-model processing makespan per
+    /// batch, ms.
+    pub score_ms: f64,
+    /// Worst reduce-stage max/mean busy-time ratio over the run.
+    pub peak_imbalance: f64,
+    /// Batches from the shift until the reduce stage re-balanced
+    /// (`None` = never within the run).
+    pub reaction: Option<usize>,
+    /// Group migrations applied (routed strategies).
+    pub migrations: usize,
+    /// Scale actions taken (the elasticity strategy).
+    pub scale_events: usize,
+}
+
+/// Per-batch reduce-stage imbalance of a run.
+fn imbalances(result: &RunResult) -> Vec<f64> {
+    result
+        .batches
+        .iter()
+        .map(|b| {
+            let busy: Vec<u64> = b.reduce_task_times.iter().map(|d| d.0).collect();
+            imbalance_ratio(&busy)
+        })
+        .collect()
+}
+
+fn run_strategy(name: &str, rebalance: RebalanceSpec, scaler: Option<ScalerConfig>) -> StrategyRow {
+    let mut cfg = super::standard_config(Duration::from_secs(1));
+    cfg.backpressure_queue = f64::INFINITY; // the strategy, not the rate limiter, reacts
+    cfg.rebalance = rebalance;
+    cfg.elasticity = scaler;
+    let reduce_tasks = cfg.reduce_tasks;
+    let mut engine = StreamingEngine::new(
+        cfg,
+        Technique::Hash,
+        SEED,
+        Job::identity("count", ReduceOp::Count),
+    );
+    let mut source = shift_source(hot_keys(reduce_tasks));
+    let result = engine.run(&mut source, BATCHES);
+
+    let imb = imbalances(&result);
+    let reaction = imb
+        .iter()
+        .enumerate()
+        .skip(SHIFT)
+        .find(|(_, &r)| r <= RECOVERED)
+        .map(|(s, _)| s - SHIFT);
+    let n = result.batches.len().max(1) as f64;
+    StrategyRow {
+        name: name.to_string(),
+        score_ms: result
+            .batches
+            .iter()
+            .map(|b| b.processing.0 as f64 / 1e3)
+            .sum::<f64>()
+            / n,
+        peak_imbalance: imb.iter().copied().fold(1.0, f64::max),
+        reaction,
+        migrations: result.migrations.iter().map(|(_, p)| p.moves.len()).sum(),
+        scale_events: result.scale_events.len(),
+    }
+}
+
+/// Measure the three strategies on the shared skew-shift stream.
+pub fn measure() -> Vec<StrategyRow> {
+    vec![
+        run_strategy(
+            "Static",
+            RebalanceSpec::Forced {
+                n_groups: N_GROUPS,
+                plans: Vec::new(),
+            },
+            None,
+        ),
+        run_strategy(
+            "AutoScaler",
+            RebalanceSpec::Off,
+            Some(ScalerConfig {
+                d: 3,
+                ..ScalerConfig::default()
+            }),
+        ),
+        run_strategy(
+            "Rebalance",
+            RebalanceSpec::Auto(RebalanceConfig {
+                n_groups: N_GROUPS,
+                // One plan may spread the whole hot set — that is the
+                // fine-grained reaction being measured.
+                max_moves: 8,
+                ..RebalanceConfig::default()
+            }),
+            None,
+        ),
+    ]
+}
+
+fn reaction_cell(r: Option<usize>) -> String {
+    r.map_or_else(|| "never".into(), |b| b.to_string())
+}
+
+/// Run the rebalance experiment. The workload is already CI-sized, so
+/// quick and full mode measure identically — which keeps the checked-in
+/// baseline valid for both.
+pub fn run(_quick: bool) -> Vec<Table> {
+    let rows = measure();
+    let mut t = Table::new(
+        "BENCH_rebalance",
+        "Key-group rebalancing vs Alg. 4 elasticity — mid-stream skew shift, score = mean batch makespan (ms)",
+        &[
+            "strategy",
+            "score ms",
+            "peak imbalance",
+            "reaction batches",
+            "migrations",
+            "scale events",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            f3(r.score_ms),
+            f3(r.peak_imbalance),
+            reaction_cell(r.reaction),
+            r.migrations.to_string(),
+            r.scale_events.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// Diff a fresh measurement against the checked-in
+/// `BENCH_rebalance.json` baseline: every strategy's score must stay
+/// within `tolerance` (relative), the rebalancer must still react within
+/// two batches of the shift, and it must still beat the auto-scaler on
+/// makespan. Returns the regression messages.
+pub fn check_against_baseline(baseline_json: &str, tolerance: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    let baseline = match parse_scores(baseline_json) {
+        Ok(b) => b,
+        Err(e) => return vec![format!("baseline unreadable: {e}")],
+    };
+    let fresh = measure();
+    let score = |name: &str| fresh.iter().find(|r| r.name == name).map(|r| r.score_ms);
+    let rebalance = fresh.iter().find(|r| r.name == "Rebalance");
+    match rebalance.and_then(|r| r.reaction) {
+        Some(r) if r <= 2 => {}
+        r => problems.push(format!("rebalancer reaction degraded: {r:?} batches")),
+    }
+    if let (Some(reb), Some(sca)) = (score("Rebalance"), score("AutoScaler")) {
+        if reb >= sca {
+            problems.push(format!(
+                "rebalancer no longer beats the auto-scaler ({reb:.3} vs {sca:.3} ms)"
+            ));
+        }
+    }
+    for r in &fresh {
+        let Some(&base) = baseline.iter().find(|(n, _)| *n == r.name).map(|(_, s)| s) else {
+            problems.push(format!("strategy {} missing from baseline", r.name));
+            continue;
+        };
+        let band = base.abs().max(1e-9) * tolerance;
+        if (r.score_ms - base).abs() > band {
+            problems.push(format!(
+                "{}: score {:.3} outside {:.3} ± {:.3}",
+                r.name, r.score_ms, base, band
+            ));
+        }
+    }
+    problems
+}
+
+/// Parse `(strategy, score)` pairs back out of the table JSON written by
+/// [`Table::to_json`]. Row cells carry no escapes, so splitting on the
+/// quoted-cell delimiter is exact.
+fn parse_scores(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with('[') {
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_start_matches('[')
+            .trim_end_matches(',')
+            .trim_end_matches(']')
+            .split("\", \"")
+            .map(|c| c.trim_matches(|ch| ch == '"' || ch == ' '))
+            .collect();
+        // strategy, score, peak imbalance, reaction, migrations, scale events
+        if cells.len() == 6 && cells[1].parse::<f64>().is_ok() {
+            let score: f64 = cells[1].parse().expect("checked");
+            out.push((cells[0].to_string(), score));
+        }
+    }
+    if out.is_empty() {
+        return Err("no strategy rows found".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_keys_collide_under_both_routings() {
+        let keys = hot_keys(16);
+        let groups: Vec<usize> = keys.iter().map(|&k| group_of(k, N_GROUPS)).collect();
+        for (&k, &g) in keys.iter().zip(&groups) {
+            assert_eq!(bucket_of(SEED, k, 16), HOT_WORKER, "{k:?}");
+            assert_eq!(g % 16, HOT_WORKER, "{k:?} starts off the hot worker");
+        }
+        let distinct: std::collections::BTreeSet<usize> = groups.iter().copied().collect();
+        assert_eq!(distinct.len(), 8, "groups must be individually movable");
+    }
+
+    #[test]
+    fn rebalancer_reacts_in_about_one_batch_and_beats_the_scaler() {
+        let rows = measure();
+        let by = |n: &str| rows.iter().find(|r| r.name == n).expect(n);
+        let (stat, scaler, reb) = (by("Static"), by("AutoScaler"), by("Rebalance"));
+        // Every strategy faces the same pile-up...
+        assert!(stat.peak_imbalance > RECOVERED, "{stat:?}");
+        assert!(reb.peak_imbalance > RECOVERED, "{reb:?}");
+        // ...the static layout never recovers, the rebalancer reacts in
+        // ~1 batch with a handful of group moves, not a cluster reshape.
+        assert_eq!(stat.reaction, None, "{stat:?}");
+        assert_eq!(stat.migrations, 0);
+        let reaction = reb.reaction.expect("rebalancer must recover");
+        assert!(reaction <= 2, "reaction {reaction} batches: {reb:?}");
+        assert!(reb.migrations >= 1, "{reb:?}");
+        assert_eq!(reb.scale_events, 0);
+        // The score story: fine-grained migration beats both the frozen
+        // layout and Algorithm 4's grace-period cluster reshape.
+        assert!(reb.score_ms < scaler.score_ms, "{reb:?} vs {scaler:?}");
+        assert!(reb.score_ms < stat.score_ms, "{reb:?} vs {stat:?}");
+    }
+
+    #[test]
+    fn checked_in_baseline_is_within_tolerance() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_rebalance.json"
+        );
+        let json = std::fs::read_to_string(path).expect("results/BENCH_rebalance.json checked in");
+        let problems = check_against_baseline(&json, 0.10);
+        assert!(problems.is_empty(), "regressions: {problems:#?}");
+    }
+
+    #[test]
+    fn score_parser_roundtrips_the_emitted_table() {
+        let tables = run(true);
+        let scores = parse_scores(&tables[0].to_json()).unwrap();
+        assert_eq!(scores.len(), 3);
+        assert!(scores.iter().any(|(n, _)| n == "Rebalance"));
+        assert!(scores.iter().all(|(_, s)| s.is_finite() && *s >= 0.0));
+    }
+}

@@ -6,6 +6,7 @@ use crate::cluster::Cluster;
 use crate::cost::CostModel;
 use crate::elasticity::ScalerConfig;
 use crate::policy::PolicySpec;
+use crate::rebalance::RebalanceSpec;
 use crate::state::CheckpointConfig;
 use crate::trace::TraceLevel;
 
@@ -127,6 +128,18 @@ pub struct EngineConfig {
     /// boundaries; `Forced` replays an explicit per-batch sequence (the
     /// differential-test oracle).
     pub policy: PolicySpec,
+    /// Executor-level key-group rebalancing (see [`crate::rebalance`]).
+    /// When on, the reduce side routes every key through the versioned
+    /// group routing table instead of the technique's own assigner, and
+    /// the configured [`RebalancePolicy`](crate::rebalance::RebalancePolicy)
+    /// may migrate hot groups between workers at batch boundaries.
+    /// Mutually exclusive with `elasticity` (the rebalancer keeps the
+    /// cluster fixed and moves load instead of tasks) and with non-`Fixed`
+    /// partitioner policies (per-batch technique selection swaps reduce
+    /// assigners, which would bypass the routing table). Rebalanced runs
+    /// clamp `pipeline_depth` to 1: migration decisions are a
+    /// commit-to-prepare feedback path.
+    pub rebalance: RebalanceSpec,
 }
 
 impl Default for EngineConfig {
@@ -148,6 +161,7 @@ impl Default for EngineConfig {
             checkpoint: None,
             pipeline_depth: 1,
             policy: PolicySpec::default(),
+            rebalance: RebalanceSpec::default(),
         }
     }
 }
@@ -214,6 +228,32 @@ impl EngineConfig {
             ckpt.validate()?;
         }
         self.policy.validate()?;
+        self.rebalance.validate()?;
+        if !self.rebalance.is_off() {
+            if self.elasticity.is_some() {
+                return Err(
+                    "rebalance and elasticity are mutually exclusive: the rebalancer keeps \
+                     the cluster fixed and migrates key-groups instead of scaling tasks"
+                        .into(),
+                );
+            }
+            if !self.policy.is_fixed() {
+                return Err(
+                    "rebalance requires a Fixed partitioner policy: per-batch technique \
+                     selection swaps reduce assigners, bypassing the routing table"
+                        .into(),
+                );
+            }
+            if let Some(n_groups) = self.rebalance.n_groups() {
+                if n_groups < self.reduce_tasks {
+                    return Err(format!(
+                        "rebalance n_groups ({n_groups}) must cover the reduce count \
+                         ({}): fewer groups than workers leaves workers unroutable",
+                        self.reduce_tasks
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -324,6 +364,44 @@ mod tests {
                     margin: 1.0,
                     ..crate::policy::AdaptiveConfig::default()
                 }),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                rebalance: crate::rebalance::RebalanceSpec::Auto(
+                    crate::rebalance::RebalanceConfig {
+                        min_dwell: 0,
+                        ..crate::rebalance::RebalanceConfig::default()
+                    },
+                ),
+                ..EngineConfig::default()
+            },
+            // Fewer groups than reduce workers.
+            EngineConfig {
+                reduce_tasks: 8,
+                rebalance: crate::rebalance::RebalanceSpec::Auto(
+                    crate::rebalance::RebalanceConfig {
+                        n_groups: 4,
+                        ..crate::rebalance::RebalanceConfig::default()
+                    },
+                ),
+                ..EngineConfig::default()
+            },
+            // Rebalance + elasticity.
+            EngineConfig {
+                elasticity: Some(ScalerConfig::default()),
+                rebalance: crate::rebalance::RebalanceSpec::Auto(
+                    crate::rebalance::RebalanceConfig::default(),
+                ),
+                ..EngineConfig::default()
+            },
+            // Rebalance + non-Fixed policy.
+            EngineConfig {
+                policy: crate::policy::PolicySpec::Adaptive(
+                    crate::policy::AdaptiveConfig::default(),
+                ),
+                rebalance: crate::rebalance::RebalanceSpec::Auto(
+                    crate::rebalance::RebalanceConfig::default(),
+                ),
                 ..EngineConfig::default()
             },
         ];

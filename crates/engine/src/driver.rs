@@ -41,6 +41,10 @@ use crate::net::{DistributedOptions, DistributedRuntime, NetStats};
 use crate::policy::{
     build_policy, BatchObservation, PartitionerPolicy, PolicyDecision, PolicySpec,
 };
+use crate::rebalance::{
+    group_weights, imbalance_ratio, GroupRoutedAssigner, MigrationPlan, RebalanceObservation,
+    RoutingTable, SharedRoutingTable,
+};
 use crate::recovery::{FaultPlan, NetFaultPlan, ReplicatedBatchStore};
 use crate::source::TupleSource;
 use crate::stage::{execute_batch_traced, times_from_stats, BatchOutput, StageTimes};
@@ -123,6 +127,11 @@ pub struct RunResult {
     /// The partitioner policy's per-batch decision log, in batch order.
     /// Empty under a `Fixed` policy (the decision is the constructor's).
     pub policy_decisions: Vec<PolicyDecision>,
+    /// Key-group migration plans the rebalancer applied, by batch seq —
+    /// each was applied before the named batch was assigned. Replaying
+    /// this sequence through a `RebalanceSpec::Forced` run reproduces the
+    /// run bit-identically (the differential-test oracle).
+    pub migrations: Vec<(u64, MigrationPlan)>,
 }
 
 impl RunResult {
@@ -330,6 +339,10 @@ pub struct StreamingEngine {
     policy: Option<Box<dyn PartitionerPolicy>>,
     /// The constructor's technique (`None` for [`StreamingEngine::with_parts`]).
     base_technique: Option<Technique>,
+    /// The key-group routing table the assigner consults; `Some` exactly
+    /// when [`EngineConfig::rebalance`] is on (the assigner is then a
+    /// [`GroupRoutedAssigner`] over this table). Reset at every run start.
+    routing: Option<SharedRoutingTable>,
     job: Job,
     window: Option<WindowSpec>,
     stateful: Option<StatefulOp>,
@@ -402,6 +415,16 @@ impl StreamingEngine {
             )
         };
         let reduce = ReduceStrategy::for_technique(technique);
+        // Rebalancing replaces the technique's natural reduce assigner
+        // with the group-routed one over a shared routing table (the
+        // validated config guarantees a Fixed policy, so the strategy
+        // pool never swaps assigners underneath it).
+        let routing: Option<SharedRoutingTable> = cfg.rebalance.n_groups().map(|n_groups| {
+            std::sync::Arc::new(std::sync::Mutex::new(RoutingTable::new(
+                n_groups,
+                cfg.reduce_tasks,
+            )))
+        });
         // The ingest-parallelism knob only applies to Prompt's batching
         // phase; every other technique partitions per tuple.
         let partitioner: Box<dyn Partitioner> = if technique == Technique::Prompt
@@ -417,13 +440,18 @@ impl StreamingEngine {
         } else {
             technique.build(seed)
         };
+        let assigner: Box<dyn ReduceAssigner> = match &routing {
+            Some(table) => Box::new(GroupRoutedAssigner::new(std::sync::Arc::clone(table))),
+            None => reduce.build_boxed(seed),
+        };
         StreamingEngine {
             cfg,
             partitioner,
-            assigner: reduce.build_boxed(seed),
+            assigner,
             strategies,
             policy,
             base_technique: Some(technique),
+            routing,
             job,
             window: None,
             stateful: None,
@@ -446,6 +474,12 @@ impl StreamingEngine {
             "with_parts requires a Fixed partitioner policy: an explicit \
              partitioner instance has no Technique name to hot-swap from"
         );
+        assert!(
+            cfg.rebalance.is_off(),
+            "with_parts requires rebalancing off: the rebalancer owns the \
+             reduce assigner (a routing-table-backed one), which conflicts \
+             with an explicitly supplied instance"
+        );
         StreamingEngine {
             cfg,
             partitioner,
@@ -453,6 +487,7 @@ impl StreamingEngine {
             strategies: None,
             policy: None,
             base_technique: None,
+            routing: None,
             job,
             window: None,
             stateful: None,
@@ -567,6 +602,19 @@ impl StreamingEngine {
             .cfg
             .elasticity
             .map(|sc| AutoScaler::new(sc, self.cfg.map_tasks, self.cfg.reduce_tasks));
+        // The rebalancer is rebuilt (and the routing table reset to the
+        // round-robin layout at version 0) every run, so repeated runs of
+        // one engine are bit-identical.
+        let mut rebalancer = self.cfg.rebalance.build();
+        let n_groups = self.cfg.rebalance.n_groups().unwrap_or(0);
+        if let Some(table) = self.routing.as_ref() {
+            *table.lock().expect("routing table poisoned") =
+                RoutingTable::new(n_groups, self.cfg.reduce_tasks);
+        }
+        // Imbalance of the most recently committed batch's worker load —
+        // informational context for the `Rebalance` trace event. Derived
+        // from virtual task times, so identical across backends.
+        let mut last_imbalance = 1.0f64;
         let mut p = self.cfg.map_tasks;
         let mut r = self.cfg.reduce_tasks;
         let mut pipeline_free_at = Time::ZERO;
@@ -650,29 +698,16 @@ impl StreamingEngine {
                 .is_some_and(|(_, plan)| !plan.is_empty());
         let mut prev_zone: Option<u8> = None;
         let mut was_in_grace = false;
-        // Effective in-flight window of the batch-state machine. Elasticity,
-        // the durable state layer and scheduled store/state faults are
-        // commit-to-prepare feedback paths — decisions made while
-        // committing batch N (scale actions, checkpoint truncation of input
-        // retention, store-loss suffix recomputes) steer how batch N+1 is
-        // prepared — so those runs clamp to the classic depth-1 loop.
-        // Scripted worker kills (NetFaultPlan) need no clamp: losses
-        // surface through the wait path and recompute from the replicated
-        // store at any depth. Non-Fixed policies clamp too: each batch runs
-        // with its own (partitioner, assigner) pair, which the depth-d
-        // distributed wait path cannot thread yet.
-        let depth = if scaler.is_some()
-            || state_on
-            || self.policy.is_some()
-            || self
-                .fault_tolerance
+        let depth = effective_depth(
+            self.cfg.pipeline_depth,
+            scaler.is_some(),
+            state_on,
+            self.policy.is_some(),
+            self.fault_tolerance
                 .as_ref()
-                .is_some_and(|(_, plan)| !plan.is_empty())
-        {
-            1
-        } else {
-            self.cfg.pipeline_depth
-        };
+                .is_some_and(|(_, plan)| !plan.is_empty()),
+            rebalancer.is_some(),
+        );
         let mut prepared: VecDeque<PreparedBatch> = VecDeque::new();
         let mut next_seq = 0u64;
         // Which technique partitioned each committed-or-prepared batch —
@@ -804,6 +839,62 @@ impl StreamingEngine {
                         recomputed,
                     });
                     state_store = Some(rebuilt);
+                }
+
+                // Rebalancing: the policy decides a migration plan at the
+                // batch boundary, before this batch is partitioned or
+                // assigned, from the commits it has observed (depth is
+                // clamped to 1, so the immediately preceding commit is
+                // always visible here). Applying the plan moves only the
+                // offending key-groups: the table bumps one version and the
+                // assigner routes this batch under the new ownership.
+                if let Some(reb) = rebalancer.as_mut() {
+                    let mplan = reb.decide(seq);
+                    if !mplan.is_empty() {
+                        let table = self
+                            .routing
+                            .as_ref()
+                            .expect("a rebalancer always runs over a routing table");
+                        let version = {
+                            let mut t = table.lock().expect("routing table poisoned");
+                            t.apply(&mplan).expect("rebalance plan must apply cleanly");
+                            t.version()
+                        };
+                        rec.incr(Counter::Rebalances, 1);
+                        rec.incr(Counter::GroupsMoved, mplan.moves.len() as u64);
+                        rec.event(TraceEvent::Rebalance {
+                            seq,
+                            version,
+                            moves: mplan.moves.len() as u64,
+                            imbalance: last_imbalance,
+                        });
+                        // Hand each moved group's state slice to its new
+                        // owner. In-process/threaded backends share the
+                        // driver's store, so only the distributed backend
+                        // ships payloads; stateless runs push empty slices
+                        // (the ack still fences the next batch behind the
+                        // ownership change).
+                        let mut pushes: Vec<(u32, u32, Vec<u8>)> = Vec::new();
+                        for mv in &mplan.moves {
+                            let payload = state_store
+                                .as_ref()
+                                .map(|s| s.encode_group(mv.group, n_groups))
+                                .unwrap_or_default();
+                            rec.event(TraceEvent::GroupMigrate {
+                                seq,
+                                group: mv.group,
+                                from: mv.from,
+                                to: mv.to,
+                                bytes: payload.len() as u64,
+                            });
+                            pushes.push((mv.group, mv.to, payload));
+                        }
+                        if let BackendRuntime::Distributed { rt, .. } = &mut backend {
+                            rt.migrate_groups(seq, version, pushes)
+                                .expect("group migration push failed");
+                        }
+                        result.migrations.push((seq, mplan));
+                    }
                 }
 
                 // Per-batch technique resolution: the policy (when present)
@@ -1044,6 +1135,30 @@ impl StreamingEngine {
                         }
                     }
                 }
+            }
+            // Per-worker load accounting: the trace summary's imbalance
+            // signal, and the rebalancer's observation of this commit.
+            rec.worker_busy(&times.reduce_tasks);
+            if let Some(reb) = rebalancer.as_mut() {
+                let busy: Vec<u64> = times.reduce_tasks.iter().map(|d| d.0).collect();
+                let group_tuples = group_weights(&plan, n_groups);
+                let (version, owners) = {
+                    let t = self
+                        .routing
+                        .as_ref()
+                        .expect("a rebalancer always runs over a routing table")
+                        .lock()
+                        .expect("routing table poisoned");
+                    (t.version(), t.owners().to_vec())
+                };
+                reb.observe(&RebalanceObservation {
+                    seq,
+                    version,
+                    worker_busy_us: &busy,
+                    group_tuples: &group_tuples,
+                    owners: &owners,
+                });
+                last_imbalance = imbalance_ratio(&busy);
             }
             let mut processing = visible_overhead + times.processing();
             // Suffix recomputes after a store loss bill this batch, exactly
@@ -1365,6 +1480,45 @@ impl StreamingEngine {
     }
 }
 
+/// The effective in-flight window of the batch-state machine for one run:
+/// the configured [`EngineConfig::pipeline_depth`], clamped to 1 when any
+/// active feature is a commit-to-prepare feedback path — a decision made
+/// while committing batch N steers how batch N+1 is prepared, so those
+/// runs need the classic strictly alternating depth-1 loop:
+///
+/// * `elasticity` — scale actions picked at commit change the next batch's
+///   task counts;
+/// * `state_on` — the durable state layer: checkpoint truncation of input
+///   retention and store-loss suffix recomputes read commit-time
+///   watermarks at prepare;
+/// * `policy` — a non-`Fixed` partitioner policy: each batch runs with its
+///   own (partitioner, assigner) pair, which the depth-d distributed wait
+///   path cannot thread yet;
+/// * `fault_plan` — a non-empty scheduled [`FaultPlan`]: store-loss
+///   recomputes at prepare read inputs that commit-time retention expiry
+///   frees;
+/// * `rebalance` — the key-group rebalancer: a migration decided at the
+///   next batch boundary must observe the immediately preceding commit's
+///   load, and the routing table must not change under an in-flight batch.
+///
+/// Scripted worker kills ([`NetFaultPlan`]) need no clamp: losses surface
+/// through the wait path and recompute from the replicated store at any
+/// depth.
+fn effective_depth(
+    configured: usize,
+    elasticity: bool,
+    state_on: bool,
+    policy: bool,
+    fault_plan: bool,
+    rebalance: bool,
+) -> usize {
+    if elasticity || state_on || policy || fault_plan || rebalance {
+        1
+    } else {
+        configured
+    }
+}
+
 /// Execute one batch on whichever backend the run instantiated.
 ///
 /// All three arms produce bit-identical outputs and virtual [`StageTimes`]
@@ -1492,6 +1646,130 @@ mod tests {
             cluster: Cluster::new(1, 4),
             cost: CostModel::default(),
             ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn effective_depth_passes_through_when_nothing_clamps() {
+        assert_eq!(effective_depth(4, false, false, false, false, false), 4);
+        assert_eq!(effective_depth(1, false, false, false, false, false), 1);
+    }
+
+    #[test]
+    fn effective_depth_clamps_for_elasticity() {
+        assert_eq!(effective_depth(4, true, false, false, false, false), 1);
+    }
+
+    #[test]
+    fn effective_depth_clamps_for_the_state_layer() {
+        assert_eq!(effective_depth(4, false, true, false, false, false), 1);
+    }
+
+    #[test]
+    fn effective_depth_clamps_for_a_non_fixed_policy() {
+        assert_eq!(effective_depth(4, false, false, true, false, false), 1);
+    }
+
+    #[test]
+    fn effective_depth_clamps_for_a_scheduled_fault_plan() {
+        assert_eq!(effective_depth(4, false, false, false, true, false), 1);
+    }
+
+    #[test]
+    fn effective_depth_clamps_for_the_rebalancer() {
+        assert_eq!(effective_depth(4, false, false, false, false, true), 1);
+    }
+
+    /// Skewed source: `hot_share` of each interval's tuples hit one hot
+    /// key, the rest round-robin over `cold_keys`.
+    fn skewed_source(rate: usize, hot_share: f64, cold_keys: u64) -> impl TupleSource {
+        move |iv: Interval, out: &mut Vec<Tuple>| {
+            let step = iv.len().0 / (rate as u64 + 1);
+            let hot = (rate as f64 * hot_share) as usize;
+            for i in 0..rate {
+                let key = if i < hot {
+                    Key(0)
+                } else {
+                    Key(1 + i as u64 % cold_keys)
+                };
+                out.push(Tuple::keyed(Time(iv.start.0 + step * (i as u64 + 1)), key));
+            }
+        }
+    }
+
+    #[test]
+    fn rebalancer_migrates_hot_groups_without_changing_answers() {
+        use crate::rebalance::{RebalanceConfig, RebalanceSpec};
+        let run = |spec: RebalanceSpec| {
+            let mut cfg = small_cfg();
+            cfg.rebalance = spec;
+            let mut eng = StreamingEngine::new(
+                cfg,
+                Technique::Hash,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(WindowSpec::tumbling(Duration::from_secs(2)));
+            eng.run(&mut skewed_source(2000, 0.6, 30), 10)
+        };
+        let base = run(RebalanceSpec::Off);
+        let rebalanced = run(RebalanceSpec::Auto(RebalanceConfig {
+            n_groups: 16,
+            ..RebalanceConfig::default()
+        }));
+        assert!(base.migrations.is_empty());
+        assert!(
+            !rebalanced.migrations.is_empty(),
+            "a 60% hot key must trip the rebalancer"
+        );
+        // Routing only changes placement, never the query answer.
+        assert_eq!(base.windows.len(), rebalanced.windows.len());
+        for (a, b) in base.windows.iter().zip(&rebalanced.windows) {
+            assert_eq!(a.aggregates.len(), b.aggregates.len());
+            for (k, v) in &a.aggregates {
+                assert_eq!(b.aggregates[k].to_bits(), v.to_bits());
+            }
+        }
+        // Migrating groups off the hot worker lowers the reduce makespan in
+        // the steady state.
+        let tail = |r: &RunResult| r.steady_state_mean(|b| b.reduce_stage.as_secs_f64());
+        assert!(
+            tail(&rebalanced) < tail(&base),
+            "rebalanced reduce stage {:.4}s should beat static {:.4}s",
+            tail(&rebalanced),
+            tail(&base)
+        );
+    }
+
+    #[test]
+    fn forced_rebalance_replays_the_recorded_run_bit_identically() {
+        use crate::rebalance::{RebalanceConfig, RebalanceSpec};
+        let run = |spec: RebalanceSpec| {
+            let mut cfg = small_cfg();
+            cfg.rebalance = spec;
+            let mut eng = StreamingEngine::new(
+                cfg,
+                Technique::Hash,
+                1,
+                Job::identity("count", ReduceOp::Count),
+            )
+            .with_window(WindowSpec::tumbling(Duration::from_secs(2)));
+            eng.run(&mut skewed_source(2000, 0.6, 30), 10)
+        };
+        let auto = run(RebalanceSpec::Auto(RebalanceConfig {
+            n_groups: 16,
+            ..RebalanceConfig::default()
+        }));
+        assert!(!auto.migrations.is_empty());
+        let forced = run(RebalanceSpec::Forced {
+            n_groups: 16,
+            plans: auto.migrations.clone(),
+        });
+        assert_eq!(auto.migrations, forced.migrations);
+        assert_eq!(auto.batches.len(), forced.batches.len());
+        for (a, b) in auto.batches.iter().zip(&forced.batches) {
+            assert_eq!(a.reduce_task_times, b.reduce_task_times, "batch {}", a.seq);
+            assert_eq!(a.processing, b.processing, "batch {}", a.seq);
         }
     }
 

@@ -43,6 +43,7 @@ pub mod elasticity;
 pub mod job;
 pub mod net;
 pub mod policy;
+pub mod rebalance;
 pub mod recovery;
 pub mod reorder;
 /// Re-export of the stream-source abstraction from `prompt-core`.
@@ -74,6 +75,11 @@ pub mod prelude {
     pub use crate::policy::{
         build_policy, AdaptiveConfig, AdaptivePolicy, BatchObservation, FixedPolicy,
         ForcedSequencePolicy, PartitionerPolicy, PolicyDecision, PolicySpec,
+    };
+    pub use crate::rebalance::{
+        group_of, group_weights, imbalance_ratio, AutoRebalance, ForcedMigrations, ForcedRebalance,
+        GroupMove, GroupRoutedAssigner, LoadLedger, MigrationPlan, RebalanceConfig,
+        RebalanceObservation, RebalancePolicy, RebalanceSpec, RoutingTable, GROUP_HASH_SEED,
     };
     pub use crate::recovery::{
         FaultPlan, FaultPoint, NetFault, NetFaultPlan, RecoveryError, ReplicatedBatchStore,

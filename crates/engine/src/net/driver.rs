@@ -1215,6 +1215,56 @@ impl DistributedRuntime {
         Ok(())
     }
 
+    /// Ship migrated key-group state slices to the fleet after a
+    /// rebalance.
+    ///
+    /// Each `(group, new owner, encoded slice)` triple is pushed to the
+    /// worker that serves the owning reduce bucket — the same round-robin
+    /// over live workers the reduce fan-out uses — and the call blocks
+    /// until every push is acknowledged, so the next batch cannot start
+    /// routing to a worker that does not yet hold the group's state.
+    /// Payloads may be empty (stateless runs still announce ownership).
+    pub fn migrate_groups(
+        &mut self,
+        seq: u64,
+        version: u64,
+        pushes: Vec<(u32, u32, Vec<u8>)>,
+    ) -> Result<(), WorkerLoss> {
+        let owners: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.id)
+            .collect();
+        assert!(
+            !owners.is_empty(),
+            "all distributed workers lost; group migration at batch {seq} cannot proceed"
+        );
+        let mut outstanding = 0usize;
+        for (group, to, payload) in pushes {
+            self.send_to(
+                owners[to as usize % owners.len()],
+                &Message::GroupPush {
+                    seq,
+                    group,
+                    version,
+                    to,
+                    payload,
+                },
+            )?;
+            outstanding += 1;
+        }
+        let deadline = Instant::now() + self.opts.io_timeout;
+        while outstanding > 0 {
+            if let Message::StateAck { seq: s, .. } = self.recv_deadline(deadline, seq)? {
+                if s == seq {
+                    outstanding -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Shut the fleet down: `Shutdown` to every live worker, then reap
     /// processes / join threads. Idempotent; also runs on drop.
     ///

@@ -280,6 +280,24 @@ pub enum Message {
         /// Bucket index echoed from the push.
         bucket: u32,
     },
+    /// Driver → worker: install one migrated key-group's state slice (the
+    /// rebalancer moved a hot key-group to a new owner; this worker now
+    /// holds its keys). Acknowledged with [`Message::StateAck`], whose
+    /// `bucket` field echoes the group id.
+    GroupPush {
+        /// Batch sequence number of the migration.
+        seq: u64,
+        /// The key-group being moved.
+        group: u32,
+        /// Routing-table version the move belongs to.
+        version: u64,
+        /// The group's new owner (reduce bucket index).
+        to: u32,
+        /// The group's encoded state slice (see
+        /// `crate::state::KeyedStateStore::encode_group`); empty when the
+        /// run keeps no keyed state.
+        payload: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -301,6 +319,7 @@ impl Message {
             Message::WorkerError { .. } => 13,
             Message::StatePush { .. } => 14,
             Message::StateAck { .. } => 15,
+            Message::GroupPush { .. } => 16,
         }
     }
 
@@ -322,6 +341,7 @@ impl Message {
             Message::WorkerError { .. } => "worker_error",
             Message::StatePush { .. } => "state_push",
             Message::StateAck { .. } => "state_ack",
+            Message::GroupPush { .. } => "group_push",
         }
     }
 
@@ -503,6 +523,20 @@ impl Message {
                 w.put_u64(*seq);
                 w.put_u32(*bucket);
             }
+            Message::GroupPush {
+                seq,
+                group,
+                version,
+                to,
+                payload,
+            } => {
+                w.put_u64(*seq);
+                w.put_u32(*group);
+                w.put_u64(*version);
+                w.put_u32(*to);
+                w.put_len(payload.len());
+                w.put_bytes(payload);
+            }
         }
     }
 
@@ -543,6 +577,7 @@ impl Message {
             Message::WorkerError { detail, .. } => 4 + 8 + 4 + 4 + 4 + detail.len(),
             Message::StatePush { payload, .. } => 8 + 4 + 4 + 4 + payload.len(),
             Message::StateAck { .. } => 16,
+            Message::GroupPush { payload, .. } => 8 + 4 + 8 + 4 + 4 + payload.len(),
         }
     }
 
@@ -747,6 +782,13 @@ impl Message {
                 seq: r.get_u64()?,
                 bucket: r.get_u32()?,
             },
+            16 => Message::GroupPush {
+                seq: r.get_u64()?,
+                group: r.get_u32()?,
+                version: r.get_u64()?,
+                to: r.get_u32()?,
+                payload: r.get_blob()?,
+            },
             other => return Err(WireError::UnknownType(other)),
         };
         r.expect_empty()?;
@@ -900,6 +942,13 @@ mod tests {
                 worker: 2,
                 seq: 9,
                 bucket: 3,
+            },
+            Message::GroupPush {
+                seq: 9,
+                group: 5,
+                version: 4,
+                to: 1,
+                payload: vec![0xca, 0xfe],
             },
         ]
     }

@@ -407,6 +407,10 @@ fn serve_tasks(
     // count are dropped on arrival of a push with a different total.
     let mut state: HashMap<u32, Vec<u8>> = HashMap::new();
     let mut state_shards = 0u32;
+    // Key-group state slices pushed by the rebalancer, keyed by group id.
+    // A newer push for the same group (later routing-table version)
+    // replaces the older slice.
+    let mut groups: HashMap<u32, (u64, Vec<u8>)> = HashMap::new();
     loop {
         match conn.recv()? {
             Message::MapTask {
@@ -486,6 +490,29 @@ fn serve_tasks(
                         worker: opts.worker,
                         seq,
                         bucket,
+                    })?;
+            }
+            Message::GroupPush {
+                seq,
+                group,
+                version,
+                to: _,
+                payload,
+            } => {
+                // Keep only the newest slice per group: pushes arrive in
+                // version order on the FIFO control stream, but a replayed
+                // (recovery) push must not clobber a newer one.
+                let stale = groups.get(&group).is_some_and(|&(v, _)| v > version);
+                if !stale {
+                    groups.insert(group, (version, payload));
+                }
+                writer
+                    .lock()
+                    .expect("writer lock")
+                    .send(&Message::StateAck {
+                        worker: opts.worker,
+                        seq,
+                        bucket: group,
                     })?;
             }
             Message::BatchDone { seq } => {

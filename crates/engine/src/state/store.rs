@@ -469,6 +469,53 @@ impl KeyedStateStore {
         put_shard(&mut w, &self.shards[bucket]);
         w.into_bytes()
     }
+
+    /// Encode one key-group's state slice to bytes (the rebalancer's
+    /// `GroupPush` wire payload).
+    ///
+    /// State sharding (fixed [`STATE_SHARD_SEED`]) is independent of the
+    /// rebalancer's key-grouping, so a group's keys are scattered across
+    /// shards: the slice is collected by scanning every shard and keeping
+    /// the entries whose key hashes into `group`. Layout mirrors
+    /// [`put_shard`] — group id, sorted running entries, then one
+    /// key-sorted pane per in-window batch (pane indices align across
+    /// shards, so pane `i` of the slice is the group's contribution to
+    /// batch `i` of the window).
+    pub fn encode_group(&self, group: u32, n_groups: usize) -> Vec<u8> {
+        let in_group = |k: Key| crate::rebalance::group_of(k, n_groups) == group as usize;
+        let mut running: Vec<(Key, (f64, u32))> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.running.iter().map(|(&k, &e)| (k, e)))
+            .filter(|&(k, _)| in_group(k))
+            .collect();
+        running.sort_unstable_by_key(|&(k, _)| k.0);
+        let n_panes = self.shards.first().map_or(0, |s| s.panes.len());
+        let mut w = ByteWriter::new();
+        w.put_u32(group);
+        w.put_len(running.len());
+        for (k, (v, c)) in running {
+            w.put_u64(k.0);
+            w.put_f64(v);
+            w.put_u32(c);
+        }
+        w.put_len(n_panes);
+        for i in 0..n_panes {
+            let mut pane: Pane = self
+                .shards
+                .iter()
+                .flat_map(|s| s.panes[i].iter().copied())
+                .filter(|&(k, _)| in_group(k))
+                .collect();
+            pane.sort_unstable_by_key(|&(k, _)| k.0);
+            w.put_len(pane.len());
+            for (k, v) in pane {
+                w.put_u64(k.0);
+                w.put_f64(v);
+            }
+        }
+        w.into_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -591,6 +638,40 @@ mod tests {
         store.push(&out(&[]));
         let counts = store.session_counts();
         assert_eq!(counts[&Key(1)], 1.0);
+    }
+
+    #[test]
+    fn group_slices_partition_the_store() {
+        let n_groups = 8;
+        let mut store = KeyedStateStore::new(spec(), Duration::from_secs(1), ReduceOp::Sum, 3);
+        for b in batches(6, 20) {
+            store.push(&b);
+        }
+        // Decode every group's slice; together they must cover each running
+        // key exactly once, with keys sorted within a slice.
+        let mut seen = prompt_core::hash::KeySet::default();
+        let mut total_running = 0usize;
+        for g in 0..n_groups {
+            let bytes = store.encode_group(g as u32, n_groups);
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(r.get_u32().unwrap(), g as u32);
+            let n_running = r.get_len(16).unwrap();
+            let mut prev: Option<u64> = None;
+            for _ in 0..n_running {
+                let k = r.get_u64().unwrap();
+                let _v = r.get_f64().unwrap();
+                let _c = r.get_u32().unwrap();
+                assert!(prev.is_none_or(|p| p < k), "slice keys sorted");
+                prev = Some(k);
+                assert_eq!(crate::rebalance::group_of(Key(k), n_groups), g);
+                assert!(seen.insert(Key(k)), "key in two slices");
+                total_running += 1;
+            }
+            // Pane count matches the store's window depth for every group.
+            let n_panes = r.get_len(4).unwrap();
+            assert_eq!(n_panes, store.shards()[0].panes.len());
+        }
+        assert_eq!(total_running, store.key_count());
     }
 
     #[test]

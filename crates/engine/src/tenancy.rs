@@ -37,6 +37,10 @@ use crate::driver::{BatchRecord, ReduceStrategy, StrategySet};
 use crate::job::{Job, JobSpec};
 use crate::net::{DistributedOptions, DistributedRuntime};
 use crate::policy::{build_policy, BatchObservation, PartitionerPolicy, PolicySpec};
+use crate::rebalance::{
+    group_weights, imbalance_ratio, ForcedMigrations, GroupRoutedAssigner, RebalanceObservation,
+    RebalancePolicy, RoutingTable, SharedRoutingTable,
+};
 use crate::source::TupleSource;
 use crate::stage::{execute_batch_traced, times_from_stats, BatchOutput, StageTimes};
 use crate::threaded::ThreadedExecutor;
@@ -135,6 +139,12 @@ pub struct TenantRun {
     pub backpressure: bool,
     /// Distributed worker losses recovered during this tenant's batches.
     pub worker_losses: u64,
+    /// Migration plans this tenant's rebalancer applied, in batch order —
+    /// replaying them through
+    /// [`RebalanceSpec::Forced`](crate::rebalance::RebalanceSpec) on a solo
+    /// engine reproduces the tenant's routing bit for bit. Empty when
+    /// [`EngineConfig::rebalance`](crate::config::EngineConfig) is off.
+    pub migrations: ForcedMigrations,
     /// Per-batch slot-contention penalty: how much longer the tenant's
     /// stages took under sharing than they would have alone (LPT).
     pub slot_waits: Vec<Duration>,
@@ -273,6 +283,14 @@ struct TenantState {
     strategies: Option<StrategySet>,
     /// Per-batch technique selection for non-`Fixed` tenant policies.
     policy: Option<Box<dyn PartitionerPolicy>>,
+    /// Key-group routing table; `Some` exactly when the config rebalances.
+    /// Each tenant owns an independent table — streams, loads and
+    /// migrations are tenant-local.
+    routing: Option<SharedRoutingTable>,
+    /// The rebalancing policy; `Some` exactly when `routing` is.
+    rebalancer: Option<Box<dyn RebalancePolicy>>,
+    /// Last committed batch's reduce imbalance (context for trace events).
+    last_imbalance: f64,
     window: Option<WindowState>,
     pipeline_free_at: Time,
     run: TenantRun,
@@ -364,29 +382,51 @@ impl MultiTenantEngine {
         let mut states: Vec<TenantState> = self
             .tenants
             .iter()
-            .map(|spec| TenantState {
-                partitioner: spec.technique.build(spec.seed),
-                assigner: ReduceStrategy::for_technique(spec.technique).build_boxed(spec.seed),
-                strategies: (!spec.policy.is_fixed()).then(|| StrategySet::new(spec.seed, 1, 1)),
-                policy: (!spec.policy.is_fixed())
-                    .then(|| build_policy(&spec.policy, spec.technique, spec.seed)),
-                window: spec
-                    .window
-                    .map(|w| WindowState::new(w, bi, spec.job.reduce)),
-                pipeline_free_at: Time::ZERO,
-                run: TenantRun {
-                    name: spec.name.clone(),
-                    batches: Vec::with_capacity(n_batches),
-                    windows: Vec::new(),
-                    backpressure: false,
-                    worker_losses: 0,
-                    slot_waits: Vec::with_capacity(n_batches),
-                    trace: TraceRecorder::new(self.cfg.trace),
-                },
+            .map(|spec| {
+                // Rebalancing tenants route through their own key-group
+                // table; the recorded plans replay on a solo engine (the
+                // cell oracle), mirroring the solo driver's wiring.
+                let routing: Option<SharedRoutingTable> =
+                    self.cfg.rebalance.n_groups().map(|n_groups| {
+                        std::sync::Arc::new(std::sync::Mutex::new(RoutingTable::new(
+                            n_groups,
+                            self.cfg.reduce_tasks,
+                        )))
+                    });
+                let assigner: Box<dyn ReduceAssigner> = match &routing {
+                    Some(table) => Box::new(GroupRoutedAssigner::new(std::sync::Arc::clone(table))),
+                    None => ReduceStrategy::for_technique(spec.technique).build_boxed(spec.seed),
+                };
+                TenantState {
+                    partitioner: spec.technique.build(spec.seed),
+                    assigner,
+                    strategies: (!spec.policy.is_fixed())
+                        .then(|| StrategySet::new(spec.seed, 1, 1)),
+                    policy: (!spec.policy.is_fixed())
+                        .then(|| build_policy(&spec.policy, spec.technique, spec.seed)),
+                    routing,
+                    rebalancer: self.cfg.rebalance.build(),
+                    last_imbalance: 1.0,
+                    window: spec
+                        .window
+                        .map(|w| WindowState::new(w, bi, spec.job.reduce)),
+                    pipeline_free_at: Time::ZERO,
+                    run: TenantRun {
+                        name: spec.name.clone(),
+                        batches: Vec::with_capacity(n_batches),
+                        windows: Vec::new(),
+                        backpressure: false,
+                        worker_losses: 0,
+                        migrations: Vec::new(),
+                        slot_waits: Vec::with_capacity(n_batches),
+                        trace: TraceRecorder::new(self.cfg.trace),
+                    },
+                }
             })
             .collect();
         let p = self.cfg.map_tasks;
         let r = self.cfg.reduce_tasks;
+        let n_groups = self.cfg.rebalance.n_groups().unwrap_or(0);
         let mut arrivals: Vec<Tuple> = Vec::new();
 
         for seq in 0..n_batches as u64 {
@@ -398,6 +438,10 @@ impl MultiTenantEngine {
             let mut overheads: Vec<(Duration, Duration)> = Vec::with_capacity(n_tenants);
             let mut plan_stats: Vec<(usize, usize, usize, PlanMetrics, Technique)> =
                 Vec::with_capacity(n_tenants);
+            // Per-tenant key-group tuple weights of this heartbeat's plans
+            // (`Some` only for rebalancing tenants) — the phase-3 ledger
+            // observations decompose worker load with them.
+            let mut group_tuples_all: Vec<Option<Vec<u64>>> = Vec::with_capacity(n_tenants);
             for (i, st) in states.iter_mut().enumerate() {
                 let tracing = st.run.trace.enabled();
                 arrivals.clear();
@@ -436,6 +480,40 @@ impl MultiTenantEngine {
                             StageKind::Select,
                             Duration::from_micros(decide_us),
                         );
+                    }
+                }
+                // Rebalance boundary, mirroring the solo driver's fill
+                // phase: apply the policy's plan before this batch is
+                // partitioned and assigned. Tenancy has no keyed-state
+                // layer, so group moves carry no payload bytes.
+                if let (Some(reb), Some(table)) = (st.rebalancer.as_mut(), st.routing.as_ref()) {
+                    let mplan = reb.decide(seq);
+                    if !mplan.is_empty() {
+                        let version = {
+                            let mut t = table.lock().expect("routing table poisoned");
+                            t.apply(&mplan).expect("rebalance plan must apply cleanly");
+                            t.version()
+                        };
+                        st.run.trace.incr(Counter::Rebalances, 1);
+                        st.run
+                            .trace
+                            .incr(Counter::GroupsMoved, mplan.moves.len() as u64);
+                        st.run.trace.event(TraceEvent::Rebalance {
+                            seq,
+                            version,
+                            moves: mplan.moves.len() as u64,
+                            imbalance: st.last_imbalance,
+                        });
+                        for mv in &mplan.moves {
+                            st.run.trace.event(TraceEvent::GroupMigrate {
+                                seq,
+                                group: mv.group,
+                                from: mv.from,
+                                to: mv.to,
+                                bytes: 0,
+                            });
+                        }
+                        st.run.migrations.push((seq, mplan));
                     }
                 }
                 let (part, asg): (&mut dyn Partitioner, &mut dyn ReduceAssigner) =
@@ -535,6 +613,7 @@ impl MultiTenantEngine {
                         *t = t.mul_f64(noise.slowdown);
                     }
                 }
+                group_tuples_all.push(st.routing.is_some().then(|| group_weights(&plan, n_groups)));
                 arrivals = batch.tuples; // reuse the allocation next tenant
                 outputs.push(output);
                 plan_stats.push((n_tuples, n_keys, plan.n_blocks(), metrics, technique));
@@ -607,6 +686,28 @@ impl MultiTenantEngine {
                         queue_us: queue_delay.0,
                         limit_us: bi.mul_f64(self.cfg.backpressure_queue).0,
                     });
+                }
+                // Ledger feed, mirroring the solo driver's commit phase:
+                // per-worker busy time into the trace summary, and (for
+                // rebalancing tenants) the observation the policy plans
+                // from. Tenant-local cost-model times — a neighbor's slot
+                // contention is not this tenant's skew.
+                rec.worker_busy(&times.reduce_tasks);
+                if let (Some(reb), Some(table)) = (st.rebalancer.as_mut(), st.routing.as_ref()) {
+                    let busy: Vec<u64> = times.reduce_tasks.iter().map(|d| d.0).collect();
+                    let group_tuples = group_tuples_all[i].take().unwrap_or_default();
+                    let (version, owners) = {
+                        let t = table.lock().expect("routing table poisoned");
+                        (t.version(), t.owners().to_vec())
+                    };
+                    reb.observe(&RebalanceObservation {
+                        seq,
+                        version,
+                        worker_busy_us: &busy,
+                        group_tuples: &group_tuples,
+                        owners: &owners,
+                    });
+                    st.last_imbalance = imbalance_ratio(&busy);
                 }
                 st.run.slot_waits.push(slot_wait);
                 st.run.batches.push(BatchRecord {

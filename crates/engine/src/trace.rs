@@ -206,11 +206,15 @@ pub enum Counter {
     PolicyDecisions,
     /// Policy decisions that switched the partitioning technique.
     PolicySwitches,
+    /// Applied key-group migration plans (routing-table version bumps).
+    Rebalances,
+    /// Key-groups moved between workers across all applied plans.
+    GroupsMoved,
 }
 
 impl Counter {
     /// All counters, in declaration order.
-    pub const ALL: [Counter; 30] = [
+    pub const ALL: [Counter; 32] = [
         Counter::Batches,
         Counter::Tuples,
         Counter::ScatterFragments,
@@ -241,6 +245,8 @@ impl Counter {
         Counter::ShuffleBytesRaw,
         Counter::PolicyDecisions,
         Counter::PolicySwitches,
+        Counter::Rebalances,
+        Counter::GroupsMoved,
     ];
 
     /// Stable wire name.
@@ -276,6 +282,8 @@ impl Counter {
             Counter::ShuffleBytesRaw => "shuffle_bytes_raw",
             Counter::PolicyDecisions => "policy_decisions",
             Counter::PolicySwitches => "policy_switches",
+            Counter::Rebalances => "rebalances",
+            Counter::GroupsMoved => "groups_moved",
         }
     }
 
@@ -414,6 +422,32 @@ pub enum TraceEvent {
         /// Label of the newly selected technique.
         to: String,
     },
+    /// The rebalance policy applied a migration plan: the routing table
+    /// advanced to `version` before batch `seq` was assigned.
+    Rebalance {
+        /// First batch routed by the new table version.
+        seq: u64,
+        /// The routing-table version after the plan applied.
+        version: u64,
+        /// Key-groups moved by the plan.
+        moves: u64,
+        /// The worker busy-time max/mean ratio that triggered the plan.
+        imbalance: f64,
+    },
+    /// One key-group changed owner as part of an applied migration plan.
+    GroupMigrate {
+        /// First batch routed by the new table version.
+        seq: u64,
+        /// The migrated key-group.
+        group: u32,
+        /// Previous owner (reduce bucket).
+        from: u32,
+        /// New owner (reduce bucket).
+        to: u32,
+        /// Encoded bytes of the group-scoped state payload shipped with
+        /// the move (0 when the run keeps no keyed state).
+        bytes: u64,
+    },
     /// A scale action changed the reduce count and state shards migrated.
     StateMigrate {
         /// Batch sequence number of the scale action.
@@ -454,6 +488,8 @@ impl TraceEvent {
             | TraceEvent::Backpressure { seq, .. }
             | TraceEvent::Checkpoint { seq, .. }
             | TraceEvent::StateRestore { seq, .. }
+            | TraceEvent::Rebalance { seq, .. }
+            | TraceEvent::GroupMigrate { seq, .. }
             | TraceEvent::StateMigrate { seq, .. } => Some(seq),
             TraceEvent::PolicySwitch { seq, .. } => Some(seq),
             TraceEvent::Probe { .. } => None,
@@ -532,6 +568,23 @@ impl TraceEvent {
                 recomputed,
             } => format!(
                 "{{\"type\":\"state_restore\",\"seq\":{seq},\"covered\":{covered},\"bytes\":{bytes},\"recomputed\":{recomputed}}}"
+            ),
+            TraceEvent::Rebalance {
+                seq,
+                version,
+                moves,
+                imbalance,
+            } => format!(
+                "{{\"type\":\"rebalance\",\"seq\":{seq},\"version\":{version},\"moves\":{moves},\"imbalance\":{imbalance}}}"
+            ),
+            TraceEvent::GroupMigrate {
+                seq,
+                group,
+                from,
+                to,
+                bytes,
+            } => format!(
+                "{{\"type\":\"group_migrate\",\"seq\":{seq},\"group\":{group},\"from\":{from},\"to\":{to},\"bytes\":{bytes}}}"
             ),
             TraceEvent::StateMigrate {
                 seq,
@@ -711,6 +764,19 @@ fn parse_event(line: &str) -> Result<TraceEvent, String> {
             bytes: num("bytes")?,
             recomputed: num("recomputed")?,
         }),
+        "rebalance" => Ok(TraceEvent::Rebalance {
+            seq: num("seq")?,
+            version: num("version")?,
+            moves: num("moves")?,
+            imbalance: float("imbalance")?,
+        }),
+        "group_migrate" => Ok(TraceEvent::GroupMigrate {
+            seq: num("seq")?,
+            group: num("group")? as u32,
+            from: num("from")? as u32,
+            to: num("to")? as u32,
+            bytes: num("bytes")?,
+        }),
         "state_migrate" => Ok(TraceEvent::StateMigrate {
             seq: num("seq")?,
             from_r: num("from_r")? as usize,
@@ -823,6 +889,13 @@ pub struct TraceSummary {
     pub stages: Vec<StageSummary>,
     /// Non-zero counters, in declaration order.
     pub counters: Vec<(Counter, u64)>,
+    /// Per-reduce-worker busy time accumulated over the run (µs), indexed
+    /// by bucket. Empty when the driver recorded no per-worker times.
+    pub worker_busy_us: Vec<u64>,
+    /// Max/mean ratio of [`TraceSummary::worker_busy_us`] — the hot-worker
+    /// signal the rebalancer acts on (1.0 = perfectly balanced). `None`
+    /// when no per-worker times were recorded.
+    pub load_imbalance: Option<f64>,
 }
 
 impl TraceSummary {
@@ -862,6 +935,14 @@ impl std::fmt::Display for TraceSummary {
         for (c, v) in &self.counters {
             writeln!(f, "{:<22} {v}", c.name())?;
         }
+        if let Some(ratio) = self.load_imbalance {
+            writeln!(
+                f,
+                "{:<22} {ratio:.3} (max/mean over {} workers)",
+                "load_imbalance",
+                self.worker_busy_us.len()
+            )?;
+        }
         Ok(())
     }
 }
@@ -889,6 +970,9 @@ pub struct TraceRecorder {
     counters: [AtomicU64; Counter::ALL.len()],
     hists: [Histogram; StageKind::ALL.len()],
     shards: [Mutex<Vec<(u64, TraceEvent)>>; SHARDS],
+    /// Per-reduce-worker busy-time totals (µs), fed by the driver at each
+    /// commit; the summary derives the load-imbalance ratio from them.
+    worker_busy: Mutex<Vec<u64>>,
 }
 
 impl TraceRecorder {
@@ -900,6 +984,7 @@ impl TraceRecorder {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| Histogram::default()),
             shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            worker_busy: Mutex::new(Vec::new()),
         }
     }
 
@@ -952,6 +1037,22 @@ impl TraceRecorder {
             kind,
             wall_us: wall.0,
         });
+    }
+
+    /// Accumulate one committed batch's per-reduce-worker busy times into
+    /// the run totals (indexed by bucket; the vector grows to the largest
+    /// reduce count seen). Recorded at [`TraceLevel::Summary`] and above.
+    pub fn worker_busy(&self, times: &[Duration]) {
+        if !self.enabled() || times.is_empty() {
+            return;
+        }
+        let mut busy = self.worker_busy.lock().expect("worker-busy poisoned");
+        if busy.len() < times.len() {
+            busy.resize(times.len(), 0);
+        }
+        for (b, t) in times.iter().enumerate() {
+            busy[b] += t.0;
+        }
     }
 
     /// Record a decision event (kept only at [`TraceLevel::Full`]).
@@ -1015,7 +1116,19 @@ impl TraceRecorder {
                 (v > 0).then_some((c, v))
             })
             .collect();
-        TraceSummary { stages, counters }
+        let worker_busy_us = self
+            .worker_busy
+            .lock()
+            .expect("worker-busy poisoned")
+            .clone();
+        let load_imbalance = (!worker_busy_us.is_empty())
+            .then(|| crate::rebalance::imbalance_ratio(&worker_busy_us));
+        TraceSummary {
+            stages,
+            counters,
+            worker_busy_us,
+            load_imbalance,
+        }
     }
 }
 
@@ -1193,6 +1306,19 @@ mod tests {
                 bytes: 4096,
                 recomputed: 3,
             },
+            TraceEvent::Rebalance {
+                seq: 15,
+                version: 2,
+                moves: 3,
+                imbalance: 1.75,
+            },
+            TraceEvent::GroupMigrate {
+                seq: 15,
+                group: 7,
+                from: 0,
+                to: 2,
+                bytes: 512,
+            },
             TraceEvent::StateMigrate {
                 seq: 13,
                 from_r: 4,
@@ -1237,6 +1363,23 @@ mod tests {
         assert!(text.contains("map_stage"));
         assert!(text.contains("scale_out"));
         assert!(!text.contains("recovery"), "silent stages omitted");
+    }
+
+    #[test]
+    fn worker_busy_accumulates_into_load_imbalance() {
+        let rec = TraceRecorder::new(TraceLevel::Summary);
+        // Two batches: bucket 0 ends at 300 µs, buckets 1..3 at 100 µs each.
+        rec.worker_busy(&[Duration(200), Duration(50), Duration(50), Duration(50)]);
+        rec.worker_busy(&[Duration(100), Duration(50), Duration(50), Duration(50)]);
+        let s = rec.summary();
+        assert_eq!(s.worker_busy_us, vec![300, 100, 100, 100]);
+        // max = 300, mean = 150 → ratio 2.0.
+        assert_eq!(s.load_imbalance, Some(2.0));
+        assert!(s.to_string().contains("load_imbalance"));
+
+        let off = TraceRecorder::new(TraceLevel::Off);
+        off.worker_busy(&[Duration(200)]);
+        assert_eq!(off.summary().load_imbalance, None);
     }
 
     #[test]

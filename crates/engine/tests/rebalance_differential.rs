@@ -1,0 +1,405 @@
+//! The key-group rebalancer's acceptance gate: an [`RebalanceSpec::Auto`]
+//! run's migration plans are a pure function of prior-commit load, so a
+//! rebalanced run must be **bit-identical** — per-batch plans, stage
+//! times, windows, span tiling, the migration log itself — to the same
+//! workload forced through its recorded routing-table version sequence
+//! ([`RebalanceSpec::Forced`]), on all three backends, including across a
+//! worker kill that lands exactly on a migration batch. A stateful variant
+//! exercises the group-scoped `GroupPush` state payloads over the wire.
+//!
+//! These spawn OS processes for the distributed runs, so they live next to
+//! the distributed smoke suite (CI runs both in the `distributed-smoke`
+//! job) rather than the fast unit tier.
+
+use prompt_core::partitioner::Technique;
+use prompt_core::types::{Duration, Interval, Key, Time, Tuple};
+use prompt_engine::prelude::*;
+use prompt_engine::rebalance::RebalanceSpec;
+
+/// Point the engine's worker-binary resolution at the freshly built
+/// `prompt-worker` before any runtime launches.
+fn ensure_worker_bin() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        std::env::set_var("PROMPT_WORKER_BIN", env!("CARGO_BIN_EXE_prompt-worker"));
+    });
+}
+
+/// Hot-set churn: every interval puts 60% of its tuples on one hot key,
+/// and the hot key itself moves every three batches — the workload the
+/// grace-period auto-scaler cannot follow but the rebalancer reacts to
+/// within a batch.
+fn churn_source(rate: usize) -> impl TupleSource {
+    move |iv: Interval, out: &mut Vec<Tuple>| {
+        let step = iv.len().0 / (rate as u64 + 1);
+        let seq = iv.start.0 / 1_000_000; // 1 s interval
+        let hot_key = Key(100 + seq / 3);
+        let hot = (rate as f64 * 0.6) as usize;
+        for i in 0..rate {
+            let key = if i < hot {
+                hot_key
+            } else {
+                Key(1 + i as u64 % 30)
+            };
+            out.push(Tuple {
+                ts: Time(iv.start.0 + step * (i as u64 + 1)),
+                key,
+                value: (i % 13) as f64 - 3.0,
+            });
+        }
+    }
+}
+
+fn cfg(backend: Backend, rebalance: RebalanceSpec, trace: TraceLevel) -> EngineConfig {
+    EngineConfig {
+        batch_interval: Duration::from_secs(1),
+        map_tasks: 4,
+        reduce_tasks: 3,
+        cluster: Cluster::new(2, 4),
+        backend,
+        trace,
+        rebalance,
+        ..EngineConfig::default()
+    }
+}
+
+fn run(
+    backend: Backend,
+    rebalance: RebalanceSpec,
+    trace: TraceLevel,
+    faults: NetFaultPlan,
+    stateful: bool,
+) -> (RunResult, TraceRecorder) {
+    ensure_worker_bin();
+    let mut engine = StreamingEngine::new(
+        cfg(backend, rebalance, trace),
+        Technique::Hash,
+        11,
+        Job::identity("sum", ReduceOp::Sum),
+    )
+    .with_window(WindowSpec::sliding(
+        Duration::from_secs(3),
+        Duration::from_secs(1),
+    ))
+    .with_net_faults(faults);
+    if stateful {
+        engine = engine.with_stateful(StatefulOp::SessionCount);
+    }
+    let mut src = churn_source(600);
+    engine.run_traced(&mut src, 9)
+}
+
+fn auto() -> RebalanceSpec {
+    RebalanceSpec::Auto(RebalanceConfig {
+        n_groups: 24,
+        ..RebalanceConfig::default()
+    })
+}
+
+fn forced(oracle: &RunResult) -> RebalanceSpec {
+    RebalanceSpec::Forced {
+        n_groups: 24,
+        plans: oracle.migrations.clone(),
+    }
+}
+
+/// Full bit-identity: everything the paper's figures are built from, plus
+/// the migration log.
+fn assert_runs_identical(label: &str, serial: &RunResult, other: &RunResult) {
+    assert_eq!(serial.batches.len(), other.batches.len(), "{label}");
+    for (a, b) in serial.batches.iter().zip(&other.batches) {
+        assert_eq!(a.seq, b.seq, "{label}");
+        assert_eq!(a.n_tuples, b.n_tuples, "{label} batch {}", a.seq);
+        assert_eq!(a.n_keys, b.n_keys, "{label} batch {}", a.seq);
+        assert_eq!(a.map_tasks, b.map_tasks, "{label} batch {}", a.seq);
+        assert_eq!(a.reduce_tasks, b.reduce_tasks, "{label} batch {}", a.seq);
+        assert_eq!(a.map_stage, b.map_stage, "{label} batch {} map", a.seq);
+        assert_eq!(
+            a.reduce_stage, b.reduce_stage,
+            "{label} batch {} reduce",
+            a.seq
+        );
+        assert_eq!(
+            a.processing, b.processing,
+            "{label} batch {} processing",
+            a.seq
+        );
+        assert_eq!(
+            a.queue_delay, b.queue_delay,
+            "{label} batch {} queue delay",
+            a.seq
+        );
+        assert_eq!(a.latency, b.latency, "{label} batch {} latency", a.seq);
+        assert_eq!(
+            a.map_task_times, b.map_task_times,
+            "{label} batch {}",
+            a.seq
+        );
+        assert_eq!(
+            a.reduce_task_times, b.reduce_task_times,
+            "{label} batch {}",
+            a.seq
+        );
+        assert_eq!(
+            a.plan_metrics, b.plan_metrics,
+            "{label} batch {} plan metrics",
+            a.seq
+        );
+        assert!(a.w.to_bits() == b.w.to_bits(), "{label} batch {} W", a.seq);
+    }
+    assert_eq!(serial.windows.len(), other.windows.len(), "{label}");
+    for (a, b) in serial.windows.iter().zip(&other.windows) {
+        assert_eq!(a.last_batch_seq, b.last_batch_seq, "{label}");
+        assert_eq!(
+            a.aggregates, b.aggregates,
+            "{label} window at batch {} must be bit-identical",
+            a.last_batch_seq
+        );
+    }
+    assert_eq!(serial.stateful.len(), other.stateful.len(), "{label}");
+    for (a, b) in serial.stateful.iter().zip(&other.stateful) {
+        assert_eq!(a.aggregates, b.aggregates, "{label} stateful emission");
+    }
+    assert_eq!(serial.migrations, other.migrations, "{label} migration log");
+    assert_eq!(serial.backpressure, other.backpressure, "{label}");
+}
+
+/// Per batch, the PROCESSING_KINDS spans must tile `[start, start +
+/// processing]` with no gaps.
+fn assert_spans_tile(label: &str, res: &RunResult, rec: &TraceRecorder) {
+    let events = rec.events();
+    for b in &res.batches {
+        let spans_of = |kind: StageKind| -> u64 {
+            events
+                .iter()
+                .filter(|e| {
+                    matches!(e, TraceEvent::Span { seq, kind: k, .. }
+                        if *seq == b.seq && *k == kind)
+                })
+                .map(|e| e.span_us())
+                .sum()
+        };
+        let processing: u64 = PROCESSING_KINDS.iter().map(|&k| spans_of(k)).sum();
+        assert_eq!(
+            processing, b.processing.0,
+            "{label} batch {}: processing spans must tile processing",
+            b.seq
+        );
+        assert_eq!(
+            spans_of(StageKind::QueueWait),
+            b.queue_delay.0,
+            "{label} batch {}: queue span",
+            b.seq
+        );
+    }
+}
+
+/// The migration log must be mirrored in the trace: one `Rebalance` event
+/// per applied plan, one `GroupMigrate` per move, counters matching.
+fn assert_migrations_traced(label: &str, res: &RunResult, rec: &TraceRecorder) {
+    let events = rec.events();
+    assert_eq!(
+        rec.counter(Counter::Rebalances),
+        res.migrations.len() as u64,
+        "{label}"
+    );
+    let total_moves: usize = res.migrations.iter().map(|(_, p)| p.moves.len()).sum();
+    assert_eq!(
+        rec.counter(Counter::GroupsMoved),
+        total_moves as u64,
+        "{label}"
+    );
+    for (seq, plan) in &res.migrations {
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Rebalance { seq: s, moves, .. }
+                if s == seq && *moves == plan.moves.len() as u64)),
+            "{label}: migration at batch {seq} must be traced"
+        );
+        for mv in &plan.moves {
+            assert!(
+                events.iter().any(
+                    |e| matches!(e, TraceEvent::GroupMigrate { seq: s, group, from, to, .. }
+                        if s == seq && *group == mv.group && *from == mv.from && *to == mv.to)
+                ),
+                "{label}: move of group {} at batch {seq} must be traced",
+                mv.group
+            );
+        }
+    }
+}
+
+/// The core differential: the auto run migrates hot groups mid-run, and
+/// replaying its recorded plan sequence through `RebalanceSpec::Forced` is
+/// bit-identical on every backend — as is the auto run itself.
+#[test]
+fn auto_matches_forced_replay_on_all_backends() {
+    let (oracle, orec) = run(
+        Backend::InProcess,
+        auto(),
+        TraceLevel::Full,
+        NetFaultPlan::none(),
+        false,
+    );
+    assert_eq!(oracle.batches.len(), 9);
+    assert!(
+        !oracle.migrations.is_empty(),
+        "hot-set churn must trip the rebalancer"
+    );
+    assert_migrations_traced("oracle", &oracle, &orec);
+
+    for backend in [
+        Backend::InProcess,
+        Backend::Threaded { threads: 4 },
+        Backend::Distributed {
+            workers: 3,
+            base_port: 0,
+        },
+    ] {
+        let label = format!("{backend:?} auto");
+        let (res, rec) = run(
+            backend,
+            auto(),
+            TraceLevel::Full,
+            NetFaultPlan::none(),
+            false,
+        );
+        assert_runs_identical(&label, &oracle, &res);
+        assert_spans_tile(&label, &res, &rec);
+        assert_migrations_traced(&label, &res, &rec);
+
+        let label = format!("{backend:?} forced replay");
+        let (res, rec) = run(
+            backend,
+            forced(&oracle),
+            TraceLevel::Full,
+            NetFaultPlan::none(),
+            false,
+        );
+        assert_runs_identical(&label, &oracle, &res);
+        assert_spans_tile(&label, &res, &rec);
+    }
+}
+
+/// Migration decisions may not depend on observability: `Off`, `Summary`
+/// and `Full` auto runs emit the same plan sequence and numbers.
+#[test]
+fn migrations_are_trace_level_invariant() {
+    let (oracle, _) = run(
+        Backend::InProcess,
+        auto(),
+        TraceLevel::Full,
+        NetFaultPlan::none(),
+        false,
+    );
+    for trace in [TraceLevel::Off, TraceLevel::Summary] {
+        let (res, _) = run(
+            Backend::InProcess,
+            auto(),
+            trace,
+            NetFaultPlan::none(),
+            false,
+        );
+        assert_runs_identical(&format!("trace {trace:?}"), &oracle, &res);
+    }
+}
+
+/// A worker killed exactly on a migration batch: the batch is recomputed
+/// on the survivors under the *same* routing-table version and everything
+/// stays bit-identical, on top of the `GroupPush` acks already fencing the
+/// batch behind the ownership change.
+#[test]
+fn worker_kill_on_migration_batch_recovers() {
+    let (oracle, _) = run(
+        Backend::InProcess,
+        auto(),
+        TraceLevel::Full,
+        NetFaultPlan::none(),
+        false,
+    );
+    let migration_seq = oracle
+        .migrations
+        .first()
+        .expect("hot-set churn must trip the rebalancer")
+        .0;
+    let dist = Backend::Distributed {
+        workers: 3,
+        base_port: 0,
+    };
+    for (label, faults) in [
+        (
+            "kill-before-migration-batch",
+            NetFaultPlan::none().kill_before(migration_seq, 1),
+        ),
+        (
+            "kill-after-map-migration-batch",
+            NetFaultPlan::none().kill_after_map(migration_seq, 1),
+        ),
+    ] {
+        let (res, rec) = run(dist, auto(), TraceLevel::Full, faults, false);
+        assert_runs_identical(label, &oracle, &res);
+        assert_spans_tile(label, &res, &rec);
+        assert_eq!(res.worker_losses, 1, "{label}: exactly one loss");
+        assert_eq!(res.recoveries, 1, "{label}: exactly one recovery");
+        assert!(
+            rec.events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::WorkerLost { worker: 1, .. })),
+            "{label}: loss must be traced"
+        );
+    }
+}
+
+/// The stateful variant: with the keyed state store active, migration
+/// batches ship non-empty group-scoped state payloads over the wire
+/// (`GroupPush`), and the run stays bit-identical to the in-process
+/// oracle — including the stateful emissions computed from the store.
+#[test]
+fn stateful_migrations_ship_group_payloads() {
+    let (oracle, orec) = run(
+        Backend::InProcess,
+        auto(),
+        TraceLevel::Full,
+        NetFaultPlan::none(),
+        true,
+    );
+    assert!(
+        !oracle.migrations.is_empty(),
+        "hot-set churn must trip the rebalancer"
+    );
+    assert!(!oracle.stateful.is_empty(), "stateful emissions expected");
+    // Migrations past warm-up carry real state: the moved group's keys
+    // have in-window panes, so the encoded slice is non-trivial.
+    let bytes: Vec<u64> = orec
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::GroupMigrate { bytes, .. } => Some(*bytes),
+            _ => None,
+        })
+        .collect();
+    assert!(!bytes.is_empty());
+    assert!(
+        bytes.iter().any(|&b| b > 0),
+        "at least one migrated group must carry state: {bytes:?}"
+    );
+    for backend in [
+        Backend::Threaded { threads: 4 },
+        Backend::Distributed {
+            workers: 3,
+            base_port: 0,
+        },
+    ] {
+        let label = format!("{backend:?} stateful auto");
+        let (res, rec) = run(
+            backend,
+            auto(),
+            TraceLevel::Full,
+            NetFaultPlan::none(),
+            true,
+        );
+        assert_runs_identical(&label, &oracle, &res);
+        assert_migrations_traced(&label, &res, &rec);
+    }
+}

@@ -37,6 +37,10 @@ OPTIONS:
   --adaptive             Add an Adaptive-policy cell per scenario (hot-swaps
                          techniques at batch boundaries; oracle is the solo
                          run forced through the recorded sequence)
+  --rebalance            Add a key-group rebalancing cell per scenario (each
+                         tenant migrates hot groups at batch boundaries; the
+                         scorecard records the moves and the oracle is the
+                         solo run forced through the recorded plans)
   --seed N               Base seed                            [default: 12648430]
   --quick                Fewer batches (4) for a fast smoke pass
   --out PATH             Write the scorecard JSON to PATH
@@ -54,6 +58,7 @@ struct Options {
     batches: usize,
     noisy: bool,
     adaptive: bool,
+    rebalance: bool,
     seed: u64,
     out: Option<String>,
     check: Option<String>,
@@ -70,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
         batches: 8,
         noisy: false,
         adaptive: false,
+        rebalance: false,
         seed: 0xC0FFEE,
         out: None,
         check: None,
@@ -111,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--noisy" => opts.noisy = true,
             "--adaptive" => opts.adaptive = true,
+            "--rebalance" => opts.rebalance = true,
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
@@ -200,6 +207,25 @@ fn main() -> ExitCode {
                 backend: opts.backend,
                 seed: opts.seed,
                 noisy: opts.noisy,
+                rebalance: prompt_engine::rebalance::RebalanceSpec::Off,
+            }));
+        }
+    }
+    if opts.rebalance {
+        use prompt_engine::policy::PolicySpec;
+        use prompt_engine::rebalance::{RebalanceConfig, RebalanceSpec};
+        use prompt_scenarios::harness::{run_cell, CellConfig};
+        for s in &scenarios {
+            cells.push(run_cell(&CellConfig {
+                scenario: *s,
+                technique: Technique::Hash,
+                policy: PolicySpec::default(),
+                tenants: opts.tenants,
+                batches: opts.batches,
+                backend: opts.backend,
+                seed: opts.seed,
+                noisy: opts.noisy,
+                rebalance: RebalanceSpec::Auto(RebalanceConfig::default()),
             }));
         }
     }

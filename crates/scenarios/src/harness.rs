@@ -19,6 +19,7 @@ use prompt_engine::config::{Backend, EngineConfig, OverheadMode};
 use prompt_engine::driver::StreamingEngine;
 use prompt_engine::job::{Job, ReduceOp};
 use prompt_engine::policy::PolicySpec;
+use prompt_engine::rebalance::RebalanceSpec;
 use prompt_engine::stats::percentile_sorted;
 use prompt_engine::tenancy::{MultiTenantEngine, NoisyNeighbor, TenantRun, TenantSpec};
 use prompt_engine::trace::{Counter, StageKind, TraceEvent, TraceLevel, PROCESSING_KINDS};
@@ -51,6 +52,12 @@ pub struct CellConfig {
     pub seed: u64,
     /// Inject a noisy neighbor against the last tenant for batches 2..4.
     pub noisy: bool,
+    /// Key-group rebalancing every tenant runs (`Off` = the technique's
+    /// own assigner). An `Auto` cell is elasticity-aware: each tenant
+    /// migrates hot key-groups at batch boundaries, the scorecard records
+    /// the applied moves, and the oracle becomes the solo run forced
+    /// through the tenant's recorded migration plans.
+    pub rebalance: RebalanceSpec,
 }
 
 impl CellConfig {
@@ -65,6 +72,7 @@ impl CellConfig {
             backend: Backend::InProcess,
             seed: 0xC0FFEE,
             noisy: false,
+            rebalance: RebalanceSpec::Off,
         }
     }
 }
@@ -101,6 +109,9 @@ pub struct CellOutcome {
     pub slot_wait_ms: f64,
     /// Technique hot-swaps across all tenants (0 for `Fixed` cells).
     pub policy_switches: u64,
+    /// Key-group moves applied across all tenants (0 for non-rebalancing
+    /// cells) — the migration-decision record of the cell.
+    pub migrations: u64,
 }
 
 /// Engine configuration shared by the cell run and its oracles: a small
@@ -168,6 +179,15 @@ fn trace_latencies_us(run: &TenantRun, bi: Duration) -> Vec<u64> {
 /// adaptive tenant must be bit-identical to that forced solo run.
 fn matches_oracle(cell: &CellConfig, tenant_idx: usize, shared: &TenantRun) -> bool {
     let mut cfg = cell_engine_config(Backend::InProcess);
+    if let Some(n_groups) = cell.rebalance.n_groups() {
+        // The oracle replays the tenant's recorded migration plans — an
+        // `Auto` tenant must be bit-identical to the solo run forced
+        // through its own routing-table history.
+        cfg.rebalance = RebalanceSpec::Forced {
+            n_groups,
+            plans: shared.migrations.clone(),
+        };
+    }
     if !cell.policy.is_fixed() {
         let sequence: Vec<Technique> = shared
             .batches
@@ -190,6 +210,24 @@ fn matches_oracle(cell: &CellConfig, tenant_idx: usize, shared: &TenantRun) -> b
     let solo = oracle.run(&mut *source, cell.batches);
     if shared.batches.len() != solo.batches.len() || shared.windows.len() != solo.windows.len() {
         return false;
+    }
+    if !cell.rebalance.is_off() {
+        // Routing decisions must replay exactly; with no injected noise
+        // the per-worker reduce timings must too (the noisy-neighbor
+        // slowdown is timing-only by design, so timings are exempted
+        // under `noisy`).
+        if shared.migrations != solo.migrations {
+            return false;
+        }
+        if !cell.noisy
+            && shared
+                .batches
+                .iter()
+                .zip(&solo.batches)
+                .any(|(a, b)| a.reduce_task_times != b.reduce_task_times)
+        {
+            return false;
+        }
     }
     for (a, b) in shared.batches.iter().zip(&solo.batches) {
         if a.n_tuples != b.n_tuples
@@ -220,7 +258,8 @@ fn matches_oracle(cell: &CellConfig, tenant_idx: usize, shared: &TenantRun) -> b
 pub fn run_cell(cell: &CellConfig) -> CellOutcome {
     assert!(cell.tenants >= 1, "need at least one tenant");
     assert!(cell.batches >= 1, "need at least one batch");
-    let cfg = cell_engine_config(cell.backend);
+    let mut cfg = cell_engine_config(cell.backend);
+    cfg.rebalance = cell.rebalance.clone();
     let bi = cfg.batch_interval;
     let specs: Vec<TenantSpec> = (0..cell.tenants)
         .map(|i| {
@@ -260,6 +299,7 @@ pub fn run_cell(cell: &CellConfig) -> CellOutcome {
     let mut slot_wait_us = 0u64;
     let mut n_waits = 0usize;
     let mut policy_switches = 0u64;
+    let mut migrations = 0u64;
     for (i, t) in result.tenants.iter().enumerate() {
         // The noisy-neighbor injection is timing-only; answers still have
         // to match the oracle, so victims stay in the differential too.
@@ -277,6 +317,11 @@ pub fn run_cell(cell: &CellConfig) -> CellOutcome {
         slot_wait_us += t.slot_waits.iter().map(|d| d.0).sum::<u64>();
         n_waits += t.slot_waits.len();
         policy_switches += t.trace.counter(Counter::PolicySwitches);
+        migrations += t
+            .migrations
+            .iter()
+            .map(|(_, p)| p.moves.len() as u64)
+            .sum::<u64>();
     }
     let n = n_records.max(1) as f64;
     let mut sorted: Vec<f64> = latencies_us.iter().map(|&us| us as f64 / 1e3).collect();
@@ -285,10 +330,18 @@ pub fn run_cell(cell: &CellConfig) -> CellOutcome {
         scenario: cell.scenario.name(),
         // Non-Fixed cells rank as their own wall column, not as batch 0's
         // technique.
-        technique: match &cell.policy {
-            PolicySpec::Fixed(_) => cell.technique.label(),
-            PolicySpec::Adaptive(_) => "Adaptive".into(),
-            PolicySpec::Forced(_) => "Forced".into(),
+        technique: {
+            let base = match &cell.policy {
+                PolicySpec::Fixed(_) => cell.technique.label(),
+                PolicySpec::Adaptive(_) => "Adaptive".into(),
+                PolicySpec::Forced(_) => "Forced".into(),
+            };
+            // Rebalancing cells rank as their own wall column.
+            if cell.rebalance.is_off() {
+                base
+            } else {
+                format!("{base}+RB")
+            }
         },
         bit_identical,
         bsi: bsi / n,
@@ -306,6 +359,7 @@ pub fn run_cell(cell: &CellConfig) -> CellOutcome {
             slot_wait_us as f64 / n_waits as f64 / 1e3
         },
         policy_switches,
+        migrations,
     }
 }
 
@@ -331,6 +385,7 @@ pub fn run_matrix(
                 backend,
                 seed,
                 noisy,
+                rebalance: RebalanceSpec::Off,
             }));
         }
     }
@@ -437,6 +492,59 @@ mod tests {
                 out.policy_switches
             );
         }
+    }
+
+    #[test]
+    fn rebalance_cells_match_forced_migration_oracles_on_all_backends() {
+        use prompt_engine::rebalance::RebalanceConfig;
+        // Heavy skew piles hot key-groups onto single reduce workers, so
+        // rebalancing tenants must migrate at least once; the oracle is
+        // the solo run forced through each tenant's recorded plans.
+        let s = Scenario::by_name("zipf1.5-step-1k").expect("exists");
+        for backend in [
+            Backend::InProcess,
+            Backend::Threaded { threads: 4 },
+            Backend::Distributed {
+                workers: 2,
+                base_port: 0,
+            },
+        ] {
+            let mut cfg = CellConfig::new(s, Technique::Hash);
+            cfg.rebalance = RebalanceSpec::Auto(RebalanceConfig {
+                min_dwell: 1,
+                trigger: 1.1,
+                ..RebalanceConfig::default()
+            });
+            cfg.backend = backend;
+            let out = run_cell(&cfg);
+            assert_eq!(out.technique, "Hash+RB");
+            assert!(
+                out.bit_identical,
+                "{backend:?}: rebalancing tenants diverged from their forced-migration oracles"
+            );
+            assert!(
+                out.migrations >= 1,
+                "{backend:?}: the skewed cell should migrate, saw none"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_rebalance_cells_still_match_their_oracles() {
+        use prompt_engine::rebalance::RebalanceConfig;
+        // A noisy neighbor inflates the victim's observed busy times, which
+        // may change the migration decisions — but the oracle replays the
+        // recorded plans, so answers and routing must still be identical.
+        let s = Scenario::by_name("zipf1.5-step-1k").expect("exists");
+        let mut cfg = CellConfig::new(s, Technique::Hash);
+        cfg.rebalance = RebalanceSpec::Auto(RebalanceConfig {
+            min_dwell: 1,
+            trigger: 1.1,
+            ..RebalanceConfig::default()
+        });
+        cfg.noisy = true;
+        let out = run_cell(&cfg);
+        assert!(out.bit_identical, "noise must stay timing-only");
     }
 
     #[test]

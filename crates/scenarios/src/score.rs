@@ -71,13 +71,22 @@ impl Scorecard {
                 current = &r.cell.scenario;
                 out.push_str(&format!("\n=== {current} ===\n"));
                 out.push_str(&format!(
-                    "{:>4}  {:<10} {:>6} {:>8} {:>8} {:>8} {:>9} {:>6} {:>5}\n",
-                    "rank", "technique", "mpi", "p50ms", "p95ms", "p99ms", "tuples/s", "wait", "ok"
+                    "{:>4}  {:<10} {:>6} {:>8} {:>8} {:>8} {:>9} {:>6} {:>5} {:>5}\n",
+                    "rank",
+                    "technique",
+                    "mpi",
+                    "p50ms",
+                    "p95ms",
+                    "p99ms",
+                    "tuples/s",
+                    "wait",
+                    "moves",
+                    "ok"
                 ));
             }
             let c = &r.cell;
             out.push_str(&format!(
-                "{:>4}  {:<10} {:>6.3} {:>8.1} {:>8.1} {:>8.1} {:>9.0} {:>6.1} {:>5}\n",
+                "{:>4}  {:<10} {:>6.3} {:>8.1} {:>8.1} {:>8.1} {:>9.0} {:>6.1} {:>5} {:>5}\n",
                 r.rank,
                 c.technique,
                 c.mpi,
@@ -86,6 +95,7 @@ impl Scorecard {
                 c.p99_ms,
                 c.throughput,
                 c.slot_wait_ms,
+                c.migrations,
                 if c.bit_identical { "yes" } else { "NO" },
             ));
         }
@@ -104,7 +114,7 @@ impl Scorecard {
                  \"bsi\":{:.6},\"bci\":{:.6},\"ksr\":{:.6},\"mpi\":{:.6},\
                  \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\
                  \"throughput\":{:.3},\"backpressure\":{},\"slot_wait_ms\":{:.3},\
-                 \"policy_switches\":{}}}{sep}\n",
+                 \"policy_switches\":{},\"migrations\":{}}}{sep}\n",
                 c.scenario,
                 c.technique,
                 r.rank,
@@ -120,6 +130,7 @@ impl Scorecard {
                 c.backpressure,
                 c.slot_wait_ms,
                 c.policy_switches,
+                c.migrations,
             ));
         }
         out.push_str("]\n}\n");
@@ -155,6 +166,8 @@ impl Scorecard {
                     .ok_or_else(|| at("missing slot_wait_ms"))?,
                 // Absent in pre-policy baselines: default to no switches.
                 policy_switches: field_f64(line, "policy_switches").unwrap_or(0.0) as u64,
+                // Absent in pre-rebalance baselines: default to no moves.
+                migrations: field_f64(line, "migrations").unwrap_or(0.0) as u64,
             };
             let rank = field_f64(line, "rank").ok_or_else(|| at("missing rank"))? as usize;
             cells.push(RankedCell { rank, cell });
@@ -262,6 +275,7 @@ mod tests {
             backpressure: false,
             slot_wait_ms: 1.5,
             policy_switches: 0,
+            migrations: 0,
         }
     }
 

@@ -64,6 +64,9 @@ pub struct Options {
     pub reducers: usize,
     /// Enable the Algorithm 4 auto-scaler.
     pub elastic: bool,
+    /// Enable the key-group rebalancer (`run` only): fixed task count,
+    /// hot key-groups migrate between workers at batch boundaries.
+    pub rebalance: bool,
     /// RNG seed.
     pub seed: u64,
     /// Verbose output (per-block plan diagnostics for `partition`).
@@ -87,6 +90,7 @@ impl Default for Options {
             blocks: 16,
             reducers: 16,
             elastic: false,
+            rebalance: false,
             seed: 42,
             verbose: false,
             policy: PolicySpec::default(),
@@ -156,7 +160,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("expected --option, got '{arg}'"));
         };
-        if key == "elastic" || key == "help" || key == "verbose" {
+        if key == "elastic" || key == "rebalance" || key == "help" || key == "verbose" {
             flags.push(key.to_string());
             continue;
         }
@@ -206,7 +210,18 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     int_opt!("reducers", reducers);
     int_opt!("seed", seed);
     opts.elastic = flags.iter().any(|f| f == "elastic");
+    opts.rebalance = flags.iter().any(|f| f == "rebalance");
     opts.verbose = flags.iter().any(|f| f == "verbose");
+    // One load actuator per run (EngineConfig::validate enforces the same
+    // exclusions; failing here gives a usage error instead of a panic).
+    if opts.rebalance && opts.elastic {
+        return Err(
+            "--rebalance and --elastic are mutually exclusive (one actuator per run)".into(),
+        );
+    }
+    if opts.rebalance && opts.policy != PolicySpec::default() {
+        return Err("--rebalance requires the fixed policy (adaptive re-picks assigners)".into());
+    }
     if let Some((key, _)) = kv.into_iter().next() {
         return Err(format!("unknown option '--{key}'\n\n{}", usage()));
     }
@@ -237,6 +252,7 @@ OPTIONS (all optional):
     --blocks <p>        map tasks / data blocks               [16]
     --reducers <r>      reduce tasks                          [16]
     --elastic           enable the Algorithm 4 auto-scaler
+    --rebalance         enable the key-group rebalancer (run command)
     --verbose           per-block diagnostics (partition command)
     --seed <s>          RNG seed                              [42]
 "
@@ -339,6 +355,18 @@ mod tests {
         assert!(parse(&argv("run --policy greedy"))
             .unwrap_err()
             .contains("unknown policy"));
+    }
+
+    #[test]
+    fn rebalance_flag_parses_and_rejects_conflicting_actuators() {
+        let cli = parse(&argv("run --rebalance --batches 5")).unwrap();
+        assert!(cli.opts.rebalance);
+        assert!(parse(&argv("run --rebalance --elastic"))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse(&argv("run --rebalance --policy adaptive"))
+            .unwrap_err()
+            .contains("fixed policy"));
     }
 
     #[test]

@@ -39,6 +39,13 @@ fn engine_config(cli: &Cli) -> EngineConfig {
         cfg.backpressure_queue = f64::INFINITY;
         cfg.elasticity = Some(ScalerConfig::default());
     }
+    if cli.opts.rebalance {
+        cfg.backpressure_queue = f64::INFINITY;
+        cfg.rebalance = RebalanceSpec::Auto(RebalanceConfig {
+            n_groups: (cli.opts.reducers * 4).max(64),
+            ..RebalanceConfig::default()
+        });
+    }
     cfg.policy = cli.opts.policy.clone();
     cfg
 }
@@ -89,6 +96,14 @@ fn run(cli: &Cli) {
             "policy: {} decisions, {} switches",
             result.policy_decisions.len(),
             switches
+        );
+    }
+    if !result.migrations.is_empty() {
+        let moves: usize = result.migrations.iter().map(|(_, p)| p.moves.len()).sum();
+        println!(
+            "rebalance: {} plans, {} group moves",
+            result.migrations.len(),
+            moves
         );
     }
     println!(
