@@ -1,9 +1,17 @@
 //! Run every experiment of the evaluation section in sequence.
+//!
+//! Any non-flag argument selects experiments by name, so a single table
+//! (e.g. a checked-in baseline) can be regenerated without the full sweep:
+//! `run_all --quick columnar`.
 
 type Experiment = fn(bool) -> Vec<prompt_bench::report::Table>;
 
 fn main() {
     let quick = prompt_bench::quick_flag();
+    let only: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let all: Vec<(&str, Experiment)> = vec![
         ("table1", prompt_bench::experiments::table1::run),
         ("fig6", prompt_bench::experiments::fig6::run),
@@ -21,8 +29,12 @@ fn main() {
         ("scenarios", prompt_bench::experiments::scenarios::run),
         ("adaptive_policy", prompt_bench::experiments::adaptive::run),
         ("rebalance", prompt_bench::experiments::rebalance::run),
+        ("columnar", prompt_bench::experiments::columnar::run),
     ];
     for (name, run) in all {
+        if !only.is_empty() && !only.iter().any(|o| o == name) {
+            continue;
+        }
         eprintln!("=== {name} ({}) ===", if quick { "quick" } else { "full" });
         let tables = run(quick);
         prompt_bench::emit_all(&tables);

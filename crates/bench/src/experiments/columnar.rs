@@ -1,0 +1,618 @@
+//! Columnar (struct-of-arrays) data plane vs the row path on the batch hot
+//! loops.
+//!
+//! Three single-threaded axes, each measured over the same skewed workload
+//! with both data planes and reported as a rows/columns speedup ratio:
+//!
+//! * **partition** — Prompt's batching phase end to end: seal + symbolic
+//!   assignment + block materialization. The row path copies every tuple
+//!   into its block; the columnar path seals straight into column arrays
+//!   and emits `(offset, len)` ranges over the shared arena.
+//! * **execute (scatter+reduce)** — the serial Map/scatter/Reduce of one
+//!   batch. The row path buckets tuples into per-key cluster vectors; the
+//!   columnar path folds flat column slices with one accumulator slot per
+//!   key and no per-cluster allocation.
+//! * **wire encode** — v2 Map-task shuffle frames for every block: the
+//!   row path walks materialized tuple vectors, the columnar path copies
+//!   straight out of arena column slices.
+//!
+//! Outputs are asserted bit-identical across the planes before anything is
+//! timed, so the ratios compare equal work.
+//!
+//! ## Why CPU time, and why a ratio median
+//!
+//! CI hosts are small, shared, and sometimes single-core; wall-clock there
+//! measures the hypervisor, not the data plane (observed spread across
+//! identical runs: >±20%). So each sample is **thread CPU time** read from
+//! `/proc/thread-self/schedstat` (nanosecond `sum_exec_runtime`; falls
+//! back to wall time off Linux), which preemption and steal time cannot
+//! touch, and every axis runs on the measuring thread only. Samples are
+//! taken in row/column **pairs** so slow drift (frequency scaling) hits
+//! both sides of a pair alike, and the scored speedup is the **median** of
+//! the per-pair ratios — one interrupted sample cannot move it. Scores are
+//! dimensionless ratios, so the checked-in `results/BENCH_columnar.json`
+//! baseline holds across hosts; the gate re-measures and fails on a ratio
+//! drifting outside ±10% or the best axis dropping under
+//! [`REQUIRED_SPEEDUP`].
+
+use std::time::Instant;
+
+use prompt_core::batch::{MicroBatch, PartitionPlan};
+use prompt_core::columnar::ColumnarPlan;
+use prompt_core::partitioner::Technique;
+use prompt_core::reduce::PromptReduceAllocator;
+use prompt_core::types::{Interval, Key, Time, Tuple};
+use prompt_engine::cluster::Cluster;
+use prompt_engine::cost::CostModel;
+use prompt_engine::job::{Job, JobSpec, MapSpec, ReduceOp};
+use prompt_engine::net::wire::{encode_map_task_columnar, Message};
+use prompt_engine::stage::{execute_batch_traced, execute_columnar_traced, BatchOutput};
+
+use crate::report::{f3, Table};
+
+/// Tuples per measured batch. Large enough that the fold loops run from
+/// memory, not L2 (24 MB of rows) — the regime real batches live in, and
+/// the one where the row layout's wasted bandwidth shows up in optimized
+/// builds too. Quick and full mode measure identically, so the checked-in
+/// baseline holds for both.
+pub const TUPLES: usize = 1_000_000;
+
+/// Distinct cold keys behind the hot set.
+pub const KEYS: u64 = 1_000;
+
+/// Map tasks (blocks) and Reduce buckets.
+pub const P: usize = 16;
+/// Reduce buckets.
+pub const R: usize = 16;
+
+/// Shared seed: partitioner and reduce allocator.
+pub const SEED: u64 = 0xC0105;
+
+/// Row/column sample pairs per axis; the median per-pair ratio is scored.
+pub const PAIRS: usize = 11;
+
+/// Minimum CPU milliseconds per sample. Scheduler CPU accounting is
+/// tick-quantized (4ms at `CONFIG_HZ=250`), so short samples snap between
+/// discrete levels; each sample inner-loops until it spans enough ticks
+/// that quantization is ≤5%.
+pub const MIN_SAMPLE_MS: f64 = 80.0;
+
+/// The acceptance floor: the best axis must keep at least this rows/cols
+/// speedup.
+pub const REQUIRED_SPEEDUP: f64 = 1.5;
+
+/// The measured workload: skewed arrivals (8 hot keys carry ~40% of the
+/// mass) with non-trivial f64 payloads, timestamp-ordered.
+pub fn workload() -> MicroBatch {
+    let interval = Interval::new(Time::ZERO, Time::from_secs(1));
+    let step = interval.len().0 / (TUPLES as u64 + 1);
+    let tuples: Vec<Tuple> = (0..TUPLES)
+        .map(|i| {
+            let key = if i % 5 == 0 {
+                Key(i as u64 % 8)
+            } else {
+                Key(100 + (i as u64 * 7 + 3) % KEYS)
+            };
+            Tuple {
+                ts: Time(step * (i as u64 + 1)),
+                key,
+                value: (i % 13) as f64 * 0.37 - 2.1,
+            }
+        })
+        .collect();
+    MicroBatch::new(tuples, interval)
+}
+
+/// Nanoseconds this thread has actually executed (`sum_exec_runtime` from
+/// the scheduler), or `None` off Linux / without schedstats.
+fn thread_cpu_ns() -> Option<u64> {
+    let s = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    s.split_whitespace().next()?.parse().ok()
+}
+
+/// One sample: CPU milliseconds per call of `f`, averaged over `iters`
+/// back-to-back calls (wall fallback off Linux).
+fn sample_ms<F: FnMut()>(f: &mut F, iters: usize) -> f64 {
+    match thread_cpu_ns() {
+        Some(t0) => {
+            for _ in 0..iters {
+                f();
+            }
+            let t1 = thread_cpu_ns().expect("schedstat stays readable");
+            (t1 - t0) as f64 / 1e6 / iters as f64
+        }
+        None => {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() * 1e3 / iters as f64
+        }
+    }
+}
+
+/// Inner-loop count so one sample spans [`MIN_SAMPLE_MS`]. Calibrates by
+/// doubling a probe batch until it spans at least a few accounting ticks —
+/// a single probe call can read as 0 CPU ms when the operation is shorter
+/// than the scheduler's accounting granularity (fast release builds), and
+/// naively dividing by that would demand absurd iteration counts.
+fn calibrate<F: FnMut()>(f: &mut F) -> usize {
+    let mut iters = 1usize;
+    loop {
+        let total = sample_ms(f, iters) * iters as f64;
+        if total >= MIN_SAMPLE_MS {
+            return iters;
+        }
+        if total < 16.0 {
+            if iters >= 1 << 20 {
+                return iters;
+            }
+            iters = (iters * 8).min(1 << 20);
+            continue;
+        }
+        return ((iters as f64 * MIN_SAMPLE_MS / total).ceil() as usize).max(1);
+    }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+/// One measured axis.
+#[derive(Clone, Debug)]
+pub struct AxisRow {
+    /// `partition`, `execute (scatter+reduce)`, or `wire encode`.
+    pub name: String,
+    /// Row-path CPU time, ms (median sample).
+    pub rows_ms: f64,
+    /// Columnar-path CPU time, ms (median sample).
+    pub cols_ms: f64,
+    /// rows/cols — median of per-pair ratios; the score the gate diffs.
+    pub speedup: f64,
+    /// Columnar throughput, million tuples per CPU-second.
+    pub mtps: f64,
+}
+
+/// Run a rows/cols pair [`PAIRS`] times (after calibrating warmups) and
+/// score the median per-pair ratio.
+fn run_axis<A: FnMut(), B: FnMut()>(name: &str, mut rows: A, mut cols: B) -> AxisRow {
+    let row_iters = calibrate(&mut rows);
+    let col_iters = calibrate(&mut cols);
+    let mut row_samples = Vec::with_capacity(PAIRS);
+    let mut col_samples = Vec::with_capacity(PAIRS);
+    let mut ratios = Vec::with_capacity(PAIRS);
+    for _ in 0..PAIRS {
+        let r = sample_ms(&mut rows, row_iters);
+        let c = sample_ms(&mut cols, col_iters);
+        row_samples.push(r);
+        col_samples.push(c);
+        ratios.push(r / c);
+    }
+    let cols_ms = median(col_samples);
+    AxisRow {
+        name: name.to_string(),
+        rows_ms: median(row_samples),
+        cols_ms,
+        speedup: median(ratios),
+        mtps: TUPLES as f64 / (cols_ms * 1e-3) / 1e6,
+    }
+}
+
+fn assert_outputs_identical(a: &BatchOutput, b: &BatchOutput, what: &str) {
+    let canon = |o: &BatchOutput| {
+        let mut v: Vec<(Key, u64)> = o
+            .aggregates
+            .iter()
+            .map(|(k, val)| (*k, val.to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(canon(a), canon(b), "{what}: planes must agree bit-for-bit");
+}
+
+/// Measure the three axes with both data planes.
+///
+/// Serialized process-wide: the test harness runs tests on parallel
+/// threads, and even CPU-time samples suffer when a concurrent test
+/// thrashes the one core's caches mid-sample.
+pub fn measure() -> Vec<AxisRow> {
+    static MEASURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _serial = MEASURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let batch = workload();
+    let job = Job::identity("sum", ReduceOp::Sum);
+    let cost = CostModel::default();
+    let cluster = Cluster::new(2, 8);
+
+    // ── partition: the batching phase end to end.
+    let partition = run_axis(
+        "partition",
+        || {
+            let plan = Technique::Prompt.build(SEED).partition(&batch, P);
+            std::hint::black_box(plan.blocks.len());
+        },
+        || {
+            let (plan, _) = Technique::Prompt
+                .build(SEED)
+                .partition_columnar(&batch, P)
+                .expect("Prompt has a columnar path");
+            std::hint::black_box(plan.blocks.len());
+        },
+    );
+
+    // Fixed plans for the other axes — the row plan is the exact row
+    // rendering of the columnar one, so both planes do identical work.
+    let (cols, _) = Technique::Prompt
+        .build(SEED)
+        .partition_columnar(&batch, P)
+        .expect("Prompt has a columnar path");
+    let plan = cols.to_row_plan();
+    sanity_check(&plan, &cols, &job, &cost, &cluster);
+
+    // ── execute: serial Map/scatter/Reduce.
+    let execute = run_axis(
+        "execute (scatter+reduce)",
+        || {
+            let (out, _) = execute_batch_traced(
+                &plan,
+                &job,
+                &mut PromptReduceAllocator::new(SEED),
+                R,
+                &cost,
+                &cluster,
+                None,
+            );
+            std::hint::black_box(out.aggregates.len());
+        },
+        || {
+            let (out, _) = execute_columnar_traced(
+                &cols,
+                &job,
+                &mut PromptReduceAllocator::new(SEED),
+                R,
+                &cost,
+                &cluster,
+                None,
+            );
+            std::hint::black_box(out.aggregates.len());
+        },
+    );
+
+    // ── wire encode: every block's v2 Map-task shuffle frame.
+    let spec = JobSpec {
+        map: MapSpec::Identity,
+        reduce: ReduceOp::Sum,
+    };
+    let wire = run_axis(
+        "wire encode",
+        || {
+            let mut total = 0usize;
+            for (block_id, rb) in plan.blocks.iter().enumerate() {
+                let msg = Message::MapTask {
+                    seq: 1,
+                    epoch: 0,
+                    block_id: block_id as u32,
+                    job: spec,
+                    block: rb.clone(),
+                };
+                total += msg.encode().len();
+            }
+            std::hint::black_box(total);
+        },
+        || {
+            let mut total = 0usize;
+            for (block_id, cb) in cols.blocks.iter().enumerate() {
+                let (frame, _) =
+                    encode_map_task_columnar(1, 0, block_id as u32, &spec, &cols.arena, cb);
+                total += frame.len();
+            }
+            std::hint::black_box(total);
+        },
+    );
+
+    vec![partition, execute, wire]
+}
+
+/// Before timing anything: both planes must produce the same aggregates
+/// and the same wire bytes, bit for bit.
+fn sanity_check(
+    plan: &PartitionPlan,
+    cols: &ColumnarPlan,
+    job: &Job,
+    cost: &CostModel,
+    cluster: &Cluster,
+) {
+    let (row_out, _) = execute_batch_traced(
+        plan,
+        job,
+        &mut PromptReduceAllocator::new(SEED),
+        R,
+        cost,
+        cluster,
+        None,
+    );
+    let (col_out, _) = execute_columnar_traced(
+        cols,
+        job,
+        &mut PromptReduceAllocator::new(SEED),
+        R,
+        cost,
+        cluster,
+        None,
+    );
+    assert_outputs_identical(&row_out, &col_out, "execute");
+    let spec = JobSpec {
+        map: MapSpec::Identity,
+        reduce: ReduceOp::Sum,
+    };
+    for (block_id, (rb, cb)) in plan.blocks.iter().zip(&cols.blocks).enumerate() {
+        let msg = Message::MapTask {
+            seq: 1,
+            epoch: 0,
+            block_id: block_id as u32,
+            job: spec,
+            block: rb.clone(),
+        };
+        let (frame, _) = encode_map_task_columnar(1, 0, block_id as u32, &spec, &cols.arena, cb);
+        assert_eq!(frame, msg.encode(), "wire: block {block_id} frame bytes");
+    }
+}
+
+/// Run the columnar experiment. CI-sized, so quick and full measure
+/// identically — which keeps the checked-in baseline valid for both.
+pub fn run(_quick: bool) -> Vec<Table> {
+    let rows = measure();
+    let title = format!(
+        "Columnar (SoA) data plane vs rows — skewed 1M-tuple batch, \
+         score = rows/cols CPU speedup (median of paired ratios), \
+         {} build",
+        build_profile()
+    );
+    let mut t = Table::new(
+        "BENCH_columnar",
+        &title,
+        &["axis", "rows ms", "cols ms", "speedup", "Mtuples/s (cols)"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            f3(r.rows_ms),
+            f3(r.cols_ms),
+            f3(r.speedup),
+            f3(r.mtps),
+        ]);
+    }
+    vec![t]
+}
+
+/// Diff a fresh `BENCH_columnar.json` against the checked-in baseline:
+/// every axis's speedup ratio must stay within `tolerance` (relative) of
+/// the baseline ratio, and the fresh best axis must stay at or above
+/// [`REQUIRED_SPEEDUP`]. Returns the regression messages.
+///
+/// Takes the fresh measurement as emitted JSON rather than measuring
+/// in-process: the gate re-measures in a **child process** (see
+/// `tests/columnar_baseline.rs`), because even CPU-time samples shift when
+/// the test harness's other threads thrash a small host's caches — the
+/// baseline and every re-measurement must come from the same hermetic
+/// context, a fresh `run_all columnar` process.
+pub fn check_against_baseline(
+    fresh_json: &str,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    if let (Some(b), Some(f)) = (parse_profile(baseline_json), parse_profile(fresh_json)) {
+        if b != f {
+            // Speedups are profile-dependent (the debug gap is ~2× the
+            // release gap), so a cross-profile diff is meaningless — fail
+            // loudly instead of reporting spurious drift.
+            return vec![format!(
+                "build-profile mismatch: baseline is a {b} build, fresh run is a {f} build \
+                 (regenerate the baseline with the gate's own profile)"
+            )];
+        }
+    }
+    let baseline = match parse_speedups(baseline_json) {
+        Ok(b) => b,
+        Err(e) => return vec![format!("baseline unreadable: {e}")],
+    };
+    let fresh = match parse_speedups(fresh_json) {
+        Ok(f) => f,
+        Err(e) => return vec![format!("fresh measurement unreadable: {e}")],
+    };
+    let best = fresh.iter().map(|(_, s)| *s).fold(0.0, f64::max);
+    if best < REQUIRED_SPEEDUP {
+        problems.push(format!(
+            "best axis speedup {best:.3}× dropped under the required {REQUIRED_SPEEDUP}×"
+        ));
+    }
+    for (name, speedup) in &fresh {
+        let Some(&base) = baseline.iter().find(|(n, _)| n == name).map(|(_, s)| s) else {
+            problems.push(format!("axis {name} missing from baseline"));
+            continue;
+        };
+        let band = base.abs().max(1e-9) * tolerance;
+        if (speedup - base).abs() > band {
+            problems.push(format!(
+                "{name}: speedup {speedup:.3} outside {base:.3} ± {band:.3}"
+            ));
+        }
+    }
+    for (name, _) in &baseline {
+        if !fresh.iter().any(|(n, _)| n == name) {
+            problems.push(format!("baseline axis {name} missing from fresh run"));
+        }
+    }
+    problems
+}
+
+/// Build profile this binary was compiled under, stamped into the table
+/// title so [`check_against_baseline`] can refuse cross-profile diffs.
+fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+/// Recover the build-profile stamp from a table JSON's title line, if any
+/// (older baselines without the stamp compare as before).
+fn parse_profile(json: &str) -> Option<&'static str> {
+    let title = json
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"title\""))?;
+    if title.contains("debug build") {
+        Some("debug")
+    } else if title.contains("release build") {
+        Some("release")
+    } else {
+        None
+    }
+}
+
+/// Parse `(axis, speedup)` pairs back out of the table JSON written by
+/// [`Table::to_json`]. Row cells carry no escapes, so splitting on the
+/// quoted-cell delimiter is exact.
+fn parse_speedups(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with('[') {
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_start_matches('[')
+            .trim_end_matches(',')
+            .trim_end_matches(']')
+            .split("\", \"")
+            .map(|c| c.trim_matches(|ch| ch == '"' || ch == ' '))
+            .collect();
+        // axis, rows ms, cols ms, speedup, Mtuples/s
+        if cells.len() == 5 && cells[3].parse::<f64>().is_ok() {
+            let speedup: f64 = cells[3].parse().expect("checked");
+            out.push((cells[0].to_string(), speedup));
+        }
+    }
+    if out.is_empty() {
+        return Err("no axis rows found".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The one test that pays for a real 1M-tuple measurement; the diff and
+    /// parser logic below run on synthetic tables instead.
+    #[test]
+    fn columnar_clears_the_required_speedup_on_at_least_one_axis() {
+        let rows = measure();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.rows_ms.is_finite() && r.cols_ms > 0.0,
+                "degenerate timing: {r:?}"
+            );
+        }
+        let best = rows.iter().map(|r| r.speedup).fold(0.0, f64::max);
+        assert!(
+            best >= REQUIRED_SPEEDUP,
+            "best axis {best:.3}× under {REQUIRED_SPEEDUP}×: {rows:#?}"
+        );
+    }
+
+    /// A table JSON in the exact emitted shape, without measuring.
+    fn synthetic_json(profile: &str, execute_speedup: f64) -> String {
+        let title = format!(
+            "Columnar (SoA) data plane vs rows — synthetic fixture, \
+             score = rows/cols CPU speedup (median of paired ratios), \
+             {profile} build"
+        );
+        let mut t = Table::new(
+            "BENCH_columnar",
+            &title,
+            &["axis", "rows ms", "cols ms", "speedup", "Mtuples/s (cols)"],
+        );
+        t.row(vec![
+            "partition".into(),
+            f3(61.0),
+            f3(65.2),
+            f3(0.936),
+            f3(15.3),
+        ]);
+        t.row(vec![
+            "execute (scatter+reduce)".into(),
+            f3(146.0),
+            f3(146.0 / execute_speedup),
+            f3(execute_speedup),
+            f3(21.0),
+        ]);
+        t.row(vec![
+            "wire encode".into(),
+            f3(171.0),
+            f3(191.0),
+            f3(0.895),
+            f3(5.8),
+        ]);
+        t.to_json()
+    }
+
+    #[test]
+    fn baseline_check_flags_drift_and_missing_axes() {
+        let base = synthetic_json("debug", 3.0);
+        assert!(
+            check_against_baseline(&base, &base, 0.10).is_empty(),
+            "a measurement must match itself"
+        );
+        let drifted = base.replace("\"partition\"", "\"repartition\"");
+        let problems = check_against_baseline(&drifted, &base, 0.10);
+        assert!(
+            problems.iter().any(|p| p.contains("missing from baseline")),
+            "{problems:#?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("missing from fresh run")),
+            "{problems:#?}"
+        );
+        let slowed = synthetic_json("debug", 1.2);
+        let problems = check_against_baseline(&slowed, &base, 0.10);
+        assert!(
+            problems.iter().any(|p| p.contains("under the required")),
+            "{problems:#?}"
+        );
+    }
+
+    #[test]
+    fn baseline_check_refuses_cross_profile_diffs() {
+        let debug = synthetic_json("debug", 3.0);
+        let release = synthetic_json("release", 3.0);
+        let problems = check_against_baseline(&release, &debug, 0.10);
+        assert_eq!(problems.len(), 1, "{problems:#?}");
+        assert!(
+            problems[0].contains("build-profile mismatch"),
+            "{problems:#?}"
+        );
+        // An unstamped (legacy) title falls back to the plain diff.
+        let unstamped = debug.replace("debug build", "unstamped");
+        assert!(
+            check_against_baseline(&unstamped, &debug, 0.10).is_empty(),
+            "identical ratios must pass when a profile stamp is missing"
+        );
+    }
+
+    #[test]
+    fn speedup_parser_roundtrips_the_emitted_table() {
+        let json = synthetic_json("debug", 3.0);
+        assert_eq!(parse_profile(&json), Some("debug"));
+        let speedups = parse_speedups(&json).unwrap();
+        assert_eq!(speedups.len(), 3);
+        assert!(speedups.iter().any(|(n, _)| n == "partition"));
+        assert!(speedups.iter().all(|(_, s)| s.is_finite() && *s > 0.0));
+    }
+}

@@ -1,0 +1,42 @@
+//! The CI gate on the checked-in columnar data-plane baseline
+//! (`results/BENCH_columnar.json`): re-measure and fail if any axis's
+//! rows/cols speedup drifts more than ±10% from the baseline, or if the
+//! best axis drops under the required 1.5×.
+//!
+//! The re-measurement runs in a **child process** (`run_all --quick
+//! columnar` into a scratch results dir), not in-process: the test
+//! harness's other threads share the host's cores and caches, and on small
+//! CI hosts that shifts even CPU-time samples. The checked-in baseline is
+//! produced by exactly the same command, so both sides of the diff come
+//! from the same hermetic context.
+
+use std::process::Command;
+
+#[test]
+fn checked_in_baseline_is_within_tolerance() {
+    let scratch = std::env::temp_dir().join(format!("prompt-columnar-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch results dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args(["--quick", "columnar"])
+        .env("PROMPT_RESULTS_DIR", &scratch)
+        .output()
+        .expect("run_all spawns");
+    assert!(
+        out.status.success(),
+        "run_all columnar failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fresh = std::fs::read_to_string(scratch.join("BENCH_columnar.json"))
+        .expect("fresh BENCH_columnar.json emitted");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let baseline_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_columnar.json"
+    );
+    let baseline =
+        std::fs::read_to_string(baseline_path).expect("results/BENCH_columnar.json checked in");
+    let problems =
+        prompt_bench::experiments::columnar::check_against_baseline(&fresh, &baseline, 0.10);
+    assert!(problems.is_empty(), "regressions: {problems:#?}");
+}

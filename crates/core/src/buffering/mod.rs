@@ -21,6 +21,7 @@ pub use count_tree::CountTree;
 pub use sharded::ShardedAccumulator;
 
 use crate::batch::{KeyGroup, SealedBatch};
+use crate::columnar::{ColRange, ColumnarBatch, ColumnarSealed};
 use crate::hash::KeyMap;
 use crate::types::{Duration, Interval, Key, Time, Tuple};
 
@@ -94,6 +95,15 @@ pub trait BatchAccumulator {
     /// Seal the batch: emit the (quasi-)sorted key groups and reset internal
     /// state for the next interval.
     fn seal(&mut self, next_interval: Interval) -> SealedBatch;
+
+    /// Seal straight into the columnar (struct-of-arrays) layout: the same
+    /// group order and per-group tuple order as [`BatchAccumulator::seal`],
+    /// written into one flat arena instead of per-group row vectors. The
+    /// default shim converts the row seal; hot-path accumulators override it
+    /// to fill the columns directly.
+    fn seal_columnar(&mut self, next_interval: Interval) -> ColumnarSealed {
+        ColumnarSealed::from_sealed(&self.seal(next_interval))
+    }
 
     /// Statistics of the batch accumulated so far.
     fn stats(&self) -> BatchStats;
@@ -237,6 +247,33 @@ impl BatchAccumulator for FrequencyAwareAccumulator {
         sealed
     }
 
+    fn seal_columnar(&mut self, next_interval: Interval) -> ColumnarSealed {
+        // Same traversal and group order as `seal`, but the group tuples go
+        // straight into one flat arena instead of per-group row vectors.
+        let order = self.tree.traverse_desc();
+        let mut arena = ColumnarBatch::with_capacity(self.n_tuples as usize);
+        let mut groups = Vec::with_capacity(order.len());
+        for (key, _approx_count) in order {
+            let entry = self
+                .htable
+                .remove(&key)
+                .expect("tree key missing from HTable");
+            let offset = arena.len();
+            arena.extend_from_tuples(&entry.tuples);
+            groups.push((key, ColRange::new(offset, entry.tuples.len())));
+        }
+        debug_assert!(self.htable.is_empty(), "HTable keys missing from tree");
+        debug_assert_eq!(arena.len() as u64, self.n_tuples);
+        let sealed = ColumnarSealed::new(std::sync::Arc::new(arena), groups, self.interval);
+
+        self.htable.clear();
+        self.tree.clear();
+        self.n_tuples = 0;
+        self.tree_updates = 0;
+        self.interval = next_interval;
+        sealed
+    }
+
     fn stats(&self) -> BatchStats {
         BatchStats {
             n_tuples: self.n_tuples,
@@ -285,6 +322,24 @@ impl BatchAccumulator for PostSortAccumulator {
             .collect();
         groups.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.0.cmp(&b.key.0)));
         let sealed = SealedBatch::new(groups, self.interval);
+        self.n_tuples = 0;
+        self.interval = next_interval;
+        sealed
+    }
+
+    fn seal_columnar(&mut self, next_interval: Interval) -> ColumnarSealed {
+        // Same exact (count desc, key asc) order as `seal`, filled into one
+        // flat arena.
+        let mut drained: Vec<(Key, Vec<Tuple>)> = self.htable.drain().collect();
+        drained.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0 .0.cmp(&b.0 .0)));
+        let mut arena = ColumnarBatch::with_capacity(self.n_tuples as usize);
+        let mut groups = Vec::with_capacity(drained.len());
+        for (key, tuples) in drained {
+            let offset = arena.len();
+            arena.extend_from_tuples(&tuples);
+            groups.push((key, ColRange::new(offset, tuples.len())));
+        }
+        let sealed = ColumnarSealed::new(std::sync::Arc::new(arena), groups, self.interval);
         self.n_tuples = 0;
         self.interval = next_interval;
         sealed
@@ -487,6 +542,32 @@ mod tests {
         ka.sort_unstable();
         kb.sort_unstable();
         assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn columnar_seal_matches_row_seal() {
+        let iv = interval_secs(0, 1);
+        let spec = [(1u64, 40usize), (2, 25), (3, 20), (4, 10), (5, 5)];
+        let mut row = FrequencyAwareAccumulator::new(AccumulatorConfig::default(), iv);
+        let mut col = FrequencyAwareAccumulator::new(AccumulatorConfig::default(), iv);
+        feed(&mut row, &spec, iv);
+        feed(&mut col, &spec, iv);
+        let a = row.seal(interval_secs(1, 2));
+        let b = col.seal_columnar(interval_secs(1, 2));
+        assert_eq!(b.to_sealed(), a);
+        assert_eq!(
+            col.stats(),
+            BatchStats::default(),
+            "columnar seal resets too"
+        );
+
+        let mut row = PostSortAccumulator::new(iv);
+        let mut col = PostSortAccumulator::new(iv);
+        feed(&mut row, &spec, iv);
+        feed(&mut col, &spec, iv);
+        let a = row.seal(interval_secs(1, 2));
+        let b = col.seal_columnar(interval_secs(1, 2));
+        assert_eq!(b.to_sealed(), a);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::batch::SealedBatch;
 use crate::buffering::{
     AccumulatorConfig, BatchAccumulator, BatchStats, FrequencyAwareAccumulator,
 };
+use crate::columnar::{ColRange, ColumnarBatch, ColumnarSealed};
 use crate::hash::bucket_of;
 use crate::types::{Interval, Key, Tuple};
 
@@ -173,6 +174,37 @@ impl BatchAccumulator for ShardedAccumulator {
             }
         }
         let sealed = SealedBatch::new(groups, self.interval);
+        self.interval = next_interval;
+        sealed
+    }
+
+    fn seal_columnar(&mut self, next_interval: Interval) -> ColumnarSealed {
+        // Identical k-way merge order to `seal`, with the merged groups'
+        // tuples written straight into one flat arena.
+        let mut queues: Vec<VecDeque<_>> = self
+            .shards
+            .iter_mut()
+            .map(|s| s.seal(next_interval).groups.into())
+            .collect();
+        let total_groups: usize = queues.iter().map(VecDeque::len).sum();
+        let total_tuples: usize = queues.iter().flatten().map(|g| g.count).sum();
+        let mut heap: BinaryHeap<(usize, Reverse<u64>, usize)> = queues
+            .iter()
+            .enumerate()
+            .filter_map(|(si, q)| q.front().map(|g| (g.count, Reverse(g.key.0), si)))
+            .collect();
+        let mut arena = ColumnarBatch::with_capacity(total_tuples);
+        let mut groups = Vec::with_capacity(total_groups);
+        while let Some((_, _, si)) = heap.pop() {
+            let g = queues[si].pop_front().expect("heap entry has a head");
+            let offset = arena.len();
+            arena.extend_from_tuples(&g.tuples);
+            groups.push((g.key, ColRange::new(offset, g.count)));
+            if let Some(nxt) = queues[si].front() {
+                heap.push((nxt.count, Reverse(nxt.key.0), si));
+            }
+        }
+        let sealed = ColumnarSealed::new(std::sync::Arc::new(arena), groups, self.interval);
         self.interval = next_interval;
         sealed
     }
@@ -315,6 +347,22 @@ mod tests {
         assert_eq!(second.n_tuples, 3);
         assert_eq!(second.groups[0].key, Key(7));
         assert_eq!(second.interval, iv2);
+    }
+
+    #[test]
+    fn columnar_seal_matches_row_seal() {
+        let iv = interval_secs(0, 1);
+        let tuples = stream(&spec(), iv);
+        for n_shards in [1, 3, 8] {
+            let cfg = AccumulatorConfig::default();
+            let mut row = ShardedAccumulator::new(cfg, n_shards, iv);
+            let mut col = ShardedAccumulator::new(cfg, n_shards, iv);
+            row.par_ingest(&tuples, 4);
+            col.par_ingest(&tuples, 4);
+            let a = row.seal(interval_secs(1, 2));
+            let b = col.seal_columnar(interval_secs(1, 2));
+            assert_eq!(b.to_sealed(), a, "{n_shards} shards");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   one layer up, in the engine's wire module.
 
 use crate::batch::{DataBlock, KeyFragment, PartitionPlan};
+use crate::columnar::{ColRange, ColumnarBatch, ColumnarBlock};
 use crate::hash::KeySet;
 use crate::types::{Key, Time, Tuple};
 
@@ -418,6 +419,39 @@ pub fn get_tuples(r: &mut ByteReader<'_>) -> Result<Vec<Tuple>, CodecError> {
     Ok(out)
 }
 
+/// Encode a tuple run straight from column slices — byte-identical to
+/// [`put_tuples`] over the same logical tuples, with no intermediate row
+/// materialization. Ranges are emitted in order; within a range the three
+/// columns are walked in lockstep.
+pub fn put_tuples_columnar<S: BytesSink>(
+    s: &mut S,
+    arena: &ColumnarBatch,
+    ranges: &[(Key, ColRange)],
+) {
+    let n: usize = ranges.iter().map(|&(_, r)| r.len).sum();
+    s.put_len(n);
+    for &(_, r) in ranges {
+        for i in r.offset..r.end() {
+            s.put_u64(arena.ts[i].0);
+            s.put_u64(arena.keys[i].0);
+            s.put_f64(arena.values[i]);
+        }
+    }
+}
+
+/// Encode a columnar block — byte-identical to [`put_block`] over the row
+/// twin ([`ColumnarPlan::to_row_plan`](crate::columnar::ColumnarPlan::to_row_plan)
+/// block): ranges concatenate in assignment order and the fragment summary
+/// already matches the row builder's.
+pub fn put_block_columnar<S: BytesSink>(s: &mut S, arena: &ColumnarBatch, block: &ColumnarBlock) {
+    put_tuples_columnar(s, arena, &block.ranges);
+    s.put_len(block.fragments.len());
+    for f in &block.fragments {
+        s.put_u64(f.key.0);
+        s.put_u64(f.count as u64);
+    }
+}
+
 /// Encode a key/frequency table — the sealed-batch summary shape used by
 /// fragment lists and map-output cluster reports alike.
 pub fn put_key_counts<S: BytesSink>(s: &mut S, counts: &[(Key, u64)]) {
@@ -765,6 +799,24 @@ mod tests {
             r.get_varint_len(8),
             Err(CodecError::BadLength { .. })
         ));
+    }
+
+    #[test]
+    fn columnar_block_encoding_is_byte_identical_to_row() {
+        use crate::columnar::ColumnarPlan;
+        let plan = sample_plan();
+        let cols = ColumnarPlan::from_row_plan(&plan);
+        for (row_block, col_block) in plan.blocks.iter().zip(&cols.blocks) {
+            let mut row_w = ByteWriter::new();
+            put_block(&mut row_w, row_block);
+            let mut col_w = ByteWriter::new();
+            put_block_columnar(&mut col_w, &cols.arena, col_block);
+            assert_eq!(row_w.as_bytes(), col_w.as_bytes());
+            // And the columnar bytes decode back to the row block.
+            let mut r = ByteReader::new(col_w.as_bytes());
+            assert_eq!(&get_block(&mut r).unwrap(), row_block);
+            r.expect_empty().unwrap();
+        }
     }
 
     #[test]

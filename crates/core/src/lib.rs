@@ -55,6 +55,7 @@ pub mod batch;
 pub mod binpack;
 pub mod buffering;
 pub mod bytes;
+pub mod columnar;
 pub mod hash;
 pub mod metrics;
 pub mod partitioner;
@@ -74,6 +75,9 @@ pub mod prelude {
         PostSortAccumulator, ShardedAccumulator,
     };
     pub use crate::bytes::{ByteReader, ByteWriter, BytesSink, CodecError, FnvSink};
+    pub use crate::columnar::{
+        ColRange, ColumnarBatch, ColumnarBlock, ColumnarPlan, ColumnarSealed,
+    };
     pub use crate::metrics::{MpiWeights, PlanMetrics};
     pub use crate::partitioner::{
         BufferingMode, CamPartitioner, DChoicesPartitioner, HashPartitioner, Partitioner,

@@ -14,9 +14,10 @@
 //! The paper's evaluation (§7) sweeps the number of candidates per key for
 //! cAM and reports the best configuration; the harness does the same.
 
-use crate::batch::{BlockBuilder, MicroBatch, PartitionPlan};
+use crate::batch::{BlockBuilder, PartitionPlan};
 use crate::hash::{HashFamily, KeySet};
 use crate::partitioner::Partitioner;
+use crate::types::{Interval, Tuple};
 
 /// Default weight of the cardinality term in the placement cost.
 pub const DEFAULT_GAMMA: f64 = 1.0;
@@ -57,15 +58,20 @@ impl Partitioner for CamPartitioner {
         "cAM"
     }
 
-    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
+    fn partition_slice(
+        &mut self,
+        tuples: &[Tuple],
+        _interval: Interval,
+        p: usize,
+    ) -> PartitionPlan {
         assert!(p > 0, "need at least one block");
         let mut builders: Vec<BlockBuilder> = (0..p)
-            .map(|_| BlockBuilder::with_capacity(batch.len() / p + 1))
+            .map(|_| BlockBuilder::with_capacity(tuples.len() / p + 1))
             .collect();
         // Track each block's key set to detect zero-cardinality placements.
         let mut key_sets: Vec<KeySet> = vec![KeySet::default(); p];
 
-        for &t in &batch.tuples {
+        for &t in tuples {
             let mut best: Option<(f64, usize)> = None;
             let mut best_local: Option<(usize, usize)> = None; // (size, block)
             for b in self.family.candidates(t.key, p) {

@@ -11,6 +11,7 @@ use crate::batch::{BlockBuilder, MicroBatch, PartitionPlan};
 use crate::hash::{bucket_of, HashFamily};
 use crate::partitioner::{PartitionPhases, Partitioner};
 use crate::sketch::SpaceSaving;
+use crate::types::{Interval, Tuple};
 
 /// Default heavy-hitter frequency threshold (fraction of the stream).
 pub const DEFAULT_PHI: f64 = 0.001;
@@ -62,13 +63,18 @@ impl Partitioner for DChoicesPartitioner {
         "D-Choices"
     }
 
-    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
+    fn partition_slice(
+        &mut self,
+        tuples: &[Tuple],
+        _interval: Interval,
+        p: usize,
+    ) -> PartitionPlan {
         assert!(p > 0, "need at least one block");
         let mut builders: Vec<BlockBuilder> = (0..p)
-            .map(|_| BlockBuilder::with_capacity(batch.len() / p + 1))
+            .map(|_| BlockBuilder::with_capacity(tuples.len() / p + 1))
             .collect();
         let mut sketch = SpaceSaving::new(self.sketch_counters);
-        for &t in &batch.tuples {
+        for &t in tuples {
             sketch.observe(t.key);
             let block = if sketch.is_heavy(t.key, self.phi) {
                 // Heavy: least-loaded of the d candidates.

@@ -5,9 +5,10 @@
 //! receives a hot key balloons, producing the size imbalance that Fig. 10
 //! normalises every other technique against.
 
-use crate::batch::{BlockBuilder, MicroBatch, PartitionPlan};
+use crate::batch::{BlockBuilder, PartitionPlan};
 use crate::hash::bucket_of;
 use crate::partitioner::Partitioner;
+use crate::types::{Interval, Tuple};
 
 /// Key-grouping (hash) partitioner.
 #[derive(Debug, Clone)]
@@ -27,12 +28,17 @@ impl Partitioner for HashPartitioner {
         "Hash"
     }
 
-    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
+    fn partition_slice(
+        &mut self,
+        tuples: &[Tuple],
+        _interval: Interval,
+        p: usize,
+    ) -> PartitionPlan {
         assert!(p > 0, "need at least one block");
         let mut builders: Vec<BlockBuilder> = (0..p)
-            .map(|_| BlockBuilder::with_capacity(batch.len() / p + 1))
+            .map(|_| BlockBuilder::with_capacity(tuples.len() / p + 1))
             .collect();
-        for &t in &batch.tuples {
+        for &t in tuples {
             builders[bucket_of(self.seed, t.key, p)].push(t);
         }
         PartitionPlan::from_blocks(builders.into_iter().map(BlockBuilder::finish).collect())

@@ -24,7 +24,11 @@ pub use prompt::{BufferingMode, PromptPartitioner};
 pub use shuffle::ShufflePartitioner;
 pub use time_based::TimeBasedPartitioner;
 
+use std::sync::Arc;
+
 use crate::batch::{MicroBatch, PartitionPlan};
+use crate::columnar::ColumnarPlan;
+use crate::types::{Interval, Tuple};
 
 /// Wall-clock timing of the internal phases of one `partition()` call.
 /// Informational only — virtual-time scheduling never consumes these — so
@@ -52,7 +56,29 @@ pub trait Partitioner: Send {
 
     /// Partition the batch into exactly `p` blocks. Implementations must
     /// conserve tuples: the plan's total size equals `batch.len()`.
-    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan;
+    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
+        self.partition_slice(&batch.tuples, batch.interval, p)
+    }
+
+    /// Partition a raw arrival slice into exactly `p` blocks. This is the
+    /// required entry point: every technique reads only the arrival order
+    /// (plus the interval, for time-based slotting), so callers that hold
+    /// tuples outside a [`MicroBatch`] — e.g. the replay path's shared
+    /// retained input — can partition without materializing a batch.
+    fn partition_slice(&mut self, tuples: &[Tuple], interval: Interval, p: usize) -> PartitionPlan;
+
+    /// Partition tuples held behind a shared `Arc` allocation. The default
+    /// borrows the slice — zero-copy for every built-in technique. Exists as
+    /// a distinct hook so tests can observe that replay hands partitioners
+    /// the *same* retained allocation rather than a fresh deep clone.
+    fn partition_shared(
+        &mut self,
+        tuples: &Arc<[Tuple]>,
+        interval: Interval,
+        p: usize,
+    ) -> PartitionPlan {
+        self.partition_slice(tuples, interval, p)
+    }
 
     /// Like [`Partitioner::partition`], additionally reporting wall-clock
     /// phase timings for observability. The default implementation has no
@@ -63,6 +89,24 @@ pub trait Partitioner: Send {
         p: usize,
     ) -> (PartitionPlan, PartitionPhases) {
         (self.partition(batch, p), PartitionPhases::default())
+    }
+
+    /// Columnar fast path: partition the batch directly into a
+    /// [`ColumnarPlan`] whose blocks are `(key, range)` views into one shared
+    /// column arena, skipping per-tuple row materialization entirely.
+    ///
+    /// Returns `None` when the technique has no columnar implementation, in
+    /// which case the caller falls back to [`Partitioner::partition`] (or
+    /// converts via [`ColumnarPlan::from_row_plan`]). Implementations must
+    /// guarantee `to_row_plan()` of the result is bit-identical to what
+    /// `partition` would have produced for the same input and state.
+    fn partition_columnar(
+        &mut self,
+        batch: &MicroBatch,
+        p: usize,
+    ) -> Option<(ColumnarPlan, PartitionPhases)> {
+        let _ = (batch, p);
+        None
     }
 }
 

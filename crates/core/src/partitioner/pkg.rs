@@ -9,9 +9,10 @@
 //! As in the original per-tuple setting, the decision uses only the running
 //! block sizes — no batch-wide statistics.
 
-use crate::batch::{BlockBuilder, MicroBatch, PartitionPlan};
+use crate::batch::{BlockBuilder, PartitionPlan};
 use crate::hash::HashFamily;
 use crate::partitioner::Partitioner;
+use crate::types::{Interval, Tuple};
 
 /// PK-d partitioner with `d` candidate blocks per key.
 #[derive(Debug, Clone)]
@@ -41,12 +42,17 @@ impl Partitioner for PkgPartitioner {
         "PK-d"
     }
 
-    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
+    fn partition_slice(
+        &mut self,
+        tuples: &[Tuple],
+        _interval: Interval,
+        p: usize,
+    ) -> PartitionPlan {
         assert!(p > 0, "need at least one block");
         let mut builders: Vec<BlockBuilder> = (0..p)
-            .map(|_| BlockBuilder::with_capacity(batch.len() / p + 1))
+            .map(|_| BlockBuilder::with_capacity(tuples.len() / p + 1))
             .collect();
-        for &t in &batch.tuples {
+        for &t in tuples {
             // Least-loaded among the d candidates (first minimum wins, which
             // keeps the decision deterministic).
             let block = self

@@ -19,14 +19,17 @@
 //!    block with the *least* remaining capacity that can hold it (Best-Fit),
 //!    fragmenting further only when unavoidable.
 
+use std::sync::Arc;
+
 use crate::batch::{BlockBuilder, DataBlock, MicroBatch, PartitionPlan, SealedBatch};
 use crate::buffering::{
     AccumulatorConfig, BatchAccumulator, FrequencyAwareAccumulator, PostSortAccumulator,
     ShardedAccumulator,
 };
+use crate::columnar::{ColRange, ColumnarBlock, ColumnarPlan, ColumnarSealed};
 use crate::hash::{KeyMap, KeySet};
 use crate::partitioner::{PartitionPhases, Partitioner};
-use crate::types::Key;
+use crate::types::{Interval, Key, Tuple};
 
 /// How the partitioner obtains the sorted key list when driven through the
 /// arrival-ordered [`Partitioner`] interface.
@@ -138,6 +141,50 @@ impl PromptPartitioner {
         Self::materialize_pieces(batch, &pieces, threads)
     }
 
+    /// Algorithm 2 over a columnar sealed batch: identical symbolic
+    /// assignment (the decision phase reads only `(key, count)` per group,
+    /// which both representations expose through [`GroupView`]), but
+    /// materialization emits `(key, arena range)` pieces instead of copying
+    /// tuples — zero data movement. `to_row_plan()` of the result is
+    /// bit-identical to [`Self::partition_sealed`] on the row twin of
+    /// `batch`.
+    pub fn partition_sealed_columnar(batch: &ColumnarSealed, p: usize) -> ColumnarPlan {
+        Self::partition_sealed_columnar_with(batch, p, Self::DEFAULT_TOLERANCE)
+    }
+
+    /// [`Self::partition_sealed_columnar`] with an explicit residual
+    /// tolerance.
+    pub fn partition_sealed_columnar_with(
+        batch: &ColumnarSealed,
+        p: usize,
+        tolerance: f64,
+    ) -> ColumnarPlan {
+        let pieces = Self::assign_pieces(batch, p, tolerance);
+        Self::materialize_pieces_columnar(batch, &pieces)
+    }
+
+    /// Turn the symbolic assignment into a [`ColumnarPlan`]: each piece
+    /// `[start, end)` of group `g` becomes the arena range
+    /// `[g.offset + start, g.offset + end)`. Pieces keep assignment order,
+    /// so enumerating a block's ranges visits tuples in exactly the order
+    /// the row materializer pushes them.
+    fn materialize_pieces_columnar(batch: &ColumnarSealed, pieces: &[Vec<Piece>]) -> ColumnarPlan {
+        let blocks = pieces
+            .iter()
+            .map(|block_pieces| {
+                let ranges = block_pieces
+                    .iter()
+                    .map(|pc| {
+                        let (key, r) = batch.groups[pc.group];
+                        (key, ColRange::new(r.offset + pc.start, pc.end - pc.start))
+                    })
+                    .collect();
+                ColumnarBlock::from_ranges(ranges)
+            })
+            .collect();
+        ColumnarPlan::from_blocks(Arc::clone(&batch.arena), blocks)
+    }
+
     /// Materialize every block from its assigned pieces, fanning out over
     /// `threads` OS threads when asked (1 = serial loop). Blocks
     /// materialize independently, so the plan is bit-identical for any
@@ -199,11 +246,11 @@ impl PromptPartitioner {
     /// partially built blocks, so the assignment — and hence the final plan —
     /// is unchanged; it is just now independent of materialization, which
     /// can run per-block in parallel.
-    fn assign_pieces(batch: &SealedBatch, p: usize, tolerance: f64) -> Vec<Vec<Piece>> {
+    fn assign_pieces<V: GroupView>(batch: &V, p: usize, tolerance: f64) -> Vec<Vec<Piece>> {
         assert!(p > 0, "need at least one block");
         assert!((0.0..=1.0).contains(&tolerance), "tolerance is a fraction");
-        let n = batch.n_tuples;
-        let k = batch.n_keys();
+        let n = batch.total_tuples();
+        let k = batch.n_groups();
         let mut blocks = SymbolicBlocks::new(p);
         if n == 0 {
             return blocks.pieces;
@@ -220,10 +267,11 @@ impl PromptPartitioner {
         let mut lookup_large_pos: KeyMap<usize> = KeyMap::default();
         let mut normal: Vec<usize> = Vec::with_capacity(k);
         let mut bi = 0usize;
-        for (gi, g) in batch.groups.iter().enumerate() {
-            if g.count > s_cut {
-                blocks.place(bi, gi, 0, s_cut, g.key);
-                lookup_large_pos.insert(g.key, bi);
+        for gi in 0..k {
+            let (key, count) = batch.group(gi);
+            if count > s_cut {
+                blocks.place(bi, gi, 0, s_cut, key);
+                lookup_large_pos.insert(key, bi);
                 residuals.push((gi, s_cut));
                 bi = (bi + 1) % p;
             } else {
@@ -247,8 +295,8 @@ impl PromptPartitioner {
             } else {
                 p - 1 - pos
             };
-            let g = &batch.groups[gi];
-            blocks.place((offset + idx) % p, gi, 0, g.count, g.key);
+            let (key, count) = batch.group(gi);
+            blocks.place((offset + idx) % p, gi, 0, count, key);
         }
 
         // Phase 3: place the residuals of the fragmented keys (lines 17–25).
@@ -260,18 +308,18 @@ impl PromptPartitioner {
         // stays at shuffle level, the trade Fig. 10 reports.
         let cap_limit = p_size + (p_size as f64 * tolerance) as usize + 1;
         'residuals: for (gi, split) in residuals {
-            let g = &batch.groups[gi];
-            let (mut start, end) = (split, g.count);
+            let (key, count) = batch.group(gi);
+            let (mut start, end) = (split, count);
             // Key-locality first: the block already holding this key's
             // S_cut fragment.
-            let home = lookup_large_pos[&g.key];
+            let home = lookup_large_pos[&key];
             let cap = blocks.capacity(home, cap_limit);
             if end - start <= cap {
-                blocks.place(home, gi, start, end, g.key);
+                blocks.place(home, gi, start, end, key);
                 continue;
             }
             if cap > 0 {
-                blocks.place(home, gi, start, start + cap, g.key);
+                blocks.place(home, gi, start, start + cap, key);
                 start += cap;
             }
             // Place the rest in a block that can hold it whole. Among those,
@@ -287,7 +335,7 @@ impl PromptPartitioner {
                     .filter(|&b| blocks.capacity(b, cap_limit) >= end - start)
                     .min_by_key(|&b| (blocks.cardinality(b), blocks.capacity(b, cap_limit), b));
                 if let Some(b) = fit {
-                    blocks.place(b, gi, start, end, g.key);
+                    blocks.place(b, gi, start, end, key);
                     continue 'residuals;
                 }
                 // No single block fits the residual: pour into the block
@@ -301,16 +349,58 @@ impl PromptPartitioner {
                     // All blocks at capacity (rounding slack exhausted):
                     // overflow into the globally least-loaded block.
                     let b = (0..p).min_by_key(|&b| (blocks.size(b), b)).expect("p > 0");
-                    blocks.place(b, gi, start, end, g.key);
+                    blocks.place(b, gi, start, end, key);
                     continue 'residuals;
                 }
                 let take = cap.min(end - start);
-                blocks.place(b, gi, start, start + take, g.key);
+                blocks.place(b, gi, start, start + take, key);
                 start += take;
             }
         }
 
         blocks.pieces
+    }
+}
+
+/// What the symbolic assignment phase reads from a sealed batch: the group
+/// list as `(key, count)` pairs in seal order. Implemented by both the row
+/// and columnar sealed representations so Algorithm 2's decision core is
+/// literally the same code — and therefore the same plan — for either.
+trait GroupView {
+    fn total_tuples(&self) -> usize;
+    fn n_groups(&self) -> usize;
+    fn group(&self, gi: usize) -> (Key, usize);
+}
+
+impl GroupView for SealedBatch {
+    #[inline]
+    fn total_tuples(&self) -> usize {
+        self.n_tuples
+    }
+    #[inline]
+    fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+    #[inline]
+    fn group(&self, gi: usize) -> (Key, usize) {
+        let g = &self.groups[gi];
+        (g.key, g.count)
+    }
+}
+
+impl GroupView for ColumnarSealed {
+    #[inline]
+    fn total_tuples(&self) -> usize {
+        self.n_tuples
+    }
+    #[inline]
+    fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+    #[inline]
+    fn group(&self, gi: usize) -> (Key, usize) {
+        let (key, r) = self.groups[gi];
+        (key, r.len)
     }
 }
 
@@ -384,10 +474,10 @@ impl Partitioner for PromptPartitioner {
         }
     }
 
-    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
+    fn partition_slice(&mut self, tuples: &[Tuple], interval: Interval, p: usize) -> PartitionPlan {
         // Replay the arrivals through the configured accumulator, then run
         // Algorithm 2 on the sealed batch.
-        let sealed = self.seal_arrivals(batch);
+        let sealed = self.seal_arrivals(tuples, interval);
         if self.threads > 1 {
             Self::partition_sealed_par(&sealed, p, self.threads)
         } else {
@@ -406,7 +496,7 @@ impl Partitioner for PromptPartitioner {
         // (Fig. 14's overhead story); the plan itself is bit-identical to
         // the untimed path.
         let t0 = std::time::Instant::now();
-        let sealed = self.seal_arrivals(batch);
+        let sealed = self.seal_arrivals(&batch.tuples, batch.interval);
         let seal_us = t0.elapsed().as_micros() as u64;
         let t1 = std::time::Instant::now();
         let pieces = Self::assign_pieces(&sealed, p, Self::DEFAULT_TOLERANCE);
@@ -424,40 +514,106 @@ impl Partitioner for PromptPartitioner {
             },
         )
     }
+
+    fn partition_columnar(
+        &mut self,
+        batch: &MicroBatch,
+        p: usize,
+    ) -> Option<(ColumnarPlan, PartitionPhases)> {
+        // The columnar fast path: accumulators seal straight into column
+        // arenas (`seal_columnar` replays the exact row seal order) and
+        // materialization emits arena ranges instead of tuple copies. The
+        // symbolic assignment is byte-for-byte the code `partition` runs,
+        // so `to_row_plan()` of this result is bit-identical to the row
+        // path — gated by `columnar_differential`.
+        let t0 = std::time::Instant::now();
+        let sealed = self.seal_arrivals_columnar(&batch.tuples, batch.interval);
+        let seal_us = t0.elapsed().as_micros() as u64;
+        let t1 = std::time::Instant::now();
+        let pieces = Self::assign_pieces(&sealed, p, Self::DEFAULT_TOLERANCE);
+        let symbolic_us = t1.elapsed().as_micros() as u64;
+        let t2 = std::time::Instant::now();
+        let plan = Self::materialize_pieces_columnar(&sealed, &pieces);
+        let materialize_us = t2.elapsed().as_micros() as u64;
+        Some((
+            plan,
+            PartitionPhases {
+                select_us: 0,
+                seal_us,
+                symbolic_us,
+                materialize_us,
+            },
+        ))
+    }
 }
 
 impl PromptPartitioner {
-    /// Replay a micro-batch's arrivals through the configured accumulator
-    /// and seal at the heartbeat (the batching phase of §4.1).
-    fn seal_arrivals(&self, batch: &MicroBatch) -> SealedBatch {
+    /// Replay arrivals through the configured accumulator and seal at the
+    /// heartbeat (the batching phase of §4.1).
+    fn seal_arrivals(&self, tuples: &[Tuple], interval: Interval) -> SealedBatch {
         match self.mode {
             BufferingMode::FrequencyAware => {
-                let mut cfg = self.acc_cfg;
-                // Seed the estimates from the actual batch when the caller
-                // didn't provide history — the engine overrides these with
-                // rolling statistics.
-                cfg.est_tuples = batch.len().max(1) as f64;
-                cfg.avg_keys = cfg.avg_keys.max(1.0);
+                let cfg = self.seeded_config(tuples.len());
                 if self.shards > 1 {
-                    let mut acc = ShardedAccumulator::new(cfg, self.shards, batch.interval);
-                    acc.par_ingest(&batch.tuples, self.threads);
-                    acc.seal(batch.interval)
+                    let mut acc = ShardedAccumulator::new(cfg, self.shards, interval);
+                    acc.par_ingest(tuples, self.threads);
+                    acc.seal(interval)
                 } else {
-                    let mut acc = FrequencyAwareAccumulator::new(cfg, batch.interval);
-                    for &t in &batch.tuples {
+                    let mut acc = FrequencyAwareAccumulator::new(cfg, interval);
+                    for &t in tuples {
                         acc.ingest(t);
                     }
-                    acc.seal(batch.interval)
+                    acc.seal(interval)
                 }
             }
             BufferingMode::PostSort => {
-                let mut acc = PostSortAccumulator::new(batch.interval);
-                for &t in &batch.tuples {
+                let mut acc = PostSortAccumulator::new(interval);
+                for &t in tuples {
                     acc.ingest(t);
                 }
-                acc.seal(batch.interval)
+                acc.seal(interval)
             }
         }
+    }
+
+    /// [`Self::seal_arrivals`] sealing into a columnar arena. The ingest
+    /// replay is identical; only the seal step differs, and every
+    /// accumulator's `seal_columnar` emits groups in its exact row seal
+    /// order.
+    fn seal_arrivals_columnar(&self, tuples: &[Tuple], interval: Interval) -> ColumnarSealed {
+        match self.mode {
+            BufferingMode::FrequencyAware => {
+                let cfg = self.seeded_config(tuples.len());
+                if self.shards > 1 {
+                    let mut acc = ShardedAccumulator::new(cfg, self.shards, interval);
+                    acc.par_ingest(tuples, self.threads);
+                    acc.seal_columnar(interval)
+                } else {
+                    let mut acc = FrequencyAwareAccumulator::new(cfg, interval);
+                    for &t in tuples {
+                        acc.ingest(t);
+                    }
+                    acc.seal_columnar(interval)
+                }
+            }
+            BufferingMode::PostSort => {
+                let mut acc = PostSortAccumulator::new(interval);
+                for &t in tuples {
+                    acc.ingest(t);
+                }
+                acc.seal_columnar(interval)
+            }
+        }
+    }
+
+    /// The accumulator configuration with estimates seeded from the actual
+    /// batch when the caller didn't provide history — the engine overrides
+    /// these with rolling statistics.
+    fn seeded_config(&self, n_tuples: usize) -> AccumulatorConfig {
+        let mut cfg = self.acc_cfg;
+        cfg.est_tuples = n_tuples.max(1) as f64;
+        cfg.avg_keys = cfg.avg_keys.max(1.0);
+        cfg
     }
 }
 
@@ -727,6 +883,49 @@ mod tests {
         // A non-Prompt partitioner keeps the zero-phase default.
         let (_, zero) = crate::partitioner::HashPartitioner::new(1).partition_phased(&mb, 8);
         assert_eq!(zero, PartitionPhases::default());
+    }
+
+    #[test]
+    fn columnar_sealed_partition_is_bit_identical_to_row() {
+        let spec: Vec<(u64, usize)> = (1..=50u64)
+            .map(|k| (k, 2 + (k as usize * 17) % 90))
+            .collect();
+        let batch = sealed(&spec);
+        let cols = crate::columnar::ColumnarSealed::from_sealed(&batch);
+        for p in [1usize, 2, 4, 8] {
+            let want = PromptPartitioner::partition_sealed(&batch, p);
+            let got = PromptPartitioner::partition_sealed_columnar(&cols, p);
+            assert_eq!(got.to_row_plan(), want, "p = {p}");
+            assert_eq!(got.split_keys, want.split_keys, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn partition_columnar_matches_partition_for_all_modes() {
+        let mb = zipfish_batch(120, 900);
+        for (mode, shards, threads) in [
+            (BufferingMode::FrequencyAware, 1, 1),
+            (BufferingMode::FrequencyAware, 4, 3),
+            (BufferingMode::PostSort, 1, 1),
+        ] {
+            let want = PromptPartitioner::with_parallelism(mode, shards, threads).partition(&mb, 8);
+            let (cols, _) = PromptPartitioner::with_parallelism(mode, shards, threads)
+                .partition_columnar(&mb, 8)
+                .expect("Prompt has a columnar path");
+            assert_eq!(
+                cols.to_row_plan(),
+                want,
+                "{mode:?} shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_partitioners_have_no_columnar_path() {
+        let mb = zipfish_batch(10, 30);
+        assert!(crate::partitioner::HashPartitioner::new(1)
+            .partition_columnar(&mb, 4)
+            .is_none());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! key locality: tuples of one key scatter across (up to) all blocks, which
 //! inflates the per-key aggregation work of the Reduce stage.
 
-use crate::batch::{BlockBuilder, MicroBatch, PartitionPlan};
+use crate::batch::{BlockBuilder, PartitionPlan};
 use crate::partitioner::Partitioner;
+use crate::types::{Interval, Tuple};
 
 /// Round-robin partitioner.
 #[derive(Debug, Default, Clone)]
@@ -23,12 +24,17 @@ impl Partitioner for ShufflePartitioner {
         "Shuffle"
     }
 
-    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
+    fn partition_slice(
+        &mut self,
+        tuples: &[Tuple],
+        _interval: Interval,
+        p: usize,
+    ) -> PartitionPlan {
         assert!(p > 0, "need at least one block");
         let mut builders: Vec<BlockBuilder> = (0..p)
-            .map(|_| BlockBuilder::with_capacity(batch.len() / p + 1))
+            .map(|_| BlockBuilder::with_capacity(tuples.len() / p + 1))
             .collect();
-        for (i, &t) in batch.tuples.iter().enumerate() {
+        for (i, &t) in tuples.iter().enumerate() {
             builders[i % p].push(t);
         }
         PartitionPlan::from_blocks(builders.into_iter().map(BlockBuilder::finish).collect())

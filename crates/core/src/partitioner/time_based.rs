@@ -5,8 +5,9 @@
 //! track the instantaneous data rate: a rate spike inside one slot inflates
 //! that slot's block, which is exactly the weakness Fig. 11 exposes.
 
-use crate::batch::{BlockBuilder, MicroBatch, PartitionPlan};
+use crate::batch::{BlockBuilder, PartitionPlan};
 use crate::partitioner::Partitioner;
+use crate::types::{Interval, Tuple};
 
 /// Time-based (arrival-slot) partitioner.
 #[derive(Debug, Default, Clone)]
@@ -24,14 +25,14 @@ impl Partitioner for TimeBasedPartitioner {
         "Time-based"
     }
 
-    fn partition(&mut self, batch: &MicroBatch, p: usize) -> PartitionPlan {
+    fn partition_slice(&mut self, tuples: &[Tuple], interval: Interval, p: usize) -> PartitionPlan {
         assert!(p > 0, "need at least one block");
         let mut builders: Vec<BlockBuilder> = (0..p)
-            .map(|_| BlockBuilder::with_capacity(batch.len() / p + 1))
+            .map(|_| BlockBuilder::with_capacity(tuples.len() / p + 1))
             .collect();
-        let span = batch.interval.len().as_micros().max(1);
-        let start = batch.interval.start.as_micros();
-        for &t in &batch.tuples {
+        let span = interval.len().as_micros().max(1);
+        let start = interval.start.as_micros();
+        for &t in tuples {
             // Slot index by arrival time; clamp tuples at/after the interval
             // end (e.g. boundary timestamps) into the last slot.
             let offset = t.ts.as_micros().saturating_sub(start);
@@ -45,8 +46,9 @@ impl Partitioner for TimeBasedPartitioner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::MicroBatch;
     use crate::partitioner::test_support::*;
-    use crate::types::{Interval, Key, Time, Tuple};
+    use crate::types::{Key, Time};
 
     #[test]
     fn uniform_rate_gives_equal_blocks() {

@@ -1,0 +1,190 @@
+//! Property-based tests of the columnar (struct-of-arrays) data plane:
+//! AoS↔SoA conversion must be order- and bit-exact, and the range-view
+//! blocks of a columnar plan must tile their arena exactly — every tuple
+//! covered once, no overlap, no out-of-bounds range.
+
+use prompt_core::batch::MicroBatch;
+use prompt_core::columnar::{ColumnarBatch, ColumnarPlan};
+use prompt_core::partitioner::Technique;
+use prompt_core::types::{Interval, Key, Time, Tuple};
+use proptest::prelude::*;
+
+/// NaN-free f64 values with the awkward cases kept common: signed zeros,
+/// subnormals, huge and tiny magnitudes. (NaN is excluded because the data
+/// plane's contract is bit-exactness of *payloads*, and reduce semantics
+/// over NaN are out of scope for the conversion layer.) Half the draws are
+/// an ordinary magnitude; the rest hit one fixed edge case each.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    (0u8..16, -1e12f64..1e12f64).prop_map(|(sel, v)| match sel {
+        8 => 0.0,
+        9 => -0.0,
+        10 => f64::MIN_POSITIVE,
+        11 => -f64::MIN_POSITIVE / 2.0, // negative subnormal
+        12 => 1.7e308,
+        13 => -1.7e308,
+        14 => 5e-324, // smallest positive subnormal
+        15 => -1.0 / 3.0,
+        _ => v,
+    })
+}
+
+/// An arrival stream: (key, inter-arrival µs, value) triples.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+    proptest::collection::vec((0u64..40, 1u64..4_000, value_strategy()), 0..600)
+}
+
+fn build_tuples(stream: &[(u64, u64, f64)]) -> (Vec<Tuple>, Interval) {
+    let mut ts = 0u64;
+    let tuples: Vec<Tuple> = stream
+        .iter()
+        .map(|&(key, gap, value)| {
+            ts += gap;
+            Tuple {
+                ts: Time::from_micros(ts),
+                key: Key(key),
+                value,
+            }
+        })
+        .collect();
+    (tuples, Interval::new(Time::ZERO, Time::from_micros(ts + 1)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SoA round-trip is exact: same order, same timestamps/keys, and the
+    /// f64 payloads come back bit-for-bit (signed zeros and subnormals
+    /// included).
+    #[test]
+    fn aos_soa_round_trip_is_bit_exact(stream in stream_strategy()) {
+        let (tuples, _) = build_tuples(&stream);
+        let cols = ColumnarBatch::from_tuples(&tuples);
+        prop_assert_eq!(cols.len(), tuples.len());
+        let back = cols.to_tuples();
+        prop_assert_eq!(back.len(), tuples.len());
+        for (i, (a, b)) in tuples.iter().zip(&back).enumerate() {
+            prop_assert_eq!(a.ts, b.ts, "ts at {}", i);
+            prop_assert_eq!(a.key, b.key, "key at {}", i);
+            prop_assert_eq!(
+                a.value.to_bits(),
+                b.value.to_bits(),
+                "value bits at {}",
+                i
+            );
+            let t = cols.tuple_at(i);
+            prop_assert_eq!(a.ts, t.ts);
+            prop_assert_eq!(a.key, t.key);
+            prop_assert_eq!(a.value.to_bits(), t.value.to_bits());
+        }
+    }
+
+    /// Incremental fill (push / extend) agrees with the one-shot
+    /// constructor.
+    #[test]
+    fn incremental_fill_matches_bulk_conversion(stream in stream_strategy()) {
+        let (tuples, _) = build_tuples(&stream);
+        let bulk = ColumnarBatch::from_tuples(&tuples);
+        let mut pushed = ColumnarBatch::new();
+        let split = tuples.len() / 2;
+        for t in &tuples[..split] {
+            pushed.push(*t);
+        }
+        pushed.extend_from_tuples(&tuples[split..]);
+        prop_assert_eq!(pushed.ts, bulk.ts);
+        prop_assert_eq!(pushed.keys, bulk.keys);
+        let pb: Vec<u64> = pushed.values.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u64> = bulk.values.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(pb, bb);
+    }
+
+    /// The columnar plan's block ranges tile the arena exactly: in-bounds,
+    /// non-overlapping, every tuple covered once, sizes conserved — and its
+    /// row rendering is bit-identical to the row partitioner's plan.
+    #[test]
+    fn block_ranges_tile_the_arena(stream in stream_strategy(), p in 1usize..9) {
+        let (tuples, interval) = build_tuples(&stream);
+        let batch = MicroBatch::new(tuples, interval);
+        let want = Technique::Prompt.build(11).partition(&batch, p);
+        let (plan, _) = Technique::Prompt
+            .build(11)
+            .partition_columnar(&batch, p)
+            .expect("Prompt has a columnar path");
+
+        // Tiling: every arena index covered by exactly one range.
+        let n = plan.arena.len();
+        prop_assert_eq!(n, batch.len());
+        prop_assert_eq!(plan.total_tuples(), n);
+        let mut covered = vec![false; n];
+        for block in &plan.blocks {
+            for (key, range) in &block.ranges {
+                prop_assert!(range.end() <= n, "range past arena end");
+                for (off, slot) in covered[range.offset..range.end()].iter_mut().enumerate() {
+                    let i = range.offset + off;
+                    prop_assert!(!*slot, "index {} covered twice", i);
+                    *slot = true;
+                    prop_assert_eq!(plan.arena.keys[i], *key, "range key mismatch at {}", i);
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "every tuple must be covered");
+
+        // The row rendering matches the row partitioner bit for bit, and
+        // the conversion shims round-trip.
+        let row = plan.to_row_plan();
+        prop_assert_eq!(&row, &want);
+        let back = ColumnarPlan::from_row_plan(&want);
+        prop_assert_eq!(back.to_row_plan(), want);
+    }
+}
+
+/// Pinned regression (see `columnar_props.proptest-regressions`): a batch
+/// mixing signed zeros, subnormals and extreme magnitudes over few hot keys,
+/// so one key lands in several ranges of one block. `-0.0 == 0.0` under
+/// `PartialEq`, so only the bit comparison below distinguishes a conversion
+/// that launders the sign of a zero.
+#[test]
+fn pinned_regression_signed_zero_and_subnormal_payloads() {
+    let edge = [
+        0.0f64,
+        -0.0,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE / 2.0,
+        1.7e308,
+        -1.7e308,
+        5e-324,
+        -1.0 / 3.0,
+    ];
+    let tuples: Vec<Tuple> = (0..240)
+        .map(|i| Tuple {
+            ts: Time::from_micros(1 + i as u64 * 17),
+            key: Key(i as u64 % 3), // three hot keys → multi-range blocks
+            value: edge[i % edge.len()],
+        })
+        .collect();
+    let interval = Interval::new(Time::ZERO, Time::from_micros(240 * 17 + 2));
+    let cols = ColumnarBatch::from_tuples(&tuples);
+    for (i, t) in tuples.iter().enumerate() {
+        assert_eq!(
+            cols.tuple_at(i).value.to_bits(),
+            t.value.to_bits(),
+            "payload bits at {i} (a -0.0 must stay -0.0)"
+        );
+    }
+    let batch = MicroBatch::new(tuples, interval);
+    let want = Technique::Prompt.build(11).partition(&batch, 3);
+    let (plan, _) = Technique::Prompt
+        .build(11)
+        .partition_columnar(&batch, 3)
+        .expect("Prompt has a columnar path");
+    assert_eq!(plan.to_row_plan(), want);
+    let mut covered = vec![false; plan.arena.len()];
+    for block in &plan.blocks {
+        for (_, range) in &block.ranges {
+            for (off, slot) in covered[range.offset..range.end()].iter_mut().enumerate() {
+                assert!(!*slot, "index {} covered twice", range.offset + off);
+                *slot = true;
+            }
+        }
+    }
+    assert!(covered.iter().all(|&c| c));
+}

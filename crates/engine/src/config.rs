@@ -140,6 +140,18 @@ pub struct EngineConfig {
     /// clamp `pipeline_depth` to 1: migration decisions are a
     /// commit-to-prepare feedback path.
     pub rebalance: RebalanceSpec,
+    /// Columnar (struct-of-arrays) data plane for the batch hot path. When
+    /// on, a partitioner that supports it (currently Prompt) seals the
+    /// batch into column arrays and emits a
+    /// [`ColumnarPlan`](prompt_core::columnar::ColumnarPlan) whose blocks
+    /// are `(offset, len)` ranges over a shared arena; the backends then
+    /// map/scatter/reduce over flat column slices and the distributed
+    /// backend encodes Map-task frames straight from the arena. Plans,
+    /// outputs, stage times and wire frames are bit-identical to the row
+    /// path (gated by the `columnar_differential` suite); techniques
+    /// without a columnar seal fall back to rows per batch. Recovery
+    /// replays always re-partition from the replicated row input.
+    pub columnar: bool,
 }
 
 impl Default for EngineConfig {
@@ -162,6 +174,7 @@ impl Default for EngineConfig {
             pipeline_depth: 1,
             policy: PolicySpec::default(),
             rebalance: RebalanceSpec::default(),
+            columnar: false,
         }
     }
 }
@@ -426,6 +439,7 @@ mod tests {
         ] {
             let cfg = EngineConfig {
                 backend,
+                columnar: true,
                 ..EngineConfig::default()
             };
             assert!(cfg.validate().is_ok(), "{backend:?}");

@@ -29,6 +29,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use prompt_core::batch::{MicroBatch, PartitionPlan};
+use prompt_core::columnar::ColumnarPlan;
 use prompt_core::metrics::PlanMetrics;
 use prompt_core::partitioner::{PartitionPhases, Partitioner, PartitionerRegistry, Technique};
 use prompt_core::reduce::{HashReduceAssigner, PromptReduceAllocator, ReduceAssigner};
@@ -47,7 +48,9 @@ use crate::rebalance::{
 };
 use crate::recovery::{FaultPlan, NetFaultPlan, ReplicatedBatchStore};
 use crate::source::TupleSource;
-use crate::stage::{execute_batch_traced, times_from_stats, BatchOutput, StageTimes};
+use crate::stage::{
+    execute_batch_traced, execute_columnar_traced, times_from_stats, BatchOutput, StageTimes,
+};
 use crate::state::{restore, Checkpointer, KeyedStateStore, StateStats, StatefulOp};
 use crate::straggler::StragglerPlan;
 use crate::threaded::ThreadedExecutor;
@@ -391,6 +394,10 @@ struct PreparedBatch {
     /// Processing time of suffix recomputes after a store loss (depth-1
     /// only — scheduled faults clamp the window); billed to this batch.
     restore_times: Vec<Duration>,
+    /// The columnar plan when [`EngineConfig::columnar`] is on and the
+    /// batch's technique sealed one; `plan` is then its exact row rendering
+    /// (same blocks, same order) and serves metrics and recovery replans.
+    columnar: Option<ColumnarPlan>,
 }
 
 impl StreamingEngine {
@@ -785,18 +792,15 @@ impl StreamingEngine {
                     }
                     let mut recomputed = 0u64;
                     for b in covered..seq {
-                        let input =
-                            {
-                                let (store, _) = store_and_plan.as_mut().expect("checked above");
-                                store
-                            .recover(b)
-                            .unwrap_or_else(|e| {
+                        // Shared handle — the suffix replay partitions the
+                        // retained buffer in place, no per-batch deep copy.
+                        let input = {
+                            let (store, _) = store_and_plan.as_mut().expect("checked above");
+                            store.recover(b).unwrap_or_else(|e| {
                                 panic!("state loss at batch {seq}: batch {b} unrecoverable: {e}")
                             })
-                            .to_vec()
-                            };
+                        };
                         let riv = Interval::new(Time(bi.0 * b), Time(bi.0 * (b + 1)));
-                        let rebatch = MicroBatch::new(input, riv);
                         let tech_b = tech_log.get(&b).copied().or(self.base_technique);
                         let (part, asg) = resolve_pair(
                             &mut self.partitioner,
@@ -804,7 +808,7 @@ impl StreamingEngine {
                             &mut self.strategies,
                             tech_b,
                         );
-                        let replan = part.partition(&rebatch, p);
+                        let replan = part.partition_shared(&input, riv, p);
                         let (routput, rtimes) = execute_with_recovery(
                             &mut backend,
                             part,
@@ -813,6 +817,7 @@ impl StreamingEngine {
                             &self.cfg,
                             &mut store_and_plan,
                             &replan,
+                            None,
                             b,
                             riv,
                             p,
@@ -931,10 +936,23 @@ impl StreamingEngine {
                         (Some(set), Some(d)) => set.registry.get_or_build(d.technique),
                         _ => self.partitioner.as_mut(),
                     };
-                let (plan, phases) = if tracing {
-                    partitioner.partition_phased(&batch, p)
-                } else {
-                    (partitioner.partition(&batch, p), PartitionPhases::default())
+                let mut columnar: Option<ColumnarPlan> = None;
+                let (plan, phases) = match self
+                    .cfg
+                    .columnar
+                    .then(|| partitioner.partition_columnar(&batch, p))
+                    .flatten()
+                {
+                    Some((cplan, ph)) => {
+                        // The row rendering of the same assignment (same
+                        // blocks, same order): metrics, cost-model times and
+                        // recovery replans all stay on the row API.
+                        let row = cplan.to_row_plan();
+                        columnar = Some(cplan);
+                        (row, ph)
+                    }
+                    None if tracing => partitioner.partition_phased(&batch, p),
+                    None => (partitioner.partition(&batch, p), PartitionPhases::default()),
                 };
                 let raw_overhead = match self.cfg.overhead {
                     OverheadMode::None => Duration::ZERO,
@@ -994,6 +1012,7 @@ impl StreamingEngine {
                     decision,
                     metrics,
                     restore_times,
+                    columnar,
                 };
                 if depth > 1 {
                     if let BackendRuntime::Distributed { rt, spec } = &mut backend {
@@ -1002,7 +1021,10 @@ impl StreamingEngine {
                         // and wire transfer. Reduce dispatch waits behind the
                         // runtime's assigner-order gate, so allocator state is
                         // still advanced strictly in batch order.
-                        rt.submit_batch(seq, seq, &pb.plan, spec, r);
+                        match &pb.columnar {
+                            Some(cp) => rt.submit_batch_columnar(seq, seq, cp, spec, r),
+                            None => rt.submit_batch(seq, seq, &pb.plan, spec, r),
+                        }
                     }
                 }
                 prepared.push_back(pb);
@@ -1027,6 +1049,7 @@ impl StreamingEngine {
                 decision,
                 metrics,
                 restore_times,
+                columnar,
             } = pb;
 
             // Execute on the configured backend, recomputing from the
@@ -1040,9 +1063,15 @@ impl StreamingEngine {
                     // No-ops while the seqs are in flight (or already
                     // done); after a loss these re-dispatch the aborted
                     // window in batch order.
-                    rt.submit_batch(seq, seq, &plan, spec, r);
+                    match &columnar {
+                        Some(cp) => rt.submit_batch_columnar(seq, seq, cp, spec, r),
+                        None => rt.submit_batch(seq, seq, &plan, spec, r),
+                    }
                     for q in prepared.iter() {
-                        rt.submit_batch(q.seq, q.seq, &q.plan, spec, r);
+                        match &q.columnar {
+                            Some(cp) => rt.submit_batch_columnar(q.seq, q.seq, cp, spec, r),
+                            None => rt.submit_batch(q.seq, q.seq, &q.plan, spec, r),
+                        }
                     }
                     match rt.wait_batch(seq, self.assigner.as_mut(), tracing.then_some(&rec)) {
                         Ok((output, stats)) => {
@@ -1097,6 +1126,7 @@ impl StreamingEngine {
                         &self.cfg,
                         &mut store_and_plan,
                         &plan,
+                        columnar.as_ref(),
                         seq,
                         interval,
                         p,
@@ -1179,21 +1209,21 @@ impl StreamingEngine {
                     .map(|(_, fp)| fp.losses_for(seq))
                     .unwrap_or(0);
                 for _ in 0..losses {
+                    // Shared handle — the recompute partitions the retained
+                    // buffer in place, no deep copy per injected loss.
                     let input = {
                         let (store, _) = store_and_plan.as_mut().expect("checked above");
                         store
                             .recover(seq)
                             .expect("injected failure beyond recovery budget")
-                            .to_vec()
                     };
-                    let rebatch = MicroBatch::new(input, interval);
                     let (part, asg) = resolve_pair(
                         &mut self.partitioner,
                         &mut self.assigner,
                         &mut self.strategies,
                         technique,
                     );
-                    let replan = part.partition(&rebatch, p);
+                    let replan = part.partition_shared(&input, interval, p);
                     let (recovered, retimes) = execute_with_recovery(
                         &mut backend,
                         part,
@@ -1202,6 +1232,7 @@ impl StreamingEngine {
                         &self.cfg,
                         &mut store_and_plan,
                         &replan,
+                        None,
                         seq,
                         interval,
                         p,
@@ -1543,6 +1574,7 @@ fn execute_with_recovery(
     cfg: &EngineConfig,
     store_and_plan: &mut Option<(ReplicatedBatchStore, FaultPlan)>,
     plan: &PartitionPlan,
+    columnar: Option<&ColumnarPlan>,
     seq: u64,
     interval: Interval,
     p: usize,
@@ -1552,18 +1584,41 @@ fn execute_with_recovery(
     result: &mut RunResult,
 ) -> (BatchOutput, StageTimes) {
     match backend {
-        BackendRuntime::InProcess => execute_batch_traced(
-            plan,
-            job,
-            assigner,
-            r,
-            &cfg.cost,
-            &cfg.cluster,
-            tracing.then_some(rec),
-        ),
+        BackendRuntime::InProcess => match columnar {
+            Some(cp) => execute_columnar_traced(
+                cp,
+                job,
+                assigner,
+                r,
+                &cfg.cost,
+                &cfg.cluster,
+                tracing.then_some(rec),
+            ),
+            None => execute_batch_traced(
+                plan,
+                job,
+                assigner,
+                r,
+                &cfg.cost,
+                &cfg.cluster,
+                tracing.then_some(rec),
+            ),
+        },
         BackendRuntime::Threaded(exec) => {
-            let (output, stats, _wall) =
-                exec.execute_with_stats(plan, job, assigner, r, tracing.then_some((rec, seq)));
+            let (output, stats, _wall) = match columnar {
+                Some(cp) => exec.execute_columnar_with_stats(
+                    cp,
+                    job,
+                    assigner,
+                    r,
+                    tracing.then_some((rec, seq)),
+                ),
+                None => {
+                    exec.execute_with_stats(plan, job, assigner, r, tracing.then_some((rec, seq)))
+                }
+            };
+            // The row plan is the exact row rendering of the columnar one,
+            // so the cost-model conversion is shared.
             let times = times_from_stats(plan, &stats, &cfg.cost, &cfg.cluster);
             (output, times)
         }
@@ -1571,14 +1626,28 @@ fn execute_with_recovery(
             let mut replan: Option<PartitionPlan> = None;
             loop {
                 let attempt_plan = replan.as_ref().unwrap_or(plan);
-                match rt.execute_batch(
-                    seq,
-                    attempt_plan,
-                    spec,
-                    assigner,
-                    r,
-                    tracing.then_some((rec, seq)),
-                ) {
+                // The first attempt ships column slices when available (the
+                // frames are byte-identical to the row encoding); recovery
+                // retries re-partition from the replicated row input.
+                let attempt = match (&replan, columnar) {
+                    (None, Some(cp)) => rt.execute_batch_columnar(
+                        seq,
+                        cp,
+                        spec,
+                        assigner,
+                        r,
+                        tracing.then_some((rec, seq)),
+                    ),
+                    _ => rt.execute_batch(
+                        seq,
+                        attempt_plan,
+                        spec,
+                        assigner,
+                        r,
+                        tracing.then_some((rec, seq)),
+                    ),
+                };
+                match attempt {
                     Ok((output, stats)) => {
                         let times = times_from_stats(attempt_plan, &stats, &cfg.cost, &cfg.cluster);
                         return (output, times);
@@ -1589,12 +1658,11 @@ fn execute_with_recovery(
                         let (store, _) = store_and_plan
                             .as_mut()
                             .expect("distributed runs always carry a replicated store");
-                        let input = store
-                            .recover(seq)
-                            .unwrap_or_else(|e| {
-                                panic!("worker loss on batch {seq} beyond recovery budget: {e}")
-                            })
-                            .to_vec();
+                        // A shared handle to the replicated input — replay
+                        // re-partitions the same buffer without copying it.
+                        let input = store.recover(seq).unwrap_or_else(|e| {
+                            panic!("worker loss on batch {seq} beyond recovery budget: {e}")
+                        });
                         if tracing {
                             rec.incr(Counter::WorkersLost, 1);
                             rec.incr(Counter::Recoveries, 1);
@@ -1607,8 +1675,7 @@ fn execute_with_recovery(
                                 replicas_left: store.replicas_left(seq).unwrap_or(0),
                             });
                         }
-                        let rebatch = MicroBatch::new(input, interval);
-                        replan = Some(partitioner.partition(&rebatch, p));
+                        replan = Some(partitioner.partition_shared(&input, interval, p));
                     }
                 }
             }
@@ -2403,6 +2470,108 @@ mod tests {
         }
         // Warm-up: the first emission has seen only one batch.
         assert_eq!(res.stateful[0].aggregates[&Key(0)], 1.0);
+    }
+
+    #[test]
+    fn columnar_runs_bit_identical_to_row() {
+        for backend in [Backend::InProcess, Backend::Threaded { threads: 3 }] {
+            let run = |columnar: bool| {
+                let cfg = EngineConfig {
+                    backend,
+                    columnar,
+                    ..small_cfg()
+                };
+                let mut eng = StreamingEngine::new(
+                    cfg,
+                    Technique::Prompt,
+                    1,
+                    Job::identity("count", ReduceOp::Count),
+                )
+                .with_window(WindowSpec::sliding(
+                    Duration::from_secs(3),
+                    Duration::from_secs(1),
+                ));
+                eng.run(&mut const_source(600, 12), 6)
+            };
+            let row = run(false);
+            let col = run(true);
+            assert_eq!(row.batches.len(), col.batches.len());
+            for (a, b) in row.batches.iter().zip(&col.batches) {
+                assert_eq!(a.n_tuples, b.n_tuples, "{backend:?} seq {}", a.seq);
+                assert_eq!(a.map_stage, b.map_stage, "{backend:?} seq {}", a.seq);
+                assert_eq!(a.reduce_stage, b.reduce_stage, "{backend:?} seq {}", a.seq);
+                assert_eq!(a.processing, b.processing, "{backend:?} seq {}", a.seq);
+            }
+            assert_eq!(row.windows.len(), col.windows.len());
+            for (a, b) in row.windows.iter().zip(&col.windows) {
+                assert_eq!(a.aggregates.len(), b.aggregates.len());
+                for (k, v) in &a.aggregates {
+                    assert_eq!(
+                        b.aggregates[k].to_bits(),
+                        v.to_bits(),
+                        "{backend:?} key {k:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_partitions_the_retained_buffer_without_copying() {
+        use std::sync::{Arc, Mutex};
+        // Delegating probe: records the allocation every shared-replay
+        // partition call sees, so the test can prove recovery hands out the
+        // retained buffer itself rather than a per-replay deep clone.
+        struct ProbePartitioner {
+            inner: Box<dyn Partitioner>,
+            shared: Arc<Mutex<Vec<usize>>>,
+        }
+        impl Partitioner for ProbePartitioner {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn partition_slice(
+                &mut self,
+                tuples: &[Tuple],
+                interval: Interval,
+                p: usize,
+            ) -> PartitionPlan {
+                self.inner.partition_slice(tuples, interval, p)
+            }
+            fn partition_shared(
+                &mut self,
+                tuples: &Arc<[Tuple]>,
+                interval: Interval,
+                p: usize,
+            ) -> PartitionPlan {
+                self.shared.lock().unwrap().push(tuples.as_ptr() as usize);
+                self.inner.partition_slice(tuples, interval, p)
+            }
+        }
+        let shared = Arc::new(Mutex::new(Vec::new()));
+        let probe = ProbePartitioner {
+            inner: Technique::Prompt.build(1),
+            shared: Arc::clone(&shared),
+        };
+        let mut eng = StreamingEngine::with_parts(
+            small_cfg(),
+            Box::new(probe),
+            Box::new(PromptReduceAllocator::new(1)),
+            Job::identity("count", ReduceOp::Count),
+        )
+        .with_fault_tolerance(2, FaultPlan::none().lose_times(2, 2));
+        let res = eng.run(&mut const_source(400, 8), 5);
+        assert_eq!(res.recoveries, 2);
+        let ptrs = shared.lock().unwrap();
+        assert_eq!(
+            ptrs.len(),
+            2,
+            "each injected loss replays via partition_shared"
+        );
+        assert_eq!(
+            ptrs[0], ptrs[1],
+            "both replays must see the same retained allocation — no deep copy"
+        );
     }
 
     #[test]

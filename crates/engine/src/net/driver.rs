@@ -52,12 +52,13 @@ use std::sync::Arc;
 use std::time::{Duration as WallDuration, Instant};
 
 use prompt_core::batch::PartitionPlan;
+use prompt_core::columnar::ColumnarPlan;
 use prompt_core::hash::KeySet;
 use prompt_core::reduce::{KeyCluster, ReduceAssigner};
 use prompt_core::types::Key;
 
 use super::transport::{FrameConn, NetCounters, NetError, RetryPolicy};
-use super::wire::{FetchStats, Message, ShuffleSource};
+use super::wire::{encode_map_task_columnar, FetchStats, Message, ShuffleSource};
 use super::worker::{run_worker, WorkerOptions};
 use crate::job::JobSpec;
 use crate::recovery::{FaultPoint, NetFaultPlan};
@@ -738,6 +739,28 @@ impl DistributedRuntime {
         }
     }
 
+    /// Columnar twin of [`DistributedRuntime::submit_batch`]: Map-task
+    /// frames are encoded straight from the columnar plan's arena slices,
+    /// with no row blocks materialized on the driver. The frames (and thus
+    /// the workers' view, the protocol state machine, and the results) are
+    /// byte-identical to submitting `plan.to_row_plan()`.
+    pub fn submit_batch_columnar(
+        &mut self,
+        seq: u64,
+        tseq: u64,
+        plan: &ColumnarPlan,
+        spec: &JobSpec,
+        r: usize,
+    ) {
+        if self.pending_loss.is_some() || self.inflight.iter().any(|e| e.seq == seq) {
+            return;
+        }
+        if let Err(loss) = self.dispatch_maps_columnar(seq, tseq, plan, spec, r) {
+            self.abort_unfinished();
+            self.pending_loss = Some(loss);
+        }
+    }
+
     fn dispatch_maps(
         &mut self,
         seq: u64,
@@ -746,6 +769,78 @@ impl DistributedRuntime {
         spec: &JobSpec,
         r: usize,
     ) -> Result<(), WorkerLoss> {
+        let job = *spec;
+        self.dispatch_map_frames(
+            seq,
+            tseq,
+            plan.blocks.len(),
+            plan.split_keys.clone(),
+            spec,
+            r,
+            |block_id, epoch| {
+                let msg = Message::MapTask {
+                    seq,
+                    epoch,
+                    block_id,
+                    job,
+                    block: plan.blocks[block_id as usize].clone(),
+                };
+                (msg.encode(), msg.v1_payload_len())
+            },
+        )
+    }
+
+    /// Columnar twin of [`DistributedRuntime::dispatch_maps`]: each block's
+    /// frame is encoded straight from the plan's arena slices
+    /// ([`encode_map_task_columnar`]) — byte-identical to the row frame,
+    /// with no intermediate row block materialized on the driver.
+    fn dispatch_maps_columnar(
+        &mut self,
+        seq: u64,
+        tseq: u64,
+        plan: &ColumnarPlan,
+        spec: &JobSpec,
+        r: usize,
+    ) -> Result<(), WorkerLoss> {
+        self.dispatch_map_frames(
+            seq,
+            tseq,
+            plan.blocks.len(),
+            plan.split_keys.clone(),
+            spec,
+            r,
+            |block_id, epoch| {
+                encode_map_task_columnar(
+                    seq,
+                    epoch,
+                    block_id,
+                    spec,
+                    &plan.arena,
+                    &plan.blocks[block_id as usize],
+                )
+            },
+        )
+    }
+
+    /// Shared map fan-out: `encode(block_id, epoch)` produces each block's
+    /// complete frame plus its v1 payload size. Everything else — epoch
+    /// bump, scripted pre-map kills, round-robin ownership, the in-flight
+    /// record — is layout-independent, so the row and columnar paths cannot
+    /// diverge in protocol behavior.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_map_frames<F>(
+        &mut self,
+        seq: u64,
+        tseq: u64,
+        n_blocks: usize,
+        split_keys: KeySet,
+        spec: &JobSpec,
+        r: usize,
+        encode: F,
+    ) -> Result<(), WorkerLoss>
+    where
+        F: Fn(u32, u32) -> (Vec<u8>, usize),
+    {
         self.epoch += 1;
         let epoch = self.epoch;
 
@@ -767,21 +862,14 @@ impl DistributedRuntime {
         );
 
         let t_map = Instant::now();
-        let n_blocks = plan.blocks.len();
         let mut block_owner = Vec::with_capacity(n_blocks);
-        for (i, block) in plan.blocks.iter().enumerate() {
+        for i in 0..n_blocks {
             let w = owners[i % owners.len()];
             block_owner.push(w);
-            self.send_to(
-                w,
-                &Message::MapTask {
-                    seq,
-                    epoch,
-                    block_id: i as u32,
-                    job: *spec,
-                    block: block.clone(),
-                },
-            )?;
+            let (frame, v1_len) = encode(i as u32, epoch);
+            if let Err(e) = self.slots[w as usize].conn.send_frame(&frame, v1_len) {
+                return Err(self.declare_lost(w, format!("send of map_task failed: {e}")));
+            }
         }
         self.inflight.push(Inflight {
             seq,
@@ -789,7 +877,7 @@ impl DistributedRuntime {
             epoch,
             r,
             spec: *spec,
-            split_keys: plan.split_keys.clone(),
+            split_keys,
             owners,
             block_owner,
             clusters: vec![None; n_blocks],
@@ -1168,6 +1256,24 @@ impl DistributedRuntime {
         self.wait_batch(seq, assigner, trace.map(|(rec, _)| rec))
     }
 
+    /// Columnar twin of [`DistributedRuntime::execute_batch`]: submit via
+    /// [`DistributedRuntime::submit_batch_columnar`], then wait. Identical
+    /// failure semantics; on `Err(WorkerLoss)` recompute and retry (the
+    /// recovery path may retry with a row plan — the frames are the same).
+    pub fn execute_batch_columnar(
+        &mut self,
+        seq: u64,
+        plan: &ColumnarPlan,
+        spec: &JobSpec,
+        assigner: &mut dyn ReduceAssigner,
+        r: usize,
+        trace: Option<(&TraceRecorder, u64)>,
+    ) -> Result<(BatchOutput, Vec<BucketStats>), WorkerLoss> {
+        let tseq = trace.map_or(seq, |(_, t)| t);
+        self.submit_batch_columnar(seq, tseq, plan, spec, r);
+        self.wait_batch(seq, assigner, trace.map(|(rec, _)| rec))
+    }
+
     /// Ship re-sharded state to the fleet after an elasticity migration.
     ///
     /// Each `(bucket, encoded shard)` pair is pushed to the worker that
@@ -1409,6 +1515,40 @@ mod tests {
             .execute_batch(0, &plan, &spec, &mut assigner, 2, None)
             .expect("kill fires only once");
         assert_eq!(out.len(), 11);
+    }
+
+    #[test]
+    fn columnar_submit_matches_row_submit_bit_for_bit() {
+        let spec = JobSpec {
+            map: MapSpec::Identity,
+            reduce: ReduceOp::Sum,
+        };
+        let plan = small_plan(400, 19, 4);
+        let cols = ColumnarPlan::from_row_plan(&plan);
+
+        let run = |columnar: bool| {
+            let mut rt = DistributedRuntime::launch(thread_opts(2)).expect("launch");
+            let mut assigner = PromptReduceAllocator::new(7);
+            let (out, stats) = if columnar {
+                rt.execute_batch_columnar(0, &cols, &spec, &mut assigner, 3, None)
+            } else {
+                rt.execute_batch(0, &plan, &spec, &mut assigner, 3, None)
+            }
+            .expect("no faults scheduled");
+            let mut aggs: Vec<(Key, u64)> = out
+                .aggregates
+                .iter()
+                .map(|(&k, &v)| (k, v.to_bits()))
+                .collect();
+            aggs.sort_unstable_by_key(|&(k, _)| k.0);
+            let bytes = rt.stats().bytes_sent;
+            (aggs, stats, bytes)
+        };
+        let (row_aggs, row_stats, row_bytes) = run(false);
+        let (col_aggs, col_stats, col_bytes) = run(true);
+        assert_eq!(col_aggs, row_aggs);
+        assert_eq!(col_stats, row_stats);
+        assert_eq!(col_bytes, row_bytes, "identical frames ⇒ identical traffic");
     }
 
     #[test]

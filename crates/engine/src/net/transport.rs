@@ -178,9 +178,16 @@ impl FrameConn {
     /// Write one message as a frame.
     pub fn send(&mut self, msg: &Message) -> Result<(), NetError> {
         let frame = msg.encode();
-        self.stream.write_all(&frame)?;
+        self.send_frame(&frame, msg.v1_payload_len())
+    }
+
+    /// Write one pre-encoded frame (header + payload), accounting
+    /// `v1_payload_len` as its fixed-width v1 size. Lets the data plane
+    /// encode straight from columnar slices without building a `Message`.
+    pub fn send_frame(&mut self, frame: &[u8], v1_payload_len: usize) -> Result<(), NetError> {
+        self.stream.write_all(frame)?;
         self.counters
-            .record_send(frame.len(), HEADER_LEN + msg.v1_payload_len());
+            .record_send(frame.len(), HEADER_LEN + v1_payload_len);
         Ok(())
     }
 

@@ -23,6 +23,7 @@ use prompt_core::batch::DataBlock;
 use prompt_core::bytes::{
     self, ByteReader, ByteWriter, BytesSink, CodecError, FRAGMENT_WIRE_SIZE, TUPLE_WIRE_SIZE,
 };
+use prompt_core::columnar::{ColumnarBatch, ColumnarBlock};
 use prompt_core::types::Key;
 
 use crate::job::{JobSpec, MapSpec, ReduceOp};
@@ -796,6 +797,52 @@ impl Message {
     }
 }
 
+/// Encode one [`Message::MapTask`] frame straight from columnar block
+/// slices — no intermediate row [`DataBlock`] is built. The payload bytes
+/// are identical to encoding the equivalent row block
+/// ([`bytes::put_block_columnar`] walks the arena ranges in assignment
+/// order, the order `ColumnarPlan::to_row_plan` concatenates), so workers
+/// decode it with the ordinary [`Message::decode`] path.
+///
+/// Returns the frame and its fixed-width v1 payload size for raw-byte
+/// accounting (pass both to `FrameConn::send_frame`).
+pub fn encode_map_task_columnar(
+    seq: u64,
+    epoch: u32,
+    block_id: u32,
+    job: &JobSpec,
+    arena: &ColumnarBatch,
+    block: &ColumnarBlock,
+) -> (Vec<u8>, usize) {
+    let mut payload = ByteWriter::new();
+    payload.put_u64(seq);
+    payload.put_u32(epoch);
+    payload.put_u32(block_id);
+    payload.put_u8(job.map.wire_code());
+    payload.put_u8(job.reduce.wire_code());
+    bytes::put_block_columnar(&mut payload, arena, block);
+    let payload = payload.into_bytes();
+    assert!(
+        payload.len() <= MAX_PAYLOAD_LEN as usize,
+        "oversized frame: {} bytes",
+        payload.len()
+    );
+    let mut frame = ByteWriter::with_capacity(HEADER_LEN + payload.len());
+    frame.put_u32(MAGIC);
+    frame.put_u8(PROTOCOL_VERSION);
+    frame.put_u8(4); // Message::MapTask
+    frame.put_u32(payload.len() as u32);
+    frame.put_bytes(&payload);
+    let v1 = 8
+        + 4
+        + 4
+        + 1
+        + 1
+        + (4 + TUPLE_WIRE_SIZE * block.size())
+        + (4 + FRAGMENT_WIRE_SIZE * block.fragments.len());
+    (frame.into_bytes(), v1)
+}
+
 /// Key-ordered `(key, count)` runs, delta-encoded: varint count prefix,
 /// then per entry a zigzag-varint key delta against the previous key and a
 /// varint count.
@@ -951,6 +998,39 @@ mod tests {
                 payload: vec![0xca, 0xfe],
             },
         ]
+    }
+
+    #[test]
+    fn columnar_map_task_frame_is_byte_identical_to_row() {
+        use prompt_core::batch::MicroBatch;
+        use prompt_core::columnar::ColumnarPlan;
+        use prompt_core::partitioner::Technique;
+        use prompt_core::types::Interval;
+
+        let interval = Interval::new(Time(0), Time(1_000_000));
+        let tuples: Vec<Tuple> = (0..400)
+            .map(|i| Tuple::new(Time(1 + i), Key(i % 23), i as f64 * 0.25 - 3.0))
+            .collect();
+        let batch = MicroBatch::new(tuples, interval);
+        let plan = Technique::Prompt.build(7).partition(&batch, 4);
+        let cols = ColumnarPlan::from_row_plan(&plan);
+        let job = JobSpec {
+            map: MapSpec::Identity,
+            reduce: ReduceOp::Sum,
+        };
+        for (i, (row, col)) in plan.blocks.iter().zip(&cols.blocks).enumerate() {
+            let msg = Message::MapTask {
+                seq: 42,
+                epoch: 3,
+                block_id: i as u32,
+                job,
+                block: row.clone(),
+            };
+            let (frame, v1) = encode_map_task_columnar(42, 3, i as u32, &job, &cols.arena, col);
+            assert_eq!(frame, msg.encode(), "block {i} frame diverged");
+            assert_eq!(v1, msg.v1_payload_len(), "block {i} v1 size diverged");
+            assert_eq!(Message::decode(&frame).unwrap(), msg);
+        }
     }
 
     #[test]

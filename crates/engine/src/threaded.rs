@@ -29,7 +29,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use prompt_core::batch::PartitionPlan;
-use prompt_core::hash::KeyMap;
+use prompt_core::columnar::{ColRange, ColumnarBatch, ColumnarPlan};
+use prompt_core::hash::{KeyMap, KeySet};
 use prompt_core::reduce::{KeyCluster, ReduceAssigner};
 use prompt_core::types::Key;
 
@@ -112,12 +113,64 @@ impl ThreadedExecutor {
         r: usize,
         trace: Option<(&TraceRecorder, u64)>,
     ) -> (BatchOutput, Vec<BucketStats>, WallTimes) {
+        self.execute_core(
+            plan.blocks.len(),
+            |i| map_block(&plan.blocks[i].tuples, job),
+            &plan.split_keys,
+            job,
+            assigner,
+            r,
+            trace,
+        )
+    }
+
+    /// The columnar twin of [`ThreadedExecutor::execute_with_stats`]: Map
+    /// workers fold flat column ranges ([`map_block_columnar`]) instead of
+    /// row slices; the shuffle-scatter and Reduce phases are literally the
+    /// same code. Output is bit-identical to the row path on
+    /// `plan.to_row_plan()` for any thread count.
+    pub fn execute_columnar_with_stats(
+        &self,
+        plan: &ColumnarPlan,
+        job: &Job,
+        assigner: &mut dyn ReduceAssigner,
+        r: usize,
+        trace: Option<(&TraceRecorder, u64)>,
+    ) -> (BatchOutput, Vec<BucketStats>, WallTimes) {
+        self.execute_core(
+            plan.blocks.len(),
+            |i| map_block_columnar(&plan.arena, &plan.blocks[i].ranges, job),
+            &plan.split_keys,
+            job,
+            assigner,
+            r,
+            trace,
+        )
+    }
+
+    /// The three-phase executor shared by the row and columnar entry points.
+    /// `map_one` maps block `i` to its ordered cluster list; everything
+    /// after the Map phase only sees cluster lists, so the two layouts
+    /// cannot diverge downstream of the fold.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_core<F>(
+        &self,
+        n_blocks: usize,
+        map_one: F,
+        split_keys: &KeySet,
+        job: &Job,
+        assigner: &mut dyn ReduceAssigner,
+        r: usize,
+        trace: Option<(&TraceRecorder, u64)>,
+    ) -> (BatchOutput, Vec<BucketStats>, WallTimes)
+    where
+        F: Fn(usize) -> ClusterList + Sync,
+    {
         assert!(r > 0, "need at least one reduce bucket");
         let mut times = WallTimes::default();
 
         // --- Parallel Map: one cluster list per block. ---
         let t0 = Instant::now();
-        let n_blocks = plan.blocks.len();
         let map_outputs = {
             let next = AtomicUsize::new(0);
             let mut slots: Vec<Option<ClusterList>> = Vec::new();
@@ -126,14 +179,16 @@ impl ThreadedExecutor {
                 let workers = self.threads.min(n_blocks.max(1));
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
-                        scope.spawn(|| {
+                        let map_one = &map_one;
+                        let next = &next;
+                        scope.spawn(move || {
                             let mut local: Vec<(usize, ClusterList)> = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= n_blocks {
                                     break;
                                 }
-                                local.push((i, map_block(&plan.blocks[i].tuples, job)));
+                                local.push((i, map_one(i)));
                             }
                             local
                         })
@@ -167,13 +222,10 @@ impl ThreadedExecutor {
                     .iter()
                     .map(|&(key, (_, n))| KeyCluster { key, size: n })
                     .collect();
-                let assignment = assigner.assign(&descs, &plan.split_keys, r);
+                let assignment = assigner.assign(&descs, split_keys, r);
                 if let Some((rec, _)) = trace {
                     rec.incr(Counter::ScatterFragments, assignment.len() as u64);
-                    let split = descs
-                        .iter()
-                        .filter(|c| plan.split_keys.contains(&c.key))
-                        .count();
+                    let split = descs.iter().filter(|c| split_keys.contains(&c.key)).count();
                     rec.incr(Counter::SplitKeyFragments, split as u64);
                 }
                 assignment
@@ -289,6 +341,21 @@ impl ThreadedExecutor {
 /// Convert a wall-clock duration into the trace's µs representation.
 fn wall(d: std::time::Duration) -> prompt_core::types::Duration {
     prompt_core::types::Duration::from_micros(d.as_micros() as u64)
+}
+
+/// Map + local combine over one columnar block's ranges, clusters in key
+/// order — bit-identical to [`map_block`] on the row materialization of the
+/// same ranges (see `stage::fold_ranges_columnar` for the order argument).
+pub(crate) fn map_block_columnar(
+    arena: &ColumnarBatch,
+    ranges: &[(Key, ColRange)],
+    job: &Job,
+) -> ClusterList {
+    let mut clusters: KeyMap<(f64, usize)> = KeyMap::default();
+    crate::stage::fold_ranges_columnar(arena, ranges, job, &mut clusters);
+    let mut ordered: ClusterList = clusters.into_iter().collect();
+    ordered.sort_unstable_by_key(|(k, _)| k.0);
+    ordered
 }
 
 /// Map + local combine over one block, clusters in key order. Shared with
@@ -412,6 +479,38 @@ mod tests {
         let summary = rec.summary();
         let map = summary.stage(StageKind::MapStage).unwrap();
         assert_eq!(map.total_us, times.map.as_micros() as u64);
+    }
+
+    #[test]
+    fn columnar_threaded_matches_row_threaded_bitwise() {
+        use prompt_core::columnar::ColumnarPlan;
+        let mb = batch(12_000, 131);
+        let plan = Technique::Prompt.build(3).partition(&mb, 8);
+        let cols = ColumnarPlan::from_row_plan(&plan);
+        let job = Job::identity("sum", ReduceOp::Sum);
+        let reference = {
+            let mut assigner = PromptReduceAllocator::new(3);
+            ThreadedExecutor::new(1).execute_with_stats(&plan, &job, &mut assigner, 5, None)
+        };
+        for threads in [1, 3, 8] {
+            let mut assigner = PromptReduceAllocator::new(3);
+            let (out, stats, _) = ThreadedExecutor::new(threads).execute_columnar_with_stats(
+                &cols,
+                &job,
+                &mut assigner,
+                5,
+                None,
+            );
+            assert_eq!(stats, reference.1, "{threads} threads");
+            assert_eq!(out.len(), reference.0.len(), "{threads} threads");
+            for (k, v) in &reference.0.aggregates {
+                assert_eq!(
+                    out.aggregates[k].to_bits(),
+                    v.to_bits(),
+                    "{threads} threads, key {k:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! The columnar data plane's acceptance gate: `EngineConfig::columnar` is a
+//! hot-path-only optimization (struct-of-arrays seal, range-view blocks,
+//! flat-array scatter/reduce, arena-sliced wire frames), so a columnar run
+//! on every backend must stay **bit-identical** to the row-path serial
+//! in-process oracle — per-batch plans and plan metrics, cost-model stage
+//! times, f64 aggregates, window outputs — and the recorded virtual-time
+//! spans must still tile each batch's processing exactly. A worker killed
+//! mid-batch under the columnar plane must be detected, recomputed from the
+//! replicated *row* input, and leave the outputs unchanged.
+//!
+//! These spawn OS processes for the distributed runs, so they live next to
+//! the distributed smoke suite (CI runs both in the `distributed-smoke`
+//! job) rather than the fast unit tier.
+
+use prompt_core::partitioner::Technique;
+use prompt_core::types::{Duration, Interval, Key, Time, Tuple};
+use prompt_engine::prelude::*;
+
+/// Point the engine's worker-binary resolution at the freshly built
+/// `prompt-worker` before any runtime launches.
+fn ensure_worker_bin() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        std::env::set_var("PROMPT_WORKER_BIN", env!("CARGO_BIN_EXE_prompt-worker"));
+    });
+}
+
+/// Skewed workload with a rotating hot key and non-trivial f64 values, so
+/// per-key fold order is observable (f64 addition is non-associative) and
+/// plans differ batch to batch.
+fn source(rate: usize, keys: u64) -> impl TupleSource {
+    move |iv: Interval, out: &mut Vec<Tuple>| {
+        let step = iv.len().0 / (rate as u64 + 1);
+        let hot = iv.start.0 / 1_000_000 % keys; // rotates every batch
+        for i in 0..rate {
+            let key = if i % 4 == 0 { hot } else { i as u64 % keys };
+            out.push(Tuple {
+                ts: Time(iv.start.0 + step * (i as u64 + 1)),
+                key: Key(key),
+                value: (i % 13) as f64 * 0.37 - 2.1,
+            });
+        }
+    }
+}
+
+fn cfg(backend: Backend, depth: usize, columnar: bool) -> EngineConfig {
+    EngineConfig {
+        batch_interval: Duration::from_secs(1),
+        map_tasks: 4,
+        reduce_tasks: 3,
+        cluster: Cluster::new(2, 4),
+        backend,
+        pipeline_depth: depth,
+        columnar,
+        trace: TraceLevel::Full,
+        ..EngineConfig::default()
+    }
+}
+
+fn run(
+    backend: Backend,
+    depth: usize,
+    columnar: bool,
+    faults: NetFaultPlan,
+) -> (RunResult, TraceRecorder) {
+    ensure_worker_bin();
+    let mut engine = StreamingEngine::new(
+        cfg(backend, depth, columnar),
+        Technique::Prompt,
+        11,
+        Job::identity("sum", ReduceOp::Sum),
+    )
+    .with_window(WindowSpec::sliding(
+        Duration::from_secs(3),
+        Duration::from_secs(1),
+    ))
+    .with_net_faults(faults);
+    let mut src = source(700, 19);
+    engine.run_traced(&mut src, 8)
+}
+
+/// Full bit-identity: everything the paper's figures are built from.
+fn assert_runs_identical(label: &str, serial: &RunResult, other: &RunResult) {
+    assert_eq!(serial.batches.len(), other.batches.len(), "{label}");
+    for (a, b) in serial.batches.iter().zip(&other.batches) {
+        assert_eq!(a.seq, b.seq, "{label}");
+        assert_eq!(a.n_tuples, b.n_tuples, "{label} batch {}", a.seq);
+        assert_eq!(a.n_keys, b.n_keys, "{label} batch {}", a.seq);
+        assert_eq!(a.map_tasks, b.map_tasks, "{label} batch {}", a.seq);
+        assert_eq!(a.reduce_tasks, b.reduce_tasks, "{label} batch {}", a.seq);
+        assert_eq!(a.map_stage, b.map_stage, "{label} batch {} map", a.seq);
+        assert_eq!(
+            a.reduce_stage, b.reduce_stage,
+            "{label} batch {} reduce",
+            a.seq
+        );
+        assert_eq!(
+            a.processing, b.processing,
+            "{label} batch {} processing",
+            a.seq
+        );
+        assert_eq!(
+            a.queue_delay, b.queue_delay,
+            "{label} batch {} queue delay",
+            a.seq
+        );
+        assert_eq!(a.latency, b.latency, "{label} batch {} latency", a.seq);
+        assert_eq!(
+            a.map_task_times, b.map_task_times,
+            "{label} batch {}",
+            a.seq
+        );
+        assert_eq!(
+            a.reduce_task_times, b.reduce_task_times,
+            "{label} batch {}",
+            a.seq
+        );
+        assert_eq!(
+            a.plan_metrics, b.plan_metrics,
+            "{label} batch {} plan metrics",
+            a.seq
+        );
+        assert!(a.w.to_bits() == b.w.to_bits(), "{label} batch {} W", a.seq);
+    }
+    assert_eq!(serial.windows.len(), other.windows.len(), "{label}");
+    for (a, b) in serial.windows.iter().zip(&other.windows) {
+        assert_eq!(a.last_batch_seq, b.last_batch_seq, "{label}");
+        assert_eq!(a.aggregates.len(), b.aggregates.len(), "{label}");
+        for (k, v) in &a.aggregates {
+            assert_eq!(
+                b.aggregates[k].to_bits(),
+                v.to_bits(),
+                "{label} window at batch {} key {k:?} must be bit-identical",
+                a.last_batch_seq
+            );
+        }
+    }
+    assert_eq!(serial.backpressure, other.backpressure, "{label}");
+}
+
+/// Per batch, the PROCESSING_KINDS spans must tile `[start, start +
+/// processing]` with no gaps regardless of which data plane executed —
+/// spans are applied at commit.
+fn assert_spans_tile(label: &str, res: &RunResult, rec: &TraceRecorder) {
+    let events = rec.events();
+    for b in &res.batches {
+        let spans_of = |kind: StageKind| -> u64 {
+            events
+                .iter()
+                .filter(|e| {
+                    matches!(e, TraceEvent::Span { seq, kind: k, .. }
+                        if *seq == b.seq && *k == kind)
+                })
+                .map(|e| e.span_us())
+                .sum()
+        };
+        let processing: u64 = PROCESSING_KINDS.iter().map(|&k| spans_of(k)).sum();
+        assert_eq!(
+            processing, b.processing.0,
+            "{label} batch {}: processing spans must tile processing",
+            b.seq
+        );
+        assert_eq!(
+            spans_of(StageKind::QueueWait),
+            b.queue_delay.0,
+            "{label} batch {}: queue span",
+            b.seq
+        );
+        assert_eq!(
+            spans_of(StageKind::Accumulate),
+            Duration::from_secs(1).0,
+            "{label} batch {}: accumulate span is the batch interval",
+            b.seq
+        );
+    }
+}
+
+/// The core differential sweep: the columnar plane on all three backends
+/// (and through the depth-2 pipelined distributed path) against the
+/// row-path serial in-process oracle.
+#[test]
+fn columnar_is_bit_identical_to_rows_across_backends() {
+    let (oracle, _) = run(Backend::InProcess, 1, false, NetFaultPlan::none());
+    assert_eq!(oracle.batches.len(), 8);
+    for (backend, depth) in [
+        (Backend::InProcess, 1),
+        (Backend::Threaded { threads: 4 }, 1),
+        (
+            Backend::Distributed {
+                workers: 3,
+                base_port: 0,
+            },
+            1,
+        ),
+        (
+            Backend::Distributed {
+                workers: 3,
+                base_port: 0,
+            },
+            2,
+        ),
+    ] {
+        let label = format!("columnar {backend:?} depth {depth}");
+        let (res, rec) = run(backend, depth, true, NetFaultPlan::none());
+        assert_runs_identical(&label, &oracle, &res);
+        assert_spans_tile(&label, &res, &rec);
+        assert_eq!(res.worker_losses, 0, "{label}");
+        assert_eq!(res.recoveries, 0, "{label}");
+        if matches!(backend, Backend::Distributed { .. }) {
+            let net = res.net.expect("distributed runs report wire stats");
+            assert_eq!(net.workers_lost, 0, "{label}");
+        }
+    }
+}
+
+/// Column-sliced frames are byte-identical to row frames, so a columnar
+/// distributed run must put exactly the same bytes on the wire as a row
+/// run of the same workload.
+#[test]
+fn columnar_wire_traffic_matches_rows_byte_for_byte() {
+    let dist = Backend::Distributed {
+        workers: 3,
+        base_port: 0,
+    };
+    let (row, _) = run(dist, 1, false, NetFaultPlan::none());
+    let (col, _) = run(dist, 1, true, NetFaultPlan::none());
+    let (rn, cn) = (row.net.expect("wire stats"), col.net.expect("wire stats"));
+    assert_eq!(rn.bytes_sent, cn.bytes_sent, "sent bytes must match");
+    assert_eq!(rn.frames_sent, cn.frames_sent, "frame counts must match");
+}
+
+/// A worker killed mid-batch under the columnar plane: the loss surfaces
+/// through the same wait path, the batch recomputes from the replicated
+/// *row* input on the survivors, and outputs stay bit-identical.
+#[test]
+fn worker_kill_under_columnar_plane_recovers() {
+    let (oracle, _) = run(Backend::InProcess, 1, false, NetFaultPlan::none());
+    let dist = Backend::Distributed {
+        workers: 3,
+        base_port: 0,
+    };
+    for (label, depth, faults) in [
+        // Killed before its Map tasks dispatch: the submit path aborts.
+        ("kill-before", 1, NetFaultPlan::none().kill_before(2, 1)),
+        // Killed after Map completes, mid-shuffle: the drain path aborts.
+        (
+            "kill-after-map",
+            1,
+            NetFaultPlan::none().kill_after_map(2, 1),
+        ),
+        // Same mid-shuffle kill while two columnar batches are in flight.
+        (
+            "kill-after-map-depth2",
+            2,
+            NetFaultPlan::none().kill_after_map(2, 1),
+        ),
+    ] {
+        let (res, rec) = run(dist, depth, true, faults);
+        assert_runs_identical(label, &oracle, &res);
+        assert_spans_tile(label, &res, &rec);
+        assert_eq!(res.worker_losses, 1, "{label}: exactly one loss");
+        assert_eq!(res.recoveries, 1, "{label}: exactly one recovery");
+        let net = res.net.expect("distributed runs report wire stats");
+        assert_eq!(net.workers_lost, 1, "{label}");
+        assert!(
+            rec.events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::WorkerLost { worker: 1, .. })),
+            "{label}: loss must be traced"
+        );
+    }
+}
